@@ -1,0 +1,41 @@
+//! Criterion tracking for E1: building the decomposition of a noisy census
+//! relation and measuring its storage overhead (DESIGN.md §3, E1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_storage");
+    g.sample_size(10);
+    let n = 2_000;
+    for rate in [0.001, 0.01, 0.05] {
+        g.bench_with_input(BenchmarkId::new("decompose", format!("{rate}")), &rate, |b, &rate| {
+            let base = maybms_census::generate(n, 7);
+            let os = maybms_census::inject(
+                &base,
+                maybms_census::NoiseSpec { rate, max_width: 4, weighted: false, seed: 9 },
+            )
+            .expect("inject");
+            b.iter(|| {
+                let wsd = maybms_census::to_wsd(&os).expect("decompose");
+                std::hint::black_box(wsd.size_bytes())
+            });
+        });
+    }
+    g.finish();
+
+    // Print the actual experiment table once per bench run so `cargo bench`
+    // output doubles as the experiment record.
+    let rows =
+        maybms_bench::e1_storage(n, &[0.001, 0.01, 0.05], 4, 7).expect("e1 harness");
+    for r in &rows {
+        println!(
+            "e1: rate={:.3}% worlds={} overhead={:+.2}%",
+            r.rate * 100.0,
+            r.worlds,
+            r.overhead_pct
+        );
+    }
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion tracking for E2: chase-based cleaning (DESIGN.md §3, E2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maybms_core::chase::clean;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_cleaning");
+    g.sample_size(10);
+    let n = 1_000;
+    for rate in [0.005, 0.02] {
+        g.bench_with_input(BenchmarkId::new("chase", format!("{rate}")), &rate, |b, &rate| {
+            let base = maybms_census::generate(n, 11);
+            let os = maybms_census::inject(
+                &base,
+                maybms_census::NoiseSpec { rate, max_width: 4, weighted: false, seed: 13 },
+            )
+            .expect("inject");
+            let constraints = maybms_census::cleaning_constraints();
+            b.iter(|| {
+                let mut wsd = maybms_census::to_wsd(&os).expect("decompose");
+                let report = clean(&mut wsd, &constraints).expect("clean");
+                std::hint::black_box(report.deleted_rows)
+            });
+        });
+    }
+    g.finish();
+
+    let rows = maybms_bench::e2_cleaning(n, &[0.005, 0.02], 11).expect("e2 harness");
+    for r in &rows {
+        println!(
+            "e2: rate={:.2}% violations={} removed_mass={:.4} time={:?}",
+            r.rate * 100.0,
+            r.deleted_row_groups,
+            r.removed_probability,
+            r.chase_time
+        );
+    }
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

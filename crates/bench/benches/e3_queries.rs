@@ -1,0 +1,39 @@
+//! Criterion tracking for E3: each suite query on the decomposition vs the
+//! same query on one world (DESIGN.md §3, E3). The paper's headline result
+//! is that the two are close.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_e3(c: &mut Criterion) {
+    let n = 3_000;
+    let setup = maybms_bench::e3_setup(n, 0.002, 3).expect("e3 setup");
+    let suite = maybms_bench::queries::query_suite();
+
+    let mut g = c.benchmark_group("e3_queries");
+    g.sample_size(10);
+    for q in &suite {
+        g.bench_with_input(
+            BenchmarkId::new("single_world", q.name),
+            &q.query,
+            |b, query| {
+                let wq = query.to_world_query();
+                b.iter(|| std::hint::black_box(wq.eval(&setup.single_world).expect("baseline")));
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("wsd", q.name), &q.query, |b, query| {
+            b.iter(|| std::hint::black_box(query.eval(&setup.wsd).expect("wsd eval")));
+        });
+    }
+    g.finish();
+
+    let rows = maybms_bench::e3_queries(&setup).expect("e3 harness");
+    for r in &rows {
+        println!(
+            "e3: {} single={:?} wsd={:?} ratio={:.2}x",
+            r.query, r.single_world, r.wsd, r.ratio
+        );
+    }
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion tracking for E5: the paper's §2 medical example, end to end
+//! (selection + projection + normalization + prob()). Must yield 0.4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e5(c: &mut Criterion) {
+    c.bench_function("e5_demo_pipeline", |b| {
+        b.iter(|| {
+            let p = maybms_bench::e5_demo().expect("e5");
+            assert!((p - 0.4).abs() < 1e-12);
+            std::hint::black_box(p)
+        });
+    });
+
+    // SQL end-to-end variant
+    c.bench_function("e5_demo_sql", |b| {
+        b.iter(|| {
+            let mut s = maybms_sql::session::medical_session();
+            let r = s
+                .execute("SELECT test, PROB() FROM R WHERE diagnosis = 'pregnancy'")
+                .expect("sql");
+            std::hint::black_box(r.table().expect("table").len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

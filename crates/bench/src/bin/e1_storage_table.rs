@@ -1,0 +1,48 @@
+//! E1: regenerates the storage-overhead result.
+//!
+//! Paper: a census world-set with more than 2^624449 worlds is represented
+//! "with a space overhead of only 2% over the original relation".
+//!
+//! Usage: `e1_storage_table [rows] [max_width] [seed]`  (default 100000 4 7)
+
+use maybms_bench::table::{fmt_bytes, fmt_duration, print_table};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let max_width: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    // The paper's regime: "noise with different degree of incompleteness".
+    let rates = [0.00005, 0.0005, 0.001, 0.01, 0.05, 0.1];
+    let rows = maybms_bench::e1_storage(n, &rates, max_width, seed).expect("e1 harness");
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.3}%", r.rate * 100.0),
+                r.uncertain_fields.to_string(),
+                r.worlds.clone(),
+                format!("{:.0}", r.worlds_log10),
+                fmt_bytes(r.original_bytes),
+                fmt_bytes(r.wsd_bytes),
+                format!("{:+.2}%", r.overhead_pct),
+                fmt_duration(r.build_time),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("E1 storage: WSD vs original relation ({n} rows × 50 cols)"),
+        &[
+            "noise", "or-set fields", "worlds", "log10(worlds)", "original", "WSD",
+            "overhead", "build",
+        ],
+        &table,
+    );
+    println!(
+        "\npaper shape: world count grows doubly-exponentially with noise while \
+         the representation grows linearly; at census noise levels the overhead \
+         stays in the low percent range (paper: 2% at >2^624449 worlds)."
+    );
+}

@@ -1,0 +1,107 @@
+//! The E3 query suite: six queries spanning the full algebra, each runnable
+//! on the decomposition (WSD side) and on a single world (conventional
+//! side) — "The performance of query evaluation on incomplete data was
+//! compared to that of conventional query processing." (paper §1)
+
+use maybms_core::algebra::Query;
+use maybms_relational::{ColumnType, Expr, Relation, Schema, Value};
+
+use maybms_census::CENSUS_REL;
+
+/// A named query of the suite.
+pub struct BenchQuery {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub query: Query,
+}
+
+/// A small lookup table joined against the census (state names).
+pub fn states_relation() -> Relation {
+    let mut r = Relation::empty(Schema::new(vec![
+        ("fip", ColumnType::Int),
+        ("sname", ColumnType::Str),
+    ]));
+    for i in 0..51i64 {
+        r.push_unchecked(maybms_relational::Tuple::new(vec![
+            Value::Int(i),
+            Value::str(format!("state{i:02}")),
+        ]));
+    }
+    r
+}
+
+/// Name under which [`states_relation`] is registered.
+pub const STATES_REL: &str = "states";
+
+/// The six queries Q1–Q6.
+pub fn query_suite() -> Vec<BenchQuery> {
+    vec![
+        BenchQuery {
+            name: "Q1 selection",
+            description: "σ age=30 (single-attribute selection)",
+            query: Query::table(CENSUS_REL).select(Expr::col("age").eq(Expr::lit(30i64))),
+        },
+        BenchQuery {
+            name: "Q2 select+project",
+            description: "π sex,educ,incwage σ age>=65",
+            query: Query::table(CENSUS_REL)
+                .select(Expr::col("age").ge(Expr::lit(65i64)))
+                .project(["sex", "educ", "incwage"]),
+        },
+        BenchQuery {
+            name: "Q3 join",
+            description: "σ age=40 census ⋈ states on statefip",
+            query: Query::table(CENSUS_REL)
+                .select(Expr::col("age").eq(Expr::lit(40i64)))
+                .project(["statefip", "age", "incwage"])
+                .join(Query::table(STATES_REL), Expr::col("statefip").eq(Expr::col("fip"))),
+        },
+        BenchQuery {
+            name: "Q4 union",
+            description: "σ age<5 ∪ σ age>85",
+            query: Query::table(CENSUS_REL)
+                .select(Expr::col("age").lt(Expr::lit(5i64)))
+                .union(Query::table(CENSUS_REL).select(Expr::col("age").gt(Expr::lit(85i64)))),
+        },
+        BenchQuery {
+            name: "Q5 difference",
+            description: "σ age=20 − σ sex=1 (full-schema difference)",
+            query: Query::table(CENSUS_REL)
+                .select(Expr::col("age").eq(Expr::lit(20i64)))
+                .difference(
+                    Query::table(CENSUS_REL)
+                        .select(Expr::col("age").eq(Expr::lit(20i64)).and(
+                            Expr::col("sex").eq(Expr::lit(1i64)),
+                        )),
+                ),
+        },
+        BenchQuery {
+            name: "Q6 complex",
+            description: "conjunctive selection across attributes + projection",
+            query: Query::table(CENSUS_REL)
+                .select(
+                    Expr::col("empstat")
+                        .eq(Expr::lit(1i64))
+                        .and(Expr::col("educ").ge(Expr::lit(10i64)))
+                        .and(Expr::col("incwage").gt(Expr::lit(50_000i64))),
+                )
+                .project(["age", "sex", "occ"]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_queries() {
+        assert_eq!(query_suite().len(), 6);
+    }
+
+    #[test]
+    fn states_covers_statefip_domain() {
+        let r = states_relation();
+        assert_eq!(r.len(), 51);
+    }
+}

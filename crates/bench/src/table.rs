@@ -1,0 +1,76 @@
+//! Plain-text table rendering for experiment output.
+
+/// Prints an aligned ASCII table (markdown-ish) to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    println!("| {} |", header_line.join(" | "));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for r in rows {
+        let line: Vec<String> = r
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    }
+}
+
+/// Formats a byte count humanely.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert!(fmt_bytes(3 << 20).contains("MiB"));
+        assert!(fmt_bytes(5 << 30).contains("GiB"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_micros(7)).contains("µs"));
+    }
+}

@@ -1,0 +1,59 @@
+//! The "real-life integrity constraints" used for data cleaning (E2).
+
+use maybms_core::chase::Constraint;
+use maybms_relational::Expr;
+
+use crate::schema::{EMPSTAT_EMPLOYED, MARST_SINGLE};
+
+/// Name of the census relation inside the WSD.
+pub const CENSUS_REL: &str = "census";
+
+/// The cleaning constraints:
+/// 1. persons younger than 15 are never married (`age < 15 ⇒ marst = 6`),
+/// 2. persons younger than 14 are not employed,
+/// 3. persons younger than 14 have no wage income,
+/// 4. `(serial, pernum)` is a key.
+pub fn cleaning_constraints() -> Vec<Constraint> {
+    vec![
+        Constraint::tuple_check(
+            CENSUS_REL,
+            Expr::col("age")
+                .ge(Expr::lit(15i64))
+                .or(Expr::col("marst").eq(Expr::lit(MARST_SINGLE))),
+        ),
+        Constraint::tuple_check(
+            CENSUS_REL,
+            Expr::col("age")
+                .ge(Expr::lit(14i64))
+                .or(Expr::col("empstat").ne(Expr::lit(EMPSTAT_EMPLOYED))),
+        ),
+        Constraint::tuple_check(
+            CENSUS_REL,
+            Expr::col("age")
+                .ge(Expr::lit(14i64))
+                .or(Expr::col("incwage").eq(Expr::lit(0i64))),
+        ),
+        Constraint::key(CENSUS_REL, &["serial", "pernum"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use maybms_worldset::World;
+
+    #[test]
+    fn generated_single_world_is_consistent() {
+        let r = generate(300, 11);
+        let w = World::single(CENSUS_REL, r);
+        for c in cleaning_constraints() {
+            assert!(c.holds_in(&w).unwrap(), "generator must satisfy {c:?}");
+        }
+    }
+
+    #[test]
+    fn four_constraints() {
+        assert_eq!(cleaning_constraints().len(), 4);
+    }
+}

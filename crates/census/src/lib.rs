@@ -1,0 +1,22 @@
+//! # maybms-census
+//!
+//! The census workload of the MayBMS experiments, reproduced synthetically:
+//! the paper used "a 5% extract from the 1990 US census with nearly 12.5
+//! million records and 50 columns" (IPUMS) and "introduced noise with
+//! different degree of incompleteness to the data by replacing randomly
+//! picked values with or-sets". This crate provides the 50-column schema
+//! ([`schema`]), a seeded generator ([`generate`]), the noise process
+//! ([`noise`]), the cleaning constraints ([`constraints`]) and loaders into
+//! the WSD and baseline representations ([`load`]).
+
+pub mod constraints;
+pub mod generate;
+pub mod load;
+pub mod noise;
+pub mod schema;
+
+pub use constraints::{cleaning_constraints, CENSUS_REL};
+pub use generate::generate;
+pub use load::{certain_to_wsd, noisy_census_wsd, to_wsd};
+pub use noise::{inject, NoiseSpec};
+pub use schema::{census_schema, COLUMNS};

@@ -1,0 +1,75 @@
+//! Loading census data into the different representations.
+
+use maybms_core::wsd::Wsd;
+use maybms_relational::{Relation, Result};
+use maybms_worldset::OrSetRelation;
+
+use crate::constraints::CENSUS_REL;
+use crate::schema::census_schema;
+
+/// Builds the WSD of an or-set census relation: each uncertain field
+/// becomes its own single-field component (the maximal decomposition).
+pub fn to_wsd(os: &OrSetRelation) -> Result<Wsd> {
+    let mut wsd = Wsd::new();
+    wsd.add_relation(CENSUS_REL, census_schema())?;
+    for row in os.rows() {
+        wsd.push_orset(CENSUS_REL, row.to_vec())?;
+    }
+    Ok(wsd)
+}
+
+/// Loads a certain relation as a (trivial, one-world) WSD — the baseline
+/// "single world" database of E3.
+pub fn certain_to_wsd(r: &Relation) -> Result<Wsd> {
+    let mut wsd = Wsd::new();
+    wsd.add_relation(CENSUS_REL, census_schema())?;
+    for t in r.iter() {
+        wsd.push_certain(CENSUS_REL, t.values().to_vec())?;
+    }
+    Ok(wsd)
+}
+
+/// End-to-end convenience: generate, add noise, decompose.
+pub fn noisy_census_wsd(n: usize, spec: crate::noise::NoiseSpec, seed: u64) -> Result<Wsd> {
+    let base = crate::generate::generate(n, seed);
+    let os = crate::noise::inject(&base, spec)?;
+    to_wsd(&os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use crate::noise::{inject, NoiseSpec};
+
+    #[test]
+    fn wsd_components_match_uncertain_fields() {
+        let base = generate(100, 1);
+        let os = inject(&base, NoiseSpec { rate: 0.02, ..Default::default() }).unwrap();
+        let wsd = to_wsd(&os).unwrap();
+        wsd.validate().unwrap();
+        assert_eq!(wsd.num_components(), os.uncertain_fields());
+        // world counts agree
+        assert!((wsd.world_count().log2() - os.world_count_log2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_noisy_wsd_enumerates_to_orset_expansion() {
+        let base = generate(4, 9);
+        let os = inject(&base, NoiseSpec { rate: 0.02, max_width: 2, ..Default::default() })
+            .unwrap();
+        let wsd = to_wsd(&os).unwrap();
+        let lhs = wsd.to_worldset(1 << 16).unwrap();
+        let rhs =
+            maybms_worldset::enumerate::expand(&os, CENSUS_REL, Default::default()).unwrap();
+        assert!(lhs.equivalent(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn certain_wsd_has_one_world() {
+        let base = generate(20, 2);
+        let wsd = certain_to_wsd(&base).unwrap();
+        assert_eq!(wsd.world_count().to_u64(), Some(1));
+        assert_eq!(wsd.num_components(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Noise injection: "We introduced noise with different degree of
+//! incompleteness to the data by replacing randomly picked values with
+//! or-sets." (paper §1)
+
+use maybms_relational::{Relation, Result, Value};
+use maybms_worldset::{OrSetCell, OrSetRelation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema::COLUMNS;
+
+/// Parameters of the noise process.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseSpec {
+    /// Probability that any given field is replaced by an or-set.
+    pub rate: f64,
+    /// Or-set width is drawn uniformly from `2..=max_width`.
+    pub max_width: usize,
+    /// When true, alternatives get random (normalized) probabilities;
+    /// otherwise uniform — the paper's plain or-sets lifted to the
+    /// probabilistic extension.
+    pub weighted: bool,
+    pub seed: u64,
+}
+
+impl Default for NoiseSpec {
+    fn default() -> Self {
+        NoiseSpec { rate: 0.01, max_width: 4, weighted: false, seed: 0xC0FFEE }
+    }
+}
+
+/// Replaces randomly picked fields of `r` by or-sets over the field's code
+/// domain (always including the original value).
+pub fn inject(r: &Relation, spec: NoiseSpec) -> Result<OrSetRelation> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut os = OrSetRelation::from_relation(r);
+    debug_assert!(spec.max_width >= 2, "or-sets need at least two alternatives");
+    for row in 0..r.len() {
+        for (col, spec_col) in COLUMNS.iter().enumerate() {
+            if spec_col.domain < 2 {
+                continue; // sequential ids are never noisy
+            }
+            if rng.gen::<f64>() >= spec.rate {
+                continue;
+            }
+            let width = rng.gen_range(2..=spec.max_width.min(spec_col.domain as usize));
+            let original = r.rows()[row][col].as_i64().expect("census data is int");
+            let mut alts: Vec<i64> = vec![original];
+            while alts.len() < width {
+                let v = rng.gen_range(0..spec_col.domain as i64);
+                if !alts.contains(&v) {
+                    alts.push(v);
+                }
+            }
+            let cell = if spec.weighted {
+                let mut ws: Vec<f64> = (0..alts.len()).map(|_| rng.gen_range(0.1..1.0)).collect();
+                let total: f64 = ws.iter().sum();
+                for w in &mut ws {
+                    *w /= total;
+                }
+                // fix rounding drift on the last weight
+                let drift: f64 = 1.0 - ws.iter().sum::<f64>();
+                *ws.last_mut().expect("nonempty") += drift;
+                OrSetCell::weighted(
+                    alts.into_iter().map(Value::Int).zip(ws).collect(),
+                )?
+            } else {
+                OrSetCell::uniform(alts.into_iter().map(Value::Int).collect())?
+            };
+            os.set_cell(row, col, cell)?;
+        }
+    }
+    Ok(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    #[test]
+    fn rate_controls_uncertainty() {
+        let r = generate(200, 1);
+        let low = inject(&r, NoiseSpec { rate: 0.001, ..Default::default() }).unwrap();
+        let high = inject(&r, NoiseSpec { rate: 0.05, ..Default::default() }).unwrap();
+        assert!(low.uncertain_fields() < high.uncertain_fields());
+        // expected counts: 200 rows * 49 noisy columns * rate
+        let expect_high = 200.0 * 49.0 * 0.05;
+        let got = high.uncertain_fields() as f64;
+        assert!(got > expect_high * 0.5 && got < expect_high * 1.7, "got {got}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = generate(50, 2);
+        let a = inject(&r, NoiseSpec::default()).unwrap();
+        let b = inject(&r, NoiseSpec::default()).unwrap();
+        assert_eq!(a.uncertain_fields(), b.uncertain_fields());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn original_value_always_possible() {
+        let r = generate(100, 3);
+        let os = inject(&r, NoiseSpec { rate: 0.05, ..Default::default() }).unwrap();
+        for (ri, row) in os.rows().iter().enumerate() {
+            for (ci, cell) in row.iter().enumerate() {
+                let orig = &r.rows()[ri][ci];
+                assert!(
+                    cell.alternatives().iter().any(|(v, _)| v == orig),
+                    "original value must remain possible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_probabilities_sum_to_one() {
+        let r = generate(100, 4);
+        let os = inject(
+            &r,
+            NoiseSpec { rate: 0.05, weighted: true, ..Default::default() },
+        )
+        .unwrap();
+        for row in os.rows() {
+            for cell in row {
+                let total: f64 = cell.alternatives().iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn world_count_grows_with_noise() {
+        let r = generate(100, 5);
+        let os = inject(&r, NoiseSpec { rate: 0.02, ..Default::default() }).unwrap();
+        assert!(os.world_count_log2() > 10.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The synthetic census schema.
+//!
+//! The paper's experiments use "a 5% extract from the 1990 US census with
+//! nearly 12.5 million records and 50 columns" (IPUMS [3]). The real
+//! extract is not redistributable, so we reproduce its *shape*: 50 integer-
+//! coded columns (IPUMS variables are numeric codes), mostly categorical
+//! with small domains plus a few wide numeric fields — the properties the
+//! storage and cleaning experiments actually depend on (see DESIGN.md §5).
+
+use maybms_relational::{ColumnType, Schema};
+
+/// One column of the census table: name and the size of its code domain
+/// (values are `0..domain`). Wide numeric fields get large domains.
+#[derive(Debug, Clone, Copy)]
+pub struct CensusColumn {
+    pub name: &'static str,
+    pub domain: u32,
+}
+
+/// The 50 columns, modeled after common IPUMS 1990 variables.
+pub const COLUMNS: [CensusColumn; 50] = [
+    CensusColumn { name: "serial", domain: 0 },  // 0 = sequential id
+    CensusColumn { name: "pernum", domain: 8 },
+    CensusColumn { name: "hhwt", domain: 100 },
+    CensusColumn { name: "perwt", domain: 100 },
+    CensusColumn { name: "statefip", domain: 51 },
+    CensusColumn { name: "county", domain: 254 },
+    CensusColumn { name: "city", domain: 1000 },
+    CensusColumn { name: "puma", domain: 2000 },
+    CensusColumn { name: "urban", domain: 3 },
+    CensusColumn { name: "metro", domain: 5 },
+    CensusColumn { name: "gq", domain: 6 },
+    CensusColumn { name: "farm", domain: 2 },
+    CensusColumn { name: "ownershp", domain: 3 },
+    CensusColumn { name: "mortgage", domain: 5 },
+    CensusColumn { name: "rooms", domain: 10 },
+    CensusColumn { name: "builtyr", domain: 10 },
+    CensusColumn { name: "unitsstr", domain: 11 },
+    CensusColumn { name: "vehicles", domain: 8 },
+    CensusColumn { name: "relate", domain: 13 },
+    CensusColumn { name: "age", domain: 91 },
+    CensusColumn { name: "sex", domain: 2 },
+    CensusColumn { name: "race", domain: 9 },
+    CensusColumn { name: "hispan", domain: 5 },
+    CensusColumn { name: "bpl", domain: 120 },
+    CensusColumn { name: "citizen", domain: 5 },
+    CensusColumn { name: "yrimmig", domain: 50 },
+    CensusColumn { name: "speakeng", domain: 7 },
+    CensusColumn { name: "school", domain: 3 },
+    CensusColumn { name: "educ", domain: 12 },
+    CensusColumn { name: "empstat", domain: 4 },
+    CensusColumn { name: "labforce", domain: 3 },
+    CensusColumn { name: "occ", domain: 500 },
+    CensusColumn { name: "ind", domain: 236 },
+    CensusColumn { name: "classwkr", domain: 3 },
+    CensusColumn { name: "wkswork", domain: 53 },
+    CensusColumn { name: "hrswork", domain: 99 },
+    CensusColumn { name: "incwage", domain: 75000 },
+    CensusColumn { name: "inctot", domain: 100000 },
+    CensusColumn { name: "vetstat", domain: 3 },
+    CensusColumn { name: "nchild", domain: 10 },
+    CensusColumn { name: "nsibs", domain: 10 },
+    CensusColumn { name: "famsize", domain: 12 },
+    CensusColumn { name: "eldch", domain: 30 },
+    CensusColumn { name: "yngch", domain: 30 },
+    CensusColumn { name: "momloc", domain: 12 },
+    CensusColumn { name: "poploc", domain: 12 },
+    CensusColumn { name: "sploc", domain: 12 },
+    CensusColumn { name: "migrate", domain: 5 },
+    CensusColumn { name: "disabwrk", domain: 3 },
+    CensusColumn { name: "marst", domain: 7 },
+];
+
+/// Index of a column by name (compile-time constant table, linear scan).
+pub fn column_index(name: &str) -> Option<usize> {
+    COLUMNS.iter().position(|c| c.name == name)
+}
+
+/// The relational schema of the census table (all integer-coded).
+pub fn census_schema() -> Schema {
+    Schema::new(
+        COLUMNS
+            .iter()
+            .map(|c| (c.name, ColumnType::Int))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Marital-status code for "never married/single" (IPUMS `marst` = 6).
+pub const MARST_SINGLE: i64 = 6;
+/// Employment-status code for "employed" (IPUMS `empstat` = 1).
+pub const EMPSTAT_EMPLOYED: i64 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_columns() {
+        assert_eq!(COLUMNS.len(), 50);
+        assert_eq!(census_schema().len(), 50);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = COLUMNS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(column_index("age"), Some(19));
+        assert_eq!(column_index("nope"), None);
+        assert_eq!(COLUMNS[column_index("marst").unwrap()].domain, 7);
+    }
+}

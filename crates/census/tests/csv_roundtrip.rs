@@ -1,0 +1,39 @@
+//! Integration: census data survives CSV export/import, and the loaded
+//! data decomposes identically — the "load a 3GB extract from disk" path
+//! of the paper's setup, at test scale.
+
+use maybms_census::{census_schema, generate, inject, to_wsd, NoiseSpec};
+use maybms_relational::csv::{from_csv, to_csv};
+
+#[test]
+fn census_csv_round_trip() {
+    let base = generate(250, 77);
+    let text = to_csv(&base);
+    // header + one line per record
+    assert_eq!(text.lines().count(), 251);
+    let back = from_csv(census_schema(), &text).expect("parse");
+    assert_eq!(back, base);
+}
+
+#[test]
+fn loaded_census_decomposes_identically() {
+    let base = generate(60, 5);
+    let reloaded = from_csv(census_schema(), &to_csv(&base)).expect("parse");
+    let spec = NoiseSpec { rate: 0.01, max_width: 3, weighted: false, seed: 9 };
+    let w1 = to_wsd(&inject(&base, spec).expect("noise")).expect("wsd");
+    let w2 = to_wsd(&inject(&reloaded, spec).expect("noise")).expect("wsd");
+    // deterministic: identical inputs + seed give identical decompositions
+    assert_eq!(w1.world_count(), w2.world_count());
+    assert_eq!(w1.stats(), w2.stats());
+    assert_eq!(w1.size_bytes(), w2.size_bytes());
+}
+
+#[test]
+fn header_is_the_fifty_ipums_columns() {
+    let base = generate(1, 0);
+    let text = to_csv(&base);
+    let header = text.lines().next().expect("header");
+    assert_eq!(header.split(',').count(), 50);
+    assert!(header.starts_with("serial,pernum"));
+    assert!(header.ends_with("marst"));
+}

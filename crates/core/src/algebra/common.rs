@@ -1,0 +1,189 @@
+//! Shared machinery for the WSD operators.
+
+use std::collections::HashMap;
+
+use maybms_relational::{BoundExpr, Error, Expr, Result, Schema, Tuple, Value};
+
+use crate::cell::Cell;
+use crate::component::CompRow;
+use crate::field::{Field, Tid};
+use crate::wsd::{Existence, TemplateCell, Wsd};
+
+/// A snapshot of one template tuple, taken before mutation begins so the
+/// borrow checker stays happy while operators rewrite the WSD.
+#[derive(Debug, Clone)]
+pub(crate) struct TupleInfo {
+    pub tid: Tid,
+    pub cells: Vec<TemplateCell>,
+    pub exists: Existence,
+}
+
+/// Snapshots all tuples of a relation together with its schema.
+pub(crate) fn snapshot(wsd: &Wsd, rel: &str) -> Result<(Schema, Vec<TupleInfo>)> {
+    let tpl = wsd.relation(rel)?;
+    let infos = tpl
+        .tuples
+        .iter()
+        .map(|t| TupleInfo {
+            tid: t.tid,
+            cells: t.cells.clone(),
+            exists: t.exists,
+        })
+        .collect();
+    Ok((tpl.schema.clone(), infos))
+}
+
+/// The open fields of a tuple restricted to the given attribute positions,
+/// with their current component locations.
+pub(crate) fn open_fields_at(
+    wsd: &Wsd,
+    t: &TupleInfo,
+    positions: &[usize],
+) -> Result<Vec<(usize, (usize, usize))>> {
+    let mut out = Vec::new();
+    for &pos in positions {
+        if matches!(t.cells[pos], TemplateCell::Open) {
+            let loc = wsd
+                .field_loc(Field::attr(t.tid, pos as u32))
+                .ok_or_else(|| Error::InvalidExpr(format!("unmapped field {}.#{pos}", t.tid)))?;
+            out.push((pos, loc));
+        }
+    }
+    Ok(out)
+}
+
+/// All open attribute fields of a tuple.
+pub(crate) fn all_open_fields(wsd: &Wsd, t: &TupleInfo) -> Result<Vec<(usize, (usize, usize))>> {
+    let all: Vec<usize> = (0..t.cells.len()).collect();
+    open_fields_at(wsd, t, &all)
+}
+
+/// The existence location of a tuple, if its existence is open.
+pub(crate) fn exists_loc(wsd: &Wsd, t: &TupleInfo) -> Result<Option<(usize, usize)>> {
+    match t.exists {
+        Existence::Always => Ok(None),
+        Existence::Open => wsd
+            .field_loc(Field::exists(t.tid))
+            .map(Some)
+            .ok_or_else(|| Error::InvalidExpr(format!("unmapped ∃ of {}", t.tid))),
+    }
+}
+
+/// Binds a predicate against a schema, returning also the positions of the
+/// columns it references.
+pub(crate) fn bind_pred(pred: &Expr, schema: &Schema) -> Result<(BoundExpr, Vec<usize>)> {
+    let bound = pred.bind(schema)?;
+    let positions = pred
+        .columns()
+        .into_iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<Vec<_>>>()?;
+    Ok((bound, positions))
+}
+
+/// Evaluates a bound predicate against a partially-known tuple: `vals`
+/// carries concrete values at the referenced positions (everything else is
+/// NULL, which the predicate does not look at).
+pub(crate) fn eval_partial(bound: &BoundExpr, arity: usize, vals: &HashMap<usize, Value>) -> Result<bool> {
+    let mut full = vec![Value::Null; arity];
+    for (&i, v) in vals {
+        full[i] = v.clone();
+    }
+    bound.eval_predicate(&Tuple::new(full))
+}
+
+/// Fetches the certain values of a tuple at the given positions.
+pub(crate) fn certain_values_at(t: &TupleInfo, positions: &[usize]) -> HashMap<usize, Value> {
+    let mut m = HashMap::new();
+    for &pos in positions {
+        if let TemplateCell::Certain(v) = &t.cells[pos] {
+            m.insert(pos, v.clone());
+        }
+    }
+    m
+}
+
+/// Builds the derived tuple's cells, aliasing the source tuple's open
+/// columns: position `i` of the new tuple takes its value from position
+/// `src_positions[i]` of `src`.
+pub(crate) fn alias_cells(
+    wsd: &mut Wsd,
+    new_tid: Tid,
+    src: &TupleInfo,
+    src_positions: &[usize],
+) -> Result<Vec<TemplateCell>> {
+    let mut cells = Vec::with_capacity(src_positions.len());
+    for (new_pos, &src_pos) in src_positions.iter().enumerate() {
+        match &src.cells[src_pos] {
+            TemplateCell::Certain(v) => cells.push(TemplateCell::Certain(v.clone())),
+            TemplateCell::Open => {
+                let loc = wsd
+                    .field_loc(Field::attr(src.tid, src_pos as u32))
+                    .ok_or_else(|| {
+                        Error::InvalidExpr(format!("unmapped field {}.#{src_pos}", src.tid))
+                    })?;
+                wsd.alias_field(Field::attr(new_tid, new_pos as u32), loc);
+                cells.push(TemplateCell::Open);
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Appends a fresh existence column computed by `f` to component
+/// `comp_idx`, registering it as the existence field of `tid`.
+pub(crate) fn add_exists_column<F>(wsd: &mut Wsd, comp_idx: usize, tid: Tid, f: F) -> Result<()>
+where
+    F: FnMut(&CompRow) -> Cell,
+{
+    let comp = wsd
+        .component_mut(comp_idx)
+        .ok_or_else(|| Error::InvalidExpr(format!("dead component {comp_idx}")))?;
+    let col = comp.num_fields();
+    comp.add_column(Field::exists(tid), f);
+    wsd.alias_field(Field::exists(tid), (comp_idx, col));
+    Ok(())
+}
+
+/// Whether the tuple is dead in this row of the merged component: some of
+/// its columns there (attribute fields at `cols`, or the existence column)
+/// holds ⊥.
+pub(crate) fn dead_in_row(row: &CompRow, cols: &[usize]) -> bool {
+    cols.iter().any(|&c| row.cells[c].is_bottom())
+}
+
+/// Possible values of the field of `t` at `pos` (singleton for certain
+/// cells), for join/difference pruning. Reads the component column directly
+/// through the field map — O(component rows), independent of relation size.
+pub(crate) fn possible_values_of(
+    wsd: &Wsd,
+    _rel: &str,
+    t: &TupleInfo,
+    pos: usize,
+) -> Result<Vec<Value>> {
+    match &t.cells[pos] {
+        TemplateCell::Certain(v) => Ok(vec![v.clone()]),
+        TemplateCell::Open => {
+            let (c, col) = wsd
+                .field_loc(Field::attr(t.tid, pos as u32))
+                .ok_or_else(|| Error::InvalidExpr(format!("unmapped field {}.#{pos}", t.tid)))?;
+            let comp = wsd
+                .component(c)
+                .ok_or_else(|| Error::InvalidExpr(format!("dead component {c}")))?;
+            let mut out: Vec<Value> = Vec::new();
+            for r in comp.rows() {
+                if let crate::cell::Cell::Val(v) = &r.cells[col] {
+                    if !out.contains(v) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// True iff two possible-value sets intersect (SQL equality).
+pub(crate) fn values_intersect(a: &[Value], b: &[Value]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| x.sql_eq(y) == Some(true)))
+}

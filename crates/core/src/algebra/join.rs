@@ -1,0 +1,368 @@
+//! Product and θ-join on decompositions.
+//!
+//! A result tuple is created per pair of input tuples; its fields alias
+//! both inputs' columns, so all correlations (including self-join
+//! correlation) are preserved. The join condition, where not statically
+//! decidable, is materialized per pair by merging the touched components
+//! and appending an existence column. Pairs whose possible value sets
+//! cannot satisfy an equality conjunct are pruned without any merging.
+
+use maybms_relational::{CmpOp, Expr, Result, Value};
+
+use crate::cell::Cell;
+use crate::field::Field;
+use crate::wsd::{Existence, TupleTemplate, Wsd};
+
+use super::common::{
+    add_exists_column, alias_cells, bind_pred, certain_values_at, dead_in_row, eval_partial,
+    exists_loc, open_fields_at, possible_values_of, snapshot, values_intersect, TupleInfo,
+};
+
+/// input_l × input_r → out (cartesian product).
+pub fn product_op(wsd: &mut Wsd, left: &str, right: &str, out: &str) -> Result<()> {
+    join_op(wsd, left, right, &Expr::lit(true), out)
+}
+
+/// input_l ⋈_pred input_r → out.
+pub fn join_op(wsd: &mut Wsd, left: &str, right: &str, pred: &Expr, out: &str) -> Result<()> {
+    let (ls, lt) = snapshot(wsd, left)?;
+    let (rs, rt) = snapshot(wsd, right)?;
+    let out_schema = ls.concat(&rs);
+    let (bound, positions) = bind_pred(pred, &out_schema)?;
+    let larity = ls.len();
+    wsd.add_relation(out, out_schema.clone())?;
+
+    // Equality conjuncts `colA = colB` across the two sides, as positions in
+    // the concatenated schema — used for pruning.
+    let eq_pairs = equality_pairs(pred, &out_schema, larity);
+
+    // Pre-compute possible values for pruning columns.
+    let mut l_poss: Vec<Vec<(usize, Vec<Value>)>> = Vec::with_capacity(lt.len());
+    for t in &lt {
+        let mut per = Vec::new();
+        for &(lp, _) in &eq_pairs {
+            per.push((lp, possible_values_of(wsd, left, t, lp)?));
+        }
+        l_poss.push(per);
+    }
+    let mut r_poss: Vec<Vec<(usize, Vec<Value>)>> = Vec::with_capacity(rt.len());
+    for t in &rt {
+        let mut per = Vec::new();
+        for &(_, rp) in &eq_pairs {
+            per.push((rp, possible_values_of(wsd, right, t, rp - larity)?));
+        }
+        r_poss.push(per);
+    }
+
+    for (li, t) in lt.iter().enumerate() {
+        for (ri, s) in rt.iter().enumerate() {
+            // prune on equality conjuncts
+            let mut prunable = false;
+            for (k, &(_lp, _rp)) in eq_pairs.iter().enumerate() {
+                let lv = &l_poss[li][k].1;
+                let rv = &r_poss[ri][k].1;
+                if !values_intersect(lv, rv) {
+                    prunable = true;
+                    break;
+                }
+            }
+            if prunable {
+                continue;
+            }
+            emit_pair(wsd, &bound, &positions, larity, out, t, s, out_schema.len())?;
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `l = r` conjuncts referencing one column from each side,
+/// returning positions in the concatenated schema (left position, right
+/// position ≥ larity).
+fn equality_pairs(
+    pred: &Expr,
+    out_schema: &maybms_relational::Schema,
+    larity: usize,
+) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for c in pred.conjuncts() {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = c {
+            if let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) {
+                if let (Ok(pa), Ok(pb)) = (out_schema.index_of(ca), out_schema.index_of(cb)) {
+                    if pa < larity && pb >= larity {
+                        pairs.push((pa, pb));
+                    } else if pb < larity && pa >= larity {
+                        pairs.push((pb, pa));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_pair(
+    wsd: &mut Wsd,
+    bound: &maybms_relational::BoundExpr,
+    positions: &[usize],
+    larity: usize,
+    out: &str,
+    t: &TupleInfo,
+    s: &TupleInfo,
+    arity: usize,
+) -> Result<()> {
+    // positions referencing the left tuple map to t, the rest (shifted) to s
+    let t_positions: Vec<usize> = positions.iter().copied().filter(|&p| p < larity).collect();
+    let s_positions: Vec<usize> = positions
+        .iter()
+        .copied()
+        .filter(|&p| p >= larity)
+        .map(|p| p - larity)
+        .collect();
+
+    let t_open = open_fields_at(wsd, t, &t_positions)?;
+    let s_open = open_fields_at(wsd, s, &s_positions)?;
+    let mut known = certain_values_at(t, &t_positions);
+    for (pos, v) in certain_values_at(s, &s_positions) {
+        known.insert(pos + larity, v);
+    }
+
+    let new_tid = wsd.fresh_tid();
+    let t_exists = exists_loc(wsd, t)?;
+    let s_exists = exists_loc(wsd, s)?;
+
+    if t_open.is_empty() && s_open.is_empty() {
+        // Condition decidable statically.
+        if !eval_partial(bound, arity, &known)? {
+            return Ok(());
+        }
+        let exists = match (t_exists, s_exists) {
+            (None, None) => Existence::Always,
+            (Some(loc), None) | (None, Some(loc)) => {
+                wsd.alias_field(Field::exists(new_tid), loc);
+                Existence::Open
+            }
+            (Some(a), Some(b)) => {
+                // conjunction of the two existence flags
+                let merged = wsd.merge_components(&[a.0, b.0])?;
+                let (ta, tb) = (exists_loc(wsd, t)?.expect("open"), exists_loc(wsd, s)?.expect("open"));
+                debug_assert_eq!(ta.0, merged);
+                let watch = vec![ta.1, tb.1];
+                add_exists_column(wsd, merged, new_tid, |row| {
+                    if dead_in_row(row, &watch) {
+                        Cell::Bottom
+                    } else {
+                        Cell::Val(Value::Bool(true))
+                    }
+                })?;
+                Existence::Open
+            }
+        };
+        push_pair(wsd, out, new_tid, t, s, exists)?;
+        return Ok(());
+    }
+
+    // Dynamic: merge every component the condition (or existence) touches.
+    let mut comps: Vec<usize> = t_open.iter().chain(s_open.iter()).map(|&(_, (c, _))| c).collect();
+    if let Some((c, _)) = t_exists {
+        comps.push(c);
+    }
+    if let Some((c, _)) = s_exists {
+        comps.push(c);
+    }
+    let merged = wsd.merge_components(&comps)?;
+    let t_open_now = open_fields_at(wsd, t, &t_positions)?;
+    let s_open_now = open_fields_at(wsd, s, &s_positions)?;
+    let mut watch: Vec<usize> = t_open_now
+        .iter()
+        .chain(s_open_now.iter())
+        .map(|&(_, (_, col))| col)
+        .collect();
+    if let Some((c, col)) = exists_loc(wsd, t)? {
+        debug_assert_eq!(c, merged);
+        watch.push(col);
+    }
+    if let Some((c, col)) = exists_loc(wsd, s)? {
+        debug_assert_eq!(c, merged);
+        watch.push(col);
+    }
+
+    add_exists_column(wsd, merged, new_tid, |row| {
+        if dead_in_row(row, &watch) {
+            return Cell::Bottom;
+        }
+        let mut vals = known.clone();
+        for &(pos, (_, col)) in &t_open_now {
+            match &row.cells[col] {
+                Cell::Val(v) => {
+                    vals.insert(pos, v.clone());
+                }
+                Cell::Bottom => return Cell::Bottom,
+            }
+        }
+        for &(pos, (_, col)) in &s_open_now {
+            match &row.cells[col] {
+                Cell::Val(v) => {
+                    vals.insert(pos + larity, v.clone());
+                }
+                Cell::Bottom => return Cell::Bottom,
+            }
+        }
+        match eval_partial(bound, arity, &vals) {
+            Ok(true) => Cell::Val(Value::Bool(true)),
+            _ => Cell::Bottom,
+        }
+    })?;
+    push_pair(wsd, out, new_tid, t, s, Existence::Open)?;
+    Ok(())
+}
+
+fn push_pair(
+    wsd: &mut Wsd,
+    out: &str,
+    new_tid: crate::field::Tid,
+    t: &TupleInfo,
+    s: &TupleInfo,
+    exists: Existence,
+) -> Result<()> {
+    let t_id: Vec<usize> = (0..t.cells.len()).collect();
+    let mut cells = alias_cells(wsd, new_tid, t, &t_id)?;
+    // right cells continue at position offset
+    for (j, cell) in s.cells.iter().enumerate() {
+        let new_pos = t.cells.len() + j;
+        match cell {
+            crate::wsd::TemplateCell::Certain(v) => {
+                cells.push(crate::wsd::TemplateCell::Certain(v.clone()))
+            }
+            crate::wsd::TemplateCell::Open => {
+                let loc = wsd
+                    .field_loc(Field::attr(s.tid, j as u32))
+                    .ok_or_else(|| {
+                        maybms_relational::Error::InvalidExpr(format!(
+                            "unmapped field {}.#{j}",
+                            s.tid
+                        ))
+                    })?;
+                wsd.alias_field(Field::attr(new_tid, new_pos as u32), loc);
+                cells.push(crate::wsd::TemplateCell::Open);
+            }
+        }
+    }
+    wsd.push_template(out, TupleTemplate { tid: new_tid, cells, exists })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::algebra::Query;
+    use crate::wsd::Wsd;
+    use maybms_relational::{ColumnType, Expr, Schema, Value};
+    use maybms_worldset::eval::eval_in_all_worlds;
+    use maybms_worldset::OrSetCell;
+
+    fn two_rel_wsd() -> Wsd {
+        let mut w = Wsd::new();
+        w.add_relation(
+            "patients",
+            Schema::new(vec![("name", ColumnType::Str), ("diag", ColumnType::Str)]),
+        )
+        .unwrap();
+        w.add_relation(
+            "treats",
+            Schema::new(vec![("d", ColumnType::Str), ("drug", ColumnType::Str)]),
+        )
+        .unwrap();
+        w.push_orset(
+            "patients",
+            vec![
+                OrSetCell::certain("ann"),
+                OrSetCell::weighted(vec![
+                    (Value::str("flu"), 0.3),
+                    (Value::str("cold"), 0.7),
+                ])
+                .unwrap(),
+            ],
+        )
+        .unwrap();
+        w.push_certain("patients", vec![Value::str("bob"), Value::str("flu")])
+            .unwrap();
+        w.push_certain("treats", vec![Value::str("flu"), Value::str("oseltamivir")])
+            .unwrap();
+        w.push_orset(
+            "treats",
+            vec![
+                OrSetCell::certain("cold"),
+                OrSetCell::uniform(vec![Value::str("rest"), Value::str("tea")]).unwrap(),
+            ],
+        )
+        .unwrap();
+        w
+    }
+
+    fn check_against_oracle(q: &Query, wsd: &Wsd) {
+        let lhs = q.eval(wsd).unwrap().to_worldset(100_000).unwrap();
+        let rhs =
+            eval_in_all_worlds(&wsd.to_worldset(100_000).unwrap(), &q.to_world_query()).unwrap();
+        assert!(lhs.equivalent(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn equi_join_matches_oracle() {
+        let wsd = two_rel_wsd();
+        let q = Query::table("patients").join(
+            Query::table("treats"),
+            Expr::col("diag").eq(Expr::col("d")),
+        );
+        check_against_oracle(&q, &wsd);
+    }
+
+    #[test]
+    fn product_matches_oracle() {
+        let wsd = two_rel_wsd();
+        let q = Query::table("patients").product(Query::table("treats"));
+        check_against_oracle(&q, &wsd);
+    }
+
+    #[test]
+    fn self_join_preserves_correlation() {
+        let wsd = two_rel_wsd();
+        // joining patients with itself on diag: ann's uncertain diagnosis
+        // must agree with itself (no spurious flu-cold combination).
+        let q = Query::table("patients").qualify("a").join(
+            Query::table("patients").qualify("b"),
+            Expr::col("a.diag").eq(Expr::col("b.diag")),
+        );
+        check_against_oracle(&q, &wsd);
+    }
+
+    #[test]
+    fn join_after_selection() {
+        let wsd = two_rel_wsd();
+        let q = Query::table("patients")
+            .select(Expr::col("diag").eq(Expr::lit("flu")))
+            .join(Query::table("treats"), Expr::col("diag").eq(Expr::col("d")));
+        check_against_oracle(&q, &wsd);
+    }
+
+    #[test]
+    fn non_equi_join_matches_oracle() {
+        let wsd = two_rel_wsd();
+        let q = Query::table("patients").join(
+            Query::table("treats"),
+            Expr::col("name").lt(Expr::col("drug")),
+        );
+        check_against_oracle(&q, &wsd);
+    }
+
+    #[test]
+    fn join_prunes_disjoint_domains() {
+        let wsd = two_rel_wsd();
+        let q = Query::table("patients").join(
+            Query::table("treats"),
+            Expr::col("diag").eq(Expr::col("drug")), // domains disjoint
+        );
+        let out = q.eval(&wsd).unwrap();
+        assert_eq!(out.relation("result").unwrap().tuples.len(), 0);
+        check_against_oracle(&q, &wsd);
+    }
+}

@@ -1,0 +1,247 @@
+//! The relational algebra over world-set decompositions.
+//!
+//! "MayBMS rewrites and optimizes user queries into a sequence of
+//! relational queries on world-set decompositions." (paper §1)
+//!
+//! Every operator takes template tuples of the input relation(s) and adds
+//! *derived* template tuples for the output relation. Derived tuples do not
+//! copy data: their fields **alias** the component columns of their inputs,
+//! which preserves all correlations. Where an operator must decide
+//! per-world (a selection predicate over uncertain fields, a join
+//! condition, tuple equality in a difference), it merges the touched
+//! components and appends a fresh existence column in which failing rows
+//! are marked ⊥ — selections "must not delete component tuples, but should
+//! mark [fields] using the special value ⊥" (paper §2). Evaluation ends by
+//! extracting the result relation and normalizing.
+
+pub(crate) mod common;
+mod difference;
+mod join;
+mod project;
+mod rename;
+mod select;
+mod union;
+
+pub use difference::difference_op;
+pub use join::{join_op, product_op};
+pub use project::project_op;
+pub use rename::{qualify_op, rename_op};
+pub use select::select_op;
+pub use union::union_op;
+
+use maybms_relational::{Error, Expr, Result};
+use maybms_worldset::eval::WorldQuery;
+
+use crate::normalize;
+use crate::wsd::Wsd;
+
+/// A relational-algebra query over the relations of a WSD.
+///
+/// Mirrors [`maybms_worldset::eval::WorldQuery`] so that oracle tests can
+/// run the same query on the decomposition and on the enumerated worlds.
+#[derive(Debug, Clone)]
+pub enum Query {
+    Table(String),
+    Select(Box<Query>, Expr),
+    Project(Box<Query>, Vec<String>),
+    Product(Box<Query>, Box<Query>),
+    Join(Box<Query>, Box<Query>, Expr),
+    Union(Box<Query>, Box<Query>),
+    Difference(Box<Query>, Box<Query>),
+    /// Duplicate elimination. Under the paper's set semantics of worlds
+    /// this is the identity on decompositions; it exists so plans map 1:1.
+    Distinct(Box<Query>),
+    Rename(Box<Query>, String, String),
+    Qualify(Box<Query>, String),
+}
+
+impl Query {
+    pub fn table(name: impl Into<String>) -> Query {
+        Query::Table(name.into())
+    }
+    pub fn select(self, pred: Expr) -> Query {
+        Query::Select(Box::new(self), pred)
+    }
+    pub fn project<I, S>(self, cols: I) -> Query
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Query::Project(Box::new(self), cols.into_iter().map(Into::into).collect())
+    }
+    pub fn product(self, rhs: Query) -> Query {
+        Query::Product(Box::new(self), Box::new(rhs))
+    }
+    pub fn join(self, rhs: Query, pred: Expr) -> Query {
+        Query::Join(Box::new(self), Box::new(rhs), pred)
+    }
+    pub fn union(self, rhs: Query) -> Query {
+        Query::Union(Box::new(self), Box::new(rhs))
+    }
+    pub fn difference(self, rhs: Query) -> Query {
+        Query::Difference(Box::new(self), Box::new(rhs))
+    }
+    pub fn distinct(self) -> Query {
+        Query::Distinct(Box::new(self))
+    }
+    pub fn rename(self, from: impl Into<String>, to: impl Into<String>) -> Query {
+        Query::Rename(Box::new(self), from.into(), to.into())
+    }
+    pub fn qualify(self, prefix: impl Into<String>) -> Query {
+        Query::Qualify(Box::new(self), prefix.into())
+    }
+
+    /// Evaluates the query on a decomposition, producing a decomposition of
+    /// the answer world-set whose single relation is named `"result"`.
+    pub fn eval(&self, base: &Wsd) -> Result<Wsd> {
+        let mut wsd = base.clone();
+        let mut counter = 0usize;
+        let out = self.eval_into(&mut wsd, &mut counter)?;
+        extract(wsd, &out, "result")
+    }
+
+    /// Evaluates within `wsd`, adding intermediate relations, and returns
+    /// the name of the relation holding this subquery's answer.
+    fn eval_into(&self, wsd: &mut Wsd, counter: &mut usize) -> Result<String> {
+        let fresh = |wsd: &Wsd, counter: &mut usize| -> String {
+            loop {
+                let name = format!("__q{}", *counter);
+                *counter += 1;
+                if wsd.relation(&name).is_err() {
+                    return name;
+                }
+            }
+        };
+        Ok(match self {
+            Query::Table(name) => {
+                wsd.relation(name)?; // must exist
+                name.clone()
+            }
+            Query::Select(q, pred) => {
+                let input = q.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                select_op(wsd, &input, pred, &out)?;
+                out
+            }
+            Query::Project(q, cols) => {
+                let input = q.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                project_op(wsd, &input, &names, &out)?;
+                out
+            }
+            Query::Product(a, b) => {
+                let left = a.eval_into(wsd, counter)?;
+                let right = b.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                product_op(wsd, &left, &right, &out)?;
+                out
+            }
+            Query::Join(a, b, pred) => {
+                let left = a.eval_into(wsd, counter)?;
+                let right = b.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                join_op(wsd, &left, &right, pred, &out)?;
+                out
+            }
+            Query::Union(a, b) => {
+                let left = a.eval_into(wsd, counter)?;
+                let right = b.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                union_op(wsd, &left, &right, &out)?;
+                out
+            }
+            Query::Difference(a, b) => {
+                let left = a.eval_into(wsd, counter)?;
+                let right = b.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                difference_op(wsd, &left, &right, &out)?;
+                out
+            }
+            Query::Distinct(q) => q.eval_into(wsd, counter)?,
+            Query::Rename(q, from, to) => {
+                let input = q.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                rename_op(wsd, &input, from, to, &out)?;
+                out
+            }
+            Query::Qualify(q, prefix) => {
+                let input = q.eval_into(wsd, counter)?;
+                let out = fresh(wsd, counter);
+                qualify_op(wsd, &input, prefix, &out)?;
+                out
+            }
+        })
+    }
+
+    /// The same query as a [`WorldQuery`], for oracle comparison.
+    pub fn to_world_query(&self) -> WorldQuery {
+        match self {
+            Query::Table(n) => WorldQuery::Table(n.clone()),
+            Query::Select(q, p) => WorldQuery::Select(Box::new(q.to_world_query()), p.clone()),
+            Query::Project(q, cols) => {
+                WorldQuery::Project(Box::new(q.to_world_query()), cols.clone())
+            }
+            Query::Product(a, b) => WorldQuery::Product(
+                Box::new(a.to_world_query()),
+                Box::new(b.to_world_query()),
+            ),
+            Query::Join(a, b, p) => WorldQuery::Join(
+                Box::new(a.to_world_query()),
+                Box::new(b.to_world_query()),
+                p.clone(),
+            ),
+            Query::Union(a, b) => WorldQuery::Union(
+                Box::new(a.to_world_query()),
+                Box::new(b.to_world_query()),
+            ),
+            Query::Difference(a, b) => WorldQuery::Difference(
+                Box::new(a.to_world_query()),
+                Box::new(b.to_world_query()),
+            ),
+            Query::Distinct(q) => WorldQuery::Distinct(Box::new(q.to_world_query())),
+            Query::Rename(q, f, t) => {
+                WorldQuery::Rename(Box::new(q.to_world_query()), f.clone(), t.clone())
+            }
+            Query::Qualify(q, p) => {
+                WorldQuery::Qualify(Box::new(q.to_world_query()), p.clone())
+            }
+        }
+    }
+}
+
+/// Keeps only `rel` (renamed to `as_name`), drops everything else, and
+/// normalizes. This is the final step of query evaluation.
+pub fn extract(mut wsd: Wsd, rel: &str, as_name: &str) -> Result<Wsd> {
+    wsd.relation(rel)?;
+    let keep: Vec<String> = wsd
+        .relation_names()
+        .filter(|n| *n != rel)
+        .map(str::to_string)
+        .collect();
+    for name in keep {
+        wsd.remove_relation(&name)?;
+    }
+    if rel != as_name {
+        wsd.rename_relation(rel, as_name)?;
+    }
+    let kept_tids: std::collections::HashSet<crate::field::Tid> = wsd
+        .relation(as_name)?
+        .tuples
+        .iter()
+        .map(|t| t.tid)
+        .collect();
+    wsd.field_map.retain(|f, _| kept_tids.contains(&f.tid));
+    normalize::normalize(&mut wsd);
+    Ok(wsd)
+}
+
+/// Convenience used by the SQL layer: evaluate and keep the result name.
+pub fn eval_to(wsd: &Wsd, q: &Query, as_name: &str) -> Result<Wsd> {
+    let mut out = q.eval(wsd)?;
+    if as_name != "result" {
+        out.rename_relation("result", as_name)
+            .map_err(|e| Error::InvalidExpr(format!("renaming result: {e}")))?;
+    }
+    Ok(out)
+}

@@ -1,0 +1,333 @@
+//! Minimal arbitrary-precision unsigned integers for world counting.
+//!
+//! The paper's census world-sets have more than 2^624449 worlds — "10^10^6
+//! worlds and beyond" — so world counts overflow every machine integer.
+//! This is a small from-scratch BigUint (base 2^64 limbs) supporting exactly
+//! what the experiments need: multiplication by machine words, addition,
+//! comparison, decimal rendering and digit counting. Building it here keeps
+//! the crate dependency-free (see DESIGN.md §6).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer. Little-endian 64-bit limbs,
+/// no leading zero limbs (zero is the empty limb vector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> BigUint {
+        BigUint::from_u64(1)
+    }
+
+    pub fn from_u64(v: u64) -> BigUint {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// The value as u64 if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self * m` for a machine word.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u128 = 0;
+        for &l in &self.limbs {
+            let prod = l as u128 * m as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u128 = 0;
+        for (i, &l) in long.iter().enumerate() {
+            let sum = l as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
+            out.push(sum as u64);
+            carry = sum >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Full multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// `base^exp` by repeated squaring.
+    pub fn pow(base: u64, mut exp: u64) -> BigUint {
+        let mut result = BigUint::one();
+        let mut b = BigUint::from_u64(base);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result.mul(&b);
+            }
+            b = b.mul(&b);
+            exp >>= 1;
+        }
+        result
+    }
+
+    /// Divides by a machine word in place, returning the remainder.
+    fn div_rem_u64(&mut self, d: u64) -> u64 {
+        debug_assert!(d != 0);
+        let mut rem: u128 = 0;
+        for l in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | *l as u128;
+            *l = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        self.trim();
+        rem as u64
+    }
+
+    /// Decimal representation.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel off 19 decimal digits at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut n = self.clone();
+        while !n.is_zero() {
+            chunks.push(n.div_rem_u64(CHUNK));
+        }
+        let mut s = chunks.last().expect("nonzero has chunks").to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        s
+    }
+
+    /// Number of decimal digits.
+    pub fn decimal_digits(&self) -> usize {
+        if self.is_zero() {
+            1
+        } else {
+            self.to_decimal().len()
+        }
+    }
+
+    /// Approximate log2 (good to ~1e-9 relative); 0 for zero by convention.
+    pub fn log2(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => (self.limbs[0] as f64).log2(),
+            n => {
+                // use the top two limbs for the mantissa
+                let hi = self.limbs[n - 1] as f64;
+                let lo = self.limbs[n - 2] as f64;
+                (hi + lo / 2f64.powi(64)).log2() + 64.0 * (n - 1) as f64
+            }
+        }
+    }
+
+    /// Approximate log10.
+    pub fn log10(&self) -> f64 {
+        self.log2() * std::f64::consts::LN_2 / std::f64::consts::LN_10
+    }
+
+    /// Scientific-notation-ish summary for experiment tables, e.g.
+    /// `"~10^187923"` for huge counts, exact decimal for small ones.
+    pub fn summary(&self) -> String {
+        if let Some(v) = self.to_u64() {
+            v.to_string()
+        } else if self.decimal_digits_cheap() <= 30 {
+            self.to_decimal()
+        } else {
+            format!("~10^{}", self.log10().floor() as u64)
+        }
+    }
+
+    fn decimal_digits_cheap(&self) -> usize {
+        (self.log10().floor() as usize) + 1
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            o => o,
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::one().to_u64(), Some(1));
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(BigUint::zero().to_decimal(), "0");
+    }
+
+    #[test]
+    fn mul_u64_with_carry() {
+        let big = BigUint::from_u64(u64::MAX).mul_u64(u64::MAX);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(big.to_decimal(), "340282366920938463426481119284349108225");
+        assert_eq!(big.mul_u64(0), BigUint::zero());
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = a.add(&BigUint::one());
+        assert_eq!(b.to_decimal(), "18446744073709551616"); // 2^64
+        assert_eq!(BigUint::zero().add(&BigUint::zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn pow_of_two_matches_known_values() {
+        assert_eq!(BigUint::pow(2, 10).to_u64(), Some(1024));
+        assert_eq!(BigUint::pow(2, 64).to_decimal(), "18446744073709551616");
+        assert_eq!(BigUint::pow(10, 20).to_decimal(), "100000000000000000000");
+        assert_eq!(BigUint::pow(7, 0).to_u64(), Some(1));
+        assert_eq!(BigUint::pow(0, 5), BigUint::zero());
+    }
+
+    #[test]
+    fn decimal_round_trip_against_u128_arithmetic() {
+        // 12345678901234567890123456789 = 12345678901234567890123456789
+        let mut n = BigUint::zero();
+        for d in "12345678901234567890123456789".bytes() {
+            n = n.mul_u64(10).add(&BigUint::from_u64((d - b'0') as u64));
+        }
+        assert_eq!(n.to_decimal(), "12345678901234567890123456789");
+        assert_eq!(n.decimal_digits(), 29);
+    }
+
+    #[test]
+    fn log2_is_accurate() {
+        assert_eq!(BigUint::from_u64(1024).log2(), 10.0);
+        let p = BigUint::pow(2, 1000);
+        assert!((p.log2() - 1000.0).abs() < 1e-6);
+        assert!((p.log10() - 301.029995).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(BigUint::pow(2, 100) > BigUint::pow(2, 99));
+        assert!(BigUint::from_u64(5) < BigUint::from_u64(6));
+        assert_eq!(
+            BigUint::pow(2, 100).cmp(&BigUint::pow(2, 100)),
+            Ordering::Equal
+        );
+        assert!(BigUint::zero() < BigUint::one());
+    }
+
+    #[test]
+    fn summary_shapes() {
+        assert_eq!(BigUint::from_u64(42).summary(), "42");
+        assert_eq!(
+            BigUint::pow(2, 80).summary(),
+            BigUint::pow(2, 80).to_decimal()
+        );
+        let huge = BigUint::pow(2, 624449);
+        let s = huge.summary();
+        assert!(s.starts_with("~10^"), "got {s}");
+        // The paper's 2^624449 worlds ≈ 10^187973
+        let exp: u64 = s[4..].parse().unwrap();
+        assert!((187000..189000).contains(&exp), "exponent {exp}");
+    }
+
+    #[test]
+    fn paper_headline_count_is_representable() {
+        // "10^10^6 worlds and beyond": 10^(10^6) has 10^6 + 1 digits; we can
+        // at least compute with its log without materializing the decimal.
+        let n = BigUint::pow(10, 1_000_000);
+        assert!((n.log10() - 1_000_000.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Component cells: a value or the special ⊥ marker.
+//!
+//! "a selection must not delete component tuples, but should mark
+//! [the] fields as belonging to deleted tuples of R using the special
+//! value ⊥." (paper §2)
+
+use std::fmt;
+
+use maybms_relational::Value;
+
+/// A cell of a component row: either a concrete value or ⊥, meaning
+/// "the tuple owning this field does not exist in worlds choosing this row".
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cell {
+    Val(Value),
+    Bottom,
+}
+
+impl Cell {
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Cell::Bottom)
+    }
+
+    /// The value, if not ⊥.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Cell::Val(v) => Some(v),
+            Cell::Bottom => None,
+        }
+    }
+
+    /// Estimated byte footprint, mirroring `Value::size_bytes`.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Cell::Val(v) => v.size_bytes(),
+            Cell::Bottom => std::mem::size_of::<Cell>(),
+        }
+    }
+}
+
+impl From<Value> for Cell {
+    fn from(v: Value) -> Cell {
+        Cell::Val(v)
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Val(v) => write!(f, "{v}"),
+            Cell::Bottom => write!(f, "⊥"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_and_value() {
+        let c = Cell::from(Value::Int(5));
+        assert!(!c.is_bottom());
+        assert_eq!(c.value(), Some(&Value::Int(5)));
+        assert!(Cell::Bottom.is_bottom());
+        assert_eq!(Cell::Bottom.value(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cell::Bottom.to_string(), "⊥");
+        assert_eq!(Cell::from(Value::str("x")).to_string(), "x");
+    }
+}

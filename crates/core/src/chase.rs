@@ -1,0 +1,670 @@
+//! Data cleaning: enforcing integrity constraints on world-sets.
+//!
+//! "We cleaned the world-set from inconsistencies by enforcing real-life
+//! integrity constraints." (paper §1, experiment part 2)
+//!
+//! Cleaning removes every world violating a constraint and renormalizes the
+//! probabilities of the remainder (conditioning on consistency). On a
+//! decomposition this is a chase: for each potential violation, the
+//! components it spans are merged and the violating *rows* of the merged
+//! component are deleted; per-component renormalization is exact because
+//! components are independent.
+
+use maybms_relational::{Error, Expr, Result, Value};
+
+use crate::cell::Cell;
+use crate::normalize;
+use crate::wsd::{Existence, TemplateCell, Wsd};
+
+use crate::algebra::common::{
+    bind_pred, certain_values_at, eval_partial, exists_loc as exists_loc_support,
+    open_fields_at as open_fields_support, snapshot, values_intersect,
+    TupleInfo as TupleInfoS,
+};
+
+/// An integrity constraint.
+#[derive(Debug, Clone)]
+pub enum Constraint {
+    /// Every existing tuple of `rel` must satisfy `pred` in every world
+    /// (e.g. "AGE < 15 implies MARST = 'single'" as `¬(age<15) ∨ marst=…`).
+    TupleCheck { rel: String, pred: Expr },
+    /// Functional dependency `lhs → rhs` on `rel`.
+    Fd { rel: String, lhs: Vec<String>, rhs: Vec<String> },
+    /// Key constraint: `cols` functionally determine all other columns.
+    Key { rel: String, cols: Vec<String> },
+}
+
+impl Constraint {
+    pub fn tuple_check(rel: &str, pred: Expr) -> Constraint {
+        Constraint::TupleCheck { rel: rel.to_string(), pred }
+    }
+    pub fn fd(rel: &str, lhs: &[&str], rhs: &[&str]) -> Constraint {
+        Constraint::Fd {
+            rel: rel.to_string(),
+            lhs: lhs.iter().map(|s| s.to_string()).collect(),
+            rhs: rhs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+    pub fn key(rel: &str, cols: &[&str]) -> Constraint {
+        Constraint::Key {
+            rel: rel.to_string(),
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// World-level consistency check — the oracle the chase must match.
+    pub fn holds_in(&self, world: &maybms_worldset::World) -> Result<bool> {
+        match self {
+            Constraint::TupleCheck { rel, pred } => {
+                let Some(r) = world.get(rel) else { return Ok(true) };
+                let bound = pred.bind(r.schema())?;
+                for t in r.iter() {
+                    if !bound.eval_predicate(t)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Constraint::Fd { rel, lhs, rhs } => {
+                let Some(r) = world.get(rel) else { return Ok(true) };
+                let li: Vec<usize> = lhs
+                    .iter()
+                    .map(|c| r.schema().index_of(c))
+                    .collect::<Result<_>>()?;
+                let ri: Vec<usize> = rhs
+                    .iter()
+                    .map(|c| r.schema().index_of(c))
+                    .collect::<Result<_>>()?;
+                let rows = r.canonical();
+                for (i, a) in rows.rows().iter().enumerate() {
+                    for b in rows.rows().iter().skip(i + 1) {
+                        let lhs_eq = li.iter().all(|&k| a[k] == b[k]);
+                        let rhs_eq = ri.iter().all(|&k| a[k] == b[k]);
+                        if lhs_eq && !rhs_eq {
+                            return Ok(false);
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            Constraint::Key { rel, cols } => {
+                let desugared = desugar_key(rel, cols, world.get(rel).map(|r| r.schema()))?;
+                match desugared {
+                    Some(fd) => fd.holds_in(world),
+                    None => Ok(true),
+                }
+            }
+        }
+    }
+}
+
+fn desugar_key(
+    rel: &str,
+    cols: &[String],
+    schema: Option<&maybms_relational::Schema>,
+) -> Result<Option<Constraint>> {
+    let Some(schema) = schema else { return Ok(None) };
+    let rhs: Vec<&str> = schema
+        .names()
+        .into_iter()
+        .filter(|n| !cols.iter().any(|c| c == n))
+        .collect();
+    if rhs.is_empty() {
+        return Ok(None); // key over all columns is vacuous under set semantics
+    }
+    let lhs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    Ok(Some(Constraint::fd(rel, &lhs, &rhs)))
+}
+
+/// Statistics of a cleaning run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CleaningReport {
+    /// Merged-component rows deleted (violating world groups).
+    pub deleted_rows: usize,
+    /// Component merges performed by the chase.
+    pub merges: usize,
+    /// Probability mass of the removed (inconsistent) worlds.
+    pub removed_probability: f64,
+    /// Tuple pairs / tuples examined.
+    pub checks: usize,
+}
+
+/// Enforces the constraints on the decomposition. Fails with an error if
+/// cleaning would remove *all* worlds (the constraints are unsatisfiable on
+/// this world-set). Normalizes afterwards.
+pub fn clean(wsd: &mut Wsd, constraints: &[Constraint]) -> Result<CleaningReport> {
+    let mut report = CleaningReport::default();
+    let mut kept_fraction = 1.0f64;
+    for c in constraints {
+        match c {
+            Constraint::TupleCheck { rel, pred } => {
+                enforce_tuple_check(wsd, rel, pred, &mut report, &mut kept_fraction)?
+            }
+            Constraint::Fd { rel, lhs, rhs } => {
+                enforce_fd(wsd, rel, lhs, rhs, &mut report, &mut kept_fraction)?
+            }
+            Constraint::Key { rel, cols } => {
+                let schema = wsd.relation(rel)?.schema.clone();
+                if let Some(Constraint::Fd { rel, lhs, rhs }) =
+                    desugar_key(rel, cols, Some(&schema))?
+                {
+                    enforce_fd(wsd, &rel, &lhs, &rhs, &mut report, &mut kept_fraction)?;
+                }
+            }
+        }
+    }
+    report.removed_probability = 1.0 - kept_fraction;
+    normalize::normalize(wsd);
+    Ok(report)
+}
+
+/// Components a tuple's consistency check must observe: the open fields at
+/// `positions`, the existence field, and every other open field whose
+/// column can be ⊥ (a deletion marker elsewhere decides existence too).
+fn relevant_comps(wsd: &Wsd, t: &TupleInfoS, positions: &[usize]) -> Result<Vec<usize>> {
+    let mut comps: Vec<usize> = Vec::new();
+    for &(_, (c, _)) in &open_fields_support(wsd, t, positions)? {
+        comps.push(c);
+    }
+    if let Some((c, _)) = exists_loc_support(wsd, t)? {
+        comps.push(c);
+    }
+    let all: Vec<usize> = (0..t.cells.len()).collect();
+    for &(pos, (c, col)) in &open_fields_support(wsd, t, &all)? {
+        if positions.contains(&pos) {
+            continue;
+        }
+        let comp = wsd.component(c).expect("mapped");
+        if comp.rows().iter().any(|r| r.cells[col].is_bottom()) {
+            comps.push(c);
+        }
+    }
+    comps.sort_unstable();
+    comps.dedup();
+    Ok(comps)
+}
+
+/// Deletes rows of `comp_idx` flagged by `kill`, renormalizing. Fails if
+/// everything is deleted.
+fn delete_rows<F>(
+    wsd: &mut Wsd,
+    comp_idx: usize,
+    mut kill: F,
+    report: &mut CleaningReport,
+    kept_fraction: &mut f64,
+) -> Result<()>
+where
+    F: FnMut(&crate::component::CompRow) -> bool,
+{
+    let comp = wsd
+        .component_mut(comp_idx)
+        .ok_or_else(|| Error::InvalidExpr(format!("dead component {comp_idx}")))?;
+    let before = comp.num_rows();
+    let mut removed_mass = 0.0;
+    comp.rows_mut().retain(|r| {
+        if kill(r) {
+            removed_mass += r.p;
+            false
+        } else {
+            true
+        }
+    });
+    let after = comp.num_rows();
+    if after == 0 {
+        return Err(Error::InvalidExpr(
+            "cleaning removed all worlds: constraints unsatisfiable".into(),
+        ));
+    }
+    if after < before {
+        report.deleted_rows += before - after;
+        *kept_fraction *= 1.0 - removed_mass;
+        let total: f64 = comp.rows().iter().map(|r| r.p).sum();
+        for r in comp.rows_mut() {
+            r.p /= total;
+        }
+    }
+    Ok(())
+}
+
+fn enforce_tuple_check(
+    wsd: &mut Wsd,
+    rel: &str,
+    pred: &Expr,
+    report: &mut CleaningReport,
+    kept_fraction: &mut f64,
+) -> Result<()> {
+    let (schema, tuples) = snapshot(wsd, rel)?;
+    let (bound, positions) = bind_pred(pred, &schema)?;
+    let arity = schema.len();
+
+    for t in &tuples {
+        report.checks += 1;
+        let open = open_fields_support(wsd, t, &positions)?;
+        let known = certain_values_at(t, &positions);
+
+        if open.is_empty() {
+            if eval_partial(&bound, arity, &known)? {
+                continue; // always satisfied
+            }
+            // statically violating: remove the worlds where t exists
+            match exists_loc_support(wsd, t)? {
+                None => {
+                    return Err(Error::InvalidExpr(format!(
+                        "tuple {} of {rel} violates a check in every world",
+                        t.tid
+                    )))
+                }
+                Some(_) => {
+                    let comps = relevant_comps(wsd, t, &[])?;
+                    let merged = wsd.merge_components(&comps)?;
+                    report.merges += comps.len().saturating_sub(1);
+                    let alive_cols = alive_columns(wsd, t)?;
+                    delete_rows(
+                        wsd,
+                        merged,
+                        |row| alive_cols.iter().all(|&c| !row.cells[c].is_bottom()),
+                        report,
+                        kept_fraction,
+                    )?;
+                }
+            }
+            continue;
+        }
+
+        let comps = relevant_comps(wsd, t, &positions)?;
+        let merged = wsd.merge_components(&comps)?;
+        report.merges += comps.len().saturating_sub(1);
+        let open_now = open_fields_support(wsd, t, &positions)?;
+        let alive_cols = alive_columns(wsd, t)?;
+        let known = known.clone();
+        delete_rows(
+            wsd,
+            merged,
+            |row| {
+                if alive_cols.iter().any(|&c| row.cells[c].is_bottom()) {
+                    return false; // tuple absent: no violation here
+                }
+                let mut vals = known.clone();
+                for &(pos, (_, col)) in &open_now {
+                    match &row.cells[col] {
+                        Cell::Val(v) => {
+                            vals.insert(pos, v.clone());
+                        }
+                        Cell::Bottom => return false,
+                    }
+                }
+                !eval_partial(&bound, arity, &vals).unwrap_or(false)
+            },
+            report,
+            kept_fraction,
+        )?;
+    }
+    Ok(())
+}
+
+/// Columns (in the tuple's merged component) that must all be non-⊥ for the
+/// tuple to exist. Only valid right after `relevant_comps` + merge, when
+/// all ⊥-capable fields live in one component.
+fn alive_columns(wsd: &Wsd, t: &TupleInfoS) -> Result<Vec<usize>> {
+    let mut cols = Vec::new();
+    let all: Vec<usize> = (0..t.cells.len()).collect();
+    let mut comp_idx: Option<usize> = None;
+    for &(_, (c, col)) in &open_fields_support(wsd, t, &all)? {
+        let comp = wsd.component(c).expect("mapped");
+        if comp.rows().iter().any(|r| r.cells[col].is_bottom()) {
+            debug_assert!(comp_idx.is_none() || comp_idx == Some(c));
+            comp_idx = Some(c);
+            cols.push(col);
+        }
+    }
+    if let Some((c, col)) = exists_loc_support(wsd, t)? {
+        debug_assert!(comp_idx.is_none() || comp_idx == Some(c));
+        cols.push(col);
+    }
+    Ok(cols)
+}
+
+fn enforce_fd(
+    wsd: &mut Wsd,
+    rel: &str,
+    lhs: &[String],
+    rhs: &[String],
+    report: &mut CleaningReport,
+    kept_fraction: &mut f64,
+) -> Result<()> {
+    let (schema, tuples) = snapshot(wsd, rel)?;
+    let li: Vec<usize> = lhs
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<_>>()?;
+    let ri: Vec<usize> = rhs
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<_>>()?;
+    let all_pos: Vec<usize> = li.iter().chain(ri.iter()).copied().collect();
+
+    // Pair pruning at scale: tuples whose lhs is fully certain can only
+    // violate against tuples with the same certain lhs (hash-partitioned);
+    // tuples with an uncertain lhs field (rare under or-set noise) are
+    // compared against everyone sharing a possible lhs value.
+    let mut by_certain_lhs: std::collections::HashMap<Vec<Value>, Vec<usize>> =
+        std::collections::HashMap::new();
+    let mut uncertain_lhs: Vec<usize> = Vec::new();
+    for (i, t) in tuples.iter().enumerate() {
+        let key: Option<Vec<Value>> = li.iter().map(|&p| cert(t, p).cloned()).collect();
+        match key {
+            Some(k) => by_certain_lhs.entry(k).or_default().push(i),
+            None => uncertain_lhs.push(i),
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for group in by_certain_lhs.values() {
+        for (a, &i) in group.iter().enumerate() {
+            for &j in group.iter().skip(a + 1) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    for (a, &i) in uncertain_lhs.iter().enumerate() {
+        for &j in uncertain_lhs.iter().skip(a + 1) {
+            pairs.push((i, j));
+        }
+        for group in by_certain_lhs.values() {
+            for &j in group {
+                pairs.push((i, j));
+            }
+        }
+    }
+
+    for (i, j) in pairs {
+        let (t, u) = (&tuples[i], &tuples[j]);
+        {
+            report.checks += 1;
+            // prune: lhs must be able to agree
+            let mut can_agree = true;
+            for &pos in &li {
+                let tv = possible(wsd, rel, t, pos)?;
+                let uv = possible(wsd, rel, u, pos)?;
+                if !values_intersect(&tv, &uv) {
+                    can_agree = false;
+                    break;
+                }
+            }
+            if !can_agree {
+                continue;
+            }
+            // prune: rhs must be able to differ
+            let mut can_differ = false;
+            for &pos in &ri {
+                let tv = possible(wsd, rel, t, pos)?;
+                let uv = possible(wsd, rel, u, pos)?;
+                if tv.len() > 1 || uv.len() > 1 || tv.first() != uv.first() {
+                    can_differ = true;
+                    break;
+                }
+            }
+            if !can_differ {
+                continue;
+            }
+
+            // fully static violation?
+            let t_static = open_fields_support(wsd, t, &all_pos)?.is_empty();
+            let u_static = open_fields_support(wsd, u, &all_pos)?.is_empty();
+            if t_static
+                && u_static
+                && t.exists == Existence::Always
+                && u.exists == Existence::Always
+            {
+                let lhs_eq = li.iter().all(|&p| cert(t, p) == cert(u, p));
+                let rhs_eq = ri.iter().all(|&p| cert(t, p) == cert(u, p));
+                if lhs_eq && !rhs_eq {
+                    return Err(Error::InvalidExpr(format!(
+                        "tuples {} and {} of {rel} violate the FD in every world",
+                        t.tid, u.tid
+                    )));
+                }
+                continue;
+            }
+
+            let mut comps = relevant_comps(wsd, t, &all_pos)?;
+            comps.extend(relevant_comps(wsd, u, &all_pos)?);
+            comps.sort_unstable();
+            comps.dedup();
+            if comps.is_empty() {
+                continue;
+            }
+            let merged = wsd.merge_components(&comps)?;
+            report.merges += comps.len().saturating_sub(1);
+
+            let t_open = open_fields_support(wsd, t, &all_pos)?;
+            let u_open = open_fields_support(wsd, u, &all_pos)?;
+            let t_alive = alive_columns(wsd, t)?;
+            let u_alive = alive_columns(wsd, u)?;
+            let (tc, uc) = (t.cells.clone(), u.cells.clone());
+            let (li2, ri2) = (li.clone(), ri.clone());
+
+            let value_at = move |cells: &[TemplateCell],
+                                 open: &[(usize, (usize, usize))],
+                                 row: &crate::component::CompRow,
+                                 pos: usize|
+                  -> Option<Value> {
+                match &cells[pos] {
+                    TemplateCell::Certain(v) => Some(v.clone()),
+                    TemplateCell::Open => {
+                        let col = open.iter().find(|&&(p, _)| p == pos).map(|&(_, (_, c))| c)?;
+                        match &row.cells[col] {
+                            Cell::Val(v) => Some(v.clone()),
+                            Cell::Bottom => None,
+                        }
+                    }
+                }
+            };
+
+            delete_rows(
+                wsd,
+                merged,
+                |row| {
+                    if t_alive.iter().any(|&c| row.cells[c].is_bottom())
+                        || u_alive.iter().any(|&c| row.cells[c].is_bottom())
+                    {
+                        return false;
+                    }
+                    for &p in &li2 {
+                        match (value_at(&tc, &t_open, row, p), value_at(&uc, &u_open, row, p)) {
+                            (Some(a), Some(b)) if a == b => {}
+                            _ => return false,
+                        }
+                    }
+                    for &p in &ri2 {
+                        match (value_at(&tc, &t_open, row, p), value_at(&uc, &u_open, row, p)) {
+                            (Some(a), Some(b)) if a != b => return true,
+                            _ => {}
+                        }
+                    }
+                    false
+                },
+                report,
+                kept_fraction,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn possible(wsd: &Wsd, rel: &str, t: &TupleInfoS, pos: usize) -> Result<Vec<Value>> {
+    crate::algebra::common::possible_values_of(wsd, rel, t, pos)
+}
+
+fn cert(t: &TupleInfoS, pos: usize) -> Option<&Value> {
+    match &t.cells[pos] {
+        TemplateCell::Certain(v) => Some(v),
+        TemplateCell::Open => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_relational::{ColumnType, Schema};
+    use maybms_worldset::OrSetCell;
+
+    fn check_against_oracle(wsd: &Wsd, constraints: &[Constraint]) {
+        let before = wsd.to_worldset(1_000_000).unwrap();
+        let mut cleaned = wsd.clone();
+        let report = clean(&mut cleaned, constraints).unwrap();
+        cleaned.validate().unwrap();
+        let lhs = cleaned.to_worldset(1_000_000).unwrap();
+        let rhs = before
+            .filter(|w| {
+                for c in constraints {
+                    if !c.holds_in(w)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            })
+            .unwrap();
+        assert!(
+            lhs.equivalent(&rhs, 1e-9),
+            "chase must equal world-level filtering (report {report:?})"
+        );
+    }
+
+    fn person_wsd() -> Wsd {
+        let mut w = Wsd::new();
+        w.add_relation(
+            "p",
+            Schema::new(vec![
+                ("ssn", ColumnType::Int),
+                ("name", ColumnType::Str),
+                ("age", ColumnType::Int),
+            ]),
+        )
+        .unwrap();
+        // ssn uncertain for the first person
+        w.push_orset(
+            "p",
+            vec![
+                OrSetCell::weighted(vec![(Value::Int(1), 0.5), (Value::Int(2), 0.5)]).unwrap(),
+                OrSetCell::certain("ann"),
+                OrSetCell::certain(30i64),
+            ],
+        )
+        .unwrap();
+        w.push_certain("p", vec![Value::Int(2), Value::str("bob"), Value::Int(40)])
+            .unwrap();
+        w
+    }
+
+    #[test]
+    fn key_constraint_removes_colliding_worlds() {
+        let w = person_wsd();
+        let cons = vec![Constraint::key("p", &["ssn"])];
+        check_against_oracle(&w, &cons);
+        let mut cleaned = w.clone();
+        let report = clean(&mut cleaned, &cons).unwrap();
+        // the ssn=2 alternative for ann collides with bob and is removed
+        assert!(report.deleted_rows >= 1);
+        assert!((report.removed_probability - 0.5).abs() < 1e-9);
+        // after cleaning, ann's ssn is certainly 1
+        let conf = crate::prob::tuple_confidence(&cleaned, "p").unwrap();
+        assert!(conf
+            .iter()
+            .all(|(t, _)| !(t[0] == Value::Int(2) && t[1] == Value::str("ann"))));
+    }
+
+    #[test]
+    fn tuple_check_conditions_distribution() {
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("age", ColumnType::Int)])).unwrap();
+        w.push_orset(
+            "r",
+            vec![OrSetCell::weighted(vec![
+                (Value::Int(10), 0.2),
+                (Value::Int(200), 0.3),
+                (Value::Int(50), 0.5),
+            ])
+            .unwrap()],
+        )
+        .unwrap();
+        let cons = vec![Constraint::tuple_check(
+            "r",
+            Expr::col("age").le(Expr::lit(150i64)),
+        )];
+        check_against_oracle(&w, &cons);
+        let mut cleaned = w.clone();
+        let report = clean(&mut cleaned, &cons).unwrap();
+        assert!((report.removed_probability - 0.3).abs() < 1e-9);
+        // renormalized: P(age=10) = 0.2/0.7
+        let conf = crate::prob::tuple_confidence(&cleaned, "r").unwrap();
+        let ten = conf.iter().find(|(t, _)| t[0] == Value::Int(10)).unwrap();
+        assert!((ten.1 - 0.2 / 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fd_between_uncertain_tuples() {
+        let mut w = Wsd::new();
+        w.add_relation(
+            "r",
+            Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]),
+        )
+        .unwrap();
+        w.push_orset(
+            "r",
+            vec![
+                OrSetCell::certain(1i64),
+                OrSetCell::weighted(vec![(Value::Int(10), 0.5), (Value::Int(20), 0.5)]).unwrap(),
+            ],
+        )
+        .unwrap();
+        w.push_orset(
+            "r",
+            vec![
+                OrSetCell::certain(1i64),
+                OrSetCell::weighted(vec![(Value::Int(10), 0.3), (Value::Int(30), 0.7)]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let cons = vec![Constraint::fd("r", &["a"], &["b"])];
+        check_against_oracle(&w, &cons);
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_error() {
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        w.push_certain("r", vec![Value::Int(500)]).unwrap();
+        let cons = vec![Constraint::tuple_check(
+            "r",
+            Expr::col("a").lt(Expr::lit(100i64)),
+        )];
+        assert!(clean(&mut w, &cons).is_err());
+    }
+
+    #[test]
+    fn consistent_data_is_untouched() {
+        let w = person_wsd();
+        let cons = vec![Constraint::tuple_check(
+            "p",
+            Expr::col("age").lt(Expr::lit(150i64)),
+        )];
+        let mut cleaned = w.clone();
+        let report = clean(&mut cleaned, &cons).unwrap();
+        assert_eq!(report.deleted_rows, 0);
+        assert!((report.removed_probability).abs() < 1e-12);
+        assert!(w
+            .to_worldset(1000)
+            .unwrap()
+            .equivalent(&cleaned.to_worldset(1000).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn multiple_constraints_compose() {
+        let w = person_wsd();
+        let cons = vec![
+            Constraint::key("p", &["ssn"]),
+            Constraint::tuple_check("p", Expr::col("age").lt(Expr::lit(100i64))),
+        ];
+        check_against_oracle(&w, &cons);
+    }
+}

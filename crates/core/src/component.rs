@@ -1,0 +1,363 @@
+//! Components: the factor relations of a world-set decomposition.
+//!
+//! "The above WSD is defined as a relational product of five relations,
+//! hereafter called components. Each component defines values for a set of
+//! fields, and a world is obtained as a combination of one tuple from each
+//! of the components." (paper §2)
+
+use std::fmt;
+
+use maybms_relational::{Error, Result};
+
+use crate::cell::Cell;
+use crate::field::Field;
+
+/// One row of a component: a cell per field plus the row's probability
+/// (the probabilistic extension of WSDs: "simply extending each component
+/// with a special probability column").
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompRow {
+    pub cells: Vec<Cell>,
+    pub p: f64,
+}
+
+impl CompRow {
+    pub fn new(cells: Vec<Cell>, p: f64) -> CompRow {
+        CompRow { cells, p }
+    }
+}
+
+/// A component: an ordered set of field columns and a set of weighted rows.
+///
+/// Invariants (checked by [`Component::validate`]):
+/// * every row has exactly one cell per field,
+/// * probabilities are positive and sum to 1 (±1e-6),
+/// * fields are distinct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    fields: Vec<Field>,
+    rows: Vec<CompRow>,
+}
+
+impl Component {
+    pub fn new(fields: Vec<Field>, rows: Vec<CompRow>) -> Component {
+        Component { fields, rows }
+    }
+
+    /// A single-field component from weighted alternatives — the shape every
+    /// or-set field decomposes into.
+    pub fn singleton(field: Field, alternatives: Vec<(Cell, f64)>) -> Component {
+        Component {
+            fields: vec![field],
+            rows: alternatives
+                .into_iter()
+                .map(|(c, p)| CompRow::new(vec![c], p))
+                .collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn rows(&self) -> &[CompRow] {
+        &self.rows
+    }
+
+    pub fn rows_mut(&mut self) -> &mut Vec<CompRow> {
+        &mut self.rows
+    }
+
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column index of a field within this component.
+    pub fn col_of(&self, field: Field) -> Option<usize> {
+        self.fields.iter().position(|&f| f == field)
+    }
+
+    /// Structural and probabilistic invariants.
+    pub fn validate(&self) -> Result<()> {
+        for (i, f) in self.fields.iter().enumerate() {
+            if self.fields[i + 1..].contains(f) {
+                return Err(Error::InvalidExpr(format!("duplicate field {f} in component")));
+            }
+        }
+        if self.rows.is_empty() {
+            return Err(Error::InvalidExpr("component has no rows".into()));
+        }
+        for r in &self.rows {
+            if r.cells.len() != self.fields.len() {
+                return Err(Error::InvalidExpr(format!(
+                    "row arity {} does not match field count {}",
+                    r.cells.len(),
+                    self.fields.len()
+                )));
+            }
+            if r.p <= 0.0 {
+                return Err(Error::InvalidExpr(format!("non-positive row probability {}", r.p)));
+            }
+        }
+        let total: f64 = self.rows.iter().map(|r| r.p).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(Error::InvalidExpr(format!(
+                "component probabilities sum to {total}, expected 1"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Relational product of two components: the concatenated field lists
+    /// and the cross product of rows with multiplied probabilities. This is
+    /// how correlations are *introduced* — e.g. when a selection predicate
+    /// spans fields stored in different components.
+    pub fn product(&self, other: &Component) -> Component {
+        let mut fields = self.fields.clone();
+        fields.extend_from_slice(&other.fields);
+        let mut rows = Vec::with_capacity(self.rows.len() * other.rows.len());
+        for a in &self.rows {
+            for b in &other.rows {
+                let mut cells = Vec::with_capacity(a.cells.len() + b.cells.len());
+                cells.extend(a.cells.iter().cloned());
+                cells.extend(b.cells.iter().cloned());
+                rows.push(CompRow::new(cells, a.p * b.p));
+            }
+        }
+        Component { fields, rows }
+    }
+
+    /// Appends a new field column, with the cell for each existing row
+    /// computed by `f(row)`.
+    pub fn add_column<F>(&mut self, field: Field, mut f: F)
+    where
+        F: FnMut(&CompRow) -> Cell,
+    {
+        self.fields.push(field);
+        for r in &mut self.rows {
+            let c = f(r);
+            r.cells.push(c);
+        }
+    }
+
+    /// Keeps only the given columns (by index, in the given order), merging
+    /// rows that become identical by summing their probabilities.
+    pub fn project_columns(&self, keep: &[usize]) -> Component {
+        let fields: Vec<Field> = keep.iter().map(|&i| self.fields[i]).collect();
+        let mut rows: Vec<CompRow> = Vec::new();
+        for r in &self.rows {
+            let cells: Vec<Cell> = keep.iter().map(|&i| r.cells[i].clone()).collect();
+            match rows.iter_mut().find(|x| x.cells == cells) {
+                Some(x) => x.p += r.p,
+                None => rows.push(CompRow::new(cells, r.p)),
+            }
+        }
+        Component { fields, rows }
+    }
+
+    /// Merges duplicate rows, summing probabilities, and drops rows with
+    /// probability below `eps` (renormalizing the remainder).
+    pub fn dedup_rows(&mut self, eps: f64) {
+        let mut rows: Vec<CompRow> = Vec::new();
+        for r in self.rows.drain(..) {
+            match rows.iter_mut().find(|x| x.cells == r.cells) {
+                Some(x) => x.p += r.p,
+                None => rows.push(r),
+            }
+        }
+        rows.retain(|r| r.p > eps);
+        let total: f64 = rows.iter().map(|r| r.p).sum();
+        if total > 0.0 && (total - 1.0).abs() > 1e-12 {
+            for r in &mut rows {
+                r.p /= total;
+            }
+        }
+        self.rows = rows;
+    }
+
+    /// Distinct non-⊥ values appearing in the column of `field` — the
+    /// possible values of that field, used for pruning in joins, difference
+    /// and the chase.
+    pub fn possible_values(&self, field: Field) -> Vec<maybms_relational::Value> {
+        let Some(col) = self.col_of(field) else {
+            return Vec::new();
+        };
+        let mut out: Vec<maybms_relational::Value> = Vec::new();
+        for r in &self.rows {
+            if let Cell::Val(v) = &r.cells[col] {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Estimated bytes used by this component's data (cells + probability
+    /// column), matching the estimators in `maybms-relational`.
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| {
+                r.cells.iter().map(Cell::size_bytes).sum::<usize>() + std::mem::size_of::<f64>()
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self.fields.iter().map(|x| x.to_string()).collect();
+        writeln!(f, "{} | p", headers.join(" | "))?;
+        for r in &self.rows {
+            let cells: Vec<String> = r.cells.iter().map(|c| c.to_string()).collect();
+            writeln!(f, "{} | {:.4}", cells.join(" | "), r.p)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Tid;
+    use maybms_relational::Value;
+
+    fn f(t: u64, a: u32) -> Field {
+        Field::attr(Tid(t), a)
+    }
+
+    fn val(s: &str) -> Cell {
+        Cell::Val(Value::str(s))
+    }
+
+    /// The paper's first component:
+    /// r1.Diagnosis, r1.Test with rows (pregnancy, ultrasound; 0.4) and
+    /// (hypothyroidism, TSH; 0.6).
+    fn paper_component() -> Component {
+        Component::new(
+            vec![f(1, 0), f(1, 1)],
+            vec![
+                CompRow::new(vec![val("pregnancy"), val("ultrasound")], 0.4),
+                CompRow::new(vec![val("hypothyroidism"), val("TSH")], 0.6),
+            ],
+        )
+    }
+
+    #[test]
+    fn validate_accepts_paper_component() {
+        paper_component().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut c = paper_component();
+        c.rows_mut()[0].p = 0.5;
+        assert!(c.validate().is_err());
+        let mut c2 = paper_component();
+        c2.rows_mut()[0].p = -0.1;
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch_and_dup_fields() {
+        let c = Component::new(
+            vec![f(1, 0)],
+            vec![CompRow::new(vec![val("a"), val("b")], 1.0)],
+        );
+        assert!(c.validate().is_err());
+        let d = Component::new(
+            vec![f(1, 0), f(1, 0)],
+            vec![CompRow::new(vec![val("a"), val("b")], 1.0)],
+        );
+        assert!(d.validate().is_err());
+        let e = Component::new(vec![f(1, 0)], vec![]);
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn product_multiplies_probabilities() {
+        let sym = Component::singleton(
+            f(1, 2),
+            vec![(val("weight gain"), 0.7), (val("fatigue"), 0.3)],
+        );
+        let p = paper_component().product(&sym);
+        assert_eq!(p.num_fields(), 3);
+        assert_eq!(p.num_rows(), 4);
+        p.validate().unwrap();
+        // The paper's world probability: 0.6 * 0.7 = 0.42 appears as a row.
+        assert!(p.rows().iter().any(|r| (r.p - 0.42).abs() < 1e-12));
+    }
+
+    #[test]
+    fn project_columns_merges_and_sums() {
+        let c = paper_component();
+        // project onto Diagnosis only — both rows stay distinct
+        let p = c.project_columns(&[0]);
+        assert_eq!(p.num_rows(), 2);
+        // a component where projection makes rows collide
+        let c2 = Component::new(
+            vec![f(1, 0), f(1, 1)],
+            vec![
+                CompRow::new(vec![val("x"), val("a")], 0.25),
+                CompRow::new(vec![val("x"), val("b")], 0.25),
+                CompRow::new(vec![val("y"), val("a")], 0.5),
+            ],
+        );
+        let p2 = c2.project_columns(&[0]);
+        assert_eq!(p2.num_rows(), 2);
+        let x = p2.rows().iter().find(|r| r.cells[0] == val("x")).unwrap();
+        assert!((x.p - 0.5).abs() < 1e-12);
+        p2.validate().unwrap();
+    }
+
+    #[test]
+    fn dedup_rows_sums_and_renormalizes() {
+        let mut c = Component::new(
+            vec![f(1, 0)],
+            vec![
+                CompRow::new(vec![val("a")], 0.3),
+                CompRow::new(vec![val("a")], 0.3),
+                CompRow::new(vec![val("b")], 0.4),
+            ],
+        );
+        c.dedup_rows(0.0);
+        assert_eq!(c.num_rows(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn add_column_appends() {
+        let mut c = paper_component();
+        c.add_column(Field::exists(Tid(9)), |r| {
+            if r.cells[0] == val("pregnancy") {
+                Cell::Val(Value::Bool(true))
+            } else {
+                Cell::Bottom
+            }
+        });
+        assert_eq!(c.num_fields(), 3);
+        assert!(c.rows()[1].cells[2].is_bottom());
+    }
+
+    #[test]
+    fn possible_values_skips_bottom() {
+        let c = Component::singleton(
+            f(1, 0),
+            vec![(val("a"), 0.5), (Cell::Bottom, 0.5)],
+        );
+        assert_eq!(c.possible_values(f(1, 0)), vec![Value::str("a")]);
+        assert!(c.possible_values(f(2, 0)).is_empty());
+    }
+
+    #[test]
+    fn col_of_finds_fields() {
+        let c = paper_component();
+        assert_eq!(c.col_of(f(1, 1)), Some(1));
+        assert_eq!(c.col_of(f(2, 0)), None);
+    }
+}

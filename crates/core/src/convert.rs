@@ -1,0 +1,227 @@
+//! Conversions between explicit world-sets and decompositions.
+//!
+//! [`from_worldset`] performs *exact decomposition*: any finite world-set
+//! (with probabilities) is representable as a WSD — the completeness claim
+//! of the paper — by building one component holding the existence fields of
+//! every possible tuple, one row per distinct world, and then factorizing
+//! it into independent parts.
+
+use std::collections::BTreeMap;
+
+use maybms_relational::{Error, Result, Schema, Tuple};
+use maybms_worldset::WorldSet;
+
+use crate::cell::Cell;
+use crate::component::{CompRow, Component};
+use crate::field::{Field, Tid};
+use crate::normalize;
+use crate::wsd::{Existence, TemplateCell, TupleTemplate, Wsd};
+
+/// Builds a WSD representing exactly the given world-set.
+///
+/// Every distinct tuple appearing in any world becomes a template tuple
+/// with *certain* attribute values and an open existence field; a single
+/// component enumerates the merged worlds as rows of existence flags.
+/// `normalize_full` then splits that component into independent factors
+/// (e.g. fully independent tuples each get their own tiny component) and
+/// inlines certain tuples.
+pub fn from_worldset(ws: &WorldSet) -> Result<Wsd> {
+    if ws.is_empty() {
+        return Err(Error::InvalidExpr("empty world-set has no decomposition".into()));
+    }
+    ws.validate()?;
+
+    // Gather schemas and the universe of tuples per relation.
+    let mut schemas: BTreeMap<String, Schema> = BTreeMap::new();
+    for (w, _) in ws.worlds() {
+        for (name, r) in w.relations() {
+            match schemas.get(name) {
+                Some(s) => {
+                    if s != r.schema() {
+                        return Err(Error::SchemaMismatch(format!(
+                            "relation {name} has differing schemas across worlds"
+                        )));
+                    }
+                }
+                None => {
+                    schemas.insert(name.to_string(), r.schema().clone());
+                }
+            }
+        }
+    }
+    let mut universe: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    for (w, _) in ws.worlds() {
+        for (name, r) in w.relations() {
+            let entry = universe.entry(name.to_string()).or_default();
+            for t in r.canonical().rows() {
+                if !entry.contains(t) {
+                    entry.push(t.clone());
+                }
+            }
+        }
+    }
+    for tuples in universe.values_mut() {
+        tuples.sort();
+    }
+
+    let mut wsd = Wsd::new();
+    let mut tids: BTreeMap<String, Vec<Tid>> = BTreeMap::new();
+    for (name, schema) in &schemas {
+        wsd.add_relation(name.clone(), schema.clone())?;
+        let empty = Vec::new();
+        let tuples = universe.get(name).unwrap_or(&empty);
+        let mut ids = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            let tid = wsd.fresh_tid();
+            ids.push(tid);
+            wsd.push_template(
+                name,
+                TupleTemplate {
+                    tid,
+                    cells: t.values().iter().cloned().map(TemplateCell::Certain).collect(),
+                    exists: Existence::Open,
+                },
+            )?;
+        }
+        tids.insert(name.clone(), ids);
+    }
+
+    // One big component: a row per merged world, a column per tuple's ∃.
+    let mut fields: Vec<Field> = Vec::new();
+    let mut field_index: Vec<(String, usize)> = Vec::new(); // (rel, tuple idx)
+    for (name, ids) in &tids {
+        for (i, &tid) in ids.iter().enumerate() {
+            fields.push(Field::exists(tid));
+            field_index.push((name.clone(), i));
+        }
+    }
+
+    let merged = ws.merged();
+    let mut rows: Vec<CompRow> = Vec::with_capacity(merged.len());
+    for (world_key, p) in &merged {
+        let cells: Vec<Cell> = field_index
+            .iter()
+            .map(|(rel, i)| {
+                let present = world_key
+                    .iter()
+                    .find(|(name, _)| name == rel)
+                    .map(|(_, tuples)| tuples.contains(&universe[rel][*i]))
+                    .unwrap_or(false);
+                if present {
+                    Cell::Val(maybms_relational::Value::Bool(true))
+                } else {
+                    Cell::Bottom
+                }
+            })
+            .collect();
+        rows.push(CompRow::new(cells, *p));
+    }
+
+    if fields.is_empty() {
+        // no tuples anywhere: the world-set of the empty database
+        return Ok(wsd);
+    }
+    wsd.add_component(Component::new(fields, rows));
+    normalize::normalize_full(&mut wsd);
+    wsd.validate()?;
+    Ok(wsd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_relational::{ColumnType, Relation, Value};
+    use maybms_worldset::{World, WorldSet};
+
+    fn rel(vals: &[i64]) -> Relation {
+        let mut r = Relation::empty(Schema::new(vec![("a", ColumnType::Int)]));
+        for v in vals {
+            r.push_values(vec![Value::Int(*v)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn round_trip_two_worlds() {
+        let ws = WorldSet::new(vec![
+            (World::single("r", rel(&[1, 2])), 0.4),
+            (World::single("r", rel(&[2])), 0.6),
+        ]);
+        let wsd = from_worldset(&ws).unwrap();
+        let back = wsd.to_worldset(100).unwrap();
+        assert!(ws.equivalent(&back, 1e-9));
+    }
+
+    #[test]
+    fn independent_tuples_are_factorized_apart() {
+        // tuples 1 and 2 appear independently with p=1/2 each: 4 worlds
+        let ws = WorldSet::new(vec![
+            (World::single("r", rel(&[1, 2])), 0.25),
+            (World::single("r", rel(&[1])), 0.25),
+            (World::single("r", rel(&[2])), 0.25),
+            (World::single("r", rel(&[])), 0.25),
+        ]);
+        let wsd = from_worldset(&ws).unwrap();
+        // factorization should split the 4-row component into two 2-row ones
+        assert_eq!(wsd.num_components(), 2);
+        assert_eq!(wsd.stats().component_rows, 4);
+        let back = wsd.to_worldset(100).unwrap();
+        assert!(ws.equivalent(&back, 1e-9));
+    }
+
+    #[test]
+    fn certain_world_set_needs_no_components() {
+        let ws = WorldSet::certain(World::single("r", rel(&[5, 6])));
+        let wsd = from_worldset(&ws).unwrap();
+        assert_eq!(wsd.num_components(), 0);
+        let back = wsd.to_worldset(10).unwrap();
+        assert!(ws.equivalent(&back, 1e-9));
+    }
+
+    #[test]
+    fn correlated_tuples_stay_together() {
+        // tuples 1 and 2 always appear together or not at all
+        let ws = WorldSet::new(vec![
+            (World::single("r", rel(&[1, 2])), 0.5),
+            (World::single("r", rel(&[])), 0.5),
+        ]);
+        let wsd = from_worldset(&ws).unwrap();
+        assert_eq!(wsd.num_components(), 1);
+        assert_eq!(
+            wsd.component(wsd.live_components()[0]).unwrap().num_rows(),
+            2
+        );
+        let back = wsd.to_worldset(100).unwrap();
+        assert!(ws.equivalent(&back, 1e-9));
+    }
+
+    #[test]
+    fn multi_relation_worlds() {
+        let mut w1 = World::new();
+        w1.put("r", rel(&[1]));
+        w1.put("s", rel(&[10]));
+        let mut w2 = World::new();
+        w2.put("r", rel(&[1]));
+        w2.put("s", rel(&[]));
+        let ws = WorldSet::new(vec![(w1, 0.7), (w2, 0.3)]);
+        let wsd = from_worldset(&ws).unwrap();
+        let back = wsd.to_worldset(100).unwrap();
+        assert!(ws.equivalent(&back, 1e-9));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut other = Relation::empty(Schema::new(vec![("b", ColumnType::Str)]));
+        other.push_values(vec![Value::str("x")]).unwrap();
+        let ws = WorldSet::new(vec![
+            (World::single("r", rel(&[1])), 0.5),
+            (World::single("r", other), 0.5),
+        ]);
+        assert!(from_worldset(&ws).is_err());
+    }
+
+    #[test]
+    fn empty_worldset_rejected() {
+        assert!(from_worldset(&WorldSet::default()).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Fields: the column labels of WSD components.
+//!
+//! A component of a world-set decomposition "defines values for a set of
+//! fields" (paper §2), a field being a *tuple identifier × attribute* pair
+//! such as `r1.Diagnosis`. We additionally give every template tuple a
+//! hidden *existence* field `t.∃`, so that selections can mark a tuple as
+//! deleted (⊥) in a way that survives later projections — the rôle played
+//! in the paper by ⊥-marking an attribute field and normalizing.
+
+use std::fmt;
+
+/// A tuple identifier, unique within one [`crate::wsd::Wsd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u64);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Which aspect of a tuple a field describes: one of its attributes
+/// (by position in the relation schema) or its existence flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldKind {
+    /// Attribute at this position of the owning relation's schema.
+    Attr(u32),
+    /// The hidden existence flag.
+    Exists,
+}
+
+/// A field: tuple identifier plus attribute position (or ∃).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Field {
+    pub tid: Tid,
+    pub kind: FieldKind,
+}
+
+impl Field {
+    pub fn attr(tid: Tid, pos: u32) -> Field {
+        Field { tid, kind: FieldKind::Attr(pos) }
+    }
+
+    pub fn exists(tid: Tid) -> Field {
+        Field { tid, kind: FieldKind::Exists }
+    }
+
+    pub fn is_exists(&self) -> bool {
+        matches!(self.kind, FieldKind::Exists)
+    }
+
+    /// Attribute position, if this is an attribute field.
+    pub fn attr_pos(&self) -> Option<u32> {
+        match self.kind {
+            FieldKind::Attr(p) => Some(p),
+            FieldKind::Exists => None,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FieldKind::Attr(p) => write!(f, "{}.#{}", self.tid, p),
+            FieldKind::Exists => write!(f, "{}.∃", self.tid),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let f = Field::attr(Tid(3), 2);
+        assert_eq!(f.attr_pos(), Some(2));
+        assert!(!f.is_exists());
+        let e = Field::exists(Tid(3));
+        assert!(e.is_exists());
+        assert_eq!(e.attr_pos(), None);
+    }
+
+    #[test]
+    fn ordering_groups_by_tid() {
+        let a = Field::attr(Tid(1), 5);
+        let b = Field::exists(Tid(2));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Field::attr(Tid(1), 0).to_string(), "t1.#0");
+        assert_eq!(Field::exists(Tid(7)).to_string(), "t7.∃");
+    }
+}

@@ -1,0 +1,45 @@
+//! # maybms-core
+//!
+//! The heart of MayBMS-rs: **probabilistic world-set decompositions**
+//! (WSDs), as introduced in *MayBMS: Managing Incomplete Information with
+//! Probabilistic World-Set Decompositions* (Antova, Koch, Olteanu, ICDE
+//! 2007).
+//!
+//! A WSD represents a finite set of possible worlds — with probabilities —
+//! as a relational product of small *component* relations; see
+//! [`wsd::Wsd`]. This crate provides:
+//!
+//! * the data model: [`field::Field`]s, ⊥-[`cell::Cell`]s,
+//!   [`component::Component`]s and [`wsd::Wsd`];
+//! * construction from or-set relations ([`wsd::Wsd::push_orset`]) and
+//!   *exact decomposition* of explicit world-sets ([`convert`]);
+//! * [`normalize`]: the paper's normalization of WSDs after queries;
+//! * [`factorize`]: splitting components back into independent factors;
+//! * [`algebra`]: the full relational algebra evaluated directly on the
+//!   decomposition — selection marks fields ⊥ instead of deleting rows;
+//! * [`prob`]: exact confidence computation (`prob()`), possible and
+//!   certain answers;
+//! * [`chase`]: data cleaning by enforcing integrity constraints;
+//! * [`bigint`]: arbitrary-precision world counting (the paper's
+//!   world-sets exceed 2^624449 worlds);
+//! * [`examples`]: the paper's §2 medical WSD, verbatim.
+
+pub mod algebra;
+pub mod bigint;
+pub mod cell;
+pub mod chase;
+pub mod component;
+pub mod convert;
+pub mod display;
+pub mod examples;
+pub mod factorize;
+pub mod field;
+pub mod normalize;
+pub mod prob;
+pub mod wsd;
+
+pub use bigint::BigUint;
+pub use cell::Cell;
+pub use component::{CompRow, Component};
+pub use field::{Field, FieldKind, Tid};
+pub use wsd::{Existence, RelTemplate, TemplateCell, TupleTemplate, Wsd, WsdStats};

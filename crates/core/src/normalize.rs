@@ -1,0 +1,446 @@
+//! WSD normalization.
+//!
+//! After a query marks fields with ⊥, the decomposition usually contains
+//! redundancy. The paper normalizes by (1) propagating ⊥ across the fields
+//! a dead tuple has in the same component row, (2) dropping the columns of
+//! tuples that exist in no world, and (3) merging rows that have become
+//! identical. We additionally (4) inline columns that became constant into
+//! the template (the inverse of decomposition) and (5) drop components left
+//! without fields. [`normalize`] runs these to a fixpoint;
+//! [`normalize_full`] also re-factorizes components into independent parts
+//! (see [`crate::factorize`]).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cell::Cell;
+use crate::field::{Field, Tid};
+use crate::wsd::{Existence, TemplateCell, Wsd};
+
+/// Which tuples reference each column of each component, derived from the
+/// live templates. Aliasing makes this many-to-many.
+fn column_owners(wsd: &Wsd) -> HashMap<(usize, usize), HashSet<Tid>> {
+    let mut owners: HashMap<(usize, usize), HashSet<Tid>> = HashMap::new();
+    for tpl in wsd.relations.values() {
+        for t in &tpl.tuples {
+            for (i, cell) in t.cells.iter().enumerate() {
+                if matches!(cell, TemplateCell::Open) {
+                    if let Some(loc) = wsd.field_loc(Field::attr(t.tid, i as u32)) {
+                        owners.entry(loc).or_default().insert(t.tid);
+                    }
+                }
+            }
+            if t.exists == Existence::Open {
+                if let Some(loc) = wsd.field_loc(Field::exists(t.tid)) {
+                    owners.entry(loc).or_default().insert(t.tid);
+                }
+            }
+        }
+    }
+    owners
+}
+
+/// The columns (per component) each tuple's open fields map to.
+fn tuple_columns(wsd: &Wsd) -> HashMap<Tid, HashMap<usize, Vec<usize>>> {
+    let mut map: HashMap<Tid, HashMap<usize, Vec<usize>>> = HashMap::new();
+    for tpl in wsd.relations.values() {
+        for t in &tpl.tuples {
+            let mut locs: Vec<(usize, usize)> = Vec::new();
+            for (i, cell) in t.cells.iter().enumerate() {
+                if matches!(cell, TemplateCell::Open) {
+                    if let Some(loc) = wsd.field_loc(Field::attr(t.tid, i as u32)) {
+                        locs.push(loc);
+                    }
+                }
+            }
+            if t.exists == Existence::Open {
+                if let Some(loc) = wsd.field_loc(Field::exists(t.tid)) {
+                    locs.push(loc);
+                }
+            }
+            let entry = map.entry(t.tid).or_default();
+            for (c, col) in locs {
+                entry.entry(c).or_default().push(col);
+            }
+        }
+    }
+    map
+}
+
+/// Step 1: ⊥-propagation. In each component row, a tuple is dead if any of
+/// its columns there is ⊥; the *other* columns of that row referenced only
+/// by dead tuples carry irrelevant values and are set to ⊥ (this is what
+/// turns the paper's `(⊥, TSH)` row into `(⊥, ⊥)`), enabling row merging.
+pub fn propagate_bottom(wsd: &mut Wsd) {
+    let owners = column_owners(wsd);
+    let per_tuple = tuple_columns(wsd);
+
+    for comp_idx in wsd.live_components() {
+        // tuples with at least one column in this component
+        let tuples_here: Vec<(&Tid, &Vec<usize>)> = per_tuple
+            .iter()
+            .filter_map(|(tid, by_comp)| by_comp.get(&comp_idx).map(|cols| (tid, cols)))
+            .collect();
+        if tuples_here.is_empty() {
+            continue;
+        }
+        let ncols = wsd.component(comp_idx).map(|c| c.num_fields()).unwrap_or(0);
+        // columns owned exclusively by tuples present in this component
+        let mut col_owner_sets: Vec<Option<&HashSet<Tid>>> = vec![None; ncols];
+        for (col, slot) in col_owner_sets.iter_mut().enumerate() {
+            *slot = owners.get(&(comp_idx, col));
+        }
+
+        let comp = wsd.component_mut(comp_idx).expect("live component");
+        for row in comp.rows_mut() {
+            // which tuples are dead in this row
+            let mut dead: HashSet<Tid> = HashSet::new();
+            for (tid, cols) in &tuples_here {
+                if cols.iter().any(|&c| row.cells[c].is_bottom()) {
+                    dead.insert(**tid);
+                }
+            }
+            if dead.is_empty() {
+                continue;
+            }
+            for (col, cell) in row.cells.iter_mut().enumerate() {
+                if cell.is_bottom() {
+                    continue;
+                }
+                if let Some(os) = col_owner_sets[col] {
+                    if !os.is_empty() && os.iter().all(|t| dead.contains(t)) {
+                        *cell = Cell::Bottom;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Step 2: drop tuples that exist in no world — those with an open field or
+/// existence column that is ⊥ in *every* row of its component.
+pub fn drop_dead_tuples(wsd: &mut Wsd) {
+    let mut dead: HashSet<Tid> = HashSet::new();
+    for tpl in wsd.relations.values() {
+        for t in &tpl.tuples {
+            let mut locs: Vec<(usize, usize)> = Vec::new();
+            for (i, cell) in t.cells.iter().enumerate() {
+                if matches!(cell, TemplateCell::Open) {
+                    if let Some(loc) = wsd.field_loc(Field::attr(t.tid, i as u32)) {
+                        locs.push(loc);
+                    }
+                }
+            }
+            if t.exists == Existence::Open {
+                if let Some(loc) = wsd.field_loc(Field::exists(t.tid)) {
+                    locs.push(loc);
+                }
+            }
+            for (c, col) in locs {
+                if let Some(comp) = wsd.component(c) {
+                    if comp.rows().iter().all(|r| r.cells[col].is_bottom()) {
+                        dead.insert(t.tid);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if dead.is_empty() {
+        return;
+    }
+    for tpl in wsd.relations.values_mut() {
+        tpl.tuples.retain(|t| !dead.contains(&t.tid));
+    }
+    wsd.field_map.retain(|f, _| !dead.contains(&f.tid));
+}
+
+/// Step 3: inline constant columns. A column whose cells are the same
+/// non-⊥ value in every row does not vary across worlds: attribute fields
+/// become certain template values, existence fields become `Always`.
+pub fn inline_constants(wsd: &mut Wsd) {
+    // find constant columns
+    let mut constant: HashMap<(usize, usize), Cell> = HashMap::new();
+    for idx in wsd.live_components() {
+        let comp = wsd.component(idx).expect("live");
+        for col in 0..comp.num_fields() {
+            let first = &comp.rows()[0].cells[col];
+            if first.is_bottom() {
+                continue;
+            }
+            if comp.rows().iter().all(|r| &r.cells[col] == first) {
+                constant.insert((idx, col), first.clone());
+            }
+        }
+    }
+    if constant.is_empty() {
+        return;
+    }
+    // rewrite templates
+    let mut resolved: Vec<Field> = Vec::new();
+    for tpl in wsd.relations.values_mut() {
+        for t in &mut tpl.tuples {
+            for (i, cell) in t.cells.iter_mut().enumerate() {
+                if matches!(cell, TemplateCell::Open) {
+                    let f = Field::attr(t.tid, i as u32);
+                    if let Some(loc) = wsd.field_map.get(&f) {
+                        if let Some(Cell::Val(v)) = constant.get(loc) {
+                            *cell = TemplateCell::Certain(v.clone());
+                            resolved.push(f);
+                        }
+                    }
+                }
+            }
+            if t.exists == Existence::Open {
+                let f = Field::exists(t.tid);
+                if let Some(loc) = wsd.field_map.get(&f) {
+                    if constant.contains_key(loc) {
+                        t.exists = Existence::Always;
+                        resolved.push(f);
+                    }
+                }
+            }
+        }
+    }
+    for f in resolved {
+        wsd.field_map.remove(&f);
+    }
+}
+
+/// Step 4: garbage-collect unreferenced columns: project every component
+/// onto the columns still referenced by some template field (merging rows
+/// and summing probabilities — this is what removes the paper's Symptom
+/// component after the projection). Fieldless components are dropped.
+pub fn gc_columns(wsd: &mut Wsd) {
+    let mut referenced: HashMap<usize, HashSet<usize>> = HashMap::new();
+    for &(c, col) in wsd.field_map.values() {
+        referenced.entry(c).or_default().insert(col);
+    }
+    for idx in wsd.live_components() {
+        let keep: Vec<usize> = match referenced.get(&idx) {
+            Some(set) => {
+                let mut v: Vec<usize> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        };
+        let comp = wsd.component(idx).expect("live");
+        if keep.len() == comp.num_fields() {
+            continue;
+        }
+        if keep.is_empty() {
+            wsd.components[idx] = None;
+            continue;
+        }
+        let projected = comp.project_columns(&keep);
+        // remap columns: old position -> new position
+        let remap: HashMap<usize, usize> =
+            keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        for loc in wsd.field_map.values_mut() {
+            if loc.0 == idx {
+                loc.1 = remap[&loc.1];
+            }
+        }
+        wsd.components[idx] = Some(projected);
+    }
+}
+
+/// Step 5: merge duplicate rows in every component.
+pub fn dedup_rows(wsd: &mut Wsd) {
+    for idx in wsd.live_components() {
+        if let Some(c) = wsd.component_mut(idx) {
+            c.dedup_rows(1e-12);
+        }
+    }
+}
+
+/// The normalization pipeline, run to a fixpoint, then compacted.
+pub fn normalize(wsd: &mut Wsd) {
+    loop {
+        let before = signature(wsd);
+        propagate_bottom(wsd);
+        drop_dead_tuples(wsd);
+        inline_constants(wsd);
+        gc_columns(wsd);
+        dedup_rows(wsd);
+        if signature(wsd) == before {
+            break;
+        }
+    }
+    wsd.compact();
+}
+
+/// Normalization plus factorization of every component into independent
+/// parts, then normalization again (factor blocks may expose constants).
+pub fn normalize_full(wsd: &mut Wsd) {
+    normalize(wsd);
+    crate::factorize::factorize_all(wsd);
+    normalize(wsd);
+}
+
+fn signature(wsd: &Wsd) -> (usize, usize, usize) {
+    let s = wsd.stats();
+    (s.template_tuples, s.components, s.component_cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CompRow, Component};
+    use maybms_relational::{ColumnType, Schema, Value};
+    use maybms_worldset::OrSetCell;
+
+    fn v(s: &str) -> Cell {
+        Cell::Val(Value::str(s))
+    }
+
+    /// Rebuild the paper's post-selection WSD (§2) and normalize it.
+    /// Expected: the r2 tuple disappears, its components are dropped, and
+    /// (⊥, TSH) becomes (⊥, ⊥) by propagation.
+    #[test]
+    fn paper_normalization_example() {
+        let schema = Schema::new(vec![
+            ("diagnosis", ColumnType::Str),
+            ("test", ColumnType::Str),
+            ("symptom", ColumnType::Str),
+        ]);
+        let mut w = Wsd::new();
+        w.add_relation("R", schema).unwrap();
+
+        // r1: components as in the paper, post-selection on Diagnosis.
+        let r1 = w.fresh_tid();
+        let c1 = Component::new(
+            vec![Field::attr(r1, 0), Field::attr(r1, 1)],
+            vec![
+                CompRow::new(vec![v("pregnancy"), v("ultrasound")], 0.4),
+                CompRow::new(vec![Cell::Bottom, v("TSH")], 0.6),
+            ],
+        );
+        let c2 = Component::singleton(
+            Field::attr(r1, 2),
+            vec![(v("weight gain"), 0.7), (v("fatigue"), 0.3)],
+        );
+        w.add_component(c1);
+        w.add_component(c2);
+        w.push_template(
+            "R",
+            crate::wsd::TupleTemplate {
+                tid: r1,
+                cells: vec![TemplateCell::Open, TemplateCell::Open, TemplateCell::Open],
+                exists: Existence::Always,
+            },
+        )
+        .unwrap();
+
+        // r2: all fields marked ⊥ by the selection.
+        let r2 = w.fresh_tid();
+        for pos in 0..3u32 {
+            let comp = Component::singleton(Field::attr(r2, pos), vec![(Cell::Bottom, 1.0)]);
+            w.add_component(comp);
+        }
+        w.push_template(
+            "R",
+            crate::wsd::TupleTemplate {
+                tid: r2,
+                cells: vec![TemplateCell::Open, TemplateCell::Open, TemplateCell::Open],
+                exists: Existence::Always,
+            },
+        )
+        .unwrap();
+        w.validate().unwrap();
+
+        let before = w.to_worldset(100).unwrap();
+        normalize(&mut w);
+        w.validate().unwrap();
+        let after = w.to_worldset(100).unwrap();
+        assert!(before.equivalent(&after, 1e-9), "normalization must preserve semantics");
+
+        // r2 is gone
+        assert_eq!(w.relation("R").unwrap().tuples.len(), 1);
+        // only the two r1 components remain
+        assert_eq!(w.num_components(), 2);
+        // ⊥ propagated onto TSH in the first component
+        let stats = w.stats();
+        assert_eq!(stats.component_rows, 4);
+        let c = w
+            .field_loc(Field::attr(r1, 1))
+            .and_then(|(ci, _)| w.component(ci))
+            .unwrap();
+        assert!(c
+            .rows()
+            .iter()
+            .any(|r| r.cells.iter().all(Cell::is_bottom)));
+    }
+
+    #[test]
+    fn inline_constants_moves_to_template() {
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        // a single-alternative "or-set" stored as a component on purpose
+        let t = w.fresh_tid();
+        let comp = Component::singleton(Field::attr(t, 0), vec![(Cell::Val(Value::Int(7)), 1.0)]);
+        w.add_component(comp);
+        w.push_template(
+            "r",
+            crate::wsd::TupleTemplate {
+                tid: t,
+                cells: vec![TemplateCell::Open],
+                exists: Existence::Always,
+            },
+        )
+        .unwrap();
+        normalize(&mut w);
+        assert_eq!(w.num_components(), 0);
+        assert_eq!(
+            w.relation("r").unwrap().tuples[0].cells[0],
+            TemplateCell::Certain(Value::Int(7))
+        );
+        let ws = w.to_worldset(10).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.worlds()[0].0.get("r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn normalization_preserves_semantics_on_orset_wsd() {
+        let mut w = Wsd::new();
+        w.add_relation(
+            "r",
+            Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Str)]),
+        )
+        .unwrap();
+        for i in 0..3 {
+            w.push_orset(
+                "r",
+                vec![
+                    OrSetCell::weighted(vec![(Value::Int(i), 0.5), (Value::Int(i + 10), 0.5)])
+                        .unwrap(),
+                    OrSetCell::certain("x"),
+                ],
+            )
+            .unwrap();
+        }
+        let before = w.to_worldset(100).unwrap();
+        normalize_full(&mut w);
+        w.validate().unwrap();
+        let after = w.to_worldset(100).unwrap();
+        assert!(before.equivalent(&after, 1e-9));
+    }
+
+    #[test]
+    fn gc_drops_unreferenced_component() {
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        // orphan component not referenced by any template
+        let orphan = Component::singleton(
+            Field::attr(crate::field::Tid(999), 0),
+            vec![(Cell::Val(Value::Int(1)), 0.5), (Cell::Val(Value::Int(2)), 0.5)],
+        );
+        w.add_component(orphan);
+        // field_map has the orphan field; remove template reference by
+        // simply never pushing a tuple. gc keeps it because field_map still
+        // references it — so first drop the mapping, as extract() does.
+        w.field_map.clear();
+        normalize(&mut w);
+        assert_eq!(w.num_components(), 0);
+    }
+}

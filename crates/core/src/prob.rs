@@ -1,0 +1,574 @@
+//! Confidence computation — the paper's `prob()` construct.
+//!
+//! "asking for the probability of the ultrasound test being recommended
+//! [...] would retrieve [...] the value 0.4. [...] In case the ultrasound
+//! test is recommended in several worlds, then the answer to our query
+//! would be computed by summing up the probabilities of this event over all
+//! such worlds." (paper §2)
+//!
+//! Components are independent random variables, so the probability of an
+//! event that touches only some components can be computed by enumerating
+//! the joint choices of exactly those components. Template tuples are first
+//! clustered by shared components; an answer's confidence multiplies across
+//! clusters as `1 − ∏(1 − P_cluster)`. Clusters whose joint choice space
+//! exceeds a cap are estimated by Monte-Carlo sampling (deterministic
+//! xorshift seed), with the estimate flagged in [`Confidence::exact`].
+
+use std::collections::HashMap;
+
+use maybms_relational::{Error, Result, Tuple, Value};
+
+use crate::cell::Cell;
+use crate::field::{Field, Tid};
+use crate::wsd::{Existence, TemplateCell, Wsd};
+
+/// Options for confidence computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbOptions {
+    /// Maximum joint choice count per cluster for exact computation.
+    pub exact_cap: u64,
+    /// Monte-Carlo samples per cluster beyond the cap.
+    pub mc_samples: u32,
+    /// RNG seed for the sampler.
+    pub seed: u64,
+}
+
+impl Default for ProbOptions {
+    fn default() -> Self {
+        ProbOptions { exact_cap: 1 << 20, mc_samples: 200_000, seed: 0x9e3779b97f4a7c15 }
+    }
+}
+
+/// A confidence result: the answer tuple, its probability and whether the
+/// number is exact or a Monte-Carlo estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Confidence {
+    pub tuple: Tuple,
+    pub p: f64,
+    pub exact: bool,
+}
+
+/// Exact-by-default tuple confidence: every possible answer tuple of `rel`
+/// with `P(tuple ∈ rel)`.
+pub fn tuple_confidence(wsd: &Wsd, rel: &str) -> Result<Vec<(Tuple, f64)>> {
+    Ok(tuple_confidence_opts(wsd, rel, ProbOptions::default())?
+        .into_iter()
+        .map(|c| (c.tuple, c.p))
+        .collect())
+}
+
+/// Tuples certain to be in `rel` (confidence 1 within `1e-9`).
+pub fn certain_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Tuple>> {
+    Ok(tuple_confidence(wsd, rel)?
+        .into_iter()
+        .filter(|(_, p)| (*p - 1.0).abs() < 1e-9)
+        .map(|(t, _)| t)
+        .collect())
+}
+
+/// Tuples possible in `rel` (confidence > 0).
+pub fn possible_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Tuple>> {
+    Ok(tuple_confidence(wsd, rel)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Expected cardinality of `rel` under set semantics:
+/// `E[|rel|] = Σ_v P(v ∈ rel)` by linearity of expectation.
+pub fn expected_count(wsd: &Wsd, rel: &str) -> Result<f64> {
+    Ok(tuple_confidence(wsd, rel)?.iter().map(|(_, p)| p).sum())
+}
+
+/// Expected sum of column `col` over `rel` (set semantics):
+/// `E[Σ_{t∈rel} t.col] = Σ_v v.col · P(v ∈ rel)`. NULLs contribute 0.
+pub fn expected_sum(wsd: &Wsd, rel: &str, col: &str) -> Result<f64> {
+    let idx = wsd.relation(rel)?.schema.index_of(col)?;
+    Ok(tuple_confidence(wsd, rel)?
+        .iter()
+        .map(|(t, p)| t[idx].as_f64().unwrap_or(0.0) * p)
+        .sum())
+}
+
+/// `P(rel is non-empty)` — the confidence of a boolean query.
+pub fn nonempty_confidence(wsd: &Wsd, rel: &str) -> Result<f64> {
+    let clusters = cluster_tuples(wsd, rel)?;
+    let mut p_empty_all = 1.0;
+    for cl in &clusters {
+        if cl.has_always_certain {
+            return Ok(1.0);
+        }
+        let dist = cluster_distribution(wsd, cl, ProbOptions::default())?;
+        p_empty_all *= 1.0 - dist.p_any_exists;
+    }
+    Ok(1.0 - p_empty_all)
+}
+
+impl Wsd {
+    /// Convenience method: see [`tuple_confidence`].
+    pub fn tuple_confidence(&self, rel: &str) -> Result<Vec<(Tuple, f64)>> {
+        tuple_confidence(self, rel)
+    }
+}
+
+/// Full-control variant returning exactness flags.
+pub fn tuple_confidence_opts(
+    wsd: &Wsd,
+    rel: &str,
+    opts: ProbOptions,
+) -> Result<Vec<Confidence>> {
+    let clusters = cluster_tuples(wsd, rel)?;
+    // per value: per-cluster probability of "some tuple of the cluster
+    // takes this value and exists"
+    let mut per_value: HashMap<Tuple, Vec<(f64, bool)>> = HashMap::new();
+    for cl in &clusters {
+        let dist = cluster_distribution(wsd, cl, opts)?;
+        for (val, e) in dist.per_value {
+            per_value.entry(val).or_default().push((e.p_any, e.exact));
+        }
+    }
+    let mut out: Vec<Confidence> = per_value
+        .into_iter()
+        .map(|(tuple, probs)| {
+            let mut p_not = 1.0;
+            let mut exact = true;
+            for (p, ex) in probs {
+                p_not *= 1.0 - p;
+                exact &= ex;
+            }
+            Confidence { tuple, p: (1.0 - p_not).min(1.0), exact }
+        })
+        .collect();
+    out.sort_by(|a, b| a.tuple.cmp(&b.tuple));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Clustering
+// ---------------------------------------------------------------------
+
+struct Cluster {
+    tids: Vec<Tid>,
+    comps: Vec<usize>,
+    /// true iff the cluster contains a fully-certain always-existing tuple
+    /// (then every world has it).
+    has_always_certain: bool,
+}
+
+/// Groups the template tuples of `rel` into clusters connected by shared
+/// components; tuples touching no component form singleton "certain"
+/// clusters.
+fn cluster_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Cluster>> {
+    let tpl = wsd.relation(rel)?;
+    // tuple -> component set
+    let mut t_comps: Vec<(Tid, Vec<usize>, bool)> = Vec::new();
+    for t in &tpl.tuples {
+        let mut comps: Vec<usize> = Vec::new();
+        for (i, c) in t.cells.iter().enumerate() {
+            if matches!(c, TemplateCell::Open) {
+                let (ci, _) = wsd
+                    .field_loc(Field::attr(t.tid, i as u32))
+                    .ok_or_else(|| Error::InvalidExpr(format!("unmapped field {}.#{i}", t.tid)))?;
+                comps.push(ci);
+            }
+        }
+        if t.exists == Existence::Open {
+            let (ci, _) = wsd
+                .field_loc(Field::exists(t.tid))
+                .ok_or_else(|| Error::InvalidExpr(format!("unmapped ∃ of {}", t.tid)))?;
+            comps.push(ci);
+        }
+        comps.sort_unstable();
+        comps.dedup();
+        let certain = comps.is_empty();
+        t_comps.push((t.tid, comps, certain));
+    }
+
+    // union-find over component ids to group tuples
+    let mut comp_group: HashMap<usize, usize> = HashMap::new(); // comp -> cluster id
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut cluster_of_comp = |clusters: &mut Vec<Cluster>, comps: &[usize]| -> usize {
+        // find existing clusters these comps belong to
+        let mut hit: Vec<usize> = comps
+            .iter()
+            .filter_map(|c| comp_group.get(c).copied())
+            .collect();
+        hit.sort_unstable();
+        hit.dedup();
+        let target = match hit.first() {
+            Some(&t) => t,
+            None => {
+                clusters.push(Cluster { tids: Vec::new(), comps: Vec::new(), has_always_certain: false });
+                clusters.len() - 1
+            }
+        };
+        // merge any other hit clusters into target
+        for &other in hit.iter().skip(1) {
+            let (tids, comps_o) = {
+                let o = &mut clusters[other];
+                (std::mem::take(&mut o.tids), std::mem::take(&mut o.comps))
+            };
+            for c in &comps_o {
+                comp_group.insert(*c, target);
+            }
+            clusters[target].tids.extend(tids);
+            clusters[target].comps.extend(comps_o);
+            let flag = clusters[other].has_always_certain;
+            clusters[target].has_always_certain |= flag;
+        }
+        for c in comps {
+            comp_group.insert(*c, target);
+            if !clusters[target].comps.contains(c) {
+                clusters[target].comps.push(*c);
+            }
+        }
+        target
+    };
+
+    for (tid, comps, certain) in t_comps {
+        if certain {
+            clusters.push(Cluster { tids: vec![tid], comps: Vec::new(), has_always_certain: true });
+        } else {
+            let cid = cluster_of_comp(&mut clusters, &comps);
+            clusters[cid].tids.push(tid);
+        }
+    }
+    clusters.retain(|c| !c.tids.is_empty());
+    Ok(clusters)
+}
+
+// ---------------------------------------------------------------------
+// Per-cluster distribution
+// ---------------------------------------------------------------------
+
+struct ValueEntry {
+    /// P(some tuple of the cluster exists with this value)
+    p_any: f64,
+    exact: bool,
+}
+
+/// The joint distribution of one cluster's answers.
+struct ClusterDist {
+    per_value: HashMap<Tuple, ValueEntry>,
+    /// P(some tuple of the cluster exists at all).
+    p_any_exists: f64,
+}
+
+/// Enumerates (or samples) the joint choices of the cluster's components and
+/// returns, per answer value, P(some cluster tuple exists with that value).
+fn cluster_distribution(wsd: &Wsd, cl: &Cluster, opts: ProbOptions) -> Result<ClusterDist> {
+    let tpl_lookup = tuple_lookup(wsd, &cl.tids)?;
+    let mut dist = ClusterDist { per_value: HashMap::new(), p_any_exists: 0.0 };
+
+    if cl.comps.is_empty() {
+        // fully certain tuples
+        for (_, cells, _) in &tpl_lookup {
+            let vals: Vec<Value> = cells
+                .iter()
+                .map(|c| match c {
+                    TemplateCell::Certain(v) => v.clone(),
+                    TemplateCell::Open => unreachable!("certain cluster"),
+                })
+                .collect();
+            dist.per_value
+                .insert(Tuple::new(vals), ValueEntry { p_any: 1.0, exact: true });
+        }
+        dist.p_any_exists = 1.0;
+        return Ok(dist);
+    }
+
+    let mut joint: u64 = 1;
+    for &c in &cl.comps {
+        let rows = wsd
+            .component(c)
+            .ok_or_else(|| Error::InvalidExpr(format!("dead component {c}")))?
+            .num_rows() as u64;
+        joint = joint.saturating_mul(rows);
+    }
+
+    if joint <= opts.exact_cap {
+        enumerate_cluster(wsd, cl, &tpl_lookup, &mut dist)?;
+    } else {
+        sample_cluster(wsd, cl, &tpl_lookup, &mut dist, opts)?;
+    }
+    Ok(dist)
+}
+
+type TupleLookup = Vec<(Tid, Vec<TemplateCell>, Existence)>;
+
+fn tuple_lookup(wsd: &Wsd, tids: &[Tid]) -> Result<TupleLookup> {
+    let mut out = Vec::with_capacity(tids.len());
+    for name in wsd.relation_names().map(str::to_string).collect::<Vec<_>>() {
+        let tpl = wsd.relation(&name)?;
+        for t in &tpl.tuples {
+            if tids.contains(&t.tid) {
+                out.push((t.tid, t.cells.clone(), t.exists));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The value of a tuple under a particular choice of component rows, or
+/// `None` if it does not exist there.
+fn tuple_value_under(
+    wsd: &Wsd,
+    tid: Tid,
+    cells: &[TemplateCell],
+    exists: Existence,
+    choice: &HashMap<usize, usize>,
+) -> Result<Option<Tuple>> {
+    if exists == Existence::Open {
+        let (c, col) = wsd
+            .field_loc(Field::exists(tid))
+            .ok_or_else(|| Error::InvalidExpr(format!("unmapped ∃ of {tid}")))?;
+        let comp = wsd.component(c).expect("mapped");
+        let row = &comp.rows()[choice[&c]];
+        if row.cells[col].is_bottom() {
+            return Ok(None);
+        }
+    }
+    let mut vals = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        match cell {
+            TemplateCell::Certain(v) => vals.push(v.clone()),
+            TemplateCell::Open => {
+                let (c, col) = wsd
+                    .field_loc(Field::attr(tid, i as u32))
+                    .ok_or_else(|| Error::InvalidExpr(format!("unmapped field {tid}.#{i}")))?;
+                let comp = wsd.component(c).expect("mapped");
+                let row = &comp.rows()[choice[&c]];
+                match &row.cells[col] {
+                    Cell::Val(v) => vals.push(v.clone()),
+                    Cell::Bottom => return Ok(None),
+                }
+            }
+        }
+    }
+    Ok(Some(Tuple::new(vals)))
+}
+
+fn enumerate_cluster(
+    wsd: &Wsd,
+    cl: &Cluster,
+    tuples: &TupleLookup,
+    dist: &mut ClusterDist,
+) -> Result<()> {
+    let widths: Vec<usize> = cl
+        .comps
+        .iter()
+        .map(|&c| wsd.component(c).expect("live").num_rows())
+        .collect();
+    let mut idx = vec![0usize; cl.comps.len()];
+    loop {
+        let choice: HashMap<usize, usize> =
+            cl.comps.iter().copied().zip(idx.iter().copied()).collect();
+        let mut p = 1.0;
+        for (&c, &r) in cl.comps.iter().zip(&idx) {
+            p *= wsd.component(c).expect("live").rows()[r].p;
+        }
+        // distinct values present under this choice
+        let mut present: Vec<Tuple> = Vec::new();
+        for (tid, cells, exists) in tuples {
+            if let Some(v) = tuple_value_under(wsd, *tid, cells, *exists, &choice)? {
+                if !present.contains(&v) {
+                    present.push(v);
+                }
+            }
+        }
+        if !present.is_empty() {
+            dist.p_any_exists += p;
+        }
+        for v in present {
+            let e = dist
+                .per_value
+                .entry(v)
+                .or_insert(ValueEntry { p_any: 0.0, exact: true });
+            e.p_any += p;
+        }
+
+        let mut k = idx.len();
+        loop {
+            if k == 0 {
+                return Ok(());
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < widths[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// xorshift64* — deterministic, dependency-free sampler.
+struct XorShift(u64);
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        let bits = x.wrapping_mul(0x2545F4914F6CDD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn sample_cluster(
+    wsd: &Wsd,
+    cl: &Cluster,
+    tuples: &TupleLookup,
+    dist: &mut ClusterDist,
+    opts: ProbOptions,
+) -> Result<()> {
+    let mut rng = XorShift(opts.seed | 1);
+    let n = opts.mc_samples.max(1);
+    let inv = 1.0 / n as f64;
+    for _ in 0..n {
+        let mut choice: HashMap<usize, usize> = HashMap::with_capacity(cl.comps.len());
+        for &c in &cl.comps {
+            let comp = wsd.component(c).expect("live");
+            let u = rng.next_f64();
+            let mut acc = 0.0;
+            let mut pick = comp.num_rows() - 1;
+            for (ri, r) in comp.rows().iter().enumerate() {
+                acc += r.p;
+                if u < acc {
+                    pick = ri;
+                    break;
+                }
+            }
+            choice.insert(c, pick);
+        }
+        let mut present: Vec<Tuple> = Vec::new();
+        for (tid, cells, exists) in tuples {
+            if let Some(v) = tuple_value_under(wsd, *tid, cells, *exists, &choice)? {
+                if !present.contains(&v) {
+                    present.push(v);
+                }
+            }
+        }
+        if !present.is_empty() {
+            dist.p_any_exists += inv;
+        }
+        for v in present {
+            let e = dist
+                .per_value
+                .entry(v)
+                .or_insert(ValueEntry { p_any: 0.0, exact: false });
+            e.p_any += inv;
+            e.exact = false;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Query;
+    use crate::examples::medical_wsd;
+    use maybms_relational::{ColumnType, Expr, Schema};
+    use maybms_worldset::OrSetCell;
+
+    /// Brute-force oracle for confidence.
+    fn oracle_confidence(wsd: &Wsd, rel: &str) -> Vec<(Tuple, f64)> {
+        wsd.to_worldset(1_000_000).unwrap().tuple_confidence(rel)
+    }
+
+    fn assert_matches_oracle(wsd: &Wsd, rel: &str) {
+        let fast = tuple_confidence(wsd, rel).unwrap();
+        let slow = oracle_confidence(wsd, rel);
+        assert_eq!(fast.len(), slow.len(), "answer sets differ: {fast:?} vs {slow:?}");
+        for ((t1, p1), (t2, p2)) in fast.iter().zip(&slow) {
+            assert_eq!(t1, t2);
+            assert!((p1 - p2).abs() < 1e-9, "{t1:?}: {p1} vs {p2}");
+        }
+    }
+
+    #[test]
+    fn paper_prob_query() {
+        // prob() of ultrasound being recommended in pregnancy diagnosis: 0.4
+        let wsd = medical_wsd();
+        let q = Query::table("R")
+            .select(Expr::col("diagnosis").eq(Expr::lit("pregnancy")))
+            .project(["test"]);
+        let ans = q.eval(&wsd).unwrap();
+        let conf = tuple_confidence(&ans, "result").unwrap();
+        assert_eq!(conf.len(), 1);
+        assert!((conf[0].1 - 0.4).abs() < 1e-12);
+        assert_matches_oracle(&ans, "result");
+    }
+
+    #[test]
+    fn confidence_on_base_relation_matches_oracle() {
+        let wsd = medical_wsd();
+        assert_matches_oracle(&wsd, "R");
+    }
+
+    #[test]
+    fn independent_duplicates_combine() {
+        // two independent tuples that can both be value 1:
+        // P(1 present) = 1 - (1-0.5)(1-0.5) = 0.75
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        for _ in 0..2 {
+            w.push_orset(
+                "r",
+                vec![OrSetCell::weighted(vec![(Value::Int(1), 0.5), (Value::Int(2), 0.5)]).unwrap()],
+            )
+            .unwrap();
+        }
+        let conf = tuple_confidence(&w, "r").unwrap();
+        let one = conf.iter().find(|(t, _)| t[0] == Value::Int(1)).unwrap();
+        assert!((one.1 - 0.75).abs() < 1e-12);
+        assert_matches_oracle(&w, "r");
+    }
+
+    #[test]
+    fn certain_and_possible() {
+        let wsd = medical_wsd();
+        let certain = certain_tuples(&wsd, "R").unwrap();
+        assert_eq!(certain.len(), 1); // the obesity record
+        assert_eq!(certain[0][0], Value::str("obesity"));
+        let possible = possible_tuples(&wsd, "R").unwrap();
+        assert_eq!(possible.len(), 5); // 4 r1-variants + obesity
+    }
+
+    #[test]
+    fn nonempty_confidence_of_selection() {
+        let wsd = medical_wsd();
+        let q = Query::table("R").select(Expr::col("diagnosis").eq(Expr::lit("pregnancy")));
+        let ans = q.eval(&wsd).unwrap();
+        let p = nonempty_confidence(&ans, "result").unwrap();
+        assert!((p - 0.4).abs() < 1e-9);
+        // selecting the certain tuple: always nonempty
+        let q2 = Query::table("R").select(Expr::col("diagnosis").eq(Expr::lit("obesity")));
+        let ans2 = q2.eval(&wsd).unwrap();
+        assert!((nonempty_confidence(&ans2, "result").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_fallback_is_close() {
+        // big cluster: force sampling with a tiny exact cap
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        for _ in 0..4 {
+            w.push_orset(
+                "r",
+                vec![OrSetCell::weighted(vec![(Value::Int(1), 0.5), (Value::Int(2), 0.5)]).unwrap()],
+            )
+            .unwrap();
+        }
+        // correlate everything so it is one cluster
+        let live = w.live_components();
+        w.merge_components(&live).unwrap();
+        let opts = ProbOptions { exact_cap: 1, mc_samples: 60_000, seed: 42 };
+        let est = tuple_confidence_opts(&w, "r", opts).unwrap();
+        let exact = oracle_confidence(&w, "r");
+        for c in &est {
+            assert!(!c.exact);
+            let (_, p) = exact.iter().find(|(t, _)| *t == c.tuple).unwrap();
+            assert!((c.p - p).abs() < 0.02, "MC estimate too far: {} vs {}", c.p, p);
+        }
+    }
+}

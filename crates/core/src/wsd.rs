@@ -1,0 +1,788 @@
+//! Probabilistic world-set decompositions.
+//!
+//! A [`Wsd`] stores a finite set of possible worlds — each world a complete
+//! relational database — as:
+//!
+//! * per relation, a *template*: a list of template tuples whose fields are
+//!   either **certain** values (stored inline, once) or **open** (defined by
+//!   a component column), plus a hidden existence flag;
+//! * a set of [`Component`]s, each defining values for a set of fields; the
+//!   world-set is the relational product of the components: one world per
+//!   combination of one row from each component, with probability the
+//!   product of the chosen rows' probabilities (paper §2).
+//!
+//! "The main principle of WSDs is to store independent tuple fields in
+//! separate components and dependent tuple fields within the same
+//! component."
+
+use std::collections::{BTreeMap, HashMap};
+
+use maybms_relational::{Error, Relation, Result, Schema, Tuple, Value};
+use maybms_worldset::{OrSetCell, World, WorldSet};
+
+use crate::bigint::BigUint;
+use crate::cell::Cell;
+use crate::component::{CompRow, Component};
+use crate::field::{Field, Tid};
+
+/// A field of a template tuple: stored inline (certain in all worlds) or
+/// defined by a component column (looked up through the WSD's field map).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateCell {
+    Certain(Value),
+    Open,
+}
+
+/// Whether a template tuple exists in every world or only in the worlds
+/// where its existence field is non-⊥.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Existence {
+    Always,
+    Open,
+}
+
+/// One template tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleTemplate {
+    pub tid: Tid,
+    pub cells: Vec<TemplateCell>,
+    pub exists: Existence,
+}
+
+/// The template of one relation: its schema and template tuples.
+#[derive(Debug, Clone)]
+pub struct RelTemplate {
+    pub schema: Schema,
+    pub tuples: Vec<TupleTemplate>,
+}
+
+/// Summary statistics of a decomposition (used by experiment tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsdStats {
+    pub relations: usize,
+    pub template_tuples: usize,
+    pub components: usize,
+    pub component_rows: usize,
+    pub component_cells: usize,
+    pub max_component_rows: usize,
+}
+
+/// A probabilistic world-set decomposition over a multi-relation database.
+#[derive(Debug, Clone)]
+pub struct Wsd {
+    pub(crate) relations: BTreeMap<String, RelTemplate>,
+    /// Components with tombstones: merging replaces entries by `None`
+    /// while keeping indices stable; [`Wsd::compact`] drops tombstones.
+    pub(crate) components: Vec<Option<Component>>,
+    /// field → (component index, column index). Many-to-one: derived tuples
+    /// *alias* the columns of the tuples they were computed from, which is
+    /// how correlations between query results and their inputs are kept.
+    pub(crate) field_map: HashMap<Field, (usize, usize)>,
+    pub(crate) next_tid: u64,
+}
+
+impl Default for Wsd {
+    fn default() -> Self {
+        Wsd::new()
+    }
+}
+
+impl Wsd {
+    pub fn new() -> Wsd {
+        Wsd {
+            relations: BTreeMap::new(),
+            components: Vec::new(),
+            field_map: HashMap::new(),
+            next_tid: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schema-level operations
+    // ------------------------------------------------------------------
+
+    /// Registers an empty relation.
+    pub fn add_relation(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(Error::DuplicateRelation(name));
+        }
+        self.relations.insert(name, RelTemplate { schema, tuples: Vec::new() });
+        Ok(())
+    }
+
+    pub fn relation(&self, name: &str) -> Result<&RelTemplate> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    pub fn remove_relation(&mut self, name: &str) -> Result<RelTemplate> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// Renames a relation.
+    pub fn rename_relation(&mut self, from: &str, to: impl Into<String>) -> Result<()> {
+        let t = self.remove_relation(from)?;
+        let to = to.into();
+        if self.relations.contains_key(&to) {
+            return Err(Error::DuplicateRelation(to));
+        }
+        self.relations.insert(to, t);
+        Ok(())
+    }
+
+    /// Allocates a fresh tuple identifier. Needed when assembling a WSD by
+    /// hand from components and templates (as `examples::medical_wsd` does);
+    /// the or-set/certain push APIs call it internally.
+    pub fn fresh_tid(&mut self) -> Tid {
+        let t = Tid(self.next_tid);
+        self.next_tid += 1;
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Tuple-level construction
+    // ------------------------------------------------------------------
+
+    /// Appends a certain tuple (all fields inline, exists in every world).
+    pub fn push_certain(&mut self, rel: &str, values: Vec<Value>) -> Result<Tid> {
+        let tid = self.fresh_tid();
+        let tpl = self
+            .relations
+            .get_mut(rel)
+            .ok_or_else(|| Error::UnknownRelation(rel.to_string()))?;
+        if values.len() != tpl.schema.len() {
+            return Err(Error::TypeError(format!(
+                "tuple arity {} vs schema {}",
+                values.len(),
+                tpl.schema.len()
+            )));
+        }
+        for (i, v) in values.iter().enumerate() {
+            if !v.matches_type(tpl.schema.column(i).ty) {
+                return Err(Error::TypeError(format!(
+                    "value {v} not valid for column {}",
+                    tpl.schema.column(i).name
+                )));
+            }
+        }
+        tpl.tuples.push(TupleTemplate {
+            tid,
+            cells: values.into_iter().map(TemplateCell::Certain).collect(),
+            exists: Existence::Always,
+        });
+        Ok(tid)
+    }
+
+    /// Appends an or-set tuple: certain fields are stored inline; each
+    /// uncertain field becomes its own single-field component — the
+    /// *maximal* decomposition, valid because or-set field choices are
+    /// independent.
+    pub fn push_orset(&mut self, rel: &str, cells: Vec<OrSetCell>) -> Result<Tid> {
+        let tid = self.fresh_tid();
+        {
+            let tpl = self
+                .relations
+                .get(rel)
+                .ok_or_else(|| Error::UnknownRelation(rel.to_string()))?;
+            if cells.len() != tpl.schema.len() {
+                return Err(Error::TypeError(format!(
+                    "or-set tuple arity {} vs schema {}",
+                    cells.len(),
+                    tpl.schema.len()
+                )));
+            }
+            for (i, c) in cells.iter().enumerate() {
+                for (v, _) in c.alternatives() {
+                    if !v.matches_type(tpl.schema.column(i).ty) {
+                        return Err(Error::TypeError(format!(
+                            "alternative {v} not valid for column {}",
+                            tpl.schema.column(i).name
+                        )));
+                    }
+                }
+            }
+        }
+        let mut tcells = Vec::with_capacity(cells.len());
+        for (i, c) in cells.into_iter().enumerate() {
+            if let Some(v) = c.certain_value() {
+                tcells.push(TemplateCell::Certain(v.clone()));
+            } else {
+                let field = Field::attr(tid, i as u32);
+                let comp = Component::singleton(
+                    field,
+                    c.alternatives()
+                        .iter()
+                        .map(|(v, p)| (Cell::Val(v.clone()), *p))
+                        .collect(),
+                );
+                self.add_component(comp);
+                tcells.push(TemplateCell::Open);
+            }
+        }
+        let tpl = self.relations.get_mut(rel).expect("checked above");
+        tpl.tuples.push(TupleTemplate {
+            tid,
+            cells: tcells,
+            exists: Existence::Always,
+        });
+        Ok(tid)
+    }
+
+    /// Appends a pre-built template tuple. The caller must have registered
+    /// component columns for every `Open` cell (and for `Existence::Open`)
+    /// via [`Wsd::add_component`] or [`Wsd::alias_field`].
+    pub fn push_template(&mut self, rel: &str, t: TupleTemplate) -> Result<()> {
+        let tpl = self
+            .relations
+            .get_mut(rel)
+            .ok_or_else(|| Error::UnknownRelation(rel.to_string()))?;
+        if t.cells.len() != tpl.schema.len() {
+            return Err(Error::TypeError(format!(
+                "template arity {} vs schema {}",
+                t.cells.len(),
+                tpl.schema.len()
+            )));
+        }
+        tpl.tuples.push(t);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Component management
+    // ------------------------------------------------------------------
+
+    /// Registers a component; its fields become defined in the field map.
+    pub fn add_component(&mut self, c: Component) -> usize {
+        let idx = self.components.len();
+        for (col, &f) in c.fields().iter().enumerate() {
+            self.field_map.insert(f, (idx, col));
+        }
+        self.components.push(Some(c));
+        idx
+    }
+
+    /// Makes `field` an alias for an existing component column. Used by
+    /// query operators so result tuples share the columns of their inputs.
+    pub fn alias_field(&mut self, field: Field, loc: (usize, usize)) {
+        self.field_map.insert(field, loc);
+    }
+
+    /// Location of a field, if open.
+    pub fn field_loc(&self, field: Field) -> Option<(usize, usize)> {
+        self.field_map.get(&field).copied()
+    }
+
+    pub fn component(&self, idx: usize) -> Option<&Component> {
+        self.components.get(idx).and_then(|c| c.as_ref())
+    }
+
+    pub fn component_mut(&mut self, idx: usize) -> Option<&mut Component> {
+        self.components.get_mut(idx).and_then(|c| c.as_mut())
+    }
+
+    /// Indices of live (non-tombstoned) components.
+    pub fn live_components(&self) -> Vec<usize> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|_| i))
+            .collect()
+    }
+
+    pub fn num_components(&self) -> usize {
+        self.components.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Merges the given components into one (their relational product) and
+    /// returns its index. All field-map entries pointing into the merged
+    /// components are retargeted. Duplicate indices are tolerated.
+    pub fn merge_components(&mut self, indices: &[usize]) -> Result<usize> {
+        let mut idxs: Vec<usize> = indices.to_vec();
+        idxs.sort_unstable();
+        idxs.dedup();
+        if idxs.is_empty() {
+            return Err(Error::InvalidExpr("merge of zero components".into()));
+        }
+        if idxs.len() == 1 {
+            return Ok(idxs[0]);
+        }
+        // Take the parts (leaving tombstones) and compute column offsets.
+        let mut parts: Vec<(usize, Component)> = Vec::with_capacity(idxs.len());
+        for &i in &idxs {
+            let c = self.components[i]
+                .take()
+                .ok_or_else(|| Error::InvalidExpr(format!("component {i} is dead")))?;
+            parts.push((i, c));
+        }
+        let mut offsets: HashMap<usize, usize> = HashMap::new();
+        let mut acc = 0usize;
+        for (i, c) in &parts {
+            offsets.insert(*i, acc);
+            acc += c.num_fields();
+        }
+        let mut it = parts.into_iter();
+        let (_, first) = it.next().expect("nonempty");
+        let merged = it.fold(first, |a, (_, b)| a.product(&b));
+
+        let new_idx = self.components.len();
+        self.components.push(Some(merged));
+        for loc in self.field_map.values_mut() {
+            if let Some(off) = offsets.get(&loc.0) {
+                *loc = (new_idx, off + loc.1);
+            }
+        }
+        Ok(new_idx)
+    }
+
+    /// Possible values of a tuple field: the certain value, or the distinct
+    /// non-⊥ values of its component column.
+    pub fn possible_values(&self, rel: &str, tid: Tid, pos: usize) -> Result<Vec<Value>> {
+        let tpl = self.relation(rel)?;
+        let t = tpl
+            .tuples
+            .iter()
+            .find(|t| t.tid == tid)
+            .ok_or_else(|| Error::InvalidExpr(format!("tuple {tid} not in {rel}")))?;
+        Ok(match &t.cells[pos] {
+            TemplateCell::Certain(v) => vec![v.clone()],
+            TemplateCell::Open => {
+                let (c, col) = self
+                    .field_loc(Field::attr(tid, pos as u32))
+                    .ok_or_else(|| Error::InvalidExpr(format!("unmapped open field {tid}.#{pos}")))?;
+                let comp = self
+                    .component(c)
+                    .ok_or_else(|| Error::InvalidExpr(format!("dead component {c}")))?;
+                let mut out: Vec<Value> = Vec::new();
+                for r in comp.rows() {
+                    if let Cell::Val(v) = &r.cells[col] {
+                        if !out.contains(v) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+                out
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Semantics: world counting, enumeration, instantiation
+    // ------------------------------------------------------------------
+
+    /// The number of worlds represented: the product of the live
+    /// components' row counts (exact, arbitrary precision). Distinct-world
+    /// counts (merging equal databases) require enumeration.
+    pub fn world_count(&self) -> BigUint {
+        let mut n = BigUint::one();
+        for c in self.components.iter().flatten() {
+            n = n.mul_u64(c.num_rows() as u64);
+        }
+        n
+    }
+
+    /// Instantiates the world picked by `choice` (row index per live
+    /// component; indices into `self.components`).
+    pub fn instantiate(&self, choice: &HashMap<usize, usize>) -> Result<World> {
+        let mut w = World::new();
+        for (name, tpl) in &self.relations {
+            let mut rel = Relation::empty(tpl.schema.clone());
+            'tuples: for t in &tpl.tuples {
+                // existence check
+                if t.exists == Existence::Open {
+                    let (c, col) = self
+                        .field_loc(Field::exists(t.tid))
+                        .ok_or_else(|| Error::InvalidExpr(format!("unmapped ∃ of {}", t.tid)))?;
+                    let row = self.chosen_row(c, choice)?;
+                    if row.cells[col].is_bottom() {
+                        continue 'tuples;
+                    }
+                }
+                let mut vals = Vec::with_capacity(t.cells.len());
+                for (i, cell) in t.cells.iter().enumerate() {
+                    match cell {
+                        TemplateCell::Certain(v) => vals.push(v.clone()),
+                        TemplateCell::Open => {
+                            let (c, col) =
+                                self.field_loc(Field::attr(t.tid, i as u32)).ok_or_else(|| {
+                                    Error::InvalidExpr(format!("unmapped field {}.#{}", t.tid, i))
+                                })?;
+                            let row = self.chosen_row(c, choice)?;
+                            match &row.cells[col] {
+                                Cell::Val(v) => vals.push(v.clone()),
+                                // ⊥ on any field means the tuple does not
+                                // exist in this world.
+                                Cell::Bottom => continue 'tuples,
+                            }
+                        }
+                    }
+                }
+                rel.push_unchecked(Tuple::new(vals));
+            }
+            w.put(name.clone(), rel);
+        }
+        Ok(w)
+    }
+
+    fn chosen_row(&self, comp: usize, choice: &HashMap<usize, usize>) -> Result<&CompRow> {
+        let c = self
+            .component(comp)
+            .ok_or_else(|| Error::InvalidExpr(format!("dead component {comp}")))?;
+        let &r = choice
+            .get(&comp)
+            .ok_or_else(|| Error::InvalidExpr(format!("no choice for component {comp}")))?;
+        c.rows()
+            .get(r)
+            .ok_or_else(|| Error::InvalidExpr(format!("row {r} out of range in component {comp}")))
+    }
+
+    /// Enumerates the full world-set (all combinations of component rows).
+    /// Fails if the combinatorial count exceeds `max_worlds` — enumeration
+    /// is for oracle/testing scale only; that is the whole point of WSDs.
+    pub fn to_worldset(&self, max_worlds: usize) -> Result<WorldSet> {
+        let live = self.live_components();
+        let count = self.world_count();
+        if count > BigUint::from_u64(max_worlds as u64) {
+            return Err(Error::InvalidExpr(format!(
+                "world-set too large to enumerate ({} worlds > cap {max_worlds})",
+                count.summary()
+            )));
+        }
+        let mut ws = WorldSet::default();
+        let widths: Vec<usize> = live
+            .iter()
+            .map(|&i| self.component(i).expect("live").num_rows())
+            .collect();
+        let mut idx = vec![0usize; live.len()];
+        loop {
+            let choice: HashMap<usize, usize> =
+                live.iter().copied().zip(idx.iter().copied()).collect();
+            let mut p = 1.0;
+            for (&c, &r) in live.iter().zip(&idx) {
+                p *= self.component(c).expect("live").rows()[r].p;
+            }
+            ws.push(self.instantiate(&choice)?, p);
+
+            let mut k = live.len();
+            loop {
+                if k == 0 {
+                    return Ok(ws);
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < widths[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation, accounting
+    // ------------------------------------------------------------------
+
+    /// Checks all structural invariants: component validity, field-map
+    /// consistency, template arity and typing of certain cells, open cells
+    /// mapped, existence fields mapped.
+    pub fn validate(&self) -> Result<()> {
+        for c in self.components.iter().flatten() {
+            c.validate()?;
+        }
+        for (f, &(c, col)) in &self.field_map {
+            let comp = self
+                .component(c)
+                .ok_or_else(|| Error::InvalidExpr(format!("field {f} maps to dead component {c}")))?;
+            if col >= comp.num_fields() {
+                return Err(Error::InvalidExpr(format!(
+                    "field {f} maps to column {col} of a {}-column component",
+                    comp.num_fields()
+                )));
+            }
+        }
+        for (name, tpl) in &self.relations {
+            for t in &tpl.tuples {
+                if t.cells.len() != tpl.schema.len() {
+                    return Err(Error::TypeError(format!(
+                        "tuple {} in {name} has arity {} vs schema {}",
+                        t.tid,
+                        t.cells.len(),
+                        tpl.schema.len()
+                    )));
+                }
+                for (i, cell) in t.cells.iter().enumerate() {
+                    match cell {
+                        TemplateCell::Certain(v) => {
+                            if !v.matches_type(tpl.schema.column(i).ty) {
+                                return Err(Error::TypeError(format!(
+                                    "certain value {v} invalid for {name}.{}",
+                                    tpl.schema.column(i).name
+                                )));
+                            }
+                        }
+                        TemplateCell::Open => {
+                            if self.field_loc(Field::attr(t.tid, i as u32)).is_none() {
+                                return Err(Error::InvalidExpr(format!(
+                                    "open field {}.#{} of {name} is unmapped",
+                                    t.tid, i
+                                )));
+                            }
+                        }
+                    }
+                }
+                if t.exists == Existence::Open
+                    && self.field_loc(Field::exists(t.tid)).is_none()
+                {
+                    return Err(Error::InvalidExpr(format!(
+                        "open existence of {} in {name} is unmapped",
+                        t.tid
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Estimated bytes of the representation: inline certain values plus
+    /// all component data (cells + probability columns). Comparable with
+    /// [`Relation::size_bytes`] — the E1 overhead metric.
+    pub fn size_bytes(&self) -> usize {
+        let template: usize = self
+            .relations
+            .values()
+            .flat_map(|tpl| tpl.tuples.iter())
+            .map(|t| {
+                std::mem::size_of::<TupleTemplate>()
+                    + t.cells
+                        .iter()
+                        .map(|c| match c {
+                            TemplateCell::Certain(v) => v.size_bytes(),
+                            TemplateCell::Open => std::mem::size_of::<TemplateCell>(),
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        let comps: usize = self
+            .components
+            .iter()
+            .flatten()
+            .map(Component::size_bytes)
+            .sum();
+        template + comps
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> WsdStats {
+        let live: Vec<&Component> = self.components.iter().flatten().collect();
+        WsdStats {
+            relations: self.relations.len(),
+            template_tuples: self.relations.values().map(|t| t.tuples.len()).sum(),
+            components: live.len(),
+            component_rows: live.iter().map(|c| c.num_rows()).sum(),
+            component_cells: live
+                .iter()
+                .map(|c| c.num_rows() * c.num_fields())
+                .sum(),
+            max_component_rows: live.iter().map(|c| c.num_rows()).max().unwrap_or(0),
+        }
+    }
+
+    /// Drops tombstoned component slots, remapping the field map. Call
+    /// after batches of merges to keep indices dense.
+    pub fn compact(&mut self) {
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut new_comps: Vec<Option<Component>> = Vec::with_capacity(self.components.len());
+        for (i, c) in self.components.drain(..).enumerate() {
+            if let Some(c) = c {
+                remap.insert(i, new_comps.len());
+                new_comps.push(Some(c));
+            }
+        }
+        self.components = new_comps;
+        self.field_map.retain(|_, loc| remap.contains_key(&loc.0));
+        for loc in self.field_map.values_mut() {
+            loc.0 = remap[&loc.0];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_relational::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Str)])
+    }
+
+    fn orset_wsd() -> Wsd {
+        let mut w = Wsd::new();
+        w.add_relation("r", schema()).unwrap();
+        w.push_orset(
+            "r",
+            vec![
+                OrSetCell::weighted(vec![(Value::Int(1), 0.4), (Value::Int(2), 0.6)]).unwrap(),
+                OrSetCell::certain("x"),
+            ],
+        )
+        .unwrap();
+        w.push_orset(
+            "r",
+            vec![
+                OrSetCell::certain(9i64),
+                OrSetCell::uniform(vec![Value::str("p"), Value::str("q")]).unwrap(),
+            ],
+        )
+        .unwrap();
+        w
+    }
+
+    #[test]
+    fn orset_construction_is_maximally_decomposed() {
+        let w = orset_wsd();
+        w.validate().unwrap();
+        assert_eq!(w.num_components(), 2); // one per uncertain field
+        assert_eq!(w.world_count().to_u64(), Some(4));
+        let s = w.stats();
+        assert_eq!(s.template_tuples, 2);
+        assert_eq!(s.component_rows, 4);
+    }
+
+    #[test]
+    fn enumeration_matches_orset_expansion() {
+        let w = orset_wsd();
+        let ws = w.to_worldset(100).unwrap();
+        assert_eq!(ws.len(), 4);
+        ws.validate().unwrap();
+        // check one specific world: a=2, b tuple2 = q has p 0.6*0.5
+        let found = ws.worlds().iter().any(|(world, p)| {
+            let r = world.get("r").unwrap();
+            r.len() == 2
+                && r.rows().iter().any(|t| t[0] == Value::Int(2))
+                && r.rows().iter().any(|t| t[1] == Value::str("q"))
+                && (p - 0.3).abs() < 1e-12
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn certain_tuples_cost_no_components() {
+        let mut w = Wsd::new();
+        w.add_relation("r", schema()).unwrap();
+        w.push_certain("r", vec![Value::Int(1), Value::str("x")]).unwrap();
+        assert_eq!(w.num_components(), 0);
+        assert_eq!(w.world_count().to_u64(), Some(1));
+        let ws = w.to_worldset(10).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.worlds()[0].0.get("r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_components_retargets_fields() {
+        let mut w = orset_wsd();
+        let live = w.live_components();
+        let merged = w.merge_components(&live).unwrap();
+        w.validate().unwrap();
+        assert_eq!(w.num_components(), 1);
+        assert_eq!(w.component(merged).unwrap().num_rows(), 4);
+        // still the same world-set
+        let ws = w.to_worldset(100).unwrap();
+        assert_eq!(ws.len(), 4);
+        let orig = orset_wsd().to_worldset(100).unwrap();
+        assert!(ws.equivalent(&orig, 1e-9));
+    }
+
+    #[test]
+    fn merge_single_component_is_noop() {
+        let mut w = orset_wsd();
+        let live = w.live_components();
+        assert_eq!(w.merge_components(&live[..1]).unwrap(), live[0]);
+        assert!(w.merge_components(&[]).is_err());
+    }
+
+    #[test]
+    fn compact_after_merge() {
+        let mut w = orset_wsd();
+        let live = w.live_components();
+        w.merge_components(&live).unwrap();
+        w.compact();
+        w.validate().unwrap();
+        assert_eq!(w.components.len(), 1);
+        assert_eq!(w.to_worldset(100).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn possible_values() {
+        let w = orset_wsd();
+        let tid = w.relation("r").unwrap().tuples[0].tid;
+        let vals = w.possible_values("r", tid, 0).unwrap();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2)]);
+        let vals_b = w.possible_values("r", tid, 1).unwrap();
+        assert_eq!(vals_b, vec![Value::str("x")]);
+    }
+
+    #[test]
+    fn typing_is_enforced() {
+        let mut w = Wsd::new();
+        w.add_relation("r", schema()).unwrap();
+        assert!(w.push_certain("r", vec![Value::str("bad"), Value::str("x")]).is_err());
+        assert!(w.push_certain("r", vec![Value::Int(1)]).is_err());
+        assert!(w
+            .push_orset(
+                "r",
+                vec![
+                    OrSetCell::uniform(vec![Value::Int(1), Value::str("bad")]).unwrap(),
+                    OrSetCell::certain("x"),
+                ],
+            )
+            .is_err());
+        assert!(w.push_certain("missing", vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut w = Wsd::new();
+        w.add_relation("r", schema()).unwrap();
+        assert!(w.add_relation("r", schema()).is_err());
+        w.rename_relation("r", "s").unwrap();
+        assert!(w.relation("r").is_err());
+        assert!(w.relation("s").is_ok());
+    }
+
+    #[test]
+    fn enumeration_cap() {
+        let mut w = Wsd::new();
+        w.add_relation("r", schema()).unwrap();
+        for _ in 0..30 {
+            w.push_orset(
+                "r",
+                vec![
+                    OrSetCell::uniform(vec![Value::Int(0), Value::Int(1)]).unwrap(),
+                    OrSetCell::certain("x"),
+                ],
+            )
+            .unwrap();
+        }
+        assert_eq!(w.world_count().to_decimal(), (1u64 << 30).to_string());
+        assert!(w.to_worldset(1000).is_err());
+    }
+
+    #[test]
+    fn size_bytes_counts_components_and_template() {
+        let w = orset_wsd();
+        assert!(w.size_bytes() > 0);
+        let mut certain = Wsd::new();
+        certain.add_relation("r", schema()).unwrap();
+        certain
+            .push_certain("r", vec![Value::Int(1), Value::str("x")])
+            .unwrap();
+        assert!(certain.size_bytes() < w.size_bytes());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the from-scratch BigUint against u128 arithmetic.
+
+use proptest::prelude::*;
+
+use maybms_core::BigUint;
+
+fn big(v: u128) -> BigUint {
+    BigUint::from_u64((v >> 64) as u64)
+        .mul(&BigUint::pow(2, 64))
+        .add(&BigUint::from_u64(v as u64))
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = big(a as u128 + b as u128);
+        prop_assert_eq!(BigUint::from_u64(a).add(&BigUint::from_u64(b)), sum);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = big(a as u128 * b as u128);
+        prop_assert_eq!(BigUint::from_u64(a).mul(&BigUint::from_u64(b)), prod.clone());
+        prop_assert_eq!(BigUint::from_u64(a).mul_u64(b), prod);
+    }
+
+    #[test]
+    fn decimal_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let v = a as u128 * b as u128;
+        prop_assert_eq!(big(v).to_decimal(), v.to_string());
+        prop_assert_eq!(big(v).decimal_digits(), v.to_string().len());
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), d in any::<u64>()) {
+        let (x, y) = (a as u128 * b as u128, c as u128 * d as u128);
+        prop_assert_eq!(big(x).cmp(&big(y)), x.cmp(&y));
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative(a in any::<u64>(), b in any::<u64>(), c in 0u64..1000) {
+        let (x, y, z) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(c));
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        prop_assert_eq!(x.mul(&y).mul(&z), x.mul(&y.mul(&z)));
+    }
+
+    #[test]
+    fn log2_tracks_pow(exp in 1u64..5000) {
+        let p = BigUint::pow(2, exp);
+        prop_assert!((p.log2() - exp as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul(base in 2u64..6, exp in 0u64..12) {
+        let mut acc = BigUint::one();
+        for _ in 0..exp {
+            acc = acc.mul_u64(base);
+        }
+        prop_assert_eq!(BigUint::pow(base, exp), acc);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for component factorization: splits must be lossless and
+//! true products must actually split.
+
+use proptest::prelude::*;
+
+use maybms_core::factorize::factorize_component;
+use maybms_core::{Cell, CompRow, Component, Field, Tid};
+use maybms_relational::Value;
+
+fn f(i: u32) -> Field {
+    Field::attr(Tid(1), i)
+}
+
+/// A random single-column component with 1–3 weighted rows.
+fn arb_factor(col: u32) -> impl Strategy<Value = Component> {
+    prop::collection::vec((0i64..4, 1u32..5), 1..4).prop_map(move |alts| {
+        let total: u32 = alts.iter().map(|(_, w)| w).sum();
+        let mut rows: Vec<CompRow> = Vec::new();
+        for (v, w) in alts {
+            let cell = Cell::Val(Value::Int(v));
+            let p = w as f64 / total as f64;
+            match rows.iter_mut().find(|r| r.cells[0] == cell) {
+                Some(r) => r.p += p,
+                None => rows.push(CompRow::new(vec![cell], p)),
+            }
+        }
+        Component::new(vec![f(col)], rows)
+    })
+}
+
+/// A random correlated 2-column component (generic joint distribution).
+fn arb_correlated() -> impl Strategy<Value = Component> {
+    prop::collection::vec(((0i64..3, 0i64..3), 1u32..5), 1..5).prop_map(|cells| {
+        let total: u32 = cells.iter().map(|(_, w)| w).sum();
+        let mut rows: Vec<CompRow> = Vec::new();
+        for ((a, b), w) in cells {
+            let cs = vec![Cell::Val(Value::Int(a)), Cell::Val(Value::Int(b))];
+            let p = w as f64 / total as f64;
+            match rows.iter_mut().find(|r| r.cells == cs) {
+                Some(r) => r.p += p,
+                None => rows.push(CompRow::new(cs, p)),
+            }
+        }
+        Component::new(vec![f(0), f(1)], rows)
+    })
+}
+
+/// Joint distribution of a component over its full width.
+fn joint(c: &Component) -> Vec<(Vec<Cell>, f64)> {
+    let mut out: Vec<(Vec<Cell>, f64)> = Vec::new();
+    for r in c.rows() {
+        match out.iter_mut().find(|(cells, _)| *cells == r.cells) {
+            Some((_, p)) => *p += r.p,
+            None => out.push((r.cells.clone(), r.p)),
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Reconstructs the product of factor components in the original column
+/// order described by `blocks`.
+fn reconstruct(blocks: &[Vec<usize>], parts: &[Component], width: usize) -> Vec<(Vec<Cell>, f64)> {
+    // odometer over parts' rows
+    let mut out: Vec<(Vec<Cell>, f64)> = Vec::new();
+    let widths: Vec<usize> = parts.iter().map(Component::num_rows).collect();
+    let mut idx = vec![0usize; parts.len()];
+    loop {
+        let mut cells = vec![Cell::Bottom; width];
+        let mut p = 1.0;
+        for (k, part) in parts.iter().enumerate() {
+            let row = &part.rows()[idx[k]];
+            p *= row.p;
+            for (pos, &col) in blocks[k].iter().enumerate() {
+                cells[col] = row.cells[pos].clone();
+            }
+        }
+        match out.iter_mut().find(|(cs, _)| *cs == cells) {
+            Some((_, q)) => *q += p,
+            None => out.push((cells, p)),
+        }
+        let mut k = parts.len();
+        loop {
+            if k == 0 {
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                return out;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < widths[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+fn assert_lossless(c: &Component) {
+    let (blocks, parts) = factorize_component(c, 1e-9);
+    for p in &parts {
+        p.validate().expect("factors are valid components");
+    }
+    let original = joint(c);
+    let rebuilt = reconstruct(&blocks, &parts, c.num_fields());
+    assert_eq!(original.len(), rebuilt.len(), "support must match");
+    for ((ca, pa), (cb, pb)) in original.iter().zip(&rebuilt) {
+        assert_eq!(ca, cb);
+        assert!((pa - pb).abs() < 1e-9, "probability drift {pa} vs {pb}");
+    }
+}
+
+proptest! {
+    /// Factorizing any product of independent columns is lossless and
+    /// recovers (at least) the factors.
+    #[test]
+    fn product_components_split_losslessly(
+        a in arb_factor(0),
+        b in arb_factor(1),
+        c in arb_factor(2),
+    ) {
+        let prod = a.product(&b).product(&c);
+        let (blocks, parts) = factorize_component(&prod, 1e-9);
+        // distinct-valued factors with >1 row must separate
+        let nontrivial =
+            [&a, &b, &c].iter().filter(|x| x.num_rows() > 1).count();
+        prop_assert!(parts.len() >= nontrivial.max(1) || nontrivial <= 1,
+            "expected ≥{nontrivial} parts, got {} (blocks {blocks:?})", parts.len());
+        assert_lossless(&prod);
+    }
+
+    /// Factorization of arbitrary correlated components never changes the
+    /// joint distribution (it may refuse to split — that is fine).
+    #[test]
+    fn arbitrary_components_factor_losslessly(c in arb_correlated()) {
+        assert_lossless(&c);
+    }
+
+    /// A correlated pair glued to an independent factor splits the factor
+    /// off but keeps the pair together.
+    #[test]
+    fn correlation_is_kept_together(ind in arb_factor(2)) {
+        let corr = Component::new(
+            vec![f(0), f(1)],
+            vec![
+                CompRow::new(vec![Cell::Val(Value::Int(0)), Cell::Val(Value::Int(0))], 0.5),
+                CompRow::new(vec![Cell::Val(Value::Int(1)), Cell::Val(Value::Int(1))], 0.5),
+            ],
+        );
+        let prod = corr.product(&ind);
+        let (blocks, _) = factorize_component(&prod, 1e-9);
+        // columns 0 and 1 always share a block
+        let block_of = |col: usize| blocks.iter().position(|b| b.contains(&col)).expect("col");
+        prop_assert_eq!(block_of(0), block_of(1));
+        assert_lossless(&prod);
+    }
+}

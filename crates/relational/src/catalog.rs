@@ -1,0 +1,112 @@
+//! A named collection of relations — the engine's "database".
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+
+/// Maps relation names to materialized relations. Iteration order is the
+/// name order (BTreeMap) so catalog dumps are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a relation; fails if the name is taken.
+    pub fn create(&mut self, name: impl Into<String>, r: Relation) -> Result<()> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(Error::DuplicateRelation(name));
+        }
+        self.relations.insert(name, r);
+        Ok(())
+    }
+
+    /// Registers or replaces a relation.
+    pub fn put(&mut self, name: impl Into<String>, r: Relation) {
+        self.relations.insert(name.into(), r);
+    }
+
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    pub fn drop_relation(&mut self, name: &str) -> Result<Relation> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+
+    fn rel() -> Relation {
+        Relation::empty(Schema::new(vec![("a", ColumnType::Int)]))
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        c.create("r", rel()).unwrap();
+        assert!(c.create("r", rel()).is_err());
+        assert!(c.get("r").is_ok());
+        assert!(c.get("s").is_err());
+        assert_eq!(c.len(), 1);
+        c.drop_relation("r").unwrap();
+        assert!(c.is_empty());
+        assert!(c.drop_relation("r").is_err());
+    }
+
+    #[test]
+    fn put_replaces() {
+        let mut c = Catalog::new();
+        c.put("r", rel());
+        c.put("r", rel());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.put("zeta", rel());
+        c.put("alpha", rel());
+        let names: Vec<&str> = c.names().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

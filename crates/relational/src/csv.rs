@@ -1,0 +1,182 @@
+//! Minimal CSV import/export (comma-separated, double-quote escaping).
+//!
+//! Used to load generated census data and to dump experiment outputs; kept
+//! dependency-free on purpose.
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::schema::{ColumnType, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Parses one CSV line honoring double quotes (`""` escapes a quote).
+pub fn parse_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => return Err(Error::Csv(format!("stray quote in: {line}"))),
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv(format!("unterminated quote in: {line}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn parse_value(s: &str, ty: ColumnType) -> Result<Value> {
+    if s.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        ColumnType::Bool => match s {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => return Err(Error::Csv(format!("bad bool: {s}"))),
+        },
+        ColumnType::Int => Value::Int(
+            s.parse::<i64>()
+                .map_err(|e| Error::Csv(format!("bad int {s}: {e}")))?,
+        ),
+        ColumnType::Float => Value::Float(
+            s.parse::<f64>()
+                .map_err(|e| Error::Csv(format!("bad float {s}: {e}")))?,
+        ),
+        ColumnType::Str => Value::str(s),
+    })
+}
+
+/// Reads a relation from CSV text. The first line must be the header and
+/// must match `schema`'s column names.
+pub fn from_csv(schema: Schema, text: &str) -> Result<Relation> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| Error::Csv("empty input".into()))?;
+    let names = parse_line(header)?;
+    let expected: Vec<&str> = schema.names();
+    if names.len() != expected.len() || names.iter().map(String::as_str).ne(expected.iter().copied())
+    {
+        return Err(Error::Csv(format!(
+            "header {names:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut rel = Relation::empty(schema.clone());
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_line(line)?;
+        if fields.len() != schema.len() {
+            return Err(Error::Csv(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 2,
+                schema.len(),
+                fields.len()
+            )));
+        }
+        let vals: Vec<Value> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| parse_value(f, schema.column(i).ty))
+            .collect::<Result<_>>()?;
+        rel.push(Tuple::new(vals))?;
+    }
+    Ok(rel)
+}
+
+/// Serializes a relation to CSV text (header + rows). NULL becomes the
+/// empty field.
+pub fn to_csv(r: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = r.schema().names().iter().map(|n| escape(n)).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for t in r.iter() {
+        let fields: Vec<String> = t
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => escape(s),
+                v => v.to_string(),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("score", ColumnType::Float),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut r = Relation::empty(schema());
+        r.push_values(vec![Value::Int(1), Value::str("a,b"), Value::Float(1.5)])
+            .unwrap();
+        r.push_values(vec![Value::Int(2), Value::Null, Value::Float(2.0)])
+            .unwrap();
+        let text = to_csv(&r);
+        let back = from_csv(schema(), &text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn quote_escaping() {
+        assert_eq!(parse_line(r#"a,"b,c",d"#).unwrap(), vec!["a", "b,c", "d"]);
+        assert_eq!(parse_line(r#""say ""hi""""#).unwrap(), vec![r#"say "hi""#]);
+        assert!(parse_line(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn header_mismatch_errors() {
+        assert!(from_csv(schema(), "id,wrong,score\n").is_err());
+        assert!(from_csv(schema(), "").is_err());
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(from_csv(schema(), "id,name,score\nnotanint,a,1.0\n").is_err());
+        assert!(from_csv(schema(), "id,name,score\n1,a\n").is_err());
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let r = from_csv(schema(), "id,name,score\n1,,\n").unwrap();
+        assert_eq!(r.rows()[0][1], Value::Null);
+        assert_eq!(r.rows()[0][2], Value::Null);
+    }
+}

@@ -1,0 +1,265 @@
+//! Grouping and aggregation (γ).
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::expr::AggFunc;
+use crate::relation::Relation;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// One aggregate in the output: apply `func` to column `col` (ignored for
+/// `Count`, which counts rows), producing output column `alias`.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub col: Option<String>,
+    pub alias: String,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, col: Option<&str>, alias: &str) -> AggSpec {
+        AggSpec {
+            func,
+            col: col.map(str::to_string),
+            alias: alias.to_string(),
+        }
+    }
+
+    pub fn count(alias: &str) -> AggSpec {
+        AggSpec::new(AggFunc::Count, None, alias)
+    }
+    pub fn sum(col: &str, alias: &str) -> AggSpec {
+        AggSpec::new(AggFunc::Sum, Some(col), alias)
+    }
+    pub fn min(col: &str, alias: &str) -> AggSpec {
+        AggSpec::new(AggFunc::Min, Some(col), alias)
+    }
+    pub fn max(col: &str, alias: &str) -> AggSpec {
+        AggSpec::new(AggFunc::Max, Some(col), alias)
+    }
+    pub fn avg(col: &str, alias: &str) -> AggSpec {
+        AggSpec::new(AggFunc::Avg, Some(col), alias)
+    }
+}
+
+struct AggState {
+    count: u64,
+    sum: f64,
+    sum_is_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> AggState {
+        AggState { count: 0, sum: 0.0, sum_is_int: true, min: None, max: None }
+    }
+
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+            if !matches!(v, Value::Int(_)) {
+                self.sum_is_int = false;
+            }
+        }
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v < m => self.min = Some(v.clone()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v > m => self.max = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.sum_is_int {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// γ_{group_cols; aggs}(r). With empty `group_cols` produces a single row
+/// (global aggregate), even for empty input (COUNT = 0).
+pub fn aggregate(r: &Relation, group_cols: &[&str], aggs: &[AggSpec]) -> Result<Relation> {
+    let group_pos: Vec<usize> = group_cols
+        .iter()
+        .map(|c| r.schema().index_of(c))
+        .collect::<Result<_>>()?;
+    let agg_pos: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match (&a.col, a.func) {
+            (Some(c), _) => r.schema().index_of(c).map(Some),
+            (None, AggFunc::Count) => Ok(None),
+            (None, f) => Err(Error::InvalidExpr(format!("{f} requires a column"))),
+        })
+        .collect::<Result<_>>()?;
+
+    // Output schema.
+    let mut cols: Vec<Column> = group_pos
+        .iter()
+        .map(|&i| r.schema().column(i).clone())
+        .collect();
+    for (a, pos) in aggs.iter().zip(&agg_pos) {
+        let ty = match a.func {
+            AggFunc::Count => ColumnType::Int,
+            AggFunc::Avg => ColumnType::Float,
+            AggFunc::Sum => match pos.map(|i| r.schema().column(i).ty) {
+                Some(ColumnType::Float) => ColumnType::Float,
+                _ => ColumnType::Int,
+            },
+            AggFunc::Min | AggFunc::Max => {
+                pos.map(|i| r.schema().column(i).ty).unwrap_or(ColumnType::Int)
+            }
+        };
+        cols.push(Column::new(a.alias.clone(), ty));
+    }
+    let schema = Schema::from_columns(cols);
+
+    // Group.
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for t in r.iter() {
+        let key: Vec<Value> = group_pos.iter().map(|&i| t[i].clone()).collect();
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|_| AggState::new()).collect()
+        });
+        for (st, pos) in states.iter_mut().zip(&agg_pos) {
+            match pos {
+                Some(i) => st.update(&t[*i]),
+                None => st.count += 1, // COUNT(*) counts every row
+            }
+        }
+    }
+
+    // Global aggregate over empty input still yields one row.
+    if group_pos.is_empty() && groups.is_empty() {
+        let states: Vec<AggState> = aggs.iter().map(|_| AggState::new()).collect();
+        groups.insert(Vec::new(), states);
+        order.push(Vec::new());
+    }
+
+    let mut out = Relation::empty(schema);
+    for key in order {
+        let states = &groups[&key];
+        let mut vals = key.clone();
+        for (st, a) in states.iter().zip(aggs) {
+            vals.push(st.finish(a.func));
+        }
+        out.push_unchecked(Tuple::new(vals));
+    }
+    out.sort_in_place(); // deterministic output order
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> Relation {
+        let mut r = Relation::empty(Schema::new(vec![
+            ("g", ColumnType::Str),
+            ("x", ColumnType::Int),
+        ]));
+        for (g, x) in [("a", 1), ("a", 2), ("b", 10), ("b", 20), ("b", 30)] {
+            r.push_values(vec![Value::str(g), Value::Int(x)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn group_by_count_sum() {
+        let out = aggregate(
+            &sample(),
+            &["g"],
+            &[AggSpec::count("n"), AggSpec::sum("x", "s")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let a = &out.rows()[0];
+        assert_eq!(a.values(), &[Value::str("a"), Value::Int(2), Value::Int(3)]);
+        let b = &out.rows()[1];
+        assert_eq!(b.values(), &[Value::str("b"), Value::Int(3), Value::Int(60)]);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let out = aggregate(
+            &sample(),
+            &[],
+            &[
+                AggSpec::min("x", "lo"),
+                AggSpec::max("x", "hi"),
+                AggSpec::avg("x", "mean"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(1));
+        assert_eq!(out.rows()[0][1], Value::Int(30));
+        assert_eq!(out.rows()[0][2], Value::Float(63.0 / 5.0));
+    }
+
+    #[test]
+    fn empty_input_global_count_is_zero() {
+        let r = Relation::empty(Schema::new(vec![("x", ColumnType::Int)]));
+        let out = aggregate(&r, &[], &[AggSpec::count("n"), AggSpec::sum("x", "s")]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(0));
+        assert_eq!(out.rows()[0][1], Value::Null);
+    }
+
+    #[test]
+    fn nulls_ignored_by_column_aggs() {
+        let mut r = Relation::empty(Schema::new(vec![("x", ColumnType::Int)]));
+        r.push_values(vec![Value::Int(5)]).unwrap();
+        r.push_values(vec![Value::Null]).unwrap();
+        let out = aggregate(
+            &r,
+            &[],
+            &[
+                AggSpec::count("n"),
+                AggSpec::new(AggFunc::Count, Some("x"), "nx"),
+                AggSpec::avg("x", "m"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int(2)); // COUNT(*)
+        assert_eq!(out.rows()[0][1], Value::Int(1)); // COUNT(x)
+        assert_eq!(out.rows()[0][2], Value::Float(5.0));
+    }
+
+    #[test]
+    fn sum_without_column_errors() {
+        let r = sample();
+        assert!(aggregate(&r, &[], &[AggSpec::new(AggFunc::Sum, None, "s")]).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Cartesian product (×) — the core operation of world-set decompositions:
+//! a WSD *is* a relational product of its components.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// r × s with concatenated schemas. Callers usually [`super::qualify`] the
+/// inputs first when column names collide.
+pub fn product(r: &Relation, s: &Relation) -> Relation {
+    let schema = r.schema().concat(s.schema());
+    let mut rows: Vec<Tuple> = Vec::with_capacity(r.len() * s.len());
+    for a in r.iter() {
+        for b in s.iter() {
+            rows.push(a.concat(b));
+        }
+    }
+    Relation::from_rows_unchecked(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn rel(name: &str, vals: &[i64]) -> Relation {
+        let mut r = Relation::empty(Schema::new(vec![(name, ColumnType::Int)]));
+        for v in vals {
+            r.push_values(vec![Value::Int(*v)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn product_sizes_multiply() {
+        let out = product(&rel("a", &[1, 2]), &rel("b", &[10, 20, 30]));
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.schema().len(), 2);
+        assert_eq!(out.rows()[5].values(), &[Value::Int(2), Value::Int(30)]);
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let out = product(&rel("a", &[1]), &rel("b", &[]));
+        assert!(out.is_empty());
+        assert_eq!(out.schema().len(), 2);
+    }
+
+    #[test]
+    fn product_with_nullary_relation_is_identity_on_rows() {
+        // A relation with zero columns and one row is the unit of ×.
+        let unit = Relation::from_rows_unchecked(Schema::empty(), vec![Tuple::new(vec![])]);
+        let r = rel("a", &[1, 2]);
+        let out = product(&r, &unit);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Renaming (ρ) and qualification.
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// ρ: renames a single column; rows are shared structurally (cloned cheaply).
+pub fn rename(r: &Relation, from: &str, to: &str) -> Result<Relation> {
+    let schema = r.schema().rename(from, to)?;
+    Ok(Relation::from_rows_unchecked(schema, r.rows().to_vec()))
+}
+
+/// Prefixes all column names with `prefix.` — used before self-joins and
+/// products where names would collide.
+pub fn qualify(r: &Relation, prefix: &str) -> Relation {
+    Relation::from_rows_unchecked(r.schema().qualify(prefix), r.rows().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn sample() -> Relation {
+        let mut r = Relation::empty(Schema::new(vec![("a", ColumnType::Int)]));
+        r.push_values(vec![Value::Int(1)]).unwrap();
+        r
+    }
+
+    #[test]
+    fn rename_changes_schema_not_rows() {
+        let out = rename(&sample(), "a", "b").unwrap();
+        assert_eq!(out.schema().names(), vec!["b"]);
+        assert_eq!(out.rows()[0][0], Value::Int(1));
+        assert!(rename(&sample(), "zzz", "b").is_err());
+    }
+
+    #[test]
+    fn qualify_prefixes() {
+        let out = qualify(&sample(), "r1");
+        assert_eq!(out.schema().names(), vec!["r1.a"]);
+    }
+}

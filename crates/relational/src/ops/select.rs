@@ -1,0 +1,70 @@
+//! Selection (σ).
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::relation::Relation;
+
+/// σ_pred(r): keeps the tuples satisfying `pred` (NULL-as-false semantics).
+pub fn select(r: &Relation, pred: &Expr) -> Result<Relation> {
+    let bound = pred.bind(r.schema())?;
+    let mut out = Relation::empty(r.schema().clone());
+    for t in r.iter() {
+        if bound.eval_predicate(t)? {
+            out.push_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn sample() -> Relation {
+        let mut r = Relation::empty(Schema::new(vec![
+            ("diagnosis", ColumnType::Str),
+            ("test", ColumnType::Str),
+        ]));
+        r.push_values(vec![Value::str("pregnancy"), Value::str("ultrasound")])
+            .unwrap();
+        r.push_values(vec![Value::str("hypothyroidism"), Value::str("TSH")])
+            .unwrap();
+        r.push_values(vec![Value::Null, Value::str("BMI")]).unwrap();
+        r
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = sample();
+        let out = select(
+            &r,
+            &Expr::col("diagnosis").eq(Expr::lit("pregnancy")),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][1], Value::str("ultrasound"));
+    }
+
+    #[test]
+    fn null_rows_are_dropped_by_comparison() {
+        let r = sample();
+        let out = select(&r, &Expr::col("diagnosis").ne(Expr::lit("pregnancy"))).unwrap();
+        // NULL <> 'pregnancy' is unknown → dropped
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn select_true_keeps_all() {
+        let r = sample();
+        let out = select(&r, &Expr::lit(true)).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let r = sample();
+        assert!(select(&r, &Expr::col("nope").is_null()).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Set operations: union, difference, intersection, duplicate elimination.
+
+use std::collections::HashSet;
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// Bag union (UNION ALL). Schemas must be union-compatible; the left
+/// schema's names win.
+pub fn union_all(r: &Relation, s: &Relation) -> Result<Relation> {
+    r.schema().union_compatible(s.schema())?;
+    let mut rows = Vec::with_capacity(r.len() + s.len());
+    rows.extend(r.iter().cloned());
+    rows.extend(s.iter().cloned());
+    Ok(Relation::from_rows_unchecked(r.schema().clone(), rows))
+}
+
+/// Set union (UNION): bag union followed by duplicate elimination.
+pub fn union(r: &Relation, s: &Relation) -> Result<Relation> {
+    let mut out = union_all(r, s)?;
+    out.distinct_in_place();
+    Ok(out)
+}
+
+/// Set difference r − s.
+pub fn difference(r: &Relation, s: &Relation) -> Result<Relation> {
+    r.schema().union_compatible(s.schema())?;
+    let exclude: HashSet<&Tuple> = s.iter().collect();
+    let mut out = Relation::empty(r.schema().clone());
+    for t in r.iter() {
+        if !exclude.contains(t) {
+            out.push_unchecked(t.clone());
+        }
+    }
+    out.distinct_in_place();
+    Ok(out)
+}
+
+/// Set intersection r ∩ s.
+pub fn intersect(r: &Relation, s: &Relation) -> Result<Relation> {
+    r.schema().union_compatible(s.schema())?;
+    let keep: HashSet<&Tuple> = s.iter().collect();
+    let mut out = Relation::empty(r.schema().clone());
+    for t in r.iter() {
+        if keep.contains(t) {
+            out.push_unchecked(t.clone());
+        }
+    }
+    out.distinct_in_place();
+    Ok(out)
+}
+
+/// Duplicate elimination (δ).
+pub fn distinct(r: &Relation) -> Relation {
+    let mut out = r.clone();
+    out.distinct_in_place();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn rel(vals: &[i64]) -> Relation {
+        let mut r = Relation::empty(Schema::new(vec![("a", ColumnType::Int)]));
+        for v in vals {
+            r.push_values(vec![Value::Int(*v)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn union_dedups_union_all_does_not() {
+        let (r, s) = (rel(&[1, 2, 2]), rel(&[2, 3]));
+        assert_eq!(union_all(&r, &s).unwrap().len(), 5);
+        assert_eq!(union(&r, &s).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn difference_removes_matches() {
+        let out = difference(&rel(&[1, 2, 3, 3]), &rel(&[2])).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0][0], Value::Int(1));
+        assert_eq!(out.rows()[1][0], Value::Int(3));
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        let out = intersect(&rel(&[1, 2, 2, 3]), &rel(&[2, 3, 4])).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn incompatible_schemas_error() {
+        let mut s2 = Relation::empty(Schema::new(vec![("x", ColumnType::Str)]));
+        s2.push_values(vec![Value::str("v")]).unwrap();
+        assert!(union(&rel(&[1]), &s2).is_err());
+        assert!(difference(&rel(&[1]), &s2).is_err());
+        assert!(intersect(&rel(&[1]), &s2).is_err());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        assert_eq!(distinct(&rel(&[5, 5, 5])).len(), 1);
+        assert_eq!(distinct(&rel(&[])).len(), 0);
+    }
+}

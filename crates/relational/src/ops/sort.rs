@@ -1,0 +1,79 @@
+//! Sorting.
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// Sorted copy using the total tuple order.
+pub fn sort(r: &Relation) -> Relation {
+    let mut out = r.clone();
+    out.sort_in_place();
+    out
+}
+
+/// Sorted copy by the given columns (ascending flags per column).
+pub fn sort_by(r: &Relation, cols: &[(&str, bool)]) -> Result<Relation> {
+    let keys: Vec<(usize, bool)> = cols
+        .iter()
+        .map(|(c, asc)| r.schema().index_of(c).map(|i| (i, *asc)))
+        .collect::<Result<_>>()?;
+    let mut rows = r.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for &(i, asc) in &keys {
+            let ord = a[i].cmp(&b[i]);
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::from_rows_unchecked(r.schema().clone(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn sample() -> Relation {
+        let mut r = Relation::empty(Schema::new(vec![
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Str),
+        ]));
+        for (a, b) in [(2, "x"), (1, "z"), (1, "a"), (3, "m")] {
+            r.push_values(vec![Value::Int(a), Value::str(b)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn sort_total_order() {
+        let out = sort(&sample());
+        let firsts: Vec<i64> = out.iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(firsts, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_by_desc_then_asc() {
+        let out = sort_by(&sample(), &[("a", false), ("b", true)]).unwrap();
+        let pairs: Vec<(i64, String)> = out
+            .iter()
+            .map(|t| (t[0].as_i64().unwrap(), t[1].to_string()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (3, "m".into()),
+                (2, "x".into()),
+                (1, "a".into()),
+                (1, "z".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_by_missing_column_errors() {
+        assert!(sort_by(&sample(), &[("zzz", true)]).is_err());
+    }
+}

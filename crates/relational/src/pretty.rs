@@ -1,0 +1,92 @@
+//! ASCII table rendering for relations — used by examples, the SQL shell,
+//! and the experiment harness output.
+
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Renders a relation as an ASCII table, capping at `max_rows` data rows
+/// (a trailer line reports elided rows).
+pub fn render(r: &Relation, max_rows: usize) -> String {
+    let names = r.schema().names();
+    let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+    let shown = r.rows().iter().take(max_rows);
+    let rendered: Vec<Vec<String>> = shown
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(|v| match v {
+                    Value::Null => "NULL".to_string(),
+                    v => v.to_string(),
+                })
+                .collect()
+        })
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let sep = |widths: &[usize]| {
+        let mut s = String::from("+");
+        for w in widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s.push('\n');
+        s
+    };
+
+    let mut out = String::new();
+    out.push_str(&sep(&widths));
+    out.push('|');
+    for (n, w) in names.iter().zip(&widths) {
+        out.push_str(&format!(" {n:<w$} |"));
+    }
+    out.push('\n');
+    out.push_str(&sep(&widths));
+    for row in &rendered {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&sep(&widths));
+    if r.len() > max_rows {
+        out.push_str(&format!("({} rows, {} shown)\n", r.len(), max_rows));
+    } else {
+        out.push_str(&format!("({} rows)\n", r.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut r = Relation::empty(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("n", ColumnType::Int),
+        ]));
+        r.push_values(vec![Value::str("x"), Value::Int(1)]).unwrap();
+        r.push_values(vec![Value::Null, Value::Int(22)]).unwrap();
+        let s = render(&r, 10);
+        assert!(s.contains("| name |"));
+        assert!(s.contains("NULL"));
+        assert!(s.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn caps_rows() {
+        let mut r = Relation::empty(Schema::new(vec![("n", ColumnType::Int)]));
+        for i in 0..100 {
+            r.push_values(vec![Value::Int(i)]).unwrap();
+        }
+        let s = render(&r, 5);
+        assert!(s.contains("(100 rows, 5 shown)"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Materialized relations: a schema plus a bag of tuples.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A materialized relation (bag semantics; use [`Relation::distinct_in_place`]
+/// or [`crate::ops::distinct`] for set semantics).
+#[derive(Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Builds a relation from rows, validating each against the schema.
+    pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Relation> {
+        let mut r = Relation::empty(schema);
+        for t in rows {
+            r.push(t)?;
+        }
+        Ok(r)
+    }
+
+    /// Builds a relation without per-row validation. The caller guarantees
+    /// every tuple matches the schema; operators use this internally after
+    /// transforming already-validated rows.
+    pub fn from_rows_unchecked(schema: Schema, rows: Vec<Tuple>) -> Relation {
+        Relation { schema, rows }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Validates and appends a tuple.
+    pub fn push(&mut self, t: Tuple) -> Result<()> {
+        if t.arity() != self.schema.len() {
+            return Err(Error::TypeError(format!(
+                "tuple arity {} does not match schema arity {}",
+                t.arity(),
+                self.schema.len()
+            )));
+        }
+        for (i, v) in t.values().iter().enumerate() {
+            let col = self.schema.column(i);
+            if !v.matches_type(col.ty) {
+                return Err(Error::TypeError(format!(
+                    "value {v} not valid for column {} of type {}",
+                    col.name, col.ty
+                )));
+            }
+        }
+        self.rows.push(t);
+        Ok(())
+    }
+
+    /// Validates and appends a row given as plain values.
+    pub fn push_values(&mut self, values: Vec<Value>) -> Result<()> {
+        self.push(Tuple::new(values))
+    }
+
+    /// Appends without validation (caller-guaranteed well-typed).
+    pub fn push_unchecked(&mut self, t: Tuple) {
+        debug_assert_eq!(t.arity(), self.schema.len());
+        self.rows.push(t);
+    }
+
+    /// Sorts rows by the total tuple order (deterministic output order).
+    pub fn sort_in_place(&mut self) {
+        self.rows.sort();
+    }
+
+    /// Removes duplicate rows (set semantics), preserving first occurrence
+    /// order of the sorted sequence.
+    pub fn distinct_in_place(&mut self) {
+        self.rows.sort();
+        self.rows.dedup();
+    }
+
+    /// A sorted, deduplicated copy — canonical form for comparisons in tests
+    /// and for world-equality checks in the world-set engine.
+    pub fn canonical(&self) -> Relation {
+        let mut c = self.clone();
+        c.distinct_in_place();
+        c
+    }
+
+    /// Column index shortcut.
+    pub fn col(&self, name: &str) -> Result<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Estimated bytes used by the data (rows only, not the schema); the
+    /// E1 storage experiment compares these estimates across
+    /// representations, so the same estimator must be used everywhere.
+    pub fn size_bytes(&self) -> usize {
+        self.rows.iter().map(Tuple::size_bytes).sum()
+    }
+
+    /// Takes the rows out, leaving the relation empty.
+    pub fn take_rows(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.rows)
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:?} [{} rows]", self.schema, self.rows.len())?;
+        for t in self.rows.iter().take(20) {
+            writeln!(f, "  {t:?}")?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Str)])
+    }
+
+    #[test]
+    fn push_validates_arity_and_types() {
+        let mut r = Relation::empty(schema());
+        assert!(r.push_values(vec![Value::Int(1), Value::str("x")]).is_ok());
+        assert!(r.push_values(vec![Value::Int(1)]).is_err());
+        assert!(r
+            .push_values(vec![Value::str("oops"), Value::str("x")])
+            .is_err());
+        assert!(r.push_values(vec![Value::Null, Value::Null]).is_ok());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn distinct_and_canonical() {
+        let mut r = Relation::empty(schema());
+        for _ in 0..3 {
+            r.push_values(vec![Value::Int(1), Value::str("x")]).unwrap();
+        }
+        r.push_values(vec![Value::Int(0), Value::str("y")]).unwrap();
+        let c = r.canonical();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.rows()[0][0], Value::Int(0));
+        // original remains a bag
+        assert_eq!(r.len(), 4);
+        r.distinct_in_place();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        let good = vec![Tuple::new(vec![Value::Int(1), Value::str("a")])];
+        assert!(Relation::from_rows(schema(), good).is_ok());
+        let bad = vec![Tuple::new(vec![Value::Bool(true), Value::str("a")])];
+        assert!(Relation::from_rows(schema(), bad).is_err());
+    }
+
+    #[test]
+    fn size_bytes_grows_with_rows() {
+        let mut r = Relation::empty(schema());
+        let s0 = r.size_bytes();
+        r.push_values(vec![Value::Int(1), Value::str("hello")]).unwrap();
+        assert!(r.size_bytes() > s0);
+    }
+}

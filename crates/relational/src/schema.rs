@@ -1,0 +1,266 @@
+//! Relation schemas: ordered, named, typed columns.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    Bool,
+    Int,
+    Float,
+    Str,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Bool => "bool",
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Str => "str",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Column {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns with O(1) name lookup.
+///
+/// Schemas are cheaply cloneable (`Arc` inside) because every tuple-producing
+/// operator stamps its output relation with a schema.
+#[derive(Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+struct SchemaInner {
+    columns: Vec<Column>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs. Later duplicates shadow
+    /// earlier ones in name lookup (as after a product of relations sharing
+    /// a column name); positional access always works.
+    pub fn new<N: Into<String>>(cols: Vec<(N, ColumnType)>) -> Schema {
+        Schema::from_columns(
+            cols.into_iter()
+                .map(|(n, t)| Column::new(n, t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Builds a schema from ready-made columns.
+    pub fn from_columns(columns: Vec<Column>) -> Schema {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            by_name.insert(c.name.clone(), i);
+        }
+        Schema {
+            inner: Arc::new(SchemaInner { columns, by_name }),
+        }
+    }
+
+    /// The empty schema (zero columns) — the schema of `DUAL`-like relations.
+    pub fn empty() -> Schema {
+        Schema::from_columns(Vec::new())
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.inner.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.columns.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.inner
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Whether a column of this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.by_name.contains_key(name)
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.inner.columns[i]
+    }
+
+    /// Projection onto a list of column names, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            let i = self.index_of(n)?;
+            cols.push(self.inner.columns[i].clone());
+        }
+        Ok(Schema::from_columns(cols))
+    }
+
+    /// Concatenation (for cartesian products / joins). Duplicate names are
+    /// allowed; lookup resolves to the *left* occurrence first only if the
+    /// right side does not redefine it, so callers usually rename first.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.inner.columns.clone();
+        cols.extend(other.inner.columns.iter().cloned());
+        // Rebuild with left-biased name resolution.
+        let mut by_name = HashMap::with_capacity(cols.len());
+        for (i, c) in cols.iter().enumerate() {
+            by_name.entry(c.name.clone()).or_insert(i);
+        }
+        Schema {
+            inner: Arc::new(SchemaInner { columns: cols, by_name }),
+        }
+    }
+
+    /// A copy of the schema with every column name prefixed `prefix.name`.
+    pub fn qualify(&self, prefix: &str) -> Schema {
+        Schema::from_columns(
+            self.inner
+                .columns
+                .iter()
+                .map(|c| Column::new(format!("{prefix}.{}", c.name), c.ty))
+                .collect(),
+        )
+    }
+
+    /// A copy with one column renamed.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Schema> {
+        let idx = self.index_of(from)?;
+        let mut cols = self.inner.columns.clone();
+        cols[idx].name = to.to_string();
+        Ok(Schema::from_columns(cols))
+    }
+
+    /// Union compatibility: same arity and column types (names may differ,
+    /// the left side's names win, as in SQL).
+    pub fn union_compatible(&self, other: &Schema) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(Error::SchemaMismatch(format!(
+                "arity {} vs {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        for (a, b) in self.columns().iter().zip(other.columns()) {
+            if a.ty != b.ty {
+                return Err(Error::SchemaMismatch(format!(
+                    "column {} has type {} vs {}",
+                    a.name, a.ty, b.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.inner.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema(")?;
+        for (i, c) in self.inner.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.columns == other.inner.columns
+    }
+}
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Schema {
+        Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Str)])
+    }
+
+    #[test]
+    fn lookup_and_project() {
+        let s = ab();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("c").is_err());
+        let p = s.project(&["b"]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.column(0).name, "b");
+        assert!(s.project(&["z"]).is_err());
+    }
+
+    #[test]
+    fn concat_is_left_biased() {
+        let s = ab().concat(&Schema::new(vec![("a", ColumnType::Float)]));
+        assert_eq!(s.len(), 3);
+        // name lookup resolves to the left "a"
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.column(2).ty, ColumnType::Float);
+    }
+
+    #[test]
+    fn qualify_prefixes_names() {
+        let q = ab().qualify("r");
+        assert_eq!(q.names(), vec!["r.a", "r.b"]);
+    }
+
+    #[test]
+    fn rename_works() {
+        let s = ab().rename("a", "x").unwrap();
+        assert!(s.contains("x"));
+        assert!(!s.contains("a"));
+        assert!(ab().rename("nope", "x").is_err());
+    }
+
+    #[test]
+    fn union_compat() {
+        let s1 = ab();
+        let s2 = Schema::new(vec![("c", ColumnType::Int), ("d", ColumnType::Str)]);
+        assert!(s1.union_compatible(&s2).is_ok());
+        let s3 = Schema::new(vec![("c", ColumnType::Str), ("d", ColumnType::Str)]);
+        assert!(s1.union_compatible(&s3).is_err());
+        let s4 = Schema::new(vec![("c", ColumnType::Int)]);
+        assert!(s1.union_compatible(&s4).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_arc_identity() {
+        assert_eq!(ab(), ab());
+        assert_ne!(ab(), Schema::empty());
+    }
+}

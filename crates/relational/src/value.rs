@@ -1,0 +1,345 @@
+//! Scalar values stored in relations.
+//!
+//! `Value` is the single dynamic value type of the engine. Strings are
+//! reference-counted (`Arc<str>`) so that the WSD layer can share attribute
+//! values between many component rows without copying — the space accounting
+//! in experiment E1 depends on this.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::schema::ColumnType;
+
+/// A scalar database value.
+///
+/// `Value` implements a *total* order (`Null` < `Bool` < `Int`/`Float`
+/// interleaved numerically < `Str`) so relations can be sorted and
+/// deduplicated deterministically. Floats are compared via
+/// [`f64::total_cmp`], so `NaN` is ordered too (after all other numbers).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / missing value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned UTF-8 string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The column type this value naturally belongs to, or `None` for NULL
+    /// (NULL inhabits every type).
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(ColumnType::Bool),
+            Value::Int(_) => Some(ColumnType::Int),
+            Value::Float(_) => Some(ColumnType::Float),
+            Value::Str(_) => Some(ColumnType::Str),
+        }
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a boolean for predicate evaluation.
+    /// NULL is `None` (unknown, three-valued logic).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Null => None,
+            _ => None,
+        }
+    }
+
+    /// Numeric view used by arithmetic and numeric comparison.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats are not silently truncated).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the value matches (is assignable to) a column type.
+    /// NULL matches every type; Int is accepted by Float columns.
+    pub fn matches_type(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Bool(_), ColumnType::Bool)
+                | (Value::Int(_), ColumnType::Int)
+                | (Value::Int(_), ColumnType::Float)
+                | (Value::Float(_), ColumnType::Float)
+                | (Value::Str(_), ColumnType::Str)
+        )
+    }
+
+    /// SQL-style equality: comparing with NULL yields NULL (None);
+    /// Int/Float compare numerically.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (a, b) => Some(Self::cmp_non_null(a, b) == Ordering::Equal),
+        }
+    }
+
+    /// SQL-style ordering comparison; NULL operands yield None.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (a, b) => Some(Self::cmp_non_null(a, b)),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    fn cmp_non_null(a: &Value, b: &Value) -> Ordering {
+        match (a, b) {
+            (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+            (Value::Int(x), Value::Int(y)) => x.cmp(y),
+            (Value::Float(x), Value::Float(y)) => x.total_cmp(y),
+            (Value::Int(x), Value::Float(y)) => (*x as f64).total_cmp(y),
+            (Value::Float(x), Value::Int(y)) => x.total_cmp(&(*y as f64)),
+            (Value::Str(x), Value::Str(y)) => x.as_ref().cmp(y.as_ref()),
+            _ => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    /// An estimate of the heap + inline bytes this value occupies; used by
+    /// the E1 storage experiment. Shared strings are charged their full
+    /// length (conservative: sharing makes real usage smaller).
+    pub fn size_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            Value::Str(s) => inline + s.len(),
+            _ => inline,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order for sorting/deduplication: NULL first, then by type rank,
+    /// numbers interleaved numerically.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            (a, b) => Self::cmp_non_null(a, b),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and equal-valued floats must hash alike because they
+            // compare equal (1 == 1.0).
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_null_first() {
+        let mut vals = [Value::str("a"),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(2.5)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(3));
+        assert_eq!(vals[4], Value::str("a"));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(hash_of(&Value::Int(1)), hash_of(&Value::Float(1.0)));
+        assert_ne!(Value::Int(1), Value::Float(1.5));
+    }
+
+    #[test]
+    fn sql_eq_with_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::str("a").sql_eq(&Value::str("b")), Some(false));
+    }
+
+    #[test]
+    fn sql_cmp_orders_numbers_and_strings() {
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("b").sql_cmp(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), None);
+    }
+
+    #[test]
+    fn type_checks() {
+        assert!(Value::Int(3).matches_type(ColumnType::Int));
+        assert!(Value::Int(3).matches_type(ColumnType::Float));
+        assert!(!Value::Float(3.0).matches_type(ColumnType::Int));
+        assert!(Value::Null.matches_type(ColumnType::Str));
+        assert!(!Value::str("x").matches_type(ColumnType::Bool));
+    }
+
+    #[test]
+    fn display_round_trips_reasonably() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn nan_is_ordered_not_equal_to_numbers() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, Value::Float(f64::NAN));
+        assert!(nan > Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn size_accounting_charges_strings() {
+        let base = Value::Int(1).size_bytes();
+        assert_eq!(Value::str("abcd").size_bytes(), base + 4);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(2.0), Value::Float(2.0));
+    }
+}

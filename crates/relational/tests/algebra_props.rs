@@ -1,0 +1,113 @@
+//! Property tests for the relational algebra: classic algebraic laws the
+//! WSD rewriting layer silently relies on.
+
+use proptest::prelude::*;
+
+use maybms_relational::{ops, ColumnType, Expr, Relation, Schema, Tuple, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)])
+}
+
+fn arb_rel() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0i64..5, 0i64..5), 0..8).prop_map(|rows| {
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+            .collect();
+        Relation::from_rows_unchecked(schema(), tuples)
+    })
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..5).prop_map(|v| Expr::col("a").eq(Expr::lit(v))),
+        (0i64..5).prop_map(|v| Expr::col("b").lt(Expr::lit(v))),
+        (0i64..5).prop_map(|v| Expr::col("a").ne(Expr::lit(v))),
+    ]
+}
+
+proptest! {
+    /// σ_p(σ_q(R)) = σ_q(σ_p(R)) = σ_{p∧q}(R).
+    #[test]
+    fn selection_commutes_and_fuses(r in arb_rel(), p in arb_pred(), q in arb_pred()) {
+        let pq = ops::select(&ops::select(&r, &p).expect("σ"), &q).expect("σ");
+        let qp = ops::select(&ops::select(&r, &q).expect("σ"), &p).expect("σ");
+        let fused = ops::select(&r, &p.clone().and(q.clone())).expect("σ");
+        prop_assert_eq!(pq.canonical(), qp.canonical());
+        prop_assert_eq!(fused.canonical(), pq.canonical());
+    }
+
+    /// σ distributes over ∪ and −.
+    #[test]
+    fn selection_distributes(r in arb_rel(), s in arb_rel(), p in arb_pred()) {
+        let lhs = ops::select(&ops::union(&r, &s).expect("∪"), &p).expect("σ");
+        let rhs = ops::union(
+            &ops::select(&r, &p).expect("σ"),
+            &ops::select(&s, &p).expect("σ"),
+        ).expect("∪");
+        prop_assert_eq!(lhs.canonical(), rhs.canonical());
+
+        let lhs2 = ops::select(&ops::difference(&r, &s).expect("−"), &p).expect("σ");
+        let rhs2 = ops::difference(
+            &ops::select(&r, &p).expect("σ"),
+            &ops::select(&s, &p).expect("σ"),
+        ).expect("−");
+        prop_assert_eq!(lhs2.canonical(), rhs2.canonical());
+    }
+
+    /// Set-algebra laws: ∪/∩ commute; R − S = R − (R ∩ S); idempotence.
+    #[test]
+    fn set_laws(r in arb_rel(), s in arb_rel()) {
+        prop_assert_eq!(
+            ops::union(&r, &s).expect("∪").canonical(),
+            ops::union(&s, &r).expect("∪").canonical()
+        );
+        prop_assert_eq!(
+            ops::intersect(&r, &s).expect("∩").canonical(),
+            ops::intersect(&s, &r).expect("∩").canonical()
+        );
+        let diff = ops::difference(&r, &s).expect("−");
+        let via_intersect =
+            ops::difference(&r, &ops::intersect(&r, &s).expect("∩")).expect("−");
+        prop_assert_eq!(diff.canonical(), via_intersect.canonical());
+        prop_assert_eq!(
+            ops::union(&r, &r).expect("∪").canonical(),
+            r.canonical()
+        );
+        // inclusion–exclusion on cardinalities of canonical forms
+        let u = ops::union(&r, &s).expect("∪").len();
+        let i = ops::intersect(&r, &s).expect("∩").len();
+        prop_assert_eq!(u + i, r.canonical().len() + s.canonical().len());
+    }
+
+    /// Join = σ over product; hash and nested-loop joins agree.
+    #[test]
+    fn join_is_filtered_product(r in arb_rel(), s in arb_rel()) {
+        let s = ops::rename(&ops::rename(&s, "a", "c").expect("ρ"), "b", "d").expect("ρ");
+        let pred = Expr::col("a").eq(Expr::col("c"));
+        let via_product = ops::select(&ops::product(&r, &s), &pred).expect("σ");
+        let via_join = ops::theta_join(&r, &s, &pred).expect("⋈");
+        let via_hash = ops::hash_join(&r, &s, "a", "c").expect("⋈h");
+        prop_assert_eq!(via_product.canonical(), via_join.canonical());
+        prop_assert_eq!(via_join.canonical(), via_hash.canonical());
+    }
+
+    /// π is idempotent and drops duplicates only at distinct.
+    #[test]
+    fn projection_laws(r in arb_rel()) {
+        let once = ops::project(&r, &["a"]).expect("π");
+        let twice = ops::project(&once, &["a"]).expect("π");
+        prop_assert_eq!(once.canonical(), twice.canonical());
+        prop_assert_eq!(once.len(), r.len()); // bag semantics
+        prop_assert!(ops::distinct(&once).len() <= once.len());
+    }
+
+    /// CSV round-trips every generated relation.
+    #[test]
+    fn csv_round_trip(r in arb_rel()) {
+        let text = maybms_relational::csv::to_csv(&r);
+        let back = maybms_relational::csv::from_csv(schema(), &text).expect("parse");
+        prop_assert_eq!(back, r);
+    }
+}

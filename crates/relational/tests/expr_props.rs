@@ -1,0 +1,121 @@
+//! Property tests for the expression evaluator: three-valued logic laws,
+//! binding totality, and comparison coherence with the value order.
+
+use proptest::prelude::*;
+
+use maybms_relational::{BoundExpr, CmpOp, ColumnType, Expr, Schema, Tuple, Value};
+
+#[allow(dead_code)]
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-50i64..50).prop_map(Value::Int),
+        (-50i64..50).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        "[a-c]{0,3}".prop_map(Value::str),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ("i", ColumnType::Int),
+        ("f", ColumnType::Float),
+        ("s", ColumnType::Str),
+        ("b", ColumnType::Bool),
+    ])
+}
+
+fn arb_row() -> impl Strategy<Value = Tuple> {
+    (
+        prop_oneof![Just(Value::Null), (-20i64..20).prop_map(Value::Int)],
+        prop_oneof![Just(Value::Null), (-20i64..20).prop_map(|i| Value::Float(i as f64))],
+        prop_oneof![Just(Value::Null), "[a-c]{0,2}".prop_map(Value::str)],
+        prop_oneof![Just(Value::Null), any::<bool>().prop_map(Value::Bool)],
+    )
+        .prop_map(|(i, f, s, b)| Tuple::new(vec![i, f, s, b]))
+}
+
+/// Random predicates over the fixed schema.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        (-20i64..20).prop_map(|v| Expr::col("i").eq(Expr::lit(v))),
+        (-20i64..20).prop_map(|v| Expr::col("i").lt(Expr::lit(v))),
+        (-20i64..20).prop_map(|v| Expr::col("f").ge(Expr::lit(v as f64))),
+        "[a-c]{0,2}".prop_map(|v| Expr::col("s").eq(Expr::lit(Value::str(v)))),
+        Just(Expr::col("b").eq(Expr::lit(true))),
+        Just(Expr::col("i").is_null()),
+        Just(Expr::col("s").is_null()),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+        ]
+    })
+}
+
+fn eval(e: &Expr, t: &Tuple) -> Option<bool> {
+    let b: BoundExpr = e.bind(&schema()).expect("bind against fixed schema");
+    b.eval(t).expect("no arithmetic in predicates").as_bool()
+}
+
+proptest! {
+    /// Double negation is the identity in Kleene logic.
+    #[test]
+    fn double_negation(e in arb_pred(), t in arb_row()) {
+        prop_assert_eq!(eval(&e, &t), eval(&e.clone().not().not(), &t));
+    }
+
+    /// De Morgan's laws hold under three-valued logic.
+    #[test]
+    fn de_morgan(a in arb_pred(), b in arb_pred(), t in arb_row()) {
+        let lhs = eval(&a.clone().and(b.clone()).not(), &t);
+        let rhs = eval(&a.clone().not().or(b.clone().not()), &t);
+        prop_assert_eq!(lhs, rhs);
+        let lhs2 = eval(&a.clone().or(b.clone()).not(), &t);
+        let rhs2 = eval(&a.not().and(b.not()), &t);
+        prop_assert_eq!(lhs2, rhs2);
+    }
+
+    /// AND/OR are commutative.
+    #[test]
+    fn commutativity(a in arb_pred(), b in arb_pred(), t in arb_row()) {
+        prop_assert_eq!(
+            eval(&a.clone().and(b.clone()), &t),
+            eval(&b.clone().and(a.clone()), &t)
+        );
+        prop_assert_eq!(eval(&a.clone().or(b.clone()), &t), eval(&b.or(a), &t));
+    }
+
+    /// eval_predicate is eval with unknown collapsed to false.
+    #[test]
+    fn predicate_view(e in arb_pred(), t in arb_row()) {
+        let b = e.bind(&schema()).expect("bind");
+        let full = b.eval(&t).expect("eval").as_bool();
+        let pred = b.eval_predicate(&t).expect("eval");
+        prop_assert_eq!(pred, full.unwrap_or(false));
+    }
+
+    /// Comparisons agree with the total value order on non-NULL values.
+    #[test]
+    fn cmp_coherence(x in -50i64..50, y in -50i64..50) {
+        let (vx, vy) = (Value::Int(x), Value::Int(y));
+        prop_assert_eq!(CmpOp::Lt.apply(&vx, &vy), Some(x < y));
+        prop_assert_eq!(CmpOp::Eq.apply(&vx, &vy), Some(x == y));
+        prop_assert_eq!(CmpOp::Ge.apply(&vx, &vy), Some(x >= y));
+        // int/float coherence
+        prop_assert_eq!(
+            CmpOp::Eq.apply(&Value::Int(x), &Value::Float(x as f64)),
+            Some(true)
+        );
+    }
+
+    /// Conjunct splitting and rebuilding is semantics-preserving.
+    #[test]
+    fn conjoin_round_trip(a in arb_pred(), b in arb_pred(), c in arb_pred(), t in arb_row()) {
+        let e = a.and(b).and(c);
+        let rebuilt = Expr::conjoin(e.conjuncts().into_iter().cloned().collect());
+        prop_assert_eq!(eval(&e, &t), eval(&rebuilt, &t));
+    }
+}

@@ -1,0 +1,130 @@
+//! Abstract syntax of the MayBMS SQL dialect.
+//!
+//! The dialect is "a natural extension of SQL with special constructs that
+//! deal with incompleteness and probabilities" (paper §2):
+//!
+//! * `SELECT ... FROM ... WHERE ...` — evaluated *in every world*; the
+//!   answer is itself a world-set (returned as a decomposition).
+//! * `SELECT POSSIBLE ...` / `SELECT CERTAIN ...` — possible/certain
+//!   answers, as ordinary relations.
+//! * `PROB()` in the select clause — the answer tuples with their
+//!   probabilities; `SELECT PROB() FROM ...` alone gives the probability
+//!   that the answer is non-empty.
+//! * Or-set literals in `INSERT`: `{1, 2}` (uniform) or
+//!   `{'a': 0.4, 'b': 0.6}` (weighted).
+//! * `REPAIR` statements enforce integrity constraints (data cleaning).
+
+use maybms_relational::{ColumnType, Expr, Value};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable { name: String, columns: Vec<(String, ColumnType)> },
+    DropTable { name: String },
+    Insert { table: String, rows: Vec<Vec<InsertValue>> },
+    /// `REPAIR KEY r(c1, c2)` | `REPAIR FD r: a, b -> c` | `REPAIR CHECK r: pred`
+    Repair(RepairStmt),
+    Explain(Box<Statement>),
+    ShowTables,
+}
+
+/// One value of an INSERT row: certain or an or-set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertValue {
+    Certain(Value),
+    /// `{v1, v2, ...}` — uniform or-set.
+    Uniform(Vec<Value>),
+    /// `{v1: p1, v2: p2, ...}` — weighted or-set.
+    Weighted(Vec<(Value, f64)>),
+}
+
+/// Quantifier of a SELECT over the world-set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldMode {
+    /// Evaluate in every world; result is a decomposition.
+    AllWorlds,
+    /// Tuples possible in at least one world.
+    Possible,
+    /// Tuples present in every world.
+    Certain,
+}
+
+/// An expectation aggregate over the answer world-set: MayBMS's `ECOUNT` /
+/// `ESUM` written as `EXPECTED COUNT()` / `EXPECTED SUM(col)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpectedAgg {
+    Count,
+    Sum(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub mode: WorldMode,
+    pub distinct: bool,
+    /// `true` if `PROB()` appears in the select list.
+    pub prob: bool,
+    /// `EXPECTED COUNT()` / `EXPECTED SUM(col)`, if present.
+    pub expected: Option<ExpectedAgg>,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub set_op: Option<(SetOp, Box<SelectStmt>)>,
+    /// `HAVING PROB() <op> <number>` — confidence threshold on the answers
+    /// (requires `PROB()` in the select list).
+    pub prob_threshold: Option<(maybms_relational::CmpOp, f64)>,
+    /// `ORDER BY col [ASC|DESC], ...` — applies to tabular results
+    /// (POSSIBLE / CERTAIN / PROB / EXPECTED).
+    pub order_by: Vec<(String, bool)>,
+    /// `LIMIT n` — applies to tabular results.
+    pub limit: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Except,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Star,
+    /// A plain column (possibly qualified `alias.col`).
+    Column(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairStmt {
+    Key { table: String, columns: Vec<String> },
+    Fd { table: String, lhs: Vec<String>, rhs: Vec<String> },
+    Check { table: String, pred: Expr },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_constructs() {
+        let s = Statement::Select(SelectStmt {
+            mode: WorldMode::Possible,
+            distinct: false,
+            prob: true,
+            expected: None,
+            items: vec![SelectItem::Column("test".into())],
+            from: vec![TableRef { name: "R".into(), alias: None }],
+            where_clause: Some(Expr::col("diagnosis").eq(Expr::lit("pregnancy"))),
+            set_op: None,
+            prob_threshold: None,
+            order_by: Vec::new(),
+            limit: None,
+        });
+        assert!(matches!(s, Statement::Select(_)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Tokenizer for the MayBMS SQL dialect.
+
+use std::fmt;
+
+use maybms_relational::Error;
+
+/// A lexical token. Keywords are recognized case-insensitively and carried
+/// as `Keyword` with their canonical upper-case spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    /// 'single-quoted' string literal (with '' escaping).
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Semicolon,
+    Colon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Arrow,
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::LBrace => "{",
+            Sym::RBrace => "}",
+            Sym::Comma => ",",
+            Sym::Dot => ".",
+            Sym::Semicolon => ";",
+            Sym::Colon => ":",
+            Sym::Star => "*",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Slash => "/",
+            Sym::Percent => "%",
+            Sym::Eq => "=",
+            Sym::Ne => "<>",
+            Sym::Lt => "<",
+            Sym::Le => "<=",
+            Sym::Gt => ">",
+            Sym::Ge => ">=",
+            Sym::Arrow => "->",
+        };
+        write!(f, "{s}")
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "IS", "NULL", "AS", "DISTINCT",
+    "POSSIBLE", "CERTAIN", "PROB", "CONF", "UNION", "EXCEPT", "CREATE", "TABLE", "INSERT",
+    "INTO", "VALUES", "INT", "TEXT", "FLOAT", "BOOL", "TRUE", "FALSE", "EXPLAIN", "REPAIR",
+    "KEY", "FD", "CHECK", "SHOW", "TABLES", "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP", "BY",
+    "ORDER", "LIMIT", "EXPECTED", "DROP", "HAVING",
+];
+
+/// Tokenizes `input`, returning the token list or a lexical error.
+pub fn lex(input: &str) -> Result<Vec<Token>, Error> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    // comment to end of line
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push(Token::Symbol(Sym::Arrow));
+                } else {
+                    out.push(Token::Symbol(Sym::Minus));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(Error::InvalidExpr("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.contains('.') {
+                    out.push(Token::Float(s.parse().map_err(|e| {
+                        Error::InvalidExpr(format!("bad float literal {s}: {e}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(s.parse().map_err(|e| {
+                        Error::InvalidExpr(format!("bad int literal {s}: {e}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let upper = s.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(s));
+                }
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        out.push(Token::Symbol(Sym::Le));
+                    }
+                    Some('>') => {
+                        chars.next();
+                        out.push(Token::Symbol(Sym::Ne));
+                    }
+                    _ => out.push(Token::Symbol(Sym::Lt)),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Symbol(Sym::Ge));
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Symbol(Sym::Ne));
+                } else {
+                    return Err(Error::InvalidExpr("unexpected '!'".into()));
+                }
+            }
+            _ => {
+                chars.next();
+                let sym = match c {
+                    '(' => Sym::LParen,
+                    ')' => Sym::RParen,
+                    '{' => Sym::LBrace,
+                    '}' => Sym::RBrace,
+                    ',' => Sym::Comma,
+                    '.' => Sym::Dot,
+                    ';' => Sym::Semicolon,
+                    ':' => Sym::Colon,
+                    '*' => Sym::Star,
+                    '+' => Sym::Plus,
+                    '/' => Sym::Slash,
+                    '%' => Sym::Percent,
+                    '=' => Sym::Eq,
+                    other => {
+                        return Err(Error::InvalidExpr(format!("unexpected character '{other}'")))
+                    }
+                };
+                out.push(Token::Symbol(sym));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents() {
+        let toks = lex("select Test from R where diagnosis = 'pregnancy'").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("Test".into()));
+        assert_eq!(toks[4], Token::Keyword("WHERE".into()));
+        assert_eq!(toks[6], Token::Symbol(Sym::Eq));
+        assert_eq!(toks[7], Token::Str("pregnancy".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("42 3.25").unwrap();
+        assert_eq!(toks, vec![Token::Int(42), Token::Float(3.25)]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("<= >= <> != -> < >").unwrap();
+        use Sym::*;
+        let syms: Vec<Sym> = toks
+            .iter()
+            .map(|t| match t {
+                Token::Symbol(s) => *s,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(syms, vec![Le, Ge, Ne, Ne, Arrow, Lt, Gt]);
+    }
+
+    #[test]
+    fn string_escaping_and_comments() {
+        let toks = lex("'it''s' -- trailing comment\n 'x'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+        assert_eq!(toks[1], Token::Str("x".into()));
+    }
+
+    #[test]
+    fn orset_literal_tokens() {
+        let toks = lex("{1: 0.4, 2: 0.6}").unwrap();
+        assert_eq!(toks[0], Token::Symbol(Sym::LBrace));
+        assert_eq!(toks[2], Token::Symbol(Sym::Colon));
+        assert_eq!(toks.last(), Some(&Token::Symbol(Sym::RBrace)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("!x").is_err());
+    }
+}

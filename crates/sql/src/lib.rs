@@ -1,0 +1,28 @@
+//! # maybms-sql
+//!
+//! The query language of MayBMS-rs: "a natural extension of SQL with
+//! special constructs that deal with incompleteness and probabilities"
+//! (paper §2), compiled to relational algebra over world-set
+//! decompositions and optimized with classic rewrite rules (the demo shows
+//! "the optimized query plans produced by MayBMS").
+//!
+//! ```
+//! use maybms_sql::session::medical_session;
+//!
+//! let mut s = medical_session();
+//! // the paper's query, plus the probability construct
+//! let r = s.execute("SELECT test, PROB() FROM R WHERE diagnosis = 'pregnancy'").unwrap();
+//! let t = r.table().unwrap();
+//! assert_eq!(t.rows()[0][1], maybms_relational::Value::Float(0.4));
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod session;
+
+pub use ast::Statement;
+pub use parser::{parse, parse_script};
+pub use session::{QueryResult, Session};

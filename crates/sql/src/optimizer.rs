@@ -1,0 +1,347 @@
+//! Plan rewriting: the "optimized query plans produced by MayBMS" of the
+//! demo (§1). Rule-based:
+//!
+//! 1. **Selection splitting & pushdown** — conjuncts of a selection above a
+//!    product/join are routed to the side whose schema covers them; mixed
+//!    conjuncts become the join condition (turning σ(A×B) into A ⋈ B).
+//! 2. **Selection fusion** — σ_p(σ_q(X)) → σ_{p∧q}(X).
+//! 3. **Selection through union** — σ(A ∪ B) → σ(A) ∪ σ(B).
+//! 4. **Projection fusion** — π(π(X)) keeps only the outer one.
+//!
+//! Rules are applied to a fixpoint. The optimizer needs the catalog (the
+//! WSD's relation schemas) to attribute columns to sides.
+
+use maybms_core::algebra::Query;
+use maybms_core::wsd::Wsd;
+use maybms_relational::{Expr, Result, Schema};
+
+/// The inferred output schema of a plan node.
+pub fn schema_of(q: &Query, wsd: &Wsd) -> Result<Schema> {
+    Ok(match q {
+        Query::Table(n) => wsd.relation(n)?.schema.clone(),
+        Query::Select(i, _) | Query::Distinct(i) => schema_of(i, wsd)?,
+        Query::Project(i, cols) => {
+            let s = schema_of(i, wsd)?;
+            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+            s.project(&names)?
+        }
+        Query::Product(a, b) | Query::Join(a, b, _) => {
+            schema_of(a, wsd)?.concat(&schema_of(b, wsd)?)
+        }
+        Query::Union(a, _) | Query::Difference(a, _) => schema_of(a, wsd)?,
+        Query::Rename(i, from, to) => schema_of(i, wsd)?.rename(from, to)?,
+        Query::Qualify(i, p) => schema_of(i, wsd)?.qualify(p),
+    })
+}
+
+/// Optimizes a plan to a fixpoint (bounded rounds for safety).
+pub fn optimize(q: &Query, wsd: &Wsd) -> Result<Query> {
+    let mut cur = q.clone();
+    for _ in 0..16 {
+        let (next, changed) = rewrite(&cur, wsd)?;
+        cur = next;
+        if !changed {
+            break;
+        }
+    }
+    Ok(cur)
+}
+
+fn rewrite(q: &Query, wsd: &Wsd) -> Result<(Query, bool)> {
+    // bottom-up
+    let (q, mut changed) = match q {
+        Query::Table(_) => (q.clone(), false),
+        Query::Select(i, p) => {
+            let (i2, c) = rewrite(i, wsd)?;
+            (Query::Select(Box::new(i2), p.clone()), c)
+        }
+        Query::Project(i, cols) => {
+            let (i2, c) = rewrite(i, wsd)?;
+            (Query::Project(Box::new(i2), cols.clone()), c)
+        }
+        Query::Product(a, b) => {
+            let (a2, ca) = rewrite(a, wsd)?;
+            let (b2, cb) = rewrite(b, wsd)?;
+            (Query::Product(Box::new(a2), Box::new(b2)), ca || cb)
+        }
+        Query::Join(a, b, p) => {
+            let (a2, ca) = rewrite(a, wsd)?;
+            let (b2, cb) = rewrite(b, wsd)?;
+            (Query::Join(Box::new(a2), Box::new(b2), p.clone()), ca || cb)
+        }
+        Query::Union(a, b) => {
+            let (a2, ca) = rewrite(a, wsd)?;
+            let (b2, cb) = rewrite(b, wsd)?;
+            (Query::Union(Box::new(a2), Box::new(b2)), ca || cb)
+        }
+        Query::Difference(a, b) => {
+            let (a2, ca) = rewrite(a, wsd)?;
+            let (b2, cb) = rewrite(b, wsd)?;
+            (Query::Difference(Box::new(a2), Box::new(b2)), ca || cb)
+        }
+        Query::Distinct(i) => {
+            let (i2, c) = rewrite(i, wsd)?;
+            (Query::Distinct(Box::new(i2)), c)
+        }
+        Query::Rename(i, f, t) => {
+            let (i2, c) = rewrite(i, wsd)?;
+            (Query::Rename(Box::new(i2), f.clone(), t.clone()), c)
+        }
+        Query::Qualify(i, p) => {
+            let (i2, c) = rewrite(i, wsd)?;
+            (Query::Qualify(Box::new(i2), p.clone()), c)
+        }
+    };
+
+    // top rules
+    let rewritten = match &q {
+        // rule 2: selection fusion
+        Query::Select(inner, p) => {
+            if let Query::Select(inner2, p2) = inner.as_ref() {
+                Some(Query::Select(
+                    inner2.clone(),
+                    p2.clone().and(p.clone()),
+                ))
+            } else if let Query::Union(a, b) = inner.as_ref() {
+                // rule 3: through union
+                Some(Query::Union(
+                    Box::new(Query::Select(a.clone(), p.clone())),
+                    Box::new(Query::Select(b.clone(), p.clone())),
+                ))
+            } else if let Query::Product(a, b) = inner.as_ref() {
+                // rule 1: split & push into the product
+                Some(push_into_product(a, b, p, wsd, false)?)
+            } else if let Query::Join(a, b, jp) = inner.as_ref() {
+                // fold extra conjuncts into the join
+                let combined = jp.clone().and(p.clone());
+                Some(push_into_product(a, b, &combined, wsd, true)?)
+            } else {
+                None
+            }
+        }
+        // rule 4: projection fusion — π_outer(π_inner(X)) = π_outer(X)
+        // (valid because the outer list must be a subset of the inner one)
+        Query::Project(inner, cols) => {
+            if let Query::Project(inner2, _) = inner.as_ref() {
+                Some(Query::Project(inner2.clone(), cols.clone()))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+
+    match rewritten {
+        Some(r) => {
+            changed = true;
+            Ok((r, changed))
+        }
+        None => Ok((q, changed)),
+    }
+}
+
+/// Distributes the conjuncts of `pred` over `a × b`: conjuncts referencing
+/// only `a`'s columns become σ on `a`, only `b`'s on `b`, and the rest the
+/// join condition.
+fn push_into_product(
+    a: &Query,
+    b: &Query,
+    pred: &Expr,
+    wsd: &Wsd,
+    _was_join: bool,
+) -> Result<Query> {
+    let sa = schema_of(a, wsd)?;
+    let sb = schema_of(b, wsd)?;
+    let mut left: Vec<Expr> = Vec::new();
+    let mut right: Vec<Expr> = Vec::new();
+    let mut cross: Vec<Expr> = Vec::new();
+    for c in pred.conjuncts() {
+        let cols = c.columns();
+        // a column that exists on both sides is ambiguous → treat as cross
+        let only_a = cols.iter().all(|n| sa.contains(n) && !sb.contains(n));
+        let only_b = cols.iter().all(|n| sb.contains(n) && !sa.contains(n));
+        if only_a {
+            left.push(c.clone());
+        } else if only_b {
+            right.push(c.clone());
+        } else {
+            cross.push(c.clone());
+        }
+    }
+    let la: Query = if left.is_empty() {
+        a.clone()
+    } else {
+        Query::Select(Box::new(a.clone()), Expr::conjoin(left))
+    };
+    let rb: Query = if right.is_empty() {
+        b.clone()
+    } else {
+        Query::Select(Box::new(b.clone()), Expr::conjoin(right))
+    };
+    Ok(if cross.is_empty() {
+        Query::Product(Box::new(la), Box::new(rb))
+    } else {
+        Query::Join(Box::new(la), Box::new(rb), Expr::conjoin(cross))
+    })
+}
+
+/// Renders a plan tree for EXPLAIN.
+pub fn explain(q: &Query) -> String {
+    let mut out = String::new();
+    render(q, 0, &mut out);
+    out
+}
+
+fn render(q: &Query, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match q {
+        Query::Table(n) => out.push_str(&format!("{pad}Scan {n}\n")),
+        Query::Select(i, p) => {
+            out.push_str(&format!("{pad}Select {p}\n"));
+            render(i, depth + 1, out);
+        }
+        Query::Project(i, cols) => {
+            out.push_str(&format!("{pad}Project [{}]\n", cols.join(", ")));
+            render(i, depth + 1, out);
+        }
+        Query::Product(a, b) => {
+            out.push_str(&format!("{pad}Product\n"));
+            render(a, depth + 1, out);
+            render(b, depth + 1, out);
+        }
+        Query::Join(a, b, p) => {
+            out.push_str(&format!("{pad}Join on {p}\n"));
+            render(a, depth + 1, out);
+            render(b, depth + 1, out);
+        }
+        Query::Union(a, b) => {
+            out.push_str(&format!("{pad}Union\n"));
+            render(a, depth + 1, out);
+            render(b, depth + 1, out);
+        }
+        Query::Difference(a, b) => {
+            out.push_str(&format!("{pad}Difference\n"));
+            render(a, depth + 1, out);
+            render(b, depth + 1, out);
+        }
+        Query::Distinct(i) => {
+            out.push_str(&format!("{pad}Distinct\n"));
+            render(i, depth + 1, out);
+        }
+        Query::Rename(i, f, t) => {
+            out.push_str(&format!("{pad}Rename {f} -> {t}\n"));
+            render(i, depth + 1, out);
+        }
+        Query::Qualify(i, p) => {
+            out.push_str(&format!("{pad}Qualify {p}\n"));
+            render(i, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_core::examples::medical_wsd;
+    use maybms_relational::{ColumnType, Schema};
+    use maybms_worldset::eval::eval_in_all_worlds;
+
+    fn two_table_wsd() -> Wsd {
+        let mut w = medical_wsd();
+        w.add_relation(
+            "T",
+            Schema::new(vec![("tname", ColumnType::Str), ("cost", ColumnType::Int)]),
+        )
+        .unwrap();
+        w.push_certain(
+            "T",
+            vec![maybms_relational::Value::str("ultrasound"), maybms_relational::Value::Int(120)],
+        )
+        .unwrap();
+        w.push_certain(
+            "T",
+            vec![maybms_relational::Value::str("TSH"), maybms_relational::Value::Int(40)],
+        )
+        .unwrap();
+        w
+    }
+
+    #[test]
+    fn pushdown_turns_product_into_join() {
+        let w = two_table_wsd();
+        let q = Query::table("R")
+            .product(Query::table("T"))
+            .select(
+                Expr::col("test")
+                    .eq(Expr::col("tname"))
+                    .and(Expr::col("cost").gt(Expr::lit(50i64)))
+                    .and(Expr::col("diagnosis").eq(Expr::lit("pregnancy"))),
+            );
+        let opt = optimize(&q, &w).unwrap();
+        let txt = explain(&opt);
+        assert!(txt.contains("Join on"), "expected a join, got:\n{txt}");
+        assert!(
+            txt.contains("Select (diagnosis = 'pregnancy')"),
+            "left selection must be pushed down:\n{txt}"
+        );
+        assert!(
+            txt.contains("Select (cost > 50)"),
+            "right selection must be pushed down:\n{txt}"
+        );
+    }
+
+    #[test]
+    fn optimized_plan_is_equivalent() {
+        let w = two_table_wsd();
+        let q = Query::table("R")
+            .product(Query::table("T"))
+            .select(Expr::col("test").eq(Expr::col("tname")))
+            .project(["diagnosis", "cost"]);
+        let opt = optimize(&q, &w).unwrap();
+        let lhs = q.eval(&w).unwrap().to_worldset(100_000).unwrap();
+        let rhs = opt.eval(&w).unwrap().to_worldset(100_000).unwrap();
+        assert!(lhs.equivalent(&rhs, 1e-9));
+        // and both equal the per-world evaluation
+        let oracle =
+            eval_in_all_worlds(&w.to_worldset(100_000).unwrap(), &q.to_world_query()).unwrap();
+        assert!(lhs.equivalent(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn selection_fusion_and_union_distribution() {
+        let w = medical_wsd();
+        let q = Query::table("R")
+            .union(Query::table("R"))
+            .select(Expr::col("diagnosis").eq(Expr::lit("obesity")))
+            .select(Expr::col("test").eq(Expr::lit("BMI")));
+        let opt = optimize(&q, &w).unwrap();
+        let txt = explain(&opt);
+        assert!(txt.starts_with("Union"), "selection should distribute:\n{txt}");
+        let lhs = q.eval(&w).unwrap().to_worldset(100_000).unwrap();
+        let rhs = opt.eval(&w).unwrap().to_worldset(100_000).unwrap();
+        assert!(lhs.equivalent(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn projection_fusion() {
+        let w = medical_wsd();
+        let q = Query::table("R")
+            .project(["diagnosis", "test"])
+            .project(["test"]);
+        let opt = optimize(&q, &w).unwrap();
+        let txt = explain(&opt);
+        assert_eq!(txt.matches("Project").count(), 1, "{txt}");
+        let lhs = q.eval(&w).unwrap().to_worldset(1000).unwrap();
+        let rhs = opt.eval(&w).unwrap().to_worldset(1000).unwrap();
+        assert!(lhs.equivalent(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn schema_inference() {
+        let w = two_table_wsd();
+        let q = Query::table("R").product(Query::table("T"));
+        let s = schema_of(&q, &w).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(schema_of(&Query::table("missing"), &w).is_err());
+    }
+}

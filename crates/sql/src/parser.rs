@@ -1,0 +1,714 @@
+//! Recursive-descent parser for the MayBMS SQL dialect.
+
+use maybms_relational::{ColumnType, Error, Expr, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::{lex, Sym, Token};
+
+/// Parses one statement (an optional trailing `;` is accepted).
+pub fn parse(input: &str) -> Result<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(Sym::Semicolon);
+    if !p.at_end() {
+        return Err(Error::InvalidExpr(format!(
+            "unexpected trailing input at token {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Parses a `;`-separated script.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.statement()?);
+        if !p.eat_symbol(Sym::Semicolon) {
+            break;
+        }
+    }
+    if !p.at_end() {
+        return Err(Error::InvalidExpr(format!(
+            "unexpected trailing input at token {:?}",
+            p.peek()
+        )));
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::InvalidExpr(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(Error::InvalidExpr(format!("expected '{s}', found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            t => Err(Error::InvalidExpr(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    /// Identifier possibly qualified by a dot: `a` or `a.b`.
+    fn qualified_ident(&mut self) -> Result<String> {
+        let mut s = self.ident()?;
+        while self.eat_symbol(Sym::Dot) {
+            s.push('.');
+            s.push_str(&self.ident()?);
+        }
+        Ok(s)
+    }
+
+    // -------------------------------------------------------------
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "SELECT" => Ok(Statement::Select(self.select_stmt()?)),
+                "CREATE" => self.create_table(),
+                "DROP" => self.drop_table(),
+                "INSERT" => self.insert(),
+                "REPAIR" => self.repair(),
+                "EXPLAIN" => {
+                    self.next();
+                    Ok(Statement::Explain(Box::new(self.statement()?)))
+                }
+                "SHOW" => {
+                    self.next();
+                    self.expect_keyword("TABLES")?;
+                    Ok(Statement::ShowTables)
+                }
+                other => Err(Error::InvalidExpr(format!("unexpected keyword {other}"))),
+            },
+            t => Err(Error::InvalidExpr(format!("expected a statement, found {t:?}"))),
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let mode = if self.eat_keyword("POSSIBLE") {
+            WorldMode::Possible
+        } else if self.eat_keyword("CERTAIN") {
+            WorldMode::Certain
+        } else {
+            WorldMode::AllWorlds
+        };
+        let distinct = self.eat_keyword("DISTINCT");
+
+        let mut prob = false;
+        let mut expected = None;
+        let mut items = Vec::new();
+        loop {
+            if self.eat_keyword("PROB") || self.eat_keyword("CONF") {
+                self.expect_symbol(Sym::LParen)?;
+                self.expect_symbol(Sym::RParen)?;
+                prob = true;
+            } else if self.eat_keyword("EXPECTED") {
+                if self.eat_keyword("COUNT") {
+                    self.expect_symbol(Sym::LParen)?;
+                    self.expect_symbol(Sym::RParen)?;
+                    expected = Some(crate::ast::ExpectedAgg::Count);
+                } else if self.eat_keyword("SUM") {
+                    self.expect_symbol(Sym::LParen)?;
+                    let col = self.qualified_ident()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    expected = Some(crate::ast::ExpectedAgg::Sum(col));
+                } else {
+                    return Err(Error::InvalidExpr(
+                        "expected COUNT or SUM after EXPECTED".into(),
+                    ));
+                }
+            } else if self.eat_symbol(Sym::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                items.push(SelectItem::Column(self.qualified_ident()?));
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+
+        self.expect_keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.ident()?)
+            } else if let Some(Token::Ident(_)) = self.peek() {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            from.push(TableRef { name, alias });
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let set_op = if self.eat_keyword("UNION") {
+            Some((SetOp::Union, Box::new(self.select_stmt()?)))
+        } else if self.eat_keyword("EXCEPT") {
+            Some((SetOp::Except, Box::new(self.select_stmt()?)))
+        } else {
+            None
+        };
+
+        let prob_threshold = if self.eat_keyword("HAVING") {
+            self.expect_keyword("PROB")
+                .or_else(|_| self.expect_keyword("CONF"))?;
+            self.expect_symbol(Sym::LParen)?;
+            self.expect_symbol(Sym::RParen)?;
+            let op = match self.next() {
+                Some(Token::Symbol(Sym::Gt)) => maybms_relational::CmpOp::Gt,
+                Some(Token::Symbol(Sym::Ge)) => maybms_relational::CmpOp::Ge,
+                Some(Token::Symbol(Sym::Lt)) => maybms_relational::CmpOp::Lt,
+                Some(Token::Symbol(Sym::Le)) => maybms_relational::CmpOp::Le,
+                Some(Token::Symbol(Sym::Eq)) => maybms_relational::CmpOp::Eq,
+                t => {
+                    return Err(Error::InvalidExpr(format!(
+                        "expected comparison after HAVING PROB(), found {t:?}"
+                    )))
+                }
+            };
+            Some((op, self.number()?))
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                // allow keyword-named output columns (e.g. the `prob`
+                // column produced by PROB()) as sort keys
+                let col = match self.peek() {
+                    Some(Token::Keyword(k)) => {
+                        let name = k.to_ascii_lowercase();
+                        self.next();
+                        name
+                    }
+                    _ => self.qualified_ident()?,
+                };
+                // ASC/DESC are not reserved keywords; accept them as idents
+                let asc = match self.peek() {
+                    Some(Token::Ident(d)) if d.eq_ignore_ascii_case("desc") => {
+                        self.next();
+                        false
+                    }
+                    Some(Token::Ident(d)) if d.eq_ignore_ascii_case("asc") => {
+                        self.next();
+                        true
+                    }
+                    _ => true,
+                };
+                order_by.push((col, asc));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                t => return Err(Error::InvalidExpr(format!("expected LIMIT count, found {t:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            mode,
+            distinct,
+            prob,
+            expected,
+            items,
+            from,
+            where_clause,
+            set_op,
+            prob_threshold,
+            order_by,
+            limit,
+        })
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = match self.next() {
+                Some(Token::Keyword(k)) => match k.as_str() {
+                    "INT" => ColumnType::Int,
+                    "TEXT" => ColumnType::Str,
+                    "FLOAT" => ColumnType::Float,
+                    "BOOL" => ColumnType::Bool,
+                    other => {
+                        return Err(Error::InvalidExpr(format!("unknown column type {other}")))
+                    }
+                },
+                t => return Err(Error::InvalidExpr(format!("expected a type, found {t:?}"))),
+            };
+            columns.push((col, ty));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn drop_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("DROP")?;
+        self.expect_keyword("TABLE")?;
+        Ok(Statement::DropTable { name: self.ident()? })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.insert_value()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn insert_value(&mut self) -> Result<InsertValue> {
+        if self.eat_symbol(Sym::LBrace) {
+            // or-set literal
+            let mut vals: Vec<(Value, Option<f64>)> = Vec::new();
+            loop {
+                let v = self.value_literal()?;
+                let p = if self.eat_symbol(Sym::Colon) {
+                    Some(self.number()?)
+                } else {
+                    None
+                };
+                vals.push((v, p));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RBrace)?;
+            let weighted = vals.iter().any(|(_, p)| p.is_some());
+            if weighted {
+                if vals.iter().any(|(_, p)| p.is_none()) {
+                    return Err(Error::InvalidExpr(
+                        "or-set literal mixes weighted and unweighted alternatives".into(),
+                    ));
+                }
+                Ok(InsertValue::Weighted(
+                    vals.into_iter().map(|(v, p)| (v, p.expect("checked"))).collect(),
+                ))
+            } else {
+                Ok(InsertValue::Uniform(vals.into_iter().map(|(v, _)| v).collect()))
+            }
+        } else {
+            Ok(InsertValue::Certain(self.value_literal()?))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(i as f64),
+            Some(Token::Float(f)) => Ok(f),
+            t => Err(Error::InvalidExpr(format!("expected a number, found {t:?}"))),
+        }
+    }
+
+    fn value_literal(&mut self) -> Result<Value> {
+        let neg = self.eat_symbol(Sym::Minus);
+        let v = match self.next() {
+            Some(Token::Int(i)) => Value::Int(i),
+            Some(Token::Float(f)) => Value::Float(f),
+            Some(Token::Str(s)) => Value::str(s),
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "TRUE" => Value::Bool(true),
+                "FALSE" => Value::Bool(false),
+                "NULL" => Value::Null,
+                other => return Err(Error::InvalidExpr(format!("unexpected keyword {other}"))),
+            },
+            t => return Err(Error::InvalidExpr(format!("expected a literal, found {t:?}"))),
+        };
+        if neg {
+            match v {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(Error::InvalidExpr(format!("cannot negate {other}"))),
+            }
+        } else {
+            Ok(v)
+        }
+    }
+
+    fn repair(&mut self) -> Result<Statement> {
+        self.expect_keyword("REPAIR")?;
+        if self.eat_keyword("KEY") {
+            let table = self.ident()?;
+            self.expect_symbol(Sym::LParen)?;
+            let mut columns = vec![self.ident()?];
+            while self.eat_symbol(Sym::Comma) {
+                columns.push(self.ident()?);
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Statement::Repair(RepairStmt::Key { table, columns }));
+        }
+        if self.eat_keyword("FD") {
+            let table = self.ident()?;
+            self.expect_symbol(Sym::Colon)?;
+            let mut lhs = vec![self.ident()?];
+            while self.eat_symbol(Sym::Comma) {
+                lhs.push(self.ident()?);
+            }
+            self.expect_symbol(Sym::Arrow)?;
+            let mut rhs = vec![self.ident()?];
+            while self.eat_symbol(Sym::Comma) {
+                rhs.push(self.ident()?);
+            }
+            return Ok(Statement::Repair(RepairStmt::Fd { table, lhs, rhs }));
+        }
+        if self.eat_keyword("CHECK") {
+            let table = self.ident()?;
+            self.expect_symbol(Sym::Colon)?;
+            let pred = self.expr()?;
+            return Ok(Statement::Repair(RepairStmt::Check { table, pred }));
+        }
+        Err(Error::InvalidExpr(
+            "expected KEY, FD or CHECK after REPAIR".into(),
+        ))
+    }
+
+    // -------------------------------------------------------------
+    // expressions (precedence: OR < AND < NOT < cmp < add < mul < atom)
+    // -------------------------------------------------------------
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            e = e.or(self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            e = e.and(self.not_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            let e = left.is_null();
+            return Ok(if negated { e.not() } else { e });
+        }
+        // [NOT] IN (v1, v2, ...)
+        let negated_in = if self.eat_keyword("NOT") {
+            self.expect_keyword("IN")?;
+            true
+        } else if self.eat_keyword("IN") {
+            false
+        } else {
+            // plain comparison
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Eq)) => Some(maybms_relational::CmpOp::Eq),
+                Some(Token::Symbol(Sym::Ne)) => Some(maybms_relational::CmpOp::Ne),
+                Some(Token::Symbol(Sym::Lt)) => Some(maybms_relational::CmpOp::Lt),
+                Some(Token::Symbol(Sym::Le)) => Some(maybms_relational::CmpOp::Le),
+                Some(Token::Symbol(Sym::Gt)) => Some(maybms_relational::CmpOp::Gt),
+                Some(Token::Symbol(Sym::Ge)) => Some(maybms_relational::CmpOp::Ge),
+                _ => None,
+            };
+            return match op {
+                Some(op) => {
+                    self.next();
+                    let right = self.add_expr()?;
+                    Ok(Expr::Cmp(op, Box::new(left), Box::new(right)))
+                }
+                None => Ok(left),
+            };
+        };
+        self.expect_symbol(Sym::LParen)?;
+        let mut vals = vec![self.value_literal()?];
+        while self.eat_symbol(Sym::Comma) {
+            vals.push(self.value_literal()?);
+        }
+        self.expect_symbol(Sym::RParen)?;
+        let e = left.in_list(vals);
+        Ok(if negated_in { e.not() } else { e })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Plus)) => maybms_relational::BinOp::Add,
+                Some(Token::Symbol(Sym::Minus)) => maybms_relational::BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            e = Expr::Bin(op, Box::new(e), Box::new(self.mul_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Star)) => maybms_relational::BinOp::Mul,
+                Some(Token::Symbol(Sym::Slash)) => maybms_relational::BinOp::Div,
+                Some(Token::Symbol(Sym::Percent)) => maybms_relational::BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            e = Expr::Bin(op, Box::new(e), Box::new(self.atom()?));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Token::Symbol(Sym::LParen)) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(_)) => Ok(Expr::Col(self.qualified_ident()?)),
+            _ => Ok(Expr::Lit(self.value_literal()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query() {
+        let s = parse("select Test from R where Diagnosis = 'pregnancy'").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.mode, WorldMode::AllWorlds);
+        assert_eq!(sel.items, vec![SelectItem::Column("Test".into())]);
+        assert_eq!(sel.from[0].name, "R");
+        assert_eq!(
+            sel.where_clause.unwrap().to_string(),
+            "(Diagnosis = 'pregnancy')"
+        );
+    }
+
+    #[test]
+    fn parses_prob_and_modes() {
+        let s = parse("SELECT PROB() FROM R WHERE test = 'ultrasound';").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.prob);
+        assert!(sel.items.is_empty());
+
+        let s2 = parse("SELECT POSSIBLE * FROM R").unwrap();
+        let Statement::Select(sel2) = s2 else { panic!() };
+        assert_eq!(sel2.mode, WorldMode::Possible);
+        assert_eq!(sel2.items, vec![SelectItem::Star]);
+
+        let s3 = parse("SELECT CERTAIN diagnosis FROM R").unwrap();
+        let Statement::Select(sel3) = s3 else { panic!() };
+        assert_eq!(sel3.mode, WorldMode::Certain);
+    }
+
+    #[test]
+    fn parses_joins_with_aliases() {
+        let s = parse("SELECT a.x, b.y FROM r AS a, r b WHERE a.x = b.y AND a.x > 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.from[0].alias.as_deref(), Some("a"));
+        assert_eq!(sel.from[1].alias.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn parses_union_except() {
+        let s = parse("SELECT a FROM r UNION SELECT a FROM s").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.set_op.as_ref().unwrap().0, SetOp::Union);
+        let s2 = parse("SELECT a FROM r EXCEPT SELECT a FROM s").unwrap();
+        let Statement::Select(sel2) = s2 else { panic!() };
+        assert_eq!(sel2.set_op.as_ref().unwrap().0, SetOp::Except);
+    }
+
+    #[test]
+    fn parses_ddl_and_insert_with_orsets() {
+        let s = parse("CREATE TABLE r (a INT, b TEXT, c FLOAT, d BOOL)").unwrap();
+        assert!(matches!(s, Statement::CreateTable { ref columns, .. } if columns.len() == 4));
+
+        let s2 = parse("INSERT INTO r VALUES (1, {'x', 'y'}, {1.5: 0.3, 2.5: 0.7}, TRUE)").unwrap();
+        let Statement::Insert { rows, .. } = s2 else { panic!() };
+        assert_eq!(rows.len(), 1);
+        assert!(matches!(rows[0][1], InsertValue::Uniform(ref v) if v.len() == 2));
+        assert!(matches!(rows[0][2], InsertValue::Weighted(ref v) if v.len() == 2));
+        assert_eq!(rows[0][3], InsertValue::Certain(Value::Bool(true)));
+    }
+
+    #[test]
+    fn parses_repairs() {
+        let s = parse("REPAIR KEY person(ssn)").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Repair(RepairStmt::Key { ref columns, .. }) if columns == &["ssn"]
+        ));
+        let s2 = parse("REPAIR FD person: zip -> city, state").unwrap();
+        assert!(matches!(
+            s2,
+            Statement::Repair(RepairStmt::Fd { ref lhs, ref rhs, .. })
+                if lhs == &["zip"] && rhs.len() == 2
+        ));
+        let s3 = parse("REPAIR CHECK person: age < 150 AND age >= 0").unwrap();
+        assert!(matches!(s3, Statement::Repair(RepairStmt::Check { .. })));
+    }
+
+    #[test]
+    fn parses_explain_and_show() {
+        assert!(matches!(
+            parse("EXPLAIN SELECT a FROM r").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::ShowTables));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse("SELECT a FROM r WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        // AND binds tighter: a=1 OR (b=2 AND c=3)
+        assert_eq!(
+            sel.where_clause.unwrap().to_string(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))"
+        );
+    }
+
+    #[test]
+    fn parses_in_and_is_null() {
+        let s = parse("SELECT a FROM r WHERE b IN ('x','y') AND c IS NOT NULL AND a NOT IN (1)")
+            .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let txt = sel.where_clause.unwrap().to_string();
+        assert!(txt.contains("IN"));
+        assert!(txt.contains("IS NULL"));
+    }
+
+    #[test]
+    fn parse_script_splits_statements() {
+        let stmts =
+            parse_script("CREATE TABLE r (a INT); INSERT INTO r VALUES (1); SELECT a FROM r;")
+                .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("FROB x").is_err());
+        assert!(parse("SELECT a FROM r WHERE").is_err());
+        assert!(parse("INSERT INTO r VALUES (1, {2: 0.5, 3})").is_err());
+        assert!(parse("SELECT a FROM r extra garbage").is_err());
+    }
+
+    #[test]
+    fn negative_literals() {
+        let s = parse("INSERT INTO r VALUES (-5, -1.5)").unwrap();
+        let Statement::Insert { rows, .. } = s else { panic!() };
+        assert_eq!(rows[0][0], InsertValue::Certain(Value::Int(-5)));
+        assert_eq!(rows[0][1], InsertValue::Certain(Value::Float(-1.5)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Lowering parsed statements to algebra plans over the decomposition.
+
+use maybms_core::algebra::Query;
+use maybms_relational::{Error, Result};
+
+use crate::ast::{SelectItem, SelectStmt, SetOp};
+
+/// Lowers a SELECT statement (ignoring its world mode and `PROB()` flag,
+/// which are post-processing concerns of the session) to an algebra query.
+pub fn lower_select(stmt: &SelectStmt) -> Result<Query> {
+    // FROM: product of (possibly qualified) tables
+    if stmt.from.is_empty() {
+        return Err(Error::InvalidExpr("empty FROM clause".into()));
+    }
+    let mut from_iter = stmt.from.iter();
+    let first = from_iter.next().expect("nonempty");
+    let mut q = table_ref(first);
+    for t in from_iter {
+        q = q.product(table_ref(t));
+    }
+
+    // WHERE
+    if let Some(pred) = &stmt.where_clause {
+        q = q.select(pred.clone());
+    }
+
+    // SELECT list
+    let star = stmt.items.iter().any(|i| matches!(i, SelectItem::Star));
+    if !star && !stmt.items.is_empty() {
+        let cols: Vec<String> = stmt
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Column(c) => c.clone(),
+                SelectItem::Star => unreachable!("filtered above"),
+            })
+            .collect();
+        q = q.project(cols);
+    }
+
+    if stmt.distinct {
+        q = q.distinct();
+    }
+
+    // set operations
+    if let Some((op, rhs)) = &stmt.set_op {
+        let rhs_q = lower_select(rhs)?;
+        q = match op {
+            SetOp::Union => q.union(rhs_q),
+            SetOp::Except => q.difference(rhs_q),
+        };
+    }
+    Ok(q)
+}
+
+fn table_ref(t: &crate::ast::TableRef) -> Query {
+    let base = Query::table(&t.name);
+    match &t.alias {
+        Some(a) => base.qualify(a),
+        None => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::ast::Statement;
+
+    fn lower(sql: &str) -> Query {
+        let Statement::Select(s) = parse(sql).unwrap() else { panic!() };
+        lower_select(&s).unwrap()
+    }
+
+    #[test]
+    fn select_project_shape() {
+        let q = lower("SELECT test FROM R WHERE diagnosis = 'pregnancy'");
+        let Query::Project(inner, cols) = q else { panic!("got {q:?}") };
+        assert_eq!(cols, vec!["test"]);
+        assert!(matches!(*inner, Query::Select(..)));
+    }
+
+    #[test]
+    fn multi_table_from_becomes_product() {
+        let q = lower("SELECT * FROM r a, s b");
+        assert!(matches!(q, Query::Product(..)));
+    }
+
+    #[test]
+    fn union_and_except() {
+        let q = lower("SELECT a FROM r UNION SELECT a FROM s");
+        assert!(matches!(q, Query::Union(..)));
+        let q2 = lower("SELECT a FROM r EXCEPT SELECT a FROM s");
+        assert!(matches!(q2, Query::Difference(..)));
+    }
+
+    #[test]
+    fn distinct_wraps() {
+        let q = lower("SELECT DISTINCT a FROM r");
+        assert!(matches!(q, Query::Distinct(..)));
+    }
+}

@@ -1,0 +1,548 @@
+//! The session: a stateful database holding one decomposition, executing
+//! SQL statements against it.
+
+use maybms_core::chase::{clean, CleaningReport, Constraint};
+use maybms_core::prob;
+use maybms_core::wsd::Wsd;
+use maybms_relational::{Column, ColumnType, Relation, Result, Schema, Tuple, Value};
+use maybms_worldset::OrSetCell;
+
+use crate::ast::{InsertValue, RepairStmt, SelectStmt, Statement, WorldMode};
+use crate::optimizer::{explain, optimize};
+use crate::parser::{parse, parse_script};
+use crate::plan::lower_select;
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// A plain (all-worlds) SELECT: the answer is a world-set, returned as
+    /// a decomposition whose single relation is `result`.
+    WorldSet(Wsd),
+    /// POSSIBLE / CERTAIN / PROB() queries return an ordinary relation.
+    Table(Relation),
+    /// DDL / DML / REPAIR acknowledgement or EXPLAIN text.
+    Text(String),
+}
+
+impl QueryResult {
+    /// The relation, when the result is one.
+    pub fn table(&self) -> Option<&Relation> {
+        match self {
+            QueryResult::Table(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The decomposition, when the result is one.
+    pub fn world_set(&self) -> Option<&Wsd> {
+        match self {
+            QueryResult::WorldSet(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// A MayBMS session: the incomplete database plus execution settings.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    wsd: Wsd,
+    /// Disable to execute unoptimized plans (used by the E3 ablation).
+    pub optimize_plans: bool,
+    /// Reports from REPAIR statements, latest last.
+    pub cleaning_log: Vec<CleaningReport>,
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session { wsd: Wsd::new(), optimize_plans: true, cleaning_log: Vec::new() }
+    }
+
+    /// A session over an existing decomposition.
+    pub fn with_wsd(wsd: Wsd) -> Session {
+        Session { wsd, optimize_plans: true, cleaning_log: Vec::new() }
+    }
+
+    pub fn wsd(&self) -> &Wsd {
+        &self.wsd
+    }
+
+    pub fn wsd_mut(&mut self) -> &mut Wsd {
+        &mut self.wsd
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.run(&stmt)
+    }
+
+    /// Executes a `;`-separated script, returning the last result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = QueryResult::Text("OK".into());
+        for s in &stmts {
+            last = self.run(s)?;
+        }
+        Ok(last)
+    }
+
+    /// Executes a parsed statement.
+    pub fn run(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(sel) => self.run_select(sel),
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::from_columns(
+                    columns
+                        .iter()
+                        .map(|(n, t)| Column::new(n.clone(), *t))
+                        .collect(),
+                );
+                self.wsd.add_relation(name.clone(), schema)?;
+                Ok(QueryResult::Text(format!("created table {name}")))
+            }
+            Statement::DropTable { name } => {
+                self.wsd.remove_relation(name)?;
+                maybms_core::normalize::normalize(&mut self.wsd);
+                Ok(QueryResult::Text(format!("dropped table {name}")))
+            }
+            Statement::Insert { table, rows } => {
+                let mut n = 0;
+                for row in rows {
+                    let cells = row
+                        .iter()
+                        .map(|v| match v {
+                            InsertValue::Certain(v) => Ok(OrSetCell::certain(v.clone())),
+                            InsertValue::Uniform(vs) => OrSetCell::uniform(vs.clone()),
+                            InsertValue::Weighted(ws) => OrSetCell::weighted(ws.clone()),
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    self.wsd.push_orset(table, cells)?;
+                    n += 1;
+                }
+                Ok(QueryResult::Text(format!("inserted {n} tuple(s) into {table}")))
+            }
+            Statement::Repair(r) => {
+                let constraint = match r {
+                    RepairStmt::Key { table, columns } => Constraint::Key {
+                        rel: table.clone(),
+                        cols: columns.clone(),
+                    },
+                    RepairStmt::Fd { table, lhs, rhs } => Constraint::Fd {
+                        rel: table.clone(),
+                        lhs: lhs.clone(),
+                        rhs: rhs.clone(),
+                    },
+                    RepairStmt::Check { table, pred } => Constraint::TupleCheck {
+                        rel: table.clone(),
+                        pred: pred.clone(),
+                    },
+                };
+                let report = clean(&mut self.wsd, &[constraint])?;
+                let msg = format!(
+                    "repaired: {} violating row group(s) removed, {:.4} probability mass discarded",
+                    report.deleted_rows, report.removed_probability
+                );
+                self.cleaning_log.push(report);
+                Ok(QueryResult::Text(msg))
+            }
+            Statement::Explain(inner) => match inner.as_ref() {
+                Statement::Select(sel) => {
+                    let raw = lower_select(sel)?;
+                    let opt = optimize(&raw, &self.wsd)?;
+                    Ok(QueryResult::Text(format!(
+                        "-- logical plan\n{}-- optimized plan\n{}",
+                        explain(&raw),
+                        explain(&opt)
+                    )))
+                }
+                other => Ok(QueryResult::Text(format!("{other:?}"))),
+            },
+            Statement::ShowTables => {
+                let names: Vec<&str> = self.wsd.relation_names().collect();
+                Ok(QueryResult::Text(names.join("\n")))
+            }
+        }
+    }
+
+    fn run_select(&mut self, sel: &SelectStmt) -> Result<QueryResult> {
+        if sel.prob_threshold.is_some() && (!sel.prob || sel.items.is_empty()) {
+            return Err(maybms_relational::Error::InvalidExpr(
+                "HAVING PROB() requires PROB() and answer columns in the select list".into(),
+            ));
+        }
+        let mut result = self.run_select_inner(sel)?;
+        // HAVING PROB() filters on the confidence column (always last).
+        if let Some((op, threshold)) = sel.prob_threshold {
+            if let QueryResult::Table(t) = result {
+                let last = t.schema().len() - 1;
+                let rows: Vec<_> = t
+                    .rows()
+                    .iter()
+                    .filter(|r| {
+                        op.apply(&r[last], &Value::Float(threshold)).unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                result = QueryResult::Table(Relation::from_rows_unchecked(
+                    t.schema().clone(),
+                    rows,
+                ));
+            }
+        }
+        // ORDER BY / LIMIT post-process tabular results.
+        if sel.order_by.is_empty() && sel.limit.is_none() {
+            return Ok(result);
+        }
+        match result {
+            QueryResult::Table(t) => {
+                let mut t = if sel.order_by.is_empty() {
+                    t
+                } else {
+                    let keys: Vec<(&str, bool)> = sel
+                        .order_by
+                        .iter()
+                        .map(|(c, asc)| (c.as_str(), *asc))
+                        .collect();
+                    maybms_relational::ops::sort_by(&t, &keys)?
+                };
+                if let Some(n) = sel.limit {
+                    let rows: Vec<_> = t.take_rows().into_iter().take(n).collect();
+                    t = Relation::from_rows_unchecked(t.schema().clone(), rows);
+                }
+                Ok(QueryResult::Table(t))
+            }
+            QueryResult::WorldSet(_) | QueryResult::Text(_) => {
+                Err(maybms_relational::Error::InvalidExpr(
+                    "ORDER BY / LIMIT require a tabular result \
+                     (POSSIBLE, CERTAIN, PROB() or EXPECTED)"
+                        .into(),
+                ))
+            }
+        }
+    }
+
+    fn run_select_inner(&mut self, sel: &SelectStmt) -> Result<QueryResult> {
+        let raw = lower_select(sel)?;
+        let plan = if self.optimize_plans {
+            optimize(&raw, &self.wsd)?
+        } else {
+            raw
+        };
+        let answer = plan.eval(&self.wsd)?;
+        let schema = answer.relation("result")?.schema.clone();
+
+        if let Some(agg) = &sel.expected {
+            // EXPECTED COUNT() / EXPECTED SUM(col): one scalar row.
+            let (name, v) = match agg {
+                crate::ast::ExpectedAgg::Count => {
+                    ("expected_count", prob::expected_count(&answer, "result")?)
+                }
+                crate::ast::ExpectedAgg::Sum(col) => {
+                    ("expected_sum", prob::expected_sum(&answer, "result", col)?)
+                }
+            };
+            let s = Schema::new(vec![(name, ColumnType::Float)]);
+            let mut r = Relation::empty(s);
+            r.push_unchecked(Tuple::new(vec![Value::Float(v)]));
+            return Ok(QueryResult::Table(r));
+        }
+
+        match (sel.mode, sel.prob) {
+            (WorldMode::AllWorlds, false) => Ok(QueryResult::WorldSet(answer)),
+            (WorldMode::AllWorlds, true) | (WorldMode::Possible, true) => {
+                if sel.items.is_empty() {
+                    // SELECT PROB() FROM ... : probability of non-emptiness
+                    let p = prob::nonempty_confidence(&answer, "result")?;
+                    let s = Schema::new(vec![("prob", ColumnType::Float)]);
+                    let mut r = Relation::empty(s);
+                    r.push_unchecked(Tuple::new(vec![Value::Float(p)]));
+                    Ok(QueryResult::Table(r))
+                } else {
+                    // answer tuples with their confidences
+                    let conf = prob::tuple_confidence(&answer, "result")?;
+                    let with_p = schema.concat(&Schema::new(vec![("prob", ColumnType::Float)]));
+                    let mut r = Relation::empty(with_p);
+                    for (t, p) in conf {
+                        let mut vals = t.into_values();
+                        vals.push(Value::Float(p));
+                        r.push_unchecked(Tuple::new(vals));
+                    }
+                    Ok(QueryResult::Table(r))
+                }
+            }
+            (WorldMode::Possible, false) => {
+                let tuples = prob::possible_tuples(&answer, "result")?;
+                Ok(QueryResult::Table(Relation::from_rows_unchecked(schema, tuples)))
+            }
+            (WorldMode::Certain, _) => {
+                let tuples = prob::certain_tuples(&answer, "result")?;
+                Ok(QueryResult::Table(Relation::from_rows_unchecked(schema, tuples)))
+            }
+        }
+    }
+}
+
+impl From<Wsd> for Session {
+    fn from(wsd: Wsd) -> Session {
+        Session::with_wsd(wsd)
+    }
+}
+
+/// Builds a session preloaded with the paper's medical example, used by
+/// docs, examples and tests.
+pub fn medical_session() -> Session {
+    Session::with_wsd(maybms_core::examples::medical_wsd())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err_contains(r: Result<QueryResult>, what: &str) {
+        match r {
+            Err(e) => assert!(e.to_string().contains(what), "unexpected error {e}"),
+            Ok(v) => panic!("expected error containing {what}, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_via_sql() {
+        let mut s = medical_session();
+        let r = s
+            .execute("SELECT test FROM R WHERE diagnosis = 'pregnancy'")
+            .unwrap();
+        let wsd = r.world_set().expect("plain select yields a world-set");
+        // two worlds: {ultrasound} with 0.4 and {} with 0.6
+        let ws = wsd.to_worldset(100).unwrap();
+        assert_eq!(ws.merged().len(), 2);
+
+        let r2 = s
+            .execute("SELECT test, PROB() FROM R WHERE diagnosis = 'pregnancy'")
+            .unwrap();
+        let t = r2.table().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::str("ultrasound"));
+        assert_eq!(t.rows()[0][1], Value::Float(0.4));
+    }
+
+    #[test]
+    fn possible_and_certain() {
+        let mut s = medical_session();
+        let poss = s.execute("SELECT POSSIBLE diagnosis FROM R").unwrap();
+        assert_eq!(poss.table().unwrap().len(), 3); // pregnancy, hypothyroidism, obesity
+        let cert = s.execute("SELECT CERTAIN diagnosis FROM R").unwrap();
+        assert_eq!(cert.table().unwrap().len(), 1); // obesity
+        assert_eq!(cert.table().unwrap().rows()[0][0], Value::str("obesity"));
+    }
+
+    #[test]
+    fn prob_of_nonempty() {
+        let mut s = medical_session();
+        let r = s
+            .execute("SELECT PROB() FROM R WHERE test = 'ultrasound'")
+            .unwrap();
+        let t = r.table().unwrap();
+        let p = t.rows()[0][0].as_f64().unwrap();
+        assert!((p - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddl_dml_roundtrip() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE person (ssn INT, name TEXT)").unwrap();
+        s.execute("INSERT INTO person VALUES (1, 'ann'), ({2: 0.5, 3: 0.5}, 'bob')")
+            .unwrap();
+        let r = s.execute("SELECT POSSIBLE ssn, PROB() FROM person").unwrap();
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 3);
+        // world count: 2
+        assert_eq!(s.wsd().world_count().to_u64(), Some(2));
+        s.execute("DROP TABLE person").unwrap();
+        err_contains(s.execute("SELECT * FROM person"), "unknown relation");
+    }
+
+    #[test]
+    fn repair_key_via_sql() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE p (ssn INT, name TEXT)").unwrap();
+        s.execute("INSERT INTO p VALUES ({1: 0.5, 2: 0.5}, 'ann'), (2, 'bob')")
+            .unwrap();
+        let msg = s.execute("REPAIR KEY p(ssn)").unwrap();
+        assert!(matches!(msg, QueryResult::Text(ref t) if t.contains("repaired")));
+        // ann's ssn=2 option is gone; her ssn is certainly 1
+        let r = s.execute("SELECT CERTAIN ssn, name FROM p").unwrap();
+        assert_eq!(r.table().unwrap().len(), 2);
+        assert_eq!(s.cleaning_log.len(), 1);
+    }
+
+    #[test]
+    fn repair_check_via_sql() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE r (age INT)").unwrap();
+        s.execute("INSERT INTO r VALUES ({10: 0.5, 500: 0.5})").unwrap();
+        s.execute("REPAIR CHECK r: age < 150").unwrap();
+        let t = s.execute("SELECT CERTAIN age FROM r").unwrap();
+        assert_eq!(t.table().unwrap().rows()[0][0], Value::Int(10));
+    }
+
+    #[test]
+    fn join_via_sql_with_aliases() {
+        let mut s = medical_session();
+        s.execute("CREATE TABLE cost (tname TEXT, usd INT)").unwrap();
+        s.execute("INSERT INTO cost VALUES ('ultrasound', 120), ('TSH', 40), ('BMI', 10)")
+            .unwrap();
+        let r = s
+            .execute(
+                "SELECT POSSIBLE r.test, c.usd, PROB() FROM R r, cost c WHERE r.test = c.tname",
+            )
+            .unwrap();
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 3);
+        let ultra = t
+            .rows()
+            .iter()
+            .find(|row| row[0] == Value::str("ultrasound"))
+            .unwrap();
+        assert_eq!(ultra[1], Value::Int(120));
+        assert_eq!(ultra[2], Value::Float(0.4));
+    }
+
+    #[test]
+    fn union_except_via_sql() {
+        let mut s = medical_session();
+        let r = s
+            .execute(
+                "SELECT POSSIBLE diagnosis FROM R WHERE diagnosis = 'obesity' \
+                 UNION SELECT diagnosis FROM R WHERE diagnosis = 'pregnancy'",
+            )
+            .unwrap();
+        assert_eq!(r.table().unwrap().len(), 2);
+        let r2 = s
+            .execute(
+                "SELECT CERTAIN diagnosis FROM R EXCEPT SELECT diagnosis FROM R WHERE diagnosis = 'obesity'",
+            )
+            .unwrap();
+        assert_eq!(r2.table().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn explain_shows_both_plans() {
+        let mut s = medical_session();
+        let r = s
+            .execute("EXPLAIN SELECT test FROM R WHERE diagnosis = 'pregnancy'")
+            .unwrap();
+        let QueryResult::Text(txt) = r else { panic!() };
+        assert!(txt.contains("logical plan"));
+        assert!(txt.contains("optimized plan"));
+        assert!(txt.contains("Scan R"));
+    }
+
+    #[test]
+    fn unoptimized_sessions_agree_with_optimized() {
+        let sql = "SELECT POSSIBLE r.test, c.usd, PROB() FROM R r, cost c WHERE r.test = c.tname";
+        let setup = "CREATE TABLE cost (tname TEXT, usd INT); \
+                     INSERT INTO cost VALUES ('ultrasound', 120), ('TSH', 40)";
+        let mut s1 = medical_session();
+        s1.execute_script(setup).unwrap();
+        let mut s2 = medical_session();
+        s2.execute_script(setup).unwrap();
+        s2.optimize_plans = false;
+        let r1 = s1.execute(sql).unwrap();
+        let r2 = s2.execute(sql).unwrap();
+        assert_eq!(
+            r1.table().unwrap().canonical(),
+            r2.table().unwrap().canonical()
+        );
+    }
+
+    #[test]
+    fn having_prob_threshold() {
+        let mut s = medical_session();
+        let r = s
+            .execute("SELECT diagnosis, PROB() FROM R HAVING PROB() >= 0.6")
+            .unwrap();
+        let t = r.table().unwrap();
+        // obesity (1.0) and hypothyroidism (0.6) pass; pregnancy (0.4) not
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|row| row[1].as_f64().unwrap() >= 0.6));
+        // threshold without PROB() is rejected
+        assert!(s.execute("SELECT diagnosis FROM R HAVING PROB() > 0.5").is_err());
+        // composes with ORDER BY / LIMIT
+        let r = s
+            .execute(
+                "SELECT diagnosis, PROB() FROM R HAVING PROB() > 0 ORDER BY prob DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(r.table().unwrap().rows()[0][0], Value::str("obesity"));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut s = medical_session();
+        let r = s
+            .execute("SELECT POSSIBLE diagnosis, PROB() FROM R ORDER BY prob DESC LIMIT 2")
+            .unwrap();
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::str("obesity")); // p = 1 first
+        let p0 = t.rows()[0][1].as_f64().unwrap();
+        let p1 = t.rows()[1][1].as_f64().unwrap();
+        assert!(p0 >= p1);
+
+        // ORDER BY on a world-set result is rejected
+        assert!(s
+            .execute("SELECT diagnosis FROM R ORDER BY diagnosis")
+            .is_err());
+        // unknown sort column errors
+        assert!(s
+            .execute("SELECT POSSIBLE diagnosis FROM R ORDER BY nope")
+            .is_err());
+    }
+
+    #[test]
+    fn expected_aggregates() {
+        let mut s = medical_session();
+        // E[|σ diagnosis='pregnancy'|] = 0.4 (r1 in pregnancy worlds only)
+        let r = s
+            .execute("SELECT EXPECTED COUNT() FROM R WHERE diagnosis = 'pregnancy'")
+            .unwrap();
+        let v = r.table().unwrap().rows()[0][0].as_f64().unwrap();
+        assert!((v - 0.4).abs() < 1e-9);
+
+        // numeric column for ESUM
+        s.execute("CREATE TABLE costs (tname TEXT, usd INT)").unwrap();
+        s.execute("INSERT INTO costs VALUES ('ultrasound', {100: 0.5, 200: 0.5}), ('TSH', 40)")
+            .unwrap();
+        let r = s.execute("SELECT EXPECTED SUM(usd) FROM costs").unwrap();
+        let v = r.table().unwrap().rows()[0][0].as_f64().unwrap();
+        assert!((v - 190.0).abs() < 1e-9, "E[sum] = 0.5*100+0.5*200+40 = {v}");
+
+        // oracle agreement on the count
+        let q = maybms_core::algebra::Query::table("R")
+            .select(maybms_relational::Expr::col("diagnosis").eq(Expr::lit("pregnancy")));
+        let ans = q.eval(s.wsd()).unwrap();
+        let brute = ans.to_worldset(100_000).unwrap().expected_count("result");
+        assert!((brute - 0.4).abs() < 1e-9);
+        use maybms_relational::Expr;
+    }
+
+    #[test]
+    fn show_tables() {
+        let mut s = medical_session();
+        let QueryResult::Text(t) = s.execute("SHOW TABLES").unwrap() else { panic!() };
+        assert_eq!(t, "R");
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut s = Session::new();
+        err_contains(s.execute("SELECT * FROM missing"), "unknown relation");
+        err_contains(s.execute("CREATE TABLE t (a INT"), "expected");
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        err_contains(s.execute("CREATE TABLE t (a INT)"), "already exists");
+        err_contains(
+            s.execute("INSERT INTO t VALUES ('wrong type')"),
+            "type error",
+        );
+    }
+}

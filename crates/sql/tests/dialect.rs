@@ -1,0 +1,159 @@
+//! Dialect-wide integration tests: every statement form parses, executes,
+//! and round-trips sensibly against a live session.
+
+use maybms_relational::Value;
+use maybms_sql::{parse, QueryResult, Session, Statement};
+
+fn fresh() -> Session {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE emp (id INT, name TEXT, dept TEXT, salary INT); \
+         CREATE TABLE dept (dname TEXT, budget INT); \
+         INSERT INTO emp VALUES \
+           (1, 'ann', {'eng': 0.8, 'ops': 0.2}, 100), \
+           (2, 'bob', 'eng', {90: 0.5, 110: 0.5}), \
+           (3, 'cyd', 'ops', 80); \
+         INSERT INTO dept VALUES ('eng', 1000), ('ops', 500)",
+    )
+    .expect("setup");
+    s
+}
+
+#[test]
+fn every_statement_form_parses() {
+    let statements = [
+        "SELECT * FROM emp",
+        "SELECT POSSIBLE name FROM emp",
+        "SELECT CERTAIN name, dept FROM emp",
+        "SELECT name, PROB() FROM emp WHERE dept = 'eng'",
+        "SELECT PROB() FROM emp WHERE salary > 100",
+        "SELECT EXPECTED COUNT() FROM emp WHERE dept = 'eng'",
+        "SELECT EXPECTED SUM(salary) FROM emp",
+        "SELECT DISTINCT dept FROM emp",
+        "SELECT e.name, d.budget FROM emp e, dept d WHERE e.dept = d.dname",
+        "SELECT name FROM emp WHERE salary >= 90 AND dept IN ('eng', 'ops')",
+        "SELECT name FROM emp WHERE NOT (salary < 90) OR name IS NULL",
+        "SELECT name FROM emp UNION SELECT dname FROM dept",
+        "SELECT name FROM emp EXCEPT SELECT name FROM emp WHERE dept = 'ops'",
+        "SELECT POSSIBLE name, PROB() FROM emp HAVING PROB() > 0.5 ORDER BY prob DESC LIMIT 3",
+        "CREATE TABLE t2 (x INT)",
+        "DROP TABLE dept",
+        "INSERT INTO emp VALUES (4, 'dee', 'eng', 95)",
+        "REPAIR KEY emp(id)",
+        "REPAIR FD emp: dept -> salary",
+        "REPAIR CHECK emp: salary > 0",
+        "EXPLAIN SELECT name FROM emp WHERE dept = 'eng'",
+        "SHOW TABLES",
+    ];
+    for sql in statements {
+        parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    }
+}
+
+#[test]
+fn execution_smoke_for_all_query_forms() {
+    let mut s = fresh();
+    let cases: &[(&str, fn(&QueryResult) -> bool)] = &[
+        ("SELECT * FROM emp", |r| r.world_set().is_some()),
+        ("SELECT POSSIBLE name FROM emp", |r| r.table().map(|t| t.len()) == Some(3)),
+        ("SELECT CERTAIN name FROM emp", |r| r.table().map(|t| t.len()) == Some(3)),
+        ("SELECT PROB() FROM emp WHERE dept = 'ops'", |r| {
+            r.table().is_some()
+        }),
+        ("SELECT EXPECTED COUNT() FROM emp", |r| {
+            r.table()
+                .map(|t| (t.rows()[0][0].as_f64().unwrap() - 3.0).abs() < 1e-9)
+                .unwrap_or(false)
+        }),
+        ("SHOW TABLES", |r| matches!(r, QueryResult::Text(t) if t.contains("emp"))),
+    ];
+    for (sql, check) in cases {
+        let r = s.execute(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert!(check(&r), "unexpected result for {sql}: {r:?}");
+    }
+}
+
+#[test]
+fn uncertainty_flows_through_joins() {
+    let mut s = fresh();
+    // ann's dept is uncertain: joining against dept budgets spreads it
+    let r = s
+        .execute(
+            "SELECT POSSIBLE e.name, d.budget, PROB() FROM emp e, dept d \
+             WHERE e.dept = d.dname AND e.name = 'ann'",
+        )
+        .unwrap();
+    let t = r.table().unwrap();
+    assert_eq!(t.len(), 2);
+    let eng = t.rows().iter().find(|r| r[1] == Value::Int(1000)).unwrap();
+    assert!((eng[2].as_f64().unwrap() - 0.8).abs() < 1e-9);
+    let ops = t.rows().iter().find(|r| r[1] == Value::Int(500)).unwrap();
+    assert!((ops[2].as_f64().unwrap() - 0.2).abs() < 1e-9);
+}
+
+#[test]
+fn expected_salary_combines_orset_weights() {
+    let mut s = fresh();
+    let r = s.execute("SELECT EXPECTED SUM(salary) FROM emp").unwrap();
+    let v = r.table().unwrap().rows()[0][0].as_f64().unwrap();
+    // 100 + (0.5·90 + 0.5·110) + 80 = 280
+    assert!((v - 280.0).abs() < 1e-9, "got {v}");
+}
+
+#[test]
+fn repair_fd_makes_depts_consistent() {
+    let mut s = fresh();
+    // Align cyd's salary with ann's so ops-worlds are FD-consistent.
+    s.execute("DROP TABLE emp").unwrap();
+    s.execute_script(
+        "CREATE TABLE emp (id INT, name TEXT, dept TEXT, salary INT); \
+         INSERT INTO emp VALUES \
+           (1, 'ann', {'eng': 0.8, 'ops': 0.2}, 100), \
+           (2, 'bob', 'eng', 90), \
+           (3, 'cyd', 'ops', 100)",
+    )
+    .unwrap();
+    // FD dept -> salary: ann in eng would clash with bob (100 vs 90), so
+    // only ann-ops worlds survive.
+    s.execute("REPAIR FD emp: dept -> salary").unwrap();
+    let r = s.execute("SELECT CERTAIN name, dept FROM emp WHERE name = 'ann'").unwrap();
+    let t = r.table().unwrap();
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.rows()[0][1], Value::str("ops"));
+}
+
+#[test]
+fn world_set_result_inspectable() {
+    let mut s = fresh();
+    let r = s.execute("SELECT name, salary FROM emp WHERE salary > 95").unwrap();
+    let wsd = r.world_set().unwrap();
+    // bob's salary decides membership: 2 worlds for bob × ann certain
+    let ws = wsd.to_worldset(1000).unwrap();
+    assert_eq!(ws.merged().len(), 2);
+    let conf = wsd.tuple_confidence("result").unwrap();
+    let bob110 = conf
+        .iter()
+        .find(|(t, _)| t[0] == Value::str("bob") && t[1] == Value::Int(110));
+    assert!((bob110.unwrap().1 - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn errors_do_not_corrupt_the_session() {
+    let mut s = fresh();
+    assert!(s.execute("SELECT nope FROM emp").is_err());
+    assert!(s.execute("INSERT INTO emp VALUES (9)").is_err());
+    assert!(s.execute("REPAIR CHECK emp: salary < 0").is_err()); // unsatisfiable
+    // the session still answers correctly afterwards
+    let r = s.execute("SELECT CERTAIN name FROM emp").unwrap();
+    assert_eq!(r.table().unwrap().len(), 3);
+    s.wsd().validate().unwrap();
+}
+
+#[test]
+fn statement_debug_forms() {
+    // parse() returns structured statements usable programmatically
+    let stmt = parse("SELECT POSSIBLE a FROM r").unwrap();
+    assert!(matches!(stmt, Statement::Select(_)));
+    let stmt = parse("REPAIR KEY r(a, b)").unwrap();
+    assert!(matches!(stmt, Statement::Repair(_)));
+}

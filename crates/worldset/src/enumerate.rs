@@ -1,0 +1,154 @@
+//! Expanding or-set relations into explicit world-sets.
+//!
+//! Expansion is exponential by design — that is precisely the blow-up that
+//! world-set decompositions avoid — so it is guarded by a configurable cap
+//! and only used at oracle/test scale.
+
+use maybms_relational::{Error, Relation, Result, Tuple};
+
+use crate::orset::OrSetRelation;
+use crate::world::{World, WorldSet};
+
+/// Limits for explicit enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumerateOptions {
+    /// Maximum number of worlds to materialize before giving up.
+    pub max_worlds: usize,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions { max_worlds: 1 << 20 }
+    }
+}
+
+/// Expands an or-set relation into the explicit set of its possible worlds
+/// (each world is a single relation named `rel_name`).
+///
+/// World probabilities multiply the chosen alternatives' probabilities —
+/// the independent-choice semantics of attribute-level or-sets.
+pub fn expand(os: &OrSetRelation, rel_name: &str, opts: EnumerateOptions) -> Result<WorldSet> {
+    // Collect choice points: (row, col, #alternatives).
+    let mut choice_points: Vec<(usize, usize)> = Vec::new();
+    let mut count: f64 = 1.0;
+    for (i, row) in os.rows().iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            if !cell.is_certain() {
+                choice_points.push((i, j));
+                count *= cell.width() as f64;
+                if count > opts.max_worlds as f64 {
+                    return Err(Error::InvalidExpr(format!(
+                        "world-set too large to enumerate (> {} worlds)",
+                        opts.max_worlds
+                    )));
+                }
+            }
+        }
+    }
+
+    // Base tuples: first alternative everywhere; choices overwrite.
+    let base: Vec<Vec<maybms_relational::Value>> = os
+        .rows()
+        .iter()
+        .map(|row| row.iter().map(|c| c.alternatives()[0].0.clone()).collect())
+        .collect();
+
+    let mut worlds = WorldSet::default();
+    // Odometer over the choice points.
+    let widths: Vec<usize> = choice_points
+        .iter()
+        .map(|&(i, j)| os.cell(i, j).width())
+        .collect();
+    let mut idx = vec![0usize; choice_points.len()];
+    loop {
+        let mut rows = base.clone();
+        let mut p = 1.0;
+        for (k, &(i, j)) in choice_points.iter().enumerate() {
+            let (v, q) = &os.cell(i, j).alternatives()[idx[k]];
+            rows[i][j] = v.clone();
+            p *= q;
+        }
+        let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
+        let rel = Relation::from_rows_unchecked(os.schema().clone(), tuples);
+        worlds.push(World::single(rel_name, rel), p);
+
+        // Advance odometer.
+        let mut k = choice_points.len();
+        loop {
+            if k == 0 {
+                return Ok(worlds);
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < widths[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orset::OrSetCell;
+    use maybms_relational::{ColumnType, Schema, Value};
+
+    fn two_by_two() -> OrSetRelation {
+        let mut os = OrSetRelation::empty(Schema::new(vec![
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Str),
+        ]));
+        os.push(vec![
+            OrSetCell::weighted(vec![(Value::Int(1), 0.4), (Value::Int(2), 0.6)]).unwrap(),
+            OrSetCell::certain("x"),
+        ])
+        .unwrap();
+        os.push(vec![
+            OrSetCell::certain(9i64),
+            OrSetCell::uniform(vec![Value::str("p"), Value::str("q")]).unwrap(),
+        ])
+        .unwrap();
+        os
+    }
+
+    #[test]
+    fn expands_all_combinations() {
+        let ws = expand(&two_by_two(), "r", EnumerateOptions::default()).unwrap();
+        assert_eq!(ws.len(), 4);
+        ws.validate().unwrap();
+        // probabilities: 0.4*0.5, 0.4*0.5, 0.6*0.5, 0.6*0.5
+        let mut ps: Vec<f64> = ws.worlds().iter().map(|(_, p)| *p).collect();
+        ps.sort_by(f64::total_cmp);
+        assert!((ps[0] - 0.2).abs() < 1e-12);
+        assert!((ps[3] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_relation_is_one_world() {
+        let mut os = OrSetRelation::empty(Schema::new(vec![("a", ColumnType::Int)]));
+        os.push(vec![OrSetCell::certain(1i64)]).unwrap();
+        let ws = expand(&os, "r", EnumerateOptions::default()).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert!((ws.worlds()[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut os = OrSetRelation::empty(Schema::new(vec![("a", ColumnType::Int)]));
+        for _ in 0..40 {
+            os.push(vec![OrSetCell::uniform(vec![Value::Int(0), Value::Int(1)]).unwrap()])
+                .unwrap();
+        }
+        let err = expand(&os, "r", EnumerateOptions { max_worlds: 1000 });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_relation_has_one_empty_world() {
+        let os = OrSetRelation::empty(Schema::new(vec![("a", ColumnType::Int)]));
+        let ws = expand(&os, "r", EnumerateOptions::default()).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert!(ws.worlds()[0].0.get("r").unwrap().is_empty());
+    }
+}

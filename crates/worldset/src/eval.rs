@@ -1,0 +1,135 @@
+//! Per-world query evaluation: the semantics every WSD operator must match.
+//!
+//! "The semantics of query evaluation on world-sets is to evaluate the query
+//! in each of the worlds." (paper, §2)
+
+use maybms_relational::{ops, Expr, Relation, Result};
+
+use crate::world::{World, WorldSet};
+
+/// A tiny algebra-over-worlds AST, mirroring the WSD algebra in
+/// `maybms-core` so that oracle tests can run *the same* query both ways.
+#[derive(Debug, Clone)]
+pub enum WorldQuery {
+    /// Base relation by name.
+    Table(String),
+    Select(Box<WorldQuery>, Expr),
+    Project(Box<WorldQuery>, Vec<String>),
+    Product(Box<WorldQuery>, Box<WorldQuery>),
+    Join(Box<WorldQuery>, Box<WorldQuery>, Expr),
+    Union(Box<WorldQuery>, Box<WorldQuery>),
+    Difference(Box<WorldQuery>, Box<WorldQuery>),
+    Distinct(Box<WorldQuery>),
+    Rename(Box<WorldQuery>, String, String),
+    Qualify(Box<WorldQuery>, String),
+}
+
+impl WorldQuery {
+    pub fn table(name: impl Into<String>) -> WorldQuery {
+        WorldQuery::Table(name.into())
+    }
+
+    /// Evaluates the query inside one world.
+    pub fn eval(&self, w: &World) -> Result<Relation> {
+        use maybms_relational::Error;
+        Ok(match self {
+            WorldQuery::Table(n) => w
+                .get(n)
+                .ok_or_else(|| Error::UnknownRelation(n.clone()))?
+                .clone(),
+            WorldQuery::Select(q, pred) => ops::select(&q.eval(w)?, pred)?,
+            WorldQuery::Project(q, cols) => {
+                let r = q.eval(w)?;
+                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                ops::project(&r, &names)?
+            }
+            WorldQuery::Product(a, b) => ops::product(&a.eval(w)?, &b.eval(w)?),
+            WorldQuery::Join(a, b, pred) => ops::theta_join(&a.eval(w)?, &b.eval(w)?, pred)?,
+            WorldQuery::Union(a, b) => ops::union(&a.eval(w)?, &b.eval(w)?)?,
+            WorldQuery::Difference(a, b) => ops::difference(&a.eval(w)?, &b.eval(w)?)?,
+            WorldQuery::Distinct(q) => ops::distinct(&q.eval(w)?),
+            WorldQuery::Rename(q, from, to) => ops::rename(&q.eval(w)?, from, to)?,
+            WorldQuery::Qualify(q, prefix) => ops::qualify(&q.eval(w)?, prefix),
+        })
+    }
+}
+
+/// Evaluates a query in every world of the set, producing the answer
+/// world-set (relation name: `"result"`).
+pub fn eval_in_all_worlds(ws: &WorldSet, q: &WorldQuery) -> Result<WorldSet> {
+    ws.map(|w| Ok(World::single("result", q.eval(w)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_relational::{ColumnType, Schema, Value};
+
+    fn medical_world(diag: &str, test: &str, symptom: &str) -> World {
+        let mut r = Relation::empty(Schema::new(vec![
+            ("diagnosis", ColumnType::Str),
+            ("test", ColumnType::Str),
+            ("symptom", ColumnType::Str),
+        ]));
+        r.push_values(vec![Value::str(diag), Value::str(test), Value::str(symptom)])
+            .unwrap();
+        World::single("R", r)
+    }
+
+    /// The paper's §2 example evaluated explicitly: four worlds, query
+    /// `select Test from R where Diagnosis='pregnancy'`; the ultrasound
+    /// answer has total probability 0.4.
+    #[test]
+    fn paper_query_in_explicit_worlds() {
+        let ws = WorldSet::new(vec![
+            (medical_world("pregnancy", "ultrasound", "weight gain"), 0.4 * 0.7),
+            (medical_world("pregnancy", "ultrasound", "fatigue"), 0.4 * 0.3),
+            (medical_world("hypothyroidism", "TSH", "weight gain"), 0.6 * 0.7),
+            (medical_world("hypothyroidism", "TSH", "fatigue"), 0.6 * 0.3),
+        ]);
+        ws.validate().unwrap();
+
+        let q = WorldQuery::Project(
+            Box::new(WorldQuery::Select(
+                Box::new(WorldQuery::table("R")),
+                Expr::col("diagnosis").eq(Expr::lit("pregnancy")),
+            )),
+            vec!["test".to_string()],
+        );
+        let ans = eval_in_all_worlds(&ws, &q).unwrap();
+        let conf = ans.tuple_confidence("result");
+        assert_eq!(conf.len(), 1);
+        assert_eq!(conf[0].0[0], Value::str("ultrasound"));
+        assert!((conf[0].1 - 0.4).abs() < 1e-12);
+        // The merged answer world-set has 2 distinct worlds: {ultrasound} and {}.
+        assert_eq!(ans.merged().len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let ws = WorldSet::certain(World::new());
+        let q = WorldQuery::table("missing");
+        assert!(eval_in_all_worlds(&ws, &q).is_err());
+    }
+
+    #[test]
+    fn compound_query() {
+        let mut r = Relation::empty(Schema::new(vec![("a", ColumnType::Int)]));
+        r.push_values(vec![Value::Int(1)]).unwrap();
+        r.push_values(vec![Value::Int(2)]).unwrap();
+        let mut s = Relation::empty(Schema::new(vec![("b", ColumnType::Int)]));
+        s.push_values(vec![Value::Int(2)]).unwrap();
+        let mut w = World::new();
+        w.put("r", r);
+        w.put("s", s);
+
+        let q = WorldQuery::Join(
+            Box::new(WorldQuery::table("r")),
+            Box::new(WorldQuery::table("s")),
+            Expr::col("a").eq(Expr::col("b")),
+        );
+        let out = q.eval(&w).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0].values(), &[Value::Int(2), Value::Int(2)]);
+    }
+}

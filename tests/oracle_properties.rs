@@ -1,0 +1,172 @@
+//! Property tests: the WSD layer must commute with world enumeration on
+//! randomized inputs. These are the core soundness guarantees of the
+//! reproduction (DESIGN.md §7).
+
+use proptest::prelude::*;
+
+use maybms_core::algebra::Query;
+use maybms_core::chase::{clean, Constraint};
+use maybms_core::convert::from_worldset;
+use maybms_core::normalize::{normalize, normalize_full};
+use maybms_core::prob;
+use maybms_core::wsd::Wsd;
+use maybms_relational::{ColumnType, Expr, Schema, Value};
+use maybms_worldset::eval::eval_in_all_worlds;
+use maybms_worldset::OrSetCell;
+
+/// A strategy for small random or-set WSDs over schema r(a int, b int).
+fn arb_wsd() -> impl Strategy<Value = Wsd> {
+    // per tuple: (a-alternatives, b-alternatives); alternative values 0..4
+    let cell = prop::collection::btree_set(0i64..4, 1..3);
+    let tuple = (cell.clone(), cell);
+    prop::collection::vec(tuple, 1..4).prop_map(|tuples| {
+        let mut w = Wsd::new();
+        w.add_relation(
+            "r",
+            Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]),
+        )
+        .expect("fresh");
+        for (a, b) in tuples {
+            let mk = |s: std::collections::BTreeSet<i64>| {
+                OrSetCell::uniform(s.into_iter().map(Value::Int).collect()).expect("non-empty")
+            };
+            w.push_orset("r", vec![mk(a), mk(b)]).expect("typed");
+        }
+        w
+    })
+}
+
+/// A strategy for random algebra queries over r.
+fn arb_query() -> impl Strategy<Value = Query> {
+    let leaf = Just(Query::table("r"));
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), 0i64..4).prop_map(|(q, v)| q.select(Expr::col("a").eq(Expr::lit(v)))),
+            (inner.clone(), 0i64..4).prop_map(|(q, v)| q.select(Expr::col("b").gt(Expr::lit(v)))),
+            (inner.clone(), 0i64..4).prop_map(|(q, v)| q.select(
+                Expr::col("a").eq(Expr::lit(v)).and(Expr::col("b").ne(Expr::lit(v)))
+            )),
+            inner.clone().prop_map(|q| q.project(["a"])),
+            inner.clone().prop_map(|q| q.project(["b", "a"])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                a.qualify("x")
+                    .join(b.qualify("y"), Expr::col("x.a").eq(Expr::col("y.b")))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// worlds(Q(wsd)) == { Q(w) | w ∈ worlds(wsd) }, with probabilities.
+    /// The random query generator can produce ill-typed queries (e.g. a
+    /// selection on a projected-away column); both engines must then agree
+    /// on rejecting them.
+    #[test]
+    fn queries_commute_with_world_enumeration(wsd in arb_wsd(), q in arb_query()) {
+        let worlds = wsd.to_worldset(1 << 16).expect("enumerate input");
+        let rhs = eval_in_all_worlds(&worlds, &q.to_world_query());
+        match q.eval(&wsd) {
+            Ok(on_wsd) => {
+                on_wsd.validate().expect("valid result");
+                let lhs = on_wsd.to_worldset(1 << 16).expect("enumerate result");
+                let rhs = rhs.expect("oracle must accept what the WSD engine accepts");
+                prop_assert!(lhs.equivalent(&rhs, 1e-9));
+            }
+            Err(_) => prop_assert!(rhs.is_err(), "WSD engine rejected a query the oracle accepts"),
+        }
+    }
+
+    /// Normalization (with factorization) never changes the world-set.
+    #[test]
+    fn normalization_preserves_semantics(wsd in arb_wsd()) {
+        let before = wsd.to_worldset(1 << 16).expect("enumerate");
+        let mut n = wsd.clone();
+        normalize(&mut n);
+        n.validate().expect("valid");
+        prop_assert!(before.equivalent(&n.to_worldset(1 << 16).expect("enumerate"), 1e-9));
+        let mut f = wsd.clone();
+        normalize_full(&mut f);
+        f.validate().expect("valid");
+        prop_assert!(before.equivalent(&f.to_worldset(1 << 16).expect("enumerate"), 1e-9));
+    }
+
+    /// Exact decomposition round-trips: worlds(from_worldset(W)) == W.
+    #[test]
+    fn decomposition_round_trip(wsd in arb_wsd()) {
+        let ws = wsd.to_worldset(1 << 16).expect("enumerate");
+        let rebuilt = from_worldset(&ws).expect("decompose");
+        rebuilt.validate().expect("valid");
+        let back = rebuilt.to_worldset(1 << 16).expect("enumerate rebuilt");
+        prop_assert!(ws.equivalent(&back, 1e-9));
+    }
+
+    /// Confidence computed on the decomposition equals brute force.
+    #[test]
+    fn confidence_matches_brute_force(wsd in arb_wsd()) {
+        let fast = prob::tuple_confidence(&wsd, "r").expect("confidence");
+        let slow = wsd.to_worldset(1 << 16).expect("enumerate").tuple_confidence("r");
+        prop_assert_eq!(fast.len(), slow.len());
+        for ((t1, p1), (t2, p2)) in fast.iter().zip(&slow) {
+            prop_assert_eq!(t1, t2);
+            prop_assert!((p1 - p2).abs() < 1e-9);
+        }
+    }
+
+    /// Chase-based cleaning equals world-level filtering + renormalization.
+    #[test]
+    fn cleaning_matches_world_filtering(wsd in arb_wsd(), key_b in any::<bool>()) {
+        let constraints = if key_b {
+            vec![Constraint::fd("r", &["a"], &["b"])]
+        } else {
+            vec![Constraint::tuple_check(
+                "r",
+                Expr::col("a").le(Expr::lit(2i64)),
+            )]
+        };
+        let before = wsd.to_worldset(1 << 16).expect("enumerate");
+        let consistent = before.filter(|w| {
+            for c in &constraints {
+                if !c.holds_in(w)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }).expect("filter");
+
+        let mut cleaned = wsd.clone();
+        match clean(&mut cleaned, &constraints) {
+            Ok(_) => {
+                cleaned.validate().expect("valid");
+                let lhs = cleaned.to_worldset(1 << 16).expect("enumerate cleaned");
+                prop_assert!(lhs.equivalent(&consistent, 1e-9));
+            }
+            Err(_) => {
+                // cleaning may only fail when no world is consistent
+                prop_assert!(consistent.is_empty());
+            }
+        }
+    }
+
+    /// Expected aggregates on the decomposition equal brute force.
+    #[test]
+    fn expected_aggregates_match_brute_force(wsd in arb_wsd()) {
+        let ws = wsd.to_worldset(1 << 16).expect("enumerate");
+        let ec = prob::expected_count(&wsd, "r").expect("ecount");
+        prop_assert!((ec - ws.expected_count("r")).abs() < 1e-9);
+        let es = prob::expected_sum(&wsd, "r", "a").expect("esum");
+        prop_assert!((es - ws.expected_sum("r", 0)).abs() < 1e-9);
+    }
+
+    /// World counts: the decomposition's combinatorial count matches the
+    /// number of enumerated worlds.
+    #[test]
+    fn world_count_matches_enumeration(wsd in arb_wsd()) {
+        let count = wsd.world_count().to_u64().expect("small");
+        let ws = wsd.to_worldset(1 << 16).expect("enumerate");
+        prop_assert_eq!(count as usize, ws.len());
+    }
+}
