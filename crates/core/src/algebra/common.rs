@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use maybms_relational::{BoundExpr, Error, Expr, Result, Schema, Tuple, Value};
 
 use crate::cell::Cell;
-use crate::component::CompRow;
+use crate::component::RowRef;
 use crate::field::{Field, Tid};
 use crate::wsd::{Existence, TemplateCell, Wsd};
 
@@ -134,7 +134,7 @@ pub(crate) fn alias_cells(
 /// `comp_idx`, registering it as the existence field of `tid`.
 pub(crate) fn add_exists_column<F>(wsd: &mut Wsd, comp_idx: usize, tid: Tid, f: F) -> Result<()>
 where
-    F: FnMut(&CompRow) -> Cell,
+    F: FnMut(RowRef<'_>) -> Cell,
 {
     let comp = wsd
         .component_mut(comp_idx)
@@ -148,8 +148,8 @@ where
 /// Whether the tuple is dead in this row of the merged component: some of
 /// its columns there (attribute fields at `cols`, or the existence column)
 /// holds ⊥.
-pub(crate) fn dead_in_row(row: &CompRow, cols: &[usize]) -> bool {
-    cols.iter().any(|&c| row.cells[c].is_bottom())
+pub(crate) fn dead_in_row(row: RowRef<'_>, cols: &[usize]) -> bool {
+    cols.iter().any(|&c| row.is_bottom(c))
 }
 
 /// Possible values of the field of `t` at `pos` (singleton for certain
@@ -170,15 +170,7 @@ pub(crate) fn possible_values_of(
             let comp = wsd
                 .component(c)
                 .ok_or_else(|| Error::InvalidExpr(format!("dead component {c}")))?;
-            let mut out: Vec<Value> = Vec::new();
-            for r in comp.rows() {
-                if let crate::cell::Cell::Val(v) = &r.cells[col] {
-                    if !out.contains(v) {
-                        out.push(v.clone());
-                    }
-                }
-            }
-            Ok(out)
+            Ok(comp.possible_values_col(col))
         }
     }
 }

@@ -159,7 +159,7 @@ pub fn difference_op(wsd: &mut Wsd, left: &str, right: &str, out: &str) -> Resul
                             .find(|&&(p, _)| p == pos)
                             .map(|&(_, c)| c)
                             .expect("open field resolved");
-                        match &row.cells[col] {
+                        match row.cell(col) {
                             Cell::Val(v) => tv.push(v.clone()),
                             Cell::Bottom => return Cell::Bottom,
                         }
@@ -181,7 +181,7 @@ pub fn difference_op(wsd: &mut Wsd, left: &str, right: &str, out: &str) -> Resul
                                 .find(|&&(p, _)| p == pos)
                                 .map(|&(_, c)| c)
                                 .expect("open field resolved");
-                            match &row.cells[col] {
+                            match row.cell(col) {
                                 Cell::Val(v) => v.clone(),
                                 Cell::Bottom => continue 'cands,
                             }

@@ -6,6 +6,23 @@
 //! decidable, is materialized per pair by merging the touched components
 //! and appending an existence column. Pairs whose possible value sets
 //! cannot satisfy an equality conjunct are pruned without any merging.
+//!
+//! # Hash partitioning
+//!
+//! When the predicate contains an equality conjunct across the two sides,
+//! [`join_op`] buckets the right tuples by the possible values of their
+//! equality column and probes each left tuple only against the buckets of
+//! *its* possible values — O(|L| + |R| + matches) pair generation instead
+//! of the O(|L|·|R|) nested loop. Bucketing on `Value` keys is sound
+//! because `Value`'s `Eq`/`Hash` agree with SQL equality on non-NULL
+//! values (`1 = 1.0` hashes alike) and NULL never joins. Tuples with
+//! multiple possible key values (open or-set fields) are inserted into one
+//! bucket per value and deduplicated at probe time; residual equality
+//! conjuncts still prune via possible-value intersection. Predicates with
+//! no cross-side equality conjunct fall back to [`join_op_nested`], which
+//! is also kept as the oracle reference for the hash path.
+
+use std::collections::HashMap;
 
 use maybms_relational::{CmpOp, Expr, Result, Value};
 
@@ -23,56 +40,153 @@ pub fn product_op(wsd: &mut Wsd, left: &str, right: &str, out: &str) -> Result<(
     join_op(wsd, left, right, &Expr::lit(true), out)
 }
 
-/// input_l ⋈_pred input_r → out.
-pub fn join_op(wsd: &mut Wsd, left: &str, right: &str, pred: &Expr, out: &str) -> Result<()> {
+/// Pre-computed pruning state for one side of a join.
+struct SidePoss {
+    /// per tuple, per equality conjunct: the possible values of the
+    /// tuple's column of that conjunct.
+    per_tuple: Vec<Vec<Vec<Value>>>,
+}
+
+fn side_poss(
+    wsd: &Wsd,
+    rel: &str,
+    tuples: &[TupleInfo],
+    positions: impl Fn(usize) -> usize + Copy,
+    npairs: usize,
+) -> Result<SidePoss> {
+    let mut per_tuple = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let mut per = Vec::with_capacity(npairs);
+        for k in 0..npairs {
+            per.push(possible_values_of(wsd, rel, t, positions(k))?);
+        }
+        per_tuple.push(per);
+    }
+    Ok(SidePoss { per_tuple })
+}
+
+/// Inputs every join strategy needs, snapshotted and bound exactly once.
+struct JoinPrep {
+    lt: Vec<TupleInfo>,
+    rt: Vec<TupleInfo>,
+    bound: maybms_relational::BoundExpr,
+    positions: Vec<usize>,
+    larity: usize,
+    arity: usize,
+    eq_pairs: Vec<(usize, usize)>,
+    l_poss: SidePoss,
+    r_poss: SidePoss,
+}
+
+/// Snapshots both sides, binds the predicate, registers `out`, and
+/// precomputes the per-tuple possible values of every equality conjunct.
+fn prepare_join(
+    wsd: &mut Wsd,
+    left: &str,
+    right: &str,
+    pred: &Expr,
+    out: &str,
+) -> Result<JoinPrep> {
     let (ls, lt) = snapshot(wsd, left)?;
     let (rs, rt) = snapshot(wsd, right)?;
     let out_schema = ls.concat(&rs);
-    let (bound, positions) = bind_pred(pred, &out_schema)?;
     let larity = ls.len();
-    wsd.add_relation(out, out_schema.clone())?;
-
-    // Equality conjuncts `colA = colB` across the two sides, as positions in
-    // the concatenated schema — used for pruning.
     let eq_pairs = equality_pairs(pred, &out_schema, larity);
+    let (bound, positions) = bind_pred(pred, &out_schema)?;
+    let arity = out_schema.len();
+    wsd.add_relation(out, out_schema)?;
+    let l_poss = side_poss(wsd, left, &lt, |k| eq_pairs[k].0, eq_pairs.len())?;
+    let r_poss = side_poss(wsd, right, &rt, |k| eq_pairs[k].1 - larity, eq_pairs.len())?;
+    Ok(JoinPrep { lt, rt, bound, positions, larity, arity, eq_pairs, l_poss, r_poss })
+}
 
-    // Pre-compute possible values for pruning columns.
-    let mut l_poss: Vec<Vec<(usize, Vec<Value>)>> = Vec::with_capacity(lt.len());
-    for t in &lt {
-        let mut per = Vec::new();
-        for &(lp, _) in &eq_pairs {
-            per.push((lp, possible_values_of(wsd, left, t, lp)?));
-        }
-        l_poss.push(per);
-    }
-    let mut r_poss: Vec<Vec<(usize, Vec<Value>)>> = Vec::with_capacity(rt.len());
-    for t in &rt {
-        let mut per = Vec::new();
-        for &(_, rp) in &eq_pairs {
-            per.push((rp, possible_values_of(wsd, right, t, rp - larity)?));
-        }
-        r_poss.push(per);
-    }
-
-    for (li, t) in lt.iter().enumerate() {
-        for (ri, s) in rt.iter().enumerate() {
+/// The nested-loop pair scan shared by both entry points.
+fn nested_scan(wsd: &mut Wsd, p: &JoinPrep, out: &str) -> Result<()> {
+    for (li, t) in p.lt.iter().enumerate() {
+        for (ri, s) in p.rt.iter().enumerate() {
             // prune on equality conjuncts
-            let mut prunable = false;
-            for (k, &(_lp, _rp)) in eq_pairs.iter().enumerate() {
-                let lv = &l_poss[li][k].1;
-                let rv = &r_poss[ri][k].1;
-                if !values_intersect(lv, rv) {
-                    prunable = true;
-                    break;
-                }
-            }
+            let prunable = (0..p.eq_pairs.len()).any(|k| {
+                !values_intersect(&p.l_poss.per_tuple[li][k], &p.r_poss.per_tuple[ri][k])
+            });
             if prunable {
                 continue;
             }
-            emit_pair(wsd, &bound, &positions, larity, out, t, s, out_schema.len())?;
+            emit_pair(wsd, &p.bound, &p.positions, p.larity, out, t, s, p.arity)?;
         }
     }
     Ok(())
+}
+
+/// input_l ⋈_pred input_r → out. Hash-partitioned when an equality
+/// conjunct spans the two sides; nested loop otherwise.
+pub fn join_op(wsd: &mut Wsd, left: &str, right: &str, pred: &Expr, out: &str) -> Result<()> {
+    let p = prepare_join(wsd, left, right, pred, out)?;
+    if p.eq_pairs.is_empty() {
+        return nested_scan(wsd, &p, out);
+    }
+    let JoinPrep { lt, rt, bound, positions, larity, arity, eq_pairs, l_poss, r_poss } = p;
+
+    // Partition the right side on the first equality conjunct: bucket by
+    // every possible non-NULL key value.
+    let mut buckets: HashMap<Value, Vec<usize>> = HashMap::with_capacity(rt.len());
+    for (ri, vals) in r_poss.per_tuple.iter().enumerate() {
+        for v in &vals[0] {
+            if !v.is_null() {
+                buckets.entry(v.clone()).or_default().push(ri);
+            }
+        }
+    }
+
+    // Probe: per left tuple, gather candidate right tuples from its key
+    // buckets, dedup with a stamp vector, and emit in right-tuple order so
+    // the output matches the nested-loop path exactly.
+    let mut stamp: Vec<u32> = vec![0; rt.len()];
+    let mut cur: u32 = 0;
+    let mut cand: Vec<usize> = Vec::new();
+    for (li, t) in lt.iter().enumerate() {
+        cur += 1;
+        cand.clear();
+        for v in &l_poss.per_tuple[li][0] {
+            if v.is_null() {
+                continue;
+            }
+            if let Some(rs) = buckets.get(v) {
+                for &ri in rs {
+                    if stamp[ri] != cur {
+                        stamp[ri] = cur;
+                        cand.push(ri);
+                    }
+                }
+            }
+        }
+        cand.sort_unstable();
+        wsd.reserve_tuples(out, cand.len());
+        for &ri in &cand {
+            // residual equality conjuncts prune exactly as the nested loop
+            let residual_ok = (1..eq_pairs.len()).all(|k| {
+                values_intersect(&l_poss.per_tuple[li][k], &r_poss.per_tuple[ri][k])
+            });
+            if !residual_ok {
+                continue;
+            }
+            emit_pair(wsd, &bound, &positions, larity, out, t, &rt[ri], arity)?;
+        }
+    }
+    Ok(())
+}
+
+/// The reference nested-loop θ-join: every template-tuple pair is
+/// considered, pruned only by per-pair possible-value intersection. Kept
+/// as the oracle the hash-partitioned path is tested against.
+pub fn join_op_nested(
+    wsd: &mut Wsd,
+    left: &str,
+    right: &str,
+    pred: &Expr,
+    out: &str,
+) -> Result<()> {
+    let p = prepare_join(wsd, left, right, pred, out)?;
+    nested_scan(wsd, &p, out)
 }
 
 /// Extracts `l = r` conjuncts referencing one column from each side,
@@ -193,7 +307,7 @@ fn emit_pair(
         }
         let mut vals = known.clone();
         for &(pos, (_, col)) in &t_open_now {
-            match &row.cells[col] {
+            match row.cell(col) {
                 Cell::Val(v) => {
                     vals.insert(pos, v.clone());
                 }
@@ -201,7 +315,7 @@ fn emit_pair(
             }
         }
         for &(pos, (_, col)) in &s_open_now {
-            match &row.cells[col] {
+            match row.cell(col) {
                 Cell::Val(v) => {
                     vals.insert(pos + larity, v.clone());
                 }
@@ -306,6 +420,21 @@ mod tests {
         assert!(lhs.equivalent(&rhs, 1e-9));
     }
 
+    /// The hash-partitioned path must produce a world-set equivalent to the
+    /// nested-loop reference on the same inputs.
+    fn check_hash_equals_nested(wsd: &Wsd, pred: &Expr) {
+        let mut hash = wsd.clone();
+        super::join_op(&mut hash, "patients", "treats", pred, "out").unwrap();
+        let mut nested = wsd.clone();
+        super::join_op_nested(&mut nested, "patients", "treats", pred, "out").unwrap();
+        let a = crate::algebra::extract(hash, "out", "result").unwrap();
+        let b = crate::algebra::extract(nested, "out", "result").unwrap();
+        assert!(a
+            .to_worldset(100_000)
+            .unwrap()
+            .equivalent(&b.to_worldset(100_000).unwrap(), 1e-9));
+    }
+
     #[test]
     fn equi_join_matches_oracle() {
         let wsd = two_rel_wsd();
@@ -314,6 +443,18 @@ mod tests {
             Expr::col("diag").eq(Expr::col("d")),
         );
         check_against_oracle(&q, &wsd);
+    }
+
+    #[test]
+    fn hash_path_equals_nested_loop() {
+        let wsd = two_rel_wsd();
+        check_hash_equals_nested(&wsd, &Expr::col("diag").eq(Expr::col("d")));
+        check_hash_equals_nested(
+            &wsd,
+            &Expr::col("diag")
+                .eq(Expr::col("d"))
+                .and(Expr::col("name").ne(Expr::col("drug"))),
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ mod select;
 mod union;
 
 pub use difference::difference_op;
-pub use join::{join_op, product_op};
+pub use join::{join_op, join_op_nested, product_op};
 pub use project::project_op;
 pub use rename::{qualify_op, rename_op};
 pub use select::select_op;
@@ -231,7 +231,7 @@ pub fn extract(mut wsd: Wsd, rel: &str, as_name: &str) -> Result<Wsd> {
         .iter()
         .map(|t| t.tid)
         .collect();
-    wsd.field_map.retain(|f, _| kept_tids.contains(&f.tid));
+    wsd.retain_fields(|f| kept_tids.contains(&f.tid));
     normalize::normalize(&mut wsd);
     Ok(wsd)
 }

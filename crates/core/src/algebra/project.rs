@@ -37,7 +37,7 @@ pub fn project_op(wsd: &mut Wsd, input: &str, cols: &[&str], out: &str) -> Resul
         let mut marker_comps: Vec<usize> = Vec::new();
         for &(_, (c, col)) in &dropped_open {
             let comp = wsd.component(c).expect("mapped component");
-            if comp.rows().iter().any(|r| r.cells[col].is_bottom()) {
+            if comp.column_has_bottom(col) {
                 marker_comps.push(c);
             }
         }

@@ -69,7 +69,7 @@ pub fn select_op(wsd: &mut Wsd, input: &str, pred: &Expr, out: &str) -> Result<(
             }
             let mut vals = known.clone();
             for &(pos, (_, col)) in &open_now {
-                match &row.cells[col] {
+                match row.cell(col) {
                     Cell::Val(v) => {
                         vals.insert(pos, v.clone());
                     }

@@ -175,7 +175,7 @@ fn relevant_comps(wsd: &Wsd, t: &TupleInfoS, positions: &[usize]) -> Result<Vec<
             continue;
         }
         let comp = wsd.component(c).expect("mapped");
-        if comp.rows().iter().any(|r| r.cells[col].is_bottom()) {
+        if comp.column_has_bottom(col) {
             comps.push(c);
         }
     }
@@ -194,21 +194,13 @@ fn delete_rows<F>(
     kept_fraction: &mut f64,
 ) -> Result<()>
 where
-    F: FnMut(&crate::component::CompRow) -> bool,
+    F: FnMut(crate::component::RowRef<'_>) -> bool,
 {
     let comp = wsd
         .component_mut(comp_idx)
         .ok_or_else(|| Error::InvalidExpr(format!("dead component {comp_idx}")))?;
     let before = comp.num_rows();
-    let mut removed_mass = 0.0;
-    comp.rows_mut().retain(|r| {
-        if kill(r) {
-            removed_mass += r.p;
-            false
-        } else {
-            true
-        }
-    });
+    let removed_mass = comp.retain_rows(|r| !kill(r));
     let after = comp.num_rows();
     if after == 0 {
         return Err(Error::InvalidExpr(
@@ -218,10 +210,7 @@ where
     if after < before {
         report.deleted_rows += before - after;
         *kept_fraction *= 1.0 - removed_mass;
-        let total: f64 = comp.rows().iter().map(|r| r.p).sum();
-        for r in comp.rows_mut() {
-            r.p /= total;
-        }
+        comp.renormalize();
     }
     Ok(())
 }
@@ -262,7 +251,7 @@ fn enforce_tuple_check(
                     delete_rows(
                         wsd,
                         merged,
-                        |row| alive_cols.iter().all(|&c| !row.cells[c].is_bottom()),
+                        |row| alive_cols.iter().all(|&c| !row.is_bottom(c)),
                         report,
                         kept_fraction,
                     )?;
@@ -281,12 +270,12 @@ fn enforce_tuple_check(
             wsd,
             merged,
             |row| {
-                if alive_cols.iter().any(|&c| row.cells[c].is_bottom()) {
+                if alive_cols.iter().any(|&c| row.is_bottom(c)) {
                     return false; // tuple absent: no violation here
                 }
                 let mut vals = known.clone();
                 for &(pos, (_, col)) in &open_now {
-                    match &row.cells[col] {
+                    match row.cell(col) {
                         Cell::Val(v) => {
                             vals.insert(pos, v.clone());
                         }
@@ -311,7 +300,7 @@ fn alive_columns(wsd: &Wsd, t: &TupleInfoS) -> Result<Vec<usize>> {
     let mut comp_idx: Option<usize> = None;
     for &(_, (c, col)) in &open_fields_support(wsd, t, &all)? {
         let comp = wsd.component(c).expect("mapped");
-        if comp.rows().iter().any(|r| r.cells[col].is_bottom()) {
+        if comp.column_has_bottom(col) {
             debug_assert!(comp_idx.is_none() || comp_idx == Some(c));
             comp_idx = Some(c);
             cols.push(col);
@@ -445,14 +434,14 @@ fn enforce_fd(
 
             let value_at = move |cells: &[TemplateCell],
                                  open: &[(usize, (usize, usize))],
-                                 row: &crate::component::CompRow,
+                                 row: crate::component::RowRef<'_>,
                                  pos: usize|
                   -> Option<Value> {
                 match &cells[pos] {
                     TemplateCell::Certain(v) => Some(v.clone()),
                     TemplateCell::Open => {
                         let col = open.iter().find(|&&(p, _)| p == pos).map(|&(_, (_, c))| c)?;
-                        match &row.cells[col] {
+                        match row.cell(col) {
                             Cell::Val(v) => Some(v.clone()),
                             Cell::Bottom => None,
                         }
@@ -464,8 +453,8 @@ fn enforce_fd(
                 wsd,
                 merged,
                 |row| {
-                    if t_alive.iter().any(|&c| row.cells[c].is_bottom())
-                        || u_alive.iter().any(|&c| row.cells[c].is_bottom())
+                    if t_alive.iter().any(|&c| row.is_bottom(c))
+                        || u_alive.iter().any(|&c| row.is_bottom(c))
                     {
                         return false;
                     }

@@ -5,44 +5,60 @@
 //! product of distributions on disjoint column groups can be replaced by
 //! one smaller component per group. This module detects such products and
 //! performs the split (the inverse of [`crate::wsd::Wsd::merge_components`]).
+//!
+//! Marginal distributions are computed over the component's **interned
+//! column codes** (`u32` keys) rather than cloned cell vectors, so a
+//! marginal over k columns of an n-row component costs O(n·k) integer
+//! hashing and no `Value` clones.
 
 use std::collections::HashMap;
 
-use crate::cell::Cell;
 use crate::component::Component;
 use crate::wsd::Wsd;
 
-/// Union-find over column indices.
+/// Union-find over column indices: iterative path-halving `find` (no
+/// recursion — stack-safe on arbitrarily wide components) with union by
+/// size.
 struct Uf {
     parent: Vec<usize>,
+    size: Vec<usize>,
 }
 
 impl Uf {
     fn new(n: usize) -> Uf {
-        Uf { parent: (0..n).collect() }
+        Uf { parent: (0..n).collect(), size: vec![1; n] }
     }
-    fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let r = self.find(self.parent[x]);
-            self.parent[x] = r;
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            // path halving: point x at its grandparent, then step there
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
         }
-        self.parent[x]
+        x
     }
+
     fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra] = rb;
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
         }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
     }
 }
 
-/// Marginal distribution of a column group: distinct cell combinations with
-/// summed probabilities.
-fn marginal(c: &Component, cols: &[usize]) -> HashMap<Vec<Cell>, f64> {
-    let mut m: HashMap<Vec<Cell>, f64> = HashMap::new();
-    for r in c.rows() {
-        let key: Vec<Cell> = cols.iter().map(|&i| r.cells[i].clone()).collect();
-        *m.entry(key).or_insert(0.0) += r.p;
+/// Marginal distribution of a column group: distinct code combinations with
+/// summed probabilities. Code keys are valid because interning is exact per
+/// column.
+fn marginal(c: &Component, cols: &[usize]) -> HashMap<Vec<u32>, f64> {
+    let mut m: HashMap<Vec<u32>, f64> = HashMap::with_capacity(c.num_rows());
+    for r in 0..c.num_rows() {
+        let key: Vec<u32> = cols.iter().map(|&i| c.code(r, i)).collect();
+        *m.entry(key).or_insert(0.0) += c.prob(r);
     }
     m
 }
@@ -73,7 +89,7 @@ fn pairwise_independent(c: &Component, i: usize, j: usize, eps: f64) -> bool {
 /// Pairwise independence alone does not imply mutual independence, so this
 /// check is what makes the split sound.
 fn verify_split(c: &Component, blocks: &[Vec<usize>], eps: f64) -> bool {
-    let marginals: Vec<HashMap<Vec<Cell>, f64>> =
+    let marginals: Vec<HashMap<Vec<u32>, f64>> =
         blocks.iter().map(|b| marginal(c, b)).collect();
     let product_size: usize = marginals.iter().map(HashMap::len).product();
     // the deduplicated original support
@@ -82,10 +98,10 @@ fn verify_split(c: &Component, blocks: &[Vec<usize>], eps: f64) -> bool {
     if product_size != original.len() {
         return false;
     }
-    for (cells, &p) in &original {
+    for (codes, &p) in &original {
         let mut prod = 1.0;
         for (b, m) in blocks.iter().zip(&marginals) {
-            let key: Vec<Cell> = b.iter().map(|&i| cells[i].clone()).collect();
+            let key: Vec<u32> = b.iter().map(|&i| codes[i]).collect();
             match m.get(&key) {
                 Some(&q) => prod *= q,
                 None => return false,
@@ -132,7 +148,7 @@ pub fn factorize_component(c: &Component, eps: f64) -> (Vec<Vec<usize>>, Vec<Com
 }
 
 /// Factorizes every live component of a WSD in place, retargeting the field
-/// map onto the factor components.
+/// map onto the factor components through the reverse index.
 pub fn factorize_all(wsd: &mut Wsd) {
     for idx in wsd.live_components() {
         let comp = wsd.component(idx).expect("live").clone();
@@ -143,26 +159,30 @@ pub fn factorize_all(wsd: &mut Wsd) {
         if factors.len() <= 1 {
             continue;
         }
-        // column -> (which factor, which column within it)
-        let mut remap: HashMap<usize, (usize, usize)> = HashMap::new();
+        // add_component re-aliases each factor's canonical fields away from
+        // `idx`; whatever remains indexed under `idx` afterwards is an
+        // alias and is retargeted through the block remap below.
         let mut new_indices: Vec<usize> = Vec::with_capacity(factors.len());
         for f in factors {
-            // add_component would overwrite field_map entries with the
-            // component's own fields; that is exactly what we want for the
-            // canonical fields, and aliases are fixed below.
             new_indices.push(wsd.add_component(f));
         }
+        // old column -> (factor component, column within it)
+        let mut remap: HashMap<usize, (usize, usize)> = HashMap::new();
         for (bi, block) in blocks.iter().enumerate() {
             for (pos, &col) in block.iter().enumerate() {
                 remap.insert(col, (new_indices[bi], pos));
             }
         }
-        wsd.components[idx] = None;
-        for loc in wsd.field_map.values_mut() {
-            if loc.0 == idx {
-                *loc = remap[&loc.1];
-            }
+        let leftover: Vec<(crate::field::Field, usize)> = wsd
+            .fields_of_component(idx)
+            .iter()
+            .enumerate()
+            .flat_map(|(col, fields)| fields.iter().map(move |&f| (f, col)))
+            .collect();
+        for (f, col) in leftover {
+            wsd.alias_field(f, remap[&col]);
         }
+        wsd.replace_component(idx, None);
     }
     wsd.compact();
 }
@@ -170,6 +190,7 @@ pub fn factorize_all(wsd: &mut Wsd) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cell::Cell;
     use crate::component::CompRow;
     use crate::field::{Field, Tid};
     use maybms_relational::Value;
@@ -248,6 +269,19 @@ mod tests {
         let c = Component::new(vec![f(1, 0), f(1, 1), f(1, 2)], rows);
         let (blocks, _) = factorize_component(&c, 1e-9);
         assert_eq!(blocks.len(), 1, "XOR component must not be split");
+    }
+
+    #[test]
+    fn union_find_is_stack_safe_on_wide_components() {
+        // a long union chain that would overflow a recursive find
+        let n = 200_000;
+        let mut uf = Uf::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        let root = uf.find(0);
+        assert_eq!(uf.find(n - 1), root);
+        assert_eq!(uf.size[root], n);
     }
 
     #[test]

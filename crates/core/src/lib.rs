@@ -23,6 +23,51 @@
 //! * [`bigint`]: arbitrary-precision world counting (the paper's
 //!   world-sets exceed 2^624449 worlds);
 //! * [`examples`]: the paper's §2 medical WSD, verbatim.
+//!
+//! # Performance architecture
+//!
+//! The paper's pitch is that `10^(10^6)`-world databases are *cheap to
+//! process*; the engine's hot paths are built around four structures that
+//! keep that promise at scale:
+//!
+//! **Columnar components.** A [`component::Component`] stores its cells
+//! column-major with a per-column dictionary of interned cells: one
+//! `u32` code per row per column plus each distinct [`cell::Cell`] stored
+//! once. ⊥-propagation, constant detection, row dedup, projection and
+//! factorization marginals scan contiguous code slices and compare `u32`s
+//! — never cloning row vectors. [`component::CompRow`] remains as a
+//! materialized view for construction, display and tests; mutation
+//! closures receive a borrowed [`component::RowRef`].
+//!
+//! **The reverse field index.** A [`wsd::Wsd`] maintains, next to the
+//! forward map *field → (component, column)*, a reverse index
+//! *(component, column) → fields* updated incrementally by
+//! `add_component`, `alias_field`, `merge_components`, `compact` and the
+//! column remaps of normalization. Invariants: every forward entry
+//! appears in the reverse index at its mapped location, and every mapped
+//! field belongs to a live template tuple ([`wsd::Wsd::validate`] checks
+//! both). Normalization ownership queries and `merge_components`
+//! retargeting are O(fields of the touched components) instead of
+//! O(all fields) or O(all templates).
+//!
+//! **Dirty-set incremental normalization.** Mutations mark touched
+//! component indices dirty; [`normalize::normalize`] drains the dirty set
+//! to a fixpoint, re-marking a component only when a pass actually
+//! changes it (⊥ written, column dropped, rows merged). Monotonicity (⊥
+//! cells only grow; tuples/columns/rows only shrink) guarantees
+//! termination; already-normalized regions are never rescanned.
+//! [`normalize::normalize_from_scratch`] is the full-pass escape hatch
+//! and the oracle reference.
+//!
+//! **Hash-partitioned joins and dense choice vectors.** When a join
+//! predicate contains a cross-side equality conjunct,
+//! [`algebra::join_op`] buckets right tuples by possible key values and
+//! probes instead of the O(|L|·|R|) nested loop (kept as
+//! [`algebra::join_op_nested`], the tested reference). World enumeration
+//! ([`wsd::Wsd::to_worldset`], [`wsd::Wsd::instantiate`]) and confidence
+//! computation ([`prob`]) walk choice spaces with a flat `Vec<usize>`
+//! indexed by component id and field locations resolved once per
+//! cluster — no per-world hash maps.
 
 pub mod algebra;
 pub mod bigint;

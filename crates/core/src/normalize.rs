@@ -6,142 +6,110 @@
 //! tuples that exist in no world, and (3) merging rows that have become
 //! identical. We additionally (4) inline columns that became constant into
 //! the template (the inverse of decomposition) and (5) drop components left
-//! without fields. [`normalize`] runs these to a fixpoint;
-//! [`normalize_full`] also re-factorizes components into independent parts
-//! (see [`crate::factorize`]).
+//! without fields.
+//!
+//! # Incremental (dirty-set) normalization
+//!
+//! [`normalize`] is **incremental**: it drains the [`crate::wsd::Wsd`]
+//! dirty set — the components touched since the last normalize — and runs
+//! the passes only over those, re-marking a component *only when a pass
+//! actually changes it* (sets a ⊥, drops a column, merges rows, …).
+//! Because every change is monotone (⊥ cells only grow; tuples, columns
+//! and rows only shrink) the drain loop terminates, and components that
+//! were already at fixpoint are never rescanned. All ownership questions
+//! ("which tuples reference this column?") are answered by the WSD's
+//! persistent reverse field index instead of per-pass template scans.
+//!
+//! The contract for mutators: any operation that touches a component's
+//! rows, adds/merges components, or maps/unmaps a field marks the affected
+//! components dirty (the `Wsd` mutation API does this automatically), so a
+//! following `normalize` sees exactly the damage. [`normalize_from_scratch`]
+//! marks everything dirty first — the full-fixpoint escape hatch used by
+//! oracle tests; [`normalize_full`] additionally re-factorizes components
+//! into independent parts (see [`crate::factorize`]).
 
 use std::collections::{HashMap, HashSet};
 
 use crate::cell::Cell;
-use crate::field::{Field, Tid};
+use crate::field::{FieldKind, Tid};
 use crate::wsd::{Existence, TemplateCell, Wsd};
-
-/// Which tuples reference each column of each component, derived from the
-/// live templates. Aliasing makes this many-to-many.
-fn column_owners(wsd: &Wsd) -> HashMap<(usize, usize), HashSet<Tid>> {
-    let mut owners: HashMap<(usize, usize), HashSet<Tid>> = HashMap::new();
-    for tpl in wsd.relations.values() {
-        for t in &tpl.tuples {
-            for (i, cell) in t.cells.iter().enumerate() {
-                if matches!(cell, TemplateCell::Open) {
-                    if let Some(loc) = wsd.field_loc(Field::attr(t.tid, i as u32)) {
-                        owners.entry(loc).or_default().insert(t.tid);
-                    }
-                }
-            }
-            if t.exists == Existence::Open {
-                if let Some(loc) = wsd.field_loc(Field::exists(t.tid)) {
-                    owners.entry(loc).or_default().insert(t.tid);
-                }
-            }
-        }
-    }
-    owners
-}
-
-/// The columns (per component) each tuple's open fields map to.
-fn tuple_columns(wsd: &Wsd) -> HashMap<Tid, HashMap<usize, Vec<usize>>> {
-    let mut map: HashMap<Tid, HashMap<usize, Vec<usize>>> = HashMap::new();
-    for tpl in wsd.relations.values() {
-        for t in &tpl.tuples {
-            let mut locs: Vec<(usize, usize)> = Vec::new();
-            for (i, cell) in t.cells.iter().enumerate() {
-                if matches!(cell, TemplateCell::Open) {
-                    if let Some(loc) = wsd.field_loc(Field::attr(t.tid, i as u32)) {
-                        locs.push(loc);
-                    }
-                }
-            }
-            if t.exists == Existence::Open {
-                if let Some(loc) = wsd.field_loc(Field::exists(t.tid)) {
-                    locs.push(loc);
-                }
-            }
-            let entry = map.entry(t.tid).or_default();
-            for (c, col) in locs {
-                entry.entry(c).or_default().push(col);
-            }
-        }
-    }
-    map
-}
 
 /// Step 1: ⊥-propagation. In each component row, a tuple is dead if any of
 /// its columns there is ⊥; the *other* columns of that row referenced only
 /// by dead tuples carry irrelevant values and are set to ⊥ (this is what
 /// turns the paper's `(⊥, TSH)` row into `(⊥, ⊥)`), enabling row merging.
-pub fn propagate_bottom(wsd: &mut Wsd) {
-    let owners = column_owners(wsd);
-    let per_tuple = tuple_columns(wsd);
-
-    for comp_idx in wsd.live_components() {
+/// Tuple/column ownership comes from the reverse field index; cells are
+/// tested through interned codes, not materialized rows.
+fn propagate_bottom(wsd: &mut Wsd, comps: &[usize]) {
+    for &ci in comps {
+        let Some(comp) = wsd.component(ci) else { continue };
+        let rev = wsd.fields_of_component(ci);
         // tuples with at least one column in this component
-        let tuples_here: Vec<(&Tid, &Vec<usize>)> = per_tuple
-            .iter()
-            .filter_map(|(tid, by_comp)| by_comp.get(&comp_idx).map(|cols| (tid, cols)))
-            .collect();
-        if tuples_here.is_empty() {
+        let mut tuple_cols: HashMap<Tid, Vec<usize>> = HashMap::new();
+        for (col, fields) in rev.iter().enumerate() {
+            for f in fields {
+                tuple_cols.entry(f.tid).or_default().push(col);
+            }
+        }
+        if tuple_cols.is_empty() {
             continue;
         }
-        let ncols = wsd.component(comp_idx).map(|c| c.num_fields()).unwrap_or(0);
-        // columns owned exclusively by tuples present in this component
-        let mut col_owner_sets: Vec<Option<&HashSet<Tid>>> = vec![None; ncols];
-        for (col, slot) in col_owner_sets.iter_mut().enumerate() {
-            *slot = owners.get(&(comp_idx, col));
+        let tuples_here: Vec<(Tid, Vec<usize>)> = tuple_cols.into_iter().collect();
+        let ncols = comp.num_fields();
+        // per column: which tuples (as indices into tuples_here) own it
+        let mut owners: Vec<Vec<usize>> = vec![Vec::new(); ncols];
+        for (ti, (_, cols)) in tuples_here.iter().enumerate() {
+            for &c in cols {
+                owners[c].push(ti);
+            }
         }
 
-        let comp = wsd.component_mut(comp_idx).expect("live component");
-        for row in comp.rows_mut() {
-            // which tuples are dead in this row
-            let mut dead: HashSet<Tid> = HashSet::new();
-            for (tid, cols) in &tuples_here {
-                if cols.iter().any(|&c| row.cells[c].is_bottom()) {
-                    dead.insert(**tid);
-                }
+        let mut writes: Vec<(usize, usize)> = Vec::new();
+        let mut dead = vec![false; tuples_here.len()];
+        for row in 0..comp.num_rows() {
+            let mut any_dead = false;
+            for (ti, (_, cols)) in tuples_here.iter().enumerate() {
+                dead[ti] = cols.iter().any(|&c| comp.cell(row, c).is_bottom());
+                any_dead |= dead[ti];
             }
-            if dead.is_empty() {
+            if !any_dead {
                 continue;
             }
-            for (col, cell) in row.cells.iter_mut().enumerate() {
-                if cell.is_bottom() {
+            for (col, os) in owners.iter().enumerate() {
+                if comp.cell(row, col).is_bottom() {
                     continue;
                 }
-                if let Some(os) = col_owner_sets[col] {
-                    if !os.is_empty() && os.iter().all(|t| dead.contains(t)) {
-                        *cell = Cell::Bottom;
-                    }
+                if !os.is_empty() && os.iter().all(|&ti| dead[ti]) {
+                    writes.push((row, col));
                 }
             }
         }
+        if writes.is_empty() {
+            continue;
+        }
+        let comp = wsd.component_mut_silent(ci).expect("live component");
+        for (row, col) in writes {
+            comp.set_bottom(row, col);
+        }
+        wsd.mark_dirty(ci);
     }
 }
 
 /// Step 2: drop tuples that exist in no world — those with an open field or
-/// existence column that is ⊥ in *every* row of its component.
-pub fn drop_dead_tuples(wsd: &mut Wsd) {
+/// existence column that is ⊥ in *every* row of its component. Only columns
+/// of dirty components can have become all-⊥ since the last normalize, so
+/// only those are scanned.
+fn drop_dead_tuples(wsd: &mut Wsd, comps: &[usize]) {
     let mut dead: HashSet<Tid> = HashSet::new();
-    for tpl in wsd.relations.values() {
-        for t in &tpl.tuples {
-            let mut locs: Vec<(usize, usize)> = Vec::new();
-            for (i, cell) in t.cells.iter().enumerate() {
-                if matches!(cell, TemplateCell::Open) {
-                    if let Some(loc) = wsd.field_loc(Field::attr(t.tid, i as u32)) {
-                        locs.push(loc);
-                    }
-                }
+    for &ci in comps {
+        let Some(comp) = wsd.component(ci) else { continue };
+        let rev = wsd.fields_of_component(ci);
+        for (col, fields) in rev.iter().enumerate() {
+            if fields.is_empty() || col >= comp.num_fields() {
+                continue;
             }
-            if t.exists == Existence::Open {
-                if let Some(loc) = wsd.field_loc(Field::exists(t.tid)) {
-                    locs.push(loc);
-                }
-            }
-            for (c, col) in locs {
-                if let Some(comp) = wsd.component(c) {
-                    if comp.rows().iter().all(|r| r.cells[col].is_bottom()) {
-                        dead.insert(t.tid);
-                        break;
-                    }
-                }
+            if comp.column_all_bottom(col) {
+                dead.extend(fields.iter().map(|f| f.tid));
             }
         }
     }
@@ -151,142 +119,148 @@ pub fn drop_dead_tuples(wsd: &mut Wsd) {
     for tpl in wsd.relations.values_mut() {
         tpl.tuples.retain(|t| !dead.contains(&t.tid));
     }
-    wsd.field_map.retain(|f, _| !dead.contains(&f.tid));
+    wsd.retain_fields(|f| !dead.contains(&f.tid));
 }
 
 /// Step 3: inline constant columns. A column whose cells are the same
 /// non-⊥ value in every row does not vary across worlds: attribute fields
 /// become certain template values, existence fields become `Always`.
-pub fn inline_constants(wsd: &mut Wsd) {
-    // find constant columns
-    let mut constant: HashMap<(usize, usize), Cell> = HashMap::new();
-    for idx in wsd.live_components() {
-        let comp = wsd.component(idx).expect("live");
-        for col in 0..comp.num_fields() {
-            let first = &comp.rows()[0].cells[col];
-            if first.is_bottom() {
+fn inline_constants(wsd: &mut Wsd, comps: &[usize]) {
+    // (field, Some(value) for attrs / None for exists) pairs to inline
+    let mut resolved: Vec<(crate::field::Field, Option<maybms_relational::Value>)> = Vec::new();
+    for &ci in comps {
+        let Some(comp) = wsd.component(ci) else { continue };
+        let rev = wsd.fields_of_component(ci);
+        for (col, fields) in rev.iter().enumerate() {
+            if fields.is_empty() || col >= comp.num_fields() {
                 continue;
             }
-            if comp.rows().iter().all(|r| &r.cells[col] == first) {
-                constant.insert((idx, col), first.clone());
+            if let Some(cell) = comp.column_constant(col) {
+                for &f in fields {
+                    match (f.kind, cell) {
+                        (FieldKind::Attr(_), Cell::Val(v)) => {
+                            resolved.push((f, Some(v.clone())))
+                        }
+                        (FieldKind::Exists, _) => resolved.push((f, None)),
+                        (FieldKind::Attr(_), Cell::Bottom) => unreachable!("constant is non-⊥"),
+                    }
+                }
             }
         }
     }
-    if constant.is_empty() {
+    if resolved.is_empty() {
         return;
     }
-    // rewrite templates
-    let mut resolved: Vec<Field> = Vec::new();
-    for tpl in wsd.relations.values_mut() {
-        for t in &mut tpl.tuples {
-            for (i, cell) in t.cells.iter_mut().enumerate() {
-                if matches!(cell, TemplateCell::Open) {
-                    let f = Field::attr(t.tid, i as u32);
-                    if let Some(loc) = wsd.field_map.get(&f) {
-                        if let Some(Cell::Val(v)) = constant.get(loc) {
-                            *cell = TemplateCell::Certain(v.clone());
-                            resolved.push(f);
-                        }
-                    }
-                }
-            }
-            if t.exists == Existence::Open {
-                let f = Field::exists(t.tid);
-                if let Some(loc) = wsd.field_map.get(&f) {
-                    if constant.contains_key(loc) {
-                        t.exists = Existence::Always;
-                        resolved.push(f);
-                    }
-                }
+    // tid → (relation, tuple index) for exactly the affected tuples
+    let affected: HashSet<Tid> = resolved.iter().map(|(f, _)| f.tid).collect();
+    let mut where_is: HashMap<Tid, (String, usize)> = HashMap::with_capacity(affected.len());
+    for (name, tpl) in &wsd.relations {
+        for (i, t) in tpl.tuples.iter().enumerate() {
+            if affected.contains(&t.tid) {
+                where_is.insert(t.tid, (name.clone(), i));
             }
         }
     }
-    for f in resolved {
-        wsd.field_map.remove(&f);
+    for (f, val) in resolved {
+        let Some((rel, i)) = where_is.get(&f.tid) else { continue };
+        let t = &mut wsd.relations.get_mut(rel).expect("indexed").tuples[*i];
+        match (f.kind, val) {
+            (FieldKind::Attr(pos), Some(v)) => {
+                let cell = &mut t.cells[pos as usize];
+                if matches!(cell, TemplateCell::Open) {
+                    *cell = TemplateCell::Certain(v);
+                    wsd.unmap_field(f);
+                }
+            }
+            (FieldKind::Exists, None) if t.exists == Existence::Open => {
+                t.exists = Existence::Always;
+                wsd.unmap_field(f);
+            }
+            _ => {}
+        }
     }
 }
 
-/// Step 4: garbage-collect unreferenced columns: project every component
-/// onto the columns still referenced by some template field (merging rows
-/// and summing probabilities — this is what removes the paper's Symptom
-/// component after the projection). Fieldless components are dropped.
-pub fn gc_columns(wsd: &mut Wsd) {
-    let mut referenced: HashMap<usize, HashSet<usize>> = HashMap::new();
-    for &(c, col) in wsd.field_map.values() {
-        referenced.entry(c).or_default().insert(col);
-    }
-    for idx in wsd.live_components() {
-        let keep: Vec<usize> = match referenced.get(&idx) {
-            Some(set) => {
-                let mut v: Vec<usize> = set.iter().copied().collect();
-                v.sort_unstable();
-                v
-            }
-            None => Vec::new(),
-        };
-        let comp = wsd.component(idx).expect("live");
+/// Step 4: garbage-collect unreferenced columns: project every dirty
+/// component onto the columns still referenced by some template field
+/// (merging rows and summing probabilities — this is what removes the
+/// paper's Symptom component after the projection). Fieldless components
+/// are dropped.
+fn gc_columns(wsd: &mut Wsd, comps: &[usize]) {
+    for &ci in comps {
+        let Some(comp) = wsd.component(ci) else { continue };
+        let rev = wsd.fields_of_component(ci);
+        let keep: Vec<usize> = (0..comp.num_fields())
+            .filter(|&c| rev.get(c).map(|v| !v.is_empty()).unwrap_or(false))
+            .collect();
         if keep.len() == comp.num_fields() {
             continue;
         }
         if keep.is_empty() {
-            wsd.components[idx] = None;
+            wsd.replace_component(ci, None);
             continue;
         }
         let projected = comp.project_columns(&keep);
-        // remap columns: old position -> new position
-        let remap: HashMap<usize, usize> =
-            keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
-        for loc in wsd.field_map.values_mut() {
-            if loc.0 == idx {
-                loc.1 = remap[&loc.1];
-            }
-        }
-        wsd.components[idx] = Some(projected);
+        wsd.replace_component(ci, Some(projected));
+        wsd.remap_columns(ci, &keep);
+        wsd.mark_dirty(ci);
     }
 }
 
-/// Step 5: merge duplicate rows in every component.
-pub fn dedup_rows(wsd: &mut Wsd) {
-    for idx in wsd.live_components() {
-        if let Some(c) = wsd.component_mut(idx) {
-            c.dedup_rows(1e-12);
+/// Step 5: merge duplicate rows in every dirty component.
+fn dedup_rows(wsd: &mut Wsd, comps: &[usize]) {
+    for &ci in comps {
+        let Some(c) = wsd.component_mut_silent(ci) else { continue };
+        if c.dedup_rows(1e-12) {
+            wsd.mark_dirty(ci);
         }
     }
 }
 
-/// The normalization pipeline, run to a fixpoint, then compacted.
+/// The incremental normalization pipeline: drains the dirty set to a
+/// fixpoint, then compacts component slots. Components untouched since the
+/// last normalize are never scanned.
 pub fn normalize(wsd: &mut Wsd) {
+    let mut did_work = false;
     loop {
-        let before = signature(wsd);
-        propagate_bottom(wsd);
-        drop_dead_tuples(wsd);
-        inline_constants(wsd);
-        gc_columns(wsd);
-        dedup_rows(wsd);
-        if signature(wsd) == before {
+        let dirty = wsd.take_dirty();
+        if dirty.is_empty() {
             break;
         }
+        did_work = true;
+        propagate_bottom(wsd, &dirty);
+        drop_dead_tuples(wsd, &dirty);
+        inline_constants(wsd, &dirty);
+        gc_columns(wsd, &dirty);
+        dedup_rows(wsd, &dirty);
     }
-    wsd.compact();
+    if did_work || wsd.has_tombstones() {
+        wsd.compact();
+    }
 }
 
-/// Normalization plus factorization of every component into independent
-/// parts, then normalization again (factor blocks may expose constants).
-pub fn normalize_full(wsd: &mut Wsd) {
+/// Full-pass normalization: marks every live component dirty first. The
+/// oracle reference for [`normalize`] and the escape hatch for callers
+/// that bypassed the `Wsd` mutation API.
+pub fn normalize_from_scratch(wsd: &mut Wsd) {
+    wsd.mark_all_dirty();
     normalize(wsd);
+}
+
+/// Full normalization plus factorization of every component into
+/// independent parts, then normalization again (factor blocks may expose
+/// constants).
+pub fn normalize_full(wsd: &mut Wsd) {
+    normalize_from_scratch(wsd);
     crate::factorize::factorize_all(wsd);
     normalize(wsd);
-}
-
-fn signature(wsd: &Wsd) -> (usize, usize, usize) {
-    let s = wsd.stats();
-    (s.template_tuples, s.components, s.component_cells)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::component::{CompRow, Component};
+    use crate::field::Field;
     use maybms_relational::{ColumnType, Schema, Value};
     use maybms_worldset::OrSetCell;
 
@@ -427,6 +401,76 @@ mod tests {
     }
 
     #[test]
+    fn incremental_skips_clean_components() {
+        let mut w = Wsd::new();
+        w.add_relation(
+            "r",
+            Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]),
+        )
+        .unwrap();
+        for i in 0..4 {
+            w.push_orset(
+                "r",
+                vec![
+                    OrSetCell::weighted(vec![(Value::Int(i), 0.5), (Value::Int(i + 10), 0.5)])
+                        .unwrap(),
+                    OrSetCell::certain(0i64),
+                ],
+            )
+            .unwrap();
+        }
+        normalize(&mut w);
+        assert!(w.dirty_components().is_empty(), "normalize drains the dirty set");
+        // a second normalize with no mutations touches nothing and
+        // preserves the decomposition
+        let stats = w.stats();
+        normalize(&mut w);
+        assert_eq!(w.stats(), stats);
+        // mutating one component makes exactly it dirty
+        let live = w.live_components();
+        let _ = w.component_mut(live[0]);
+        assert_eq!(w.dirty_components(), vec![live[0]]);
+        normalize(&mut w);
+        assert!(w.dirty_components().is_empty());
+    }
+
+    #[test]
+    fn incremental_equals_full_pass() {
+        // Build, normalize, then damage one component through the tracked
+        // API; the incremental result must equal normalize_from_scratch on
+        // a copy.
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        for i in 0..3 {
+            w.push_orset(
+                "r",
+                vec![OrSetCell::weighted(vec![
+                    (Value::Int(i), 0.5),
+                    (Value::Int(i + 10), 0.5),
+                ])
+                .unwrap()],
+            )
+            .unwrap();
+        }
+        normalize(&mut w);
+        // kill one alternative via the chase-style mutation API
+        let live = w.live_components();
+        let c = w.component_mut(live[0]).unwrap();
+        c.retain_rows(|r| r.cell(0) != &Cell::Val(Value::Int(0)));
+        c.renormalize();
+
+        let mut full = w.clone();
+        normalize(&mut w);
+        normalize_from_scratch(&mut full);
+        w.validate().unwrap();
+        full.validate().unwrap();
+        let a = w.to_worldset(1000).unwrap();
+        let b = full.to_worldset(1000).unwrap();
+        assert!(a.equivalent(&b, 1e-9));
+        assert_eq!(w.stats(), full.stats());
+    }
+
+    #[test]
     fn gc_drops_unreferenced_component() {
         let mut w = Wsd::new();
         w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
@@ -436,10 +480,9 @@ mod tests {
             vec![(Cell::Val(Value::Int(1)), 0.5), (Cell::Val(Value::Int(2)), 0.5)],
         );
         w.add_component(orphan);
-        // field_map has the orphan field; remove template reference by
-        // simply never pushing a tuple. gc keeps it because field_map still
-        // references it — so first drop the mapping, as extract() does.
-        w.field_map.clear();
+        // gc keeps it while the field map still references it — so first
+        // drop the mappings, as extract() does.
+        w.clear_field_map();
         normalize(&mut w);
         assert_eq!(w.num_components(), 0);
     }

@@ -13,6 +13,15 @@
 //! clusters as `1 − ∏(1 − P_cluster)`. Clusters whose joint choice space
 //! exceeds a cap are estimated by Monte-Carlo sampling (deterministic
 //! xorshift seed), with the estimate flagged in [`Confidence::exact`].
+//!
+//! # Hot-path layout
+//!
+//! Cluster evaluation resolves every tuple's field locations **once** into
+//! a [`ResolvedTuple`] (certain values prefilled, open fields as direct
+//! `(position, component, column)` triples), then walks the joint choice
+//! space with a single **dense choice vector** indexed by component id —
+//! no per-world `HashMap`, no per-cell field-map lookups. The sampler
+//! draws rows through precomputed cumulative-probability tables.
 
 use std::collections::HashMap;
 
@@ -90,12 +99,14 @@ pub fn expected_sum(wsd: &Wsd, rel: &str, col: &str) -> Result<f64> {
 /// `P(rel is non-empty)` — the confidence of a boolean query.
 pub fn nonempty_confidence(wsd: &Wsd, rel: &str) -> Result<f64> {
     let clusters = cluster_tuples(wsd, rel)?;
+    let resolved = resolve_relation(wsd, rel)?;
+    let mut choice = vec![0usize; wsd.num_component_slots()];
     let mut p_empty_all = 1.0;
     for cl in &clusters {
         if cl.has_always_certain {
             return Ok(1.0);
         }
-        let dist = cluster_distribution(wsd, cl, ProbOptions::default())?;
+        let dist = cluster_distribution(wsd, cl, &resolved, &mut choice, ProbOptions::default())?;
         p_empty_all *= 1.0 - dist.p_any_exists;
     }
     Ok(1.0 - p_empty_all)
@@ -115,11 +126,14 @@ pub fn tuple_confidence_opts(
     opts: ProbOptions,
 ) -> Result<Vec<Confidence>> {
     let clusters = cluster_tuples(wsd, rel)?;
+    let resolved = resolve_relation(wsd, rel)?;
+    // one dense choice vector shared by every cluster walk
+    let mut choice = vec![0usize; wsd.num_component_slots()];
     // per value: per-cluster probability of "some tuple of the cluster
     // takes this value and exists"
     let mut per_value: HashMap<Tuple, Vec<(f64, bool)>> = HashMap::new();
     for cl in &clusters {
-        let dist = cluster_distribution(wsd, cl, opts)?;
+        let dist = cluster_distribution(wsd, cl, &resolved, &mut choice, opts)?;
         for (val, e) in dist.per_value {
             per_value.entry(val).or_default().push((e.p_any, e.exact));
         }
@@ -251,24 +265,101 @@ struct ClusterDist {
     p_any_exists: f64,
 }
 
+/// One template tuple with every field location resolved ahead of the
+/// choice-space walk: certain values prefilled in `base`, open fields as
+/// direct `(position, component, column)` triples.
+struct ResolvedTuple {
+    base: Vec<Value>,
+    open: Vec<(usize, usize, usize)>,
+    exists: Option<(usize, usize)>,
+}
+
+impl ResolvedTuple {
+    fn resolve(wsd: &Wsd, tid: Tid, cells: &[TemplateCell], exists: Existence) -> Result<ResolvedTuple> {
+        let mut base = Vec::with_capacity(cells.len());
+        let mut open = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            match cell {
+                TemplateCell::Certain(v) => base.push(v.clone()),
+                TemplateCell::Open => {
+                    let (c, col) = wsd
+                        .field_loc(Field::attr(tid, i as u32))
+                        .ok_or_else(|| Error::InvalidExpr(format!("unmapped field {tid}.#{i}")))?;
+                    open.push((i, c, col));
+                    base.push(Value::Null);
+                }
+            }
+        }
+        let exists = match exists {
+            Existence::Always => None,
+            Existence::Open => Some(
+                wsd.field_loc(Field::exists(tid))
+                    .ok_or_else(|| Error::InvalidExpr(format!("unmapped ∃ of {tid}")))?,
+            ),
+        };
+        Ok(ResolvedTuple { base, open, exists })
+    }
+
+    /// The tuple's value under a dense `choice` (row index per component),
+    /// or `None` if it does not exist there.
+    fn value_under(&self, wsd: &Wsd, choice: &[usize]) -> Option<Tuple> {
+        if let Some((c, col)) = self.exists {
+            let comp = wsd.component(c).expect("mapped");
+            if comp.cell(choice[c], col).is_bottom() {
+                return None;
+            }
+        }
+        let mut vals = self.base.clone();
+        for &(pos, c, col) in &self.open {
+            let comp = wsd.component(c).expect("mapped");
+            match comp.cell(choice[c], col) {
+                Cell::Val(v) => vals[pos] = v.clone(),
+                Cell::Bottom => return None,
+            }
+        }
+        Some(Tuple::new(vals))
+    }
+}
+
+/// Resolves every tuple of `rel` once — one pass over the template,
+/// shared by all clusters.
+fn resolve_relation(wsd: &Wsd, rel: &str) -> Result<HashMap<Tid, ResolvedTuple>> {
+    let tpl = wsd.relation(rel)?;
+    let mut out = HashMap::with_capacity(tpl.tuples.len());
+    for t in &tpl.tuples {
+        out.insert(t.tid, ResolvedTuple::resolve(wsd, t.tid, &t.cells, t.exists)?);
+    }
+    Ok(out)
+}
+
 /// Enumerates (or samples) the joint choices of the cluster's components and
 /// returns, per answer value, P(some cluster tuple exists with that value).
-fn cluster_distribution(wsd: &Wsd, cl: &Cluster, opts: ProbOptions) -> Result<ClusterDist> {
-    let tpl_lookup = tuple_lookup(wsd, &cl.tids)?;
+/// `choice` is a caller-owned dense scratch vector (one slot per component
+/// slot) reused across clusters.
+fn cluster_distribution(
+    wsd: &Wsd,
+    cl: &Cluster,
+    resolved: &HashMap<Tid, ResolvedTuple>,
+    choice: &mut [usize],
+    opts: ProbOptions,
+) -> Result<ClusterDist> {
     let mut dist = ClusterDist { per_value: HashMap::new(), p_any_exists: 0.0 };
+    let tuples: Vec<&ResolvedTuple> = cl
+        .tids
+        .iter()
+        .map(|tid| {
+            resolved
+                .get(tid)
+                .ok_or_else(|| Error::InvalidExpr(format!("cluster tuple {tid} not found")))
+        })
+        .collect::<Result<_>>()?;
 
     if cl.comps.is_empty() {
         // fully certain tuples
-        for (_, cells, _) in &tpl_lookup {
-            let vals: Vec<Value> = cells
-                .iter()
-                .map(|c| match c {
-                    TemplateCell::Certain(v) => v.clone(),
-                    TemplateCell::Open => unreachable!("certain cluster"),
-                })
-                .collect();
+        for t in &tuples {
+            debug_assert!(t.open.is_empty(), "certain cluster");
             dist.per_value
-                .insert(Tuple::new(vals), ValueEntry { p_any: 1.0, exact: true });
+                .insert(Tuple::new(t.base.clone()), ValueEntry { p_any: 1.0, exact: true });
         }
         dist.p_any_exists = 1.0;
         return Ok(dist);
@@ -283,72 +374,22 @@ fn cluster_distribution(wsd: &Wsd, cl: &Cluster, opts: ProbOptions) -> Result<Cl
         joint = joint.saturating_mul(rows);
     }
 
+    for &c in &cl.comps {
+        choice[c] = 0;
+    }
     if joint <= opts.exact_cap {
-        enumerate_cluster(wsd, cl, &tpl_lookup, &mut dist)?;
+        enumerate_cluster(wsd, cl, &tuples, choice, &mut dist)?;
     } else {
-        sample_cluster(wsd, cl, &tpl_lookup, &mut dist, opts)?;
+        sample_cluster(wsd, cl, &tuples, choice, &mut dist, opts)?;
     }
     Ok(dist)
-}
-
-type TupleLookup = Vec<(Tid, Vec<TemplateCell>, Existence)>;
-
-fn tuple_lookup(wsd: &Wsd, tids: &[Tid]) -> Result<TupleLookup> {
-    let mut out = Vec::with_capacity(tids.len());
-    for name in wsd.relation_names().map(str::to_string).collect::<Vec<_>>() {
-        let tpl = wsd.relation(&name)?;
-        for t in &tpl.tuples {
-            if tids.contains(&t.tid) {
-                out.push((t.tid, t.cells.clone(), t.exists));
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// The value of a tuple under a particular choice of component rows, or
-/// `None` if it does not exist there.
-fn tuple_value_under(
-    wsd: &Wsd,
-    tid: Tid,
-    cells: &[TemplateCell],
-    exists: Existence,
-    choice: &HashMap<usize, usize>,
-) -> Result<Option<Tuple>> {
-    if exists == Existence::Open {
-        let (c, col) = wsd
-            .field_loc(Field::exists(tid))
-            .ok_or_else(|| Error::InvalidExpr(format!("unmapped ∃ of {tid}")))?;
-        let comp = wsd.component(c).expect("mapped");
-        let row = &comp.rows()[choice[&c]];
-        if row.cells[col].is_bottom() {
-            return Ok(None);
-        }
-    }
-    let mut vals = Vec::with_capacity(cells.len());
-    for (i, cell) in cells.iter().enumerate() {
-        match cell {
-            TemplateCell::Certain(v) => vals.push(v.clone()),
-            TemplateCell::Open => {
-                let (c, col) = wsd
-                    .field_loc(Field::attr(tid, i as u32))
-                    .ok_or_else(|| Error::InvalidExpr(format!("unmapped field {tid}.#{i}")))?;
-                let comp = wsd.component(c).expect("mapped");
-                let row = &comp.rows()[choice[&c]];
-                match &row.cells[col] {
-                    Cell::Val(v) => vals.push(v.clone()),
-                    Cell::Bottom => return Ok(None),
-                }
-            }
-        }
-    }
-    Ok(Some(Tuple::new(vals)))
 }
 
 fn enumerate_cluster(
     wsd: &Wsd,
     cl: &Cluster,
-    tuples: &TupleLookup,
+    tuples: &[&ResolvedTuple],
+    choice: &mut [usize],
     dist: &mut ClusterDist,
 ) -> Result<()> {
     let widths: Vec<usize> = cl
@@ -356,18 +397,18 @@ fn enumerate_cluster(
         .iter()
         .map(|&c| wsd.component(c).expect("live").num_rows())
         .collect();
-    let mut idx = vec![0usize; cl.comps.len()];
+    // the dense choice vector is driven in place by the odometer — no
+    // per-choice map
+    let mut present: Vec<Tuple> = Vec::new();
     loop {
-        let choice: HashMap<usize, usize> =
-            cl.comps.iter().copied().zip(idx.iter().copied()).collect();
         let mut p = 1.0;
-        for (&c, &r) in cl.comps.iter().zip(&idx) {
-            p *= wsd.component(c).expect("live").rows()[r].p;
+        for &c in &cl.comps {
+            p *= wsd.component(c).expect("live").prob(choice[c]);
         }
         // distinct values present under this choice
-        let mut present: Vec<Tuple> = Vec::new();
-        for (tid, cells, exists) in tuples {
-            if let Some(v) = tuple_value_under(wsd, *tid, cells, *exists, &choice)? {
+        present.clear();
+        for t in tuples {
+            if let Some(v) = t.value_under(wsd, choice) {
                 if !present.contains(&v) {
                     present.push(v);
                 }
@@ -376,7 +417,7 @@ fn enumerate_cluster(
         if !present.is_empty() {
             dist.p_any_exists += p;
         }
-        for v in present {
+        for v in present.drain(..) {
             let e = dist
                 .per_value
                 .entry(v)
@@ -384,17 +425,18 @@ fn enumerate_cluster(
             e.p_any += p;
         }
 
-        let mut k = idx.len();
+        let mut k = cl.comps.len();
         loop {
             if k == 0 {
                 return Ok(());
             }
             k -= 1;
-            idx[k] += 1;
-            if idx[k] < widths[k] {
+            let c = cl.comps[k];
+            choice[c] += 1;
+            if choice[c] < widths[k] {
                 break;
             }
-            idx[k] = 0;
+            choice[c] = 0;
         }
     }
 }
@@ -416,32 +458,43 @@ impl XorShift {
 fn sample_cluster(
     wsd: &Wsd,
     cl: &Cluster,
-    tuples: &TupleLookup,
+    tuples: &[&ResolvedTuple],
+    choice: &mut [usize],
     dist: &mut ClusterDist,
     opts: ProbOptions,
 ) -> Result<()> {
     let mut rng = XorShift(opts.seed | 1);
     let n = opts.mc_samples.max(1);
     let inv = 1.0 / n as f64;
-    for _ in 0..n {
-        let mut choice: HashMap<usize, usize> = HashMap::with_capacity(cl.comps.len());
-        for &c in &cl.comps {
+    // cumulative probability table per cluster component, computed once
+    let cum: Vec<Vec<f64>> = cl
+        .comps
+        .iter()
+        .map(|&c| {
             let comp = wsd.component(c).expect("live");
-            let u = rng.next_f64();
             let mut acc = 0.0;
-            let mut pick = comp.num_rows() - 1;
-            for (ri, r) in comp.rows().iter().enumerate() {
-                acc += r.p;
-                if u < acc {
-                    pick = ri;
-                    break;
-                }
-            }
-            choice.insert(c, pick);
+            comp.probs()
+                .iter()
+                .map(|&p| {
+                    acc += p;
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+    let mut present: Vec<Tuple> = Vec::new();
+    for _ in 0..n {
+        for (k, &c) in cl.comps.iter().enumerate() {
+            let u = rng.next_f64();
+            let table = &cum[k];
+            // binary search the cumulative table; partition_point returns
+            // the first row whose cumulative mass exceeds u
+            let pick = table.partition_point(|&acc| acc <= u).min(table.len() - 1);
+            choice[c] = pick;
         }
-        let mut present: Vec<Tuple> = Vec::new();
-        for (tid, cells, exists) in tuples {
-            if let Some(v) = tuple_value_under(wsd, *tid, cells, *exists, &choice)? {
+        present.clear();
+        for t in tuples {
+            if let Some(v) = t.value_under(wsd, choice) {
                 if !present.contains(&v) {
                     present.push(v);
                 }
@@ -450,7 +503,7 @@ fn sample_cluster(
         if !present.is_empty() {
             dist.p_any_exists += inv;
         }
-        for v in present {
+        for v in present.drain(..) {
             let e = dist
                 .per_value
                 .entry(v)

@@ -14,15 +14,36 @@
 //! "The main principle of WSDs is to store independent tuple fields in
 //! separate components and dependent tuple fields within the same
 //! component."
+//!
+//! # The field index
+//!
+//! Alongside the forward map *field → (component, column)* the WSD
+//! maintains a **reverse index** *(component, column) → fields* that is
+//! updated incrementally by every mutation ([`Wsd::add_component`],
+//! [`Wsd::alias_field`], [`Wsd::merge_components`], [`Wsd::compact`], …).
+//! Normalization and confidence clustering read component ownership
+//! straight from this index instead of re-deriving it by scanning all
+//! templates on every pass. Invariants (checked by [`Wsd::validate`]):
+//! every forward entry appears in the reverse index at exactly its mapped
+//! location, and every mapped field belongs to a live template tuple.
+//!
+//! # The dirty set
+//!
+//! Every mutation records the touched component indices in a **dirty set**;
+//! [`crate::normalize::normalize`] visits only dirty components and their
+//! templates, re-marking a component only when a pass actually changes it,
+//! so an already-normalized region of the decomposition costs nothing.
+//! [`crate::normalize::normalize_full`] marks everything dirty first and
+//! is the full-fixpoint escape hatch (and oracle reference).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use maybms_relational::{Error, Relation, Result, Schema, Tuple, Value};
 use maybms_worldset::{OrSetCell, World, WorldSet};
 
 use crate::bigint::BigUint;
 use crate::cell::Cell;
-use crate::component::{CompRow, Component};
+use crate::component::Component;
 use crate::field::{Field, Tid};
 
 /// A field of a template tuple: stored inline (certain in all worlds) or
@@ -77,7 +98,12 @@ pub struct Wsd {
     /// field → (component index, column index). Many-to-one: derived tuples
     /// *alias* the columns of the tuples they were computed from, which is
     /// how correlations between query results and their inputs are kept.
-    pub(crate) field_map: HashMap<Field, (usize, usize)>,
+    field_map: HashMap<Field, (usize, usize)>,
+    /// Reverse index, aligned with `components`: `rev[c][col]` lists the
+    /// fields currently mapped to `(c, col)`.
+    rev: Vec<Vec<Vec<Field>>>,
+    /// Components touched since the last incremental normalize.
+    dirty: BTreeSet<usize>,
     pub(crate) next_tid: u64,
 }
 
@@ -93,6 +119,8 @@ impl Wsd {
             relations: BTreeMap::new(),
             components: Vec::new(),
             field_map: HashMap::new(),
+            rev: Vec::new(),
+            dirty: BTreeSet::new(),
             next_tid: 0,
         }
     }
@@ -132,6 +160,7 @@ impl Wsd {
         let t = self.remove_relation(from)?;
         let to = to.into();
         if self.relations.contains_key(&to) {
+            self.relations.insert(from.to_string(), t);
             return Err(Error::DuplicateRelation(to));
         }
         self.relations.insert(to, t);
@@ -145,6 +174,15 @@ impl Wsd {
         let t = Tid(self.next_tid);
         self.next_tid += 1;
         t
+    }
+
+    /// Pre-sizes a relation's template for `additional` more tuples —
+    /// operators that know their output cardinality call this once instead
+    /// of growing the vector push by push.
+    pub(crate) fn reserve_tuples(&mut self, rel: &str, additional: usize) {
+        if let Some(tpl) = self.relations.get_mut(rel) {
+            tpl.tuples.reserve(additional);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -256,23 +294,72 @@ impl Wsd {
     }
 
     // ------------------------------------------------------------------
-    // Component management
+    // Field map + reverse index
     // ------------------------------------------------------------------
 
-    /// Registers a component; its fields become defined in the field map.
-    pub fn add_component(&mut self, c: Component) -> usize {
-        let idx = self.components.len();
-        for (col, &f) in c.fields().iter().enumerate() {
-            self.field_map.insert(f, (idx, col));
+    fn rev_insert(&mut self, f: Field, (c, col): (usize, usize)) {
+        let cols = &mut self.rev[c];
+        if col >= cols.len() {
+            cols.resize_with(col + 1, Vec::new);
         }
-        self.components.push(Some(c));
-        idx
+        cols[col].push(f);
+    }
+
+    fn rev_remove(&mut self, f: Field, (c, col): (usize, usize)) {
+        if let Some(cols) = self.rev.get_mut(c) {
+            if let Some(v) = cols.get_mut(col) {
+                if let Some(pos) = v.iter().position(|&g| g == f) {
+                    v.swap_remove(pos);
+                }
+            }
+        }
     }
 
     /// Makes `field` an alias for an existing component column. Used by
     /// query operators so result tuples share the columns of their inputs.
+    /// Keeps the reverse index in sync and marks both the old and new
+    /// component dirty.
     pub fn alias_field(&mut self, field: Field, loc: (usize, usize)) {
-        self.field_map.insert(field, loc);
+        if let Some(old) = self.field_map.insert(field, loc) {
+            if old != loc {
+                self.rev_remove(field, old);
+                self.dirty.insert(old.0);
+            } else {
+                return;
+            }
+        }
+        self.rev_insert(field, loc);
+        self.dirty.insert(loc.0);
+    }
+
+    /// Removes a field's mapping (if any), marking its component dirty.
+    pub(crate) fn unmap_field(&mut self, field: Field) {
+        if let Some(loc) = self.field_map.remove(&field) {
+            self.rev_remove(field, loc);
+            self.dirty.insert(loc.0);
+        }
+    }
+
+    /// Drops every mapping whose field fails `pred`, marking the affected
+    /// components dirty.
+    pub(crate) fn retain_fields(&mut self, mut pred: impl FnMut(&Field) -> bool) {
+        let doomed: Vec<(Field, (usize, usize))> = self
+            .field_map
+            .iter()
+            .filter(|(f, _)| !pred(f))
+            .map(|(&f, &loc)| (f, loc))
+            .collect();
+        for (f, loc) in doomed {
+            self.field_map.remove(&f);
+            self.rev_remove(f, loc);
+            self.dirty.insert(loc.0);
+        }
+    }
+
+    /// Test/tooling hook: forgets all field mappings.
+    #[cfg(test)]
+    pub(crate) fn clear_field_map(&mut self) {
+        self.retain_fields(|_| false);
     }
 
     /// Location of a field, if open.
@@ -280,12 +367,132 @@ impl Wsd {
         self.field_map.get(&field).copied()
     }
 
+    /// The fields currently mapped to column `col` of component `c` — the
+    /// reverse index read normalization and clustering are built on.
+    pub fn fields_at(&self, c: usize, col: usize) -> &[Field] {
+        self.rev
+            .get(c)
+            .and_then(|cols| cols.get(col))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Per-column field lists of component `c` (reverse index row).
+    pub fn fields_of_component(&self, c: usize) -> &[Vec<Field>] {
+        self.rev.get(c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of field-map entries (all relations).
+    pub fn num_mapped_fields(&self) -> usize {
+        self.field_map.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty-set bookkeeping
+    // ------------------------------------------------------------------
+
+    pub(crate) fn mark_dirty(&mut self, c: usize) {
+        self.dirty.insert(c);
+    }
+
+    /// Marks every live component dirty (full renormalization).
+    pub(crate) fn mark_all_dirty(&mut self) {
+        for (i, c) in self.components.iter().enumerate() {
+            if c.is_some() {
+                self.dirty.insert(i);
+            }
+        }
+    }
+
+    /// Drains the dirty set, returning the live indices it contained.
+    pub(crate) fn take_dirty(&mut self) -> Vec<usize> {
+        let taken = std::mem::take(&mut self.dirty);
+        taken
+            .into_iter()
+            .filter(|&i| self.components.get(i).map(Option::is_some).unwrap_or(false))
+            .collect()
+    }
+
+    /// The live components currently marked dirty (peek, for stats/tests).
+    pub fn dirty_components(&self) -> Vec<usize> {
+        self.dirty
+            .iter()
+            .copied()
+            .filter(|&i| self.components.get(i).map(Option::is_some).unwrap_or(false))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Component management
+    // ------------------------------------------------------------------
+
+    /// Registers a component; its fields become defined in the field map
+    /// (and indexed in the reverse index). The new component is dirty.
+    pub fn add_component(&mut self, c: Component) -> usize {
+        let idx = self.components.len();
+        self.rev.push(vec![Vec::new(); c.num_fields()]);
+        let fields: Vec<Field> = c.fields().to_vec();
+        self.components.push(Some(c));
+        for (col, f) in fields.into_iter().enumerate() {
+            self.alias_field(f, (idx, col));
+        }
+        self.dirty.insert(idx);
+        idx
+    }
+
     pub fn component(&self, idx: usize) -> Option<&Component> {
         self.components.get(idx).and_then(|c| c.as_ref())
     }
 
+    /// Mutable component access. Conservatively marks the component dirty —
+    /// callers that only *read* should use [`Wsd::component`].
     pub fn component_mut(&mut self, idx: usize) -> Option<&mut Component> {
+        if self.components.get(idx).map(Option::is_some).unwrap_or(false) {
+            self.dirty.insert(idx);
+        }
         self.components.get_mut(idx).and_then(|c| c.as_mut())
+    }
+
+    /// Mutable access *without* dirty marking — normalization passes use
+    /// this and mark explicitly only when they change something.
+    pub(crate) fn component_mut_silent(&mut self, idx: usize) -> Option<&mut Component> {
+        self.components.get_mut(idx).and_then(|c| c.as_mut())
+    }
+
+    /// Replaces a component slot (normalization/factorization internals).
+    /// Dropping a component requires its reverse-index row to be empty.
+    pub(crate) fn replace_component(&mut self, idx: usize, c: Option<Component>) {
+        if c.is_none() {
+            debug_assert!(
+                self.rev[idx].iter().all(Vec::is_empty),
+                "dropping component {idx} with mapped fields"
+            );
+            self.rev[idx].clear();
+        }
+        self.components[idx] = c;
+    }
+
+    /// After a component was projected onto `keep` (old column indices, in
+    /// the new order), rewrites the field map and reverse index of its
+    /// surviving columns. Columns not in `keep` must be unreferenced.
+    pub(crate) fn remap_columns(&mut self, idx: usize, keep: &[usize]) {
+        let old_row = std::mem::take(&mut self.rev[idx]);
+        let mut new_row: Vec<Vec<Field>> = vec![Vec::new(); keep.len()];
+        for (new_col, &old_col) in keep.iter().enumerate() {
+            let fields = old_row.get(old_col).cloned().unwrap_or_default();
+            for &f in &fields {
+                self.field_map.insert(f, (idx, new_col));
+            }
+            new_row[new_col] = fields;
+        }
+        debug_assert!(
+            old_row
+                .iter()
+                .enumerate()
+                .all(|(c, v)| keep.contains(&c) || v.is_empty()),
+            "remap_columns dropped a referenced column of component {idx}"
+        );
+        self.rev[idx] = new_row;
     }
 
     /// Indices of live (non-tombstoned) components.
@@ -301,9 +508,22 @@ impl Wsd {
         self.components.iter().filter(|c| c.is_some()).count()
     }
 
+    /// Total component slots including tombstones — the length dense
+    /// choice vectors must have.
+    pub fn num_component_slots(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether any component slot is a tombstone (merged/dropped).
+    pub fn has_tombstones(&self) -> bool {
+        self.components.iter().any(Option::is_none)
+    }
+
     /// Merges the given components into one (their relational product) and
     /// returns its index. All field-map entries pointing into the merged
-    /// components are retargeted. Duplicate indices are tolerated.
+    /// components are retargeted **through the reverse index** — O(fields
+    /// of the merged components), not O(all fields). Duplicate indices are
+    /// tolerated.
     pub fn merge_components(&mut self, indices: &[usize]) -> Result<usize> {
         let mut idxs: Vec<usize> = indices.to_vec();
         idxs.sort_unstable();
@@ -322,23 +542,33 @@ impl Wsd {
                 .ok_or_else(|| Error::InvalidExpr(format!("component {i} is dead")))?;
             parts.push((i, c));
         }
-        let mut offsets: HashMap<usize, usize> = HashMap::new();
+        let mut offsets: Vec<(usize, usize)> = Vec::with_capacity(parts.len());
         let mut acc = 0usize;
         for (i, c) in &parts {
-            offsets.insert(*i, acc);
+            offsets.push((*i, acc));
             acc += c.num_fields();
         }
         let mut it = parts.into_iter();
         let (_, first) = it.next().expect("nonempty");
         let merged = it.fold(first, |a, (_, b)| a.product(&b));
+        let width = merged.num_fields();
 
         let new_idx = self.components.len();
         self.components.push(Some(merged));
-        for loc in self.field_map.values_mut() {
-            if let Some(off) = offsets.get(&loc.0) {
-                *loc = (new_idx, off + loc.1);
+        self.rev.push(vec![Vec::new(); width]);
+        // Retarget exactly the fields indexed under the merged parts.
+        for &(old_idx, off) in &offsets {
+            let old_cols = std::mem::take(&mut self.rev[old_idx]);
+            for (col, fields) in old_cols.into_iter().enumerate() {
+                for f in fields {
+                    let new_loc = (new_idx, off + col);
+                    self.field_map.insert(f, new_loc);
+                    self.rev[new_idx][off + col].push(f);
+                }
             }
+            self.dirty.remove(&old_idx);
         }
+        self.dirty.insert(new_idx);
         Ok(new_idx)
     }
 
@@ -360,15 +590,7 @@ impl Wsd {
                 let comp = self
                     .component(c)
                     .ok_or_else(|| Error::InvalidExpr(format!("dead component {c}")))?;
-                let mut out: Vec<Value> = Vec::new();
-                for r in comp.rows() {
-                    if let Cell::Val(v) = &r.cells[col] {
-                        if !out.contains(v) {
-                            out.push(v.clone());
-                        }
-                    }
-                }
-                out
+                comp.possible_values_col(col)
             }
         })
     }
@@ -388,9 +610,18 @@ impl Wsd {
         n
     }
 
-    /// Instantiates the world picked by `choice` (row index per live
-    /// component; indices into `self.components`).
-    pub fn instantiate(&self, choice: &HashMap<usize, usize>) -> Result<World> {
+    /// Instantiates the world picked by `choice`: a **dense** row-index
+    /// vector with one slot per component slot (`choice[c]` is the chosen
+    /// row of component `c`; slots of dead components are ignored). No
+    /// per-world allocation beyond the output relation itself.
+    pub fn instantiate(&self, choice: &[usize]) -> Result<World> {
+        if choice.len() < self.components.len() {
+            return Err(Error::InvalidExpr(format!(
+                "choice vector has {} slots for {} components",
+                choice.len(),
+                self.components.len()
+            )));
+        }
         let mut w = World::new();
         for (name, tpl) in &self.relations {
             let mut rel = Relation::empty(tpl.schema.clone());
@@ -400,8 +631,7 @@ impl Wsd {
                     let (c, col) = self
                         .field_loc(Field::exists(t.tid))
                         .ok_or_else(|| Error::InvalidExpr(format!("unmapped ∃ of {}", t.tid)))?;
-                    let row = self.chosen_row(c, choice)?;
-                    if row.cells[col].is_bottom() {
+                    if self.chosen_cell(c, col, choice)?.is_bottom() {
                         continue 'tuples;
                     }
                 }
@@ -414,8 +644,7 @@ impl Wsd {
                                 self.field_loc(Field::attr(t.tid, i as u32)).ok_or_else(|| {
                                     Error::InvalidExpr(format!("unmapped field {}.#{}", t.tid, i))
                                 })?;
-                            let row = self.chosen_row(c, choice)?;
-                            match &row.cells[col] {
+                            match self.chosen_cell(c, col, choice)? {
                                 Cell::Val(v) => vals.push(v.clone()),
                                 // ⊥ on any field means the tuple does not
                                 // exist in this world.
@@ -431,21 +660,24 @@ impl Wsd {
         Ok(w)
     }
 
-    fn chosen_row(&self, comp: usize, choice: &HashMap<usize, usize>) -> Result<&CompRow> {
+    fn chosen_cell<'a>(&'a self, comp: usize, col: usize, choice: &[usize]) -> Result<&'a Cell> {
         let c = self
             .component(comp)
             .ok_or_else(|| Error::InvalidExpr(format!("dead component {comp}")))?;
-        let &r = choice
-            .get(&comp)
-            .ok_or_else(|| Error::InvalidExpr(format!("no choice for component {comp}")))?;
-        c.rows()
-            .get(r)
-            .ok_or_else(|| Error::InvalidExpr(format!("row {r} out of range in component {comp}")))
+        let r = choice[comp];
+        if r >= c.num_rows() {
+            return Err(Error::InvalidExpr(format!(
+                "row {r} out of range in component {comp}"
+            )));
+        }
+        Ok(c.cell(r, col))
     }
 
     /// Enumerates the full world-set (all combinations of component rows).
     /// Fails if the combinatorial count exceeds `max_worlds` — enumeration
     /// is for oracle/testing scale only; that is the whole point of WSDs.
+    /// Uses a single dense choice vector updated in place by the odometer:
+    /// no per-world map allocation or rehashing.
     pub fn to_worldset(&self, max_worlds: usize) -> Result<WorldSet> {
         let live = self.live_components();
         let count = self.world_count();
@@ -460,13 +692,11 @@ impl Wsd {
             .iter()
             .map(|&i| self.component(i).expect("live").num_rows())
             .collect();
-        let mut idx = vec![0usize; live.len()];
+        let mut choice = vec![0usize; self.components.len()];
         loop {
-            let choice: HashMap<usize, usize> =
-                live.iter().copied().zip(idx.iter().copied()).collect();
             let mut p = 1.0;
-            for (&c, &r) in live.iter().zip(&idx) {
-                p *= self.component(c).expect("live").rows()[r].p;
+            for &c in &live {
+                p *= self.component(c).expect("live").prob(choice[c]);
             }
             ws.push(self.instantiate(&choice)?, p);
 
@@ -476,11 +706,12 @@ impl Wsd {
                     return Ok(ws);
                 }
                 k -= 1;
-                idx[k] += 1;
-                if idx[k] < widths[k] {
+                let c = live[k];
+                choice[c] += 1;
+                if choice[c] < widths[k] {
                     break;
                 }
-                idx[k] = 0;
+                choice[c] = 0;
             }
         }
     }
@@ -489,9 +720,9 @@ impl Wsd {
     // Validation, accounting
     // ------------------------------------------------------------------
 
-    /// Checks all structural invariants: component validity, field-map
-    /// consistency, template arity and typing of certain cells, open cells
-    /// mapped, existence fields mapped.
+    /// Checks all structural invariants: component validity, field-map and
+    /// reverse-index consistency, template arity and typing of certain
+    /// cells, open cells mapped, existence fields mapped.
     pub fn validate(&self) -> Result<()> {
         for c in self.components.iter().flatten() {
             c.validate()?;
@@ -506,6 +737,18 @@ impl Wsd {
                     comp.num_fields()
                 )));
             }
+            if !self.fields_at(c, col).contains(f) {
+                return Err(Error::InvalidExpr(format!(
+                    "field {f} missing from the reverse index at ({c}, {col})"
+                )));
+            }
+        }
+        let rev_count: usize = self.rev.iter().flatten().map(Vec::len).sum();
+        if rev_count != self.field_map.len() {
+            return Err(Error::InvalidExpr(format!(
+                "reverse index holds {rev_count} entries for {} mapped fields",
+                self.field_map.len()
+            )));
         }
         for (name, tpl) in &self.relations {
             for t in &tpl.tuples {
@@ -594,22 +837,31 @@ impl Wsd {
         }
     }
 
-    /// Drops tombstoned component slots, remapping the field map. Call
-    /// after batches of merges to keep indices dense.
+    /// Drops tombstoned component slots, remapping the field map, reverse
+    /// index and dirty set. Call after batches of merges to keep indices
+    /// dense.
     pub fn compact(&mut self) {
-        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut remap: Vec<Option<usize>> = vec![None; self.components.len()];
         let mut new_comps: Vec<Option<Component>> = Vec::with_capacity(self.components.len());
-        for (i, c) in self.components.drain(..).enumerate() {
+        let mut new_rev: Vec<Vec<Vec<Field>>> = Vec::with_capacity(self.rev.len());
+        let old_rev = std::mem::take(&mut self.rev);
+        for ((i, c), rev_row) in self.components.drain(..).enumerate().zip(old_rev) {
             if let Some(c) = c {
-                remap.insert(i, new_comps.len());
+                remap[i] = Some(new_comps.len());
                 new_comps.push(Some(c));
+                new_rev.push(rev_row);
             }
         }
         self.components = new_comps;
-        self.field_map.retain(|_, loc| remap.contains_key(&loc.0));
+        self.rev = new_rev;
+        self.field_map.retain(|_, loc| remap[loc.0].is_some());
         for loc in self.field_map.values_mut() {
-            loc.0 = remap[&loc.0];
+            loc.0 = remap[loc.0].expect("retained");
         }
+        self.dirty = std::mem::take(&mut self.dirty)
+            .into_iter()
+            .filter_map(|i| remap.get(i).copied().flatten())
+            .collect();
     }
 }
 
@@ -716,6 +968,41 @@ mod tests {
         w.validate().unwrap();
         assert_eq!(w.components.len(), 1);
         assert_eq!(w.to_worldset(100).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn reverse_index_tracks_mutations() {
+        let mut w = orset_wsd();
+        let live = w.live_components();
+        let t0 = w.relation("r").unwrap().tuples[0].tid;
+        assert_eq!(w.fields_at(live[0], 0), &[Field::attr(t0, 0)]);
+        // aliasing adds a second entry at the same location
+        let alias = Field::attr(Tid(99), 0);
+        w.alias_field(alias, (live[0], 0));
+        assert_eq!(w.fields_at(live[0], 0).len(), 2);
+        // re-aliasing moves it
+        w.alias_field(alias, (live[1], 0));
+        assert_eq!(w.fields_at(live[0], 0).len(), 1);
+        assert!(w.fields_at(live[1], 0).contains(&alias));
+        // merging retargets the reverse index wholesale
+        let merged = w.merge_components(&live).unwrap();
+        assert!(w.fields_at(merged, 0).contains(&Field::attr(t0, 0)));
+        assert!(w.fields_at(merged, 1).contains(&alias));
+        w.unmap_field(alias);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn dirty_set_marks_touched_components() {
+        let mut w = orset_wsd();
+        let live = w.live_components();
+        assert_eq!(w.dirty_components(), live, "construction marks dirty");
+        let drained = w.take_dirty();
+        assert_eq!(drained, live);
+        assert!(w.dirty_components().is_empty());
+        // mutable access re-marks
+        let _ = w.component_mut(live[1]);
+        assert_eq!(w.dirty_components(), vec![live[1]]);
     }
 
     #[test]

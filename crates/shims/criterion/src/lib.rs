@@ -1,0 +1,240 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, `BenchmarkId`, benchmark groups with
+//! `sample_size` / `bench_with_input` / `bench_function`, and the
+//! `criterion_group!` / `criterion_main!` macros. Bench targets must set
+//! `harness = false` (as with real criterion).
+//!
+//! Beyond timing to stdout, every bench run writes a machine-readable
+//! summary to `BENCH_<experiment>.json` in the workspace root (or
+//! `$MAYBMS_BENCH_DIR`), so successive PRs have a recorded perf
+//! trajectory. `<experiment>` is the leading `eN` of the bench target
+//! name, or the whole name when it has no such prefix. Set
+//! `MAYBMS_BENCH_FAST=1` to cap measurement time for smoke runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    id: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    results: Vec<Measurement>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { results: Vec::new(), sample_size: 10 }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("MAYBMS_BENCH_FAST").map(|v| v != "0").unwrap_or(false)
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: 10 }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let m = run_bench(name.to_string(), self.sample_size, |b| f(b));
+        self.results.push(m);
+        self
+    }
+
+    /// Writes `BENCH_<experiment>.json` and prints a summary table.
+    pub fn finalize(&self) {
+        let target = bench_target_name();
+        let experiment = target
+            .split('_')
+            .next()
+            .filter(|p| p.len() >= 2 && p.starts_with('e') && p[1..].chars().all(|c| c.is_ascii_digit()))
+            .unwrap_or(&target)
+            .to_string();
+        let dir = std::env::var("MAYBMS_BENCH_DIR").unwrap_or_else(|_| {
+            // CARGO_MANIFEST_DIR points at crates/bench; the workspace root
+            // is two levels up.
+            match std::env::var("CARGO_MANIFEST_DIR") {
+                Ok(m) => format!("{m}/../.."),
+                Err(_) => ".".to_string(),
+            }
+        });
+        let path = format!("{dir}/BENCH_{experiment}.json");
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"bench\": {:?},\n", target));
+        json.push_str("  \"results\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": {:?}, \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+                m.id,
+                m.mean_ns,
+                m.iters,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+fn bench_target_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .map(|stem| match stem.rsplit_once('-') {
+            // cargo appends a metadata hash: `e1_storage-0a1b…`.
+            Some((name, hash)) if hash.chars().all(|c| c.is_ascii_hexdigit()) => name.to_string(),
+            _ => stem,
+        })
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let m = run_bench(full, self.sample_size, |b| f(b, input));
+        self.c.results.push(m);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let m = run_bench(full, self.sample_size, |b| f(b));
+        self.c.results.push(m);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: one call, also used to size the measurement loop.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+
+        let budget = if fast_mode() {
+            Duration::from_millis(80)
+        } else {
+            Duration::from_millis(400)
+        };
+        let per_sample = (budget.as_nanos() / (self.sample_size as u128).max(1)).max(1);
+        let iters_per_sample = (per_sample / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            total += t.elapsed();
+            iters += iters_per_sample;
+            if total > budget * 2 {
+                break;
+            }
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, mut f: F) -> Measurement {
+    let mut b = Bencher { sample_size, total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let mean_ns = if b.iters > 0 {
+        b.total.as_nanos() as f64 / b.iters as f64
+    } else {
+        0.0
+    };
+    println!("bench {id}: mean {}  ({} iters)", fmt_ns(mean_ns), b.iters);
+    Measurement { id, mean_ns, iters: b.iters }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Re-export so call sites can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}

@@ -1,0 +1,470 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no network access, so this crate provides an
+//! API-compatible sliver of proptest: composable random-value strategies
+//! (`Just`, ranges, tuples, `prop_oneof!`, `prop::collection`, simple
+//! `"[a-c]{0,3}"` string patterns, `prop_recursive`) and the `proptest!` /
+//! `prop_assert*` macros. Cases are generated from a per-test deterministic
+//! seed; there is **no shrinking** — a failing case prints its index and
+//! seed so it can be replayed by rerunning the test.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic xorshift64* generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(seed | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a over a test name: the per-test seed.
+pub fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy so heterogeneous strategies can be unioned.
+    fn boxed(self) -> Strat<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        Strat::new(move |rng| s.generate(rng))
+    }
+
+    fn prop_map<O: 'static, F>(self, f: F) -> Strat<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let s = self;
+        Strat::new(move |rng| f(s.generate(rng)))
+    }
+
+    /// Recursive strategies, unrolled to `depth` levels. `_size` and
+    /// `_branch` are accepted for API compatibility and ignored.
+    fn prop_recursive<F>(self, depth: u32, _size: u32, _branch: u32, f: F) -> Strat<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(Strat<Self::Value>) -> Strat<Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur);
+            cur = Strat::union(vec![leaf.clone(), deeper]);
+        }
+        cur
+    }
+}
+
+/// The type-erased strategy every combinator produces.
+pub struct Strat<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for Strat<T> {
+    fn clone(&self) -> Self {
+        Strat { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Strat<T> {
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Strat<T> {
+        Strat { f: Rc::new(f) }
+    }
+
+    /// Picks one of the given strategies uniformly per generated value.
+    pub fn union(arms: Vec<Strat<T>>) -> Strat<T> {
+        assert!(!arms.is_empty(), "prop_oneof! of zero strategies");
+        Strat::new(move |rng| {
+            let i = rng.below(arms.len() as u64) as usize;
+            arms[i].generate(rng)
+        })
+    }
+}
+
+impl<T> Strategy for Strat<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over an empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+int_strategies!(i64, u64, i32, u32, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// String patterns of the shape `[a-cx]{m,n}` (a character class with a
+/// repetition count), the only regex form the workspace's tests use.
+/// Anything else is treated as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((chars, lo, hi)) => {
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+fn parse_class_pattern(p: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = p.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars: Vec<char> = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i], cs[i + 2]);
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    Some((chars, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+// ---------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    fn arbitrary() -> Strat<Self>;
+}
+
+pub fn any<T: Arbitrary>() -> Strat<T> {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> Strat<bool> {
+        Strat::new(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary() -> Strat<u64> {
+        Strat::new(|rng| rng.next_u64())
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary() -> Strat<i64> {
+        Strat::new(|rng| rng.next_u64() as i64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strat, Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        pub fn vec<S>(elem: S, size: Range<usize>) -> Strat<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            assert!(size.start < size.end, "vec strategy over an empty size range");
+            Strat::new(move |rng: &mut TestRng| {
+                let span = (size.end - size.start) as u64;
+                let n = size.start + rng.below(span) as usize;
+                (0..n).map(|_| elem.generate(rng)).collect()
+            })
+        }
+
+        pub fn btree_set<S>(elem: S, size: Range<usize>) -> Strat<BTreeSet<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: Ord,
+        {
+            assert!(size.start < size.end, "btree_set strategy over an empty size range");
+            Strat::new(move |rng: &mut TestRng| {
+                let span = (size.end - size.start) as u64;
+                let n = size.start + rng.below(span) as usize;
+                let mut out = BTreeSet::new();
+                // Small domains may not admit n distinct values; cap tries.
+                for _ in 0..(n * 20).max(20) {
+                    if out.len() >= n {
+                        break;
+                    }
+                    out.insert(elem.generate(rng));
+                }
+                if out.is_empty() && n > 0 {
+                    out.insert(elem.generate(rng));
+                }
+                out
+            })
+        }
+    }
+}
+
+// Re-exported so `use proptest::prelude::*` + `prop::collection::vec` works.
+pub use self::prop as collection_ns;
+
+// ---------------------------------------------------------------------
+// Config, errors, macros
+// ---------------------------------------------------------------------
+
+/// Run configuration; only `cases` is interpreted. `max_shrink_iters`
+/// exists for struct-update compatibility with the real API (the shim
+/// never shrinks).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128, max_shrink_iters: 0 }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let seed = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = $crate::TestRng::from_seed(seed);
+                #[allow(unused_variables)]
+                for case in 0..cfg.cases {
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name), case, cfg.cases, seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($a), stringify!($b), __a, __b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Strat::union(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strat, Strategy, TestCaseError, TestRng,
+    };
+    /// `BoxedStrategy<T>` is an alias of the shim's one strategy type.
+    pub type BoxedStrategy<T> = crate::Strat<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn strategies_generate_in_domain() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (0i64..4).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..8).contains(&v));
+        }
+        let t = ("[a-c]{0,3}", Just(7u64), 0i64..2);
+        for _ in 0..100 {
+            let (s, j, i) = t.generate(&mut rng);
+            assert!(s.len() <= 3 && s.chars().all(|c| ('a'..='c').contains(&c)));
+            assert_eq!(j, 7);
+            assert!((0..2).contains(&i));
+        }
+        let v = prop::collection::vec(0i64..3, 1..4);
+        for _ in 0..50 {
+            let xs = v.generate(&mut rng);
+            assert!((1..4).contains(&xs.len()));
+        }
+        let bs = prop::collection::btree_set(0i64..4, 1..3);
+        for _ in 0..50 {
+            let s: BTreeSet<i64> = bs.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        let mut rng = TestRng::from_seed(9);
+        let leaf = Just(0u64);
+        let rec = leaf.prop_recursive(3, 12, 2, |inner| {
+            prop_oneof![inner.clone().prop_map(|v| v + 1), inner.prop_map(|v| v + 2)]
+        });
+        for _ in 0..200 {
+            assert!(rec.generate(&mut rng) <= 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #[test]
+        fn macro_binds_args(a in 0i64..10, b in any::<bool>()) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(b & !b, false, "contradiction is always false, got {}", b);
+        }
+    }
+}

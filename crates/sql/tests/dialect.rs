@@ -53,7 +53,8 @@ fn every_statement_form_parses() {
 #[test]
 fn execution_smoke_for_all_query_forms() {
     let mut s = fresh();
-    let cases: &[(&str, fn(&QueryResult) -> bool)] = &[
+    type Check = fn(&QueryResult) -> bool;
+    let cases: &[(&str, Check)] = &[
         ("SELECT * FROM emp", |r| r.world_set().is_some()),
         ("SELECT POSSIBLE name FROM emp", |r| r.table().map(|t| t.len()) == Some(3)),
         ("SELECT CERTAIN name FROM emp", |r| r.table().map(|t| t.len()) == Some(3)),

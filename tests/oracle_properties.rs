@@ -4,10 +4,10 @@
 
 use proptest::prelude::*;
 
-use maybms_core::algebra::Query;
+use maybms_core::algebra::{extract, join_op, join_op_nested, Query};
 use maybms_core::chase::{clean, Constraint};
 use maybms_core::convert::from_worldset;
-use maybms_core::normalize::{normalize, normalize_full};
+use maybms_core::normalize::{normalize, normalize_from_scratch, normalize_full};
 use maybms_core::prob;
 use maybms_core::wsd::Wsd;
 use maybms_relational::{ColumnType, Expr, Schema, Value};
@@ -168,5 +168,58 @@ proptest! {
         let count = wsd.world_count().to_u64().expect("small");
         let ws = wsd.to_worldset(1 << 16).expect("enumerate");
         prop_assert_eq!(count as usize, ws.len());
+    }
+
+    /// The hash-partitioned equi-join is world-equivalent to the
+    /// nested-loop reference on randomized inputs, for pure equality and
+    /// for mixed equality+residual predicates (including self-joins, where
+    /// correlations must be preserved identically by both paths).
+    #[test]
+    fn hash_join_equals_nested_loop(wsd in arb_wsd(), residual in any::<bool>(), v in 0i64..4) {
+        // self-join r ⋈ r on x.a = y.b (optionally plus a residual conjunct)
+        let mut base = wsd.clone();
+        let lhs_name = "xq";
+        let rhs_name = "yq";
+        maybms_core::algebra::qualify_op(&mut base, "r", "x", lhs_name).expect("qualify x");
+        maybms_core::algebra::qualify_op(&mut base, "r", "y", rhs_name).expect("qualify y");
+        let pred = if residual {
+            Expr::col("x.a").eq(Expr::col("y.b")).and(Expr::col("x.b").ne(Expr::lit(v)))
+        } else {
+            Expr::col("x.a").eq(Expr::col("y.b"))
+        };
+
+        let mut hashed = base.clone();
+        join_op(&mut hashed, lhs_name, rhs_name, &pred, "out").expect("hash join");
+        let hashed = extract(hashed, "out", "result").expect("extract");
+        hashed.validate().expect("valid hash result");
+
+        let mut nested = base.clone();
+        join_op_nested(&mut nested, lhs_name, rhs_name, &pred, "out").expect("nested join");
+        let nested = extract(nested, "out", "result").expect("extract");
+        nested.validate().expect("valid nested result");
+
+        let a = hashed.to_worldset(1 << 16).expect("enumerate hash");
+        let b = nested.to_worldset(1 << 16).expect("enumerate nested");
+        prop_assert!(a.equivalent(&b, 1e-9), "hash join diverged from nested loop");
+    }
+
+    /// Incremental (dirty-set) normalization is world-equivalent to the
+    /// full-pass reference after arbitrary queries: `Query::eval` runs the
+    /// incremental path internally; re-normalizing its result from scratch
+    /// must change nothing.
+    #[test]
+    fn incremental_normalize_equals_full_pass(wsd in arb_wsd(), q in arb_query()) {
+        if let Ok(result) = q.eval(&wsd) {
+            // eval's output was incrementally normalized; a full pass on a
+            // copy must be a no-op up to world-set equivalence
+            let mut full = result.clone();
+            normalize_from_scratch(&mut full);
+            full.validate().expect("valid after full pass");
+            let a = result.to_worldset(1 << 16).expect("enumerate incremental");
+            let b = full.to_worldset(1 << 16).expect("enumerate full");
+            prop_assert!(a.equivalent(&b, 1e-9), "incremental normalize left semantic residue");
+            // and the full pass finds nothing left to shrink
+            prop_assert_eq!(result.stats(), full.stats());
+        }
     }
 }
