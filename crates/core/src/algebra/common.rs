@@ -179,3 +179,25 @@ pub(crate) fn possible_values_of(
 pub(crate) fn values_intersect(a: &[Value], b: &[Value]) -> bool {
     a.iter().any(|x| b.iter().any(|y| x.sql_eq(y) == Some(true)))
 }
+
+/// The hash-partitioning bucket index shared by the equi-join and the
+/// chase: tuple index `i` lands in one bucket per possible non-NULL
+/// value of its key column (`key_values(i)`). Tuples with multiple
+/// possible key values appear in several buckets; probers deduplicate.
+pub(crate) fn bucket_by_possible_values<'a, I>(
+    n: usize,
+    key_values: impl Fn(usize) -> I,
+) -> HashMap<Value, Vec<usize>>
+where
+    I: IntoIterator<Item = &'a Value>,
+{
+    let mut buckets: HashMap<Value, Vec<usize>> = HashMap::with_capacity(n);
+    for i in 0..n {
+        for v in key_values(i) {
+            if !v.is_null() {
+                buckets.entry(v.clone()).or_default().push(i);
+            }
+        }
+    }
+    buckets
+}

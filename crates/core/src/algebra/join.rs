@@ -31,9 +31,11 @@ use crate::field::Field;
 use crate::wsd::{Existence, TupleTemplate, Wsd};
 
 use super::common::{
-    add_exists_column, alias_cells, bind_pred, certain_values_at, dead_in_row, eval_partial,
-    exists_loc, open_fields_at, possible_values_of, snapshot, values_intersect, TupleInfo,
+    add_exists_column, alias_cells, bind_pred, bucket_by_possible_values, certain_values_at,
+    dead_in_row, eval_partial, exists_loc, open_fields_at, possible_values_of, snapshot,
+    values_intersect, TupleInfo,
 };
+use crate::exec::WorkerPool;
 
 /// input_l × input_r → out (cartesian product).
 pub fn product_op(wsd: &mut Wsd, left: &str, right: &str, out: &str) -> Result<()> {
@@ -118,8 +120,28 @@ fn nested_scan(wsd: &mut Wsd, p: &JoinPrep, out: &str) -> Result<()> {
 }
 
 /// input_l ⋈_pred input_r → out. Hash-partitioned when an equality
-/// conjunct spans the two sides; nested loop otherwise.
+/// conjunct spans the two sides; nested loop otherwise. Sequential —
+/// see [`join_op_in`] for the pool-parallel probe.
 pub fn join_op(wsd: &mut Wsd, left: &str, right: &str, pred: &Expr, out: &str) -> Result<()> {
+    join_op_in(wsd, left, right, pred, out, WorkerPool::sequential())
+}
+
+/// [`join_op`] with the probe phase fanned out over `pool`.
+///
+/// The probe splits in two: a read-only phase that, per left tuple,
+/// gathers candidate right tuples from its key buckets and prunes them
+/// through the residual equality conjuncts (parallel — this is the
+/// O(|L|) hot half), and a serial emit phase that materializes the
+/// surviving pairs in left-then-right order, so the output is identical
+/// to the nested-loop reference at every worker count.
+pub fn join_op_in(
+    wsd: &mut Wsd,
+    left: &str,
+    right: &str,
+    pred: &Expr,
+    out: &str,
+    pool: &WorkerPool,
+) -> Result<()> {
     let p = prepare_join(wsd, left, right, pred, out)?;
     if p.eq_pairs.is_empty() {
         return nested_scan(wsd, &p, out);
@@ -127,49 +149,37 @@ pub fn join_op(wsd: &mut Wsd, left: &str, right: &str, pred: &Expr, out: &str) -
     let JoinPrep { lt, rt, bound, positions, larity, arity, eq_pairs, l_poss, r_poss } = p;
 
     // Partition the right side on the first equality conjunct: bucket by
-    // every possible non-NULL key value.
-    let mut buckets: HashMap<Value, Vec<usize>> = HashMap::with_capacity(rt.len());
-    for (ri, vals) in r_poss.per_tuple.iter().enumerate() {
-        for v in &vals[0] {
-            if !v.is_null() {
-                buckets.entry(v.clone()).or_default().push(ri);
-            }
-        }
-    }
+    // every possible non-NULL key value (index shared with the chase).
+    let buckets: HashMap<Value, Vec<usize>> =
+        bucket_by_possible_values(rt.len(), |ri| &r_poss.per_tuple[ri][0]);
 
-    // Probe: per left tuple, gather candidate right tuples from its key
-    // buckets, dedup with a stamp vector, and emit in right-tuple order so
-    // the output matches the nested-loop path exactly.
-    let mut stamp: Vec<u32> = vec![0; rt.len()];
-    let mut cur: u32 = 0;
-    let mut cand: Vec<usize> = Vec::new();
-    for (li, t) in lt.iter().enumerate() {
-        cur += 1;
-        cand.clear();
+    // Parallel probe: per left tuple, candidate right tuples in ascending
+    // order, already pruned by the residual equality conjuncts.
+    let cands: Vec<Vec<usize>> = pool.map(&lt, |li, _| {
+        let mut cand: Vec<usize> = Vec::new();
         for v in &l_poss.per_tuple[li][0] {
             if v.is_null() {
                 continue;
             }
             if let Some(rs) = buckets.get(v) {
-                for &ri in rs {
-                    if stamp[ri] != cur {
-                        stamp[ri] = cur;
-                        cand.push(ri);
-                    }
-                }
+                cand.extend_from_slice(rs);
             }
         }
         cand.sort_unstable();
-        wsd.reserve_tuples(out, cand.len());
-        for &ri in &cand {
-            // residual equality conjuncts prune exactly as the nested loop
-            let residual_ok = (1..eq_pairs.len()).all(|k| {
+        cand.dedup();
+        cand.retain(|&ri| {
+            (1..eq_pairs.len()).all(|k| {
                 values_intersect(&l_poss.per_tuple[li][k], &r_poss.per_tuple[ri][k])
-            });
-            if !residual_ok {
-                continue;
-            }
-            emit_pair(wsd, &bound, &positions, larity, out, t, &rt[ri], arity)?;
+            })
+        });
+        cand
+    });
+
+    // Serial emit, in the exact order of the sequential/nested paths.
+    for (li, cand) in cands.iter().enumerate() {
+        wsd.reserve_tuples(out, cand.len());
+        for &ri in cand {
+            emit_pair(wsd, &bound, &positions, larity, out, &lt[li], &rt[ri], arity)?;
         }
     }
     Ok(())

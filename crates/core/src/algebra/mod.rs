@@ -23,7 +23,7 @@ mod select;
 mod union;
 
 pub use difference::difference_op;
-pub use join::{join_op, join_op_nested, product_op};
+pub use join::{join_op, join_op_in, join_op_nested, product_op};
 pub use project::project_op;
 pub use rename::{qualify_op, rename_op};
 pub use select::select_op;
@@ -212,7 +212,17 @@ impl Query {
 
 /// Keeps only `rel` (renamed to `as_name`), drops everything else, and
 /// normalizes. This is the final step of query evaluation.
-pub fn extract(mut wsd: Wsd, rel: &str, as_name: &str) -> Result<Wsd> {
+pub fn extract(wsd: Wsd, rel: &str, as_name: &str) -> Result<Wsd> {
+    extract_in(wsd, rel, as_name, crate::exec::WorkerPool::sequential())
+}
+
+/// [`extract`] with the normalization passes routed through `pool`.
+pub fn extract_in(
+    mut wsd: Wsd,
+    rel: &str,
+    as_name: &str,
+    pool: &crate::exec::WorkerPool,
+) -> Result<Wsd> {
     wsd.relation(rel)?;
     let keep: Vec<String> = wsd
         .relation_names()
@@ -232,7 +242,7 @@ pub fn extract(mut wsd: Wsd, rel: &str, as_name: &str) -> Result<Wsd> {
         .map(|t| t.tid)
         .collect();
     wsd.retain_fields(|f| kept_tids.contains(&f.tid));
-    normalize::normalize(&mut wsd);
+    normalize::normalize_in(&mut wsd, pool);
     Ok(wsd)
 }
 

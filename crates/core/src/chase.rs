@@ -17,9 +17,9 @@ use crate::normalize;
 use crate::wsd::{Existence, TemplateCell, Wsd};
 
 use crate::algebra::common::{
-    bind_pred, certain_values_at, eval_partial, exists_loc as exists_loc_support,
-    open_fields_at as open_fields_support, snapshot, values_intersect,
-    TupleInfo as TupleInfoS,
+    bind_pred, bucket_by_possible_values, certain_values_at, eval_partial,
+    exists_loc as exists_loc_support, open_fields_at as open_fields_support,
+    possible_values_of, snapshot, values_intersect, TupleInfo as TupleInfoS,
 };
 
 /// An integrity constraint.
@@ -332,36 +332,49 @@ fn enforce_fd(
         .collect::<Result<_>>()?;
     let all_pos: Vec<usize> = li.iter().chain(ri.iter()).copied().collect();
 
-    // Pair pruning at scale: tuples whose lhs is fully certain can only
-    // violate against tuples with the same certain lhs (hash-partitioned);
-    // tuples with an uncertain lhs field (rare under or-set noise) are
-    // compared against everyone sharing a possible lhs value.
-    let mut by_certain_lhs: std::collections::HashMap<Vec<Value>, Vec<usize>> =
-        std::collections::HashMap::new();
-    let mut uncertain_lhs: Vec<usize> = Vec::new();
-    for (i, t) in tuples.iter().enumerate() {
-        let key: Option<Vec<Value>> = li.iter().map(|&p| cert(t, p).cloned()).collect();
-        match key {
-            Some(k) => by_certain_lhs.entry(k).or_default().push(i),
-            None => uncertain_lhs.push(i),
-        }
+    // Pair pruning at scale, sharing the equi-join's bucket index: every
+    // tuple's possible values at the constrained positions are derived
+    // ONCE (component columns read through the field map), then tuples
+    // are hash-partitioned by the possible values of the first lhs
+    // column. Only pairs sharing a bucket can agree on the lhs, so
+    // candidate generation is O(|R| + candidates), not O(|R|²), and the
+    // per-pair prunes below reuse the precomputed value sets instead of
+    // re-deriving them. The precomputed sets can only be supersets of
+    // the live ones after earlier deletions, so pruning stays sound (the
+    // kill closure re-reads live rows).
+    let mut poss: Vec<Vec<Vec<Value>>> = Vec::with_capacity(tuples.len());
+    for t in &tuples {
+        let per: Vec<Vec<Value>> = all_pos
+            .iter()
+            .map(|&p| possible_values_of(wsd, rel, t, p))
+            .collect::<Result<_>>()?;
+        poss.push(per);
     }
+    let nl = li.len();
     let mut pairs: Vec<(usize, usize)> = Vec::new();
-    for group in by_certain_lhs.values() {
-        for (a, &i) in group.iter().enumerate() {
-            for &j in group.iter().skip(a + 1) {
+    if nl == 0 {
+        // degenerate FD with empty lhs: every pair shares the (empty) key
+        for i in 0..tuples.len() {
+            for j in (i + 1)..tuples.len() {
                 pairs.push((i, j));
             }
         }
-    }
-    for (a, &i) in uncertain_lhs.iter().enumerate() {
-        for &j in uncertain_lhs.iter().skip(a + 1) {
-            pairs.push((i, j));
-        }
-        for group in by_certain_lhs.values() {
-            for &j in group {
-                pairs.push((i, j));
+    } else {
+        let buckets = bucket_by_possible_values(tuples.len(), |i| &poss[i][0]);
+        let mut cand: Vec<usize> = Vec::new();
+        for (i, p) in poss.iter().enumerate() {
+            cand.clear();
+            for v in &p[0] {
+                if v.is_null() {
+                    continue;
+                }
+                if let Some(js) = buckets.get(v) {
+                    cand.extend(js.iter().copied().filter(|&j| j > i));
+                }
             }
+            cand.sort_unstable();
+            cand.dedup();
+            pairs.extend(cand.iter().map(|&j| (i, j)));
         }
     }
 
@@ -370,28 +383,15 @@ fn enforce_fd(
         {
             report.checks += 1;
             // prune: lhs must be able to agree
-            let mut can_agree = true;
-            for &pos in &li {
-                let tv = possible(wsd, rel, t, pos)?;
-                let uv = possible(wsd, rel, u, pos)?;
-                if !values_intersect(&tv, &uv) {
-                    can_agree = false;
-                    break;
-                }
-            }
+            let can_agree = (0..nl).all(|k| values_intersect(&poss[i][k], &poss[j][k]));
             if !can_agree {
                 continue;
             }
             // prune: rhs must be able to differ
-            let mut can_differ = false;
-            for &pos in &ri {
-                let tv = possible(wsd, rel, t, pos)?;
-                let uv = possible(wsd, rel, u, pos)?;
-                if tv.len() > 1 || uv.len() > 1 || tv.first() != uv.first() {
-                    can_differ = true;
-                    break;
-                }
-            }
+            let can_differ = (nl..all_pos.len()).any(|k| {
+                let (tv, uv) = (&poss[i][k], &poss[j][k]);
+                tv.len() > 1 || uv.len() > 1 || tv.first() != uv.first()
+            });
             if !can_differ {
                 continue;
             }
@@ -478,10 +478,6 @@ fn enforce_fd(
         }
     }
     Ok(())
-}
-
-fn possible(wsd: &Wsd, rel: &str, t: &TupleInfoS, pos: usize) -> Result<Vec<Value>> {
-    crate::algebra::common::possible_values_of(wsd, rel, t, pos)
 }
 
 fn cert(t: &TupleInfoS, pos: usize) -> Option<&Value> {

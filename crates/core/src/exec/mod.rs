@@ -1,0 +1,37 @@
+//! # The physical execution layer
+//!
+//! The pipeline above this module stops at a rule-rewritten logical
+//! [`crate::algebra::Query`] tree. This module adds the explicit
+//! physical layer underneath it:
+//!
+//! * [`plan`] — [`PhysicalPlan`], a DAG of [`PhysOp`] operator nodes
+//!   (scan, filter, project, hash-join, nested-loop fallback, product,
+//!   union, difference, dedup), compiled from the logical tree by
+//!   simple rules: equi-join detection picks the hash strategy,
+//!   pushed-down predicates stay where the optimizer placed them, and
+//!   `DISTINCT` is elided when the input is already set-shaped.
+//! * [`pool`] — [`WorkerPool`], a hand-rolled fixed worker pool
+//!   (`std::thread` + a mutex/condvar queue; the container builds
+//!   offline, so no rayon). Its `map` primitive is order-preserving and
+//!   deterministic at every worker count. Worker count comes from
+//!   `MAYBMS_WORKERS` or the machine's available parallelism.
+//! * [`run`] — [`Executor`], which walks the plan against a
+//!   decomposition and routes the embarrassingly parallel passes
+//!   through the pool: per-component scans in
+//!   [`crate::normalize::normalize_in`], per-cluster distributions in
+//!   [`crate::prob::tuple_confidence_opts_in`], and per-tuple probe
+//!   work in [`crate::algebra::join_op_in`].
+//!
+//! The physical executor is world-equivalent to the logical interpreter
+//! ([`crate::algebra::Query::eval`]) at every worker count — property
+//! tests in `tests/oracle_properties.rs` enforce this for worker counts
+//! 1, 2 and N. This seam is where later scaling work (sharding, async
+//! sessions, multi-backend) plugs in.
+
+pub mod plan;
+pub mod pool;
+pub mod run;
+
+pub use plan::{compile, explain_physical, schema_of, PhysOp, PhysicalPlan};
+pub use pool::{default_workers, global_pool, WorkerPool};
+pub use run::{dedup_op, Executor};

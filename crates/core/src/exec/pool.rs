@@ -1,0 +1,465 @@
+//! A hand-rolled fixed worker pool: `std::thread` workers around a
+//! mutex/condvar task queue. No external dependencies — the container
+//! builds offline, so rayon-style crates are not an option.
+//!
+//! The pool exposes one primitive, [`WorkerPool::map`] (plus its sibling
+//! [`WorkerPool::map_mut`]): a *blocking* parallel indexed map that
+//! returns results in input order. Blocking is what makes lifetime
+//! erasure sound: the calling thread submits type-erased pointers into
+//! its own stack frame, participates in draining the batch itself, and
+//! does not return until every worker has signalled completion — so the
+//! borrowed batch provably outlives all tasks touching it.
+//!
+//! Determinism: `map` claims indices through a shared atomic cursor but
+//! writes each result into its own slot, so the output is always in
+//! input order and bit-identical to the sequential run (for a pure `f`),
+//! regardless of worker count. The engine relies on this: every parallel
+//! pass (normalize scans, per-cluster confidence, join probing) must
+//! produce the same decomposition at worker counts 1, 2 and N.
+//!
+//! Sizing: [`default_workers`] honours the `MAYBMS_WORKERS` environment
+//! variable and falls back to `std::thread::available_parallelism`.
+//! [`WorkerPool::sequential`] is a shared zero-thread pool used by all
+//! the `*_in` entry points' sequential defaults.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Task plumbing
+// ---------------------------------------------------------------------
+
+/// A type-erased handle to one in-flight [`Batch`]: a raw pointer to the
+/// batch on the submitting thread's stack plus the monomorphized drain
+/// function for it, and the latch to signal when done.
+struct Task {
+    data: *const (),
+    run: unsafe fn(*const ()),
+    latch: Arc<Latch>,
+}
+
+// Safety: `data` points at a `Batch` whose captured references are all
+// `Sync`, and the submitting thread blocks on the latch until every task
+// has run, so the pointee strictly outlives the task.
+unsafe impl Send for Task {}
+
+/// Counts outstanding helper tasks of one `map` call.
+struct Latch {
+    left: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch { left: Mutex::new(n), cv: Condvar::new() }
+    }
+
+    fn done(&self) {
+        let mut left = self.left.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The shared task queue: plain mutex + condvar, closed on pool drop.
+struct Queue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+impl Queue {
+    fn new() -> Queue {
+        Queue {
+            state: Mutex::new(QueueState { tasks: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, t: Task) {
+        let mut s = self.state.lock().expect("queue poisoned");
+        s.tasks.push_back(t);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until a task is available or the queue shuts down.
+    fn pop_blocking(&self) -> Option<Task> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(t) = s.tasks.pop_front() {
+                return Some(t);
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.cv.wait(s).expect("queue poisoned");
+        }
+    }
+
+    fn try_pop(&self) -> Option<Task> {
+        self.state.lock().expect("queue poisoned").tasks.pop_front()
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The batch: one map call's shared state
+// ---------------------------------------------------------------------
+
+/// The shared state of one `map` call: an index cursor, the output slots
+/// and the user closure. Workers (and the calling thread) repeatedly
+/// claim chunks of indices and fill the corresponding slots.
+struct Batch<'a, R, F> {
+    f: &'a F,
+    out: *mut Option<R>,
+    len: usize,
+    chunk: usize,
+    next: &'a AtomicUsize,
+    panicked: &'a AtomicBool,
+}
+
+// Safety: `out` slots are written at most once each (indices are claimed
+// through the atomic cursor), `f` is `Sync`, and results are `Send`.
+unsafe impl<R: Send, F: Sync> Send for Batch<'_, R, F> {}
+unsafe impl<R: Send, F: Sync> Sync for Batch<'_, R, F> {}
+
+impl<R, F: Fn(usize) -> R> Batch<'_, R, F> {
+    /// Claims and processes index chunks until the cursor runs out (or a
+    /// sibling panicked). Never unwinds: panics are recorded and
+    /// re-raised by the submitting thread.
+    fn drain(&self) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            loop {
+                if self.panicked.load(Ordering::Relaxed) {
+                    break;
+                }
+                let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+                if start >= self.len {
+                    break;
+                }
+                let end = (start + self.chunk).min(self.len);
+                for i in start..end {
+                    let r = (self.f)(i);
+                    // Safety: index i was claimed exactly once.
+                    unsafe { self.out.add(i).write(Some(r)) };
+                }
+            }
+        }));
+        if result.is_err() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The monomorphized entry point stored in a [`Task`].
+unsafe fn drain_batch<R, F: Fn(usize) -> R>(p: *const ()) {
+    let batch = &*(p as *const Batch<'_, R, F>);
+    batch.drain();
+}
+
+/// A raw pointer that may cross threads (used by `map_mut`; disjoint
+/// indices guarantee exclusive access per element).
+struct SyncPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer inside it.
+    fn at(&self, i: usize) -> *mut T {
+        // Safety of the offset is the caller's obligation.
+        unsafe { self.0.add(i) }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------
+
+/// A fixed pool of worker threads. `WorkerPool::new(1)` spawns no
+/// threads and runs everything inline on the caller.
+pub struct WorkerPool {
+    workers: usize,
+    queue: Option<Arc<Queue>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers).finish()
+    }
+}
+
+/// Worker count from the environment: `MAYBMS_WORKERS` if set (clamped
+/// to 1..=256), else the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::env::var("MAYBMS_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, 256))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+}
+
+/// The process-wide shared pool, sized by [`default_workers`]. Sessions
+/// default to this so the threads are spawned once per process.
+pub fn global_pool() -> Arc<WorkerPool> {
+    static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(WorkerPool::new(default_workers()))).clone()
+}
+
+impl WorkerPool {
+    /// A pool with `workers` total workers (the calling thread counts as
+    /// one: `new(4)` spawns 3 helper threads).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return WorkerPool { workers, queue: None, handles: Vec::new() };
+        }
+        let queue = Arc::new(Queue::new());
+        let handles = (0..workers - 1)
+            .map(|i| {
+                let q = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("maybms-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(t) = q.pop_blocking() {
+                            // Safety: the submitter keeps the batch alive
+                            // until the latch is signalled below.
+                            unsafe { (t.run)(t.data) };
+                            t.latch.done();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { workers, queue: Some(queue), handles }
+    }
+
+    /// The shared zero-thread pool: `map` runs inline. The `*_in` entry
+    /// points of normalize/prob/join default to this.
+    pub fn sequential() -> &'static WorkerPool {
+        static SEQ: OnceLock<WorkerPool> = OnceLock::new();
+        SEQ.get_or_init(|| WorkerPool::new(1))
+    }
+
+    /// Total worker count (including the calling thread).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Parallel indexed map over a shared slice: `out[i] = f(i, &items[i])`,
+    /// in input order. Runs inline when the pool is sequential or the
+    /// input is a single item.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.for_each_index(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Parallel indexed map with exclusive access to each element:
+    /// `out[i] = f(i, &mut items[i])`. Sound because every index is
+    /// claimed exactly once across workers.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let ptr = SyncPtr(items.as_mut_ptr());
+        self.for_each_index(items.len(), move |i| {
+            // Safety: index i is visited exactly once; elements are disjoint.
+            let item = unsafe { &mut *ptr.at(i) };
+            f(i, item)
+        })
+    }
+
+    /// The scheduling core shared by `map`/`map_mut`.
+    fn for_each_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let queue = match (&self.queue, workers) {
+            (Some(q), w) if w > 1 => q,
+            _ => return (0..n).map(f).collect(),
+        };
+
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let next = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        // Chunked claiming amortizes the cursor contention on fine-grained
+        // items while still balancing uneven per-item costs.
+        let chunk = (n / (workers * 8)).max(1);
+        let batch = Batch {
+            f: &f,
+            out: out.as_mut_ptr(),
+            len: n,
+            chunk,
+            next: &next,
+            panicked: &panicked,
+        };
+
+        let helpers = workers - 1;
+        let latch = Arc::new(Latch::new(helpers));
+        for _ in 0..helpers {
+            queue.push(Task {
+                data: &batch as *const Batch<'_, R, F> as *const (),
+                run: drain_batch::<R, F>,
+                latch: Arc::clone(&latch),
+            });
+        }
+
+        // The calling thread is worker 0.
+        batch.drain();
+
+        // Wait for the helpers, stealing queued tasks meanwhile so nested
+        // or concurrent map calls cannot starve each other.
+        loop {
+            {
+                let left = latch.left.lock().expect("latch poisoned");
+                if *left == 0 {
+                    break;
+                }
+            }
+            if let Some(t) = queue.try_pop() {
+                unsafe { (t.run)(t.data) };
+                t.latch.done();
+                continue;
+            }
+            let left = latch.left.lock().expect("latch poisoned");
+            if *left == 0 {
+                break;
+            }
+            let _ = latch
+                .cv
+                .wait_timeout(left, Duration::from_millis(1))
+                .expect("latch poisoned");
+        }
+
+        if panicked.load(Ordering::SeqCst) {
+            panic!("a maybms worker task panicked");
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index drained"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(q) = self.queue.take() {
+            q.close();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 3, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let got = pool.map(&items, |_, &x| x * 3);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let pool = WorkerPool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place() {
+        let pool = WorkerPool::new(3);
+        let mut items: Vec<u64> = (0..257).collect();
+        let changed = pool.map_mut(&mut items, |_, x| {
+            *x += 1;
+            *x % 2 == 0
+        });
+        assert_eq!(items[0], 1);
+        assert_eq!(items[256], 257);
+        // result i reports whether items[i] = i + 1 is even
+        let expect: Vec<bool> = (0..257u64).map(|i| (i + 1) % 2 == 0).collect();
+        assert_eq!(changed, expect);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(r.is_err(), "panic must propagate to the caller");
+        // the pool keeps working afterwards
+        let ok = pool.map(&items, |_, &x| x + 1);
+        assert_eq!(ok[63], 64);
+    }
+
+    #[test]
+    fn concurrent_maps_from_multiple_threads() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let p = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                let items: Vec<u64> = (0..500).collect();
+                let out = p.map(&items, |_, &x| x + t);
+                assert_eq!(out[499], 499 + t);
+            }));
+        }
+        for j in joins {
+            j.join().expect("no deadlock, no panic");
+        }
+    }
+
+    #[test]
+    fn default_workers_honours_env_shape() {
+        // can't mutate the env safely in tests; just sanity-check range
+        let n = default_workers();
+        assert!((1..=256).contains(&n));
+        assert!(WorkerPool::sequential().workers() == 1);
+        assert!(global_pool().workers() >= 1);
+    }
+}

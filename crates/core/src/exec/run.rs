@@ -1,0 +1,272 @@
+//! The physical executor: walks a [`PhysicalPlan`] against a
+//! decomposition, materializing intermediate relations exactly like the
+//! logical interpreter but with the strategy fixed per node and the
+//! worker pool threaded through the parallel operators (hash-join
+//! probing, final normalization).
+
+use std::collections::HashSet;
+
+use maybms_relational::{Result, Value};
+
+use crate::algebra::common::{alias_cells, exists_loc, snapshot};
+use crate::algebra::{
+    self, difference_op, join_op_in, join_op_nested, product_op, project_op, qualify_op,
+    rename_op, select_op, union_op,
+};
+use crate::field::Field;
+use crate::wsd::{Existence, TemplateCell, TupleTemplate, Wsd};
+
+use super::plan::{PhysOp, PhysicalPlan};
+use super::pool::WorkerPool;
+
+/// Executes physical plans with a fixed worker pool.
+pub struct Executor<'p> {
+    pool: &'p WorkerPool,
+}
+
+impl<'p> Executor<'p> {
+    pub fn new(pool: &'p WorkerPool) -> Executor<'p> {
+        Executor { pool }
+    }
+
+    /// A sequential executor (shared zero-thread pool).
+    pub fn sequential() -> Executor<'static> {
+        Executor { pool: WorkerPool::sequential() }
+    }
+
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool
+    }
+
+    /// Runs the plan on a decomposition, producing a decomposition of the
+    /// answer world-set whose single relation is named `"result"` —
+    /// world-equivalent to [`crate::algebra::Query::eval`] on the logical
+    /// plan the physical one was compiled from.
+    pub fn run(&self, plan: &PhysicalPlan, base: &Wsd) -> Result<Wsd> {
+        let mut wsd = base.clone();
+        let mut counter = 0usize;
+        let out = self.exec(&plan.root, &mut wsd, &mut counter)?;
+        algebra::extract_in(wsd, &out, "result", self.pool)
+    }
+
+    /// Evaluates one node into `wsd`, returning the name of the relation
+    /// holding its answer.
+    fn exec(&self, op: &PhysOp, wsd: &mut Wsd, counter: &mut usize) -> Result<String> {
+        let fresh = |wsd: &Wsd, counter: &mut usize| -> String {
+            loop {
+                let name = format!("__p{}", *counter);
+                *counter += 1;
+                if wsd.relation(&name).is_err() {
+                    return name;
+                }
+            }
+        };
+        Ok(match op {
+            PhysOp::SeqScan { rel } => {
+                wsd.relation(rel)?;
+                rel.clone()
+            }
+            PhysOp::Filter { input, pred } => {
+                let i = self.exec(input, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                select_op(wsd, &i, pred, &out)?;
+                out
+            }
+            PhysOp::Project { input, cols } => {
+                let i = self.exec(input, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                project_op(wsd, &i, &names, &out)?;
+                out
+            }
+            PhysOp::HashJoin { left, right, pred, .. } => {
+                let l = self.exec(left, wsd, counter)?;
+                let r = self.exec(right, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                join_op_in(wsd, &l, &r, pred, &out, self.pool)?;
+                out
+            }
+            PhysOp::NestedLoopJoin { left, right, pred } => {
+                let l = self.exec(left, wsd, counter)?;
+                let r = self.exec(right, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                join_op_nested(wsd, &l, &r, pred, &out)?;
+                out
+            }
+            PhysOp::CrossProduct { left, right } => {
+                let l = self.exec(left, wsd, counter)?;
+                let r = self.exec(right, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                product_op(wsd, &l, &r, &out)?;
+                out
+            }
+            PhysOp::Union { left, right } => {
+                let l = self.exec(left, wsd, counter)?;
+                let r = self.exec(right, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                union_op(wsd, &l, &r, &out)?;
+                out
+            }
+            PhysOp::Difference { left, right } => {
+                let l = self.exec(left, wsd, counter)?;
+                let r = self.exec(right, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                difference_op(wsd, &l, &r, &out)?;
+                out
+            }
+            PhysOp::Dedup { input } => {
+                let i = self.exec(input, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                dedup_op(wsd, &i, &out)?;
+                out
+            }
+            PhysOp::Rename { input, from, to } => {
+                let i = self.exec(input, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                rename_op(wsd, &i, from, to, &out)?;
+                out
+            }
+            PhysOp::Qualify { input, prefix } => {
+                let i = self.exec(input, wsd, counter)?;
+                let out = fresh(wsd, counter);
+                qualify_op(wsd, &i, prefix, &out)?;
+                out
+            }
+        })
+    }
+}
+
+/// input → out, dropping duplicate fully-certain always-existing
+/// templates. Sound under the paper's set semantics: two identical
+/// certain tuples denote the same set element in every world. Open
+/// templates (component-backed fields or open existence) pass through
+/// untouched — their correlations make them semantically distinct.
+pub fn dedup_op(wsd: &mut Wsd, input: &str, out: &str) -> Result<()> {
+    let (schema, tuples) = snapshot(wsd, input)?;
+    wsd.add_relation(out, schema)?;
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    for t in &tuples {
+        if t.exists == Existence::Always {
+            let certain: Option<Vec<Value>> = t
+                .cells
+                .iter()
+                .map(|c| match c {
+                    TemplateCell::Certain(v) => Some(v.clone()),
+                    TemplateCell::Open => None,
+                })
+                .collect();
+            if let Some(key) = certain {
+                if !seen.insert(key) {
+                    continue; // duplicate certain tuple: one copy suffices
+                }
+            }
+        }
+        let new_tid = wsd.fresh_tid();
+        let all: Vec<usize> = (0..t.cells.len()).collect();
+        let cells = alias_cells(wsd, new_tid, t, &all)?;
+        let exists = match exists_loc(wsd, t)? {
+            None => Existence::Always,
+            Some(loc) => {
+                wsd.alias_field(Field::exists(new_tid), loc);
+                Existence::Open
+            }
+        };
+        wsd.push_template(out, TupleTemplate { tid: new_tid, cells, exists })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Query;
+    use crate::examples::medical_wsd;
+    use crate::exec::plan::compile;
+    use maybms_relational::{ColumnType, Expr, Schema};
+
+    fn run_both(q: &Query, wsd: &Wsd, workers: usize) -> (Wsd, Wsd) {
+        let logical = q.eval(wsd).expect("logical eval");
+        let pool = WorkerPool::new(workers);
+        let plan = compile(q, wsd).expect("compile");
+        let physical = Executor::new(&pool).run(&plan, wsd).expect("physical run");
+        (logical, physical)
+    }
+
+    #[test]
+    fn paper_query_physical_equals_logical() {
+        let wsd = medical_wsd();
+        let q = Query::table("R")
+            .select(Expr::col("diagnosis").eq(Expr::lit("pregnancy")))
+            .project(["test"]);
+        for workers in [1, 2, 4] {
+            let (l, p) = run_both(&q, &wsd, workers);
+            p.validate().unwrap();
+            assert!(l
+                .to_worldset(10_000)
+                .unwrap()
+                .equivalent(&p.to_worldset(10_000).unwrap(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn hash_join_physical_equals_logical() {
+        let mut wsd = medical_wsd();
+        wsd.add_relation(
+            "T",
+            Schema::new(vec![("tname", ColumnType::Str), ("cost", ColumnType::Int)]),
+        )
+        .unwrap();
+        wsd.push_certain("T", vec![Value::str("ultrasound"), Value::Int(120)]).unwrap();
+        wsd.push_certain("T", vec![Value::str("TSH"), Value::Int(40)]).unwrap();
+        let q = Query::table("R").join(
+            Query::table("T"),
+            Expr::col("test").eq(Expr::col("tname")),
+        );
+        for workers in [1, 3] {
+            let (l, p) = run_both(&q, &wsd, workers);
+            assert!(l
+                .to_worldset(100_000)
+                .unwrap()
+                .equivalent(&p.to_worldset(100_000).unwrap(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn dedup_drops_duplicate_certain_templates() {
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        w.push_certain("r", vec![Value::Int(1)]).unwrap();
+        // a self-union duplicates every certain template
+        let q = Query::table("r").union(Query::table("r")).distinct();
+        let plan = compile(&q, &w).unwrap();
+        let out = Executor::sequential().run(&plan, &w).unwrap();
+        out.validate().unwrap();
+        assert_eq!(out.relation("result").unwrap().tuples.len(), 1);
+        // and stays world-equivalent to the logical interpreter
+        let l = q.eval(&w).unwrap();
+        assert!(l
+            .to_worldset(100)
+            .unwrap()
+            .equivalent(&out.to_worldset(100).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn dedup_keeps_open_templates() {
+        use maybms_worldset::OrSetCell;
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        w.push_orset(
+            "r",
+            vec![OrSetCell::weighted(vec![(Value::Int(1), 0.5), (Value::Int(2), 0.5)]).unwrap()],
+        )
+        .unwrap();
+        let q = Query::table("r").union(Query::table("r")).distinct();
+        let plan = compile(&q, &w).unwrap();
+        let out = Executor::sequential().run(&plan, &w).unwrap();
+        let l = q.eval(&w).unwrap();
+        assert!(l
+            .to_worldset(100)
+            .unwrap()
+            .equivalent(&out.to_worldset(100).unwrap(), 1e-9));
+    }
+}

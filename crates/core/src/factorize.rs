@@ -16,20 +16,22 @@ use std::collections::HashMap;
 use crate::component::Component;
 use crate::wsd::Wsd;
 
-/// Union-find over column indices: iterative path-halving `find` (no
+/// Union-find over dense indices: iterative path-halving `find` (no
 /// recursion — stack-safe on arbitrarily wide components) with union by
-/// size.
-struct Uf {
+/// size. Shared infrastructure: factorization groups correlated columns
+/// with it, and [`crate::prob`] clusters template tuples by shared
+/// components with it.
+pub struct Uf {
     parent: Vec<usize>,
     size: Vec<usize>,
 }
 
 impl Uf {
-    fn new(n: usize) -> Uf {
+    pub fn new(n: usize) -> Uf {
         Uf { parent: (0..n).collect(), size: vec![1; n] }
     }
 
-    fn find(&mut self, mut x: usize) -> usize {
+    pub fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
             // path halving: point x at its grandparent, then step there
             self.parent[x] = self.parent[self.parent[x]];
@@ -38,7 +40,7 @@ impl Uf {
         x
     }
 
-    fn union(&mut self, a: usize, b: usize) {
+    pub fn union(&mut self, a: usize, b: usize) {
         let (mut ra, mut rb) = (self.find(a), self.find(b));
         if ra == rb {
             return;

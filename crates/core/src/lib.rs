@@ -68,6 +68,16 @@
 //! computation ([`prob`]) walk choice spaces with a flat `Vec<usize>`
 //! indexed by component id and field locations resolved once per
 //! cluster — no per-world hash maps.
+//!
+//! **The physical layer and the worker pool.** [`exec`] compiles the
+//! optimized logical tree into a [`exec::PhysicalPlan`] of explicit
+//! operator nodes (hash vs nested-loop join chosen at plan time,
+//! `DISTINCT` elided when the input is set-shaped) and executes it with
+//! a hand-rolled fixed [`exec::WorkerPool`] (`MAYBMS_WORKERS` env
+//! override). The embarrassingly parallel passes — per-component
+//! normalize scans, per-cluster confidence distributions, per-tuple
+//! join probing — run through the pool and are deterministic at every
+//! worker count.
 
 pub mod algebra;
 pub mod bigint;
@@ -77,6 +87,7 @@ pub mod component;
 pub mod convert;
 pub mod display;
 pub mod examples;
+pub mod exec;
 pub mod factorize;
 pub mod field;
 pub mod normalize;

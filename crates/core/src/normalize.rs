@@ -31,6 +31,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::cell::Cell;
+use crate::exec::WorkerPool;
 use crate::field::{FieldKind, Tid};
 use crate::wsd::{Existence, TemplateCell, Wsd};
 
@@ -39,71 +40,81 @@ use crate::wsd::{Existence, TemplateCell, Wsd};
 /// by dead tuples carry irrelevant values and are set to ⊥ (this is what
 /// turns the paper's `(⊥, TSH)` row into `(⊥, ⊥)`), enabling row merging.
 /// Tuple/column ownership comes from the reverse field index; cells are
-/// tested through interned codes, not materialized rows.
-fn propagate_bottom(wsd: &mut Wsd, comps: &[usize]) {
-    for &ci in comps {
-        let Some(comp) = wsd.component(ci) else { continue };
-        let rev = wsd.fields_of_component(ci);
-        // tuples with at least one column in this component
-        let mut tuple_cols: HashMap<Tid, Vec<usize>> = HashMap::new();
-        for (col, fields) in rev.iter().enumerate() {
-            for f in fields {
-                tuple_cols.entry(f.tid).or_default().push(col);
-            }
-        }
-        if tuple_cols.is_empty() {
-            continue;
-        }
-        let tuples_here: Vec<(Tid, Vec<usize>)> = tuple_cols.into_iter().collect();
-        let ncols = comp.num_fields();
-        // per column: which tuples (as indices into tuples_here) own it
-        let mut owners: Vec<Vec<usize>> = vec![Vec::new(); ncols];
-        for (ti, (_, cols)) in tuples_here.iter().enumerate() {
-            for &c in cols {
-                owners[c].push(ti);
-            }
-        }
-
-        let mut writes: Vec<(usize, usize)> = Vec::new();
-        let mut dead = vec![false; tuples_here.len()];
-        for row in 0..comp.num_rows() {
-            let mut any_dead = false;
-            for (ti, (_, cols)) in tuples_here.iter().enumerate() {
-                dead[ti] = cols.iter().any(|&c| comp.cell(row, c).is_bottom());
-                any_dead |= dead[ti];
-            }
-            if !any_dead {
-                continue;
-            }
-            for (col, os) in owners.iter().enumerate() {
-                if comp.cell(row, col).is_bottom() {
-                    continue;
-                }
-                if !os.is_empty() && os.iter().all(|&ti| dead[ti]) {
-                    writes.push((row, col));
-                }
-            }
-        }
+/// tested through interned codes, not materialized rows. Components are
+/// independent, so the scan phase fans out over the pool; the ⊥ writes
+/// are applied serially afterwards.
+fn propagate_bottom(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
+    let all_writes: Vec<Vec<(usize, usize)>> =
+        pool.map(comps, |_, &ci| bottom_writes_of(wsd, ci));
+    for (&ci, writes) in comps.iter().zip(&all_writes) {
         if writes.is_empty() {
             continue;
         }
         let comp = wsd.component_mut_silent(ci).expect("live component");
-        for (row, col) in writes {
+        for &(row, col) in writes {
             comp.set_bottom(row, col);
         }
         wsd.mark_dirty(ci);
     }
 }
 
+/// The read-only half of ⊥-propagation for one component: the `(row,
+/// col)` cells that must become ⊥.
+fn bottom_writes_of(wsd: &Wsd, ci: usize) -> Vec<(usize, usize)> {
+    let Some(comp) = wsd.component(ci) else { return Vec::new() };
+    let rev = wsd.fields_of_component(ci);
+    // tuples with at least one column in this component
+    let mut tuple_cols: HashMap<Tid, Vec<usize>> = HashMap::new();
+    for (col, fields) in rev.iter().enumerate() {
+        for f in fields {
+            tuple_cols.entry(f.tid).or_default().push(col);
+        }
+    }
+    if tuple_cols.is_empty() {
+        return Vec::new();
+    }
+    let tuples_here: Vec<(Tid, Vec<usize>)> = tuple_cols.into_iter().collect();
+    let ncols = comp.num_fields();
+    // per column: which tuples (as indices into tuples_here) own it
+    let mut owners: Vec<Vec<usize>> = vec![Vec::new(); ncols];
+    for (ti, (_, cols)) in tuples_here.iter().enumerate() {
+        for &c in cols {
+            owners[c].push(ti);
+        }
+    }
+
+    let mut writes: Vec<(usize, usize)> = Vec::new();
+    let mut dead = vec![false; tuples_here.len()];
+    for row in 0..comp.num_rows() {
+        let mut any_dead = false;
+        for (ti, (_, cols)) in tuples_here.iter().enumerate() {
+            dead[ti] = cols.iter().any(|&c| comp.cell(row, c).is_bottom());
+            any_dead |= dead[ti];
+        }
+        if !any_dead {
+            continue;
+        }
+        for (col, os) in owners.iter().enumerate() {
+            if comp.cell(row, col).is_bottom() {
+                continue;
+            }
+            if !os.is_empty() && os.iter().all(|&ti| dead[ti]) {
+                writes.push((row, col));
+            }
+        }
+    }
+    writes
+}
+
 /// Step 2: drop tuples that exist in no world — those with an open field or
 /// existence column that is ⊥ in *every* row of its component. Only columns
 /// of dirty components can have become all-⊥ since the last normalize, so
-/// only those are scanned.
-fn drop_dead_tuples(wsd: &mut Wsd, comps: &[usize]) {
-    let mut dead: HashSet<Tid> = HashSet::new();
-    for &ci in comps {
-        let Some(comp) = wsd.component(ci) else { continue };
+/// only those are scanned (in parallel; the template edit is serial).
+fn drop_dead_tuples(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
+    let per_comp: Vec<Vec<Tid>> = pool.map(comps, |_, &ci| {
+        let Some(comp) = wsd.component(ci) else { return Vec::new() };
         let rev = wsd.fields_of_component(ci);
+        let mut dead = Vec::new();
         for (col, fields) in rev.iter().enumerate() {
             if fields.is_empty() || col >= comp.num_fields() {
                 continue;
@@ -112,7 +123,9 @@ fn drop_dead_tuples(wsd: &mut Wsd, comps: &[usize]) {
                 dead.extend(fields.iter().map(|f| f.tid));
             }
         }
-    }
+        dead
+    });
+    let dead: HashSet<Tid> = per_comp.into_iter().flatten().collect();
     if dead.is_empty() {
         return;
     }
@@ -124,30 +137,36 @@ fn drop_dead_tuples(wsd: &mut Wsd, comps: &[usize]) {
 
 /// Step 3: inline constant columns. A column whose cells are the same
 /// non-⊥ value in every row does not vary across worlds: attribute fields
-/// become certain template values, existence fields become `Always`.
-fn inline_constants(wsd: &mut Wsd, comps: &[usize]) {
+/// become certain template values, existence fields become `Always`. The
+/// constant detection scans fan out; template edits stay serial.
+fn inline_constants(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
     // (field, Some(value) for attrs / None for exists) pairs to inline
-    let mut resolved: Vec<(crate::field::Field, Option<maybms_relational::Value>)> = Vec::new();
-    for &ci in comps {
-        let Some(comp) = wsd.component(ci) else { continue };
-        let rev = wsd.fields_of_component(ci);
-        for (col, fields) in rev.iter().enumerate() {
-            if fields.is_empty() || col >= comp.num_fields() {
-                continue;
-            }
-            if let Some(cell) = comp.column_constant(col) {
-                for &f in fields {
-                    match (f.kind, cell) {
-                        (FieldKind::Attr(_), Cell::Val(v)) => {
-                            resolved.push((f, Some(v.clone())))
+    let per_comp: Vec<Vec<(crate::field::Field, Option<maybms_relational::Value>)>> =
+        pool.map(comps, |_, &ci| {
+            let Some(comp) = wsd.component(ci) else { return Vec::new() };
+            let rev = wsd.fields_of_component(ci);
+            let mut resolved = Vec::new();
+            for (col, fields) in rev.iter().enumerate() {
+                if fields.is_empty() || col >= comp.num_fields() {
+                    continue;
+                }
+                if let Some(cell) = comp.column_constant(col) {
+                    for &f in fields {
+                        match (f.kind, cell) {
+                            (FieldKind::Attr(_), Cell::Val(v)) => {
+                                resolved.push((f, Some(v.clone())))
+                            }
+                            (FieldKind::Exists, _) => resolved.push((f, None)),
+                            (FieldKind::Attr(_), Cell::Bottom) => {
+                                unreachable!("constant is non-⊥")
+                            }
                         }
-                        (FieldKind::Exists, _) => resolved.push((f, None)),
-                        (FieldKind::Attr(_), Cell::Bottom) => unreachable!("constant is non-⊥"),
                     }
                 }
             }
-        }
-    }
+            resolved
+        });
+    let resolved: Vec<_> = per_comp.into_iter().flatten().collect();
     if resolved.is_empty() {
         return;
     }
@@ -185,33 +204,51 @@ fn inline_constants(wsd: &mut Wsd, comps: &[usize]) {
 /// component onto the columns still referenced by some template field
 /// (merging rows and summing probabilities — this is what removes the
 /// paper's Symptom component after the projection). Fieldless components
-/// are dropped.
-fn gc_columns(wsd: &mut Wsd, comps: &[usize]) {
-    for &ci in comps {
-        let Some(comp) = wsd.component(ci) else { continue };
+/// are dropped. Projections (the expensive half) run on the pool; slot
+/// replacement and field remapping are serial.
+fn gc_columns(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
+    // per component: None = untouched, Some((keep, replacement))
+    type GcPlan = Option<(Vec<usize>, Option<crate::component::Component>)>;
+    let plans: Vec<GcPlan> = pool.map(comps, |_, &ci| {
+        let comp = wsd.component(ci)?;
         let rev = wsd.fields_of_component(ci);
         let keep: Vec<usize> = (0..comp.num_fields())
             .filter(|&c| rev.get(c).map(|v| !v.is_empty()).unwrap_or(false))
             .collect();
         if keep.len() == comp.num_fields() {
-            continue;
+            return None;
         }
         if keep.is_empty() {
-            wsd.replace_component(ci, None);
-            continue;
+            return Some((keep, None));
         }
         let projected = comp.project_columns(&keep);
-        wsd.replace_component(ci, Some(projected));
-        wsd.remap_columns(ci, &keep);
-        wsd.mark_dirty(ci);
+        Some((keep, Some(projected)))
+    });
+    for (&ci, plan) in comps.iter().zip(plans) {
+        match plan {
+            None => {}
+            Some((_, None)) => wsd.replace_component(ci, None),
+            Some((keep, Some(projected))) => {
+                wsd.replace_component(ci, Some(projected));
+                wsd.remap_columns(ci, &keep);
+                wsd.mark_dirty(ci);
+            }
+        }
     }
 }
 
-/// Step 5: merge duplicate rows in every dirty component.
-fn dedup_rows(wsd: &mut Wsd, comps: &[usize]) {
-    for &ci in comps {
-        let Some(c) = wsd.component_mut_silent(ci) else { continue };
-        if c.dedup_rows(1e-12) {
+/// Step 5: merge duplicate rows in every dirty component. The components
+/// are temporarily taken out of their slots so the dedups (each confined
+/// to one component) can run on the pool.
+fn dedup_rows(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
+    let mut work: Vec<(usize, crate::component::Component)> = comps
+        .iter()
+        .filter_map(|&ci| wsd.components[ci].take().map(|c| (ci, c)))
+        .collect();
+    let changed: Vec<bool> = pool.map_mut(&mut work, |_, (_, c)| c.dedup_rows(1e-12));
+    for ((ci, c), ch) in work.into_iter().zip(changed) {
+        wsd.components[ci] = Some(c);
+        if ch {
             wsd.mark_dirty(ci);
         }
     }
@@ -219,8 +256,17 @@ fn dedup_rows(wsd: &mut Wsd, comps: &[usize]) {
 
 /// The incremental normalization pipeline: drains the dirty set to a
 /// fixpoint, then compacts component slots. Components untouched since the
-/// last normalize are never scanned.
+/// last normalize are never scanned. Sequential — [`normalize_in`] routes
+/// the per-component passes through a worker pool.
 pub fn normalize(wsd: &mut Wsd) {
+    normalize_in(wsd, WorkerPool::sequential());
+}
+
+/// [`normalize`] with the per-component passes fanned out over `pool`.
+/// Deterministic: every pass computes its mutations in a read-only
+/// parallel scan and applies them serially in component order, so the
+/// resulting decomposition is identical at every worker count.
+pub fn normalize_in(wsd: &mut Wsd, pool: &WorkerPool) {
     let mut did_work = false;
     loop {
         let dirty = wsd.take_dirty();
@@ -228,11 +274,11 @@ pub fn normalize(wsd: &mut Wsd) {
             break;
         }
         did_work = true;
-        propagate_bottom(wsd, &dirty);
-        drop_dead_tuples(wsd, &dirty);
-        inline_constants(wsd, &dirty);
-        gc_columns(wsd, &dirty);
-        dedup_rows(wsd, &dirty);
+        propagate_bottom(wsd, &dirty, pool);
+        drop_dead_tuples(wsd, &dirty, pool);
+        inline_constants(wsd, &dirty, pool);
+        gc_columns(wsd, &dirty, pool);
+        dedup_rows(wsd, &dirty, pool);
     }
     if did_work || wsd.has_tombstones() {
         wsd.compact();
@@ -245,6 +291,12 @@ pub fn normalize(wsd: &mut Wsd) {
 pub fn normalize_from_scratch(wsd: &mut Wsd) {
     wsd.mark_all_dirty();
     normalize(wsd);
+}
+
+/// [`normalize_from_scratch`] on a worker pool (the E6 scaling bench).
+pub fn normalize_from_scratch_in(wsd: &mut Wsd, pool: &WorkerPool) {
+    wsd.mark_all_dirty();
+    normalize_in(wsd, pool);
 }
 
 /// Full normalization plus factorization of every component into

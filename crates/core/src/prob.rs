@@ -28,6 +28,8 @@ use std::collections::HashMap;
 use maybms_relational::{Error, Result, Tuple, Value};
 
 use crate::cell::Cell;
+use crate::exec::WorkerPool;
+use crate::factorize::Uf;
 use crate::field::{Field, Tid};
 use crate::wsd::{Existence, TemplateCell, Wsd};
 
@@ -60,7 +62,16 @@ pub struct Confidence {
 /// Exact-by-default tuple confidence: every possible answer tuple of `rel`
 /// with `P(tuple ∈ rel)`.
 pub fn tuple_confidence(wsd: &Wsd, rel: &str) -> Result<Vec<(Tuple, f64)>> {
-    Ok(tuple_confidence_opts(wsd, rel, ProbOptions::default())?
+    tuple_confidence_in(wsd, rel, WorkerPool::sequential())
+}
+
+/// [`tuple_confidence`] on a worker pool.
+pub fn tuple_confidence_in(
+    wsd: &Wsd,
+    rel: &str,
+    pool: &WorkerPool,
+) -> Result<Vec<(Tuple, f64)>> {
+    Ok(tuple_confidence_opts_in(wsd, rel, ProbOptions::default(), pool)?
         .into_iter()
         .map(|c| (c.tuple, c.p))
         .collect())
@@ -68,7 +79,12 @@ pub fn tuple_confidence(wsd: &Wsd, rel: &str) -> Result<Vec<(Tuple, f64)>> {
 
 /// Tuples certain to be in `rel` (confidence 1 within `1e-9`).
 pub fn certain_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Tuple>> {
-    Ok(tuple_confidence(wsd, rel)?
+    certain_tuples_in(wsd, rel, WorkerPool::sequential())
+}
+
+/// [`certain_tuples`] on a worker pool.
+pub fn certain_tuples_in(wsd: &Wsd, rel: &str, pool: &WorkerPool) -> Result<Vec<Tuple>> {
+    Ok(tuple_confidence_in(wsd, rel, pool)?
         .into_iter()
         .filter(|(_, p)| (*p - 1.0).abs() < 1e-9)
         .map(|(t, _)| t)
@@ -77,20 +93,35 @@ pub fn certain_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Tuple>> {
 
 /// Tuples possible in `rel` (confidence > 0).
 pub fn possible_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Tuple>> {
-    Ok(tuple_confidence(wsd, rel)?.into_iter().map(|(t, _)| t).collect())
+    possible_tuples_in(wsd, rel, WorkerPool::sequential())
+}
+
+/// [`possible_tuples`] on a worker pool.
+pub fn possible_tuples_in(wsd: &Wsd, rel: &str, pool: &WorkerPool) -> Result<Vec<Tuple>> {
+    Ok(tuple_confidence_in(wsd, rel, pool)?.into_iter().map(|(t, _)| t).collect())
 }
 
 /// Expected cardinality of `rel` under set semantics:
 /// `E[|rel|] = Σ_v P(v ∈ rel)` by linearity of expectation.
 pub fn expected_count(wsd: &Wsd, rel: &str) -> Result<f64> {
-    Ok(tuple_confidence(wsd, rel)?.iter().map(|(_, p)| p).sum())
+    expected_count_in(wsd, rel, WorkerPool::sequential())
+}
+
+/// [`expected_count`] on a worker pool.
+pub fn expected_count_in(wsd: &Wsd, rel: &str, pool: &WorkerPool) -> Result<f64> {
+    Ok(tuple_confidence_in(wsd, rel, pool)?.iter().map(|(_, p)| p).sum())
 }
 
 /// Expected sum of column `col` over `rel` (set semantics):
 /// `E[Σ_{t∈rel} t.col] = Σ_v v.col · P(v ∈ rel)`. NULLs contribute 0.
 pub fn expected_sum(wsd: &Wsd, rel: &str, col: &str) -> Result<f64> {
+    expected_sum_in(wsd, rel, col, WorkerPool::sequential())
+}
+
+/// [`expected_sum`] on a worker pool.
+pub fn expected_sum_in(wsd: &Wsd, rel: &str, col: &str, pool: &WorkerPool) -> Result<f64> {
     let idx = wsd.relation(rel)?.schema.index_of(col)?;
-    Ok(tuple_confidence(wsd, rel)?
+    Ok(tuple_confidence_in(wsd, rel, pool)?
         .iter()
         .map(|(t, p)| t[idx].as_f64().unwrap_or(0.0) * p)
         .sum())
@@ -98,15 +129,20 @@ pub fn expected_sum(wsd: &Wsd, rel: &str, col: &str) -> Result<f64> {
 
 /// `P(rel is non-empty)` — the confidence of a boolean query.
 pub fn nonempty_confidence(wsd: &Wsd, rel: &str) -> Result<f64> {
+    nonempty_confidence_in(wsd, rel, WorkerPool::sequential())
+}
+
+/// [`nonempty_confidence`] with the per-cluster walks fanned out over
+/// `pool`.
+pub fn nonempty_confidence_in(wsd: &Wsd, rel: &str, pool: &WorkerPool) -> Result<f64> {
     let clusters = cluster_tuples(wsd, rel)?;
+    if clusters.iter().any(|cl| cl.has_always_certain) {
+        return Ok(1.0);
+    }
     let resolved = resolve_relation(wsd, rel)?;
-    let mut choice = vec![0usize; wsd.num_component_slots()];
+    let dists = cluster_distributions(wsd, &clusters, &resolved, ProbOptions::default(), pool)?;
     let mut p_empty_all = 1.0;
-    for cl in &clusters {
-        if cl.has_always_certain {
-            return Ok(1.0);
-        }
-        let dist = cluster_distribution(wsd, cl, &resolved, &mut choice, ProbOptions::default())?;
+    for dist in &dists {
         p_empty_all *= 1.0 - dist.p_any_exists;
     }
     Ok(1.0 - p_empty_all)
@@ -125,15 +161,27 @@ pub fn tuple_confidence_opts(
     rel: &str,
     opts: ProbOptions,
 ) -> Result<Vec<Confidence>> {
+    tuple_confidence_opts_in(wsd, rel, opts, WorkerPool::sequential())
+}
+
+/// [`tuple_confidence_opts`] with the per-cluster distribution walks
+/// fanned out over `pool`. Clusters are independent random variables, so
+/// their joint-choice enumerations parallelize embarrassingly; the
+/// per-value merge runs serially in cluster order, making the result
+/// bit-identical to the sequential path at every worker count.
+pub fn tuple_confidence_opts_in(
+    wsd: &Wsd,
+    rel: &str,
+    opts: ProbOptions,
+    pool: &WorkerPool,
+) -> Result<Vec<Confidence>> {
     let clusters = cluster_tuples(wsd, rel)?;
     let resolved = resolve_relation(wsd, rel)?;
-    // one dense choice vector shared by every cluster walk
-    let mut choice = vec![0usize; wsd.num_component_slots()];
+    let dists = cluster_distributions(wsd, &clusters, &resolved, opts, pool)?;
     // per value: per-cluster probability of "some tuple of the cluster
     // takes this value and exists"
     let mut per_value: HashMap<Tuple, Vec<(f64, bool)>> = HashMap::new();
-    for cl in &clusters {
-        let dist = cluster_distribution(wsd, cl, &resolved, &mut choice, opts)?;
+    for dist in dists {
         for (val, e) in dist.per_value {
             per_value.entry(val).or_default().push((e.p_any, e.exact));
         }
@@ -168,11 +216,16 @@ struct Cluster {
 
 /// Groups the template tuples of `rel` into clusters connected by shared
 /// components; tuples touching no component form singleton "certain"
-/// clusters.
+/// clusters. Connectivity runs on [`Uf`] (shared with
+/// [`crate::factorize`]) over dense component ids: one union per
+/// (tuple, component) edge, then one grouping pass — no ad-hoc cluster
+/// merging, and near-linear on wide answer relations.
 fn cluster_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Cluster>> {
     let tpl = wsd.relation(rel)?;
-    // tuple -> component set
-    let mut t_comps: Vec<(Tid, Vec<usize>, bool)> = Vec::new();
+    // tuple -> component set, with components densely renumbered
+    let mut dense: HashMap<usize, usize> = HashMap::new();
+    let mut dense_to_comp: Vec<usize> = Vec::new();
+    let mut t_comps: Vec<(Tid, Vec<usize>)> = Vec::with_capacity(tpl.tuples.len());
     for t in &tpl.tuples {
         let mut comps: Vec<usize> = Vec::new();
         for (i, c) in t.cells.iter().enumerate() {
@@ -191,60 +244,53 @@ fn cluster_tuples(wsd: &Wsd, rel: &str) -> Result<Vec<Cluster>> {
         }
         comps.sort_unstable();
         comps.dedup();
-        let certain = comps.is_empty();
-        t_comps.push((t.tid, comps, certain));
+        for &c in &comps {
+            dense.entry(c).or_insert_with(|| {
+                dense_to_comp.push(c);
+                dense_to_comp.len() - 1
+            });
+        }
+        t_comps.push((t.tid, comps));
     }
 
-    // union-find over component ids to group tuples
-    let mut comp_group: HashMap<usize, usize> = HashMap::new(); // comp -> cluster id
+    let mut uf = Uf::new(dense_to_comp.len());
+    for (_, comps) in &t_comps {
+        for w in comps.windows(2) {
+            uf.union(dense[&w[0]], dense[&w[1]]);
+        }
+    }
+
+    // one cluster per union-find root, in first-seen tuple order
+    let mut cluster_of_root: HashMap<usize, usize> = HashMap::new();
     let mut clusters: Vec<Cluster> = Vec::new();
-    let mut cluster_of_comp = |clusters: &mut Vec<Cluster>, comps: &[usize]| -> usize {
-        // find existing clusters these comps belong to
-        let mut hit: Vec<usize> = comps
-            .iter()
-            .filter_map(|c| comp_group.get(c).copied())
-            .collect();
-        hit.sort_unstable();
-        hit.dedup();
-        let target = match hit.first() {
-            Some(&t) => t,
-            None => {
-                clusters.push(Cluster { tids: Vec::new(), comps: Vec::new(), has_always_certain: false });
-                clusters.len() - 1
-            }
-        };
-        // merge any other hit clusters into target
-        for &other in hit.iter().skip(1) {
-            let (tids, comps_o) = {
-                let o = &mut clusters[other];
-                (std::mem::take(&mut o.tids), std::mem::take(&mut o.comps))
-            };
-            for c in &comps_o {
-                comp_group.insert(*c, target);
-            }
-            clusters[target].tids.extend(tids);
-            clusters[target].comps.extend(comps_o);
-            let flag = clusters[other].has_always_certain;
-            clusters[target].has_always_certain |= flag;
+    for (tid, comps) in &t_comps {
+        if comps.is_empty() {
+            clusters.push(Cluster {
+                tids: vec![*tid],
+                comps: Vec::new(),
+                has_always_certain: true,
+            });
+            continue;
         }
-        for c in comps {
-            comp_group.insert(*c, target);
-            if !clusters[target].comps.contains(c) {
-                clusters[target].comps.push(*c);
-            }
-        }
-        target
-    };
-
-    for (tid, comps, certain) in t_comps {
-        if certain {
-            clusters.push(Cluster { tids: vec![tid], comps: Vec::new(), has_always_certain: true });
-        } else {
-            let cid = cluster_of_comp(&mut clusters, &comps);
-            clusters[cid].tids.push(tid);
+        let root = uf.find(dense[&comps[0]]);
+        let cid = *cluster_of_root.entry(root).or_insert_with(|| {
+            clusters.push(Cluster {
+                tids: Vec::new(),
+                comps: Vec::new(),
+                has_always_certain: false,
+            });
+            clusters.len() - 1
+        });
+        clusters[cid].tids.push(*tid);
+    }
+    // attach each component to its root's cluster, in dense (first-seen)
+    // order so the enumeration order stays deterministic
+    for (d, &comp) in dense_to_comp.iter().enumerate() {
+        let root = uf.find(d);
+        if let Some(&cid) = cluster_of_root.get(&root) {
+            clusters[cid].comps.push(comp);
         }
     }
-    clusters.retain(|c| !c.tids.is_empty());
     Ok(clusters)
 }
 
@@ -330,6 +376,33 @@ fn resolve_relation(wsd: &Wsd, rel: &str) -> Result<HashMap<Tid, ResolvedTuple>>
         out.insert(t.tid, ResolvedTuple::resolve(wsd, t.tid, &t.cells, t.exists)?);
     }
     Ok(out)
+}
+
+/// Evaluates every cluster's distribution, fanning the independent
+/// cluster walks out over `pool`. Sequential pools reuse one dense
+/// scratch vector across clusters (the zero-allocation hot path);
+/// parallel pools give each cluster its own. Results come back in
+/// cluster order either way.
+fn cluster_distributions(
+    wsd: &Wsd,
+    clusters: &[Cluster],
+    resolved: &HashMap<Tid, ResolvedTuple>,
+    opts: ProbOptions,
+    pool: &WorkerPool,
+) -> Result<Vec<ClusterDist>> {
+    if pool.workers() <= 1 || clusters.len() <= 1 {
+        let mut choice = vec![0usize; wsd.num_component_slots()];
+        return clusters
+            .iter()
+            .map(|cl| cluster_distribution(wsd, cl, resolved, &mut choice, opts))
+            .collect();
+    }
+    pool.map(clusters, |_, cl| {
+        let mut choice = vec![0usize; wsd.num_component_slots()];
+        cluster_distribution(wsd, cl, resolved, &mut choice, opts)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Enumerates (or samples) the joint choices of the cluster's components and

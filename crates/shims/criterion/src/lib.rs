@@ -84,8 +84,12 @@ impl Criterion {
             }
         });
         let path = format!("{dir}/BENCH_{experiment}.json");
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let mut json = String::from("{\n");
         json.push_str(&format!("  \"bench\": {:?},\n", target));
+        // worker-count sweeps (E6) are meaningless without knowing how
+        // many CPUs the measuring machine actually had
+        json.push_str(&format!("  \"cpus\": {cpus},\n"));
         json.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
             json.push_str(&format!(

@@ -22,6 +22,8 @@ pub enum Statement {
     Select(SelectStmt),
     CreateTable { name: String, columns: Vec<(String, ColumnType)> },
     DropTable { name: String },
+    /// `ALTER TABLE a RENAME TO b`
+    RenameTable { from: String, to: String },
     Insert { table: String, rows: Vec<Vec<InsertValue>> },
     /// `REPAIR KEY r(c1, c2)` | `REPAIR FD r: a, b -> c` | `REPAIR CHECK r: pred`
     Repair(RepairStmt),

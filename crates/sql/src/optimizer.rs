@@ -15,23 +15,12 @@ use maybms_core::algebra::Query;
 use maybms_core::wsd::Wsd;
 use maybms_relational::{Expr, Result, Schema};
 
-/// The inferred output schema of a plan node.
+/// The inferred output schema of a plan node. Delegates to the single
+/// implementation in the physical layer ([`maybms_core::exec::schema_of`]),
+/// which both the optimizer's pushdown rules and physical-plan
+/// compilation share.
 pub fn schema_of(q: &Query, wsd: &Wsd) -> Result<Schema> {
-    Ok(match q {
-        Query::Table(n) => wsd.relation(n)?.schema.clone(),
-        Query::Select(i, _) | Query::Distinct(i) => schema_of(i, wsd)?,
-        Query::Project(i, cols) => {
-            let s = schema_of(i, wsd)?;
-            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
-            s.project(&names)?
-        }
-        Query::Product(a, b) | Query::Join(a, b, _) => {
-            schema_of(a, wsd)?.concat(&schema_of(b, wsd)?)
-        }
-        Query::Union(a, _) | Query::Difference(a, _) => schema_of(a, wsd)?,
-        Query::Rename(i, from, to) => schema_of(i, wsd)?.rename(from, to)?,
-        Query::Qualify(i, p) => schema_of(i, wsd)?.qualify(p),
-    })
+    maybms_core::exec::schema_of(q, wsd)
 }
 
 /// Optimizes a plan to a fixpoint (bounded rounds for safety).

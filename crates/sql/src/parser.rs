@@ -120,6 +120,7 @@ impl Parser {
                 "SELECT" => Ok(Statement::Select(self.select_stmt()?)),
                 "CREATE" => self.create_table(),
                 "DROP" => self.drop_table(),
+                "ALTER" => self.alter_table(),
                 "INSERT" => self.insert(),
                 "REPAIR" => self.repair(),
                 "EXPLAIN" => {
@@ -323,6 +324,16 @@ impl Parser {
         self.expect_keyword("DROP")?;
         self.expect_keyword("TABLE")?;
         Ok(Statement::DropTable { name: self.ident()? })
+    }
+
+    fn alter_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("ALTER")?;
+        self.expect_keyword("TABLE")?;
+        let from = self.ident()?;
+        self.expect_keyword("RENAME")?;
+        self.expect_keyword("TO")?;
+        let to = self.ident()?;
+        Ok(Statement::RenameTable { from, to })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -654,6 +665,17 @@ mod tests {
         ));
         let s3 = parse("REPAIR CHECK person: age < 150 AND age >= 0").unwrap();
         assert!(matches!(s3, Statement::Repair(RepairStmt::Check { .. })));
+    }
+
+    #[test]
+    fn parses_alter_table_rename() {
+        let s = parse("ALTER TABLE a RENAME TO b").unwrap();
+        assert_eq!(
+            s,
+            Statement::RenameTable { from: "a".into(), to: "b".into() }
+        );
+        assert!(parse("ALTER TABLE a RENAME b").is_err());
+        assert!(parse("ALTER a RENAME TO b").is_err());
     }
 
     #[test]

@@ -1,7 +1,16 @@
 //! The session: a stateful database holding one decomposition, executing
 //! SQL statements against it.
+//!
+//! Statements run through the full stack: parse → lower → logical
+//! optimize → compile to a [`maybms_core::exec::PhysicalPlan`] → execute
+//! with the session's [`WorkerPool`]. The pool defaults to the shared
+//! process-wide pool (sized by `MAYBMS_WORKERS` or the machine's
+//! parallelism); [`Session::with_worker_pool`] overrides it.
+
+use std::sync::Arc;
 
 use maybms_core::chase::{clean, CleaningReport, Constraint};
+use maybms_core::exec::{compile, explain_physical, global_pool, Executor, WorkerPool};
 use maybms_core::prob;
 use maybms_core::wsd::Wsd;
 use maybms_relational::{Column, ColumnType, Relation, Result, Schema, Tuple, Value};
@@ -43,23 +52,48 @@ impl QueryResult {
 }
 
 /// A MayBMS session: the incomplete database plus execution settings.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Session {
     wsd: Wsd,
     /// Disable to execute unoptimized plans (used by the E3 ablation).
     pub optimize_plans: bool,
     /// Reports from REPAIR statements, latest last.
     pub cleaning_log: Vec<CleaningReport>,
+    /// The worker pool physical plans and confidence computation run on.
+    pool: Arc<WorkerPool>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
 }
 
 impl Session {
     pub fn new() -> Session {
-        Session { wsd: Wsd::new(), optimize_plans: true, cleaning_log: Vec::new() }
+        Session {
+            wsd: Wsd::new(),
+            optimize_plans: true,
+            cleaning_log: Vec::new(),
+            pool: global_pool(),
+        }
     }
 
     /// A session over an existing decomposition.
     pub fn with_wsd(wsd: Wsd) -> Session {
-        Session { wsd, optimize_plans: true, cleaning_log: Vec::new() }
+        Session { wsd, ..Session::new() }
+    }
+
+    /// Replaces the worker pool (e.g. `WorkerPool::new(1)` for forced
+    /// sequential execution, or a sized pool for scaling sweeps).
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Session {
+        self.pool = pool;
+        self
+    }
+
+    /// The pool this session executes on.
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     pub fn wsd(&self) -> &Wsd {
@@ -105,6 +139,13 @@ impl Session {
                 maybms_core::normalize::normalize(&mut self.wsd);
                 Ok(QueryResult::Text(format!("dropped table {name}")))
             }
+            Statement::RenameTable { from, to } => {
+                // `rename_relation` restores the source relation when the
+                // target name is taken (PR 1 regression), so a failed
+                // rename must leave `from` queryable.
+                self.wsd.rename_relation(from, to.clone())?;
+                Ok(QueryResult::Text(format!("renamed table {from} to {to}")))
+            }
             Statement::Insert { table, rows } => {
                 let mut n = 0;
                 for row in rows {
@@ -149,10 +190,14 @@ impl Session {
                 Statement::Select(sel) => {
                     let raw = lower_select(sel)?;
                     let opt = optimize(&raw, &self.wsd)?;
+                    let chosen = if self.optimize_plans { &opt } else { &raw };
+                    let phys = compile(chosen, &self.wsd)?;
                     Ok(QueryResult::Text(format!(
-                        "-- logical plan\n{}-- optimized plan\n{}",
+                        "-- logical plan\n{}-- optimized plan\n{}-- physical plan (workers={})\n{}",
                         explain(&raw),
-                        explain(&opt)
+                        explain(&opt),
+                        self.pool.workers(),
+                        explain_physical(&phys)
                     )))
                 }
                 other => Ok(QueryResult::Text(format!("{other:?}"))),
@@ -228,18 +273,23 @@ impl Session {
         } else {
             raw
         };
-        let answer = plan.eval(&self.wsd)?;
+        // compile the logical tree to a physical plan and execute it on
+        // the session's worker pool
+        let phys = compile(&plan, &self.wsd)?;
+        let answer = Executor::new(&self.pool).run(&phys, &self.wsd)?;
         let schema = answer.relation("result")?.schema.clone();
 
         if let Some(agg) = &sel.expected {
             // EXPECTED COUNT() / EXPECTED SUM(col): one scalar row.
             let (name, v) = match agg {
-                crate::ast::ExpectedAgg::Count => {
-                    ("expected_count", prob::expected_count(&answer, "result")?)
-                }
-                crate::ast::ExpectedAgg::Sum(col) => {
-                    ("expected_sum", prob::expected_sum(&answer, "result", col)?)
-                }
+                crate::ast::ExpectedAgg::Count => (
+                    "expected_count",
+                    prob::expected_count_in(&answer, "result", &self.pool)?,
+                ),
+                crate::ast::ExpectedAgg::Sum(col) => (
+                    "expected_sum",
+                    prob::expected_sum_in(&answer, "result", col, &self.pool)?,
+                ),
             };
             let s = Schema::new(vec![(name, ColumnType::Float)]);
             let mut r = Relation::empty(s);
@@ -252,14 +302,14 @@ impl Session {
             (WorldMode::AllWorlds, true) | (WorldMode::Possible, true) => {
                 if sel.items.is_empty() {
                     // SELECT PROB() FROM ... : probability of non-emptiness
-                    let p = prob::nonempty_confidence(&answer, "result")?;
+                    let p = prob::nonempty_confidence_in(&answer, "result", &self.pool)?;
                     let s = Schema::new(vec![("prob", ColumnType::Float)]);
                     let mut r = Relation::empty(s);
                     r.push_unchecked(Tuple::new(vec![Value::Float(p)]));
                     Ok(QueryResult::Table(r))
                 } else {
                     // answer tuples with their confidences
-                    let conf = prob::tuple_confidence(&answer, "result")?;
+                    let conf = prob::tuple_confidence_in(&answer, "result", &self.pool)?;
                     let with_p = schema.concat(&Schema::new(vec![("prob", ColumnType::Float)]));
                     let mut r = Relation::empty(with_p);
                     for (t, p) in conf {
@@ -271,11 +321,11 @@ impl Session {
                 }
             }
             (WorldMode::Possible, false) => {
-                let tuples = prob::possible_tuples(&answer, "result")?;
+                let tuples = prob::possible_tuples_in(&answer, "result", &self.pool)?;
                 Ok(QueryResult::Table(Relation::from_rows_unchecked(schema, tuples)))
             }
             (WorldMode::Certain, _) => {
-                let tuples = prob::certain_tuples(&answer, "result")?;
+                let tuples = prob::certain_tuples_in(&answer, "result", &self.pool)?;
                 Ok(QueryResult::Table(Relation::from_rows_unchecked(schema, tuples)))
             }
         }
@@ -435,6 +485,83 @@ mod tests {
         assert!(txt.contains("logical plan"));
         assert!(txt.contains("optimized plan"));
         assert!(txt.contains("Scan R"));
+    }
+
+    #[test]
+    fn explain_shows_physical_plan_with_join_strategy() {
+        let mut s = medical_session();
+        s.execute("CREATE TABLE cost (tname TEXT, usd INT)").unwrap();
+        let r = s
+            .execute("EXPLAIN SELECT * FROM R r, cost c WHERE r.test = c.tname")
+            .unwrap();
+        let QueryResult::Text(txt) = r else { panic!() };
+        assert!(txt.contains("physical plan"), "{txt}");
+        assert!(
+            txt.contains("HashJoin [r.test = c.tname]"),
+            "equi-join must pick the hash strategy:\n{txt}"
+        );
+        assert!(txt.contains("SeqScan R"), "{txt}");
+
+        // a non-equi predicate falls back to the nested loop
+        let r2 = s
+            .execute("EXPLAIN SELECT * FROM R r, cost c WHERE r.test < c.tname")
+            .unwrap();
+        let QueryResult::Text(txt2) = r2 else { panic!() };
+        assert!(txt2.contains("NestedLoopJoin"), "{txt2}");
+    }
+
+    #[test]
+    fn rename_table_via_sql() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE a (x INT)").unwrap();
+        s.execute("INSERT INTO a VALUES (1)").unwrap();
+        s.execute("ALTER TABLE a RENAME TO b").unwrap();
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM b").unwrap().table().unwrap().len(), 1);
+        err_contains(s.execute("SELECT * FROM a"), "unknown relation");
+    }
+
+    /// Regression for the PR 1 `rename_relation` fix: renaming onto an
+    /// existing name must fail *and leave the source relation intact*
+    /// (it used to be dropped).
+    #[test]
+    fn rename_table_onto_existing_name_keeps_source() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE a (x INT)").unwrap();
+        s.execute("INSERT INTO a VALUES ({1: 0.5, 2: 0.5})").unwrap();
+        s.execute("CREATE TABLE b (y INT)").unwrap();
+        err_contains(s.execute("ALTER TABLE a RENAME TO b"), "already exists");
+        // the source relation survived the failed rename, data intact
+        let r = s.execute("SELECT POSSIBLE x, PROB() FROM a").unwrap();
+        assert_eq!(r.table().unwrap().len(), 2);
+        // and the target was not clobbered either
+        s.execute("SELECT * FROM b").unwrap();
+    }
+
+    /// The physical executor must return identical SQL answers at every
+    /// worker count (the pool's map is order-preserving + deterministic).
+    #[test]
+    fn sql_results_identical_across_worker_counts() {
+        use std::sync::Arc;
+        let setup = "CREATE TABLE cost (tname TEXT, usd INT); \
+                     INSERT INTO cost VALUES ('ultrasound', 120), ('TSH', 40), ('BMI', 10)";
+        let sql = "SELECT POSSIBLE r.test, c.usd, PROB() FROM R r, cost c \
+                   WHERE r.test = c.tname ORDER BY prob DESC";
+        let mut reference: Option<Vec<Vec<String>>> = None;
+        for workers in [1usize, 2, 4] {
+            let mut s = medical_session()
+                .with_worker_pool(Arc::new(WorkerPool::new(workers)));
+            s.execute_script(setup).unwrap();
+            let t = s.execute(sql).unwrap().table().unwrap().clone();
+            let rows: Vec<Vec<String>> = t
+                .rows()
+                .iter()
+                .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+                .collect();
+            match &reference {
+                None => reference = Some(rows),
+                Some(exp) => assert_eq!(&rows, exp, "workers = {workers}"),
+            }
+        }
     }
 
     #[test]

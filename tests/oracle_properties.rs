@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use maybms_core::algebra::{extract, join_op, join_op_nested, Query};
 use maybms_core::chase::{clean, Constraint};
 use maybms_core::convert::from_worldset;
+use maybms_core::exec::{compile, Executor, WorkerPool};
 use maybms_core::normalize::{normalize, normalize_from_scratch, normalize_full};
 use maybms_core::prob;
 use maybms_core::wsd::Wsd;
@@ -201,6 +202,44 @@ proptest! {
         let a = hashed.to_worldset(1 << 16).expect("enumerate hash");
         let b = nested.to_worldset(1 << 16).expect("enumerate nested");
         prop_assert!(a.equivalent(&b, 1e-9), "hash join diverged from nested loop");
+    }
+
+    /// The physical executor is world-equivalent to the logical
+    /// interpreter on random WSDs and queries, for every worker count
+    /// (1 = inline, 2 and 4 = threaded): compile the raw logical tree to
+    /// a physical plan, run it on a pool of each size, and compare the
+    /// answer world-sets. Queries the interpreter rejects must also be
+    /// rejected by the physical path (at plan or execution time).
+    #[test]
+    fn physical_executor_matches_logical_interpreter(wsd in arb_wsd(), q in arb_query()) {
+        let logical = q.eval(&wsd);
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let physical = compile(&q, &wsd)
+                .and_then(|plan| Executor::new(&pool).run(&plan, &wsd));
+            match (&logical, physical) {
+                (Ok(l), Ok(p)) => {
+                    p.validate().expect("valid physical result");
+                    let lw = l.to_worldset(1 << 16).expect("enumerate logical");
+                    let pw = p.to_worldset(1 << 16).expect("enumerate physical");
+                    prop_assert!(
+                        lw.equivalent(&pw, 1e-9),
+                        "physical diverged from logical at {workers} workers"
+                    );
+                }
+                (Err(_), Err(_)) => {} // both reject: agreement
+                (Ok(_), Err(e)) => {
+                    return Err(TestCaseError(format!(
+                        "physical path rejected a query the interpreter accepts: {e}"
+                    )))
+                }
+                (Err(e), Ok(_)) => {
+                    return Err(TestCaseError(format!(
+                        "physical path accepted a query the interpreter rejects: {e}"
+                    )))
+                }
+            }
+        }
     }
 
     /// Incremental (dirty-set) normalization is world-equivalent to the
