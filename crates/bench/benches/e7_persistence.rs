@@ -1,0 +1,127 @@
+//! E7: persistence — durability throughput on the census workload.
+//!
+//! Three paths, emitted to `BENCH_e7.json` (see the criterion shim):
+//!
+//! * `snapshot_save/bytes=N` — encode the census decomposition and write
+//!   it as a paged, checksummed snapshot (atomic write-new + rename).
+//!   MB/s = `N / mean_ns * 1e3`.
+//! * `snapshot_load/bytes=N` — read + verify every page, decode and
+//!   validate the decomposition. Same MB/s arithmetic.
+//! * `wal_replay/stmts=N` — full crash recovery of a database that was
+//!   never checkpointed: open the WAL, decode all N statement records and
+//!   re-execute them. Statements/s = `N / mean_ns * 1e9`.
+//!
+//! The statement set is the census or-set workload (one `CREATE TABLE`
+//! plus one weighted-or-set `INSERT` per row), the same data the E1–E4
+//! experiments run on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maybms_census::{census_schema, generate, inject, NoiseSpec, CENSUS_REL};
+use maybms_core::codec::{decode_wsd, encode_wsd};
+use maybms_sql::ast::{InsertValue, Statement};
+use maybms_sql::Session;
+use maybms_storage::{read_snapshot, wal_path_for, write_snapshot};
+
+fn fast_mode() -> bool {
+    std::env::var("MAYBMS_BENCH_FAST").map(|v| v != "0").unwrap_or(false)
+}
+
+/// The census workload as a statement log: CREATE TABLE + one INSERT per
+/// or-set row (weighted alternatives preserved exactly).
+fn census_statements(n: usize, seed: u64) -> Vec<Statement> {
+    let base = generate(n, seed);
+    let os = inject(
+        &base,
+        NoiseSpec { rate: 0.02, max_width: 3, weighted: true, seed: seed ^ 0xE7 },
+    )
+    .expect("inject");
+    let columns = census_schema()
+        .columns()
+        .iter()
+        .map(|c| (c.name.clone(), c.ty))
+        .collect();
+    let mut stmts = vec![Statement::CreateTable { name: CENSUS_REL.into(), columns }];
+    for row in os.rows() {
+        let vals: Vec<InsertValue> = row
+            .iter()
+            .map(|cell| match cell.certain_value() {
+                Some(v) => InsertValue::Certain(v.clone()),
+                None => InsertValue::Weighted(cell.alternatives().to_vec()),
+            })
+            .collect();
+        stmts.push(Statement::Insert { table: CENSUS_REL.into(), rows: vec![vals] });
+    }
+    stmts
+}
+
+fn bench_e7(c: &mut Criterion) {
+    let n = if fast_mode() { 300 } else { 2_000 };
+    let stmts = census_statements(n, 7);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let wal_db = dir.join(format!("maybms-e7-wal-{pid}.maybms"));
+    let snap = dir.join(format!("maybms-e7-snap-{pid}.maybms"));
+    let cleanup = |p: &std::path::Path| {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(wal_path_for(p));
+    };
+    cleanup(&wal_db);
+    cleanup(&snap);
+
+    // Build a database whose entire state lives in the WAL (never
+    // checkpointed) — the worst-case recovery input.
+    {
+        let mut s = Session::open(&wal_db).expect("create database");
+        s.set_wal_sync(false); // measuring replay, not fsync latency
+        for stmt in &stmts {
+            s.run(stmt).expect("apply census statement");
+        }
+    }
+    // Recover it once to obtain the decomposition for the snapshot paths.
+    let wsd = Session::open(&wal_db).expect("recover").wsd().clone();
+    let payload = encode_wsd(&wsd);
+
+    let mut g = c.benchmark_group("e7_persistence");
+    g.sample_size(10);
+
+    g.bench_with_input(
+        BenchmarkId::new("snapshot_save", format!("bytes={}", payload.len())),
+        &wsd,
+        |b, wsd| {
+            b.iter(|| {
+                let p = encode_wsd(wsd);
+                write_snapshot(&snap, 1, &p).expect("save snapshot");
+                std::hint::black_box(p.len())
+            });
+        },
+    );
+
+    write_snapshot(&snap, 1, &payload).expect("seed snapshot");
+    g.bench_with_input(
+        BenchmarkId::new("snapshot_load", format!("bytes={}", payload.len())),
+        &snap,
+        |b, snap| {
+            b.iter(|| {
+                let (_meta, p) = read_snapshot(snap).expect("read snapshot");
+                std::hint::black_box(decode_wsd(&p).expect("decode snapshot").stats())
+            });
+        },
+    );
+
+    g.bench_with_input(
+        BenchmarkId::new("wal_replay", format!("stmts={}", stmts.len())),
+        &wal_db,
+        |b, db| {
+            b.iter(|| {
+                std::hint::black_box(Session::open(db).expect("recover").wsd().stats())
+            });
+        },
+    );
+    g.finish();
+
+    cleanup(&wal_db);
+    cleanup(&snap);
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -159,6 +159,49 @@ impl Component {
         Component { fields, cols, probs, ragged_arity }
     }
 
+    /// Rebuilds a component from its raw columnar parts — the snapshot
+    /// codec's constructor. Column shapes and code ranges are checked here
+    /// (a corrupt snapshot must not panic later); probabilistic invariants
+    /// are left to [`Component::validate`].
+    pub(crate) fn from_parts(
+        fields: Vec<Field>,
+        raw_cols: Vec<(Vec<Cell>, Vec<u32>)>,
+        probs: Vec<f64>,
+    ) -> Result<Component> {
+        if raw_cols.len() != fields.len() {
+            return Err(Error::Storage(format!(
+                "component has {} columns for {} fields",
+                raw_cols.len(),
+                fields.len()
+            )));
+        }
+        let mut cols = Vec::with_capacity(raw_cols.len());
+        for (dict, codes) in raw_cols {
+            if codes.len() != probs.len() {
+                return Err(Error::Storage(format!(
+                    "column holds {} codes for {} rows",
+                    codes.len(),
+                    probs.len()
+                )));
+            }
+            if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict.len()) {
+                return Err(Error::Storage(format!(
+                    "code {bad} out of range for a {}-entry dictionary",
+                    dict.len()
+                )));
+            }
+            cols.push(Column { dict, codes });
+        }
+        Ok(Component { fields, cols, probs, ragged_arity: None })
+    }
+
+    /// The raw columnar parts of one column: `(dictionary, codes)` — what
+    /// the snapshot codec serializes. Paired with [`Component::from_parts`].
+    pub(crate) fn col_parts(&self, col: usize) -> (&[Cell], &[u32]) {
+        let c = &self.cols[col];
+        (&c.dict, &c.codes)
+    }
+
     /// A single-field component from weighted alternatives — the shape every
     /// or-set field decomposes into.
     pub fn singleton(field: Field, alternatives: Vec<(Cell, f64)>) -> Component {
@@ -446,6 +489,33 @@ impl Component {
         }
         self.probs = kept_rows.iter().map(|&r| self.probs[r]).collect();
         removed
+    }
+
+    /// Garbage-collects dictionary entries no live code references.
+    /// ⊥-propagation ([`Component::set_bottom`]) and merges of components
+    /// whose dictionaries already carried garbage leave *orphaned* interned
+    /// cells behind — without this, dictionaries only grow. Surviving
+    /// entries are re-numbered in first-occurrence order of the live codes
+    /// (the order [`Component::possible_values`] observes is unchanged,
+    /// since it walks codes, not the dictionary). Returns true iff any
+    /// dictionary shrank.
+    pub fn compact(&mut self) -> bool {
+        let all_rows: Vec<usize> = (0..self.num_rows()).collect();
+        let mut changed = false;
+        for col in &mut self.cols {
+            let mut referenced = vec![false; col.dict.len()];
+            for &code in &col.codes {
+                referenced[code as usize] = true;
+            }
+            if referenced.iter().all(|&r| r) {
+                continue; // nothing orphaned; keep codes and order as-is
+            }
+            // Re-intern keeping every row: same remap logic the row-subset
+            // paths (retain/dedup/project) already use.
+            col.compact(&all_rows);
+            changed = true;
+        }
+        changed
     }
 
     /// Rescales every probability by `1/total` (chase renormalization).
@@ -764,6 +834,44 @@ mod tests {
         let k = Component::singleton(f(1, 0), vec![(val("k"), 0.4), (val("k"), 0.6)]);
         assert!(!k.column_all_bottom(0));
         assert_eq!(k.column_constant(0), Some(&val("k")));
+    }
+
+    #[test]
+    fn compact_shrinks_dictionary_after_bulk_delete() {
+        // 6 distinct values interned, then a bulk delete: every row but one
+        // is ⊥-marked. The dictionary keeps the orphaned cells (it only
+        // ever grows) until compact() garbage-collects them.
+        let alts: Vec<(Cell, f64)> = (0..6)
+            .map(|i| (Cell::Val(Value::Int(i)), 1.0 / 6.0))
+            .collect();
+        let mut c = Component::singleton(f(1, 0), alts);
+        assert_eq!(c.dict(0).len(), 6);
+        for row in 1..6 {
+            assert!(c.set_bottom(row, 0));
+        }
+        // ⊥ joined the dictionary; the five displaced values are orphaned
+        assert_eq!(c.dict(0).len(), 7);
+        assert!(c.compact());
+        assert_eq!(c.dict(0).len(), 2, "only Int(0) and ⊥ are live");
+        assert_eq!(c.cell(0, 0), &Cell::Val(Value::Int(0)));
+        assert!(c.cell(3, 0).is_bottom());
+        assert_eq!(c.possible_values(f(1, 0)), vec![Value::Int(0)]);
+        // second call is a no-op
+        assert!(!c.compact());
+    }
+
+    #[test]
+    fn compact_preserves_merge_garbage_semantics() {
+        // product() shares dictionaries, so garbage survives a merge and
+        // compaction afterwards must not disturb row data
+        let mut a = Component::singleton(f(1, 0), vec![(val("x"), 0.5), (val("y"), 0.5)]);
+        a.set_bottom(1, 0); // orphan "y"
+        let b = Component::singleton(f(2, 0), vec![(val("p"), 0.3), (val("q"), 0.7)]);
+        let mut prod = a.product(&b);
+        let before: Vec<CompRow> = prod.rows();
+        assert!(prod.compact());
+        assert_eq!(prod.rows(), before);
+        assert_eq!(prod.dict(0).len(), 2, "x and ⊥; y collected");
     }
 
     #[test]

@@ -78,11 +78,18 @@
 //! normalize scans, per-cluster confidence distributions, per-tuple
 //! join probing — run through the pool and are deterministic at every
 //! worker count.
+//!
+//! **Durability.** [`codec`] serializes a whole decomposition to a
+//! lossless, versioned binary payload (and validates on load); the
+//! `maybms-storage` crate stores that payload as checksummed pages with
+//! a write-ahead log, and the SQL session layer wires `Session::open` /
+//! `CHECKPOINT` on top.
 
 pub mod algebra;
 pub mod bigint;
 pub mod cell;
 pub mod chase;
+pub mod codec;
 pub mod component;
 pub mod convert;
 pub mod display;

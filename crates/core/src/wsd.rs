@@ -98,12 +98,13 @@ pub struct Wsd {
     /// field → (component index, column index). Many-to-one: derived tuples
     /// *alias* the columns of the tuples they were computed from, which is
     /// how correlations between query results and their inputs are kept.
-    field_map: HashMap<Field, (usize, usize)>,
+    /// `pub(crate)` for the lossless snapshot codec ([`crate::codec`]).
+    pub(crate) field_map: HashMap<Field, (usize, usize)>,
     /// Reverse index, aligned with `components`: `rev[c][col]` lists the
     /// fields currently mapped to `(c, col)`.
-    rev: Vec<Vec<Vec<Field>>>,
+    pub(crate) rev: Vec<Vec<Vec<Field>>>,
     /// Components touched since the last incremental normalize.
-    dirty: BTreeSet<usize>,
+    pub(crate) dirty: BTreeSet<usize>,
     pub(crate) next_tid: u64,
 }
 
@@ -123,6 +124,21 @@ impl Wsd {
             dirty: BTreeSet::new(),
             next_tid: 0,
         }
+    }
+
+    /// Reassembles a decomposition from its raw parts — the snapshot
+    /// codec's constructor ([`crate::codec::decode_wsd`]). The caller is
+    /// responsible for running [`Wsd::validate`] on the result; this does
+    /// no checking itself.
+    pub(crate) fn from_parts(
+        relations: BTreeMap<String, RelTemplate>,
+        components: Vec<Option<Component>>,
+        field_map: HashMap<Field, (usize, usize)>,
+        rev: Vec<Vec<Vec<Field>>>,
+        dirty: BTreeSet<usize>,
+        next_tid: u64,
+    ) -> Wsd {
+        Wsd { relations, components, field_map, rev, dirty, next_tid }
     }
 
     // ------------------------------------------------------------------
@@ -838,9 +854,14 @@ impl Wsd {
     }
 
     /// Drops tombstoned component slots, remapping the field map, reverse
-    /// index and dirty set. Call after batches of merges to keep indices
-    /// dense.
+    /// index and dirty set, and garbage-collects each surviving
+    /// component's interned-cell dictionaries ([`Component::compact`]).
+    /// Call after batches of merges/deletes to keep indices dense and
+    /// dictionaries tight.
     pub fn compact(&mut self) {
+        for c in self.components.iter_mut().flatten() {
+            c.compact();
+        }
         let mut remap: Vec<Option<usize>> = vec![None; self.components.len()];
         let mut new_comps: Vec<Option<Component>> = Vec::with_capacity(self.components.len());
         let mut new_rev: Vec<Vec<Vec<Field>>> = Vec::with_capacity(self.rev.len());

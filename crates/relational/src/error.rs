@@ -23,6 +23,9 @@ pub enum Error {
     InvalidExpr(String),
     /// Division by zero or other arithmetic failure.
     Arithmetic(String),
+    /// Durable-storage failure: I/O error, corrupt page or WAL record,
+    /// or an unreadable snapshot/log format.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -36,6 +39,7 @@ impl fmt::Display for Error {
             Error::Csv(m) => write!(f, "csv error: {m}"),
             Error::InvalidExpr(m) => write!(f, "invalid expression: {m}"),
             Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -29,6 +29,9 @@ pub enum Statement {
     Repair(RepairStmt),
     Explain(Box<Statement>),
     ShowTables,
+    /// `CHECKPOINT` — compact the write-ahead log into a fresh snapshot
+    /// (requires a session opened on a database file).
+    Checkpoint,
 }
 
 /// One value of an INSERT row: certain or an or-set.

@@ -75,7 +75,7 @@ const KEYWORDS: &[&str] = &[
     "POSSIBLE", "CERTAIN", "PROB", "CONF", "UNION", "EXCEPT", "CREATE", "TABLE", "INSERT",
     "INTO", "VALUES", "INT", "TEXT", "FLOAT", "BOOL", "TRUE", "FALSE", "EXPLAIN", "REPAIR",
     "KEY", "FD", "CHECK", "SHOW", "TABLES", "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP", "BY",
-    "ORDER", "LIMIT", "EXPECTED", "DROP", "HAVING", "ALTER", "RENAME", "TO",
+    "ORDER", "LIMIT", "EXPECTED", "DROP", "HAVING", "ALTER", "RENAME", "TO", "CHECKPOINT",
 ];
 
 /// Tokenizes `input`, returning the token list or a lexical error.

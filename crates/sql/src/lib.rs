@@ -16,12 +16,19 @@
 //! assert_eq!(t.rows()[0][1], maybms_relational::Value::Float(0.4));
 //! ```
 
+//!
+//! Sessions can be **durable**: [`Session::open`] backs a session with a
+//! snapshot + write-ahead-log pair (`maybms-storage`), every committed
+//! mutation is logged ([`wire`] is the record format), and the
+//! `CHECKPOINT` statement compacts the log into a fresh snapshot.
+
 pub mod ast;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod session;
+pub mod wire;
 
 pub use ast::Statement;
 pub use parser::{parse, parse_script};

@@ -132,6 +132,10 @@ impl Parser {
                     self.expect_keyword("TABLES")?;
                     Ok(Statement::ShowTables)
                 }
+                "CHECKPOINT" => {
+                    self.next();
+                    Ok(Statement::Checkpoint)
+                }
                 other => Err(Error::InvalidExpr(format!("unexpected keyword {other}"))),
             },
             t => Err(Error::InvalidExpr(format!("expected a statement, found {t:?}"))),
@@ -685,6 +689,13 @@ mod tests {
             Statement::Explain(_)
         ));
         assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::ShowTables));
+    }
+
+    #[test]
+    fn parses_checkpoint() {
+        assert!(matches!(parse("CHECKPOINT").unwrap(), Statement::Checkpoint));
+        assert!(matches!(parse("checkpoint;").unwrap(), Statement::Checkpoint));
+        assert!(parse("CHECKPOINT now").is_err());
     }
 
     #[test]

@@ -6,20 +6,36 @@
 //! with the session's [`WorkerPool`]. The pool defaults to the shared
 //! process-wide pool (sized by `MAYBMS_WORKERS` or the machine's
 //! parallelism); [`Session::with_worker_pool`] overrides it.
+//!
+//! # Durability
+//!
+//! A session opened with [`Session::open`] (or made durable with
+//! [`Session::attach`]) is backed by a `maybms-storage`
+//! [`Database`]: every committed mutation (`CREATE` / `DROP` / `ALTER` /
+//! `INSERT` / `REPAIR`) is appended to the write-ahead log *after* it
+//! succeeds in memory, and `CHECKPOINT` compacts the log into a fresh
+//! snapshot of the whole decomposition (atomic write-new + rename).
+//! Reopening after a crash loads the last snapshot and replays the log's
+//! committed prefix — the engine is deterministic, so recovery reproduces
+//! the exact pre-crash state at any worker count.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use maybms_core::chase::{clean, CleaningReport, Constraint};
+use maybms_core::codec::{decode_wsd, encode_wsd};
 use maybms_core::exec::{compile, explain_physical, global_pool, Executor, WorkerPool};
 use maybms_core::prob;
 use maybms_core::wsd::Wsd;
-use maybms_relational::{Column, ColumnType, Relation, Result, Schema, Tuple, Value};
+use maybms_relational::{Column, ColumnType, Error, Relation, Result, Schema, Tuple, Value};
+use maybms_storage::Database;
 use maybms_worldset::OrSetCell;
 
 use crate::ast::{InsertValue, RepairStmt, SelectStmt, Statement, WorldMode};
 use crate::optimizer::{explain, optimize};
 use crate::parser::{parse, parse_script};
 use crate::plan::lower_select;
+use crate::wire;
 
 /// The outcome of executing one statement.
 #[derive(Debug, Clone)]
@@ -52,7 +68,7 @@ impl QueryResult {
 }
 
 /// A MayBMS session: the incomplete database plus execution settings.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Session {
     wsd: Wsd,
     /// Disable to execute unoptimized plans (used by the E3 ablation).
@@ -61,11 +77,30 @@ pub struct Session {
     pub cleaning_log: Vec<CleaningReport>,
     /// The worker pool physical plans and confidence computation run on.
     pool: Arc<WorkerPool>,
+    /// The durable backing store, when this session was opened on (or
+    /// attached to) a database file.
+    storage: Option<Database>,
 }
 
 impl Default for Session {
     fn default() -> Session {
         Session::new()
+    }
+}
+
+impl Clone for Session {
+    /// Clones the in-memory state only: the clone is **detached** from any
+    /// database file (two sessions appending to one write-ahead log would
+    /// interleave corruptly). Use [`Session::attach`] to give the clone
+    /// its own file.
+    fn clone(&self) -> Session {
+        Session {
+            wsd: self.wsd.clone(),
+            optimize_plans: self.optimize_plans,
+            cleaning_log: self.cleaning_log.clone(),
+            pool: self.pool.clone(),
+            storage: None,
+        }
     }
 }
 
@@ -76,6 +111,84 @@ impl Session {
             optimize_plans: true,
             cleaning_log: Vec::new(),
             pool: global_pool(),
+            storage: None,
+        }
+    }
+
+    /// Opens (or creates) a durable session on the database at `path`
+    /// (conventionally `*.maybms`; the write-ahead log lives next to it
+    /// at `<path>.wal`). Recovery runs here: the latest snapshot is
+    /// decoded and validated, then the WAL's committed prefix is replayed
+    /// — so the returned session holds exactly the state as of the last
+    /// committed statement, even after a crash.
+    pub fn open(path: impl AsRef<Path>) -> Result<Session> {
+        let recovered = Database::open(path)?;
+        let wsd = match &recovered.snapshot {
+            Some(payload) => decode_wsd(payload)?,
+            None => Wsd::new(),
+        };
+        let mut session = Session::with_wsd(wsd);
+        for record in &recovered.records {
+            let stmt = wire::decode_statement(record)?;
+            // Replay bypasses run(): already-logged statements must not be
+            // logged again. Replay failure means a corrupt log (every
+            // logged statement succeeded once and the engine is
+            // deterministic), so it surfaces as an error.
+            session.apply(&stmt).map_err(|e| {
+                Error::Storage(format!("WAL replay failed on {stmt:?}: {e}"))
+            })?;
+        }
+        session.storage = Some(recovered.db);
+        Ok(session)
+    }
+
+    /// Attaches durability to an in-memory session: creates the database
+    /// files at `path` and immediately checkpoints the current state.
+    /// Refuses to clobber an existing database.
+    pub fn attach(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        if self.storage.is_some() {
+            return Err(Error::Storage(
+                "session is already attached to a database file".into(),
+            ));
+        }
+        let recovered = Database::open(path.as_ref())?;
+        if recovered.snapshot.is_some()
+            || !recovered.records.is_empty()
+            || recovered.db.generation() != 0
+        {
+            return Err(Error::Storage(format!(
+                "refusing to attach: {} already holds a database",
+                path.as_ref().display()
+            )));
+        }
+        let mut db = recovered.db;
+        db.checkpoint(&encode_wsd(&self.wsd))?;
+        self.storage = Some(db);
+        Ok(())
+    }
+
+    /// Whether this session writes through to a database file.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The snapshot generation of the backing store, if attached.
+    pub fn storage_generation(&self) -> Option<u64> {
+        self.storage.as_ref().map(Database::generation)
+    }
+
+    /// Committed WAL bytes (header included), if attached — tests use
+    /// this to observe checkpoint compaction.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.storage.as_ref().map(Database::wal_len)
+    }
+
+    /// Disables (or re-enables) the per-statement WAL fsync — see
+    /// `maybms_storage::Wal::set_sync`. Benches only; with sync off a
+    /// power failure may lose acknowledged statements.
+    pub fn set_wal_sync(&mut self, sync: bool) {
+        if let Some(db) = &mut self.storage {
+            db.set_sync(sync);
         }
     }
 
@@ -120,8 +233,36 @@ impl Session {
         Ok(last)
     }
 
-    /// Executes a parsed statement.
+    /// Executes a parsed statement. On a durable session, a mutation that
+    /// succeeded in memory is appended to the write-ahead log (and
+    /// fsynced) before this returns — once you have the `Ok`, the
+    /// statement survives a crash.
     pub fn run(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        let result = self.apply(stmt)?;
+        if wire::is_mutation(stmt) {
+            if let Some(db) = &mut self.storage {
+                if let Err(e) = wire::encode_statement(stmt).and_then(|r| db.append(&r)) {
+                    // Memory has the mutation but the log does not. Keeping
+                    // the file attached would log *later* statements against
+                    // a state the disk never saw — permanent divergence and
+                    // an unreplayable WAL. Detach instead: durability is
+                    // lost loudly, the on-disk prefix stays consistent, and
+                    // reopening the path recovers it.
+                    self.storage = None;
+                    return Err(Error::Storage(format!(
+                        "statement applied in memory but could not be committed to the \
+                         write-ahead log; database file detached (reopen to recover \
+                         the last durable state): {e}"
+                    )));
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Statement dispatch without WAL logging (recovery replays through
+    /// this; [`Session::run`] adds the logging).
+    fn apply(&mut self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Select(sel) => self.run_select(sel),
             Statement::CreateTable { name, columns } => {
@@ -147,7 +288,12 @@ impl Session {
                 Ok(QueryResult::Text(format!("renamed table {from} to {to}")))
             }
             Statement::Insert { table, rows } => {
-                let mut n = 0;
+                // Build and type-check every row before pushing any: an
+                // INSERT either applies fully or not at all. (The WAL only
+                // records statements that succeeded; a partially applied
+                // failure would make replay diverge from memory.)
+                let schema = self.wsd.relation(table)?.schema.clone();
+                let mut staged = Vec::with_capacity(rows.len());
                 for row in rows {
                     let cells = row
                         .iter()
@@ -157,8 +303,28 @@ impl Session {
                             InsertValue::Weighted(ws) => OrSetCell::weighted(ws.clone()),
                         })
                         .collect::<Result<Vec<_>>>()?;
+                    if cells.len() != schema.len() {
+                        return Err(Error::TypeError(format!(
+                            "tuple arity {} vs schema {}",
+                            cells.len(),
+                            schema.len()
+                        )));
+                    }
+                    for (i, c) in cells.iter().enumerate() {
+                        for (v, _) in c.alternatives() {
+                            if !v.matches_type(schema.column(i).ty) {
+                                return Err(Error::TypeError(format!(
+                                    "value {v} not valid for column {}",
+                                    schema.column(i).name
+                                )));
+                            }
+                        }
+                    }
+                    staged.push(cells);
+                }
+                let n = staged.len();
+                for cells in staged {
                     self.wsd.push_orset(table, cells)?;
-                    n += 1;
                 }
                 Ok(QueryResult::Text(format!("inserted {n} tuple(s) into {table}")))
             }
@@ -178,7 +344,14 @@ impl Session {
                         pred: pred.clone(),
                     },
                 };
-                let report = clean(&mut self.wsd, &[constraint])?;
+                // Chase on a scratch copy: a failing REPAIR (no consistent
+                // world) may abort mid-chase, and partial deletions must
+                // not leak into session state — the WAL only records
+                // statements that fully succeeded, so memory has to be
+                // all-or-nothing too.
+                let mut cleaned = self.wsd.clone();
+                let report = clean(&mut cleaned, &[constraint])?;
+                self.wsd = cleaned;
                 let msg = format!(
                     "repaired: {} violating row group(s) removed, {:.4} probability mass discarded",
                     report.deleted_rows, report.removed_probability
@@ -205,6 +378,22 @@ impl Session {
             Statement::ShowTables => {
                 let names: Vec<&str> = self.wsd.relation_names().collect();
                 Ok(QueryResult::Text(names.join("\n")))
+            }
+            Statement::Checkpoint => {
+                let Some(db) = self.storage.as_mut() else {
+                    return Err(Error::Storage(
+                        "CHECKPOINT requires a session opened on a database file \
+                         (use Session::open or Session::attach)"
+                            .into(),
+                    ));
+                };
+                let payload = encode_wsd(&self.wsd);
+                db.checkpoint(&payload)?;
+                Ok(QueryResult::Text(format!(
+                    "checkpointed generation {} ({} bytes, WAL reset)",
+                    db.generation(),
+                    payload.len()
+                )))
             }
         }
     }
@@ -671,5 +860,150 @@ mod tests {
             s.execute("INSERT INTO t VALUES ('wrong type')"),
             "type error",
         );
+    }
+
+    #[test]
+    fn failed_repair_leaves_state_untouched() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE r (a INT, b INT)").unwrap();
+        // two certain tuples conflicting under the FD, plus an uncertain
+        // one the chase would prune first if it ran eagerly
+        s.execute("INSERT INTO r VALUES (1, {1: 0.5, 2: 0.5}), (2, 1), (2, 2)")
+            .unwrap();
+        let before = maybms_core::codec::encode_wsd(s.wsd());
+        // (2,1) vs (2,2) violate a -> b in every world: repair must fail …
+        assert!(s.execute("REPAIR FD r: a -> b").is_err());
+        // … and leave the decomposition byte-identical (no partial chase)
+        assert_eq!(before, maybms_core::codec::encode_wsd(s.wsd()));
+        assert!(s.cleaning_log.is_empty());
+    }
+
+    #[test]
+    fn insert_is_atomic() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        // second row is ill-typed: the whole statement must be a no-op
+        err_contains(
+            s.execute("INSERT INTO t VALUES (1), ('bad')"),
+            "type error",
+        );
+        let r = s.execute("SELECT POSSIBLE a FROM t").unwrap();
+        assert_eq!(r.table().unwrap().len(), 0, "failed INSERT left rows behind");
+        // arity mismatch in a later row is also atomic
+        err_contains(s.execute("INSERT INTO t VALUES (1), (2, 3)"), "arity");
+        assert_eq!(
+            s.execute("SELECT POSSIBLE a FROM t").unwrap().table().unwrap().len(),
+            0
+        );
+    }
+
+    fn db_path(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir()
+            .join(format!("maybms-session-{}-{name}.maybms", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(maybms_storage::wal_path_for(&p));
+        p
+    }
+
+    fn rm_db(p: &std::path::Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(maybms_storage::wal_path_for(p));
+    }
+
+    #[test]
+    fn durable_session_survives_reopen_without_checkpoint() {
+        let path = db_path("reopen");
+        {
+            let mut s = Session::open(&path).unwrap();
+            assert!(s.is_durable());
+            s.execute_script(
+                "CREATE TABLE p (ssn INT, name TEXT); \
+                 INSERT INTO p VALUES ({1: 0.5, 2: 0.5}, 'ann'), (2, 'bob'); \
+                 REPAIR KEY p(ssn)",
+            )
+            .unwrap();
+            // dropped here without CHECKPOINT: recovery must replay the WAL
+        }
+        let mut s = Session::open(&path).unwrap();
+        let r = s.execute("SELECT POSSIBLE ssn, name, PROB() FROM p ORDER BY name").unwrap();
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::Int(1)); // ann's ssn repaired to 1
+        assert_eq!(t.rows()[0][2], Value::Float(1.0));
+        rm_db(&path);
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_wal() {
+        let path = db_path("ckpt");
+        let mut s = Session::open(&path).unwrap();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("INSERT INTO t VALUES ({1: 0.9, 2: 0.1})").unwrap();
+        let wal_before = s.wal_len().unwrap();
+        assert!(wal_before > maybms_storage::WAL_HEADER_LEN);
+        let r = s.execute("CHECKPOINT").unwrap();
+        assert!(matches!(r, QueryResult::Text(ref t) if t.contains("checkpointed")));
+        assert_eq!(s.wal_len().unwrap(), maybms_storage::WAL_HEADER_LEN);
+        assert_eq!(s.storage_generation(), Some(1));
+        // statements after the checkpoint land in the fresh WAL …
+        s.execute("INSERT INTO t VALUES (7)").unwrap();
+        drop(s);
+        // … and reopening sees snapshot + tail
+        let mut s2 = Session::open(&path).unwrap();
+        assert_eq!(
+            s2.execute("SELECT POSSIBLE x FROM t").unwrap().table().unwrap().len(),
+            3
+        );
+        rm_db(&path);
+    }
+
+    #[test]
+    fn checkpoint_requires_a_database_file() {
+        let mut s = Session::new();
+        err_contains(s.execute("CHECKPOINT"), "requires a session opened");
+    }
+
+    #[test]
+    fn attach_makes_a_session_durable_and_refuses_clobbering() {
+        let path = db_path("attach");
+        let mut s = medical_session();
+        s.attach(&path).unwrap();
+        assert!(s.is_durable());
+        assert_eq!(s.storage_generation(), Some(1), "attach checkpoints immediately");
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        drop(s);
+        // reopen: medical data + the new table are both there
+        let mut s2 = Session::open(&path).unwrap();
+        let r = s2.execute("SELECT test, PROB() FROM R WHERE diagnosis = 'pregnancy'").unwrap();
+        assert_eq!(r.table().unwrap().rows()[0][1], Value::Float(0.4));
+        // attaching another session onto the same files is refused
+        let mut s3 = Session::new();
+        let e = s3.attach(&path).unwrap_err();
+        assert!(e.to_string().contains("already holds a database"), "{e}");
+        // and double-attach is refused
+        let e2 = s2.attach(db_path("attach-other")).unwrap_err();
+        assert!(e2.to_string().contains("already attached"), "{e2}");
+        rm_db(&path);
+        rm_db(&db_path("attach-other"));
+    }
+
+    #[test]
+    fn clones_are_detached() {
+        let path = db_path("clone");
+        let mut s = Session::open(&path).unwrap();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        let mut c = s.clone();
+        assert!(!c.is_durable());
+        // the clone keeps the state but mutations no longer hit the WAL
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        drop(s);
+        drop(c);
+        let mut back = Session::open(&path).unwrap();
+        assert_eq!(
+            back.execute("SELECT POSSIBLE x FROM t").unwrap().table().unwrap().len(),
+            0,
+            "clone's insert must not reach the log"
+        );
+        rm_db(&path);
     }
 }

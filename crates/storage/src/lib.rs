@@ -1,0 +1,40 @@
+//! # maybms-storage
+//!
+//! The durable storage engine of MayBMS-rs: before this crate, a
+//! world-set decomposition lived only in RAM — every session started from
+//! CSV loads and died with the process. This crate makes a database
+//! survive its process with three small, dependency-free pieces (all
+//! binary formats are hand-rolled, little-endian, and versioned behind
+//! magic headers):
+//!
+//! * [`pager`] — fixed-size **checksummed pages** over a file. Every page
+//!   carries a CRC-32 of its index + payload, so bit rot, torn writes and
+//!   transplanted pages are detected on read.
+//! * [`snapshot`] — the **snapshot file** (`*.maybms`): one opaque
+//!   payload (the encoded WSD, see `maybms_core::codec`) chunked across
+//!   pages behind a preamble with magic, format version, generation and a
+//!   whole-payload CRC. Snapshots are replaced atomically (write-new +
+//!   rename).
+//! * [`wal`] — the **write-ahead log** (`*.maybms.wal`): CRC-framed
+//!   append-only records of committed logical mutations. A torn tail is
+//!   truncated on open; replay sees exactly the committed prefix.
+//!
+//! [`db::Database`] ties them together with a generation counter so that
+//! recovery never replays a record twice and never loses a committed one,
+//! whichever instant the process died at. The payloads themselves are
+//! opaque here: `maybms-core` encodes decompositions, `maybms-sql`
+//! encodes statements (both on top of [`bytes`]), and the session layer
+//! wires `Session::open` / `CHECKPOINT` to this crate.
+
+pub mod bytes;
+pub mod crc;
+pub mod db;
+pub mod pager;
+pub mod snapshot;
+pub mod wal;
+
+pub use bytes::{Reader, Writer};
+pub use db::{wal_path_for, Database, Recovered};
+pub use pager::{Pager, DEFAULT_PAGE_SIZE, PAGE_HEADER_LEN};
+pub use snapshot::{read_snapshot, write_snapshot, SnapshotMeta};
+pub use wal::{Wal, WAL_HEADER_LEN};

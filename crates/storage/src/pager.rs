@@ -1,0 +1,257 @@
+//! The pager: fixed-size, checksummed pages over a file.
+//!
+//! A paged region of a file is a sequence of `page_size`-byte pages
+//! starting at a base offset. Each page is:
+//!
+//! ```text
+//! ┌──────────┬──────────────┬────────────────────────────┬─────────┐
+//! │ crc  u32 │ payload_len  │ payload (≤ page_size − 8)  │ zero    │
+//! │          │ u32          │                            │ padding │
+//! └──────────┴──────────────┴────────────────────────────┴─────────┘
+//! ```
+//!
+//! The CRC-32 covers the page *index* (little-endian `u32`) followed by
+//! the payload bytes, so a page that is bit-rotted, torn, or transplanted
+//! from another position in the file fails verification. Large payloads
+//! are chunked across consecutive pages by [`Pager::write_payload`] /
+//! [`Pager::read_payload`].
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use maybms_relational::{Error, Result};
+
+use crate::crc::{crc32, crc32_seeded};
+
+/// Bytes of per-page framing: CRC-32 plus the payload length.
+pub const PAGE_HEADER_LEN: usize = 8;
+
+/// Default page size for snapshot files.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+pub(crate) fn io_err(ctx: &str, e: std::io::Error) -> Error {
+    Error::Storage(format!("{ctx}: {e}"))
+}
+
+/// Reads and writes checksummed fixed-size pages of one open file.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    base: u64,
+    page_size: usize,
+}
+
+impl Pager {
+    /// Wraps an open file whose paged region starts at `base`.
+    pub fn new(file: File, base: u64, page_size: usize) -> Result<Pager> {
+        if page_size <= PAGE_HEADER_LEN {
+            return Err(Error::Storage(format!(
+                "page size {page_size} does not fit the {PAGE_HEADER_LEN}-byte page header"
+            )));
+        }
+        Ok(Pager { file, base, page_size })
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Payload bytes one page can carry.
+    pub fn capacity(&self) -> usize {
+        self.page_size - PAGE_HEADER_LEN
+    }
+
+    /// Pages needed for a payload of `len` bytes (at least one).
+    pub fn pages_for(&self, len: usize) -> u32 {
+        (len.max(1)).div_ceil(self.capacity()) as u32
+    }
+
+    fn offset_of(&self, idx: u32) -> u64 {
+        self.base + idx as u64 * self.page_size as u64
+    }
+
+    /// Writes one page. The payload must fit in [`Pager::capacity`].
+    pub fn write_page(&mut self, idx: u32, payload: &[u8]) -> Result<()> {
+        if payload.len() > self.capacity() {
+            return Err(Error::Storage(format!(
+                "payload of {} bytes exceeds page capacity {}",
+                payload.len(),
+                self.capacity()
+            )));
+        }
+        let mut page = vec![0u8; self.page_size];
+        let crc = crc32_seeded(crc32(&idx.to_le_bytes()), payload);
+        page[0..4].copy_from_slice(&crc.to_le_bytes());
+        page[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        page[PAGE_HEADER_LEN..PAGE_HEADER_LEN + payload.len()].copy_from_slice(payload);
+        self.file
+            .seek(SeekFrom::Start(self.offset_of(idx)))
+            .map_err(|e| io_err("seek to page", e))?;
+        self.file.write_all(&page).map_err(|e| io_err("write page", e))
+    }
+
+    /// Reads and verifies one page, returning its payload.
+    pub fn read_page(&mut self, idx: u32) -> Result<Vec<u8>> {
+        self.file
+            .seek(SeekFrom::Start(self.offset_of(idx)))
+            .map_err(|e| io_err("seek to page", e))?;
+        let mut page = vec![0u8; self.page_size];
+        self.file
+            .read_exact(&mut page)
+            .map_err(|e| io_err(&format!("read page {idx}"), e))?;
+        let stored_crc = u32::from_le_bytes(page[0..4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(page[4..8].try_into().expect("4 bytes")) as usize;
+        if len > self.capacity() {
+            return Err(Error::Storage(format!(
+                "page {idx} declares {len} payload bytes, capacity is {}",
+                self.capacity()
+            )));
+        }
+        let payload = &page[PAGE_HEADER_LEN..PAGE_HEADER_LEN + len];
+        let crc = crc32_seeded(crc32(&idx.to_le_bytes()), payload);
+        if crc != stored_crc {
+            return Err(Error::Storage(format!(
+                "checksum mismatch on page {idx}: stored {stored_crc:#010x}, computed {crc:#010x}"
+            )));
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Chunks `payload` across consecutive pages starting at page 0 and
+    /// returns the number of pages written.
+    pub fn write_payload(&mut self, payload: &[u8]) -> Result<u32> {
+        let cap = self.capacity();
+        let mut idx = 0u32;
+        let mut rest = payload;
+        loop {
+            let take = rest.len().min(cap);
+            self.write_page(idx, &rest[..take])?;
+            rest = &rest[take..];
+            idx += 1;
+            if rest.is_empty() {
+                return Ok(idx);
+            }
+        }
+    }
+
+    /// Reassembles a payload of exactly `len` bytes written by
+    /// [`Pager::write_payload`], verifying every page checksum.
+    pub fn read_payload(&mut self, len: u64) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len as usize);
+        let mut idx = 0u32;
+        while (out.len() as u64) < len || (len == 0 && idx == 0) {
+            let page = self.read_page(idx)?;
+            if page.is_empty() && len > 0 {
+                return Err(Error::Storage(format!(
+                    "payload ends early: page {idx} is empty with {} of {len} bytes read",
+                    out.len()
+                )));
+            }
+            out.extend_from_slice(&page);
+            idx += 1;
+        }
+        if out.len() as u64 != len {
+            return Err(Error::Storage(format!(
+                "payload length mismatch: read {} bytes, header declares {len}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_all().map_err(|e| io_err("sync", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir()
+            .join(format!("maybms-pager-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn open_rw(p: &PathBuf) -> File {
+        OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(p)
+            .unwrap()
+    }
+
+    #[test]
+    fn single_page_round_trip() {
+        let path = tmp("single");
+        let mut pager = Pager::new(open_rw(&path), 0, 64).unwrap();
+        pager.write_page(0, b"hello").unwrap();
+        pager.write_page(1, b"world").unwrap();
+        assert_eq!(pager.read_page(0).unwrap(), b"hello");
+        assert_eq!(pager.read_page(1).unwrap(), b"world");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multi_page_payload_round_trip() {
+        let path = tmp("multi");
+        let mut pager = Pager::new(open_rw(&path), 16, 32).unwrap();
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let pages = pager.write_payload(&payload).unwrap();
+        assert_eq!(pages, pager.pages_for(payload.len()));
+        assert_eq!(pager.read_payload(payload.len() as u64).unwrap(), payload);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt");
+        {
+            let mut pager = Pager::new(open_rw(&path), 0, 64).unwrap();
+            pager.write_page(0, b"precious data").unwrap();
+        }
+        // flip one payload byte on disk
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[PAGE_HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let mut pager = Pager::new(open_rw(&path), 0, 64).unwrap();
+        let err = pager.read_page(0).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transplanted_pages_are_detected() {
+        let path = tmp("swap");
+        {
+            let mut pager = Pager::new(open_rw(&path), 0, 32).unwrap();
+            pager.write_page(0, b"page zero").unwrap();
+            pager.write_page(1, b"page one!").unwrap();
+        }
+        // swap the two pages wholesale: checksums are internally intact,
+        // but each now sits at the wrong index
+        let mut raw = std::fs::read(&path).unwrap();
+        let (a, b) = raw.split_at_mut(32);
+        a.swap_with_slice(&mut b[..32]);
+        std::fs::write(&path, &raw).unwrap();
+        let mut pager = Pager::new(open_rw(&path), 0, 32).unwrap();
+        assert!(pager.read_page(0).is_err());
+        assert!(pager.read_page(1).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let path = tmp("oversize");
+        let mut pager = Pager::new(open_rw(&path), 0, 16).unwrap();
+        assert!(pager.write_page(0, &[0u8; 9]).is_err());
+        assert!(Pager::new(open_rw(&path), 0, 8).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,228 @@
+//! The snapshot file: an opaque payload (the encoded WSD) stored as
+//! checksummed pages behind a versioned magic header.
+//!
+//! ```text
+//! offset 0                                40
+//! ┌─────────────────────────────────────┬──────────────────────────┐
+//! │ preamble (raw, fixed 40 bytes)      │ pages (see crate::pager) │
+//! └─────────────────────────────────────┴──────────────────────────┘
+//!
+//! preamble := magic "MAYBMS1\0" (8) | version u32 | page_size u32
+//!           | generation u64 | payload_len u64 | payload_crc u32
+//!           | preamble_crc u32        (all little-endian)
+//! ```
+//!
+//! `generation` is the checkpoint counter used to pair a snapshot with
+//! its write-ahead log (see [`crate::db`]). Snapshots are written
+//! **atomically**: the new file goes to `<path>.tmp`, is fsynced, and is
+//! then renamed over the old snapshot, so a crash mid-checkpoint leaves
+//! either the old snapshot or the new one — never a hybrid.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use maybms_relational::{Error, Result};
+
+use crate::crc::crc32;
+use crate::pager::{io_err, Pager, DEFAULT_PAGE_SIZE};
+
+const MAGIC: &[u8; 8] = b"MAYBMS1\0";
+const VERSION: u32 = 1;
+
+/// Raw preamble length before the paged region.
+pub const PREAMBLE_LEN: usize = 40;
+
+/// Metadata decoded from a snapshot preamble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    pub generation: u64,
+    pub page_size: usize,
+    pub payload_len: u64,
+}
+
+fn encode_preamble(page_size: u32, generation: u64, payload: &[u8]) -> [u8; PREAMBLE_LEN] {
+    let mut p = [0u8; PREAMBLE_LEN];
+    p[0..8].copy_from_slice(MAGIC);
+    p[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    p[12..16].copy_from_slice(&page_size.to_le_bytes());
+    p[16..24].copy_from_slice(&generation.to_le_bytes());
+    p[24..32].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    p[32..36].copy_from_slice(&crc32(payload).to_le_bytes());
+    let crc = crc32(&p[0..36]);
+    p[36..40].copy_from_slice(&crc.to_le_bytes());
+    p
+}
+
+fn decode_preamble(p: &[u8]) -> Result<(SnapshotMeta, u32)> {
+    if p.len() < PREAMBLE_LEN {
+        return Err(Error::Storage(format!(
+            "snapshot too short: {} bytes, preamble needs {PREAMBLE_LEN}",
+            p.len()
+        )));
+    }
+    if &p[0..8] != MAGIC {
+        return Err(Error::Storage("not a MayBMS snapshot (bad magic)".into()));
+    }
+    let stored = u32::from_le_bytes(p[36..40].try_into().expect("4 bytes"));
+    if crc32(&p[0..36]) != stored {
+        return Err(Error::Storage("snapshot preamble checksum mismatch".into()));
+    }
+    let version = u32::from_le_bytes(p[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(Error::Storage(format!(
+            "unsupported snapshot format version {version} (this build reads {VERSION})"
+        )));
+    }
+    let page_size = u32::from_le_bytes(p[12..16].try_into().expect("4 bytes")) as usize;
+    let generation = u64::from_le_bytes(p[16..24].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(p[24..32].try_into().expect("8 bytes"));
+    let payload_crc = u32::from_le_bytes(p[32..36].try_into().expect("4 bytes"));
+    Ok((SnapshotMeta { generation, page_size, payload_len }, payload_crc))
+}
+
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".tmp");
+    std::path::PathBuf::from(s)
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// that published a snapshot survives power loss too.
+fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir }) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Writes `payload` as a generation-`generation` snapshot at `path`:
+/// write-new to a temp sibling, fsync, rename over the old file.
+pub fn write_snapshot(path: &Path, generation: u64, payload: &[u8]) -> Result<()> {
+    write_snapshot_with_page_size(path, generation, payload, DEFAULT_PAGE_SIZE)
+}
+
+/// As [`write_snapshot`] with an explicit page size (tests use tiny pages
+/// to exercise multi-page payloads cheaply).
+pub fn write_snapshot_with_page_size(
+    path: &Path,
+    generation: u64,
+    payload: &[u8],
+    page_size: usize,
+) -> Result<()> {
+    let tmp = tmp_sibling(path);
+    {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| io_err("create snapshot temp file", e))?;
+        let mut file = file;
+        file.write_all(&encode_preamble(page_size as u32, generation, payload))
+            .map_err(|e| io_err("write snapshot preamble", e))?;
+        let mut pager = Pager::new(file, PREAMBLE_LEN as u64, page_size)?;
+        pager.write_payload(payload)?;
+        pager.sync()?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err("publish snapshot (rename)", e))?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Reads and fully verifies the snapshot at `path`: preamble magic,
+/// version and checksum, every page checksum, and the whole-payload CRC.
+pub fn read_snapshot(path: &Path) -> Result<(SnapshotMeta, Vec<u8>)> {
+    let mut file = File::open(path).map_err(|e| io_err("open snapshot", e))?;
+    let mut preamble = [0u8; PREAMBLE_LEN];
+    file.read_exact(&mut preamble)
+        .map_err(|e| io_err("read snapshot preamble", e))?;
+    let (meta, payload_crc) = decode_preamble(&preamble)?;
+    let mut pager = Pager::new(file, PREAMBLE_LEN as u64, meta.page_size)?;
+    let payload = pager.read_payload(meta.payload_len)?;
+    if crc32(&payload) != payload_crc {
+        return Err(Error::Storage("snapshot payload checksum mismatch".into()));
+    }
+    Ok((meta, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir()
+            .join(format!("maybms-snap-{}-{name}.maybms", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn round_trip_multi_page() {
+        let path = tmp("roundtrip");
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 253) as u8).collect();
+        write_snapshot_with_page_size(&path, 3, &payload, 64).unwrap();
+        let (meta, back) = read_snapshot(&path).unwrap();
+        assert_eq!(meta.generation, 3);
+        assert_eq!(meta.page_size, 64);
+        assert_eq!(back, payload);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let path = tmp("empty");
+        write_snapshot(&path, 1, &[]).unwrap();
+        let (meta, back) = read_snapshot(&path).unwrap();
+        assert_eq!(meta.payload_len, 0);
+        assert!(back.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let path = tmp("rewrite");
+        write_snapshot_with_page_size(&path, 1, b"old state", 32).unwrap();
+        write_snapshot_with_page_size(&path, 2, b"new state, longer than before", 32).unwrap();
+        let (meta, back) = read_snapshot(&path).unwrap();
+        assert_eq!(meta.generation, 2);
+        assert_eq!(back, b"new state, longer than before");
+        // no temp file left behind
+        assert!(!tmp_sibling(&path).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let path = tmp("corrupt");
+        write_snapshot_with_page_size(&path, 1, b"payload bytes here", 32).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        // a payload byte inside the first page (after preamble + page header)
+        let payload_at = PREAMBLE_LEN + crate::pager::PAGE_HEADER_LEN + 3;
+
+        let mut flipped = pristine.clone();
+        flipped[payload_at] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(read_snapshot(&path).is_err());
+
+        // corrupt the preamble instead (version field)
+        let mut bad_version = pristine.clone();
+        bad_version[9] ^= 1;
+        std::fs::write(&path, &bad_version).unwrap();
+        assert!(read_snapshot(&path).is_err());
+
+        // bad magic
+        let mut bad_magic = pristine.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // pristine bytes still read fine
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(read_snapshot(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

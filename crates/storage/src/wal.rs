@@ -1,0 +1,309 @@
+//! The write-ahead log: an append-only file of CRC-framed records.
+//!
+//! ```text
+//! header := magic "MAYBMSW\0" (8) | version u32 | generation u64
+//!         | header_crc u32                       (24 bytes total)
+//! record := payload_len u32 | payload_crc u32 | payload bytes
+//! ```
+//!
+//! Records are opaque payloads (the SQL layer stores binary-encoded
+//! mutating statements). Appends go to the end of the file and are
+//! fsynced by default, so a record that [`Wal::append`] acknowledged
+//! survives a crash. On open, the log is scanned front to back; the scan
+//! stops at the first incomplete or checksum-failing record — a **torn
+//! tail** from a crash mid-append — and the file is truncated back to the
+//! last complete record, so replay sees exactly the committed prefix.
+//!
+//! `generation` pairs the log with the snapshot it extends: a checkpoint
+//! bumps the snapshot generation and swaps in a fresh, empty log of the
+//! same generation (see [`crate::db`]). A log whose generation does not
+//! match the snapshot's is stale (crash between the two steps of a
+//! checkpoint) and is discarded instead of replayed twice.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use maybms_relational::{Error, Result};
+
+use crate::crc::crc32;
+use crate::pager::io_err;
+
+const MAGIC: &[u8; 8] = b"MAYBMSW\0";
+const VERSION: u32 = 1;
+
+/// Length of the WAL file header.
+pub const WAL_HEADER_LEN: u64 = 24;
+
+const RECORD_HEADER_LEN: usize = 8;
+
+/// An open write-ahead log positioned for appends.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    generation: u64,
+    /// Offset of the end of the last complete record.
+    end: u64,
+    /// fsync every append (on by default; benches may disable it).
+    sync: bool,
+}
+
+fn encode_header(generation: u64) -> [u8; WAL_HEADER_LEN as usize] {
+    let mut h = [0u8; WAL_HEADER_LEN as usize];
+    h[0..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    h[12..20].copy_from_slice(&generation.to_le_bytes());
+    let crc = crc32(&h[0..20]);
+    h[20..24].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+fn decode_header(h: &[u8]) -> Result<u64> {
+    if h.len() < WAL_HEADER_LEN as usize || &h[0..8] != MAGIC {
+        return Err(Error::Storage("not a MayBMS WAL (bad magic)".into()));
+    }
+    let stored = u32::from_le_bytes(h[20..24].try_into().expect("4 bytes"));
+    if crc32(&h[0..20]) != stored {
+        return Err(Error::Storage("WAL header checksum mismatch".into()));
+    }
+    let version = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(Error::Storage(format!(
+            "unsupported WAL format version {version} (this build reads {VERSION})"
+        )));
+    }
+    Ok(u64::from_le_bytes(h[12..20].try_into().expect("8 bytes")))
+}
+
+impl Wal {
+    /// Creates a fresh, empty log for `generation` at `path`, atomically
+    /// replacing whatever was there (write temp sibling + rename).
+    pub fn create(path: &Path, generation: u64) -> Result<Wal> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(|e| io_err("create WAL temp file", e))?;
+            f.write_all(&encode_header(generation))
+                .map_err(|e| io_err("write WAL header", e))?;
+            f.sync_all().map_err(|e| io_err("sync new WAL", e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| io_err("publish WAL (rename)", e))?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("reopen WAL", e))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            generation,
+            end: WAL_HEADER_LEN,
+            sync: true,
+        })
+    }
+
+    /// Opens an existing log, returning the complete records in append
+    /// order. A torn tail (incomplete or checksum-failing final record)
+    /// is detected and truncated away; everything before it is kept.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<Vec<u8>>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("open WAL", e))?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw).map_err(|e| io_err("read WAL", e))?;
+        let generation = decode_header(&raw)?;
+
+        let mut records = Vec::new();
+        let mut pos = WAL_HEADER_LEN as usize;
+        let mut end = pos;
+        while raw.len() - pos >= RECORD_HEADER_LEN {
+            let len =
+                u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let stored =
+                u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_at = pos + RECORD_HEADER_LEN;
+            if raw.len() - body_at < len {
+                break; // torn: the record body was cut short
+            }
+            let body = &raw[body_at..body_at + len];
+            if crc32(body) != stored {
+                break; // torn or corrupt: drop this record and the rest
+            }
+            records.push(body.to_vec());
+            pos = body_at + len;
+            end = pos;
+        }
+        if end as u64 != raw.len() as u64 {
+            // drop the torn tail so later appends start on a clean frame
+            file.set_len(end as u64)
+                .map_err(|e| io_err("truncate torn WAL tail", e))?;
+            file.sync_all().map_err(|e| io_err("sync truncated WAL", e))?;
+        }
+        file.seek(SeekFrom::Start(end as u64))
+            .map_err(|e| io_err("seek WAL end", e))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                generation,
+                end: end as u64,
+                sync: true,
+            },
+            records,
+        ))
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of committed log (header + complete records).
+    pub fn len(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.end == WAL_HEADER_LEN
+    }
+
+    /// Disables (or re-enables) the per-append fsync. With sync off, a
+    /// record may be lost on power failure — only benches and tests that
+    /// measure something else should turn this off.
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
+    }
+
+    /// Appends one record and (by default) fsyncs. On return the record
+    /// is committed: replay after a crash will include it.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .seek(SeekFrom::Start(self.end))
+            .map_err(|e| io_err("seek WAL end", e))?;
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append WAL record", e))?;
+        if self.sync {
+            self.file.sync_data().map_err(|e| io_err("sync WAL append", e))?;
+        }
+        self.end += frame.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir()
+            .join(format!("maybms-wal-{}-{name}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("replay");
+        {
+            let mut wal = Wal::create(&path, 7).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"").unwrap();
+            wal.append(b"third record, a bit longer").unwrap();
+        }
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(wal.generation(), 7);
+        assert_eq!(
+            records,
+            vec![b"first".to_vec(), b"".to_vec(), b"third record, a bit longer".to_vec()]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let path = tmp("torn");
+        {
+            let mut wal = Wal::create(&path, 1).unwrap();
+            wal.append(b"committed one").unwrap();
+            wal.append(b"committed two").unwrap();
+            wal.append(b"the torn one").unwrap();
+        }
+        // cut the last record short by 5 bytes — a crash mid-append
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let (mut wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"committed one".to_vec(), b"committed two".to_vec()]);
+        // the torn frame is gone from disk; new appends land cleanly
+        wal.append(b"after recovery").unwrap();
+        drop(wal);
+        let (_, records2) = Wal::open(&path).unwrap();
+        assert_eq!(records2.len(), 3);
+        assert_eq!(records2[2], b"after recovery");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_record_drops_suffix() {
+        let path = tmp("corrupt");
+        {
+            let mut wal = Wal::create(&path, 1).unwrap();
+            wal.append(b"good record").unwrap();
+            wal.append(b"bad record!").unwrap();
+            wal.append(b"unreachable").unwrap();
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        // flip a byte in the second record's body
+        let second_body = WAL_HEADER_LEN as usize + 8 + 11 + 8 + 2;
+        raw[second_body] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let (_, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"good record".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_replaces_existing_log() {
+        let path = tmp("recreate");
+        {
+            let mut wal = Wal::create(&path, 1).unwrap();
+            wal.append(b"old stuff").unwrap();
+        }
+        let wal = Wal::create(&path, 2).unwrap();
+        assert!(wal.is_empty());
+        drop(wal);
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(wal.generation(), 2);
+        assert!(records.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let path = tmp("badheader");
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(Wal::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

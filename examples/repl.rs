@@ -1,0 +1,115 @@
+//! A persistent MayBMS REPL: the first end-to-end scenario where a
+//! database outlives its process.
+//!
+//! Run with `cargo run --example repl -- mydb.maybms` (the path defaults
+//! to `maybms.db` in the current directory). The file is opened or
+//! created; crash recovery — loading the last snapshot and replaying the
+//! write-ahead log — happens inside `Session::open`. Every mutating
+//! statement is committed to the WAL as you run it, `CHECKPOINT` compacts
+//! the log on demand, and quitting (`\q` or EOF) checkpoints once more so
+//! the next start loads a fresh snapshot instead of replaying the log.
+//!
+//! ```sql
+//! CREATE TABLE person (ssn INT, name TEXT);
+//! INSERT INTO person VALUES ({1: 0.6, 2: 0.4}, 'ann'), (2, 'bob');
+//! REPAIR KEY person(ssn);
+//! SELECT POSSIBLE ssn, name, PROB() FROM person;
+//! CHECKPOINT;
+//! \w          -- print the current decomposition
+//! \q          -- checkpoint and quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use maybms_relational::pretty;
+use maybms_sql::{QueryResult, Session};
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "maybms.db".into());
+    let mut session = match Session::open(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open database {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = session.wsd().stats();
+    println!(
+        "MayBMS-rs — database {path} (generation {}): {} relation(s), {} template tuple(s), {} worlds",
+        session.storage_generation().unwrap_or(0),
+        stats.relations,
+        stats.template_tuples,
+        session.wsd().world_count().summary()
+    );
+    println!("'\\q' checkpoints and quits, '\\w' dumps the decomposition");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("maybms> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            "\\q" | "exit" | "quit" => break,
+            "\\w" => {
+                print!("{}", maybms_core::display::render(session.wsd()));
+                continue;
+            }
+            "" => continue,
+            _ => {}
+        }
+        buffer.push_str(trimmed);
+        buffer.push(' ');
+        // execute on a terminating semicolon (or single-line statements,
+        // matching the sql_shell example's behavior)
+        if !trimmed.ends_with(';') && buffer.split_whitespace().count() < 3 {
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').to_string();
+        buffer.clear();
+        if stmt.is_empty() {
+            continue;
+        }
+        match session.execute(&stmt) {
+            Ok(QueryResult::Table(t)) => print!("{}", pretty::render(&t, 50)),
+            Ok(QueryResult::WorldSet(w)) => {
+                let stats = w.stats();
+                println!(
+                    "answer world-set: {} tuple template(s), {} component(s), {} worlds",
+                    stats.template_tuples,
+                    stats.components,
+                    w.world_count()
+                );
+                match w.tuple_confidence("result") {
+                    Ok(conf) => {
+                        for (t, p) in conf {
+                            println!("  {t}  p={p:.4}");
+                        }
+                    }
+                    Err(e) => println!("  (confidence unavailable: {e})"),
+                }
+            }
+            Ok(QueryResult::Text(t)) => println!("{t}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    match session.execute("CHECKPOINT") {
+        Ok(QueryResult::Text(t)) => println!("{t}"),
+        Ok(_) => {}
+        Err(e) => eprintln!("checkpoint on exit failed: {e}"),
+    }
+    println!("bye");
+}

@@ -14,6 +14,9 @@
 //!   confidence computation and chase-based data cleaning.
 //! * [`sql`] — the SQL-like query language with incompleteness/probability
 //!   constructs (`PROB()`, `POSSIBLE`, `CERTAIN`, `CONF`).
+//! * [`storage`] — the durable storage engine: paged, checksummed
+//!   snapshots plus a write-ahead log with crash recovery
+//!   (`maybms_sql::Session::open` / `CHECKPOINT` sit on top).
 //! * [`census`] — the synthetic census workload used by the experiments.
 //!
 //! ## Quickstart
@@ -38,6 +41,7 @@ pub use maybms_census as census;
 pub use maybms_core as core;
 pub use maybms_relational as relational;
 pub use maybms_sql as sql;
+pub use maybms_storage as storage;
 pub use maybms_worldset as worldset;
 
 /// Common imports for applications.
