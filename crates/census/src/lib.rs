@@ -17,6 +17,6 @@ pub mod schema;
 
 pub use constraints::{cleaning_constraints, CENSUS_REL};
 pub use generate::generate;
-pub use load::{certain_to_wsd, noisy_census_wsd, to_wsd};
+pub use load::{certain_to_wsd, load_into_session, noisy_census_wsd, row_statement, to_wsd};
 pub use noise::{inject, NoiseSpec};
 pub use schema::{census_schema, COLUMNS};

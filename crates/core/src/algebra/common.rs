@@ -130,9 +130,15 @@ pub(crate) fn alias_cells(
     Ok(cells)
 }
 
-/// Appends a fresh existence column computed by `f` to component
-/// `comp_idx`, registering it as the existence field of `tid`.
-pub(crate) fn add_exists_column<F>(wsd: &mut Wsd, comp_idx: usize, tid: Tid, f: F) -> Result<()>
+/// Appends a fresh column for `field` computed by `f` to component
+/// `comp_idx`, registering it in the field map. The field must not already
+/// label a column of that component (components reject duplicate fields).
+pub(crate) fn add_field_column<F>(
+    wsd: &mut Wsd,
+    comp_idx: usize,
+    field: Field,
+    f: F,
+) -> Result<()>
 where
     F: FnMut(RowRef<'_>) -> Cell,
 {
@@ -140,9 +146,18 @@ where
         .component_mut(comp_idx)
         .ok_or_else(|| Error::InvalidExpr(format!("dead component {comp_idx}")))?;
     let col = comp.num_fields();
-    comp.add_column(Field::exists(tid), f);
-    wsd.alias_field(Field::exists(tid), (comp_idx, col));
+    comp.add_column(field, f);
+    wsd.alias_field(field, (comp_idx, col));
     Ok(())
+}
+
+/// Appends a fresh existence column computed by `f` to component
+/// `comp_idx`, registering it as the existence field of `tid`.
+pub(crate) fn add_exists_column<F>(wsd: &mut Wsd, comp_idx: usize, tid: Tid, f: F) -> Result<()>
+where
+    F: FnMut(RowRef<'_>) -> Cell,
+{
+    add_field_column(wsd, comp_idx, Field::exists(tid), f)
 }
 
 /// Whether the tuple is dead in this row of the merged component: some of

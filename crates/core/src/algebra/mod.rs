@@ -16,6 +16,7 @@
 
 pub(crate) mod common;
 mod difference;
+mod dml;
 mod join;
 mod project;
 mod rename;
@@ -23,6 +24,7 @@ mod select;
 mod union;
 
 pub use difference::difference_op;
+pub use dml::{delete_op, update_op, DmlReport};
 pub use join::{join_op, join_op_in, join_op_nested, product_op};
 pub use project::project_op;
 pub use rename::{qualify_op, rename_op};

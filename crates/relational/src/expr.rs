@@ -128,6 +128,9 @@ pub enum Expr {
     IsNull(Box<Expr>),
     /// `expr IN (v1, v2, ...)`
     InList(Box<Expr>, Vec<Value>),
+    /// A `?` placeholder of a prepared statement, by 0-based position.
+    /// Must be substituted ([`Expr::with_params`]) before binding.
+    Param(u32),
 }
 
 impl Expr {
@@ -190,7 +193,64 @@ impl Expr {
             Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(schema)?)),
             Expr::IsNull(a) => BoundExpr::IsNull(Box::new(a.bind(schema)?)),
             Expr::InList(a, vs) => BoundExpr::InList(Box::new(a.bind(schema)?), vs.clone()),
+            Expr::Param(i) => {
+                return Err(Error::InvalidExpr(format!(
+                    "unbound parameter ?{} (bind prepared-statement parameters first)",
+                    i + 1
+                )))
+            }
         })
+    }
+
+    /// Substitutes every `?` placeholder with the value at its position,
+    /// returning the closed expression. Fails on an out-of-range index.
+    pub fn with_params(&self, params: &[Value]) -> Result<Expr> {
+        Ok(match self {
+            Expr::Param(i) => {
+                let v = params.get(*i as usize).ok_or_else(|| {
+                    Error::InvalidExpr(format!(
+                        "parameter ?{} has no bound value ({} supplied)",
+                        i + 1,
+                        params.len()
+                    ))
+                })?;
+                Expr::Lit(v.clone())
+            }
+            Expr::Col(_) | Expr::Lit(_) => self.clone(),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.with_params(params)?),
+                Box::new(b.with_params(params)?),
+            ),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.with_params(params)?),
+                Box::new(b.with_params(params)?),
+            ),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.with_params(params)?), Box::new(b.with_params(params)?))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(a.with_params(params)?), Box::new(b.with_params(params)?))
+            }
+            Expr::Not(a) => Expr::Not(Box::new(a.with_params(params)?)),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.with_params(params)?)),
+            Expr::InList(a, vs) => Expr::InList(Box::new(a.with_params(params)?), vs.clone()),
+        })
+    }
+
+    /// The number of parameter slots referenced (`max index + 1`; 0 when
+    /// the expression is closed).
+    pub fn param_count(&self) -> u32 {
+        match self {
+            Expr::Param(i) => i + 1,
+            Expr::Col(_) | Expr::Lit(_) => 0,
+            Expr::Cmp(_, a, b) | Expr::Bin(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.param_count().max(b.param_count())
+            }
+            Expr::Not(a) | Expr::IsNull(a) => a.param_count(),
+            Expr::InList(a, _) => a.param_count(),
+        }
     }
 
     /// All column names referenced in the expression (with duplicates
@@ -209,7 +269,7 @@ impl Expr {
                     out.push(n);
                 }
             }
-            Expr::Lit(_) => {}
+            Expr::Lit(_) | Expr::Param(_) => {}
             Expr::Cmp(_, a, b) | Expr::Bin(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
                 a.collect_columns(out);
                 b.collect_columns(out);
@@ -275,6 +335,7 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
+            Expr::Param(i) => write!(f, "?{}", i + 1),
         }
     }
 }
@@ -530,6 +591,24 @@ mod tests {
             CmpOp::Le.apply(&Value::Int(1), &Value::Int(1)),
             Some(true)
         );
+    }
+
+    #[test]
+    fn params_substitute_before_bind() {
+        let s = schema();
+        let e = Expr::col("a").eq(Expr::Param(0)).and(Expr::col("b").ne(Expr::Param(1)));
+        assert_eq!(e.param_count(), 2);
+        // binding with unbound params is refused
+        assert!(e.bind(&s).is_err());
+        // substituting closes the expression
+        let closed = e.with_params(&[Value::Int(1), Value::str("x")]).unwrap();
+        assert_eq!(closed.param_count(), 0);
+        let be = closed.bind(&s).unwrap();
+        assert!(!be.eval_predicate(&row(1, "x", 0.0)).unwrap());
+        assert!(be.eval_predicate(&row(1, "y", 0.0)).unwrap());
+        // too few values is an error
+        assert!(e.with_params(&[Value::Int(1)]).is_err());
+        assert_eq!(Expr::Param(0).to_string(), "?1");
     }
 
     #[test]

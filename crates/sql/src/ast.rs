@@ -25,6 +25,18 @@ pub enum Statement {
     /// `ALTER TABLE a RENAME TO b`
     RenameTable { from: String, to: String },
     Insert { table: String, rows: Vec<Vec<InsertValue>> },
+    /// `DELETE FROM t [WHERE pred]` — in every world, removes the tuples
+    /// of `t` satisfying `pred` (all tuples when absent). A tuple that
+    /// *certainly* satisfies the predicate disappears from every world; a
+    /// tuple that only *possibly* satisfies it survives exactly in the
+    /// worlds where the predicate is false. World probabilities are
+    /// untouched (unlike `REPAIR`, which removes whole worlds).
+    Delete { table: String, pred: Option<Expr> },
+    /// `UPDATE t SET c1 = v1, ... [WHERE pred]` — in every world, rewrites
+    /// the listed columns of the tuples satisfying `pred`. Assigned values
+    /// are certain scalars (or `?` parameters); predicates see the
+    /// pre-update values.
+    Update { table: String, set: Vec<(String, InsertValue)>, pred: Option<Expr> },
     /// `REPAIR KEY r(c1, c2)` | `REPAIR FD r: a, b -> c` | `REPAIR CHECK r: pred`
     Repair(RepairStmt),
     Explain(Box<Statement>),
@@ -32,6 +44,16 @@ pub enum Statement {
     /// `CHECKPOINT` — compact the write-ahead log into a fresh snapshot
     /// (requires a session opened on a database file).
     Checkpoint,
+    /// `BEGIN [TRANSACTION|WORK]` — open an explicit transaction:
+    /// mutations apply to the live decomposition but their log records
+    /// are buffered until `COMMIT`.
+    Begin,
+    /// `COMMIT` — append the transaction's buffered records to the
+    /// write-ahead log as one commit group (a single fsync) and close it.
+    Commit,
+    /// `ROLLBACK` — restore the decomposition as of `BEGIN` and discard
+    /// the buffered records.
+    Rollback,
 }
 
 /// One value of an INSERT row: certain or an or-set.
@@ -42,6 +64,8 @@ pub enum InsertValue {
     Uniform(Vec<Value>),
     /// `{v1: p1, v2: p2, ...}` — weighted or-set.
     Weighted(Vec<(Value, f64)>),
+    /// A `?` placeholder of a prepared statement, by 0-based position.
+    Param(u32),
 }
 
 /// Quantifier of a SELECT over the world-set.

@@ -40,6 +40,8 @@ pub enum Sym {
     Gt,
     Ge,
     Arrow,
+    /// `?` — prepared-statement placeholder.
+    Question,
 }
 
 impl fmt::Display for Sym {
@@ -65,6 +67,7 @@ impl fmt::Display for Sym {
             Sym::Gt => ">",
             Sym::Ge => ">=",
             Sym::Arrow => "->",
+            Sym::Question => "?",
         };
         write!(f, "{s}")
     }
@@ -76,6 +79,7 @@ const KEYWORDS: &[&str] = &[
     "INTO", "VALUES", "INT", "TEXT", "FLOAT", "BOOL", "TRUE", "FALSE", "EXPLAIN", "REPAIR",
     "KEY", "FD", "CHECK", "SHOW", "TABLES", "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP", "BY",
     "ORDER", "LIMIT", "EXPECTED", "DROP", "HAVING", "ALTER", "RENAME", "TO", "CHECKPOINT",
+    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK", "DELETE", "UPDATE", "SET",
 ];
 
 /// Tokenizes `input`, returning the token list or a lexical error.
@@ -209,6 +213,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, Error> {
                     '/' => Sym::Slash,
                     '%' => Sym::Percent,
                     '=' => Sym::Eq,
+                    '?' => Sym::Question,
                     other => {
                         return Err(Error::InvalidExpr(format!("unexpected character '{other}'")))
                     }
@@ -259,6 +264,15 @@ mod tests {
         let toks = lex("'it''s' -- trailing comment\n 'x'").unwrap();
         assert_eq!(toks[0], Token::Str("it's".into()));
         assert_eq!(toks[1], Token::Str("x".into()));
+    }
+
+    #[test]
+    fn question_mark_and_txn_keywords() {
+        let toks = lex("BEGIN; UPDATE t SET a = ? WHERE b = ?; COMMIT").unwrap();
+        assert_eq!(toks[0], Token::Keyword("BEGIN".into()));
+        assert_eq!(toks[2], Token::Keyword("UPDATE".into()));
+        assert!(toks.contains(&Token::Symbol(Sym::Question)));
+        assert_eq!(toks.last(), Some(&Token::Keyword("COMMIT".into())));
     }
 
     #[test]

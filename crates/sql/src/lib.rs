@@ -31,5 +31,5 @@ pub mod session;
 pub mod wire;
 
 pub use ast::Statement;
-pub use parser::{parse, parse_script};
-pub use session::{QueryResult, Session};
+pub use parser::{parse, parse_counting_params, parse_script};
+pub use session::{Prepared, QueryResult, Session, SessionError, SessionResult, Transaction};

@@ -7,8 +7,14 @@ use crate::lexer::{lex, Sym, Token};
 
 /// Parses one statement (an optional trailing `;` is accepted).
 pub fn parse(input: &str) -> Result<Statement> {
+    Ok(parse_counting_params(input)?.0)
+}
+
+/// Parses one statement, additionally returning how many distinct `?`
+/// parameter slots it references — the prepared-statement entry point.
+pub fn parse_counting_params(input: &str) -> Result<(Statement, u32)> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, params: 0 };
     let stmt = p.statement()?;
     p.eat_symbol(Sym::Semicolon);
     if !p.at_end() {
@@ -17,13 +23,13 @@ pub fn parse(input: &str) -> Result<Statement> {
             p.peek()
         )));
     }
-    Ok(stmt)
+    Ok((stmt, p.params))
 }
 
 /// Parses a `;`-separated script.
 pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, params: 0 };
     let mut out = Vec::new();
     while !p.at_end() {
         out.push(p.statement()?);
@@ -43,6 +49,9 @@ pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// `?` placeholders seen so far; each occurrence takes the next
+    /// 0-based slot in order of appearance.
+    params: u32,
 }
 
 impl Parser {
@@ -122,6 +131,8 @@ impl Parser {
                 "DROP" => self.drop_table(),
                 "ALTER" => self.alter_table(),
                 "INSERT" => self.insert(),
+                "DELETE" => self.delete(),
+                "UPDATE" => self.update(),
                 "REPAIR" => self.repair(),
                 "EXPLAIN" => {
                     self.next();
@@ -135,6 +146,22 @@ impl Parser {
                 "CHECKPOINT" => {
                     self.next();
                     Ok(Statement::Checkpoint)
+                }
+                "BEGIN" => {
+                    self.next();
+                    // `BEGIN TRANSACTION` / `BEGIN WORK` are accepted
+                    let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+                    Ok(Statement::Begin)
+                }
+                "COMMIT" => {
+                    self.next();
+                    let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+                    Ok(Statement::Commit)
+                }
+                "ROLLBACK" => {
+                    self.next();
+                    let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+                    Ok(Statement::Rollback)
                 }
                 other => Err(Error::InvalidExpr(format!("unexpected keyword {other}"))),
             },
@@ -364,7 +391,47 @@ impl Parser {
         Ok(Statement::Insert { table, rows })
     }
 
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let pred = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, pred })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut set = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol(Sym::Eq)?;
+            // assigned values are certain scalars or `?` parameters —
+            // or-set literals would introduce fresh uncertainty, which
+            // INSERT covers
+            let v = if self.eat_symbol(Sym::Question) {
+                let i = self.params;
+                self.params += 1;
+                InsertValue::Param(i)
+            } else {
+                InsertValue::Certain(self.value_literal()?)
+            };
+            set.push((col, v));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let pred = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, set, pred })
+    }
+
     fn insert_value(&mut self) -> Result<InsertValue> {
+        if self.eat_symbol(Sym::Question) {
+            let i = self.params;
+            self.params += 1;
+            return Ok(InsertValue::Param(i));
+        }
         if self.eat_symbol(Sym::LBrace) {
             // or-set literal
             let mut vals: Vec<(Value, Option<f64>)> = Vec::new();
@@ -582,6 +649,12 @@ impl Parser {
                 self.expect_symbol(Sym::RParen)?;
                 Ok(e)
             }
+            Some(Token::Symbol(Sym::Question)) => {
+                self.next();
+                let i = self.params;
+                self.params += 1;
+                Ok(Expr::Param(i))
+            }
             Some(Token::Ident(_)) => Ok(Expr::Col(self.qualified_ident()?)),
             _ => Ok(Expr::Lit(self.value_literal()?)),
         }
@@ -689,6 +762,69 @@ mod tests {
             Statement::Explain(_)
         ));
         assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::ShowTables));
+    }
+
+    #[test]
+    fn parses_transaction_control() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("begin transaction;").unwrap(), Statement::Begin);
+        assert_eq!(parse("BEGIN WORK").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK work").unwrap(), Statement::Rollback);
+        assert!(parse("BEGIN now").is_err());
+        let script = parse_script("BEGIN; INSERT INTO r VALUES (1); COMMIT;").unwrap();
+        assert_eq!(script.len(), 3);
+    }
+
+    #[test]
+    fn parses_delete() {
+        let s = parse("DELETE FROM r WHERE a = 1 AND b > 2").unwrap();
+        let Statement::Delete { table, pred } = s else { panic!() };
+        assert_eq!(table, "r");
+        assert_eq!(pred.unwrap().to_string(), "((a = 1) AND (b > 2))");
+        let s2 = parse("DELETE FROM r").unwrap();
+        assert!(matches!(s2, Statement::Delete { pred: None, .. }));
+        assert!(parse("DELETE r").is_err());
+    }
+
+    #[test]
+    fn parses_update() {
+        let s = parse("UPDATE r SET a = 5, b = 'x' WHERE a < 3").unwrap();
+        let Statement::Update { table, set, pred } = s else { panic!() };
+        assert_eq!(table, "r");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set[0], ("a".into(), InsertValue::Certain(Value::Int(5))));
+        assert_eq!(set[1], ("b".into(), InsertValue::Certain(Value::str("x"))));
+        assert!(pred.is_some());
+        let s2 = parse("UPDATE r SET a = -1").unwrap();
+        assert!(matches!(s2, Statement::Update { pred: None, .. }));
+        assert!(parse("UPDATE r a = 1").is_err());
+        assert!(parse("UPDATE r SET a = {1, 2}").is_err());
+    }
+
+    #[test]
+    fn parses_placeholders_in_order() {
+        let (s, n) = parse_counting_params("INSERT INTO r VALUES (?, 2), (3, ?)").unwrap();
+        assert_eq!(n, 2);
+        let Statement::Insert { rows, .. } = s else { panic!() };
+        assert_eq!(rows[0][0], InsertValue::Param(0));
+        assert_eq!(rows[1][1], InsertValue::Param(1));
+
+        let (s2, n2) =
+            parse_counting_params("UPDATE r SET a = ?, b = ? WHERE a = ? OR b < ?").unwrap();
+        assert_eq!(n2, 4);
+        let Statement::Update { set, pred, .. } = s2 else { panic!() };
+        assert_eq!(set[0].1, InsertValue::Param(0));
+        assert_eq!(set[1].1, InsertValue::Param(1));
+        assert_eq!(pred.unwrap().param_count(), 4);
+
+        let (s3, n3) = parse_counting_params("DELETE FROM r WHERE a = ?").unwrap();
+        assert_eq!(n3, 1);
+        let Statement::Delete { pred, .. } = s3 else { panic!() };
+        assert_eq!(pred.unwrap().to_string(), "(a = ?1)");
+
+        let (_, n4) = parse_counting_params("SELECT POSSIBLE a FROM r WHERE b = ?").unwrap();
+        assert_eq!(n4, 1);
     }
 
     #[test]

@@ -7,35 +7,162 @@
 //! process-wide pool (sized by `MAYBMS_WORKERS` or the machine's
 //! parallelism); [`Session::with_worker_pool`] overrides it.
 //!
-//! # Durability
+//! Errors at the session boundary are the structured [`SessionError`]
+//! (parse / plan / execute / storage / transaction variants, each carrying
+//! its context and implementing `std::error::Error`).
+//!
+//! # Transactions and durability
 //!
 //! A session opened with [`Session::open`] (or made durable with
-//! [`Session::attach`]) is backed by a `maybms-storage`
-//! [`Database`]: every committed mutation (`CREATE` / `DROP` / `ALTER` /
-//! `INSERT` / `REPAIR`) is appended to the write-ahead log *after* it
-//! succeeds in memory, and `CHECKPOINT` compacts the log into a fresh
-//! snapshot of the whole decomposition (atomic write-new + rename).
-//! Reopening after a crash loads the last snapshot and replays the log's
-//! committed prefix — the engine is deterministic, so recovery reproduces
-//! the exact pre-crash state at any worker count.
+//! [`Session::attach`]) is backed by a `maybms-storage` [`Database`].
+//! Outside a transaction, **autocommit** holds: every mutation (`CREATE` /
+//! `DROP` / `ALTER` / `INSERT` / `DELETE` / `UPDATE` / `REPAIR`) that
+//! succeeded in memory is appended to the write-ahead log and fsynced
+//! before `run` returns.
+//!
+//! `BEGIN` opens an explicit transaction: mutations still apply to the
+//! live decomposition immediately (queries inside the transaction see
+//! them), but their wire records are **buffered**. `COMMIT` appends the
+//! whole buffer as one CRC-framed **commit group** — a single WAL record,
+//! a single fsync, however many statements the transaction held (this is
+//! the group-commit write path; a transaction of N `INSERT`s costs one
+//! fsync instead of N). `ROLLBACK` restores the decomposition as of
+//! `BEGIN` and discards the buffer. The typed guard API
+//! ([`Session::transaction`]) rolls back automatically when dropped
+//! without a commit.
+//!
+//! **Recovery guarantees** ([`Session::open`]): the latest snapshot is
+//! decoded and validated, then the WAL's committed prefix is replayed.
+//! Because a commit group is one record under one CRC, recovery replays a
+//! transaction *all or not at all*: a crash mid-`COMMIT` (torn group) or
+//! mid-transaction (nothing appended yet) rolls the whole transaction
+//! back, never a prefix of it. The engine is deterministic, so replay
+//! reproduces the exact pre-crash committed state at any worker count.
+//! `CHECKPOINT` compacts the log into a fresh snapshot (atomic write-new +
+//! rename) and is refused inside a transaction.
+//!
+//! # Prepared statements
+//!
+//! [`Session::prepare`] parses a statement with `?` placeholders once;
+//! [`Session::execute_prepared`] binds values and runs it — parse once,
+//! bind many (the bulk loaders and benches use this):
+//!
+//! ```
+//! use maybms_sql::Session;
+//! use maybms_relational::Value;
+//!
+//! let mut s = Session::new();
+//! s.execute("CREATE TABLE person (ssn INT, name TEXT)").unwrap();
+//! // parse once, bind many
+//! let ins = s.prepare("INSERT INTO person VALUES (?, ?)").unwrap();
+//! for (ssn, name) in [(1i64, "ann"), (2, "bob")] {
+//!     s.execute_prepared(&ins, &[Value::Int(ssn), Value::str(name)]).unwrap();
+//! }
+//! // explicit transaction: buffered records, single group-commit fsync
+//! let mut txn = s.transaction().unwrap();
+//! txn.execute("UPDATE person SET name = 'anna' WHERE ssn = 1").unwrap();
+//! txn.execute("DELETE FROM person WHERE ssn = 2").unwrap();
+//! txn.commit().unwrap();
+//! let r = s.execute("SELECT POSSIBLE name FROM person").unwrap();
+//! assert_eq!(r.rows().len(), 1);
+//! ```
 
+use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 
+use maybms_core::algebra::{delete_op, update_op};
 use maybms_core::chase::{clean, CleaningReport, Constraint};
 use maybms_core::codec::{decode_wsd, encode_wsd};
 use maybms_core::exec::{compile, explain_physical, global_pool, Executor, WorkerPool};
 use maybms_core::prob;
 use maybms_core::wsd::Wsd;
-use maybms_relational::{Column, ColumnType, Error, Relation, Result, Schema, Tuple, Value};
+use maybms_relational::{
+    Column, ColumnType, Error, Relation, Result, Schema, Tuple, Value,
+};
 use maybms_storage::Database;
 use maybms_worldset::OrSetCell;
 
 use crate::ast::{InsertValue, RepairStmt, SelectStmt, Statement, WorldMode};
 use crate::optimizer::{explain, optimize};
-use crate::parser::{parse, parse_script};
+use crate::parser::{parse_counting_params, parse_script};
 use crate::plan::lower_select;
 use crate::wire;
+
+/// Structured errors of the session boundary: what failed, and at which
+/// stage of the statement lifecycle.
+#[derive(Debug, Clone)]
+pub enum SessionError {
+    /// The SQL text failed to lex or parse.
+    Parse {
+        /// The offending statement text.
+        sql: String,
+        source: Error,
+    },
+    /// The statement parsed but could not be planned (lowering, logical
+    /// optimization or physical compilation failed — e.g. an unknown
+    /// relation or column in a SELECT).
+    Plan { source: Error },
+    /// The statement failed while executing against the decomposition
+    /// (type errors, arity mismatches, unsatisfiable repairs, …).
+    Execute { source: Error },
+    /// The durable backing store failed (I/O, corruption, WAL append).
+    Storage { source: Error },
+    /// Transaction-control misuse: nested `BEGIN`, `COMMIT`/`ROLLBACK`
+    /// without a transaction, `CHECKPOINT` or `attach` inside one.
+    Transaction { context: String },
+}
+
+impl SessionError {
+    fn plan(source: Error) -> SessionError {
+        SessionError::Plan { source }
+    }
+    fn exec(source: Error) -> SessionError {
+        SessionError::Execute { source }
+    }
+    fn storage(source: Error) -> SessionError {
+        SessionError::Storage { source }
+    }
+    fn txn(context: impl Into<String>) -> SessionError {
+        SessionError::Transaction { context: context.into() }
+    }
+
+    /// The underlying engine error, when there is one.
+    pub fn source_error(&self) -> Option<&Error> {
+        match self {
+            SessionError::Parse { source, .. }
+            | SessionError::Plan { source }
+            | SessionError::Execute { source }
+            | SessionError::Storage { source } => Some(source),
+            SessionError::Transaction { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse { sql, source } => {
+                write!(f, "parse error in \"{sql}\": {source}")
+            }
+            SessionError::Plan { source } => write!(f, "planning failed: {source}"),
+            // execution/storage messages are shown verbatim so callers
+            // (and long-standing tests) can grep for the engine's wording
+            SessionError::Execute { source } => write!(f, "{source}"),
+            SessionError::Storage { source } => write!(f, "{source}"),
+            SessionError::Transaction { context } => write!(f, "transaction error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source_error().map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+/// Result alias of the session boundary.
+pub type SessionResult<T> = std::result::Result<T, SessionError>;
 
 /// The outcome of executing one statement.
 #[derive(Debug, Clone)]
@@ -65,6 +192,131 @@ impl QueryResult {
             _ => None,
         }
     }
+
+    /// The answer rows of a tabular result; empty for world-set and text
+    /// results — `for row in r.rows()` instead of pattern-matching.
+    pub fn rows(&self) -> &[Tuple] {
+        match self {
+            QueryResult::Table(r) => r.rows(),
+            _ => &[],
+        }
+    }
+
+    /// The acknowledgement text of a DDL / DML / transaction-control
+    /// result; empty for tabular and world-set results.
+    pub fn ack(&self) -> &str {
+        match self {
+            QueryResult::Text(t) => t,
+            _ => "",
+        }
+    }
+}
+
+/// A statement parsed (and parameter-counted) once, to be bound and
+/// executed many times — see [`Session::prepare`].
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    stmt: Statement,
+    params: u32,
+}
+
+impl Prepared {
+    /// How many `?` placeholders the statement holds.
+    pub fn param_count(&self) -> usize {
+        self.params as usize
+    }
+
+    /// The underlying statement template (placeholders included).
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+
+    /// Substitutes the placeholders with `params` (by position), returning
+    /// the closed statement. The value count must match exactly.
+    pub fn bind(&self, params: &[Value]) -> SessionResult<Statement> {
+        if params.len() != self.params as usize {
+            return Err(SessionError::exec(Error::InvalidExpr(format!(
+                "prepared statement takes {} parameter(s), {} bound",
+                self.params,
+                params.len()
+            ))));
+        }
+        bind_statement(&self.stmt, params).map_err(SessionError::exec)
+    }
+}
+
+fn bind_insert_value(v: &InsertValue, params: &[Value]) -> Result<InsertValue> {
+    Ok(match v {
+        InsertValue::Param(i) => {
+            let v = params.get(*i as usize).ok_or_else(|| {
+                Error::InvalidExpr(format!("parameter ?{} has no bound value", i + 1))
+            })?;
+            InsertValue::Certain(v.clone())
+        }
+        other => other.clone(),
+    })
+}
+
+fn bind_select(sel: &SelectStmt, params: &[Value]) -> Result<SelectStmt> {
+    let mut out = sel.clone();
+    if let Some(p) = &sel.where_clause {
+        out.where_clause = Some(p.with_params(params)?);
+    }
+    if let Some((op, rhs)) = &sel.set_op {
+        out.set_op = Some((*op, Box::new(bind_select(rhs, params)?)));
+    }
+    Ok(out)
+}
+
+fn bind_statement(stmt: &Statement, params: &[Value]) -> Result<Statement> {
+    Ok(match stmt {
+        Statement::Insert { table, rows } => Statement::Insert {
+            table: table.clone(),
+            rows: rows
+                .iter()
+                .map(|row| row.iter().map(|v| bind_insert_value(v, params)).collect())
+                .collect::<Result<_>>()?,
+        },
+        Statement::Delete { table, pred } => Statement::Delete {
+            table: table.clone(),
+            pred: pred.as_ref().map(|p| p.with_params(params)).transpose()?,
+        },
+        Statement::Update { table, set, pred } => Statement::Update {
+            table: table.clone(),
+            set: set
+                .iter()
+                .map(|(c, v)| Ok((c.clone(), bind_insert_value(v, params)?)))
+                .collect::<Result<_>>()?,
+            pred: pred.as_ref().map(|p| p.with_params(params)).transpose()?,
+        },
+        Statement::Select(sel) => Statement::Select(bind_select(sel, params)?),
+        Statement::Repair(RepairStmt::Check { table, pred }) => {
+            Statement::Repair(RepairStmt::Check {
+                table: table.clone(),
+                pred: pred.with_params(params)?,
+            })
+        }
+        Statement::Explain(inner) => {
+            Statement::Explain(Box::new(bind_statement(inner, params)?))
+        }
+        other => other.clone(),
+    })
+}
+
+/// Buffered state of an open transaction.
+#[derive(Debug, Clone)]
+struct TxnState {
+    /// The decomposition as of `BEGIN` — what `ROLLBACK` restores.
+    saved: Box<Wsd>,
+    /// `cleaning_log` length as of `BEGIN`.
+    saved_cleaning: usize,
+    /// Mutations applied so far (for the COMMIT/ROLLBACK acknowledgement).
+    stmts: usize,
+    /// Wire records of those mutations, in order; `COMMIT` appends them as
+    /// one commit group. Only populated on durable sessions — a session
+    /// with no backing store has no log for the records to ever reach
+    /// (`attach` is refused mid-transaction).
+    buffered: Vec<Vec<u8>>,
 }
 
 /// A MayBMS session: the incomplete database plus execution settings.
@@ -80,6 +332,8 @@ pub struct Session {
     /// The durable backing store, when this session was opened on (or
     /// attached to) a database file.
     storage: Option<Database>,
+    /// The open transaction, if `BEGIN` ran without a `COMMIT`/`ROLLBACK`.
+    txn: Option<TxnState>,
 }
 
 impl Default for Session {
@@ -93,6 +347,11 @@ impl Clone for Session {
     /// database file (two sessions appending to one write-ahead log would
     /// interleave corruptly). Use [`Session::attach`] to give the clone
     /// its own file.
+    ///
+    /// A transaction open at clone time is **carried over**: the clone
+    /// holds the same pre-`BEGIN` snapshot and buffered records, so it can
+    /// keep executing, `ROLLBACK`, or `COMMIT` (a commit on the detached
+    /// clone applies in memory only — nothing reaches the original's log).
     fn clone(&self) -> Session {
         Session {
             wsd: self.wsd.clone(),
@@ -100,6 +359,7 @@ impl Clone for Session {
             cleaning_log: self.cleaning_log.clone(),
             pool: self.pool.clone(),
             storage: None,
+            txn: self.txn.clone(),
         }
     }
 }
@@ -112,6 +372,7 @@ impl Session {
             cleaning_log: Vec::new(),
             pool: global_pool(),
             storage: None,
+            txn: None,
         }
     }
 
@@ -119,24 +380,29 @@ impl Session {
     /// (conventionally `*.maybms`; the write-ahead log lives next to it
     /// at `<path>.wal`). Recovery runs here: the latest snapshot is
     /// decoded and validated, then the WAL's committed prefix is replayed
-    /// — so the returned session holds exactly the state as of the last
-    /// committed statement, even after a crash.
-    pub fn open(path: impl AsRef<Path>) -> Result<Session> {
-        let recovered = Database::open(path)?;
+    /// — single statements and whole commit groups alike — so the
+    /// returned session holds exactly the state as of the last committed
+    /// statement or transaction, even after a crash.
+    pub fn open(path: impl AsRef<Path>) -> SessionResult<Session> {
+        let recovered = Database::open(path).map_err(SessionError::storage)?;
         let wsd = match &recovered.snapshot {
-            Some(payload) => decode_wsd(payload)?,
+            Some(payload) => decode_wsd(payload).map_err(SessionError::storage)?,
             None => Wsd::new(),
         };
         let mut session = Session::with_wsd(wsd);
         for record in &recovered.records {
-            let stmt = wire::decode_statement(record)?;
             // Replay bypasses run(): already-logged statements must not be
             // logged again. Replay failure means a corrupt log (every
             // logged statement succeeded once and the engine is
             // deterministic), so it surfaces as an error.
-            session.apply(&stmt).map_err(|e| {
-                Error::Storage(format!("WAL replay failed on {stmt:?}: {e}"))
-            })?;
+            let stmts = wire::decode_wal_record(record).map_err(SessionError::storage)?;
+            for stmt in &stmts {
+                session.apply(stmt).map_err(|e| {
+                    SessionError::storage(Error::Storage(format!(
+                        "WAL replay failed on {stmt:?}: {e}"
+                    )))
+                })?;
+            }
         }
         session.storage = Some(recovered.db);
         Ok(session)
@@ -144,25 +410,31 @@ impl Session {
 
     /// Attaches durability to an in-memory session: creates the database
     /// files at `path` and immediately checkpoints the current state.
-    /// Refuses to clobber an existing database.
-    pub fn attach(&mut self, path: impl AsRef<Path>) -> Result<()> {
-        if self.storage.is_some() {
-            return Err(Error::Storage(
-                "session is already attached to a database file".into(),
+    /// Refuses to clobber an existing database, and refuses inside a
+    /// transaction (the snapshot would capture uncommitted state).
+    pub fn attach(&mut self, path: impl AsRef<Path>) -> SessionResult<()> {
+        if self.txn.is_some() {
+            return Err(SessionError::txn(
+                "cannot attach a database file inside a transaction",
             ));
         }
-        let recovered = Database::open(path.as_ref())?;
+        if self.storage.is_some() {
+            return Err(SessionError::storage(Error::Storage(
+                "session is already attached to a database file".into(),
+            )));
+        }
+        let recovered = Database::open(path.as_ref()).map_err(SessionError::storage)?;
         if recovered.snapshot.is_some()
             || !recovered.records.is_empty()
             || recovered.db.generation() != 0
         {
-            return Err(Error::Storage(format!(
+            return Err(SessionError::storage(Error::Storage(format!(
                 "refusing to attach: {} already holds a database",
                 path.as_ref().display()
-            )));
+            ))));
         }
         let mut db = recovered.db;
-        db.checkpoint(&encode_wsd(&self.wsd))?;
+        db.checkpoint(&encode_wsd(&self.wsd)).map_err(SessionError::storage)?;
         self.storage = Some(db);
         Ok(())
     }
@@ -170,6 +442,11 @@ impl Session {
     /// Whether this session writes through to a database file.
     pub fn is_durable(&self) -> bool {
         self.storage.is_some()
+    }
+
+    /// Whether a transaction is open (`BEGIN` without `COMMIT`/`ROLLBACK`).
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
     }
 
     /// The snapshot generation of the backing store, if attached.
@@ -181,6 +458,13 @@ impl Session {
     /// this to observe checkpoint compaction.
     pub fn wal_len(&self) -> Option<u64> {
         self.storage.as_ref().map(Database::wal_len)
+    }
+
+    /// fsyncs issued by WAL appends since open (or the last checkpoint),
+    /// if attached — tests use this to assert the group-commit contract
+    /// (one fsync per committed transaction).
+    pub fn wal_sync_count(&self) -> Option<u64> {
+        self.storage.as_ref().map(Database::wal_sync_count)
     }
 
     /// Disables (or re-enables) the per-statement WAL fsync — see
@@ -218,14 +502,15 @@ impl Session {
     }
 
     /// Parses and executes one statement.
-    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse(sql)?;
-        self.run(&stmt)
+    pub fn execute(&mut self, sql: &str) -> SessionResult<QueryResult> {
+        let stmt = self.prepare_unparameterized(sql)?;
+        self.run(&stmt.stmt)
     }
 
     /// Executes a `;`-separated script, returning the last result.
-    pub fn execute_script(&mut self, sql: &str) -> Result<QueryResult> {
-        let stmts = parse_script(sql)?;
+    pub fn execute_script(&mut self, sql: &str) -> SessionResult<QueryResult> {
+        let stmts = parse_script(sql)
+            .map_err(|source| SessionError::Parse { sql: sql.to_string(), source })?;
         let mut last = QueryResult::Text("OK".into());
         for s in &stmts {
             last = self.run(s)?;
@@ -233,36 +518,157 @@ impl Session {
         Ok(last)
     }
 
-    /// Executes a parsed statement. On a durable session, a mutation that
-    /// succeeded in memory is appended to the write-ahead log (and
+    /// Parses a statement with `?` placeholders once, for repeated
+    /// [`Session::execute_prepared`] calls — the loaders' fast path
+    /// (parse/lower once, bind many).
+    pub fn prepare(&self, sql: &str) -> SessionResult<Prepared> {
+        let (stmt, params) = parse_counting_params(sql)
+            .map_err(|source| SessionError::Parse { sql: sql.to_string(), source })?;
+        Ok(Prepared { stmt, params })
+    }
+
+    fn prepare_unparameterized(&self, sql: &str) -> SessionResult<Prepared> {
+        let p = self.prepare(sql)?;
+        if p.params > 0 {
+            return Err(SessionError::exec(Error::InvalidExpr(format!(
+                "statement has {} unbound ? parameter(s); use prepare + execute_prepared",
+                p.params
+            ))));
+        }
+        Ok(p)
+    }
+
+    /// Binds `params` into a prepared statement and executes it.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> SessionResult<QueryResult> {
+        let stmt = prepared.bind(params)?;
+        self.run(&stmt)
+    }
+
+    /// Opens a transaction and returns a guard that rolls back on drop
+    /// unless [`Transaction::commit`] is called — the typed equivalent of
+    /// `BEGIN` … `COMMIT`/`ROLLBACK`.
+    pub fn transaction(&mut self) -> SessionResult<Transaction<'_>> {
+        self.run(&Statement::Begin)?;
+        Ok(Transaction { session: self, open: true })
+    }
+
+    /// Executes a parsed statement. Outside a transaction, a mutation
+    /// that succeeded in memory is appended to the write-ahead log (and
     /// fsynced) before this returns — once you have the `Ok`, the
-    /// statement survives a crash.
-    pub fn run(&mut self, stmt: &Statement) -> Result<QueryResult> {
+    /// statement survives a crash. Inside a transaction, the record is
+    /// buffered until `COMMIT` (which appends the whole group under a
+    /// single fsync).
+    pub fn run(&mut self, stmt: &Statement) -> SessionResult<QueryResult> {
+        match stmt {
+            Statement::Begin => return self.begin_txn(),
+            Statement::Commit => return self.commit_txn(),
+            Statement::Rollback => return self.rollback_txn(),
+            Statement::Checkpoint if self.txn.is_some() => {
+                return Err(SessionError::txn(
+                    "CHECKPOINT inside a transaction (commit or roll back first; \
+                     a snapshot must not capture uncommitted state)",
+                ));
+            }
+            _ => {}
+        }
         let result = self.apply(stmt)?;
         if wire::is_mutation(stmt) {
-            if let Some(db) = &mut self.storage {
-                if let Err(e) = wire::encode_statement(stmt).and_then(|r| db.append(&r)) {
-                    // Memory has the mutation but the log does not. Keeping
-                    // the file attached would log *later* statements against
-                    // a state the disk never saw — permanent divergence and
-                    // an unreplayable WAL. Detach instead: durability is
-                    // lost loudly, the on-disk prefix stays consistent, and
-                    // reopening the path recovers it.
-                    self.storage = None;
-                    return Err(Error::Storage(format!(
-                        "statement applied in memory but could not be committed to the \
-                         write-ahead log; database file detached (reopen to recover \
-                         the last durable state): {e}"
-                    )));
+            if let Some(txn) = &mut self.txn {
+                txn.stmts += 1;
+            }
+        }
+        if wire::is_mutation(stmt) && self.storage.is_some() {
+            match wire::encode_statement(stmt) {
+                Ok(record) => {
+                    if let Some(txn) = &mut self.txn {
+                        txn.buffered.push(record);
+                    } else if let Some(db) = &mut self.storage {
+                        if let Err(e) = db.append(&record) {
+                            // Memory has the mutation but the log does not.
+                            // Keeping the file attached would log *later*
+                            // statements against a state the disk never saw —
+                            // permanent divergence and an unreplayable WAL.
+                            // Detach instead: durability is lost loudly, the
+                            // on-disk prefix stays consistent, and reopening
+                            // the path recovers it.
+                            self.storage = None;
+                            return Err(SessionError::storage(Error::Storage(format!(
+                                "statement applied in memory but could not be committed to \
+                                 the write-ahead log; database file detached (reopen to \
+                                 recover the last durable state): {e}"
+                            ))));
+                        }
+                    }
+                }
+                Err(e) => {
+                    // unreachable for mutations (their encoding is total),
+                    // kept as a loud failure rather than a silent WAL gap
+                    return Err(SessionError::storage(Error::Storage(format!(
+                        "statement applied in memory but could not be encoded for the \
+                         write-ahead log: {e}"
+                    ))));
                 }
             }
         }
         Ok(result)
     }
 
+    fn begin_txn(&mut self) -> SessionResult<QueryResult> {
+        if self.txn.is_some() {
+            return Err(SessionError::txn(
+                "BEGIN inside a transaction (nested transactions are not supported)",
+            ));
+        }
+        self.txn = Some(TxnState {
+            saved: Box::new(self.wsd.clone()),
+            saved_cleaning: self.cleaning_log.len(),
+            stmts: 0,
+            buffered: Vec::new(),
+        });
+        Ok(QueryResult::Text("BEGIN".into()))
+    }
+
+    fn commit_txn(&mut self) -> SessionResult<QueryResult> {
+        let Some(txn) = self.txn.take() else {
+            return Err(SessionError::txn("COMMIT without an open transaction"));
+        };
+        let n = txn.stmts;
+        if let Some(db) = &mut self.storage {
+            if !txn.buffered.is_empty() {
+                let group = wire::encode_commit_group(&txn.buffered);
+                if let Err(e) = db.append(&group) {
+                    // Same divergence hazard as the autocommit path: memory
+                    // holds the whole transaction, the log none of it.
+                    self.storage = None;
+                    return Err(SessionError::storage(Error::Storage(format!(
+                        "transaction applied in memory but its commit group could not be \
+                         appended to the write-ahead log; database file detached (reopen \
+                         to recover the last durable state — this transaction rolls \
+                         back on disk): {e}"
+                    ))));
+                }
+            }
+        }
+        Ok(QueryResult::Text(format!("COMMIT ({n} statement(s))")))
+    }
+
+    fn rollback_txn(&mut self) -> SessionResult<QueryResult> {
+        let Some(txn) = self.txn.take() else {
+            return Err(SessionError::txn("ROLLBACK without an open transaction"));
+        };
+        let n = txn.stmts;
+        self.wsd = *txn.saved;
+        self.cleaning_log.truncate(txn.saved_cleaning);
+        Ok(QueryResult::Text(format!("ROLLBACK ({n} statement(s) undone)")))
+    }
+
     /// Statement dispatch without WAL logging (recovery replays through
-    /// this; [`Session::run`] adds the logging).
-    fn apply(&mut self, stmt: &Statement) -> Result<QueryResult> {
+    /// this; [`Session::run`] adds transaction control and the logging).
+    fn apply(&mut self, stmt: &Statement) -> SessionResult<QueryResult> {
         match stmt {
             Statement::Select(sel) => self.run_select(sel),
             Statement::CreateTable { name, columns } => {
@@ -272,11 +678,11 @@ impl Session {
                         .map(|(n, t)| Column::new(n.clone(), *t))
                         .collect(),
                 );
-                self.wsd.add_relation(name.clone(), schema)?;
+                self.wsd.add_relation(name.clone(), schema).map_err(SessionError::exec)?;
                 Ok(QueryResult::Text(format!("created table {name}")))
             }
             Statement::DropTable { name } => {
-                self.wsd.remove_relation(name)?;
+                self.wsd.remove_relation(name).map_err(SessionError::exec)?;
                 maybms_core::normalize::normalize(&mut self.wsd);
                 Ok(QueryResult::Text(format!("dropped table {name}")))
             }
@@ -284,49 +690,59 @@ impl Session {
                 // `rename_relation` restores the source relation when the
                 // target name is taken (PR 1 regression), so a failed
                 // rename must leave `from` queryable.
-                self.wsd.rename_relation(from, to.clone())?;
+                self.wsd
+                    .rename_relation(from, to.clone())
+                    .map_err(SessionError::exec)?;
                 Ok(QueryResult::Text(format!("renamed table {from} to {to}")))
             }
             Statement::Insert { table, rows } => {
-                // Build and type-check every row before pushing any: an
-                // INSERT either applies fully or not at all. (The WAL only
-                // records statements that succeeded; a partially applied
-                // failure would make replay diverge from memory.)
-                let schema = self.wsd.relation(table)?.schema.clone();
-                let mut staged = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let cells = row
-                        .iter()
-                        .map(|v| match v {
-                            InsertValue::Certain(v) => Ok(OrSetCell::certain(v.clone())),
-                            InsertValue::Uniform(vs) => OrSetCell::uniform(vs.clone()),
-                            InsertValue::Weighted(ws) => OrSetCell::weighted(ws.clone()),
-                        })
-                        .collect::<Result<Vec<_>>>()?;
-                    if cells.len() != schema.len() {
-                        return Err(Error::TypeError(format!(
-                            "tuple arity {} vs schema {}",
-                            cells.len(),
-                            schema.len()
-                        )));
-                    }
-                    for (i, c) in cells.iter().enumerate() {
-                        for (v, _) in c.alternatives() {
-                            if !v.matches_type(schema.column(i).ty) {
-                                return Err(Error::TypeError(format!(
-                                    "value {v} not valid for column {}",
-                                    schema.column(i).name
-                                )));
-                            }
+                self.apply_insert(table, rows).map_err(SessionError::exec)
+            }
+            Statement::Delete { table, pred } => {
+                // DML on a scratch copy: a failing statement (bad predicate,
+                // arithmetic error) must not leak partial edits — memory has
+                // to be all-or-nothing, like the WAL.
+                let mut scratch = self.wsd.clone();
+                let report =
+                    delete_op(&mut scratch, table, pred.as_ref()).map_err(SessionError::exec)?;
+                self.wsd = scratch;
+                Ok(QueryResult::Text(format!(
+                    "deleted {} tuple(s) from {table} ({} in every world, {} conditionally)",
+                    report.total(),
+                    report.certain,
+                    report.conditioned
+                )))
+            }
+            Statement::Update { table, set, pred } => {
+                let assignments = set
+                    .iter()
+                    .map(|(col, v)| match v {
+                        InsertValue::Certain(v) => Ok((col.clone(), v.clone())),
+                        InsertValue::Param(i) => Err(Error::InvalidExpr(format!(
+                            "unbound parameter ?{} in UPDATE (bind prepared-statement \
+                             parameters first)",
+                            i + 1
+                        ))),
+                        InsertValue::Uniform(_) | InsertValue::Weighted(_) => {
+                            Err(Error::InvalidExpr(
+                                "or-set values are not supported in UPDATE SET \
+                                 (INSERT introduces uncertainty)"
+                                    .into(),
+                            ))
                         }
-                    }
-                    staged.push(cells);
-                }
-                let n = staged.len();
-                for cells in staged {
-                    self.wsd.push_orset(table, cells)?;
-                }
-                Ok(QueryResult::Text(format!("inserted {n} tuple(s) into {table}")))
+                    })
+                    .collect::<Result<Vec<_>>>()
+                    .map_err(SessionError::exec)?;
+                let mut scratch = self.wsd.clone();
+                let report = update_op(&mut scratch, table, &assignments, pred.as_ref())
+                    .map_err(SessionError::exec)?;
+                self.wsd = scratch;
+                Ok(QueryResult::Text(format!(
+                    "updated {} tuple(s) in {table} ({} in every world, {} conditionally)",
+                    report.total(),
+                    report.certain,
+                    report.conditioned
+                )))
             }
             Statement::Repair(r) => {
                 let constraint = match r {
@@ -350,7 +766,8 @@ impl Session {
                 // statements that fully succeeded, so memory has to be
                 // all-or-nothing too.
                 let mut cleaned = self.wsd.clone();
-                let report = clean(&mut cleaned, &[constraint])?;
+                let report =
+                    clean(&mut cleaned, &[constraint]).map_err(SessionError::exec)?;
                 self.wsd = cleaned;
                 let msg = format!(
                     "repaired: {} violating row group(s) removed, {:.4} probability mass discarded",
@@ -361,10 +778,10 @@ impl Session {
             }
             Statement::Explain(inner) => match inner.as_ref() {
                 Statement::Select(sel) => {
-                    let raw = lower_select(sel)?;
-                    let opt = optimize(&raw, &self.wsd)?;
+                    let raw = lower_select(sel).map_err(SessionError::plan)?;
+                    let opt = optimize(&raw, &self.wsd).map_err(SessionError::plan)?;
                     let chosen = if self.optimize_plans { &opt } else { &raw };
-                    let phys = compile(chosen, &self.wsd)?;
+                    let phys = compile(chosen, &self.wsd).map_err(SessionError::plan)?;
                     Ok(QueryResult::Text(format!(
                         "-- logical plan\n{}-- optimized plan\n{}-- physical plan (workers={})\n{}",
                         explain(&raw),
@@ -381,28 +798,82 @@ impl Session {
             }
             Statement::Checkpoint => {
                 let Some(db) = self.storage.as_mut() else {
-                    return Err(Error::Storage(
+                    return Err(SessionError::storage(Error::Storage(
                         "CHECKPOINT requires a session opened on a database file \
                          (use Session::open or Session::attach)"
                             .into(),
-                    ));
+                    )));
                 };
                 let payload = encode_wsd(&self.wsd);
-                db.checkpoint(&payload)?;
+                db.checkpoint(&payload).map_err(SessionError::storage)?;
                 Ok(QueryResult::Text(format!(
                     "checkpointed generation {} ({} bytes, WAL reset)",
                     db.generation(),
                     payload.len()
                 )))
             }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                // transaction control never reaches the WAL, so replay
+                // (which drives apply directly) cannot hit this arm
+                Err(SessionError::txn(
+                    "transaction control must go through Session::run",
+                ))
+            }
         }
     }
 
-    fn run_select(&mut self, sel: &SelectStmt) -> Result<QueryResult> {
+    fn apply_insert(&mut self, table: &str, rows: &[Vec<InsertValue>]) -> Result<QueryResult> {
+        // Build and type-check every row before pushing any: an
+        // INSERT either applies fully or not at all. (The WAL only
+        // records statements that succeeded; a partially applied
+        // failure would make replay diverge from memory.)
+        let schema = self.wsd.relation(table)?.schema.clone();
+        let mut staged = Vec::with_capacity(rows.len());
+        for row in rows {
+            let cells = row
+                .iter()
+                .map(|v| match v {
+                    InsertValue::Certain(v) => Ok(OrSetCell::certain(v.clone())),
+                    InsertValue::Uniform(vs) => OrSetCell::uniform(vs.clone()),
+                    InsertValue::Weighted(ws) => OrSetCell::weighted(ws.clone()),
+                    InsertValue::Param(i) => Err(Error::InvalidExpr(format!(
+                        "unbound parameter ?{} in INSERT (bind prepared-statement \
+                         parameters first)",
+                        i + 1
+                    ))),
+                })
+                .collect::<Result<Vec<_>>>()?;
+            if cells.len() != schema.len() {
+                return Err(Error::TypeError(format!(
+                    "tuple arity {} vs schema {}",
+                    cells.len(),
+                    schema.len()
+                )));
+            }
+            for (i, c) in cells.iter().enumerate() {
+                for (v, _) in c.alternatives() {
+                    if !v.matches_type(schema.column(i).ty) {
+                        return Err(Error::TypeError(format!(
+                            "value {v} not valid for column {}",
+                            schema.column(i).name
+                        )));
+                    }
+                }
+            }
+            staged.push(cells);
+        }
+        let n = staged.len();
+        for cells in staged {
+            self.wsd.push_orset(table, cells)?;
+        }
+        Ok(QueryResult::Text(format!("inserted {n} tuple(s) into {table}")))
+    }
+
+    fn run_select(&mut self, sel: &SelectStmt) -> SessionResult<QueryResult> {
         if sel.prob_threshold.is_some() && (!sel.prob || sel.items.is_empty()) {
-            return Err(maybms_relational::Error::InvalidExpr(
+            return Err(SessionError::plan(Error::InvalidExpr(
                 "HAVING PROB() requires PROB() and answer columns in the select list".into(),
-            ));
+            )));
         }
         let mut result = self.run_select_inner(sel)?;
         // HAVING PROB() filters on the confidence column (always last).
@@ -437,7 +908,7 @@ impl Session {
                         .iter()
                         .map(|(c, asc)| (c.as_str(), *asc))
                         .collect();
-                    maybms_relational::ops::sort_by(&t, &keys)?
+                    maybms_relational::ops::sort_by(&t, &keys).map_err(SessionError::exec)?
                 };
                 if let Some(n) = sel.limit {
                     let rows: Vec<_> = t.take_rows().into_iter().take(n).collect();
@@ -446,38 +917,41 @@ impl Session {
                 Ok(QueryResult::Table(t))
             }
             QueryResult::WorldSet(_) | QueryResult::Text(_) => {
-                Err(maybms_relational::Error::InvalidExpr(
+                Err(SessionError::plan(Error::InvalidExpr(
                     "ORDER BY / LIMIT require a tabular result \
                      (POSSIBLE, CERTAIN, PROB() or EXPECTED)"
                         .into(),
-                ))
+                )))
             }
         }
     }
 
-    fn run_select_inner(&mut self, sel: &SelectStmt) -> Result<QueryResult> {
-        let raw = lower_select(sel)?;
+    fn run_select_inner(&mut self, sel: &SelectStmt) -> SessionResult<QueryResult> {
+        let raw = lower_select(sel).map_err(SessionError::plan)?;
         let plan = if self.optimize_plans {
-            optimize(&raw, &self.wsd)?
+            optimize(&raw, &self.wsd).map_err(SessionError::plan)?
         } else {
             raw
         };
         // compile the logical tree to a physical plan and execute it on
         // the session's worker pool
-        let phys = compile(&plan, &self.wsd)?;
-        let answer = Executor::new(&self.pool).run(&phys, &self.wsd)?;
-        let schema = answer.relation("result")?.schema.clone();
+        let phys = compile(&plan, &self.wsd).map_err(SessionError::plan)?;
+        let answer =
+            Executor::new(&self.pool).run(&phys, &self.wsd).map_err(SessionError::exec)?;
+        let schema = answer.relation("result").map_err(SessionError::exec)?.schema.clone();
 
         if let Some(agg) = &sel.expected {
             // EXPECTED COUNT() / EXPECTED SUM(col): one scalar row.
             let (name, v) = match agg {
                 crate::ast::ExpectedAgg::Count => (
                     "expected_count",
-                    prob::expected_count_in(&answer, "result", &self.pool)?,
+                    prob::expected_count_in(&answer, "result", &self.pool)
+                        .map_err(SessionError::exec)?,
                 ),
                 crate::ast::ExpectedAgg::Sum(col) => (
                     "expected_sum",
-                    prob::expected_sum_in(&answer, "result", col, &self.pool)?,
+                    prob::expected_sum_in(&answer, "result", col, &self.pool)
+                        .map_err(SessionError::exec)?,
                 ),
             };
             let s = Schema::new(vec![(name, ColumnType::Float)]);
@@ -491,14 +965,16 @@ impl Session {
             (WorldMode::AllWorlds, true) | (WorldMode::Possible, true) => {
                 if sel.items.is_empty() {
                     // SELECT PROB() FROM ... : probability of non-emptiness
-                    let p = prob::nonempty_confidence_in(&answer, "result", &self.pool)?;
+                    let p = prob::nonempty_confidence_in(&answer, "result", &self.pool)
+                        .map_err(SessionError::exec)?;
                     let s = Schema::new(vec![("prob", ColumnType::Float)]);
                     let mut r = Relation::empty(s);
                     r.push_unchecked(Tuple::new(vec![Value::Float(p)]));
                     Ok(QueryResult::Table(r))
                 } else {
                     // answer tuples with their confidences
-                    let conf = prob::tuple_confidence_in(&answer, "result", &self.pool)?;
+                    let conf = prob::tuple_confidence_in(&answer, "result", &self.pool)
+                        .map_err(SessionError::exec)?;
                     let with_p = schema.concat(&Schema::new(vec![("prob", ColumnType::Float)]));
                     let mut r = Relation::empty(with_p);
                     for (t, p) in conf {
@@ -510,11 +986,13 @@ impl Session {
                 }
             }
             (WorldMode::Possible, false) => {
-                let tuples = prob::possible_tuples_in(&answer, "result", &self.pool)?;
+                let tuples = prob::possible_tuples_in(&answer, "result", &self.pool)
+                    .map_err(SessionError::exec)?;
                 Ok(QueryResult::Table(Relation::from_rows_unchecked(schema, tuples)))
             }
             (WorldMode::Certain, _) => {
-                let tuples = prob::certain_tuples_in(&answer, "result", &self.pool)?;
+                let tuples = prob::certain_tuples_in(&answer, "result", &self.pool)
+                    .map_err(SessionError::exec)?;
                 Ok(QueryResult::Table(Relation::from_rows_unchecked(schema, tuples)))
             }
         }
@@ -524,6 +1002,58 @@ impl Session {
 impl From<Wsd> for Session {
     fn from(wsd: Wsd) -> Session {
         Session::with_wsd(wsd)
+    }
+}
+
+/// An open transaction on a [`Session`]: `BEGIN` already ran; dropping
+/// the guard without [`Transaction::commit`] rolls back.
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    session: &'a mut Session,
+    open: bool,
+}
+
+impl Transaction<'_> {
+    /// Parses and executes one statement inside the transaction.
+    pub fn execute(&mut self, sql: &str) -> SessionResult<QueryResult> {
+        self.session.execute(sql)
+    }
+
+    /// Executes a parsed statement inside the transaction.
+    pub fn run(&mut self, stmt: &Statement) -> SessionResult<QueryResult> {
+        self.session.run(stmt)
+    }
+
+    /// Binds and executes a prepared statement inside the transaction.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> SessionResult<QueryResult> {
+        self.session.execute_prepared(prepared, params)
+    }
+
+    /// Commits: appends the buffered records as one commit group (single
+    /// fsync on a durable session) and closes the transaction.
+    pub fn commit(mut self) -> SessionResult<()> {
+        self.open = false;
+        self.session.run(&Statement::Commit).map(|_| ())
+    }
+
+    /// Rolls back explicitly (dropping the guard does the same).
+    pub fn rollback(mut self) -> SessionResult<()> {
+        self.open = false;
+        self.session.run(&Statement::Rollback).map(|_| ())
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            // the transaction may already be closed if the user executed
+            // COMMIT/ROLLBACK as SQL through the guard; ignore that error
+            let _ = self.session.run(&Statement::Rollback);
+        }
     }
 }
 
@@ -537,7 +1067,7 @@ pub fn medical_session() -> Session {
 mod tests {
     use super::*;
 
-    fn err_contains(r: Result<QueryResult>, what: &str) {
+    fn err_contains(r: SessionResult<QueryResult>, what: &str) {
         match r {
             Err(e) => assert!(e.to_string().contains(what), "unexpected error {e}"),
             Ok(v) => panic!("expected error containing {what}, got {v:?}"),
@@ -598,6 +1128,154 @@ mod tests {
         assert_eq!(s.wsd().world_count().to_u64(), Some(2));
         s.execute("DROP TABLE person").unwrap();
         err_contains(s.execute("SELECT * FROM person"), "unknown relation");
+    }
+
+    #[test]
+    fn delete_via_sql() {
+        let mut s = Session::new();
+        s.execute_script(
+            "CREATE TABLE p (ssn INT, name TEXT); \
+             INSERT INTO p VALUES ({1: 0.4, 2: 0.6}, 'ann'), (2, 'bob')",
+        )
+        .unwrap();
+        // bob certainly matches: removed from every world
+        let r = s.execute("DELETE FROM p WHERE name = 'bob'").unwrap();
+        assert!(r.ack().contains("1 in every world"), "{}", r.ack());
+        // ann possibly matches: survives only where ssn = 2
+        let r2 = s.execute("DELETE FROM p WHERE ssn = 1").unwrap();
+        assert!(r2.ack().contains("1 conditionally"), "{}", r2.ack());
+        let t = s.execute("SELECT POSSIBLE ssn, name, PROB() FROM p").unwrap();
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.rows()[0][0], Value::Int(2));
+        assert_eq!(t.rows()[0][2], Value::Float(0.6), "world probabilities untouched");
+        // DELETE without WHERE empties the relation but keeps it
+        s.execute("DELETE FROM p").unwrap();
+        assert_eq!(s.execute("SELECT POSSIBLE ssn FROM p").unwrap().rows().len(), 0);
+        err_contains(s.execute("DELETE FROM missing"), "unknown relation");
+    }
+
+    #[test]
+    fn update_via_sql() {
+        let mut s = Session::new();
+        s.execute_script(
+            "CREATE TABLE p (ssn INT, name TEXT); \
+             INSERT INTO p VALUES ({1: 0.4, 2: 0.6}, 'ann'), (3, 'bob')",
+        )
+        .unwrap();
+        let r = s.execute("UPDATE p SET name = 'anna' WHERE ssn = 1").unwrap();
+        assert!(r.ack().contains("1 conditionally"), "{}", r.ack());
+        let t = s
+            .execute("SELECT POSSIBLE ssn, name, PROB() FROM p ORDER BY ssn")
+            .unwrap();
+        let rows = t.rows();
+        // worlds: (1, anna) p=0.4, (2, ann) p=0.6, (3, bob) certain
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][1], Value::str("anna"));
+        assert_eq!(rows[0][2], Value::Float(0.4));
+        assert_eq!(rows[1][1], Value::str("ann"));
+        // type errors and unknown columns are execution errors
+        err_contains(s.execute("UPDATE p SET ssn = 'x'"), "type error");
+        err_contains(s.execute("UPDATE p SET nope = 1"), "unknown column");
+        err_contains(
+            s.execute("UPDATE p SET name = {1: 0.5, 2: 0.5}"),
+            "invalid expression",
+        );
+    }
+
+    #[test]
+    fn prepared_statements_bind_many() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (x INT, tag TEXT)").unwrap();
+        let ins = s.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+        assert_eq!(ins.param_count(), 2);
+        for i in 0..5i64 {
+            s.execute_prepared(&ins, &[Value::Int(i), Value::str("row")]).unwrap();
+        }
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 5);
+        // parameters in predicates too
+        let q = s.prepare("SELECT POSSIBLE x FROM t WHERE x >= ?").unwrap();
+        assert_eq!(s.execute_prepared(&q, &[Value::Int(3)]).unwrap().rows().len(), 2);
+        let del = s.prepare("DELETE FROM t WHERE x = ?").unwrap();
+        s.execute_prepared(&del, &[Value::Int(0)]).unwrap();
+        assert_eq!(s.execute_prepared(&q, &[Value::Int(0)]).unwrap().rows().len(), 4);
+        // wrong arity and unbound execution are rejected
+        assert!(s.execute_prepared(&ins, &[Value::Int(1)]).is_err());
+        err_contains(s.execute("INSERT INTO t VALUES (?, 'x')"), "unbound");
+    }
+
+    #[test]
+    fn transactions_commit_and_rollback() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("BEGIN").unwrap();
+        assert!(s.in_transaction());
+        s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        // statements inside the transaction see their own writes
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 2);
+        s.execute("ROLLBACK").unwrap();
+        assert!(!s.in_transaction());
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 0);
+
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (7)").unwrap();
+        let r = s.execute("COMMIT").unwrap();
+        assert!(r.ack().contains("COMMIT (1 statement(s))"), "{}", r.ack());
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 1);
+
+        // misuse errors
+        err_contains(s.execute("COMMIT"), "without an open transaction");
+        err_contains(s.execute("ROLLBACK"), "without an open transaction");
+        s.execute("BEGIN").unwrap();
+        err_contains(s.execute("BEGIN"), "nested");
+        err_contains(s.execute("CHECKPOINT"), "inside a transaction");
+        s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_repairs_and_ddl() {
+        let mut s = Session::new();
+        s.execute_script(
+            "CREATE TABLE p (ssn INT, name TEXT); \
+             INSERT INTO p VALUES ({1: 0.5, 2: 0.5}, 'ann'), (2, 'bob')",
+        )
+        .unwrap();
+        let before = maybms_core::codec::encode_wsd(s.wsd());
+        s.execute("BEGIN").unwrap();
+        s.execute("REPAIR KEY p(ssn)").unwrap();
+        assert_eq!(s.cleaning_log.len(), 1);
+        s.execute("ALTER TABLE p RENAME TO q").unwrap();
+        s.execute("DROP TABLE q").unwrap();
+        s.execute("ROLLBACK").unwrap();
+        // byte-identical restore, cleaning log truncated
+        assert_eq!(before, maybms_core::codec::encode_wsd(s.wsd()));
+        assert!(s.cleaning_log.is_empty());
+    }
+
+    #[test]
+    fn transaction_guard_rolls_back_on_drop() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        {
+            let mut txn = s.transaction().unwrap();
+            txn.execute("INSERT INTO t VALUES (1)").unwrap();
+            // dropped without commit
+        }
+        assert!(!s.in_transaction());
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 0);
+        {
+            let mut txn = s.transaction().unwrap();
+            txn.execute("INSERT INTO t VALUES (2)").unwrap();
+            txn.commit().unwrap();
+        }
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 1);
+        // prepared statements work through the guard
+        let ins = s.prepare("INSERT INTO t VALUES (?)").unwrap();
+        {
+            let mut txn = s.transaction().unwrap();
+            txn.execute_prepared(&ins, &[Value::Int(9)]).unwrap();
+            txn.rollback().unwrap();
+        }
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 1);
     }
 
     #[test]
@@ -863,6 +1541,32 @@ mod tests {
     }
 
     #[test]
+    fn session_errors_are_categorized() {
+        let mut s = Session::new();
+        // parse errors carry the offending SQL
+        let e = s.execute("FROB x").unwrap_err();
+        assert!(matches!(&e, SessionError::Parse { sql, .. } if sql == "FROB x"), "{e:?}");
+        assert!(e.to_string().contains("parse error"));
+        // planning errors (unknown relation in a SELECT) are Plan
+        let e2 = s.execute("SELECT a FROM missing").unwrap_err();
+        assert!(matches!(e2, SessionError::Plan { .. }), "{e2:?}");
+        // execution errors are Execute
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        let e3 = s.execute("INSERT INTO t VALUES ('x')").unwrap_err();
+        assert!(matches!(e3, SessionError::Execute { .. }), "{e3:?}");
+        // transaction misuse is Transaction
+        let e4 = s.execute("COMMIT").unwrap_err();
+        assert!(matches!(e4, SessionError::Transaction { .. }), "{e4:?}");
+        // storage misuse is Storage
+        let e5 = s.execute("CHECKPOINT").unwrap_err();
+        assert!(matches!(e5, SessionError::Storage { .. }), "{e5:?}");
+        // the enum is a std::error::Error with a source chain
+        let dyn_err: &dyn std::error::Error = &e3;
+        assert!(dyn_err.source().is_some());
+        assert!(e4.source_error().is_none());
+    }
+
+    #[test]
     fn failed_repair_leaves_state_untouched() {
         let mut s = Session::new();
         s.execute("CREATE TABLE r (a INT, b INT)").unwrap();
@@ -895,6 +1599,19 @@ mod tests {
             s.execute("SELECT POSSIBLE a FROM t").unwrap().table().unwrap().len(),
             0
         );
+    }
+
+    #[test]
+    fn failed_dml_leaves_state_untouched() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE r (a INT, b INT)").unwrap();
+        s.execute("INSERT INTO r VALUES ({1: 0.5, 2: 0.5}, 0), (3, 0)").unwrap();
+        let before = maybms_core::codec::encode_wsd(s.wsd());
+        // division by zero in the predicate aborts the statement …
+        assert!(s.execute("DELETE FROM r WHERE a / 0 = 1").is_err());
+        assert!(s.execute("UPDATE r SET b = 1 WHERE a / 0 = 1").is_err());
+        // … without leaking partial edits
+        assert_eq!(before, maybms_core::codec::encode_wsd(s.wsd()));
     }
 
     fn db_path(name: &str) -> std::path::PathBuf {
@@ -930,6 +1647,66 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.rows()[0][0], Value::Int(1)); // ann's ssn repaired to 1
         assert_eq!(t.rows()[0][2], Value::Float(1.0));
+        rm_db(&path);
+    }
+
+    #[test]
+    fn committed_transaction_is_one_wal_record_and_one_fsync() {
+        let path = db_path("txn-group");
+        let mut s = Session::open(&path).unwrap();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        let syncs_before = s.wal_sync_count().unwrap();
+        let len_before = s.wal_len().unwrap();
+        s.execute("BEGIN").unwrap();
+        for i in 0..20 {
+            s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        // nothing reaches the log until COMMIT …
+        assert_eq!(s.wal_len().unwrap(), len_before, "buffered, not appended");
+        assert_eq!(s.wal_sync_count().unwrap(), syncs_before);
+        s.execute("COMMIT").unwrap();
+        // … and the whole transaction costs exactly one fsync
+        assert_eq!(
+            s.wal_sync_count().unwrap(),
+            syncs_before + 1,
+            "a transaction of N inserts must fsync exactly once"
+        );
+        assert!(s.wal_len().unwrap() > len_before);
+        drop(s);
+        let mut back = Session::open(&path).unwrap();
+        assert_eq!(back.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 20);
+        rm_db(&path);
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_not_recovered() {
+        let path = db_path("txn-kill");
+        {
+            let mut s = Session::open(&path).unwrap();
+            s.execute("CREATE TABLE t (x INT)").unwrap();
+            s.execute("INSERT INTO t VALUES (1)").unwrap();
+            s.execute("BEGIN").unwrap();
+            s.execute("INSERT INTO t VALUES (2)").unwrap();
+            s.execute("DELETE FROM t WHERE x = 1").unwrap();
+            // killed mid-transaction: nothing after BEGIN was committed
+        }
+        let mut s = Session::open(&path).unwrap();
+        let rows = s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().to_vec();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1), "recovery rolls back the open transaction");
+        rm_db(&path);
+    }
+
+    #[test]
+    fn empty_and_readonly_transactions_append_nothing() {
+        let path = db_path("txn-empty");
+        let mut s = Session::open(&path).unwrap();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        let len = s.wal_len().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("SELECT POSSIBLE x FROM t").unwrap();
+        s.execute("COMMIT").unwrap();
+        assert_eq!(s.wal_len().unwrap(), len, "read-only transaction logs nothing");
         rm_db(&path);
     }
 
@@ -983,8 +1760,14 @@ mod tests {
         // and double-attach is refused
         let e2 = s2.attach(db_path("attach-other")).unwrap_err();
         assert!(e2.to_string().contains("already attached"), "{e2}");
+        // attach inside a transaction is refused
+        let mut s4 = Session::new();
+        s4.execute("BEGIN").unwrap();
+        let e3 = s4.attach(db_path("attach-txn")).unwrap_err();
+        assert!(matches!(e3, SessionError::Transaction { .. }), "{e3:?}");
         rm_db(&path);
         rm_db(&db_path("attach-other"));
+        rm_db(&db_path("attach-txn"));
     }
 
     #[test]
@@ -1004,6 +1787,38 @@ mod tests {
             0,
             "clone's insert must not reach the log"
         );
+        rm_db(&path);
+    }
+
+    /// Regression for the clone-mid-transaction footgun: the clone must
+    /// carry the buffered-but-uncommitted state (not silently drop it), so
+    /// rollback on the clone restores the pre-BEGIN snapshot, and the
+    /// original session's transaction is unaffected by the clone.
+    #[test]
+    fn clone_mid_transaction_carries_buffered_state() {
+        let path = db_path("clone-txn");
+        let mut s = Session::open(&path).unwrap();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+
+        let mut c = s.clone();
+        assert!(c.in_transaction(), "clone must carry the open transaction");
+        assert!(!c.is_durable());
+        // the clone can keep going and roll back to the pre-BEGIN state
+        c.execute("INSERT INTO t VALUES (2)").unwrap();
+        assert_eq!(c.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 2);
+        c.execute("ROLLBACK").unwrap();
+        assert_eq!(c.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 0);
+
+        // the original's transaction is independent: commit lands on disk
+        s.execute("COMMIT").unwrap();
+        drop(s);
+        drop(c);
+        let mut back = Session::open(&path).unwrap();
+        let rows = back.execute("SELECT POSSIBLE x FROM t").unwrap().rows().to_vec();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1));
         rm_db(&path);
     }
 }

@@ -146,6 +146,12 @@ impl Database {
         self.wal.set_sync(sync);
     }
 
+    /// See [`Wal::sync_count`]. Resets when a checkpoint swaps in a fresh
+    /// log handle.
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal.sync_count()
+    }
+
     fn check_poisoned(&self) -> Result<()> {
         if self.poisoned {
             return Err(Error::Storage(

@@ -47,6 +47,9 @@ pub struct Wal {
     end: u64,
     /// fsync every append (on by default; benches may disable it).
     sync: bool,
+    /// fsyncs issued by appends on this handle — lets tests assert the
+    /// group-commit contract (one fsync per committed transaction).
+    sync_count: u64,
 }
 
 fn encode_header(generation: u64) -> [u8; WAL_HEADER_LEN as usize] {
@@ -106,6 +109,7 @@ impl Wal {
             generation,
             end: WAL_HEADER_LEN,
             sync: true,
+            sync_count: 0,
         })
     }
 
@@ -157,6 +161,7 @@ impl Wal {
                 generation,
                 end: end as u64,
                 sync: true,
+                sync_count: 0,
             },
             records,
         ))
@@ -187,6 +192,11 @@ impl Wal {
         self.sync = sync;
     }
 
+    /// How many fsyncs appends on this handle have issued.
+    pub fn sync_count(&self) -> u64 {
+        self.sync_count
+    }
+
     /// Appends one record and (by default) fsyncs. On return the record
     /// is committed: replay after a crash will include it.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
@@ -202,6 +212,7 @@ impl Wal {
             .map_err(|e| io_err("append WAL record", e))?;
         if self.sync {
             self.file.sync_data().map_err(|e| io_err("sync WAL append", e))?;
+            self.sync_count += 1;
         }
         self.end += frame.len() as u64;
         Ok(())

@@ -70,4 +70,28 @@ fn main() {
     assert_eq!(table.rows()[0][0], Value::str("ultrasound"));
     assert!((table.rows()[0][1].as_f64().expect("prob") - 0.4).abs() < 1e-9);
     println!("P(ultrasound) = 0.4, as in the paper. ✓");
+
+    // 5. Prepared statements and transactions: parse once, bind many;
+    //    a transaction applies atomically (and, on a durable session,
+    //    commits its whole group under a single WAL fsync).
+    session
+        .execute("CREATE TABLE visits (pid INT, ward TEXT)")
+        .expect("create");
+    let ins = session
+        .prepare("INSERT INTO visits VALUES (?, ?)")
+        .expect("prepare");
+    let mut txn = session.transaction().expect("begin");
+    for (pid, ward) in [(1i64, "maternity"), (2, "endocrinology"), (3, "cardiology")] {
+        txn.execute_prepared(&ins, &[Value::Int(pid), Value::str(ward)])
+            .expect("bind + insert");
+    }
+    txn.execute("DELETE FROM visits WHERE ward = 'cardiology'")
+        .expect("delete");
+    txn.commit().expect("commit");
+    let visits = session
+        .execute("SELECT POSSIBLE pid, ward FROM visits ORDER BY pid")
+        .expect("select");
+    print!("\nprepared + transactional DML:\n{}", pretty::render(visits.table().expect("table"), 10));
+    assert_eq!(visits.rows().len(), 2);
+    println!("prepared INSERT bound 3×, transactional DELETE committed. ✓");
 }

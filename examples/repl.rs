@@ -12,17 +12,38 @@
 //! ```sql
 //! CREATE TABLE person (ssn INT, name TEXT);
 //! INSERT INTO person VALUES ({1: 0.6, 2: 0.4}, 'ann'), (2, 'bob');
+//! BEGIN;                                  -- buffer the next mutations
+//! UPDATE person SET name = 'anna' WHERE ssn = 1;
+//! DELETE FROM person WHERE ssn = 2;
+//! COMMIT;                                 -- one WAL record, one fsync
 //! REPAIR KEY person(ssn);
 //! SELECT POSSIBLE ssn, name, PROB() FROM person;
 //! CHECKPOINT;
 //! \w          -- print the current decomposition
 //! \q          -- checkpoint and quit
 //! ```
+//!
+//! Inside a transaction the prompt becomes `maybms*>`; quitting with a
+//! transaction still open rolls it back (uncommitted work never reaches
+//! the log). Errors print through the structured `SessionError` display —
+//! parse / plan / storage / transaction messages already name their
+//! category, execution errors get an `execute error:` prefix.
 
 use std::io::{BufRead, Write};
 
 use maybms_relational::pretty;
-use maybms_sql::{QueryResult, Session};
+use maybms_sql::{QueryResult, Session, SessionError};
+
+/// One structured error line. Parse ("parse error in …"), plan
+/// ("planning failed: …"), storage ("storage error: …") and transaction
+/// ("transaction error: …") displays already name their category; only
+/// execution errors carry the raw engine message and need a prefix.
+fn report(e: &SessionError) -> String {
+    match e {
+        SessionError::Execute { .. } => format!("execute error: {e}"),
+        _ => format!("{e}"),
+    }
+}
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "maybms.db".into());
@@ -46,10 +67,12 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
-        if buffer.is_empty() {
-            print!("maybms> ");
-        } else {
+        if !buffer.is_empty() {
             print!("   ...> ");
+        } else if session.in_transaction() {
+            print!("maybms*> ");
+        } else {
+            print!("maybms> ");
         }
         std::io::stdout().flush().expect("stdout");
         let mut line = String::new();
@@ -103,7 +126,14 @@ fn main() {
                 }
             }
             Ok(QueryResult::Text(t)) => println!("{t}"),
-            Err(e) => println!("error: {e}"),
+            Err(e) => println!("{}", report(&e)),
+        }
+    }
+    if session.in_transaction() {
+        // uncommitted work must not be checkpointed into the snapshot
+        match session.execute("ROLLBACK") {
+            Ok(r) => println!("open transaction rolled back on exit: {}", r.ack()),
+            Err(e) => eprintln!("{}", report(&e)),
         }
     }
     match session.execute("CHECKPOINT") {

@@ -59,10 +59,39 @@ fn arb_mutation() -> impl Strategy<Value = String> {
         Just("REPAIR KEY r(a)".to_string()),
         (0i64..6).prop_map(|k| format!("REPAIR CHECK r: a <= {k}")),
         Just("REPAIR FD r: a -> b".to_string()),
+        (0i64..5).prop_map(|k| format!("DELETE FROM r WHERE a = {k}")),
+        (0i64..5).prop_map(|k| format!("DELETE FROM r WHERE b > {k}")),
+        (0i64..5, 0i64..5).prop_map(|(k, v)| format!("UPDATE r SET b = {v} WHERE a = {k}")),
+        (0i64..5, 0i64..5)
+            .prop_map(|(k, v)| format!("UPDATE r SET a = {v}, b = {v} WHERE b < {k}")),
         Just("ALTER TABLE r RENAME TO s".to_string()),
         Just("ALTER TABLE s RENAME TO r".to_string()),
         Just("DROP TABLE r".to_string()),
         Just("CREATE TABLE r (a INT, b INT)".to_string()),
+    ]
+}
+
+/// One step of a random transactional script: a mutation statement or a
+/// transaction-control statement.
+#[derive(Debug, Clone)]
+enum TxnOp {
+    Stmt(String),
+    Begin,
+    Commit,
+    Rollback,
+}
+
+/// Mutations dominate; control ops appear often enough to nest scripts
+/// inside transactions (invalid control at a position is skipped at use
+/// site, mirroring on both sessions).
+fn arb_txn_op() -> impl Strategy<Value = TxnOp> {
+    prop_oneof![
+        arb_mutation().prop_map(TxnOp::Stmt),
+        arb_mutation().prop_map(TxnOp::Stmt),
+        arb_mutation().prop_map(TxnOp::Stmt),
+        Just(TxnOp::Begin),
+        Just(TxnOp::Commit),
+        Just(TxnOp::Rollback),
     ]
 }
 
@@ -377,5 +406,155 @@ proptest! {
             "recovered decomposition differs from the in-memory session \
              ({} vs {} encoded bytes)", lhs.len(), rhs.len()
         );
+    }
+
+    /// Transactional WAL replay equals the in-memory session: run a random
+    /// script with interleaved BEGIN/COMMIT/ROLLBACK on a plain and a
+    /// durable session, kill the durable one at a random point (possibly
+    /// mid-transaction), reopen, and require the recovered decomposition
+    /// to be byte-identical to the in-memory session — where "in-memory"
+    /// rolls back its open transaction too, because recovery replays only
+    /// complete commit groups, never a partial transaction.
+    #[test]
+    fn transactional_wal_replay_matches_in_memory_session(
+        ops in prop::collection::vec(arb_txn_op(), 1..12),
+        kill_at in 0usize..12,
+        ckpt_at in 0usize..12,
+    ) {
+        use maybms_sql::Session;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "maybms-oracle-txn-{}-{}.maybms",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let wal = maybms_storage::wal_path_for(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal);
+
+        let mut mem = Session::new();
+        let mut durable = Session::open(&path).expect("open durable session");
+        mem.execute("CREATE TABLE r (a INT, b INT)").expect("create");
+        durable.execute("CREATE TABLE r (a INT, b INT)").expect("create durable");
+        for (i, op) in ops.iter().enumerate() {
+            if i == kill_at {
+                break; // the random kill point — possibly mid-transaction
+            }
+            match op {
+                TxnOp::Begin if !mem.in_transaction() => {
+                    mem.execute("BEGIN").expect("begin");
+                    durable.execute("BEGIN").expect("begin durable");
+                }
+                TxnOp::Commit if mem.in_transaction() => {
+                    mem.execute("COMMIT").expect("commit");
+                    durable.execute("COMMIT").expect("commit durable");
+                }
+                TxnOp::Rollback if mem.in_transaction() => {
+                    mem.execute("ROLLBACK").expect("rollback");
+                    durable.execute("ROLLBACK").expect("rollback durable");
+                }
+                TxnOp::Begin | TxnOp::Commit | TxnOp::Rollback => {} // invalid here: skip
+                TxnOp::Stmt(stmt) => {
+                    // dry-run on a clone (which carries any open
+                    // transaction): statements invalid at this position are
+                    // skipped on both sides
+                    if mem.clone().execute(stmt).is_err() {
+                        continue;
+                    }
+                    mem.execute(stmt).expect("in-memory apply");
+                    durable.execute(stmt).expect("durable apply");
+                }
+            }
+            if i == ckpt_at && !mem.in_transaction() {
+                durable.execute("CHECKPOINT").expect("checkpoint");
+            }
+        }
+        // the kill: anything uncommitted must not survive recovery, so the
+        // in-memory reference rolls its open transaction back too
+        if mem.in_transaction() {
+            mem.execute("ROLLBACK").expect("reference rollback");
+        }
+        drop(durable);
+        let recovered = Session::open(&path).expect("recovery");
+        let lhs = encode_wsd(mem.wsd());
+        let rhs = encode_wsd(recovered.wsd());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal);
+        prop_assert!(
+            lhs == rhs,
+            "recovered decomposition differs from the rolled-back in-memory session \
+             ({} vs {} encoded bytes)", lhs.len(), rhs.len()
+        );
+    }
+
+    /// DELETE/UPDATE world semantics: the decomposition operators must
+    /// equal the enumerate-all-worlds reference (apply the statement
+    /// per world, keep each world's probability untouched), at worker
+    /// counts 1/2/4.
+    #[test]
+    fn delete_update_world_semantics(
+        wsd in arb_wsd(),
+        is_delete in any::<bool>(),
+        on_a in any::<bool>(),
+        eq_pred in any::<bool>(),
+        k in 0i64..4,
+        v in 0i64..4,
+    ) {
+        use maybms_sql::Session;
+        use maybms_worldset::WorldSet;
+
+        let col = if on_a { "a" } else { "b" };
+        let op = if eq_pred { "=" } else { ">" };
+        let sql = if is_delete {
+            format!("DELETE FROM r WHERE {col} {op} {k}")
+        } else {
+            format!("UPDATE r SET a = {v} WHERE {col} {op} {k}")
+        };
+
+        // the reference: apply the statement in every enumerated world
+        let before = wsd.to_worldset(1 << 16).expect("enumerate input");
+        let mut reference = WorldSet::default();
+        for (w, p) in before.worlds() {
+            let mut w = w.clone();
+            let r = w.get("r").expect("relation r").clone();
+            let ci = r.schema().index_of(col).expect("column");
+            let matches = |t: &maybms_relational::Tuple| {
+                let x = t[ci].as_i64().expect("int column");
+                if eq_pred { x == k } else { x > k }
+            };
+            let rows: Vec<maybms_relational::Tuple> = if is_delete {
+                r.rows().iter().filter(|t| !matches(t)).cloned().collect()
+            } else {
+                r.rows()
+                    .iter()
+                    .map(|t| {
+                        if !matches(t) {
+                            return t.clone();
+                        }
+                        let mut vals = t.values().to_vec();
+                        vals[0] = Value::Int(v);
+                        maybms_relational::Tuple::new(vals)
+                    })
+                    .collect()
+            };
+            w.put(
+                "r".to_string(),
+                maybms_relational::Relation::from_rows_unchecked(r.schema().clone(), rows),
+            );
+            reference.push(w, *p);
+        }
+
+        for workers in [1usize, 2, 4] {
+            let mut s = Session::with_wsd(wsd.clone())
+                .with_worker_pool(std::sync::Arc::new(WorkerPool::new(workers)));
+            s.execute(&sql).expect("dml");
+            s.wsd().validate().expect("valid after dml");
+            let got = s.wsd().to_worldset(1 << 16).expect("enumerate result");
+            prop_assert!(
+                got.equivalent(&reference, 1e-9),
+                "{sql} diverged from the all-worlds reference at {workers} workers"
+            );
+        }
     }
 }

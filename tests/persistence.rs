@@ -40,7 +40,13 @@ const SETUP: &str = "CREATE TABLE person (ssn INT, name TEXT); \
      INSERT INTO cost VALUES ('x', {10: 0.25, 20: 0.75}), ('y', 40); \
      REPAIR KEY person(ssn); \
      ALTER TABLE cost RENAME TO costs; \
-     REPAIR CHECK costs: usd > 15";
+     REPAIR CHECK costs: usd > 15; \
+     UPDATE person SET name = 'anne' WHERE ssn = 1; \
+     BEGIN; \
+     DELETE FROM costs WHERE usd > 30; \
+     INSERT INTO costs VALUES ('z', {17: 0.5, 18: 0.5}); \
+     UPDATE costs SET tname = 'zz' WHERE usd = 17; \
+     COMMIT";
 
 const PROBES: &[&str] = &[
     "SELECT POSSIBLE ssn, name, PROB() FROM person ORDER BY name, ssn",
@@ -192,6 +198,124 @@ fn torn_tail_sweep() {
         assert_eq!(rows.len(), 1, "cut at {cut}: committed prefix only");
         assert_eq!(s.wal_len(), Some(before_last), "cut at {cut}: tail truncated");
     }
+    rm_db(&path);
+}
+
+/// Acceptance: a WAL ending mid-commit-group recovers to the
+/// **pre-transaction** state at every truncation offset. The whole
+/// transaction is one CRC-framed record, so no cut can ever replay a
+/// partial transaction — it is all (intact record) or nothing (torn).
+#[test]
+fn torn_commit_group_sweep_recovers_pre_transaction_state() {
+    let path = db_path("torn-txn");
+    let wal = wal_path_for(&path);
+    let before_txn;
+    let full;
+    {
+        let mut s = Session::open(&path).unwrap();
+        s.execute_script(
+            "CREATE TABLE t (x INT); \
+             INSERT INTO t VALUES (1), ({2: 0.5, 3: 0.5})",
+        )
+        .unwrap();
+        before_txn = s.wal_len().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (10), (11)").unwrap();
+        s.execute("UPDATE t SET x = 99 WHERE x = 1").unwrap();
+        s.execute("DELETE FROM t WHERE x = 10").unwrap();
+        s.execute("COMMIT").unwrap();
+        full = s.wal_len().unwrap();
+        assert!(s.wal_sync_count().unwrap() >= 1);
+    }
+    // the committed transaction is exactly one WAL record
+    let raw = std::fs::read(&wal).unwrap();
+    assert_eq!(full, raw.len() as u64);
+    assert!(full > before_txn);
+
+    // what recovery must produce for every torn cut: the pre-transaction
+    // state, byte-identical under the codec
+    let expected_rows: Vec<Vec<String>> = {
+        let mut mem = Session::new();
+        mem.execute_script("CREATE TABLE t (x INT); INSERT INTO t VALUES (1), ({2: 0.5, 3: 0.5})")
+            .unwrap();
+        rows_of(&mut mem, "SELECT POSSIBLE x, PROB() FROM t ORDER BY x")
+    };
+    for cut in before_txn + 1..full {
+        std::fs::write(&wal, &raw[..cut as usize]).unwrap();
+        let mut s = Session::open(&path)
+            .unwrap_or_else(|e| panic!("cut {cut}: recovery failed: {e}"));
+        let got = rows_of(&mut s, "SELECT POSSIBLE x, PROB() FROM t ORDER BY x");
+        assert_eq!(
+            got, expected_rows,
+            "cut {cut}: a torn commit group must roll the whole transaction back"
+        );
+        assert_eq!(s.wal_len(), Some(before_txn), "cut {cut}: torn group truncated");
+    }
+
+    // and the intact record replays the whole transaction
+    std::fs::write(&wal, &raw).unwrap();
+    let mut s = Session::open(&path).unwrap();
+    let got = rows_of(&mut s, "SELECT POSSIBLE x, PROB() FROM t ORDER BY x");
+    // worlds: x=99 (was 1), {2,3} or-set, 11; 10 deleted
+    assert_eq!(got.len(), 4);
+    assert!(got.iter().any(|r| r[0].contains("99")));
+    assert!(got.iter().any(|r| r[0].contains("11")));
+    assert!(!got.iter().any(|r| r[0].contains("10")));
+    rm_db(&path);
+}
+
+/// A process killed mid-transaction (no COMMIT) leaves nothing of the
+/// transaction in the log: recovery lands exactly on the last committed
+/// statement, at every worker count.
+#[test]
+fn kill_mid_transaction_recovers_pre_transaction_state() {
+    let path = db_path("kill-txn");
+    {
+        let mut s = Session::open(&path).unwrap();
+        s.execute_script("CREATE TABLE t (x INT); INSERT INTO t VALUES (1)").unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (2)").unwrap();
+        s.execute("DELETE FROM t WHERE x = 1").unwrap();
+        assert_eq!(
+            rows_of(&mut s, "SELECT POSSIBLE x, PROB() FROM t ORDER BY x").len(),
+            1,
+            "inside the transaction the session sees its own writes"
+        );
+        // killed here: the buffered records never reach the WAL
+    }
+    for workers in [1usize, 2, 4] {
+        let mut s =
+            Session::open(&path).unwrap().with_worker_pool(Arc::new(WorkerPool::new(workers)));
+        let got = rows_of(&mut s, "SELECT POSSIBLE x, PROB() FROM t ORDER BY x");
+        assert_eq!(got.len(), 1, "workers = {workers}");
+        assert!(got[0][0].contains('1'), "workers = {workers}: pre-transaction state");
+    }
+    rm_db(&path);
+}
+
+/// The group-commit acceptance: a transaction of N INSERTs performs
+/// exactly one WAL fsync and lands as one record.
+#[test]
+fn transaction_of_n_inserts_is_one_fsync() {
+    let path = db_path("one-fsync");
+    let mut s = Session::open(&path).unwrap();
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    let syncs = s.wal_sync_count().unwrap();
+    let len = s.wal_len().unwrap();
+    s.execute("BEGIN").unwrap();
+    for i in 0..50 {
+        s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    assert_eq!(s.wal_sync_count().unwrap(), syncs, "nothing synced before COMMIT");
+    assert_eq!(s.wal_len().unwrap(), len, "nothing appended before COMMIT");
+    s.execute("COMMIT").unwrap();
+    assert_eq!(s.wal_sync_count().unwrap(), syncs + 1, "50 inserts, one fsync");
+    drop(s);
+    let mut back = Session::open(&path).unwrap();
+    assert_eq!(
+        rows_of(&mut back, "SELECT POSSIBLE x, PROB() FROM t ORDER BY x").len(),
+        50
+    );
     rm_db(&path);
 }
 

@@ -73,6 +73,54 @@ fn hospital_scenario() {
     assert_eq!(s.wsd().world_count().to_u64(), Some(2));
 }
 
+/// DELETE/UPDATE and transactions end to end: the hospital scenario
+/// continued through the new DML surface with world-set semantics.
+#[test]
+fn dml_and_transactions_scenario() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE patients (pid INT, name TEXT, diagnosis TEXT); \
+         INSERT INTO patients VALUES \
+           (1, 'ann', {'flu': 0.3, 'cold': 0.7}), \
+           (2, 'bob', 'flu'), \
+           (3, 'cyd', {'flu', 'angina'})",
+    )
+    .unwrap();
+
+    // conditional UPDATE: only the flu-worlds of ann change
+    s.execute("UPDATE patients SET diagnosis = 'recovered' WHERE name = 'ann' AND diagnosis = 'flu'")
+        .unwrap();
+    let r = s
+        .execute("SELECT name, PROB() FROM patients WHERE diagnosis = 'recovered'")
+        .unwrap();
+    assert!((r.rows()[0][1].as_f64().unwrap() - 0.3).abs() < 1e-9);
+
+    // a transaction that is rolled back leaves no trace
+    s.execute_script("BEGIN; DELETE FROM patients; ROLLBACK").unwrap();
+    assert_eq!(table_len(&s.execute("SELECT POSSIBLE name FROM patients").unwrap()), 3);
+
+    // a committed transaction applies atomically; prepared statements
+    // bind inside it
+    let del = s.prepare("DELETE FROM patients WHERE pid = ?").unwrap();
+    {
+        let mut txn = s.transaction().unwrap();
+        txn.execute_prepared(&del, &[Value::Int(2)]).unwrap();
+        txn.execute("UPDATE patients SET name = 'cydney' WHERE pid = 3").unwrap();
+        txn.commit().unwrap();
+    }
+    let r = s.execute("SELECT POSSIBLE name FROM patients").unwrap();
+    assert_eq!(table_len(&r), 2);
+    assert!(r.rows().iter().all(|t| t[0] != Value::str("bob")));
+
+    // conditional DELETE keeps world probabilities: cyd exists only in
+    // her non-angina worlds afterwards, at confidence 0.5
+    s.execute("DELETE FROM patients WHERE diagnosis = 'angina'").unwrap();
+    let r = s
+        .execute("SELECT name, PROB() FROM patients WHERE name = 'cydney'")
+        .unwrap();
+    assert!((r.rows()[0][1].as_f64().unwrap() - 0.5).abs() < 1e-9);
+}
+
 #[test]
 fn union_except_and_worldset_results() {
     let mut s = Session::new();
