@@ -257,13 +257,13 @@ fn bench_e7(c: &mut Criterion) {
         |b, wsd| {
             b.iter(|| {
                 let p = encode_wsd(wsd);
-                write_snapshot(&snap, 1, &p).expect("save snapshot");
+                write_snapshot(&snap, 1, 0, &p).expect("save snapshot");
                 std::hint::black_box(p.len())
             });
         },
     );
 
-    write_snapshot(&snap, 1, &payload).expect("seed snapshot");
+    write_snapshot(&snap, 1, 0, &payload).expect("seed snapshot");
     g.bench_with_input(
         BenchmarkId::new("snapshot_load", format!("bytes={}", payload.len())),
         &snap,

@@ -5,7 +5,7 @@
 //! million records and 50 columns" (IPUMS) and "introduced noise with
 //! different degree of incompleteness to the data by replacing randomly
 //! picked values with or-sets". This crate provides the 50-column schema
-//! ([`schema`]), a seeded generator ([`generate`]), the noise process
+//! ([`schema`]), a seeded generator ([`mod@generate`]), the noise process
 //! ([`noise`]), the cleaning constraints ([`constraints`]) and loaders into
 //! the WSD and baseline representations ([`load`]).
 

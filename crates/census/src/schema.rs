@@ -1,7 +1,7 @@
 //! The synthetic census schema.
 //!
 //! The paper's experiments use "a 5% extract from the 1990 US census with
-//! nearly 12.5 million records and 50 columns" (IPUMS [3]). The real
+//! nearly 12.5 million records and 50 columns" (IPUMS \[3\]). The real
 //! extract is not redistributable, so we reproduce its *shape*: 50 integer-
 //! coded columns (IPUMS variables are numeric codes), mostly categorical
 //! with small domains plus a few wide numeric fields — the properties the

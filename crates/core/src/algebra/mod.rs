@@ -11,7 +11,7 @@
 //! condition, tuple equality in a difference), it merges the touched
 //! components and appends a fresh existence column in which failing rows
 //! are marked ⊥ — selections "must not delete component tuples, but should
-//! mark [fields] using the special value ⊥" (paper §2). Evaluation ends by
+//! mark \[fields\] using the special value ⊥" (paper §2). Evaluation ends by
 //! extracting the result relation and normalizing.
 
 pub(crate) mod common;

@@ -1,7 +1,7 @@
 //! Component cells: a value or the special ⊥ marker.
 //!
 //! "a selection must not delete component tuples, but should mark
-//! [the] fields as belonging to deleted tuples of R using the special
+//! \[the\] fields as belonging to deleted tuples of R using the special
 //! value ⊥." (paper §2)
 
 use std::fmt;

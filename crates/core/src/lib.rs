@@ -84,6 +84,10 @@
 //! `maybms-storage` crate stores that payload as checksummed pages with
 //! a write-ahead log, and the SQL session layer wires `Session::open` /
 //! `CHECKPOINT` on top.
+//!
+//! The layer-by-layer picture of the whole system (engine → executor →
+//! storage/replication → session) and the invariants each layer's tests
+//! enforce is in `docs/ARCHITECTURE.md` at the repository root.
 
 pub mod algebra;
 pub mod bigint;

@@ -17,7 +17,7 @@
 //! # Hot-path layout
 //!
 //! Cluster evaluation resolves every tuple's field locations **once** into
-//! a [`ResolvedTuple`] (certain values prefilled, open fields as direct
+//! a `ResolvedTuple` (certain values prefilled, open fields as direct
 //! `(position, component, column)` triples), then walks the joint choice
 //! space with a single **dense choice vector** indexed by component id —
 //! no per-world `HashMap`, no per-cell field-map lookups. The sampler

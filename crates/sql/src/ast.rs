@@ -19,31 +19,74 @@ use maybms_relational::{ColumnType, Expr, Value};
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
+    /// A query (`SELECT …`, any [`WorldMode`]).
     Select(SelectStmt),
-    CreateTable { name: String, columns: Vec<(String, ColumnType)> },
-    DropTable { name: String },
-    /// `ALTER TABLE a RENAME TO b`
-    RenameTable { from: String, to: String },
-    Insert { table: String, rows: Vec<Vec<InsertValue>> },
+    /// `CREATE TABLE name (col type, …)`.
+    CreateTable {
+        /// The new relation's name.
+        name: String,
+        /// Column names and types, in order.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `DROP TABLE name`.
+    DropTable {
+        /// The relation to remove (from every world).
+        name: String,
+    },
+    /// `ALTER TABLE a RENAME TO b`.
+    RenameTable {
+        /// The current name.
+        from: String,
+        /// The new name (must not exist).
+        to: String,
+    },
+    /// `INSERT INTO t VALUES (…), (…)` — values may be or-set literals,
+    /// which introduce uncertainty (new worlds).
+    Insert {
+        /// The target relation.
+        table: String,
+        /// The rows, one [`InsertValue`] per column.
+        rows: Vec<Vec<InsertValue>>,
+    },
     /// `DELETE FROM t [WHERE pred]` — in every world, removes the tuples
     /// of `t` satisfying `pred` (all tuples when absent). A tuple that
     /// *certainly* satisfies the predicate disappears from every world; a
     /// tuple that only *possibly* satisfies it survives exactly in the
     /// worlds where the predicate is false. World probabilities are
     /// untouched (unlike `REPAIR`, which removes whole worlds).
-    Delete { table: String, pred: Option<Expr> },
+    Delete {
+        /// The target relation.
+        table: String,
+        /// The predicate; `None` deletes every tuple.
+        pred: Option<Expr>,
+    },
     /// `UPDATE t SET c1 = v1, ... [WHERE pred]` — in every world, rewrites
     /// the listed columns of the tuples satisfying `pred`. Assigned values
     /// are certain scalars (or `?` parameters); predicates see the
     /// pre-update values.
-    Update { table: String, set: Vec<(String, InsertValue)>, pred: Option<Expr> },
+    Update {
+        /// The target relation.
+        table: String,
+        /// `col = value` assignments, in order.
+        set: Vec<(String, InsertValue)>,
+        /// The predicate; `None` updates every tuple.
+        pred: Option<Expr>,
+    },
     /// `REPAIR KEY r(c1, c2)` | `REPAIR FD r: a, b -> c` | `REPAIR CHECK r: pred`
     Repair(RepairStmt),
+    /// `EXPLAIN <statement>` — print the logical, optimized and physical
+    /// plans instead of executing.
     Explain(Box<Statement>),
+    /// `SHOW TABLES` — list the relation names.
     ShowTables,
-    /// `CHECKPOINT` — compact the write-ahead log into a fresh snapshot
-    /// (requires a session opened on a database file).
-    Checkpoint,
+    /// `CHECKPOINT [FULL]` — compact the write-ahead log into a fresh
+    /// snapshot (requires a session opened on a database file). The write
+    /// is incremental (changed pages only) when possible; `FULL` forces a
+    /// complete base rewrite and collapses any overlay.
+    Checkpoint {
+        /// Force a full base rewrite instead of a page-diff overlay.
+        full: bool,
+    },
     /// `BEGIN [TRANSACTION|WORK]` — open an explicit transaction:
     /// mutations apply to the live decomposition but their log records
     /// are buffered until `COMMIT`.
@@ -59,6 +102,7 @@ pub enum Statement {
 /// One value of an INSERT row: certain or an or-set.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InsertValue {
+    /// A single certain value.
     Certain(Value),
     /// `{v1, v2, ...}` — uniform or-set.
     Uniform(Vec<Value>),
@@ -83,21 +127,30 @@ pub enum WorldMode {
 /// `ESUM` written as `EXPECTED COUNT()` / `EXPECTED SUM(col)`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExpectedAgg {
+    /// `EXPECTED COUNT()` — the expected number of answer tuples.
     Count,
+    /// `EXPECTED SUM(col)` — the expected sum of a numeric column.
     Sum(String),
 }
 
+/// A `SELECT` statement (one side of a set operation).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
+    /// Which worlds the answer quantifies over.
     pub mode: WorldMode,
+    /// `SELECT DISTINCT`.
     pub distinct: bool,
     /// `true` if `PROB()` appears in the select list.
     pub prob: bool,
     /// `EXPECTED COUNT()` / `EXPECTED SUM(col)`, if present.
     pub expected: Option<ExpectedAgg>,
+    /// The projection list (`*` or columns).
     pub items: Vec<SelectItem>,
+    /// The `FROM` clause: relations (cross product when several).
     pub from: Vec<TableRef>,
+    /// The `WHERE` predicate, if any.
     pub where_clause: Option<Expr>,
+    /// A trailing `UNION` / `EXCEPT` with another select, if any.
     pub set_op: Option<(SetOp, Box<SelectStmt>)>,
     /// `HAVING PROB() <op> <number>` — confidence threshold on the answers
     /// (requires `PROB()` in the select list).
@@ -109,30 +162,60 @@ pub struct SelectStmt {
     pub limit: Option<usize>,
 }
 
+/// A set operation connecting two selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetOp {
+    /// `UNION` (set semantics, per world).
     Union,
+    /// `EXCEPT` (set difference, per world).
     Except,
 }
 
+/// One entry of the projection list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
+    /// `*` — every column of the `FROM` product.
     Star,
     /// A plain column (possibly qualified `alias.col`).
     Column(String),
 }
 
+/// A relation in the `FROM` clause, with an optional alias.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableRef {
+    /// The relation name.
     pub name: String,
+    /// `FROM name alias` — qualifies column references.
     pub alias: Option<String>,
 }
 
+/// A `REPAIR` (data-cleaning) statement: removes the worlds violating an
+/// integrity constraint and renormalizes the survivors' probabilities.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RepairStmt {
-    Key { table: String, columns: Vec<String> },
-    Fd { table: String, lhs: Vec<String>, rhs: Vec<String> },
-    Check { table: String, pred: Expr },
+    /// `REPAIR KEY r(c1, c2)` — the listed columns form a key.
+    Key {
+        /// The constrained relation.
+        table: String,
+        /// The key columns.
+        columns: Vec<String>,
+    },
+    /// `REPAIR FD r: a, b -> c` — a functional dependency.
+    Fd {
+        /// The constrained relation.
+        table: String,
+        /// Determinant columns.
+        lhs: Vec<String>,
+        /// Dependent columns.
+        rhs: Vec<String>,
+    },
+    /// `REPAIR CHECK r: pred` — a per-tuple check constraint.
+    Check {
+        /// The constrained relation.
+        table: String,
+        /// The predicate every tuple must satisfy.
+        pred: Expr,
+    },
 }
 
 #[cfg(test)]

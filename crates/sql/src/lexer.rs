@@ -8,37 +8,62 @@ use maybms_relational::Error;
 /// as `Keyword` with their canonical upper-case spelling.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
+    /// A reserved word, upper-cased (`SELECT`, `INSERT`, …).
     Keyword(String),
+    /// An identifier (relation, column or alias name).
     Ident(String),
     /// 'single-quoted' string literal (with '' escaping).
     Str(String),
+    /// An integer literal.
     Int(i64),
+    /// A floating-point literal.
     Float(f64),
+    /// Punctuation or an operator.
     Symbol(Sym),
 }
 
 /// Punctuation and operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sym {
+    /// `(`
     LParen,
+    /// `)`
     RParen,
+    /// `{` — opens an or-set literal.
     LBrace,
+    /// `}` — closes an or-set literal.
     RBrace,
+    /// `,`
     Comma,
+    /// `.` — qualifies a column (`alias.col`).
     Dot,
+    /// `;` — statement separator.
     Semicolon,
+    /// `:` — weights an or-set alternative, introduces REPAIR bodies.
     Colon,
+    /// `*` — projection star or multiplication.
     Star,
+    /// `+`
     Plus,
+    /// `-`
     Minus,
+    /// `/`
     Slash,
+    /// `%`
     Percent,
+    /// `=`
     Eq,
+    /// `<>` / `!=`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
+    /// `->` — separates a functional dependency's sides.
     Arrow,
     /// `?` — prepared-statement placeholder.
     Question,
@@ -79,7 +104,7 @@ const KEYWORDS: &[&str] = &[
     "INTO", "VALUES", "INT", "TEXT", "FLOAT", "BOOL", "TRUE", "FALSE", "EXPLAIN", "REPAIR",
     "KEY", "FD", "CHECK", "SHOW", "TABLES", "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP", "BY",
     "ORDER", "LIMIT", "EXPECTED", "DROP", "HAVING", "ALTER", "RENAME", "TO", "CHECKPOINT",
-    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK", "DELETE", "UPDATE", "SET",
+    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK", "DELETE", "UPDATE", "SET", "FULL",
 ];
 
 /// Tokenizes `input`, returning the token list or a lexical error.

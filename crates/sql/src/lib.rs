@@ -20,16 +20,25 @@
 //! Sessions can be **durable**: [`Session::open`] backs a session with a
 //! snapshot + write-ahead-log pair (`maybms-storage`), every committed
 //! mutation is logged ([`wire`] is the record format), and the
-//! `CHECKPOINT` statement compacts the log into a fresh snapshot.
+//! `CHECKPOINT` statement compacts the log into a fresh snapshot
+//! (incremental — changed pages only — when possible). Durable databases
+//! replicate: [`replication`] ships the WAL to read-only followers.
+//!
+//! The layer-by-layer picture (and the invariants each layer's tests
+//! enforce) is in `docs/ARCHITECTURE.md` at the repository root.
+
+#![warn(missing_docs)]
 
 pub mod ast;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod replication;
 pub mod session;
 pub mod wire;
 
 pub use ast::Statement;
 pub use parser::{parse, parse_counting_params, parse_script};
+pub use replication::{Primary, Replica};
 pub use session::{Prepared, QueryResult, Session, SessionError, SessionResult, Transaction};

@@ -145,7 +145,8 @@ impl Parser {
                 }
                 "CHECKPOINT" => {
                     self.next();
-                    Ok(Statement::Checkpoint)
+                    let full = self.eat_keyword("FULL");
+                    Ok(Statement::Checkpoint { full })
                 }
                 "BEGIN" => {
                     self.next();
@@ -829,8 +830,9 @@ mod tests {
 
     #[test]
     fn parses_checkpoint() {
-        assert!(matches!(parse("CHECKPOINT").unwrap(), Statement::Checkpoint));
-        assert!(matches!(parse("checkpoint;").unwrap(), Statement::Checkpoint));
+        assert!(matches!(parse("CHECKPOINT").unwrap(), Statement::Checkpoint { full: false }));
+        assert!(matches!(parse("checkpoint;").unwrap(), Statement::Checkpoint { full: false }));
+        assert!(matches!(parse("CHECKPOINT FULL").unwrap(), Statement::Checkpoint { full: true }));
         assert!(parse("CHECKPOINT now").is_err());
     }
 

@@ -1,0 +1,430 @@
+//! WAL-shipping replication: one read-write **primary**, any number of
+//! read-only **replicas** (followers).
+//!
+//! The design leans on two properties earlier PRs established:
+//!
+//! * the write-ahead log ships **whole transactions** — a record is one
+//!   autocommitted statement or one commit group, so applying records in
+//!   order can never expose half a transaction;
+//! * the engine is **deterministic** — replaying the same statements
+//!   produces a byte-identical decomposition (under `maybms_core::codec`),
+//!   so a follower that has applied the primary's log prefix up to LSN *x*
+//!   holds *provably the same state* the primary had at LSN *x*.
+//!
+//! # Protocol
+//!
+//! A follower connects over any ordered byte stream (in-process pipe,
+//! unix socket, TCP — the protocol is `maybms_storage::ship`) and sends
+//! `Hello { generation, last_lsn }`. The primary compares that position
+//! with its WAL:
+//!
+//! * position within the log → stream `Record { lsn, … }` messages from
+//!   there, then keep tailing the log (only **fsynced** records are ever
+//!   shipped — a replica can never get ahead of the primary's durable
+//!   state);
+//! * position before the log's `base_lsn` (a checkpoint compacted the
+//!   records away) or past its end (a foreign timeline) → send one
+//!   `Snapshot` message with the full effective state (base + overlay),
+//!   which the follower swaps in wholesale, then stream records.
+//!
+//! A connection cut mid-frame (torn stream) is detected by the message
+//! CRCs; the follower simply reconnects with a fresh `Hello` naming its
+//! applied LSN and the primary resumes from there. Applying is
+//! idempotent-by-LSN, so overlap across reconnects is harmless; a **gap**
+//! (a record skipping past `applied_lsn + 1`) is refused loudly.
+//!
+//! # Read-only replicas
+//!
+//! A [`Replica`]'s session answers queries but refuses every mutation,
+//! transaction-control statement and `CHECKPOINT` with
+//! [`SessionError::ReadOnlyReplica`] — shipped records are applied
+//! through an internal path (they were committed on the primary; applying
+//! them here is replay, not a new write).
+//!
+//! ```no_run
+//! use maybms_sql::{Session, replication::{Primary, Replica}};
+//! use std::os::unix::net::UnixStream;
+//!
+//! // the primary serves its durable database to followers
+//! let mut session = Session::open("db.maybms").unwrap();
+//! let primary = Primary::new("db.maybms");
+//! let (to_primary, from_replica) = UnixStream::pair().unwrap();
+//! let server = primary.spawn_serve(from_replica);
+//!
+//! // a follower syncs and answers queries
+//! session.execute("CREATE TABLE t (x INT)").unwrap();
+//! let mut replica = Replica::new();
+//! let mut conn = replica.connect(to_primary).unwrap();
+//! replica.sync_to(&mut conn, session.last_lsn().unwrap()).unwrap();
+//! replica.query("SELECT POSSIBLE x FROM t").unwrap();
+//! primary.stop();
+//! # drop(server);
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use maybms_core::codec::{decode_wsd, encode_wsd};
+use maybms_core::wsd::Wsd;
+use maybms_relational::{Error, Result};
+use maybms_storage::ship::{recv_msg, send_msg, Msg};
+use maybms_storage::wal::{self, Polled, WalCursor};
+use maybms_storage::{read_snapshot_state, wal_path_for};
+
+use crate::session::{QueryResult, Session, SessionError, SessionResult};
+use crate::wire;
+
+/// How many idle polls pass between heartbeats.
+const HEARTBEAT_EVERY: u32 = 64;
+
+/// The serving side of replication: watches a database's files (snapshot
+/// pair + WAL) and streams committed records to connected followers.
+///
+/// A `Primary` does not own the database — the read-write [`Session`]
+/// does. It opens its own read-only handles on the files, so it can run
+/// from any thread next to the session that is executing statements; it
+/// only ever observes fully framed, fsynced records.
+#[derive(Debug, Clone)]
+pub struct Primary {
+    path: PathBuf,
+    shutdown: Arc<AtomicBool>,
+    poll_interval: Duration,
+}
+
+impl Primary {
+    /// A primary serving the database at `path` (the same path the
+    /// serving [`Session::open`] used). The database must exist — open
+    /// the session first.
+    pub fn new(path: impl AsRef<Path>) -> Primary {
+        Primary {
+            path: path.as_ref().to_path_buf(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+
+    /// Overrides how often idle serve loops re-poll the log (default
+    /// 1 ms).
+    pub fn with_poll_interval(mut self, interval: Duration) -> Primary {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Tells every serve loop (and accept loop) to exit at its next poll.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Primary::stop`] was called.
+    pub fn is_stopped(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Serves one follower connection, blocking until the stream drops,
+    /// the follower misbehaves, or [`Primary::stop`] is called. The
+    /// returned error is the reason the connection ended (a disconnected
+    /// follower surfaces as an I/O error — reconnection is the
+    /// follower's job).
+    pub fn serve<S: Read + Write>(&self, mut stream: S) -> Result<()> {
+        let hello = recv_msg(&mut stream)?;
+        let Msg::Hello { last_lsn, .. } = hello else {
+            return Err(Error::Storage(format!(
+                "expected Hello to open the conversation, got {hello:?}"
+            )));
+        };
+        let mut follower_lsn = last_lsn;
+        let wal_path = wal_path_for(&self.path);
+        'catchup: loop {
+            if self.is_stopped() {
+                return Ok(());
+            }
+            // Where does the follower stand relative to the current log?
+            let head = wal::head(&wal_path)?;
+            if follower_lsn < head.base_lsn || follower_lsn > head.last_lsn {
+                // Behind the last checkpoint (its records were compacted
+                // into the snapshot) or from a foreign timeline: full
+                // state transfer, then stream from the snapshot's LSN.
+                let (generation, snap_lsn, payload) = self.consistent_snapshot()?;
+                send_msg(&mut stream, &Msg::Snapshot { generation, last_lsn: snap_lsn, payload })?;
+                follower_lsn = snap_lsn;
+            }
+            let mut cursor = match WalCursor::open(&wal_path, follower_lsn) {
+                Ok(c) => c,
+                Err(_) => continue 'catchup, // swapped mid-decision; retry
+            };
+            let mut idle = 0u32;
+            loop {
+                if self.is_stopped() {
+                    return Ok(());
+                }
+                match cursor.poll()? {
+                    Polled::Reset { .. } => {
+                        // a checkpoint swapped the log; the outer loop
+                        // re-decides (stream on if still covered, fall
+                        // back to a snapshot transfer if not)
+                        continue 'catchup;
+                    }
+                    Polled::Records(recs) if recs.is_empty() => {
+                        idle += 1;
+                        if idle.is_multiple_of(HEARTBEAT_EVERY) {
+                            // the empty poll just proved the cursor is at
+                            // the log's end — no file scan needed
+                            send_msg(
+                                &mut stream,
+                                &Msg::Heartbeat {
+                                    generation: cursor.generation(),
+                                    last_lsn: cursor.lsn(),
+                                },
+                            )?;
+                        }
+                        std::thread::sleep(self.poll_interval);
+                    }
+                    Polled::Records(recs) => {
+                        idle = 0;
+                        for (lsn, payload) in recs {
+                            send_msg(&mut stream, &Msg::Record { lsn, payload })?;
+                            follower_lsn = lsn;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads a `(generation, last_lsn, payload)` triple where the
+    /// snapshot pair and the WAL agree — retrying across the tiny window
+    /// in which a checkpoint has published its snapshot but not yet
+    /// swapped the log.
+    fn consistent_snapshot(&self) -> Result<(u64, u64, Vec<u8>)> {
+        for _ in 0..500 {
+            let head = wal::head(&wal_path_for(&self.path))?;
+            match read_snapshot_state(&self.path)? {
+                Some((generation, lsn, payload))
+                    if generation == head.generation && lsn == head.base_lsn =>
+                {
+                    return Ok((generation, lsn, payload))
+                }
+                None if head.generation == 0 => {
+                    // never checkpointed: the state at LSN 0 is empty
+                    return Ok((0, 0, encode_wsd(&Wsd::new())));
+                }
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        Err(Error::Storage(
+            "could not observe a consistent snapshot/WAL pair (checkpoint in progress?)".into(),
+        ))
+    }
+
+    /// [`Primary::serve`] on a new thread; the handle yields the reason
+    /// the connection ended.
+    pub fn spawn_serve<S: Read + Write + Send + 'static>(
+        &self,
+        stream: S,
+    ) -> JoinHandle<Result<()>> {
+        let this = self.clone();
+        std::thread::spawn(move || this.serve(stream))
+    }
+
+    /// Accepts follower connections on `listener` (one serve thread
+    /// each) until [`Primary::stop`]. The listener is switched to
+    /// non-blocking so the accept loop can observe the stop flag.
+    pub fn listen(&self, listener: TcpListener) -> Result<JoinHandle<()>> {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Storage(format!("listener non-blocking: {e}")))?;
+        let this = self.clone();
+        Ok(std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            while !this.is_stopped() {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        let _ = stream.set_nodelay(true);
+                        workers.push(this.spawn_serve(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        }))
+    }
+}
+
+/// A follower's live connection to a primary (the stream after the
+/// `Hello` handshake was sent).
+#[derive(Debug)]
+pub struct ReplicaConn<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> ReplicaConn<S> {
+    /// Receives the next message from the primary, blocking. A torn or
+    /// corrupt frame (or a dropped connection) is an error — reconnect
+    /// with [`Replica::connect`] to resume.
+    pub fn recv(&mut self) -> Result<Msg> {
+        recv_msg(&mut self.stream)
+    }
+}
+
+/// The applying side of replication: a **read-only** in-memory session
+/// that tracks the primary's log position and swallows its shipped
+/// records.
+///
+/// Queries run as usual through [`Replica::query`] (or
+/// [`Replica::session`]); mutations are refused with
+/// [`SessionError::ReadOnlyReplica`]. Because replay is deterministic,
+/// after applying the primary's prefix up to LSN *x* the replica's
+/// decomposition is byte-identical (under the codec) to the primary's
+/// state at *x* — `tests/replication.rs` holds that as an invariant.
+#[derive(Debug)]
+pub struct Replica {
+    session: Session,
+    generation: u64,
+    applied_lsn: u64,
+    /// The primary's last known durable LSN (from records/heartbeats).
+    primary_lsn: u64,
+}
+
+impl Default for Replica {
+    fn default() -> Replica {
+        Replica::new()
+    }
+}
+
+impl Replica {
+    /// A fresh, empty follower (position 0: the first connection will
+    /// receive either the full log from the beginning or a snapshot).
+    pub fn new() -> Replica {
+        let mut session = Session::new();
+        session.set_read_only(true);
+        Replica { session, generation: 0, applied_lsn: 0, primary_lsn: 0 }
+    }
+
+    /// The read-only session — run SELECTs against it directly.
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Executes a query against the replica's state. Mutations fail with
+    /// [`SessionError::ReadOnlyReplica`].
+    pub fn query(&mut self, sql: &str) -> SessionResult<QueryResult> {
+        self.session.execute(sql)
+    }
+
+    /// LSN of the last record this replica has applied.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn
+    }
+
+    /// The snapshot generation of the replica's state.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The primary's last known durable LSN (0 until the first message).
+    /// `primary_lsn() == applied_lsn()` means "caught up as of the last
+    /// message".
+    pub fn primary_lsn(&self) -> u64 {
+        self.primary_lsn
+    }
+
+    /// Opens the conversation on `stream`: sends `Hello` naming this
+    /// replica's position. Reconnecting after a dropped or torn stream is
+    /// exactly this call again — the primary resumes from `applied_lsn`.
+    pub fn connect<S: Read + Write>(&self, mut stream: S) -> Result<ReplicaConn<S>> {
+        send_msg(
+            &mut stream,
+            &Msg::Hello { generation: self.generation, last_lsn: self.applied_lsn },
+        )?;
+        Ok(ReplicaConn { stream })
+    }
+
+    /// Applies one received message. Records at or below `applied_lsn`
+    /// are skipped (idempotent across reconnects); a record that *skips*
+    /// LSNs is a protocol violation and is refused. Returns `true` when
+    /// the replica's state advanced.
+    pub fn apply_msg(&mut self, msg: Msg) -> SessionResult<bool> {
+        match msg {
+            Msg::Snapshot { generation, last_lsn, payload } => {
+                let wsd = decode_wsd(&payload).map_err(SessionError::storage)?;
+                *self.session.wsd_mut() = wsd;
+                self.session.cleaning_log.clear();
+                self.generation = generation;
+                self.applied_lsn = last_lsn;
+                self.primary_lsn = self.primary_lsn.max(last_lsn);
+                Ok(true)
+            }
+            Msg::Record { lsn, payload } => {
+                self.primary_lsn = self.primary_lsn.max(lsn);
+                if lsn <= self.applied_lsn {
+                    return Ok(false); // duplicate across a reconnect
+                }
+                if lsn != self.applied_lsn + 1 {
+                    return Err(SessionError::storage(Error::Storage(format!(
+                        "gap in shipped log: applied LSN {} but received LSN {lsn}",
+                        self.applied_lsn
+                    ))));
+                }
+                let stmts = wire::decode_wal_record(&payload).map_err(SessionError::storage)?;
+                for stmt in &stmts {
+                    // the internal replay path: the record committed on
+                    // the primary, so the read-only gate does not apply
+                    self.session.apply(stmt).map_err(|e| {
+                        SessionError::storage(Error::Storage(format!(
+                            "replica replay failed on {stmt:?}: {e}"
+                        )))
+                    })?;
+                }
+                self.applied_lsn = lsn;
+                Ok(true)
+            }
+            Msg::Heartbeat { generation: _, last_lsn } => {
+                self.primary_lsn = self.primary_lsn.max(last_lsn);
+                Ok(false)
+            }
+            Msg::Hello { .. } => Err(SessionError::storage(Error::Storage(
+                "unexpected Hello from the primary".into(),
+            ))),
+        }
+    }
+
+    /// Receives and applies messages until this replica has applied
+    /// everything up to (at least) `lsn` — "read your writes" for a
+    /// caller that knows the primary's LSN (see [`Session::last_lsn`]).
+    pub fn sync_to<S: Read + Write>(
+        &mut self,
+        conn: &mut ReplicaConn<S>,
+        lsn: u64,
+    ) -> SessionResult<()> {
+        while self.applied_lsn < lsn {
+            let msg = conn.recv().map_err(SessionError::storage)?;
+            self.apply_msg(msg)?;
+        }
+        Ok(())
+    }
+}
+
+/// Drives a shared replica from its own thread: connects, then applies
+/// every incoming message until the stream drops (the returned error is
+/// the disconnect reason). The mutex is held only while applying, so
+/// queries interleave freely.
+pub fn follow<S: Read + Write>(replica: &Mutex<Replica>, stream: S) -> SessionResult<()> {
+    let mut conn = {
+        let r = replica.lock().expect("replica lock");
+        r.connect(stream).map_err(SessionError::storage)?
+    };
+    loop {
+        let msg = conn.recv().map_err(SessionError::storage)?;
+        replica.lock().expect("replica lock").apply_msg(msg)?;
+    }
+}

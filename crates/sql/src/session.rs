@@ -80,7 +80,7 @@ use maybms_core::wsd::Wsd;
 use maybms_relational::{
     Column, ColumnType, Error, Relation, Result, Schema, Tuple, Value,
 };
-use maybms_storage::Database;
+use maybms_storage::{CheckpointKind, Database};
 use maybms_worldset::OrSetCell;
 
 use crate::ast::{InsertValue, RepairStmt, SelectStmt, Statement, WorldMode};
@@ -97,20 +97,40 @@ pub enum SessionError {
     Parse {
         /// The offending statement text.
         sql: String,
+        /// The underlying lex/parse error.
         source: Error,
     },
     /// The statement parsed but could not be planned (lowering, logical
     /// optimization or physical compilation failed — e.g. an unknown
     /// relation or column in a SELECT).
-    Plan { source: Error },
+    Plan {
+        /// The underlying planning error.
+        source: Error,
+    },
     /// The statement failed while executing against the decomposition
     /// (type errors, arity mismatches, unsatisfiable repairs, …).
-    Execute { source: Error },
+    Execute {
+        /// The underlying engine error.
+        source: Error,
+    },
     /// The durable backing store failed (I/O, corruption, WAL append).
-    Storage { source: Error },
+    Storage {
+        /// The underlying storage error.
+        source: Error,
+    },
     /// Transaction-control misuse: nested `BEGIN`, `COMMIT`/`ROLLBACK`
     /// without a transaction, `CHECKPOINT` or `attach` inside one.
-    Transaction { context: String },
+    Transaction {
+        /// What was misused, in words.
+        context: String,
+    },
+    /// The session is a **read-only replica** (it applies the primary's
+    /// shipped log and must not diverge from it): mutations, transaction
+    /// control and `CHECKPOINT` are refused.
+    ReadOnlyReplica {
+        /// What the refused statement was, for the error message.
+        statement: String,
+    },
 }
 
 impl SessionError {
@@ -120,7 +140,7 @@ impl SessionError {
     fn exec(source: Error) -> SessionError {
         SessionError::Execute { source }
     }
-    fn storage(source: Error) -> SessionError {
+    pub(crate) fn storage(source: Error) -> SessionError {
         SessionError::Storage { source }
     }
     fn txn(context: impl Into<String>) -> SessionError {
@@ -134,7 +154,7 @@ impl SessionError {
             | SessionError::Plan { source }
             | SessionError::Execute { source }
             | SessionError::Storage { source } => Some(source),
-            SessionError::Transaction { .. } => None,
+            SessionError::Transaction { .. } | SessionError::ReadOnlyReplica { .. } => None,
         }
     }
 }
@@ -151,6 +171,11 @@ impl fmt::Display for SessionError {
             SessionError::Execute { source } => write!(f, "{source}"),
             SessionError::Storage { source } => write!(f, "{source}"),
             SessionError::Transaction { context } => write!(f, "transaction error: {context}"),
+            SessionError::ReadOnlyReplica { statement } => write!(
+                f,
+                "read-only replica: {statement} is refused (replicas apply the \
+                 primary's log and accept queries only)"
+            ),
         }
     }
 }
@@ -334,6 +359,10 @@ pub struct Session {
     storage: Option<Database>,
     /// The open transaction, if `BEGIN` ran without a `COMMIT`/`ROLLBACK`.
     txn: Option<TxnState>,
+    /// A replication follower: mutations are refused at the boundary
+    /// (`run`), while the replication layer applies shipped records
+    /// through the internal path.
+    read_only: bool,
 }
 
 impl Default for Session {
@@ -360,11 +389,15 @@ impl Clone for Session {
             pool: self.pool.clone(),
             storage: None,
             txn: self.txn.clone(),
+            read_only: self.read_only,
         }
     }
 }
 
 impl Session {
+    /// A fresh in-memory session over an empty database. Use
+    /// [`Session::open`] for a durable one, or [`Session::attach`] to add
+    /// durability later.
     pub fn new() -> Session {
         Session {
             wsd: Wsd::new(),
@@ -373,16 +406,36 @@ impl Session {
             pool: global_pool(),
             storage: None,
             txn: None,
+            read_only: false,
         }
     }
 
     /// Opens (or creates) a durable session on the database at `path`
     /// (conventionally `*.maybms`; the write-ahead log lives next to it
-    /// at `<path>.wal`). Recovery runs here: the latest snapshot is
-    /// decoded and validated, then the WAL's committed prefix is replayed
-    /// — single statements and whole commit groups alike — so the
-    /// returned session holds exactly the state as of the last committed
-    /// statement or transaction, even after a crash.
+    /// at `<path>.wal`, an incremental-checkpoint overlay at
+    /// `<path>.inc`). Recovery runs here: the latest snapshot (base +
+    /// overlay) is decoded and validated, then the WAL's committed prefix
+    /// is replayed — single statements and whole commit groups alike — so
+    /// the returned session holds exactly the state as of the last
+    /// committed statement or transaction, even after a crash.
+    ///
+    /// ```
+    /// use maybms_sql::Session;
+    ///
+    /// let path = std::env::temp_dir().join(format!("doc-open-{}.maybms", std::process::id()));
+    /// # let _ = std::fs::remove_file(&path);
+    /// # let _ = std::fs::remove_file(maybms_storage::wal_path_for(&path));
+    /// {
+    ///     let mut s = Session::open(&path).unwrap();
+    ///     s.execute("CREATE TABLE t (x INT)").unwrap();
+    ///     s.execute("INSERT INTO t VALUES ({1: 0.5, 2: 0.5})").unwrap();
+    ///     // dropped without CHECKPOINT: the log alone carries the state
+    /// }
+    /// let mut recovered = Session::open(&path).unwrap();
+    /// assert_eq!(recovered.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 2);
+    /// # let _ = std::fs::remove_file(&path);
+    /// # let _ = std::fs::remove_file(maybms_storage::wal_path_for(&path));
+    /// ```
     pub fn open(path: impl AsRef<Path>) -> SessionResult<Session> {
         let recovered = Database::open(path).map_err(SessionError::storage)?;
         let wsd = match &recovered.snapshot {
@@ -449,9 +502,32 @@ impl Session {
         self.txn.is_some()
     }
 
+    /// Whether this session refuses mutations (a replication follower —
+    /// see [`crate::replication::Replica`]).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Marks this session as a read-only replica: every mutation,
+    /// transaction-control statement and `CHECKPOINT` through
+    /// [`Session::run`] fails with [`SessionError::ReadOnlyReplica`].
+    /// The replication layer applies shipped records through an internal
+    /// path that bypasses this check (they were already committed on the
+    /// primary).
+    pub(crate) fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
+    }
+
     /// The snapshot generation of the backing store, if attached.
     pub fn storage_generation(&self) -> Option<u64> {
         self.storage.as_ref().map(Database::generation)
+    }
+
+    /// LSN of the last committed (durable) record, if attached. Monotone
+    /// across the database's life — checkpoints never reset it — so it
+    /// names the exact log position a replica must reach to be in sync.
+    pub fn last_lsn(&self) -> Option<u64> {
+        self.storage.as_ref().map(Database::last_lsn)
     }
 
     /// Committed WAL bytes (header included), if attached — tests use
@@ -493,10 +569,13 @@ impl Session {
         &self.pool
     }
 
+    /// The live decomposition this session queries and mutates.
     pub fn wsd(&self) -> &Wsd {
         &self.wsd
     }
 
+    /// Mutable access to the decomposition (bypasses SQL and the WAL —
+    /// durable sessions should mutate through statements instead).
     pub fn wsd_mut(&mut self) -> &mut Wsd {
         &mut self.wsd
     }
@@ -521,6 +600,21 @@ impl Session {
     /// Parses a statement with `?` placeholders once, for repeated
     /// [`Session::execute_prepared`] calls — the loaders' fast path
     /// (parse/lower once, bind many).
+    ///
+    /// ```
+    /// use maybms_sql::Session;
+    /// use maybms_relational::Value;
+    ///
+    /// let mut s = Session::new();
+    /// s.execute("CREATE TABLE t (x INT, tag TEXT)").unwrap();
+    /// let ins = s.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+    /// assert_eq!(ins.param_count(), 2);
+    /// for i in 0..3i64 {
+    ///     s.execute_prepared(&ins, &[Value::Int(i), Value::str("row")]).unwrap();
+    /// }
+    /// let q = s.prepare("SELECT POSSIBLE x FROM t WHERE x >= ?").unwrap();
+    /// assert_eq!(s.execute_prepared(&q, &[Value::Int(1)]).unwrap().rows().len(), 2);
+    /// ```
     pub fn prepare(&self, sql: &str) -> SessionResult<Prepared> {
         let (stmt, params) = parse_counting_params(sql)
             .map_err(|source| SessionError::Parse { sql: sql.to_string(), source })?;
@@ -550,7 +644,25 @@ impl Session {
 
     /// Opens a transaction and returns a guard that rolls back on drop
     /// unless [`Transaction::commit`] is called — the typed equivalent of
-    /// `BEGIN` … `COMMIT`/`ROLLBACK`.
+    /// `BEGIN` … `COMMIT`/`ROLLBACK`. On a durable session the whole
+    /// transaction commits as one WAL record under one fsync.
+    ///
+    /// ```
+    /// use maybms_sql::Session;
+    ///
+    /// let mut s = Session::new();
+    /// s.execute("CREATE TABLE t (x INT)").unwrap();
+    /// {
+    ///     let mut txn = s.transaction().unwrap();
+    ///     txn.execute("INSERT INTO t VALUES (1)").unwrap();
+    ///     // dropped without commit: rolled back
+    /// }
+    /// assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 0);
+    /// let mut txn = s.transaction().unwrap();
+    /// txn.execute("INSERT INTO t VALUES (2)").unwrap();
+    /// txn.commit().unwrap();
+    /// assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 1);
+    /// ```
     pub fn transaction(&mut self) -> SessionResult<Transaction<'_>> {
         self.run(&Statement::Begin)?;
         Ok(Transaction { session: self, open: true })
@@ -563,11 +675,22 @@ impl Session {
     /// buffered until `COMMIT` (which appends the whole group under a
     /// single fsync).
     pub fn run(&mut self, stmt: &Statement) -> SessionResult<QueryResult> {
+        if self.read_only {
+            let refused = match stmt {
+                s if wire::is_mutation(s) => Some(statement_kind(s)),
+                Statement::Begin | Statement::Commit | Statement::Rollback
+                | Statement::Checkpoint { .. } => Some(statement_kind(stmt)),
+                _ => None,
+            };
+            if let Some(statement) = refused {
+                return Err(SessionError::ReadOnlyReplica { statement });
+            }
+        }
         match stmt {
             Statement::Begin => return self.begin_txn(),
             Statement::Commit => return self.commit_txn(),
             Statement::Rollback => return self.rollback_txn(),
-            Statement::Checkpoint if self.txn.is_some() => {
+            Statement::Checkpoint { .. } if self.txn.is_some() => {
                 return Err(SessionError::txn(
                     "CHECKPOINT inside a transaction (commit or roll back first; \
                      a snapshot must not capture uncommitted state)",
@@ -667,8 +790,10 @@ impl Session {
     }
 
     /// Statement dispatch without WAL logging (recovery replays through
-    /// this; [`Session::run`] adds transaction control and the logging).
-    fn apply(&mut self, stmt: &Statement) -> SessionResult<QueryResult> {
+    /// this, and so does the replication follower — the records were
+    /// committed and logged on the primary; [`Session::run`] adds
+    /// transaction control, the read-only gate and the logging).
+    pub(crate) fn apply(&mut self, stmt: &Statement) -> SessionResult<QueryResult> {
         match stmt {
             Statement::Select(sel) => self.run_select(sel),
             Statement::CreateTable { name, columns } => {
@@ -796,7 +921,7 @@ impl Session {
                 let names: Vec<&str> = self.wsd.relation_names().collect();
                 Ok(QueryResult::Text(names.join("\n")))
             }
-            Statement::Checkpoint => {
+            Statement::Checkpoint { full } => {
                 let Some(db) = self.storage.as_mut() else {
                     return Err(SessionError::storage(Error::Storage(
                         "CHECKPOINT requires a session opened on a database file \
@@ -805,12 +930,29 @@ impl Session {
                     )));
                 };
                 let payload = encode_wsd(&self.wsd);
-                db.checkpoint(&payload).map_err(SessionError::storage)?;
-                Ok(QueryResult::Text(format!(
-                    "checkpointed generation {} ({} bytes, WAL reset)",
-                    db.generation(),
-                    payload.len()
-                )))
+                let kind = if *full {
+                    db.checkpoint_full(&payload)
+                } else {
+                    db.checkpoint(&payload)
+                }
+                .map_err(SessionError::storage)?;
+                Ok(QueryResult::Text(match kind {
+                    CheckpointKind::Full { pages } => format!(
+                        "checkpointed generation {} (full: {} bytes over {pages} page(s), \
+                         WAL reset)",
+                        db.generation(),
+                        payload.len()
+                    ),
+                    CheckpointKind::Incremental { changed_pages, total_pages } => format!(
+                        "checkpointed generation {} (incremental: {changed_pages} of \
+                         {total_pages} page(s) rewritten, WAL reset)",
+                        db.generation()
+                    ),
+                    CheckpointKind::Unchanged => format!(
+                        "checkpoint skipped: nothing committed since generation {}",
+                        db.generation()
+                    ),
+                }))
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => {
                 // transaction control never reaches the WAL, so replay
@@ -1054,6 +1196,24 @@ impl Drop for Transaction<'_> {
             // COMMIT/ROLLBACK as SQL through the guard; ignore that error
             let _ = self.session.run(&Statement::Rollback);
         }
+    }
+}
+
+/// A short human name for a statement, for error messages.
+fn statement_kind(stmt: &Statement) -> String {
+    match stmt {
+        Statement::CreateTable { .. } => "CREATE TABLE".into(),
+        Statement::DropTable { .. } => "DROP TABLE".into(),
+        Statement::RenameTable { .. } => "ALTER TABLE".into(),
+        Statement::Insert { .. } => "INSERT".into(),
+        Statement::Delete { .. } => "DELETE".into(),
+        Statement::Update { .. } => "UPDATE".into(),
+        Statement::Repair(_) => "REPAIR".into(),
+        Statement::Checkpoint { .. } => "CHECKPOINT".into(),
+        Statement::Begin => "BEGIN".into(),
+        Statement::Commit => "COMMIT".into(),
+        Statement::Rollback => "ROLLBACK".into(),
+        other => format!("{other:?}"),
     }
 }
 

@@ -16,38 +16,47 @@ pub struct Writer {
 }
 
 impl Writer {
+    /// An empty writer.
     pub fn new() -> Writer {
         Writer { buf: Vec::new() }
     }
 
+    /// An empty writer with `n` bytes preallocated.
     pub fn with_capacity(n: usize) -> Writer {
         Writer { buf: Vec::with_capacity(n) }
     }
 
+    /// The encoded bytes.
     pub fn into_inner(self) -> Vec<u8> {
         self.buf
     }
 
+    /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
+    /// Whether nothing was written yet.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
 
+    /// Appends one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
+    /// Appends a little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a little-endian `i64`.
     pub fn put_i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -57,10 +66,12 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
+    /// Appends raw bytes (no length prefix — pair with [`Reader::get_bytes`]).
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
 
+    /// Appends a `u32`-length-prefixed UTF-8 string.
     pub fn put_str(&mut self, s: &str) {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
@@ -100,14 +111,17 @@ pub struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
+    /// Bytes left to read.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
+    /// Whether the whole input was consumed.
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
     }
@@ -125,26 +139,32 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
+    /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
+    /// Reads a little-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
+    /// Reads the exact bit pattern written by [`Writer::put_f64`].
     pub fn get_f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.get_u64()?))
     }
 
+    /// Reads `n` raw bytes.
     pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
         self.take(n)
     }
@@ -162,6 +182,7 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
+    /// Reads a string written by [`Writer::put_str`].
     pub fn get_str(&mut self) -> Result<String> {
         let n = self.get_len()?;
         let raw = self.take(n)?;

@@ -1,35 +1,55 @@
-//! One durable database: a snapshot file plus its write-ahead log.
+//! One durable database: a snapshot pair plus its write-ahead log.
 //!
-//! For a database at `db.maybms` the engine keeps two files:
+//! For a database at `db.maybms` the engine keeps up to three files:
 //!
-//! * `db.maybms` — the latest checkpointed snapshot (see
+//! * `db.maybms` — the latest **full** (base) snapshot (see
 //!   [`crate::snapshot`]); absent until the first checkpoint;
-//! * `db.maybms.wal` — the log of committed mutations since that
-//!   snapshot (see [`crate::wal`]).
+//! * `db.maybms.inc` — the optional **incremental** overlay: only the
+//!   pages that changed since the base, plus a page map (see
+//!   [`crate::delta`]);
+//! * `db.maybms.wal` — the log of committed mutations since the last
+//!   checkpoint (see [`crate::wal`]), with monotone LSNs.
 //!
-//! **Recovery** ([`Database::open`]): load the snapshot if present, then
-//! replay the WAL — but only when the WAL's generation matches the
-//! snapshot's. A mismatched or unreadable WAL is the footprint of a crash
-//! between the two steps of a checkpoint (its records are already inside
-//! the newer snapshot), so it is discarded and replaced with a fresh log
-//! rather than replayed twice.
+//! **Recovery** ([`Database::open`]): load the base snapshot, patch in
+//! the overlay when a valid one is present (an overlay whose generation
+//! is not newer than the base's, or that names a different base
+//! generation, is the footprint of a crash mid-full-checkpoint — it is
+//! discarded, never applied), then replay the WAL — but only when the
+//! WAL's generation matches the effective snapshot's. A mismatched WAL is
+//! the footprint of a crash between the two steps of a checkpoint (its
+//! records are already inside the newer snapshot), so it is discarded and
+//! replaced with a fresh log rather than replayed twice.
 //!
-//! **Checkpoint** ([`Database::checkpoint`]): write the full state as a
-//! new snapshot with generation *g+1* (atomic write-new + rename), then
-//! atomically swap in an empty WAL of generation *g+1*. Every crash
-//! window leaves a recoverable pair:
+//! **Checkpoint** ([`Database::checkpoint`]): write the full state with
+//! generation *g+1*, then atomically swap in an empty WAL of generation
+//! *g+1* whose `base_lsn` continues the numbering. The write is
+//! **incremental** when a base snapshot exists and less than half its
+//! pages changed (per-page CRC diff): only the changed pages go to the
+//! overlay file, the base is untouched. Otherwise — first checkpoint,
+//! widespread changes, or [`Database::checkpoint_full`] — the full state
+//! is rewritten as a fresh base and the overlay is removed. Both paths
+//! publish atomically (write-new `.tmp` + rename), so every crash window
+//! leaves a recoverable pair:
 //!
-//! * before the snapshot rename — old snapshot *g* + old WAL *g*: replay;
-//! * after the rename, before the WAL swap — snapshot *g+1* + stale WAL
-//!   *g*: WAL discarded, nothing lost, nothing doubled;
-//! * after both — snapshot *g+1* + empty WAL *g+1*.
+//! * before the snapshot/overlay rename — old state *g* + old WAL *g*:
+//!   replay;
+//! * after the rename, before the WAL swap — state *g+1* + stale WAL *g*:
+//!   WAL discarded, nothing lost, nothing doubled;
+//! * after both — state *g+1* + empty WAL *g+1*;
+//! * full checkpoint only: after the base rename but before the stale
+//!   overlay is deleted — base *g+1* + overlay *≤ g*: the overlay is
+//!   ignored (and removed) on the next open.
 
 use std::path::{Path, PathBuf};
 
 use maybms_relational::{Error, Result};
 
+use crate::delta::{
+    chunk_crcs, delta_path_for, overlay, payload_chunks, read_delta, write_delta, DeltaMeta,
+};
+use crate::pager::{page_crc, DEFAULT_PAGE_SIZE};
 use crate::snapshot::{read_snapshot, write_snapshot_with_page_size};
-use crate::pager::DEFAULT_PAGE_SIZE;
+use crate::crc::crc32;
 use crate::wal::Wal;
 
 /// The WAL path for a snapshot path: `<path>.wal`.
@@ -39,13 +59,50 @@ pub fn wal_path_for(path: &Path) -> PathBuf {
     PathBuf::from(s)
 }
 
+/// What kind of snapshot a checkpoint wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// The whole state was rewritten as a fresh base snapshot.
+    Full {
+        /// Pages the new base holds.
+        pages: u32,
+    },
+    /// Only the pages differing from the base went to the overlay file.
+    Incremental {
+        /// Pages whose checksum differed from the base's.
+        changed_pages: u32,
+        /// Pages the combined payload spans.
+        total_pages: u32,
+    },
+    /// Nothing was committed since the last checkpoint (empty WAL, same
+    /// state): no page was rewritten, no file was touched, and the
+    /// generation did not advance.
+    Unchanged,
+}
+
+/// The base snapshot a [`Database`] diffs incremental checkpoints against.
+#[derive(Debug)]
+struct BaseInfo {
+    generation: u64,
+    page_size: usize,
+    /// Per-page checksums of the base payload, in page order.
+    page_crcs: Vec<u32>,
+}
+
 /// An open durable database (snapshot + WAL handles).
 #[derive(Debug)]
 pub struct Database {
     snapshot_path: PathBuf,
     wal: Wal,
+    /// The effective snapshot generation (overlay's when one is live).
     generation: u64,
+    /// Page size for new *base* snapshots (incremental overlays always
+    /// reuse the base's).
     page_size: usize,
+    base: Option<BaseInfo>,
+    /// CRC-32 of the effective payload of the last checkpoint (base +
+    /// overlay), for the zero-mutation no-op check.
+    state_crc: Option<u32>,
     /// Set when a checkpoint failed between its snapshot rename and its
     /// WAL swap: the open WAL handle no longer matches the on-disk
     /// snapshot generation, so further appends would be silently
@@ -58,10 +115,89 @@ pub struct Database {
 pub struct Recovered {
     /// The open database, positioned to accept appends.
     pub db: Database,
-    /// The latest snapshot payload, if one was ever checkpointed.
+    /// The latest effective snapshot payload (base + overlay), if one was
+    /// ever checkpointed.
     pub snapshot: Option<Vec<u8>>,
     /// Committed WAL records to replay on top of the snapshot.
     pub records: Vec<Vec<u8>>,
+}
+
+/// The effective on-disk snapshot of the database at `path`, read through
+/// a fresh handle: `(generation, last_lsn, payload)`, or `None` when no
+/// checkpoint ever ran. This is the read side of a **snapshot transfer**
+/// (a replication follower too far behind the log); it performs the same
+/// overlay validation as recovery.
+pub fn read_snapshot_state(path: &Path) -> Result<Option<(u64, u64, Vec<u8>)>> {
+    Ok(load_snapshot_pair(path)?.map(|s| (s.generation, s.last_lsn, s.payload)))
+}
+
+struct SnapshotPair {
+    /// Effective generation (the overlay's when one is live).
+    generation: u64,
+    /// LSN the effective state covers.
+    last_lsn: u64,
+    /// Effective payload (base + overlay).
+    payload: Vec<u8>,
+    base_generation: u64,
+    base_page_size: usize,
+    /// Per-page checksums of the *base* payload.
+    base_page_crcs: Vec<u32>,
+    /// An overlay file existed but was a checkpoint artifact to discard.
+    stale_delta: bool,
+}
+
+fn load_snapshot_pair(path: &Path) -> Result<Option<SnapshotPair>> {
+    let delta_path = delta_path_for(path);
+    if !path.exists() {
+        if delta_path.exists() {
+            // an overlay can only ever be written next to an existing
+            // base; patching nothing would fabricate state
+            return Err(Error::Storage(format!(
+                "incremental snapshot {} exists without its base snapshot {}",
+                delta_path.display(),
+                path.display()
+            )));
+        }
+        return Ok(None);
+    }
+    let (meta, base_payload) = read_snapshot(path)?;
+    let base_page_crcs = chunk_crcs(&base_payload, meta.page_size);
+    if delta_path.exists() {
+        // An unreadable overlay is genuine corruption (overlays are
+        // published atomically, so a crash never leaves a torn one) —
+        // fail loudly rather than quietly dropping a checkpoint.
+        let (dmeta, pages) = read_delta(&delta_path)?;
+        if dmeta.generation > meta.generation && dmeta.base_generation == meta.generation {
+            if dmeta.page_size != meta.page_size {
+                return Err(Error::Storage(format!(
+                    "incremental snapshot page size {} does not match its base's {}",
+                    dmeta.page_size, meta.page_size
+                )));
+            }
+            let payload = overlay(&base_payload, &dmeta, &pages)?;
+            return Ok(Some(SnapshotPair {
+                generation: dmeta.generation,
+                last_lsn: dmeta.last_lsn,
+                payload,
+                base_generation: meta.generation,
+                base_page_size: meta.page_size,
+                base_page_crcs,
+                stale_delta: false,
+            }));
+        }
+        // stale overlay: a full checkpoint replaced the base after this
+        // overlay was written (crash before the cleanup step) — its
+        // contents are inside the newer base already
+    }
+    Ok(Some(SnapshotPair {
+        generation: meta.generation,
+        last_lsn: meta.last_lsn,
+        payload: base_payload,
+        base_generation: meta.generation,
+        base_page_size: meta.page_size,
+        base_page_crcs,
+        stale_delta: delta_path.exists(),
+    }))
 }
 
 impl Database {
@@ -73,15 +209,30 @@ impl Database {
     }
 
     /// As [`Database::open`] with an explicit snapshot page size for new
-    /// checkpoints (an existing snapshot's own page size is read from its
-    /// header).
+    /// base snapshots (an existing snapshot's own page size is read from
+    /// its header, and incremental overlays always reuse it).
     pub fn open_with_page_size(path: impl AsRef<Path>, page_size: usize) -> Result<Recovered> {
         let path = path.as_ref();
-        let (snapshot, generation) = if path.exists() {
-            let (meta, payload) = read_snapshot(path)?;
-            (Some(payload), meta.generation)
-        } else {
-            (None, 0)
+        let pair = load_snapshot_pair(path)?;
+        let state_crc = pair.as_ref().map(|p| crc32(&p.payload));
+        let (snapshot, generation, covered_lsn, base) = match pair {
+            Some(p) => {
+                if p.stale_delta {
+                    // checkpoint artifact (see module docs) — clean it up
+                    let _ = std::fs::remove_file(delta_path_for(path));
+                }
+                (
+                    Some(p.payload),
+                    p.generation,
+                    p.last_lsn,
+                    Some(BaseInfo {
+                        generation: p.base_generation,
+                        page_size: p.base_page_size,
+                        page_crcs: p.base_page_crcs,
+                    }),
+                )
+            }
+            None => (None, 0, 0, None),
         };
 
         let wal_path = wal_path_for(path);
@@ -92,15 +243,24 @@ impl Database {
             // log) — fail loudly rather than silently discard commits.
             let (wal, records) = Wal::open(&wal_path)?;
             if wal.generation() == generation {
+                if wal.base_lsn() != covered_lsn {
+                    return Err(Error::Storage(format!(
+                        "WAL base LSN {} does not match the LSN {} its snapshot covers \
+                         (files from different databases?)",
+                        wal.base_lsn(),
+                        covered_lsn
+                    )));
+                }
                 (wal, records)
             } else {
                 // Stale pre-checkpoint log (crash between the snapshot
                 // rename and the WAL swap): its records are already
-                // inside the newer snapshot — start a fresh one.
-                (Wal::create(&wal_path, generation)?, Vec::new())
+                // inside the newer snapshot — start a fresh one at the
+                // LSN the snapshot covers.
+                (Wal::create(&wal_path, generation, covered_lsn)?, Vec::new())
             }
         } else {
-            (Wal::create(&wal_path, generation)?, Vec::new())
+            (Wal::create(&wal_path, generation, covered_lsn)?, Vec::new())
         };
 
         Ok(Recovered {
@@ -109,6 +269,8 @@ impl Database {
                 wal,
                 generation,
                 page_size,
+                base,
+                state_crc,
                 poisoned: false,
             },
             snapshot,
@@ -116,13 +278,39 @@ impl Database {
         })
     }
 
-    /// The snapshot generation this database is at.
+    /// The snapshot generation this database is at (the overlay's when an
+    /// incremental checkpoint is live).
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
+    /// The base snapshot path (`*.maybms`).
     pub fn snapshot_path(&self) -> &Path {
         &self.snapshot_path
+    }
+
+    /// The write-ahead-log path (`*.maybms.wal`).
+    pub fn wal_path(&self) -> PathBuf {
+        wal_path_for(&self.snapshot_path)
+    }
+
+    /// LSN of the last committed record (monotone across the database's
+    /// whole life; checkpoints do not reset it).
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.last_lsn()
+    }
+
+    /// LSN of the last record already captured by the snapshot — records
+    /// with LSNs at or below this are no longer in the log. A follower
+    /// positioned before this needs a snapshot transfer.
+    pub fn wal_base_lsn(&self) -> u64 {
+        self.wal.base_lsn()
+    }
+
+    /// The committed records with LSN strictly greater than `after` — see
+    /// [`Wal::records_from`].
+    pub fn records_from(&self, after: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.wal.records_from(after)
     }
 
     /// Bytes of committed WAL (header included) — tests use this to
@@ -163,30 +351,117 @@ impl Database {
         Ok(())
     }
 
-    /// Commits one logical mutation record. On return it is durable.
-    pub fn append(&mut self, record: &[u8]) -> Result<()> {
+    /// Commits one logical mutation record, returning its LSN. On return
+    /// it is durable.
+    pub fn append(&mut self, record: &[u8]) -> Result<u64> {
         self.check_poisoned()?;
         self.wal.append(record)
     }
 
-    /// Checkpoints: writes `state` as the generation-`g+1` snapshot
-    /// (write-new + rename) and swaps in a fresh WAL of that generation.
-    pub fn checkpoint(&mut self, state: &[u8]) -> Result<()> {
+    /// Checkpoints `state` as generation *g+1* and swaps in a fresh WAL
+    /// of that generation. Writes **incrementally** (changed pages only,
+    /// to the overlay file — see [`crate::delta`]) when a base snapshot
+    /// exists and fewer than half its pages changed; otherwise rewrites
+    /// the full base. Returns which kind ran.
+    pub fn checkpoint(&mut self, state: &[u8]) -> Result<CheckpointKind> {
+        self.checkpoint_inner(state, false)
+    }
+
+    /// As [`Database::checkpoint`], but always rewrites the full base
+    /// snapshot (and drops any overlay) — the fallback path and the
+    /// correctness oracle the incremental path is tested against.
+    pub fn checkpoint_full(&mut self, state: &[u8]) -> Result<CheckpointKind> {
+        self.checkpoint_inner(state, true)
+    }
+
+    fn checkpoint_inner(&mut self, state: &[u8], force_full: bool) -> Result<CheckpointKind> {
         self.check_poisoned()?;
+        let state_crc = crc32(state);
+        // Zero mutations since the last checkpoint: nothing to write.
+        // (A forced full checkpoint still runs — it is the fallback that
+        // collapses an overlay into a fresh base on demand.)
+        if !force_full && self.wal.is_empty() && self.state_crc == Some(state_crc) {
+            return Ok(CheckpointKind::Unchanged);
+        }
         let next = self.generation.checked_add(1).ok_or_else(|| {
             Error::Storage("generation counter overflow".into())
         })?;
-        write_snapshot_with_page_size(&self.snapshot_path, next, state, self.page_size)?;
+        let last_lsn = self.wal.last_lsn();
+
+        // Diff against the base snapshot (when there is one) to decide
+        // between an overlay write and a full rewrite.
+        let changed: Option<Vec<(u32, &[u8])>> = match (&self.base, force_full) {
+            (Some(base), false) => {
+                let chunks = payload_chunks(state, base.page_size);
+                let changed: Vec<(u32, &[u8])> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| base.page_crcs.get(*i) != Some(&page_crc(*i as u32, c)))
+                    .map(|(i, c)| (i as u32, *c))
+                    .collect();
+                // more than half the pages changed: the overlay would be
+                // most of a full snapshot — collapse to a fresh base
+                if changed.len() * 2 < chunks.len().max(1) {
+                    Some(changed)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+
+        let kind = match changed {
+            Some(changed) => {
+                let base = self.base.as_ref().expect("incremental requires a base");
+                let total_pages = payload_chunks(state, base.page_size).len() as u32;
+                let meta = DeltaMeta {
+                    generation: next,
+                    base_generation: base.generation,
+                    last_lsn,
+                    page_size: base.page_size,
+                    payload_len: state.len() as u64,
+                    payload_crc: crc32(state),
+                    pages: changed.len() as u32,
+                };
+                write_delta(&delta_path_for(&self.snapshot_path), &meta, &changed)?;
+                CheckpointKind::Incremental {
+                    changed_pages: changed.len() as u32,
+                    total_pages,
+                }
+            }
+            None => {
+                write_snapshot_with_page_size(
+                    &self.snapshot_path,
+                    next,
+                    last_lsn,
+                    state,
+                    self.page_size,
+                )?;
+                // the overlay (if any) is now stale: its pages are inside
+                // the new base; remove it (recovery would ignore it too)
+                let _ = std::fs::remove_file(delta_path_for(&self.snapshot_path));
+                let page_crcs = chunk_crcs(state, self.page_size);
+                let pages = page_crcs.len() as u32;
+                self.base = Some(BaseInfo {
+                    generation: next,
+                    page_size: self.page_size,
+                    page_crcs,
+                });
+                CheckpointKind::Full { pages }
+            }
+        };
+
         // The snapshot is live from here on. If the WAL swap fails, the
         // open handle still points at the stale generation-`g` log, whose
         // records the next recovery will (correctly) discard — so poison
         // this handle rather than let appends vanish silently. Reopening
         // recovers cleanly: snapshot g+1 + stale WAL → fresh WAL.
-        match Wal::create(&wal_path_for(&self.snapshot_path), next) {
+        self.state_crc = Some(state_crc);
+        match Wal::create(&wal_path_for(&self.snapshot_path), next, last_lsn) {
             Ok(wal) => {
                 self.wal = wal;
                 self.generation = next;
-                Ok(())
+                Ok(kind)
             }
             Err(e) => {
                 self.poisoned = true;
@@ -205,14 +480,14 @@ mod tests {
     fn tmp(name: &str) -> PathBuf {
         let p = std::env::temp_dir()
             .join(format!("maybms-db-{}-{name}.maybms", std::process::id()));
-        let _ = std::fs::remove_file(&p);
-        let _ = std::fs::remove_file(wal_path_for(&p));
+        cleanup(&p);
         p
     }
 
     fn cleanup(p: &Path) {
         let _ = std::fs::remove_file(p);
         let _ = std::fs::remove_file(wal_path_for(p));
+        let _ = std::fs::remove_file(delta_path_for(p));
     }
 
     #[test]
@@ -224,12 +499,14 @@ mod tests {
             assert!(r.records.is_empty());
             let mut db = r.db;
             assert!(db.is_fresh());
-            db.append(b"stmt 1").unwrap();
-            db.append(b"stmt 2").unwrap();
+            assert_eq!(db.append(b"stmt 1").unwrap(), 1);
+            assert_eq!(db.append(b"stmt 2").unwrap(), 2);
+            assert_eq!(db.last_lsn(), 2);
         }
         let r = Database::open(&path).unwrap();
         assert!(r.snapshot.is_none());
         assert_eq!(r.records, vec![b"stmt 1".to_vec(), b"stmt 2".to_vec()]);
+        assert_eq!(r.db.last_lsn(), 2);
         cleanup(&path);
     }
 
@@ -239,15 +516,164 @@ mod tests {
         {
             let mut db = Database::open(&path).unwrap().db;
             db.append(b"a").unwrap();
-            db.checkpoint(b"state after a").unwrap();
+            let kind = db.checkpoint(b"state after a").unwrap();
+            assert!(matches!(kind, CheckpointKind::Full { .. }), "first checkpoint is full");
             assert_eq!(db.generation(), 1);
             assert!(db.wal_is_empty());
-            db.append(b"b").unwrap();
+            // LSNs continue across the checkpoint
+            assert_eq!(db.wal_base_lsn(), 1);
+            assert_eq!(db.append(b"b").unwrap(), 2);
         }
         let r = Database::open(&path).unwrap();
         assert_eq!(r.db.generation(), 1);
         assert_eq!(r.snapshot.as_deref(), Some(&b"state after a"[..]));
         assert_eq!(r.records, vec![b"b".to_vec()]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn incremental_checkpoint_writes_only_changed_pages() {
+        let path = tmp("inc");
+        let mut db = Database::open_with_page_size(&path, 64).unwrap().db;
+        let state: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        assert!(matches!(db.checkpoint(&state).unwrap(), CheckpointKind::Full { .. }));
+        let base_bytes = std::fs::read(&path).unwrap();
+
+        // a point mutation: the second checkpoint must be incremental
+        db.append(b"m").unwrap();
+        let mut state2 = state.clone();
+        state2[500] ^= 0xAA;
+        let kind = db.checkpoint(&state2).unwrap();
+        match kind {
+            CheckpointKind::Incremental { changed_pages, total_pages } => {
+                assert_eq!(changed_pages, 1, "one flipped byte is one page");
+                assert!(total_pages > 10);
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+        assert_eq!(db.generation(), 2);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            base_bytes,
+            "the base snapshot file must not be rewritten"
+        );
+        assert!(delta_path_for(&path).exists());
+
+        // recovery loads base + overlay
+        drop(db);
+        let r = Database::open(&path).unwrap();
+        assert_eq!(r.db.generation(), 2);
+        assert_eq!(r.snapshot.as_deref(), Some(&state2[..]));
+
+        // zero mutations since: the next checkpoint is a pure no-op —
+        // nothing rewritten, generation untouched
+        let mut db = r.db;
+        let overlay_before = std::fs::read(delta_path_for(&path)).unwrap();
+        let kind = db.checkpoint(&state2).unwrap();
+        assert_eq!(kind, CheckpointKind::Unchanged);
+        assert_eq!(db.generation(), 2);
+        assert_eq!(std::fs::read(delta_path_for(&path)).unwrap(), overlay_before);
+        // a forced full checkpoint still collapses the overlay
+        assert!(matches!(db.checkpoint_full(&state2).unwrap(), CheckpointKind::Full { .. }));
+        assert_eq!(db.generation(), 3);
+        assert!(!delta_path_for(&path).exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn widespread_change_falls_back_to_full() {
+        let path = tmp("widespread");
+        let mut db = Database::open_with_page_size(&path, 64).unwrap().db;
+        let state: Vec<u8> = vec![1u8; 1000];
+        db.checkpoint(&state).unwrap();
+        // every byte changes: a full rewrite, and the old overlay (none
+        // here) stays gone
+        let state2: Vec<u8> = vec![2u8; 1000];
+        assert!(matches!(db.checkpoint(&state2).unwrap(), CheckpointKind::Full { .. }));
+        assert!(!delta_path_for(&path).exists());
+        drop(db);
+        let r = Database::open(&path).unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(&state2[..]));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_full_collapses_overlay() {
+        let path = tmp("collapse");
+        let mut db = Database::open_with_page_size(&path, 64).unwrap().db;
+        let state: Vec<u8> = (0..500u32).map(|i| (i % 13) as u8).collect();
+        db.checkpoint(&state).unwrap();
+        let mut state2 = state.clone();
+        state2[10] = 99;
+        assert!(matches!(
+            db.checkpoint(&state2).unwrap(),
+            CheckpointKind::Incremental { .. }
+        ));
+        assert!(delta_path_for(&path).exists());
+        // forced full: overlay removed, base rewritten
+        assert!(matches!(db.checkpoint_full(&state2).unwrap(), CheckpointKind::Full { .. }));
+        assert!(!delta_path_for(&path).exists());
+        drop(db);
+        let r = Database::open(&path).unwrap();
+        assert_eq!(r.db.generation(), 3);
+        assert_eq!(r.snapshot.as_deref(), Some(&state2[..]));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stale_overlay_after_interrupted_full_checkpoint_is_discarded() {
+        let path = tmp("stale-inc");
+        let mut db = Database::open_with_page_size(&path, 64).unwrap().db;
+        let state: Vec<u8> = vec![5u8; 300];
+        db.checkpoint(&state).unwrap();
+        let mut state2 = state.clone();
+        state2[0] = 6;
+        db.checkpoint(&state2).unwrap(); // incremental, overlay live
+        let overlay_bytes = std::fs::read(delta_path_for(&path)).unwrap();
+        let mut state3 = vec![7u8; 300];
+        state3[1] = 8;
+        db.checkpoint_full(&state3).unwrap(); // gen 3, overlay removed
+        drop(db);
+        // simulate the crash window: the gen-2 overlay resurfaces next to
+        // the gen-3 base (full checkpoint died before the cleanup step)
+        std::fs::write(delta_path_for(&path), &overlay_bytes).unwrap();
+        let r = Database::open(&path).unwrap();
+        assert_eq!(r.db.generation(), 3);
+        assert_eq!(
+            r.snapshot.as_deref(),
+            Some(&state3[..]),
+            "a stale overlay must never be applied to a newer base"
+        );
+        assert!(!delta_path_for(&path).exists(), "the artifact is cleaned up");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_overlay_fails_loudly() {
+        let path = tmp("corrupt-inc");
+        let mut db = Database::open_with_page_size(&path, 64).unwrap().db;
+        let state: Vec<u8> = (0..500u32).map(|i| (i % 7) as u8).collect();
+        db.checkpoint(&state).unwrap();
+        let mut state2 = state.clone();
+        state2[100] = 77;
+        db.checkpoint(&state2).unwrap();
+        drop(db);
+        let dpath = delta_path_for(&path);
+        let mut raw = std::fs::read(&dpath).unwrap();
+        let at = raw.len() - 3; // inside the stored page
+        raw[at] ^= 0x10;
+        std::fs::write(&dpath, &raw).unwrap();
+        let err = Database::open(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn overlay_without_base_is_rejected() {
+        let path = tmp("orphan-inc");
+        std::fs::write(delta_path_for(&path), b"whatever").unwrap();
+        let err = Database::open(&path).unwrap_err();
+        assert!(err.to_string().contains("without its base"), "{err}");
         cleanup(&path);
     }
 
@@ -272,6 +698,29 @@ mod tests {
             "stale generation-0 records must not be replayed onto a generation-1 snapshot"
         );
         assert!(r.db.wal_is_empty());
+        assert_eq!(
+            r.db.wal_base_lsn(),
+            1,
+            "the fresh log must continue from the LSN the snapshot covers"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn read_snapshot_state_sees_base_plus_overlay() {
+        let path = tmp("readstate");
+        assert!(read_snapshot_state(&path).unwrap().is_none());
+        let mut db = Database::open_with_page_size(&path, 64).unwrap().db;
+        db.append(b"x").unwrap();
+        db.checkpoint(b"base state").unwrap();
+        let (generation, lsn, payload) = read_snapshot_state(&path).unwrap().unwrap();
+        assert_eq!((generation, lsn, payload.as_slice()), (1, 1, &b"base state"[..]));
+        db.append(b"y").unwrap();
+        // one byte differs, but a single-page payload always collapses to
+        // a full rewrite (the overlay would be the whole snapshot)
+        db.checkpoint(b"base statf").unwrap();
+        let (generation, lsn, payload) = read_snapshot_state(&path).unwrap().unwrap();
+        assert_eq!((generation, lsn, payload.as_slice()), (2, 2, &b"base statf"[..]));
         cleanup(&path);
     }
 

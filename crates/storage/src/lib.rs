@@ -19,22 +19,45 @@
 //!   append-only records of committed logical mutations. A torn tail is
 //!   truncated on open; replay sees exactly the committed prefix.
 //!
-//! [`db::Database`] ties them together with a generation counter so that
-//! recovery never replays a record twice and never loses a committed one,
-//! whichever instant the process died at. The payloads themselves are
-//! opaque here: `maybms-core` encodes decompositions, `maybms-sql`
-//! encodes statements (both on top of [`bytes`]), and the session layer
-//! wires `Session::open` / `CHECKPOINT` to this crate.
+//! * [`delta`] — **incremental snapshots**: a page-diff overlay file
+//!   (`*.maybms.inc`) holding only the pages that changed since the base
+//!   snapshot, plus a checksummed page map. Loading overlays and verifies
+//!   the combined payload, so a damaged overlay fails loudly instead of
+//!   assembling a wrong database.
+//! * [`ship`] — the **WAL shipping protocol**: CRC-framed
+//!   `Hello`/`Snapshot`/`Record`/`Heartbeat` messages over any byte
+//!   stream, used by the replication layer (`maybms_sql::replication`) to
+//!   stream committed records from a primary to read replicas.
+//!
+//! [`db::Database`] ties them together with a generation counter and
+//! monotone WAL **LSNs** so that recovery never replays a record twice
+//! and never loses a committed one, whichever instant the process died
+//! at — and so a replica can name its position with a single integer.
+//! The payloads themselves are opaque here: `maybms-core` encodes
+//! decompositions, `maybms-sql` encodes statements (both on top of
+//! [`bytes`]), and the session layer wires `Session::open` /
+//! `CHECKPOINT` to this crate.
+//!
+//! The layer-by-layer picture (and the invariants each layer's tests
+//! enforce) is in `docs/ARCHITECTURE.md` at the repository root.
+
+#![warn(missing_docs)]
 
 pub mod bytes;
 pub mod crc;
 pub mod db;
+pub mod delta;
 pub mod pager;
+pub mod ship;
 pub mod snapshot;
 pub mod wal;
 
 pub use bytes::{Reader, Writer};
-pub use db::{wal_path_for, Database, Recovered};
+pub use db::{
+    read_snapshot_state, wal_path_for, CheckpointKind, Database, Recovered,
+};
+pub use delta::{delta_path_for, DeltaMeta};
 pub use pager::{Pager, DEFAULT_PAGE_SIZE, PAGE_HEADER_LEN};
+pub use ship::{recv_msg, send_msg, Msg};
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotMeta};
-pub use wal::{Wal, WAL_HEADER_LEN};
+pub use wal::{Wal, WalCursor, WalHead, WAL_HEADER_LEN};

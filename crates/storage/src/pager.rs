@@ -33,6 +33,14 @@ pub(crate) fn io_err(ctx: &str, e: std::io::Error) -> Error {
     Error::Storage(format!("{ctx}: {e}"))
 }
 
+/// The checksum a page with logical index `idx` and payload `payload`
+/// carries: CRC-32 over the little-endian index followed by the payload.
+/// Exposed so the incremental-checkpoint diff ([`crate::delta`]) can
+/// compare page contents by checksum without materializing page frames.
+pub fn page_crc(idx: u32, payload: &[u8]) -> u32 {
+    crc32_seeded(crc32(&idx.to_le_bytes()), payload)
+}
+
 /// Reads and writes checksummed fixed-size pages of one open file.
 #[derive(Debug)]
 pub struct Pager {
@@ -52,6 +60,7 @@ impl Pager {
         Ok(Pager { file, base, page_size })
     }
 
+    /// The configured page size.
     pub fn page_size(&self) -> usize {
         self.page_size
     }
@@ -72,6 +81,15 @@ impl Pager {
 
     /// Writes one page. The payload must fit in [`Pager::capacity`].
     pub fn write_page(&mut self, idx: u32, payload: &[u8]) -> Result<()> {
+        self.write_page_as(idx, idx, payload)
+    }
+
+    /// Writes a page at file position `slot` whose checksum is seeded
+    /// with the *logical* index `idx`. Incremental snapshots store a
+    /// sparse subset of a base snapshot's pages densely (slot 0, 1, 2, …)
+    /// while each page keeps the checksum of its real position, so a page
+    /// transplanted between files still fails verification.
+    pub fn write_page_as(&mut self, slot: u32, idx: u32, payload: &[u8]) -> Result<()> {
         if payload.len() > self.capacity() {
             return Err(Error::Storage(format!(
                 "payload of {} bytes exceeds page capacity {}",
@@ -80,20 +98,26 @@ impl Pager {
             )));
         }
         let mut page = vec![0u8; self.page_size];
-        let crc = crc32_seeded(crc32(&idx.to_le_bytes()), payload);
+        let crc = page_crc(idx, payload);
         page[0..4].copy_from_slice(&crc.to_le_bytes());
         page[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         page[PAGE_HEADER_LEN..PAGE_HEADER_LEN + payload.len()].copy_from_slice(payload);
         self.file
-            .seek(SeekFrom::Start(self.offset_of(idx)))
+            .seek(SeekFrom::Start(self.offset_of(slot)))
             .map_err(|e| io_err("seek to page", e))?;
         self.file.write_all(&page).map_err(|e| io_err("write page", e))
     }
 
     /// Reads and verifies one page, returning its payload.
     pub fn read_page(&mut self, idx: u32) -> Result<Vec<u8>> {
+        self.read_page_as(idx, idx)
+    }
+
+    /// Reads the page at file position `slot`, verifying it against the
+    /// *logical* index `idx` (see [`Pager::write_page_as`]).
+    pub fn read_page_as(&mut self, slot: u32, idx: u32) -> Result<Vec<u8>> {
         self.file
-            .seek(SeekFrom::Start(self.offset_of(idx)))
+            .seek(SeekFrom::Start(self.offset_of(slot)))
             .map_err(|e| io_err("seek to page", e))?;
         let mut page = vec![0u8; self.page_size];
         self.file
@@ -108,7 +132,7 @@ impl Pager {
             )));
         }
         let payload = &page[PAGE_HEADER_LEN..PAGE_HEADER_LEN + len];
-        let crc = crc32_seeded(crc32(&idx.to_le_bytes()), payload);
+        let crc = page_crc(idx, payload);
         if crc != stored_crc {
             return Err(Error::Storage(format!(
                 "checksum mismatch on page {idx}: stored {stored_crc:#010x}, computed {crc:#010x}"
@@ -159,6 +183,7 @@ impl Pager {
         Ok(out)
     }
 
+    /// fsyncs the underlying file.
     pub fn sync(&self) -> Result<()> {
         self.file.sync_all().map_err(|e| io_err("sync", e))
     }

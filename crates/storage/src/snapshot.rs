@@ -2,18 +2,21 @@
 //! checksummed pages behind a versioned magic header.
 //!
 //! ```text
-//! offset 0                                40
+//! offset 0                                48
 //! ┌─────────────────────────────────────┬──────────────────────────┐
-//! │ preamble (raw, fixed 40 bytes)      │ pages (see crate::pager) │
+//! │ preamble (raw, fixed 48 bytes)      │ pages (see crate::pager) │
 //! └─────────────────────────────────────┴──────────────────────────┘
 //!
 //! preamble := magic "MAYBMS1\0" (8) | version u32 | page_size u32
-//!           | generation u64 | payload_len u64 | payload_crc u32
-//!           | preamble_crc u32        (all little-endian)
+//!           | generation u64 | last_lsn u64 | payload_len u64
+//!           | payload_crc u32 | preamble_crc u32   (all little-endian)
 //! ```
 //!
 //! `generation` is the checkpoint counter used to pair a snapshot with
-//! its write-ahead log (see [`crate::db`]). Snapshots are written
+//! its write-ahead log (see [`crate::db`]); `last_lsn` is the log
+//! sequence number of the last record the snapshot captures, so recovery
+//! (and a replication follower) can name the exact log position the
+//! snapshot stands for. Snapshots are written
 //! **atomically**: the new file goes to `<path>.tmp`, is fsynced, and is
 //! then renamed over the old snapshot, so a crash mid-checkpoint leaves
 //! either the old snapshot or the new one — never a hybrid.
@@ -28,29 +31,40 @@ use crate::crc::crc32;
 use crate::pager::{io_err, Pager, DEFAULT_PAGE_SIZE};
 
 const MAGIC: &[u8; 8] = b"MAYBMS1\0";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Raw preamble length before the paged region.
-pub const PREAMBLE_LEN: usize = 40;
+pub const PREAMBLE_LEN: usize = 48;
 
 /// Metadata decoded from a snapshot preamble.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotMeta {
+    /// The checkpoint generation this snapshot represents.
     pub generation: u64,
+    /// LSN of the last WAL record the snapshot captures.
+    pub last_lsn: u64,
+    /// Page size of the paged region.
     pub page_size: usize,
+    /// Length of the stored payload.
     pub payload_len: u64,
 }
 
-fn encode_preamble(page_size: u32, generation: u64, payload: &[u8]) -> [u8; PREAMBLE_LEN] {
+fn encode_preamble(
+    page_size: u32,
+    generation: u64,
+    last_lsn: u64,
+    payload: &[u8],
+) -> [u8; PREAMBLE_LEN] {
     let mut p = [0u8; PREAMBLE_LEN];
     p[0..8].copy_from_slice(MAGIC);
     p[8..12].copy_from_slice(&VERSION.to_le_bytes());
     p[12..16].copy_from_slice(&page_size.to_le_bytes());
     p[16..24].copy_from_slice(&generation.to_le_bytes());
-    p[24..32].copy_from_slice(&(payload.len() as u64).to_le_bytes());
-    p[32..36].copy_from_slice(&crc32(payload).to_le_bytes());
-    let crc = crc32(&p[0..36]);
-    p[36..40].copy_from_slice(&crc.to_le_bytes());
+    p[24..32].copy_from_slice(&last_lsn.to_le_bytes());
+    p[32..40].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    p[40..44].copy_from_slice(&crc32(payload).to_le_bytes());
+    let crc = crc32(&p[0..44]);
+    p[44..48].copy_from_slice(&crc.to_le_bytes());
     p
 }
 
@@ -64,8 +78,8 @@ fn decode_preamble(p: &[u8]) -> Result<(SnapshotMeta, u32)> {
     if &p[0..8] != MAGIC {
         return Err(Error::Storage("not a MayBMS snapshot (bad magic)".into()));
     }
-    let stored = u32::from_le_bytes(p[36..40].try_into().expect("4 bytes"));
-    if crc32(&p[0..36]) != stored {
+    let stored = u32::from_le_bytes(p[44..48].try_into().expect("4 bytes"));
+    if crc32(&p[0..44]) != stored {
         return Err(Error::Storage("snapshot preamble checksum mismatch".into()));
     }
     let version = u32::from_le_bytes(p[8..12].try_into().expect("4 bytes"));
@@ -76,9 +90,10 @@ fn decode_preamble(p: &[u8]) -> Result<(SnapshotMeta, u32)> {
     }
     let page_size = u32::from_le_bytes(p[12..16].try_into().expect("4 bytes")) as usize;
     let generation = u64::from_le_bytes(p[16..24].try_into().expect("8 bytes"));
-    let payload_len = u64::from_le_bytes(p[24..32].try_into().expect("8 bytes"));
-    let payload_crc = u32::from_le_bytes(p[32..36].try_into().expect("4 bytes"));
-    Ok((SnapshotMeta { generation, page_size, payload_len }, payload_crc))
+    let last_lsn = u64::from_le_bytes(p[24..32].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(p[32..40].try_into().expect("8 bytes"));
+    let payload_crc = u32::from_le_bytes(p[40..44].try_into().expect("4 bytes"));
+    Ok((SnapshotMeta { generation, last_lsn, page_size, payload_len }, payload_crc))
 }
 
 fn tmp_sibling(path: &Path) -> std::path::PathBuf {
@@ -97,10 +112,11 @@ fn sync_parent_dir(path: &Path) {
     }
 }
 
-/// Writes `payload` as a generation-`generation` snapshot at `path`:
-/// write-new to a temp sibling, fsync, rename over the old file.
-pub fn write_snapshot(path: &Path, generation: u64, payload: &[u8]) -> Result<()> {
-    write_snapshot_with_page_size(path, generation, payload, DEFAULT_PAGE_SIZE)
+/// Writes `payload` as a generation-`generation` snapshot at `path`,
+/// covering the log through `last_lsn`: write-new to a temp sibling,
+/// fsync, rename over the old file.
+pub fn write_snapshot(path: &Path, generation: u64, last_lsn: u64, payload: &[u8]) -> Result<()> {
+    write_snapshot_with_page_size(path, generation, last_lsn, payload, DEFAULT_PAGE_SIZE)
 }
 
 /// As [`write_snapshot`] with an explicit page size (tests use tiny pages
@@ -108,6 +124,7 @@ pub fn write_snapshot(path: &Path, generation: u64, payload: &[u8]) -> Result<()
 pub fn write_snapshot_with_page_size(
     path: &Path,
     generation: u64,
+    last_lsn: u64,
     payload: &[u8],
     page_size: usize,
 ) -> Result<()> {
@@ -120,7 +137,7 @@ pub fn write_snapshot_with_page_size(
             .open(&tmp)
             .map_err(|e| io_err("create snapshot temp file", e))?;
         let mut file = file;
-        file.write_all(&encode_preamble(page_size as u32, generation, payload))
+        file.write_all(&encode_preamble(page_size as u32, generation, last_lsn, payload))
             .map_err(|e| io_err("write snapshot preamble", e))?;
         let mut pager = Pager::new(file, PREAMBLE_LEN as u64, page_size)?;
         pager.write_payload(payload)?;
@@ -163,9 +180,10 @@ mod tests {
     fn round_trip_multi_page() {
         let path = tmp("roundtrip");
         let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 253) as u8).collect();
-        write_snapshot_with_page_size(&path, 3, &payload, 64).unwrap();
+        write_snapshot_with_page_size(&path, 3, 9, &payload, 64).unwrap();
         let (meta, back) = read_snapshot(&path).unwrap();
         assert_eq!(meta.generation, 3);
+        assert_eq!(meta.last_lsn, 9);
         assert_eq!(meta.page_size, 64);
         assert_eq!(back, payload);
         let _ = std::fs::remove_file(&path);
@@ -174,7 +192,7 @@ mod tests {
     #[test]
     fn empty_payload_round_trips() {
         let path = tmp("empty");
-        write_snapshot(&path, 1, &[]).unwrap();
+        write_snapshot(&path, 1, 0, &[]).unwrap();
         let (meta, back) = read_snapshot(&path).unwrap();
         assert_eq!(meta.payload_len, 0);
         assert!(back.is_empty());
@@ -184,8 +202,8 @@ mod tests {
     #[test]
     fn rewrite_replaces_atomically() {
         let path = tmp("rewrite");
-        write_snapshot_with_page_size(&path, 1, b"old state", 32).unwrap();
-        write_snapshot_with_page_size(&path, 2, b"new state, longer than before", 32).unwrap();
+        write_snapshot_with_page_size(&path, 1, 1, b"old state", 32).unwrap();
+        write_snapshot_with_page_size(&path, 2, 5, b"new state, longer than before", 32).unwrap();
         let (meta, back) = read_snapshot(&path).unwrap();
         assert_eq!(meta.generation, 2);
         assert_eq!(back, b"new state, longer than before");
@@ -197,7 +215,7 @@ mod tests {
     #[test]
     fn corruption_rejected() {
         let path = tmp("corrupt");
-        write_snapshot_with_page_size(&path, 1, b"payload bytes here", 32).unwrap();
+        write_snapshot_with_page_size(&path, 1, 0, b"payload bytes here", 32).unwrap();
         let pristine = std::fs::read(&path).unwrap();
         // a payload byte inside the first page (after preamble + page header)
         let payload_at = PREAMBLE_LEN + crate::pager::PAGE_HEADER_LEN + 3;

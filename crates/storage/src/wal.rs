@@ -1,8 +1,9 @@
-//! The write-ahead log: an append-only file of CRC-framed records.
+//! The write-ahead log: an append-only file of CRC-framed records with
+//! monotone log sequence numbers.
 //!
 //! ```text
 //! header := magic "MAYBMSW\0" (8) | version u32 | generation u64
-//!         | header_crc u32                       (24 bytes total)
+//!         | base_lsn u64 | header_crc u32        (32 bytes total)
 //! record := payload_len u32 | payload_crc u32 | payload bytes
 //! ```
 //!
@@ -13,6 +14,18 @@
 //! stops at the first incomplete or checksum-failing record — a **torn
 //! tail** from a crash mid-append — and the file is truncated back to the
 //! last complete record, so replay sees exactly the committed prefix.
+//!
+//! # Log sequence numbers
+//!
+//! Every record carries an implicit **LSN**: `base_lsn` names the LSN of
+//! the last record *before* this log (0 for a fresh database), and the
+//! *i*-th record of the file (0-based) has LSN `base_lsn + i + 1`. LSNs
+//! are monotone across the whole life of a database — a checkpoint swaps
+//! in an empty log whose `base_lsn` is the previous log's last LSN, so
+//! the numbering continues rather than restarting. This is what lets a
+//! replica name its position with one integer: "I have applied everything
+//! up to LSN x; send me what follows" ([`Wal::records_from`],
+//! [`WalCursor`]).
 //!
 //! `generation` pairs the log with the snapshot it extends: a checkpoint
 //! bumps the snapshot generation and swaps in a fresh, empty log of the
@@ -30,10 +43,10 @@ use crate::crc::crc32;
 use crate::pager::io_err;
 
 const MAGIC: &[u8; 8] = b"MAYBMSW\0";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Length of the WAL file header.
-pub const WAL_HEADER_LEN: u64 = 24;
+pub const WAL_HEADER_LEN: u64 = 32;
 
 const RECORD_HEADER_LEN: usize = 8;
 
@@ -43,6 +56,12 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     generation: u64,
+    /// LSN of the last record before this log (continues across
+    /// checkpoints; 0 for a fresh database).
+    base_lsn: u64,
+    /// Complete records in this log; the last one has LSN
+    /// `base_lsn + count`.
+    count: u64,
     /// Offset of the end of the last complete record.
     end: u64,
     /// fsync every append (on by default; benches may disable it).
@@ -52,22 +71,23 @@ pub struct Wal {
     sync_count: u64,
 }
 
-fn encode_header(generation: u64) -> [u8; WAL_HEADER_LEN as usize] {
+fn encode_header(generation: u64, base_lsn: u64) -> [u8; WAL_HEADER_LEN as usize] {
     let mut h = [0u8; WAL_HEADER_LEN as usize];
     h[0..8].copy_from_slice(MAGIC);
     h[8..12].copy_from_slice(&VERSION.to_le_bytes());
     h[12..20].copy_from_slice(&generation.to_le_bytes());
-    let crc = crc32(&h[0..20]);
-    h[20..24].copy_from_slice(&crc.to_le_bytes());
+    h[20..28].copy_from_slice(&base_lsn.to_le_bytes());
+    let crc = crc32(&h[0..28]);
+    h[28..32].copy_from_slice(&crc.to_le_bytes());
     h
 }
 
-fn decode_header(h: &[u8]) -> Result<u64> {
+fn decode_header(h: &[u8]) -> Result<(u64, u64)> {
     if h.len() < WAL_HEADER_LEN as usize || &h[0..8] != MAGIC {
         return Err(Error::Storage("not a MayBMS WAL (bad magic)".into()));
     }
-    let stored = u32::from_le_bytes(h[20..24].try_into().expect("4 bytes"));
-    if crc32(&h[0..20]) != stored {
+    let stored = u32::from_le_bytes(h[28..32].try_into().expect("4 bytes"));
+    if crc32(&h[0..28]) != stored {
         return Err(Error::Storage("WAL header checksum mismatch".into()));
     }
     let version = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes"));
@@ -76,13 +96,43 @@ fn decode_header(h: &[u8]) -> Result<u64> {
             "unsupported WAL format version {version} (this build reads {VERSION})"
         )));
     }
-    Ok(u64::from_le_bytes(h[12..20].try_into().expect("8 bytes")))
+    let generation = u64::from_le_bytes(h[12..20].try_into().expect("8 bytes"));
+    let base_lsn = u64::from_le_bytes(h[20..28].try_into().expect("8 bytes"));
+    Ok((generation, base_lsn))
+}
+
+/// Scans `raw` (a whole WAL file) for complete records starting at the
+/// header end. Returns the records and the offset just past the last
+/// complete one — anything beyond that offset is a torn tail.
+fn scan_records(raw: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut end = pos;
+    while raw.len().saturating_sub(pos) >= RECORD_HEADER_LEN {
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let stored = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_at = pos + RECORD_HEADER_LEN;
+        if raw.len() - body_at < len {
+            break; // torn: the record body was cut short
+        }
+        let body = &raw[body_at..body_at + len];
+        if crc32(body) != stored {
+            break; // torn or corrupt: drop this record and the rest
+        }
+        records.push(body.to_vec());
+        pos = body_at + len;
+        end = pos;
+    }
+    (records, end)
 }
 
 impl Wal {
     /// Creates a fresh, empty log for `generation` at `path`, atomically
     /// replacing whatever was there (write temp sibling + rename).
-    pub fn create(path: &Path, generation: u64) -> Result<Wal> {
+    /// `base_lsn` is the LSN of the last record already captured by the
+    /// paired snapshot — the first record appended here gets
+    /// `base_lsn + 1`.
+    pub fn create(path: &Path, generation: u64, base_lsn: u64) -> Result<Wal> {
         let mut tmp = path.as_os_str().to_os_string();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
@@ -93,7 +143,7 @@ impl Wal {
                 .truncate(true)
                 .open(&tmp)
                 .map_err(|e| io_err("create WAL temp file", e))?;
-            f.write_all(&encode_header(generation))
+            f.write_all(&encode_header(generation, base_lsn))
                 .map_err(|e| io_err("write WAL header", e))?;
             f.sync_all().map_err(|e| io_err("sync new WAL", e))?;
         }
@@ -107,6 +157,8 @@ impl Wal {
             file,
             path: path.to_path_buf(),
             generation,
+            base_lsn,
+            count: 0,
             end: WAL_HEADER_LEN,
             sync: true,
             sync_count: 0,
@@ -114,8 +166,9 @@ impl Wal {
     }
 
     /// Opens an existing log, returning the complete records in append
-    /// order. A torn tail (incomplete or checksum-failing final record)
-    /// is detected and truncated away; everything before it is kept.
+    /// order (the first has LSN `base_lsn() + 1`). A torn tail
+    /// (incomplete or checksum-failing final record) is detected and
+    /// truncated away; everything before it is kept.
     pub fn open(path: &Path) -> Result<(Wal, Vec<Vec<u8>>)> {
         let mut file = OpenOptions::new()
             .read(true)
@@ -124,28 +177,9 @@ impl Wal {
             .map_err(|e| io_err("open WAL", e))?;
         let mut raw = Vec::new();
         file.read_to_end(&mut raw).map_err(|e| io_err("read WAL", e))?;
-        let generation = decode_header(&raw)?;
+        let (generation, base_lsn) = decode_header(&raw)?;
 
-        let mut records = Vec::new();
-        let mut pos = WAL_HEADER_LEN as usize;
-        let mut end = pos;
-        while raw.len() - pos >= RECORD_HEADER_LEN {
-            let len =
-                u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let stored =
-                u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let body_at = pos + RECORD_HEADER_LEN;
-            if raw.len() - body_at < len {
-                break; // torn: the record body was cut short
-            }
-            let body = &raw[body_at..body_at + len];
-            if crc32(body) != stored {
-                break; // torn or corrupt: drop this record and the rest
-            }
-            records.push(body.to_vec());
-            pos = body_at + len;
-            end = pos;
-        }
+        let (records, end) = scan_records(&raw);
         if end as u64 != raw.len() as u64 {
             // drop the torn tail so later appends start on a clean frame
             file.set_len(end as u64)
@@ -159,6 +193,8 @@ impl Wal {
                 file,
                 path: path.to_path_buf(),
                 generation,
+                base_lsn,
+                count: records.len() as u64,
                 end: end as u64,
                 sync: true,
                 sync_count: 0,
@@ -167,10 +203,24 @@ impl Wal {
         ))
     }
 
+    /// The checkpoint generation this log extends.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
+    /// LSN of the last record *before* this log (what the paired snapshot
+    /// already contains); 0 for a fresh database.
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn
+    }
+
+    /// LSN of the last record in this log (equals [`Wal::base_lsn`] when
+    /// the log is empty).
+    pub fn last_lsn(&self) -> u64 {
+        self.base_lsn + self.count
+    }
+
+    /// The path this log lives at.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -197,9 +247,10 @@ impl Wal {
         self.sync_count
     }
 
-    /// Appends one record and (by default) fsyncs. On return the record
-    /// is committed: replay after a crash will include it.
-    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+    /// Appends one record and (by default) fsyncs, returning the LSN the
+    /// record was assigned. On return the record is committed: replay
+    /// after a crash will include it.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
         let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -215,7 +266,188 @@ impl Wal {
             self.sync_count += 1;
         }
         self.end += frame.len() as u64;
-        Ok(())
+        self.count += 1;
+        Ok(self.base_lsn + self.count)
+    }
+
+    /// The committed records with LSN strictly greater than `after`, as
+    /// `(lsn, payload)` pairs — the pull side of WAL shipping ("send me
+    /// everything since x"). Returns an error when `after` precedes this
+    /// log's `base_lsn` (those records live in the snapshot, not the log;
+    /// the caller must fall back to a snapshot transfer).
+    ///
+    /// Reads through a fresh handle on the file, so it can run while the
+    /// log is being appended to; it only ever sees fully framed records.
+    pub fn records_from(&self, after: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        if after < self.base_lsn {
+            return Err(Error::Storage(format!(
+                "LSN {after} predates this log (base LSN {}); a snapshot transfer is needed",
+                self.base_lsn
+            )));
+        }
+        let raw = std::fs::read(&self.path).map_err(|e| io_err("read WAL", e))?;
+        let (generation, base_lsn) = decode_header(&raw)?;
+        if generation != self.generation || base_lsn != self.base_lsn {
+            return Err(Error::Storage(
+                "WAL was swapped while reading (checkpoint in progress); retry".into(),
+            ));
+        }
+        let (records, _) = scan_records(&raw);
+        Ok(records
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| (base_lsn + i as u64 + 1, payload))
+            .filter(|(lsn, _)| *lsn > after)
+            .collect())
+    }
+}
+
+/// A summary of a WAL file's position, read without opening it for
+/// writes (and without truncating a torn tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalHead {
+    /// The checkpoint generation the log extends.
+    pub generation: u64,
+    /// LSN of the last record before this log (covered by the snapshot).
+    pub base_lsn: u64,
+    /// LSN of the last complete record in the log.
+    pub last_lsn: u64,
+}
+
+/// Reads the head summary of the WAL at `path` — what a replication
+/// primary consults to decide between shipping log records and falling
+/// back to a snapshot transfer.
+pub fn head(path: &Path) -> Result<WalHead> {
+    let raw = std::fs::read(path).map_err(|e| io_err("read WAL", e))?;
+    let (generation, base_lsn) = decode_header(&raw)?;
+    let (records, _) = scan_records(&raw);
+    Ok(WalHead { generation, base_lsn, last_lsn: base_lsn + records.len() as u64 })
+}
+
+/// A read-only cursor over a WAL *file*, for tailing committed records
+/// from another thread or process (the primary's shipping loop). The
+/// cursor remembers its byte offset, so polling only reads what was
+/// appended since the last call; a checkpoint swapping in a fresh log
+/// (different generation / base LSN) is detected and surfaced as
+/// [`WalCursor::poll`] returning `Reset`.
+#[derive(Debug)]
+pub struct WalCursor {
+    path: PathBuf,
+    generation: u64,
+    base_lsn: u64,
+    /// Byte offset just past the last complete record already returned.
+    offset: u64,
+    /// LSN of the last record already returned.
+    lsn: u64,
+}
+
+/// What one [`WalCursor::poll`] observed.
+#[derive(Debug)]
+pub enum Polled {
+    /// New committed records, in order, as `(lsn, payload)` pairs (empty
+    /// when nothing new was appended).
+    Records(Vec<(u64, Vec<u8>)>),
+    /// The log was swapped by a checkpoint: its `base_lsn` no longer
+    /// covers the cursor position. The caller must restart from the
+    /// snapshot (the cursor itself is repositioned at the new log start).
+    Reset {
+        /// The new log's generation.
+        generation: u64,
+        /// The new log's base LSN (covered by the paired snapshot).
+        base_lsn: u64,
+    },
+}
+
+impl WalCursor {
+    /// Opens a cursor positioned **after** LSN `after` on the log at
+    /// `path`. Fails when `after` predates the log's base LSN (the
+    /// records before it live in the snapshot).
+    pub fn open(path: &Path, after: u64) -> Result<WalCursor> {
+        let raw = std::fs::read(path).map_err(|e| io_err("read WAL", e))?;
+        let (generation, base_lsn) = decode_header(&raw)?;
+        if after < base_lsn {
+            return Err(Error::Storage(format!(
+                "LSN {after} predates this log (base LSN {base_lsn}); \
+                 a snapshot transfer is needed"
+            )));
+        }
+        // walk forward to the requested position
+        let (records, _) = scan_records(&raw);
+        let mut offset = WAL_HEADER_LEN;
+        let mut lsn = base_lsn;
+        for (i, payload) in records.iter().enumerate() {
+            let rec_lsn = base_lsn + i as u64 + 1;
+            if rec_lsn > after {
+                break;
+            }
+            offset += (RECORD_HEADER_LEN + payload.len()) as u64;
+            lsn = rec_lsn;
+        }
+        if lsn < after {
+            return Err(Error::Storage(format!(
+                "LSN {after} is past the end of the log (last LSN {lsn})"
+            )));
+        }
+        Ok(WalCursor { path: path.to_path_buf(), generation, base_lsn, offset, lsn })
+    }
+
+    /// LSN of the last record this cursor has returned.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// The generation of the log the cursor is positioned in.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Reads any records appended since the last poll. Cheap when nothing
+    /// changed (one header read). See [`Polled`] for the checkpoint-swap
+    /// case.
+    pub fn poll(&mut self) -> Result<Polled> {
+        let mut file = File::open(&self.path).map_err(|e| io_err("open WAL", e))?;
+        let mut header = [0u8; WAL_HEADER_LEN as usize];
+        file.read_exact(&mut header).map_err(|e| io_err("read WAL header", e))?;
+        let (generation, base_lsn) = decode_header(&header)?;
+        if generation != self.generation || base_lsn != self.base_lsn {
+            // a checkpoint swapped the log under us
+            self.generation = generation;
+            self.base_lsn = base_lsn;
+            self.offset = WAL_HEADER_LEN;
+            self.lsn = base_lsn;
+            return Ok(Polled::Reset { generation, base_lsn });
+        }
+        file.seek(SeekFrom::Start(self.offset)).map_err(|e| io_err("seek WAL", e))?;
+        let mut tail = Vec::new();
+        file.read_to_end(&mut tail).map_err(|e| io_err("read WAL tail", e))?;
+
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while tail.len().saturating_sub(pos) >= RECORD_HEADER_LEN {
+            let len = u32::from_le_bytes(tail[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let stored = u32::from_le_bytes(tail[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_at = pos + RECORD_HEADER_LEN;
+            if tail.len() - body_at < len {
+                break; // incomplete (a concurrent append in flight)
+            }
+            let body = &tail[body_at..body_at + len];
+            if crc32(body) != stored {
+                // Appends write a frame front to back, so a frame whose
+                // whole body is on disk can only fail its checksum through
+                // corruption — never a write in flight. Silently stopping
+                // here would stall shipping forever while every follower
+                // believes it is caught up; surface it instead.
+                return Err(Error::Storage(format!(
+                    "WAL record at LSN {} failed its checksum mid-log                      (on-disk corruption; shipping cannot proceed past it)",
+                    self.lsn + 1
+                )));
+            }
+            pos = body_at + len;
+            self.lsn += 1;
+            self.offset += (RECORD_HEADER_LEN + len) as u64;
+            out.push((self.lsn, body.to_vec()));
+        }
+        Ok(Polled::Records(out))
     }
 }
 
@@ -235,13 +467,16 @@ mod tests {
     fn append_and_replay() {
         let path = tmp("replay");
         {
-            let mut wal = Wal::create(&path, 7).unwrap();
-            wal.append(b"first").unwrap();
-            wal.append(b"").unwrap();
-            wal.append(b"third record, a bit longer").unwrap();
+            let mut wal = Wal::create(&path, 7, 0).unwrap();
+            assert_eq!(wal.append(b"first").unwrap(), 1);
+            assert_eq!(wal.append(b"").unwrap(), 2);
+            assert_eq!(wal.append(b"third record, a bit longer").unwrap(), 3);
+            assert_eq!(wal.last_lsn(), 3);
         }
         let (wal, records) = Wal::open(&path).unwrap();
         assert_eq!(wal.generation(), 7);
+        assert_eq!(wal.base_lsn(), 0);
+        assert_eq!(wal.last_lsn(), 3);
         assert_eq!(
             records,
             vec![b"first".to_vec(), b"".to_vec(), b"third record, a bit longer".to_vec()]
@@ -250,10 +485,115 @@ mod tests {
     }
 
     #[test]
+    fn lsns_continue_across_checkpoint_logs() {
+        let path = tmp("lsn-continue");
+        {
+            let mut wal = Wal::create(&path, 1, 41).unwrap();
+            assert_eq!(wal.base_lsn(), 41);
+            assert_eq!(wal.last_lsn(), 41);
+            assert_eq!(wal.append(b"a").unwrap(), 42);
+            assert_eq!(wal.append(b"b").unwrap(), 43);
+        }
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(wal.last_lsn(), 43);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn records_from_filters_by_lsn() {
+        let path = tmp("records-from");
+        let mut wal = Wal::create(&path, 1, 10).unwrap();
+        wal.append(b"eleven").unwrap();
+        wal.append(b"twelve").unwrap();
+        wal.append(b"thirteen").unwrap();
+        let all = wal.records_from(10).unwrap();
+        assert_eq!(
+            all,
+            vec![
+                (11, b"eleven".to_vec()),
+                (12, b"twelve".to_vec()),
+                (13, b"thirteen".to_vec())
+            ]
+        );
+        assert_eq!(wal.records_from(12).unwrap(), vec![(13, b"thirteen".to_vec())]);
+        assert!(wal.records_from(13).unwrap().is_empty());
+        assert!(wal.records_from(99).unwrap().is_empty());
+        // a position before base_lsn means the records live in the snapshot
+        let err = wal.records_from(9).unwrap_err();
+        assert!(err.to_string().contains("snapshot transfer"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cursor_tails_appends_and_detects_swap() {
+        let path = tmp("cursor");
+        let mut wal = Wal::create(&path, 1, 0).unwrap();
+        wal.append(b"one").unwrap();
+        let mut cur = WalCursor::open(&path, 0).unwrap();
+        let Polled::Records(r) = cur.poll().unwrap() else { panic!("expected records") };
+        assert_eq!(r, vec![(1, b"one".to_vec())]);
+        // nothing new: empty poll
+        let Polled::Records(r) = cur.poll().unwrap() else { panic!() };
+        assert!(r.is_empty());
+        // appends show up incrementally
+        wal.append(b"two").unwrap();
+        wal.append(b"three").unwrap();
+        let Polled::Records(r) = cur.poll().unwrap() else { panic!() };
+        assert_eq!(r, vec![(2, b"two".to_vec()), (3, b"three".to_vec())]);
+        assert_eq!(cur.lsn(), 3);
+        // a checkpoint swaps in a fresh log: the cursor reports the reset
+        let _swapped = Wal::create(&path, 2, 3).unwrap();
+        match cur.poll().unwrap() {
+            Polled::Reset { generation, base_lsn } => {
+                assert_eq!(generation, 2);
+                assert_eq!(base_lsn, 3);
+            }
+            other => panic!("expected reset, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cursor_errors_on_mid_log_corruption() {
+        // a complete-by-length record failing its CRC is corruption, not
+        // an in-flight append — polling must surface it, not stall
+        let path = tmp("cursor-corrupt");
+        let mut wal = Wal::create(&path, 1, 0).unwrap();
+        wal.append(b"first record").unwrap();
+        wal.append(b"second record").unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        let first_body = WAL_HEADER_LEN as usize + RECORD_HEADER_LEN + 3;
+        raw[first_body] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let mut cur = WalCursor::open(&path, 0).unwrap();
+        let err = cur.poll().unwrap_err();
+        assert!(err.to_string().contains("corruption"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cursor_open_mid_log() {
+        let path = tmp("cursor-mid");
+        let mut wal = Wal::create(&path, 1, 0).unwrap();
+        for payload in [b"a".as_slice(), b"bb", b"ccc"] {
+            wal.append(payload).unwrap();
+        }
+        let mut cur = WalCursor::open(&path, 2).unwrap();
+        let Polled::Records(r) = cur.poll().unwrap() else { panic!() };
+        assert_eq!(r, vec![(3, b"ccc".to_vec())]);
+        // past-the-end and pre-base positions are rejected
+        assert!(WalCursor::open(&path, 9).is_err());
+        let behind = Wal::create(&tmp("cursor-mid2"), 2, 5).unwrap();
+        assert!(WalCursor::open(behind.path(), 2).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn torn_tail_is_truncated_and_appends_resume() {
         let path = tmp("torn");
         {
-            let mut wal = Wal::create(&path, 1).unwrap();
+            let mut wal = Wal::create(&path, 1, 0).unwrap();
             wal.append(b"committed one").unwrap();
             wal.append(b"committed two").unwrap();
             wal.append(b"the torn one").unwrap();
@@ -266,8 +606,9 @@ mod tests {
 
         let (mut wal, records) = Wal::open(&path).unwrap();
         assert_eq!(records, vec![b"committed one".to_vec(), b"committed two".to_vec()]);
+        assert_eq!(wal.last_lsn(), 2, "the torn record must not claim an LSN");
         // the torn frame is gone from disk; new appends land cleanly
-        wal.append(b"after recovery").unwrap();
+        assert_eq!(wal.append(b"after recovery").unwrap(), 3);
         drop(wal);
         let (_, records2) = Wal::open(&path).unwrap();
         assert_eq!(records2.len(), 3);
@@ -279,7 +620,7 @@ mod tests {
     fn corrupt_record_drops_suffix() {
         let path = tmp("corrupt");
         {
-            let mut wal = Wal::create(&path, 1).unwrap();
+            let mut wal = Wal::create(&path, 1, 0).unwrap();
             wal.append(b"good record").unwrap();
             wal.append(b"bad record!").unwrap();
             wal.append(b"unreachable").unwrap();
@@ -298,14 +639,15 @@ mod tests {
     fn create_replaces_existing_log() {
         let path = tmp("recreate");
         {
-            let mut wal = Wal::create(&path, 1).unwrap();
+            let mut wal = Wal::create(&path, 1, 0).unwrap();
             wal.append(b"old stuff").unwrap();
         }
-        let wal = Wal::create(&path, 2).unwrap();
+        let wal = Wal::create(&path, 2, 1).unwrap();
         assert!(wal.is_empty());
         drop(wal);
         let (wal, records) = Wal::open(&path).unwrap();
         assert_eq!(wal.generation(), 2);
+        assert_eq!(wal.base_lsn(), 1);
         assert!(records.is_empty());
         let _ = std::fs::remove_file(&path);
     }

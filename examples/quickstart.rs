@@ -2,8 +2,10 @@
 //!
 //! Builds the probabilistic world-set decomposition printed in the paper,
 //! inspects its worlds, runs the paper's query both through the algebra and
-//! through SQL, and checks the numbers the paper reports (P(world) = 0.42,
-//! P(ultrasound) = 0.4).
+//! through SQL, checks the numbers the paper reports (P(world) = 0.42,
+//! P(ultrasound) = 0.4), then walks the client API: prepared statements,
+//! transactions (group commit), and a durable database that survives its
+//! process (open → commit → reopen → recover).
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -94,4 +96,34 @@ fn main() {
     print!("\nprepared + transactional DML:\n{}", pretty::render(visits.table().expect("table"), 10));
     assert_eq!(visits.rows().len(), 2);
     println!("prepared INSERT bound 3×, transactional DELETE committed. ✓");
+
+    // 6. Durability: open a database file, commit a transaction, drop the
+    //    session ("crash"), reopen — recovery replays the log. Committed
+    //    transactions are the unit of durability: one commit group, one
+    //    fsync.
+    let path = std::env::temp_dir()
+        .join(format!("maybms-quickstart-{}.maybms", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(maybms_storage::wal_path_for(&path));
+    let _ = std::fs::remove_file(maybms_storage::delta_path_for(&path));
+    {
+        let mut durable = maybms_sql::Session::open(&path).expect("open database");
+        let mut txn = durable.transaction().expect("begin");
+        txn.execute("CREATE TABLE notes (id INT, body TEXT)").expect("create");
+        txn.execute("INSERT INTO notes VALUES (1, 'survives the process')").expect("insert");
+        txn.commit().expect("commit");
+        println!(
+            "\ndurable session: committed through WAL LSN {} (generation {})",
+            durable.last_lsn().expect("lsn"),
+            durable.storage_generation().expect("generation")
+        );
+        // dropped here without CHECKPOINT — recovery must replay the WAL
+    }
+    let mut recovered = maybms_sql::Session::open(&path).expect("recover database");
+    let notes = recovered.execute("SELECT POSSIBLE body FROM notes").expect("query");
+    assert_eq!(notes.rows().len(), 1);
+    println!("reopened: {:?} recovered from the write-ahead log. ✓", notes.rows()[0][0]);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(maybms_storage::wal_path_for(&path));
+    let _ = std::fs::remove_file(maybms_storage::delta_path_for(&path));
 }

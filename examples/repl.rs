@@ -3,11 +3,21 @@
 //!
 //! Run with `cargo run --example repl -- mydb.maybms` (the path defaults
 //! to `maybms.db` in the current directory). The file is opened or
-//! created; crash recovery — loading the last snapshot and replaying the
-//! write-ahead log — happens inside `Session::open`. Every mutating
-//! statement is committed to the WAL as you run it, `CHECKPOINT` compacts
-//! the log on demand, and quitting (`\q` or EOF) checkpoints once more so
-//! the next start loads a fresh snapshot instead of replaying the log.
+//! created; crash recovery — loading the last snapshot (base + any
+//! incremental overlay) and replaying the write-ahead log — happens
+//! inside `Session::open`. The unit of durability is the **transaction**:
+//! outside `BEGIN`/`COMMIT` every mutating statement autocommits (one WAL
+//! record, one fsync), inside a transaction the whole group commits under
+//! a single fsync. `CHECKPOINT` compacts the log on demand (incremental —
+//! changed pages only — when possible; `CHECKPOINT FULL` forces a fresh
+//! base snapshot), and quitting (`\q` or EOF) checkpoints once more so
+//! the next start loads a snapshot instead of replaying the log.
+//!
+//! On open the REPL prints the database's snapshot **generation** and
+//! last **WAL LSN** — the two coordinates replication speaks in (a
+//! follower at LSN x has applied exactly the first x committed records;
+//! see `examples/replica.rs` for shipping this database to read
+//! replicas).
 //!
 //! ```sql
 //! CREATE TABLE person (ssn INT, name TEXT);
@@ -18,7 +28,7 @@
 //! COMMIT;                                 -- one WAL record, one fsync
 //! REPAIR KEY person(ssn);
 //! SELECT POSSIBLE ssn, name, PROB() FROM person;
-//! CHECKPOINT;
+//! CHECKPOINT;      -- incremental when possible; CHECKPOINT FULL forces a base rewrite
 //! \w          -- print the current decomposition
 //! \q          -- checkpoint and quit
 //! ```
@@ -56,8 +66,10 @@ fn main() {
     };
     let stats = session.wsd().stats();
     println!(
-        "MayBMS-rs — database {path} (generation {}): {} relation(s), {} template tuple(s), {} worlds",
+        "MayBMS-rs — database {path} (generation {}, WAL LSN {}): \
+         {} relation(s), {} template tuple(s), {} worlds",
         session.storage_generation().unwrap_or(0),
+        session.last_lsn().unwrap_or(0),
         stats.relations,
         stats.template_tuples,
         session.wsd().world_count().summary()

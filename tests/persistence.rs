@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use maybms_core::exec::WorkerPool;
 use maybms_sql::{QueryResult, Session};
-use maybms_storage::{wal_path_for, WAL_HEADER_LEN};
+use maybms_storage::{delta_path_for, wal_path_for, WAL_HEADER_LEN};
 
 fn db_path(name: &str) -> PathBuf {
     let p = std::env::temp_dir()
@@ -20,6 +20,7 @@ fn db_path(name: &str) -> PathBuf {
 fn rm_db(p: &Path) {
     let _ = std::fs::remove_file(p);
     let _ = std::fs::remove_file(wal_path_for(p));
+    let _ = std::fs::remove_file(delta_path_for(p));
 }
 
 /// Canonical string form of a query result, for exact comparisons.
@@ -338,5 +339,146 @@ fn corrupt_snapshot_is_rejected() {
     std::fs::write(&path, &raw).unwrap();
     let err = Session::open(&path).unwrap_err();
     assert!(err.to_string().contains("storage error"), "{err}");
+    rm_db(&path);
+}
+
+/// Fills a durable session with enough data that the snapshot spans many
+/// pages, with the small mutable tables (SETUP) encoded *after* the bulk
+/// so point mutations only dirty trailing pages. (The page diff runs over
+/// the serialized stream, so a byte shift early in the stream cascades —
+/// mutations near the end are the incremental sweet spot.)
+fn bulk_then_setup(s: &mut Session) {
+    s.execute("CREATE TABLE bulk (id INT, tag TEXT)").unwrap();
+    let ins = s.prepare("INSERT INTO bulk VALUES (?, ?)").unwrap();
+    let mut txn = s.transaction().unwrap();
+    for i in 0..2000i64 {
+        txn.execute_prepared(
+            &ins,
+            &[maybms_relational::Value::Int(i), maybms_relational::Value::str(format!("tag-{i}"))],
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    s.execute_script(SETUP).unwrap();
+}
+
+/// An incremental checkpoint (page-diff overlay) recovers byte-identical
+/// state, leaves the base snapshot file untouched, and compacts the WAL
+/// exactly like a full one.
+#[test]
+fn incremental_checkpoint_recovers_byte_identical_state() {
+    let path = db_path("inc-ckpt");
+    let mut s = Session::open(&path).unwrap();
+    bulk_then_setup(&mut s);
+    let r = s.execute("CHECKPOINT").unwrap();
+    assert!(r.ack().contains("full"), "first checkpoint is full: {}", r.ack());
+    let base_bytes = std::fs::read(&path).unwrap();
+
+    // a point mutation, then an incremental checkpoint
+    s.execute("UPDATE person SET name = 'anna' WHERE ssn = 1").unwrap();
+    let r = s.execute("CHECKPOINT").unwrap();
+    assert!(r.ack().contains("incremental"), "{}", r.ack());
+    assert_eq!(s.wal_len(), Some(WAL_HEADER_LEN), "incremental checkpoint compacts the WAL");
+    assert_eq!(s.storage_generation(), Some(2));
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        base_bytes,
+        "an incremental checkpoint must not rewrite the base snapshot"
+    );
+    assert!(delta_path_for(&path).exists(), "the overlay file holds the diff");
+
+    // recovery: base + overlay is byte-identical to the live state
+    let expected = maybms_core::codec::encode_wsd(s.wsd());
+    let expected_rows: Vec<_> = PROBES.iter().map(|q| rows_of(&mut s, q)).collect();
+    drop(s);
+    let mut back = Session::open(&path).unwrap();
+    assert_eq!(maybms_core::codec::encode_wsd(back.wsd()), expected);
+    for (q, exp) in PROBES.iter().zip(&expected_rows) {
+        assert_eq!(&rows_of(&mut back, q), exp, "query {q} diverged after overlay recovery");
+    }
+
+    // CHECKPOINT FULL collapses the overlay into a fresh base
+    back.execute("INSERT INTO person VALUES (9, 'gus')").unwrap();
+    let r = back.execute("CHECKPOINT FULL").unwrap();
+    assert!(r.ack().contains("full"), "{}", r.ack());
+    assert!(!delta_path_for(&path).exists(), "FULL must remove the overlay");
+    assert_ne!(std::fs::read(&path).unwrap(), base_bytes, "FULL rewrites the base");
+    rm_db(&path);
+}
+
+/// Acceptance (satellite): a checkpoint with zero mutations since the
+/// last one is a pure no-op — no page rewrites, no generation bump, no
+/// file touched.
+#[test]
+fn checkpoint_after_zero_mutations_is_a_noop() {
+    let path = db_path("noop-ckpt");
+    let mut s = Session::open(&path).unwrap();
+    s.execute_script(SETUP).unwrap();
+    s.execute("CHECKPOINT").unwrap();
+    let generation = s.storage_generation();
+    let base_bytes = std::fs::read(&path).unwrap();
+    let had_overlay = delta_path_for(&path).exists();
+
+    let r = s.execute("CHECKPOINT").unwrap();
+    assert!(r.ack().contains("skipped"), "{}", r.ack());
+    assert_eq!(s.storage_generation(), generation, "generation must not advance");
+    assert_eq!(std::fs::read(&path).unwrap(), base_bytes, "no page was rewritten");
+    assert_eq!(delta_path_for(&path).exists(), had_overlay, "no overlay appeared");
+    assert_eq!(s.wal_len(), Some(WAL_HEADER_LEN));
+
+    // …and the database still recovers normally afterwards
+    s.execute("INSERT INTO person VALUES (9, 'gus')").unwrap();
+    drop(s);
+    let mut back = Session::open(&path).unwrap();
+    assert!(rows_of(&mut back, "SELECT POSSIBLE ssn, name, PROB() FROM person ORDER BY name, ssn")
+        .iter()
+        .any(|r| r[1].contains("gus")));
+    rm_db(&path);
+}
+
+/// Acceptance (satellite): a corrupt overlay page map fails recovery
+/// loudly instead of assembling a frankenstein snapshot.
+#[test]
+fn corrupt_overlay_page_map_fails_loudly() {
+    let path = db_path("bad-page-map");
+    {
+        let mut s = Session::open(&path).unwrap();
+        bulk_then_setup(&mut s);
+        s.execute("CHECKPOINT").unwrap();
+        s.execute("UPDATE person SET name = 'anna' WHERE ssn = 1").unwrap();
+        let r = s.execute("CHECKPOINT").unwrap();
+        assert!(r.ack().contains("incremental"), "{}", r.ack());
+    }
+    let inc = delta_path_for(&path);
+    let pristine = std::fs::read(&inc).unwrap();
+
+    // flip a byte inside the page map (just past the fixed preamble)
+    let mut bad = pristine.clone();
+    bad[maybms_storage::delta::DELTA_PREAMBLE_LEN] ^= 0x01;
+    std::fs::write(&inc, &bad).unwrap();
+    let err = Session::open(&path).unwrap_err();
+    assert!(
+        err.to_string().contains("checksum") || err.to_string().contains("page"),
+        "expected a loud page-map failure, got: {err}"
+    );
+
+    // flip a byte inside a stored page's payload: also loud
+    let mut bad_page = pristine.clone();
+    let npages = u32::from_le_bytes(pristine[52..56].try_into().unwrap()) as usize;
+    assert!(npages >= 1);
+    let first_page_payload = maybms_storage::delta::DELTA_PREAMBLE_LEN
+        + npages * 4
+        + 4
+        + maybms_storage::PAGE_HEADER_LEN;
+    bad_page[first_page_payload + 4] ^= 0x10;
+    std::fs::write(&inc, &bad_page).unwrap();
+    assert!(Session::open(&path).is_err());
+
+    // the pristine overlay still recovers
+    std::fs::write(&inc, &pristine).unwrap();
+    let mut s = Session::open(&path).unwrap();
+    assert!(rows_of(&mut s, "SELECT POSSIBLE ssn, name, PROB() FROM person ORDER BY name, ssn")
+        .iter()
+        .any(|r| r[1].contains("anna")));
     rm_db(&path);
 }

@@ -1,0 +1,365 @@
+//! Replication integration tests: a replica that has applied the
+//! primary's shipped log prefix up to LSN *x* must hold **byte-identical
+//! state** (under `maybms_core::codec`) to the primary's committed state
+//! at *x* — at every shipped-prefix boundary, across disconnects and
+//! reconnects at every LSN, across torn streams cut at every byte
+//! offset, and across checkpoint-forced snapshot transfers.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+use maybms_core::codec::encode_wsd;
+use maybms_sql::replication::{Primary, Replica};
+use maybms_sql::{Session, SessionError};
+use maybms_storage::wal::{Polled, WalCursor};
+use maybms_storage::ship::{send_msg, Msg};
+use maybms_storage::{delta_path_for, wal_path_for};
+
+fn db_path(name: &str) -> PathBuf {
+    let p = std::env::temp_dir()
+        .join(format!("maybms-repl-{}-{name}.maybms", std::process::id()));
+    rm_db(&p);
+    p
+}
+
+fn rm_db(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    let _ = std::fs::remove_file(wal_path_for(p));
+    let _ = std::fs::remove_file(delta_path_for(p));
+}
+
+/// A transactional workload touching every statement kind the WAL ships:
+/// DDL, or-set inserts, repairs, DML, committed and rolled-back
+/// transactions.
+const SCRIPT: &[&str] = &[
+    "CREATE TABLE person (ssn INT, name TEXT)",
+    "INSERT INTO person VALUES ({1: 0.5, 2: 0.5}, 'ann'), (2, 'bob'), ({3, 4}, 'cal')",
+    "CREATE TABLE cost (tname TEXT, usd INT)",
+    "INSERT INTO cost VALUES ('x', {10: 0.25, 20: 0.75}), ('y', 40)",
+    "REPAIR KEY person(ssn)",
+    "ALTER TABLE cost RENAME TO costs",
+    "BEGIN",
+    "DELETE FROM costs WHERE usd > 30",
+    "INSERT INTO costs VALUES ('z', {17: 0.5, 18: 0.5})",
+    "UPDATE costs SET tname = 'zz' WHERE usd = 17",
+    "COMMIT",
+    "UPDATE person SET name = 'anne' WHERE ssn = 1",
+    "BEGIN",
+    "DELETE FROM person",
+    "ROLLBACK",
+    "REPAIR CHECK costs: usd > 15",
+    "INSERT INTO person VALUES ({5: 0.1, 6: 0.9}, 'dee')",
+];
+
+/// Runs the script on a fresh durable primary, recording `(lsn, bytes)`
+/// at every shipped-prefix boundary (after each statement outside a
+/// transaction — exactly the states a replica can legally observe).
+fn run_script(path: &Path) -> (Session, Vec<(u64, Vec<u8>)>) {
+    let mut s = Session::open(path).unwrap();
+    let mut boundaries = vec![(0u64, encode_wsd(s.wsd()))];
+    for sql in SCRIPT {
+        s.execute(sql).unwrap();
+        if !s.in_transaction() {
+            let lsn = s.last_lsn().unwrap();
+            if boundaries.last().map(|(l, _)| *l) != Some(lsn) {
+                boundaries.push((lsn, encode_wsd(s.wsd())));
+            }
+        }
+    }
+    (s, boundaries)
+}
+
+/// Spawns a serve thread for one follower connection, returning the
+/// follower's end of the stream.
+fn serve_pair(primary: &Primary) -> UnixStream {
+    let (ours, theirs) = UnixStream::pair().unwrap();
+    let _handle = primary.spawn_serve(theirs);
+    ours
+}
+
+#[test]
+fn replica_is_byte_identical_at_every_boundary_with_reconnects() {
+    let path = db_path("boundaries");
+    let (primary_session, boundaries) = run_script(&path);
+    let final_lsn = primary_session.last_lsn().unwrap();
+    let final_bytes = encode_wsd(primary_session.wsd());
+    assert!(boundaries.len() > 10, "the script must produce many boundaries");
+    assert_eq!(boundaries.last().unwrap().0, final_lsn);
+    let primary = Primary::new(&path);
+
+    for (lsn, expected) in &boundaries {
+        // a fresh replica synced exactly to this boundary…
+        let mut replica = Replica::new();
+        let mut conn = replica.connect(serve_pair(&primary)).unwrap();
+        replica.sync_to(&mut conn, *lsn).unwrap();
+        assert_eq!(replica.applied_lsn(), *lsn, "sync_to must stop on a record boundary");
+        assert_eq!(
+            &encode_wsd(replica.session().wsd()),
+            expected,
+            "replica state at LSN {lsn} must be byte-identical to the primary's"
+        );
+        // …then the connection dies (kill at this LSN) and a reconnect
+        // resumes from applied_lsn without a snapshot transfer
+        drop(conn);
+        let mut conn2 = replica.connect(serve_pair(&primary)).unwrap();
+        replica.sync_to(&mut conn2, final_lsn).unwrap();
+        assert_eq!(
+            encode_wsd(replica.session().wsd()),
+            final_bytes,
+            "reconnect from LSN {lsn} must converge to the primary's final state"
+        );
+    }
+    primary.stop();
+    rm_db(&path);
+}
+
+/// The replica answers the same queries as the primary once synced.
+#[test]
+fn replica_answers_queries_like_the_primary() {
+    let path = db_path("queries");
+    let (mut primary_session, _) = run_script(&path);
+    let primary = Primary::new(&path);
+    let mut replica = Replica::new();
+    let mut conn = replica.connect(serve_pair(&primary)).unwrap();
+    replica.sync_to(&mut conn, primary_session.last_lsn().unwrap()).unwrap();
+
+    for sql in [
+        "SELECT POSSIBLE ssn, name, PROB() FROM person ORDER BY name, ssn",
+        "SELECT POSSIBLE tname, usd, PROB() FROM costs ORDER BY tname, usd",
+        "SELECT EXPECTED SUM(usd) FROM costs",
+        "SELECT PROB() FROM person WHERE ssn = 1",
+    ] {
+        let want: Vec<String> = primary_session
+            .execute(sql)
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let got: Vec<String> =
+            replica.query(sql).unwrap().rows().iter().map(|r| format!("{r:?}")).collect();
+        assert_eq!(got, want, "query {sql} diverged on the replica");
+    }
+    primary.stop();
+    rm_db(&path);
+}
+
+/// A stream of frames cut at *every* byte offset: the replica applies
+/// exactly the complete prefix, refuses the torn frame loudly, and a
+/// reconnect to the live primary converges to the final state.
+#[test]
+fn torn_stream_sweep_recovers_at_every_offset() {
+    let path = db_path("torn-stream");
+    let (primary_session, boundaries) = run_script(&path);
+    let final_lsn = primary_session.last_lsn().unwrap();
+    let final_bytes = encode_wsd(primary_session.wsd());
+
+    // Render the full catch-up stream (every WAL record as one framed
+    // Record message), remembering each frame's end offset and LSN.
+    let mut cursor = WalCursor::open(&wal_path_for(&path), 0).unwrap();
+    let Polled::Records(records) = cursor.poll().unwrap() else { panic!("fresh log") };
+    assert_eq!(records.last().unwrap().0, final_lsn);
+    let mut stream = Vec::new();
+    let mut frame_ends = vec![(0usize, 0u64)]; // (offset, lsn applied through)
+    for (lsn, payload) in &records {
+        send_msg(&mut stream, &Msg::Record { lsn: *lsn, payload: payload.clone() }).unwrap();
+        frame_ends.push((stream.len(), *lsn));
+    }
+    let lsn_at = |cut: usize| frame_ends.iter().rev().find(|(o, _)| *o <= cut).unwrap().1;
+    let state_at = |lsn: u64| {
+        boundaries
+            .iter()
+            .rev()
+            .find(|(l, _)| *l <= lsn)
+            .map(|(_, b)| b.clone())
+            .unwrap()
+    };
+
+    let primary = Primary::new(&path);
+    for cut in 0..stream.len() {
+        let mut replica = Replica::new();
+        {
+            let mut conn = replica
+                .connect(TornStream { input: stream[..cut].to_vec(), pos: 0 })
+                .unwrap();
+            // apply until the torn tail surfaces as an error
+            let err = loop {
+                match conn.recv() {
+                    Ok(msg) => {
+                        replica.apply_msg(msg).unwrap();
+                    }
+                    Err(e) => break e,
+                }
+            };
+            assert!(
+                err.to_string().contains("receive message")
+                    || err.to_string().contains("checksum"),
+                "cut {cut}: unexpected error {err}"
+            );
+        }
+        let applied = replica.applied_lsn();
+        assert_eq!(applied, lsn_at(cut), "cut {cut}: exactly the complete frames apply");
+        assert_eq!(
+            encode_wsd(replica.session().wsd()),
+            state_at(applied),
+            "cut {cut}: the applied prefix must be a legal boundary state"
+        );
+        // reconnect to the live primary: converges to the final state
+        let mut conn = replica.connect(serve_pair(&primary)).unwrap();
+        replica.sync_to(&mut conn, final_lsn).unwrap();
+        assert_eq!(
+            encode_wsd(replica.session().wsd()),
+            final_bytes,
+            "cut {cut}: reconnect must converge"
+        );
+    }
+    primary.stop();
+    rm_db(&path);
+}
+
+/// A follower positioned before the last checkpoint cannot be served from
+/// the log (those records were compacted away): it must receive a full
+/// snapshot transfer, and still end byte-identical.
+#[test]
+fn follower_behind_checkpoint_gets_snapshot_transfer() {
+    let path = db_path("snap-transfer");
+    let (mut primary_session, _) = run_script(&path);
+
+    // a replica synced to the pre-checkpoint state…
+    let primary = Primary::new(&path);
+    let mut early = Replica::new();
+    let mut early_conn = early.connect(serve_pair(&primary)).unwrap();
+    early.sync_to(&mut early_conn, primary_session.last_lsn().unwrap()).unwrap();
+    drop(early_conn);
+    let early_lsn = early.applied_lsn();
+
+    // …misses a few commits and a checkpoint (which compacts the log)
+    primary_session.execute("INSERT INTO person VALUES (7, 'eve')").unwrap();
+    primary_session.execute("DELETE FROM costs WHERE usd = 40").unwrap();
+    let r = primary_session.execute("CHECKPOINT").unwrap();
+    assert!(r.ack().contains("checkpointed"), "{}", r.ack());
+    primary_session.execute("INSERT INTO person VALUES (8, 'fay')").unwrap();
+    let final_lsn = primary_session.last_lsn().unwrap();
+    let final_bytes = encode_wsd(primary_session.wsd());
+
+    // a fresh follower (LSN 0) is *behind the checkpoint*: snapshot path
+    let mut fresh = Replica::new();
+    let mut conn = fresh.connect(serve_pair(&primary)).unwrap();
+    fresh.sync_to(&mut conn, final_lsn).unwrap();
+    assert!(
+        fresh.generation() >= 1,
+        "a fresh follower must have received a snapshot transfer (generation {})",
+        fresh.generation()
+    );
+    assert_eq!(encode_wsd(fresh.session().wsd()), final_bytes);
+
+    // the early replica reconnects: its LSN predates the log too
+    assert!(early_lsn < final_lsn);
+    let mut conn = early.connect(serve_pair(&primary)).unwrap();
+    early.sync_to(&mut conn, final_lsn).unwrap();
+    assert_eq!(encode_wsd(early.session().wsd()), final_bytes);
+    primary.stop();
+    rm_db(&path);
+}
+
+/// Replicas are read-only: every mutation, transaction-control statement
+/// and CHECKPOINT is refused with the structured error.
+#[test]
+fn replica_refuses_mutations() {
+    let path = db_path("readonly");
+    let (primary_session, _) = run_script(&path);
+    let primary = Primary::new(&path);
+    let mut replica = Replica::new();
+    let mut conn = replica.connect(serve_pair(&primary)).unwrap();
+    replica.sync_to(&mut conn, primary_session.last_lsn().unwrap()).unwrap();
+
+    for sql in [
+        "INSERT INTO person VALUES (9, 'mal')",
+        "DELETE FROM person",
+        "UPDATE person SET name = 'x'",
+        "CREATE TABLE t (x INT)",
+        "DROP TABLE person",
+        "REPAIR KEY person(ssn)",
+        "BEGIN",
+        "COMMIT",
+        "CHECKPOINT",
+    ] {
+        let err = replica.query(sql).unwrap_err();
+        assert!(
+            matches!(err, SessionError::ReadOnlyReplica { .. }),
+            "{sql}: expected ReadOnlyReplica, got {err:?}"
+        );
+        assert!(err.to_string().contains("read-only replica"), "{err}");
+    }
+    // the refusals changed nothing: queries still answer
+    assert!(!replica.query("SELECT POSSIBLE ssn FROM person").unwrap().rows().is_empty());
+    primary.stop();
+    rm_db(&path);
+}
+
+/// End to end over TCP: N followers stream from one primary, and keep
+/// answering queries after the primary goes away (failover reads).
+#[test]
+fn tcp_replication_with_failover_reads() {
+    let path = db_path("tcp");
+    let (mut primary_session, _) = run_script(&path);
+    let primary = Primary::new(&path);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accept_loop = primary.listen(listener).unwrap();
+
+    let mut replicas = Vec::new();
+    for _ in 0..3 {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let replica = Replica::new();
+        let conn = replica.connect(stream).unwrap();
+        replicas.push((replica, conn));
+    }
+    primary_session.execute("INSERT INTO person VALUES (7, 'eve')").unwrap();
+    let final_lsn = primary_session.last_lsn().unwrap();
+    let final_bytes = encode_wsd(primary_session.wsd());
+    for (replica, conn) in &mut replicas {
+        replica.sync_to(conn, final_lsn).unwrap();
+        assert_eq!(encode_wsd(replica.session().wsd()), final_bytes);
+    }
+
+    // the primary dies; every follower still serves reads
+    primary.stop();
+    accept_loop.join().unwrap();
+    drop(primary_session);
+    for (replica, _) in &mut replicas {
+        let r = replica.query("SELECT POSSIBLE ssn, name FROM person ORDER BY ssn").unwrap();
+        assert!(!r.rows().is_empty(), "failover read must answer");
+    }
+    rm_db(&path);
+}
+
+/// A one-directional in-memory stream: reads from a fixed (possibly
+/// truncated) byte buffer, swallows writes — the replica side of a
+/// recorded primary stream.
+struct TornStream {
+    input: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for TornStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.input.len() - self.pos);
+        if n == 0 {
+            return Ok(0); // EOF: read_exact turns this into an error
+        }
+        buf[..n].copy_from_slice(&self.input[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for TornStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
