@@ -40,5 +40,5 @@ pub mod wire;
 
 pub use ast::Statement;
 pub use parser::{parse, parse_counting_params, parse_script};
-pub use replication::{Primary, Replica};
+pub use replication::{Backoff, Primary, Replica};
 pub use session::{Prepared, QueryResult, Session, SessionError, SessionResult, Transaction};

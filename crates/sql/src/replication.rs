@@ -32,6 +32,12 @@
 //! applied LSN and the primary resumes from there. Applying is
 //! idempotent-by-LSN, so overlap across reconnects is harmless; a **gap**
 //! (a record skipping past `applied_lsn + 1`) is refused loudly.
+//! [`follow_with_retry`] packages the reconnect loop: capped exponential
+//! [`Backoff`] with jitter between attempts, resumption by LSN, and a
+//! stop flag. On the other side, the primary heartbeats while idle
+//! (time-based, see [`Primary::with_heartbeat_interval`]) so a follower
+//! can bound how stale it might be ([`Replica::is_stale`]) and tails the
+//! log with exponential-backoff polling instead of a fixed busy loop.
 //!
 //! # Read-only replicas
 //!
@@ -67,20 +73,17 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use maybms_core::codec::{decode_wsd, encode_wsd};
 use maybms_core::wsd::Wsd;
 use maybms_relational::{Error, Result};
 use maybms_storage::ship::{recv_msg, send_msg, Msg};
 use maybms_storage::wal::{self, Polled, WalCursor};
-use maybms_storage::{read_snapshot_state, wal_path_for};
+use maybms_storage::{read_snapshot_state_with_vfs, std_vfs, wal_path_for, Vfs};
 
 use crate::session::{QueryResult, Session, SessionError, SessionResult};
 use crate::wire;
-
-/// How many idle polls pass between heartbeats.
-const HEARTBEAT_EVERY: u32 = 64;
 
 /// The serving side of replication: watches a database's files (snapshot
 /// pair + WAL) and streams committed records to connected followers.
@@ -89,11 +92,23 @@ const HEARTBEAT_EVERY: u32 = 64;
 /// does. It opens its own read-only handles on the files, so it can run
 /// from any thread next to the session that is executing statements; it
 /// only ever observes fully framed, fsynced records.
+///
+/// An idle serve loop polls the log with **exponential backoff**: each
+/// empty poll doubles the sleep from [`Primary::with_poll_interval`]'s
+/// base up to [`Primary::with_max_poll_interval`]'s cap, and any shipped
+/// record (or log swap) resets it — a hot primary is tailed tightly, a
+/// quiet one costs almost nothing. Heartbeats are **time-based**: while
+/// idle, one is sent whenever [`Primary::with_heartbeat_interval`] has
+/// elapsed since the last outbound message, so followers can bound
+/// staleness (see [`Replica::is_stale`]) regardless of poll cadence.
 #[derive(Debug, Clone)]
 pub struct Primary {
     path: PathBuf,
     shutdown: Arc<AtomicBool>,
     poll_interval: Duration,
+    max_poll_interval: Duration,
+    heartbeat_interval: Duration,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl Primary {
@@ -105,13 +120,41 @@ impl Primary {
             path: path.as_ref().to_path_buf(),
             shutdown: Arc::new(AtomicBool::new(false)),
             poll_interval: Duration::from_millis(1),
+            max_poll_interval: Duration::from_millis(16),
+            heartbeat_interval: Duration::from_millis(25),
+            vfs: std_vfs(),
         }
     }
 
-    /// Overrides how often idle serve loops re-poll the log (default
-    /// 1 ms).
+    /// Overrides the *base* interval idle serve loops re-poll the log at
+    /// (default 1 ms); consecutive empty polls back off exponentially
+    /// from here.
     pub fn with_poll_interval(mut self, interval: Duration) -> Primary {
         self.poll_interval = interval;
+        self
+    }
+
+    /// Overrides the backoff *cap* on the idle re-poll interval (default
+    /// 16 ms). A quiet log is re-polled this often at most.
+    pub fn with_max_poll_interval(mut self, interval: Duration) -> Primary {
+        self.max_poll_interval = interval;
+        self
+    }
+
+    /// Overrides how much idle time passes between heartbeats (default
+    /// 25 ms). Followers use heartbeats to bound their staleness
+    /// estimate, so this should be well under the follower's
+    /// [`Replica::is_stale`] timeout.
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Primary {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Routes the primary's file reads through an explicit [`Vfs`] —
+    /// fault-injection tests serve from a
+    /// [`maybms_storage::FaultVfs`]-backed database.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Primary {
+        self.vfs = vfs;
         self
     }
 
@@ -139,25 +182,28 @@ impl Primary {
         };
         let mut follower_lsn = last_lsn;
         let wal_path = wal_path_for(&self.path);
+        let mut last_sent = Instant::now();
         'catchup: loop {
             if self.is_stopped() {
                 return Ok(());
             }
             // Where does the follower stand relative to the current log?
-            let head = wal::head(&wal_path)?;
+            let head = wal::head_with_vfs(&*self.vfs, &wal_path)?;
             if follower_lsn < head.base_lsn || follower_lsn > head.last_lsn {
                 // Behind the last checkpoint (its records were compacted
                 // into the snapshot) or from a foreign timeline: full
                 // state transfer, then stream from the snapshot's LSN.
                 let (generation, snap_lsn, payload) = self.consistent_snapshot()?;
                 send_msg(&mut stream, &Msg::Snapshot { generation, last_lsn: snap_lsn, payload })?;
+                last_sent = Instant::now();
                 follower_lsn = snap_lsn;
             }
-            let mut cursor = match WalCursor::open(&wal_path, follower_lsn) {
+            let mut cursor = match WalCursor::open_with_vfs(Arc::clone(&self.vfs), &wal_path, follower_lsn)
+            {
                 Ok(c) => c,
                 Err(_) => continue 'catchup, // swapped mid-decision; retry
             };
-            let mut idle = 0u32;
+            let mut idle_sleep = self.poll_interval;
             loop {
                 if self.is_stopped() {
                     return Ok(());
@@ -170,8 +216,7 @@ impl Primary {
                         continue 'catchup;
                     }
                     Polled::Records(recs) if recs.is_empty() => {
-                        idle += 1;
-                        if idle.is_multiple_of(HEARTBEAT_EVERY) {
+                        if last_sent.elapsed() >= self.heartbeat_interval {
                             // the empty poll just proved the cursor is at
                             // the log's end — no file scan needed
                             send_msg(
@@ -181,13 +226,17 @@ impl Primary {
                                     last_lsn: cursor.lsn(),
                                 },
                             )?;
+                            last_sent = Instant::now();
                         }
-                        std::thread::sleep(self.poll_interval);
+                        std::thread::sleep(idle_sleep);
+                        // exponential backoff while the log stays quiet
+                        idle_sleep = (idle_sleep * 2).min(self.max_poll_interval);
                     }
                     Polled::Records(recs) => {
-                        idle = 0;
+                        idle_sleep = self.poll_interval;
                         for (lsn, payload) in recs {
                             send_msg(&mut stream, &Msg::Record { lsn, payload })?;
+                            last_sent = Instant::now();
                             follower_lsn = lsn;
                         }
                     }
@@ -202,8 +251,8 @@ impl Primary {
     /// swapped the log.
     fn consistent_snapshot(&self) -> Result<(u64, u64, Vec<u8>)> {
         for _ in 0..500 {
-            let head = wal::head(&wal_path_for(&self.path))?;
-            match read_snapshot_state(&self.path)? {
+            let head = wal::head_with_vfs(&*self.vfs, &wal_path_for(&self.path))?;
+            match read_snapshot_state_with_vfs(&*self.vfs, &self.path)? {
                 Some((generation, lsn, payload))
                     if generation == head.generation && lsn == head.base_lsn =>
                 {
@@ -293,6 +342,9 @@ pub struct Replica {
     applied_lsn: u64,
     /// The primary's last known durable LSN (from records/heartbeats).
     primary_lsn: u64,
+    /// When the primary was last heard from (any message — records and
+    /// heartbeats alike prove liveness).
+    last_contact: Instant,
 }
 
 impl Default for Replica {
@@ -307,7 +359,13 @@ impl Replica {
     pub fn new() -> Replica {
         let mut session = Session::new();
         session.set_read_only(true);
-        Replica { session, generation: 0, applied_lsn: 0, primary_lsn: 0 }
+        Replica {
+            session,
+            generation: 0,
+            applied_lsn: 0,
+            primary_lsn: 0,
+            last_contact: Instant::now(),
+        }
     }
 
     /// The read-only session — run SELECTs against it directly.
@@ -338,6 +396,24 @@ impl Replica {
         self.primary_lsn
     }
 
+    /// How long since the primary was last heard from (any message —
+    /// heartbeats keep an idle connection fresh). Counted from the
+    /// replica's construction until the first message arrives.
+    pub fn since_last_contact(&self) -> Duration {
+        self.last_contact.elapsed()
+    }
+
+    /// Whether the primary has been silent longer than `timeout`. The
+    /// primary heartbeats while idle (see
+    /// [`Primary::with_heartbeat_interval`], default 25 ms), so with a
+    /// timeout comfortably above that interval a stale replica means a
+    /// dead primary, a cut connection, or a stalled serve loop — callers
+    /// should stop trusting their reads' freshness and reconnect (e.g.
+    /// via [`follow_with_retry`]).
+    pub fn is_stale(&self, timeout: Duration) -> bool {
+        self.last_contact.elapsed() > timeout
+    }
+
     /// Opens the conversation on `stream`: sends `Hello` naming this
     /// replica's position. Reconnecting after a dropped or torn stream is
     /// exactly this call again — the primary resumes from `applied_lsn`.
@@ -354,6 +430,7 @@ impl Replica {
     /// LSNs is a protocol violation and is refused. Returns `true` when
     /// the replica's state advanced.
     pub fn apply_msg(&mut self, msg: Msg) -> SessionResult<bool> {
+        self.last_contact = Instant::now();
         match msg {
             Msg::Snapshot { generation, last_lsn, payload } => {
                 let wsd = decode_wsd(&payload).map_err(SessionError::storage)?;
@@ -417,7 +494,8 @@ impl Replica {
 /// Drives a shared replica from its own thread: connects, then applies
 /// every incoming message until the stream drops (the returned error is
 /// the disconnect reason). The mutex is held only while applying, so
-/// queries interleave freely.
+/// queries interleave freely. For a follower that should survive primary
+/// restarts and cut connections, use [`follow_with_retry`].
 pub fn follow<S: Read + Write>(replica: &Mutex<Replica>, stream: S) -> SessionResult<()> {
     let mut conn = {
         let r = replica.lock().expect("replica lock");
@@ -427,4 +505,137 @@ pub fn follow<S: Read + Write>(replica: &Mutex<Replica>, stream: S) -> SessionRe
         let msg = conn.recv().map_err(SessionError::storage)?;
         replica.lock().expect("replica lock").apply_msg(msg)?;
     }
+}
+
+/// Capped exponential backoff with jitter, for follower reconnects.
+///
+/// Delay *n* is drawn uniformly from the upper half of
+/// `min(base · 2ⁿ, cap)` ("equal jitter": half the ceiling is
+/// guaranteed, the rest is random so a fleet of followers that lost the
+/// same primary does not reconnect in lockstep). [`Backoff::reset`]
+/// returns to the base delay once a connection proves healthy.
+///
+/// The jitter source is a tiny self-contained xorshift64 — deterministic
+/// per seed ([`Backoff::with_seed`]), no dependency, not used for
+/// anything security-relevant.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and capped at `cap` per delay.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        // a fixed golden-ratio seed: callers that care use `with_seed`
+        Backoff::with_seed(base, cap, 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// As [`Backoff::new`] with an explicit jitter seed (tests pin the
+    /// delay sequence; distinct followers should use distinct seeds).
+    pub fn with_seed(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff { base, cap, attempt: 0, rng: seed.max(1) }
+    }
+
+    /// The next delay to sleep before re-trying, advancing the attempt
+    /// counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let base = self.base.as_nanos().max(1) as u64;
+        let cap = self.cap.as_nanos().max(1) as u64;
+        let ceil = base
+            .checked_shl(self.attempt.min(32))
+            .unwrap_or(u64::MAX)
+            .clamp(1, cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = ceil / 2;
+        Duration::from_nanos(half + self.next_rand() % (ceil - half).max(1))
+    }
+
+    /// Returns to the base delay (call once a connection proves healthy).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// How many delays have been handed out since the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+/// Sleeps `total` in short slices so `stop` is observed promptly.
+fn sleep_interruptibly(total: Duration, stop: &AtomicBool) {
+    let slice = Duration::from_millis(10);
+    let mut left = total;
+    while left > Duration::ZERO && !stop.load(Ordering::Relaxed) {
+        let s = left.min(slice);
+        std::thread::sleep(s);
+        left = left.saturating_sub(s);
+    }
+}
+
+/// [`follow`] that survives a flapping primary: when the connection
+/// drops (or cannot be established), it sleeps per `backoff` and calls
+/// `connect` again — resuming **idempotently by LSN**, since every
+/// reconnect is a fresh `Hello` naming `applied_lsn` and
+/// [`Replica::apply_msg`] skips anything already applied. The backoff
+/// resets whenever a message arrives, so an actually-healthy connection
+/// always restarts the schedule from its base delay.
+///
+/// Returns `Ok(())` once `stop` is raised (checked between messages,
+/// during backoff sleeps, and before each reconnect — a stopped follower
+/// parked on a silent connection notices at the next heartbeat). A
+/// protocol violation from the primary (e.g. a gap in the shipped log)
+/// is returned as the hard error it is; connection-level failures are
+/// what the retry loop absorbs.
+pub fn follow_with_retry<S, F>(
+    replica: &Mutex<Replica>,
+    mut connect: F,
+    backoff: &mut Backoff,
+    stop: &AtomicBool,
+) -> SessionResult<()>
+where
+    S: Read + Write,
+    F: FnMut() -> std::io::Result<S>,
+{
+    while !stop.load(Ordering::Relaxed) {
+        let conn = connect().and_then(|stream| {
+            replica
+                .lock()
+                .expect("replica lock")
+                .connect(stream)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        });
+        let mut conn = match conn {
+            Ok(c) => c,
+            Err(_) => {
+                sleep_interruptibly(backoff.next_delay(), stop);
+                continue;
+            }
+        };
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            match conn.recv() {
+                Ok(msg) => {
+                    replica.lock().expect("replica lock").apply_msg(msg)?;
+                    backoff.reset();
+                }
+                Err(_) => break, // torn or dropped stream: reconnect
+            }
+        }
+        sleep_interruptibly(backoff.next_delay(), stop);
+    }
+    Ok(())
 }

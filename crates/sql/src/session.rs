@@ -80,7 +80,7 @@ use maybms_core::wsd::Wsd;
 use maybms_relational::{
     Column, ColumnType, Error, Relation, Result, Schema, Tuple, Value,
 };
-use maybms_storage::{CheckpointKind, Database};
+use maybms_storage::{CheckpointKind, Database, Recovered, Vfs, DEFAULT_PAGE_SIZE};
 use maybms_worldset::OrSetCell;
 
 use crate::ast::{InsertValue, RepairStmt, SelectStmt, Statement, WorldMode};
@@ -118,6 +118,15 @@ pub enum SessionError {
         /// The underlying storage error.
         source: Error,
     },
+    /// The session is **degraded to read-only**: a checkpoint failed
+    /// before publishing anything (typically `ENOSPC` while writing the
+    /// temp snapshot), so the on-disk state is intact but stale. Queries
+    /// still work; mutations are refused until a `CHECKPOINT` succeeds
+    /// (after freeing space) or the database is reopened.
+    Degraded {
+        /// Why the session degraded (the failed checkpoint's error).
+        reason: String,
+    },
     /// Transaction-control misuse: nested `BEGIN`, `COMMIT`/`ROLLBACK`
     /// without a transaction, `CHECKPOINT` or `attach` inside one.
     Transaction {
@@ -154,7 +163,9 @@ impl SessionError {
             | SessionError::Plan { source }
             | SessionError::Execute { source }
             | SessionError::Storage { source } => Some(source),
-            SessionError::Transaction { .. } | SessionError::ReadOnlyReplica { .. } => None,
+            SessionError::Degraded { .. }
+            | SessionError::Transaction { .. }
+            | SessionError::ReadOnlyReplica { .. } => None,
         }
     }
 }
@@ -170,6 +181,11 @@ impl fmt::Display for SessionError {
             // (and long-standing tests) can grep for the engine's wording
             SessionError::Execute { source } => write!(f, "{source}"),
             SessionError::Storage { source } => write!(f, "{source}"),
+            SessionError::Degraded { reason } => write!(
+                f,
+                "session degraded to read-only: {reason} (free space and retry \
+                 CHECKPOINT, or reopen the database)"
+            ),
             SessionError::Transaction { context } => write!(f, "transaction error: {context}"),
             SessionError::ReadOnlyReplica { statement } => write!(
                 f,
@@ -363,6 +379,12 @@ pub struct Session {
     /// (`run`), while the replication layer applies shipped records
     /// through the internal path.
     read_only: bool,
+    /// Set when a checkpoint failed before publishing anything (e.g.
+    /// `ENOSPC` writing the temp snapshot): the session refuses further
+    /// mutations with [`SessionError::Degraded`] until a `CHECKPOINT`
+    /// succeeds, which clears it. Unlike storage poisoning this is
+    /// recoverable in place — nothing on disk was damaged.
+    degraded: Option<String>,
 }
 
 impl Default for Session {
@@ -390,6 +412,7 @@ impl Clone for Session {
             storage: None,
             txn: self.txn.clone(),
             read_only: self.read_only,
+            degraded: None,
         }
     }
 }
@@ -407,6 +430,7 @@ impl Session {
             storage: None,
             txn: None,
             read_only: false,
+            degraded: None,
         }
     }
 
@@ -438,6 +462,22 @@ impl Session {
     /// ```
     pub fn open(path: impl AsRef<Path>) -> SessionResult<Session> {
         let recovered = Database::open(path).map_err(SessionError::storage)?;
+        Session::from_recovered(recovered)
+    }
+
+    /// As [`Session::open`], with all file I/O routed through an explicit
+    /// [`Vfs`] — the entry point fault-injection tests use to open a
+    /// session over a [`maybms_storage::FaultVfs`].
+    pub fn open_with_vfs(path: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> SessionResult<Session> {
+        let recovered = Database::open_with_vfs(path, DEFAULT_PAGE_SIZE, vfs)
+            .map_err(SessionError::storage)?;
+        Session::from_recovered(recovered)
+    }
+
+    /// Recovery tail shared by [`Session::open`] and
+    /// [`Session::open_with_vfs`]: decode the snapshot, replay the WAL's
+    /// committed prefix, attach the database handle.
+    fn from_recovered(recovered: Recovered) -> SessionResult<Session> {
         let wsd = match &recovered.snapshot {
             Some(payload) => decode_wsd(payload).map_err(SessionError::storage)?,
             None => Wsd::new(),
@@ -518,6 +558,31 @@ impl Session {
         self.read_only = read_only;
     }
 
+    /// Whether the backing store is **poisoned**: an append or checkpoint
+    /// publish step failed after the point of no return, so durability of
+    /// in-memory state is unknown. Mutations are refused; reopen the path
+    /// to recover the last durable state. `false` when not attached.
+    pub fn is_poisoned(&self) -> bool {
+        self.storage.as_ref().is_some_and(Database::is_poisoned)
+    }
+
+    /// Why the backing store is poisoned, if it is.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.storage.as_ref().and_then(Database::poison_reason)
+    }
+
+    /// Whether the session is **degraded to read-only** after a checkpoint
+    /// failed before publishing anything (see [`SessionError::Degraded`]).
+    /// A successful `CHECKPOINT` clears it in place.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Why the session is degraded, if it is.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
     /// The snapshot generation of the backing store, if attached.
     pub fn storage_generation(&self) -> Option<u64> {
         self.storage.as_ref().map(Database::generation)
@@ -586,13 +651,56 @@ impl Session {
         self.run(&stmt.stmt)
     }
 
-    /// Executes a `;`-separated script, returning the last result.
+    /// Executes a `;`-separated script, returning the last statement's
+    /// result.
+    ///
+    /// A multi-statement script containing mutations runs as an
+    /// **implicit transaction**: if any statement fails, everything the
+    /// script already applied is rolled back — a script is all-or-nothing,
+    /// in memory and (on a durable session) on disk, where it commits as
+    /// one group under one fsync. Scripts that manage transactions
+    /// themselves (`BEGIN`/`COMMIT`/`ROLLBACK`/`CHECKPOINT` statements),
+    /// single-statement scripts, pure-query scripts, and scripts run
+    /// inside an already-open transaction execute statement-by-statement
+    /// exactly as before.
     pub fn execute_script(&mut self, sql: &str) -> SessionResult<QueryResult> {
         let stmts = parse_script(sql)
             .map_err(|source| SessionError::Parse { sql: sql.to_string(), source })?;
+        let implicit_txn = !self.in_transaction()
+            && !self.read_only
+            && stmts.len() >= 2
+            && stmts.iter().any(wire::is_mutation)
+            && !stmts.iter().any(|s| {
+                matches!(
+                    s,
+                    Statement::Begin
+                        | Statement::Commit
+                        | Statement::Rollback
+                        | Statement::Checkpoint { .. }
+                )
+            });
+        if implicit_txn {
+            self.run(&Statement::Begin)?;
+        }
         let mut last = QueryResult::Text("OK".into());
         for s in &stmts {
-            last = self.run(s)?;
+            match self.run(s) {
+                Ok(r) => last = r,
+                Err(e) => {
+                    if implicit_txn {
+                        // Roll the whole script back; the original error is
+                        // what the caller needs (a rollback failure would
+                        // only mean the transaction is already gone).
+                        let _ = self.run(&Statement::Rollback);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if implicit_txn {
+            // Commit the group; the script's observable result stays the
+            // last statement's, not the COMMIT acknowledgement.
+            self.run(&Statement::Commit)?;
         }
         Ok(last)
     }
@@ -686,6 +794,23 @@ impl Session {
                 return Err(SessionError::ReadOnlyReplica { statement });
             }
         }
+        // Fail fast on a poisoned store or a degraded session — *before*
+        // the mutation touches memory, so the in-memory state never
+        // diverges further from what disk can hold. `COMMIT`/`ROLLBACK`
+        // pass (an open transaction must be resolvable) and so does
+        // `CHECKPOINT` (the retry path that clears degradation; a
+        // poisoned store refuses it itself).
+        if wire::is_mutation(stmt) || matches!(stmt, Statement::Begin) {
+            if let Some(reason) = self.storage.as_ref().and_then(Database::poison_reason) {
+                return Err(SessionError::storage(Error::Storage(format!(
+                    "database is poisoned ({reason}); writes are refused until \
+                     the database is reopened"
+                ))));
+            }
+            if let Some(reason) = &self.degraded {
+                return Err(SessionError::Degraded { reason: reason.clone() });
+            }
+        }
         match stmt {
             Statement::Begin => return self.begin_txn(),
             Statement::Commit => return self.commit_txn(),
@@ -711,18 +836,19 @@ impl Session {
                         txn.buffered.push(record);
                     } else if let Some(db) = &mut self.storage {
                         if let Err(e) = db.append(&record) {
-                            // Memory has the mutation but the log does not.
-                            // Keeping the file attached would log *later*
-                            // statements against a state the disk never saw —
-                            // permanent divergence and an unreplayable WAL.
-                            // Detach instead: durability is lost loudly, the
-                            // on-disk prefix stays consistent, and reopening
-                            // the path recovers it.
-                            self.storage = None;
+                            // Memory has the mutation but the log may not
+                            // (after a failed fsync nobody knows — see
+                            // `Database::append`). The append already
+                            // poisoned the handle, so *later* mutations are
+                            // refused at the top of `run` and the on-disk
+                            // prefix can never diverge further. The store
+                            // stays attached so callers can inspect
+                            // `poison_reason`; reopening the path recovers
+                            // the last durable state.
                             return Err(SessionError::storage(Error::Storage(format!(
-                                "statement applied in memory but could not be committed to \
-                                 the write-ahead log; database file detached (reopen to \
-                                 recover the last durable state): {e}"
+                                "statement applied in memory but is NOT durable (WAL \
+                                 append failed and poisoned the database; writes are \
+                                 refused until it is reopened): {e}"
                             ))));
                         }
                     }
@@ -764,14 +890,19 @@ impl Session {
             if !txn.buffered.is_empty() {
                 let group = wire::encode_commit_group(&txn.buffered);
                 if let Err(e) = db.append(&group) {
-                    // Same divergence hazard as the autocommit path: memory
-                    // holds the whole transaction, the log none of it.
-                    self.storage = None;
+                    // Unlike autocommit, the pre-`BEGIN` snapshot is still
+                    // at hand — so the failed commit rolls back *cleanly*:
+                    // memory returns to the exact state the disk holds, no
+                    // divergence at all. The append poisoned the handle
+                    // (durability of the group is unknown), so further
+                    // writes are refused until reopen, but every query
+                    // against this session remains truthful.
+                    self.wsd = *txn.saved;
+                    self.cleaning_log.truncate(txn.saved_cleaning);
                     return Err(SessionError::storage(Error::Storage(format!(
-                        "transaction applied in memory but its commit group could not be \
-                         appended to the write-ahead log; database file detached (reopen \
-                         to recover the last durable state — this transaction rolls \
-                         back on disk): {e}"
+                        "COMMIT failed; the transaction rolled back in memory and the \
+                         database is poisoned (writes are refused until it is \
+                         reopened): {e}"
                     ))));
                 }
             }
@@ -930,29 +1061,54 @@ impl Session {
                     )));
                 };
                 let payload = encode_wsd(&self.wsd);
-                let kind = if *full {
+                let result = if *full {
                     db.checkpoint_full(&payload)
                 } else {
                     db.checkpoint(&payload)
+                };
+                let generation = db.generation();
+                let poisoned = db.is_poisoned();
+                match result {
+                    Ok(kind) => {
+                        // A published snapshot proves the disk holds the
+                        // full current state again — degradation is over.
+                        self.degraded = None;
+                        Ok(QueryResult::Text(match kind {
+                            CheckpointKind::Full { pages } => format!(
+                                "checkpointed generation {generation} (full: {} bytes over \
+                                 {pages} page(s), WAL reset)",
+                                payload.len()
+                            ),
+                            CheckpointKind::Incremental { changed_pages, total_pages } => {
+                                format!(
+                                    "checkpointed generation {generation} (incremental: \
+                                     {changed_pages} of {total_pages} page(s) rewritten, \
+                                     WAL reset)"
+                                )
+                            }
+                            CheckpointKind::Unchanged => format!(
+                                "checkpoint skipped: nothing committed since generation \
+                                 {generation}"
+                            ),
+                        }))
+                    }
+                    // Failure after the point of no return (snapshot
+                    // published, WAL swap failed): the handle poisoned
+                    // itself, nothing to soften here.
+                    Err(e) => {
+                        if poisoned {
+                            return Err(SessionError::storage(e));
+                        }
+                        // Failure *before* publishing (typically ENOSPC on
+                        // the temp file): the old snapshot + WAL are intact
+                        // and cover every committed statement, so degrade
+                        // gracefully — queries keep working, mutations are
+                        // refused until a retried CHECKPOINT succeeds.
+                        let reason = format!("checkpoint failed before publishing: {e}");
+                        self.degraded = Some(reason.clone());
+                        Err(SessionError::Degraded { reason })
+                    }
                 }
-                .map_err(SessionError::storage)?;
-                Ok(QueryResult::Text(match kind {
-                    CheckpointKind::Full { pages } => format!(
-                        "checkpointed generation {} (full: {} bytes over {pages} page(s), \
-                         WAL reset)",
-                        db.generation(),
-                        payload.len()
-                    ),
-                    CheckpointKind::Incremental { changed_pages, total_pages } => format!(
-                        "checkpointed generation {} (incremental: {changed_pages} of \
-                         {total_pages} page(s) rewritten, WAL reset)",
-                        db.generation()
-                    ),
-                    CheckpointKind::Unchanged => format!(
-                        "checkpoint skipped: nothing committed since generation {}",
-                        db.generation()
-                    ),
-                }))
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => {
                 // transaction control never reaches the WAL, so replay

@@ -41,15 +41,18 @@
 //!   ignored (and removed) on the next open.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use maybms_relational::{Error, Result};
 
 use crate::delta::{
-    chunk_crcs, delta_path_for, overlay, payload_chunks, read_delta, write_delta, DeltaMeta,
+    chunk_crcs, delta_path_for, overlay, payload_chunks, read_delta_with_vfs,
+    write_delta_with_vfs, DeltaMeta,
 };
 use crate::pager::{page_crc, DEFAULT_PAGE_SIZE};
-use crate::snapshot::{read_snapshot, write_snapshot_with_page_size};
+use crate::snapshot::{read_snapshot_with_vfs, write_snapshot_with_vfs};
 use crate::crc::crc32;
+use crate::vfs::{std_vfs, Vfs};
 use crate::wal::Wal;
 
 /// The WAL path for a snapshot path: `<path>.wal`.
@@ -103,11 +106,15 @@ pub struct Database {
     /// CRC-32 of the effective payload of the last checkpoint (base +
     /// overlay), for the zero-mutation no-op check.
     state_crc: Option<u32>,
-    /// Set when a checkpoint failed between its snapshot rename and its
-    /// WAL swap: the open WAL handle no longer matches the on-disk
-    /// snapshot generation, so further appends would be silently
-    /// discarded by the next recovery. All writes refuse until reopen.
-    poisoned: bool,
+    /// The filesystem all I/O goes through.
+    vfs: Arc<dyn Vfs>,
+    /// Set (with the reason) when the durable state of this handle is no
+    /// longer trustworthy: a WAL append failed (the write or its fsync —
+    /// an fsync error must never be retried and reported as success), or
+    /// a checkpoint failed between its snapshot rename and its WAL swap.
+    /// All writes refuse until reopen; reopening recovers the last
+    /// consistent durable state.
+    poisoned: Option<String>,
 }
 
 /// What [`Database::open`] recovered from disk.
@@ -128,7 +135,15 @@ pub struct Recovered {
 /// (a replication follower too far behind the log); it performs the same
 /// overlay validation as recovery.
 pub fn read_snapshot_state(path: &Path) -> Result<Option<(u64, u64, Vec<u8>)>> {
-    Ok(load_snapshot_pair(path)?.map(|s| (s.generation, s.last_lsn, s.payload)))
+    read_snapshot_state_with_vfs(&*std_vfs(), path)
+}
+
+/// As [`read_snapshot_state`], on an explicit [`Vfs`].
+pub fn read_snapshot_state_with_vfs(
+    vfs: &dyn Vfs,
+    path: &Path,
+) -> Result<Option<(u64, u64, Vec<u8>)>> {
+    Ok(load_snapshot_pair(vfs, path)?.map(|s| (s.generation, s.last_lsn, s.payload)))
 }
 
 struct SnapshotPair {
@@ -146,10 +161,10 @@ struct SnapshotPair {
     stale_delta: bool,
 }
 
-fn load_snapshot_pair(path: &Path) -> Result<Option<SnapshotPair>> {
+fn load_snapshot_pair(vfs: &dyn Vfs, path: &Path) -> Result<Option<SnapshotPair>> {
     let delta_path = delta_path_for(path);
-    if !path.exists() {
-        if delta_path.exists() {
+    if !vfs.exists(path) {
+        if vfs.exists(&delta_path) {
             // an overlay can only ever be written next to an existing
             // base; patching nothing would fabricate state
             return Err(Error::Storage(format!(
@@ -160,13 +175,13 @@ fn load_snapshot_pair(path: &Path) -> Result<Option<SnapshotPair>> {
         }
         return Ok(None);
     }
-    let (meta, base_payload) = read_snapshot(path)?;
+    let (meta, base_payload) = read_snapshot_with_vfs(vfs, path)?;
     let base_page_crcs = chunk_crcs(&base_payload, meta.page_size);
-    if delta_path.exists() {
+    if vfs.exists(&delta_path) {
         // An unreadable overlay is genuine corruption (overlays are
         // published atomically, so a crash never leaves a torn one) —
         // fail loudly rather than quietly dropping a checkpoint.
-        let (dmeta, pages) = read_delta(&delta_path)?;
+        let (dmeta, pages) = read_delta_with_vfs(vfs, &delta_path)?;
         if dmeta.generation > meta.generation && dmeta.base_generation == meta.generation {
             if dmeta.page_size != meta.page_size {
                 return Err(Error::Storage(format!(
@@ -196,7 +211,7 @@ fn load_snapshot_pair(path: &Path) -> Result<Option<SnapshotPair>> {
         base_generation: meta.generation,
         base_page_size: meta.page_size,
         base_page_crcs,
-        stale_delta: delta_path.exists(),
+        stale_delta: vfs.exists(&delta_path),
     }))
 }
 
@@ -212,14 +227,24 @@ impl Database {
     /// base snapshots (an existing snapshot's own page size is read from
     /// its header, and incremental overlays always reuse it).
     pub fn open_with_page_size(path: impl AsRef<Path>, page_size: usize) -> Result<Recovered> {
+        Self::open_with_vfs(path, page_size, std_vfs())
+    }
+
+    /// As [`Database::open_with_page_size`], with all I/O routed through
+    /// an explicit [`Vfs`] — the entry point fault-injection tests use.
+    pub fn open_with_vfs(
+        path: impl AsRef<Path>,
+        page_size: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Recovered> {
         let path = path.as_ref();
-        let pair = load_snapshot_pair(path)?;
+        let pair = load_snapshot_pair(&*vfs, path)?;
         let state_crc = pair.as_ref().map(|p| crc32(&p.payload));
         let (snapshot, generation, covered_lsn, base) = match pair {
             Some(p) => {
                 if p.stale_delta {
                     // checkpoint artifact (see module docs) — clean it up
-                    let _ = std::fs::remove_file(delta_path_for(path));
+                    let _ = vfs.remove_file(&delta_path_for(path));
                 }
                 (
                     Some(p.payload),
@@ -236,12 +261,12 @@ impl Database {
         };
 
         let wal_path = wal_path_for(path);
-        let (wal, records) = if wal_path.exists() {
+        let (wal, records) = if vfs.exists(&wal_path) {
             // An unreadable WAL header is genuine corruption, never a
             // checkpoint artifact (log resets go through write-temp +
             // rename, so the file on disk is always a complete old or new
             // log) — fail loudly rather than silently discard commits.
-            let (wal, records) = Wal::open(&wal_path)?;
+            let (wal, records) = Wal::open_with_vfs(Arc::clone(&vfs), &wal_path)?;
             if wal.generation() == generation {
                 if wal.base_lsn() != covered_lsn {
                     return Err(Error::Storage(format!(
@@ -257,10 +282,16 @@ impl Database {
                 // rename and the WAL swap): its records are already
                 // inside the newer snapshot — start a fresh one at the
                 // LSN the snapshot covers.
-                (Wal::create(&wal_path, generation, covered_lsn)?, Vec::new())
+                (
+                    Wal::create_with_vfs(Arc::clone(&vfs), &wal_path, generation, covered_lsn)?,
+                    Vec::new(),
+                )
             }
         } else {
-            (Wal::create(&wal_path, generation, covered_lsn)?, Vec::new())
+            (
+                Wal::create_with_vfs(Arc::clone(&vfs), &wal_path, generation, covered_lsn)?,
+                Vec::new(),
+            )
         };
 
         Ok(Recovered {
@@ -271,7 +302,8 @@ impl Database {
                 page_size,
                 base,
                 state_crc,
-                poisoned: false,
+                vfs,
+                poisoned: None,
             },
             snapshot,
             records,
@@ -326,7 +358,7 @@ impl Database {
 
     /// Whether any state was ever checkpointed or logged.
     pub fn is_fresh(&self) -> bool {
-        self.generation == 0 && self.wal.is_empty() && !self.snapshot_path.exists()
+        self.generation == 0 && self.wal.is_empty() && !self.vfs.exists(&self.snapshot_path)
     }
 
     /// See [`Wal::set_sync`].
@@ -341,21 +373,44 @@ impl Database {
     }
 
     fn check_poisoned(&self) -> Result<()> {
-        if self.poisoned {
-            return Err(Error::Storage(
-                "database is poisoned by a half-completed checkpoint \
-                 (snapshot advanced, WAL swap failed); reopen it to recover"
-                    .into(),
-            ));
+        if let Some(reason) = &self.poisoned {
+            return Err(Error::Storage(format!(
+                "database is poisoned ({reason}); reopen it to recover"
+            )));
         }
         Ok(())
     }
 
+    /// Whether this handle is poisoned (all writes refuse until reopen).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Why this handle is poisoned, if it is.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
     /// Commits one logical mutation record, returning its LSN. On return
     /// it is durable.
+    ///
+    /// A failed append **poisons** the handle: the frame may be partially
+    /// on disk, and if the fsync failed the kernel may have dropped the
+    /// dirty pages while keeping them visible in the page cache — so
+    /// retrying the fsync and reporting success would be a lie (the
+    /// fsyncgate failure mode). Every later write refuses until the
+    /// database is reopened; reopening truncates any torn frame and
+    /// recovers the last durable prefix.
     pub fn append(&mut self, record: &[u8]) -> Result<u64> {
         self.check_poisoned()?;
-        self.wal.append(record)
+        match self.wal.append(record) {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                self.poisoned =
+                    Some(format!("a WAL append failed and durability is unknown: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// Checkpoints `state` as generation *g+1* and swaps in a fresh WAL
@@ -423,14 +478,20 @@ impl Database {
                     payload_crc: crc32(state),
                     pages: changed.len() as u32,
                 };
-                write_delta(&delta_path_for(&self.snapshot_path), &meta, &changed)?;
+                write_delta_with_vfs(
+                    &*self.vfs,
+                    &delta_path_for(&self.snapshot_path),
+                    &meta,
+                    &changed,
+                )?;
                 CheckpointKind::Incremental {
                     changed_pages: changed.len() as u32,
                     total_pages,
                 }
             }
             None => {
-                write_snapshot_with_page_size(
+                write_snapshot_with_vfs(
+                    &*self.vfs,
                     &self.snapshot_path,
                     next,
                     last_lsn,
@@ -439,7 +500,7 @@ impl Database {
                 )?;
                 // the overlay (if any) is now stale: its pages are inside
                 // the new base; remove it (recovery would ignore it too)
-                let _ = std::fs::remove_file(delta_path_for(&self.snapshot_path));
+                let _ = self.vfs.remove_file(&delta_path_for(&self.snapshot_path));
                 let page_crcs = chunk_crcs(state, self.page_size);
                 let pages = page_crcs.len() as u32;
                 self.base = Some(BaseInfo {
@@ -457,14 +518,22 @@ impl Database {
         // this handle rather than let appends vanish silently. Reopening
         // recovers cleanly: snapshot g+1 + stale WAL → fresh WAL.
         self.state_crc = Some(state_crc);
-        match Wal::create(&wal_path_for(&self.snapshot_path), next, last_lsn) {
+        match Wal::create_with_vfs(
+            Arc::clone(&self.vfs),
+            &wal_path_for(&self.snapshot_path),
+            next,
+            last_lsn,
+        ) {
             Ok(wal) => {
                 self.wal = wal;
                 self.generation = next;
                 Ok(kind)
             }
             Err(e) => {
-                self.poisoned = true;
+                self.poisoned = Some(format!(
+                    "a checkpoint was interrupted after publishing snapshot \
+                     generation {next} (the open WAL handle is stale): {e}"
+                ));
                 Err(Error::Storage(format!(
                     "checkpoint interrupted after publishing snapshot generation {next}: {e}"
                 )))

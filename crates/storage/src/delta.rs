@@ -35,14 +35,13 @@
 //! checkpoint no longer matches and is discarded as a checkpoint
 //! artifact, not an error (see [`crate::db`]).
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use maybms_relational::{Error, Result};
 
 use crate::crc::crc32;
 use crate::pager::{io_err, page_crc, Pager, PAGE_HEADER_LEN};
+use crate::vfs::{std_vfs, OpenMode, Vfs};
 
 const MAGIC: &[u8; 8] = b"MAYBMSD\0";
 const VERSION: u32 = 1;
@@ -137,28 +136,27 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     PathBuf::from(s)
 }
 
-fn sync_parent_dir(path: &Path) {
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir }) {
-            let _ = d.sync_all();
-        }
-    }
-}
-
 /// Writes the overlay at `path` (atomically): the changed pages of a new
 /// payload relative to a base snapshot. `pages` holds `(logical_index,
 /// chunk)` pairs, each chunk at most `page_size - PAGE_HEADER_LEN` bytes;
 /// `payload_len`/`payload_crc` describe the **combined** payload the
 /// overlay reconstructs.
 pub fn write_delta(path: &Path, meta: &DeltaMeta, pages: &[(u32, &[u8])]) -> Result<()> {
+    write_delta_with_vfs(&*std_vfs(), path, meta, pages)
+}
+
+/// As [`write_delta`], on an explicit [`Vfs`].
+pub fn write_delta_with_vfs(
+    vfs: &dyn Vfs,
+    path: &Path,
+    meta: &DeltaMeta,
+    pages: &[(u32, &[u8])],
+) -> Result<()> {
     debug_assert_eq!(meta.pages as usize, pages.len());
     let tmp = tmp_sibling(path);
     {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)
+        let mut file = vfs
+            .open(&tmp, OpenMode::CreateTruncate)
             .map_err(|e| io_err("create incremental snapshot temp file", e))?;
         file.write_all(&encode_preamble(meta))
             .map_err(|e| io_err("write incremental snapshot preamble", e))?;
@@ -178,9 +176,10 @@ pub fn write_delta(path: &Path, meta: &DeltaMeta, pages: &[(u32, &[u8])]) -> Res
         }
         pager.sync()?;
     }
-    std::fs::rename(&tmp, path)
+    vfs.rename(&tmp, path)
         .map_err(|e| io_err("publish incremental snapshot (rename)", e))?;
-    sync_parent_dir(path);
+    // best-effort: the rename itself is what recovery depends on
+    let _ = vfs.sync_parent_dir(path);
     Ok(())
 }
 
@@ -188,7 +187,13 @@ pub fn write_delta(path: &Path, meta: &DeltaMeta, pages: &[(u32, &[u8])]) -> Res
 /// checksum, and every page checksum. Returns the metadata and the
 /// `(logical_index, chunk)` pairs.
 pub fn read_delta(path: &Path) -> Result<(DeltaMeta, DeltaPages)> {
-    let mut file = File::open(path).map_err(|e| io_err("open incremental snapshot", e))?;
+    read_delta_with_vfs(&*std_vfs(), path)
+}
+
+/// As [`read_delta`], on an explicit [`Vfs`].
+pub fn read_delta_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<(DeltaMeta, DeltaPages)> {
+    let mut file =
+        vfs.open(path, OpenMode::Read).map_err(|e| io_err("open incremental snapshot", e))?;
     let mut preamble = [0u8; DELTA_PREAMBLE_LEN];
     file.read_exact(&mut preamble)
         .map_err(|e| io_err("read incremental snapshot preamble", e))?;

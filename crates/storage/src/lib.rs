@@ -29,6 +29,14 @@
 //!   stream, used by the replication layer (`maybms_sql::replication`) to
 //!   stream committed records from a primary to read replicas.
 //!
+//! * [`vfs`] — the **virtual filesystem boundary**: every file operation
+//!   above goes through a [`vfs::Vfs`], so tests swap the production
+//!   [`vfs::StdVfs`] for the deterministic [`vfs::FaultVfs`] and inject
+//!   scripted fsync failures, torn writes, `ENOSPC`, rename failures and
+//!   read bit-flips. The failure semantics built on it (fsync poisoning,
+//!   read-only degradation) are described in the "Failure model" section
+//!   of `docs/ARCHITECTURE.md`.
+//!
 //! [`db::Database`] ties them together with a generation counter and
 //! monotone WAL **LSNs** so that recovery never replays a record twice
 //! and never loses a committed one, whichever instant the process died
@@ -50,14 +58,17 @@ pub mod delta;
 pub mod pager;
 pub mod ship;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use bytes::{Reader, Writer};
 pub use db::{
-    read_snapshot_state, wal_path_for, CheckpointKind, Database, Recovered,
+    read_snapshot_state, read_snapshot_state_with_vfs, wal_path_for, CheckpointKind, Database,
+    Recovered,
 };
 pub use delta::{delta_path_for, DeltaMeta};
 pub use pager::{Pager, DEFAULT_PAGE_SIZE, PAGE_HEADER_LEN};
 pub use ship::{recv_msg, send_msg, Msg};
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotMeta};
+pub use vfs::{std_vfs, Fault, FaultOp, FaultSpec, FaultVfs, OpenMode, StdVfs, Vfs, VfsFile};
 pub use wal::{Wal, WalCursor, WalHead, WAL_HEADER_LEN};

@@ -16,12 +16,12 @@
 //! are chunked across consecutive pages by [`Pager::write_payload`] /
 //! [`Pager::read_payload`].
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::SeekFrom;
 
 use maybms_relational::{Error, Result};
 
 use crate::crc::{crc32, crc32_seeded};
+use crate::vfs::VfsFile;
 
 /// Bytes of per-page framing: CRC-32 plus the payload length.
 pub const PAGE_HEADER_LEN: usize = 8;
@@ -44,14 +44,14 @@ pub fn page_crc(idx: u32, payload: &[u8]) -> u32 {
 /// Reads and writes checksummed fixed-size pages of one open file.
 #[derive(Debug)]
 pub struct Pager {
-    file: File,
+    file: Box<dyn VfsFile>,
     base: u64,
     page_size: usize,
 }
 
 impl Pager {
-    /// Wraps an open file whose paged region starts at `base`.
-    pub fn new(file: File, base: u64, page_size: usize) -> Result<Pager> {
+    /// Wraps an open [`VfsFile`] whose paged region starts at `base`.
+    pub fn new(file: Box<dyn VfsFile>, base: u64, page_size: usize) -> Result<Pager> {
         if page_size <= PAGE_HEADER_LEN {
             return Err(Error::Storage(format!(
                 "page size {page_size} does not fit the {PAGE_HEADER_LEN}-byte page header"
@@ -184,7 +184,7 @@ impl Pager {
     }
 
     /// fsyncs the underlying file.
-    pub fn sync(&self) -> Result<()> {
+    pub fn sync(&mut self) -> Result<()> {
         self.file.sync_all().map_err(|e| io_err("sync", e))
     }
 }
@@ -202,14 +202,16 @@ mod tests {
         p
     }
 
-    fn open_rw(p: &PathBuf) -> File {
-        OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(p)
-            .unwrap()
+    fn open_rw(p: &PathBuf) -> Box<dyn VfsFile> {
+        Box::new(
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(p)
+                .unwrap(),
+        )
     }
 
     #[test]

@@ -21,14 +21,13 @@
 //! then renamed over the old snapshot, so a crash mid-checkpoint leaves
 //! either the old snapshot or the new one — never a hybrid.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::Path;
 
 use maybms_relational::{Error, Result};
 
 use crate::crc::crc32;
 use crate::pager::{io_err, Pager, DEFAULT_PAGE_SIZE};
+use crate::vfs::{std_vfs, OpenMode, Vfs};
 
 const MAGIC: &[u8; 8] = b"MAYBMS1\0";
 const VERSION: u32 = 2;
@@ -102,16 +101,6 @@ fn tmp_sibling(path: &Path) -> std::path::PathBuf {
     std::path::PathBuf::from(s)
 }
 
-/// Best-effort fsync of the directory containing `path`, so the rename
-/// that published a snapshot survives power loss too.
-fn sync_parent_dir(path: &Path) {
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir }) {
-            let _ = d.sync_all();
-        }
-    }
-}
-
 /// Writes `payload` as a generation-`generation` snapshot at `path`,
 /// covering the log through `last_lsn`: write-new to a temp sibling,
 /// fsync, rename over the old file.
@@ -128,30 +117,44 @@ pub fn write_snapshot_with_page_size(
     payload: &[u8],
     page_size: usize,
 ) -> Result<()> {
+    write_snapshot_with_vfs(&*std_vfs(), path, generation, last_lsn, payload, page_size)
+}
+
+/// As [`write_snapshot_with_page_size`], on an explicit [`Vfs`].
+pub fn write_snapshot_with_vfs(
+    vfs: &dyn Vfs,
+    path: &Path,
+    generation: u64,
+    last_lsn: u64,
+    payload: &[u8],
+    page_size: usize,
+) -> Result<()> {
     let tmp = tmp_sibling(path);
     {
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)
+        let mut file = vfs
+            .open(&tmp, OpenMode::CreateTruncate)
             .map_err(|e| io_err("create snapshot temp file", e))?;
-        let mut file = file;
         file.write_all(&encode_preamble(page_size as u32, generation, last_lsn, payload))
             .map_err(|e| io_err("write snapshot preamble", e))?;
         let mut pager = Pager::new(file, PREAMBLE_LEN as u64, page_size)?;
         pager.write_payload(payload)?;
         pager.sync()?;
     }
-    std::fs::rename(&tmp, path).map_err(|e| io_err("publish snapshot (rename)", e))?;
-    sync_parent_dir(path);
+    vfs.rename(&tmp, path).map_err(|e| io_err("publish snapshot (rename)", e))?;
+    // best-effort: the rename itself is what recovery depends on
+    let _ = vfs.sync_parent_dir(path);
     Ok(())
 }
 
 /// Reads and fully verifies the snapshot at `path`: preamble magic,
 /// version and checksum, every page checksum, and the whole-payload CRC.
 pub fn read_snapshot(path: &Path) -> Result<(SnapshotMeta, Vec<u8>)> {
-    let mut file = File::open(path).map_err(|e| io_err("open snapshot", e))?;
+    read_snapshot_with_vfs(&*std_vfs(), path)
+}
+
+/// As [`read_snapshot`], on an explicit [`Vfs`].
+pub fn read_snapshot_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<(SnapshotMeta, Vec<u8>)> {
+    let mut file = vfs.open(path, OpenMode::Read).map_err(|e| io_err("open snapshot", e))?;
     let mut preamble = [0u8; PREAMBLE_LEN];
     file.read_exact(&mut preamble)
         .map_err(|e| io_err("read snapshot preamble", e))?;

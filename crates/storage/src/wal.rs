@@ -33,14 +33,15 @@
 //! match the snapshot's is stale (crash between the two steps of a
 //! checkpoint) and is discarded instead of replayed twice.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use maybms_relational::{Error, Result};
 
 use crate::crc::crc32;
 use crate::pager::io_err;
+use crate::vfs::{std_vfs, OpenMode, Vfs, VfsFile};
 
 const MAGIC: &[u8; 8] = b"MAYBMSW\0";
 const VERSION: u32 = 2;
@@ -53,7 +54,8 @@ const RECORD_HEADER_LEN: usize = 8;
 /// An open write-ahead log positioned for appends.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
     generation: u64,
     /// LSN of the last record before this log (continues across
@@ -133,28 +135,32 @@ impl Wal {
     /// paired snapshot — the first record appended here gets
     /// `base_lsn + 1`.
     pub fn create(path: &Path, generation: u64, base_lsn: u64) -> Result<Wal> {
+        Wal::create_with_vfs(std_vfs(), path, generation, base_lsn)
+    }
+
+    /// As [`Wal::create`], on an explicit [`Vfs`].
+    pub fn create_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        generation: u64,
+        base_lsn: u64,
+    ) -> Result<Wal> {
         let mut tmp = path.as_os_str().to_os_string();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
         {
-            let mut f = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp)
+            let mut f = vfs
+                .open(&tmp, OpenMode::CreateTruncate)
                 .map_err(|e| io_err("create WAL temp file", e))?;
             f.write_all(&encode_header(generation, base_lsn))
                 .map_err(|e| io_err("write WAL header", e))?;
             f.sync_all().map_err(|e| io_err("sync new WAL", e))?;
         }
-        std::fs::rename(&tmp, path).map_err(|e| io_err("publish WAL (rename)", e))?;
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)
-            .map_err(|e| io_err("reopen WAL", e))?;
+        vfs.rename(&tmp, path).map_err(|e| io_err("publish WAL (rename)", e))?;
+        let file = vfs.open(path, OpenMode::ReadWrite).map_err(|e| io_err("reopen WAL", e))?;
         Ok(Wal {
             file,
+            vfs,
             path: path.to_path_buf(),
             generation,
             base_lsn,
@@ -170,11 +176,13 @@ impl Wal {
     /// (incomplete or checksum-failing final record) is detected and
     /// truncated away; everything before it is kept.
     pub fn open(path: &Path) -> Result<(Wal, Vec<Vec<u8>>)> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)
-            .map_err(|e| io_err("open WAL", e))?;
+        Wal::open_with_vfs(std_vfs(), path)
+    }
+
+    /// As [`Wal::open`], on an explicit [`Vfs`].
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, path: &Path) -> Result<(Wal, Vec<Vec<u8>>)> {
+        let mut file =
+            vfs.open(path, OpenMode::ReadWrite).map_err(|e| io_err("open WAL", e))?;
         let mut raw = Vec::new();
         file.read_to_end(&mut raw).map_err(|e| io_err("read WAL", e))?;
         let (generation, base_lsn) = decode_header(&raw)?;
@@ -191,6 +199,7 @@ impl Wal {
         Ok((
             Wal {
                 file,
+                vfs,
                 path: path.to_path_buf(),
                 generation,
                 base_lsn,
@@ -285,7 +294,7 @@ impl Wal {
                 self.base_lsn
             )));
         }
-        let raw = std::fs::read(&self.path).map_err(|e| io_err("read WAL", e))?;
+        let raw = self.vfs.read(&self.path).map_err(|e| io_err("read WAL", e))?;
         let (generation, base_lsn) = decode_header(&raw)?;
         if generation != self.generation || base_lsn != self.base_lsn {
             return Err(Error::Storage(
@@ -318,7 +327,12 @@ pub struct WalHead {
 /// primary consults to decide between shipping log records and falling
 /// back to a snapshot transfer.
 pub fn head(path: &Path) -> Result<WalHead> {
-    let raw = std::fs::read(path).map_err(|e| io_err("read WAL", e))?;
+    head_with_vfs(&*std_vfs(), path)
+}
+
+/// As [`head`], on an explicit [`Vfs`].
+pub fn head_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<WalHead> {
+    let raw = vfs.read(path).map_err(|e| io_err("read WAL", e))?;
     let (generation, base_lsn) = decode_header(&raw)?;
     let (records, _) = scan_records(&raw);
     Ok(WalHead { generation, base_lsn, last_lsn: base_lsn + records.len() as u64 })
@@ -332,6 +346,7 @@ pub fn head(path: &Path) -> Result<WalHead> {
 /// [`WalCursor::poll`] returning `Reset`.
 #[derive(Debug)]
 pub struct WalCursor {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
     generation: u64,
     base_lsn: u64,
@@ -363,7 +378,12 @@ impl WalCursor {
     /// `path`. Fails when `after` predates the log's base LSN (the
     /// records before it live in the snapshot).
     pub fn open(path: &Path, after: u64) -> Result<WalCursor> {
-        let raw = std::fs::read(path).map_err(|e| io_err("read WAL", e))?;
+        WalCursor::open_with_vfs(std_vfs(), path, after)
+    }
+
+    /// As [`WalCursor::open`], on an explicit [`Vfs`].
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, path: &Path, after: u64) -> Result<WalCursor> {
+        let raw = vfs.read(path).map_err(|e| io_err("read WAL", e))?;
         let (generation, base_lsn) = decode_header(&raw)?;
         if after < base_lsn {
             return Err(Error::Storage(format!(
@@ -388,7 +408,7 @@ impl WalCursor {
                 "LSN {after} is past the end of the log (last LSN {lsn})"
             )));
         }
-        Ok(WalCursor { path: path.to_path_buf(), generation, base_lsn, offset, lsn })
+        Ok(WalCursor { vfs, path: path.to_path_buf(), generation, base_lsn, offset, lsn })
     }
 
     /// LSN of the last record this cursor has returned.
@@ -405,7 +425,8 @@ impl WalCursor {
     /// changed (one header read). See [`Polled`] for the checkpoint-swap
     /// case.
     pub fn poll(&mut self) -> Result<Polled> {
-        let mut file = File::open(&self.path).map_err(|e| io_err("open WAL", e))?;
+        let mut file =
+            self.vfs.open(&self.path, OpenMode::Read).map_err(|e| io_err("open WAL", e))?;
         let mut header = [0u8; WAL_HEADER_LEN as usize];
         file.read_exact(&mut header).map_err(|e| io_err("read WAL header", e))?;
         let (generation, base_lsn) = decode_header(&header)?;
@@ -454,6 +475,7 @@ impl WalCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {

@@ -335,6 +335,159 @@ fn tcp_replication_with_failover_reads() {
     rm_db(&path);
 }
 
+/// A follower driven by `follow_with_retry` survives a *flapping*
+/// primary: the serving process dies mid-stream, a new one comes up
+/// later (same database files), and the follower reconnects with capped
+/// exponential backoff, resumes by LSN, and converges — then exits
+/// cleanly when told to stop.
+#[test]
+fn follow_with_retry_survives_flapping_primary() {
+    use maybms_sql::replication::{follow_with_retry, Backoff};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    let path = db_path("flapping");
+    let (mut primary_session, _) = run_script(&path);
+
+    // primary A
+    let primary_a = Primary::new(&path).with_heartbeat_interval(Duration::from_millis(5));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = Arc::new(Mutex::new(listener.local_addr().unwrap()));
+    let accept_a = primary_a.listen(listener).unwrap();
+
+    let replica = Arc::new(Mutex::new(Replica::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let follower = {
+        let (replica, stop, addr) = (replica.clone(), stop.clone(), addr.clone());
+        std::thread::spawn(move || {
+            let mut backoff =
+                Backoff::with_seed(Duration::from_millis(1), Duration::from_millis(20), 7);
+            let connect = || {
+                let a: SocketAddr = *addr.lock().unwrap();
+                TcpStream::connect(a)
+            };
+            follow_with_retry(&replica, connect, &mut backoff, &stop)
+        })
+    };
+
+    let wait_for_lsn = |lsn: u64| {
+        for _ in 0..2000 {
+            if replica.lock().unwrap().applied_lsn() >= lsn {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("follower never reached LSN {lsn}");
+    };
+    wait_for_lsn(primary_session.last_lsn().unwrap());
+
+    // primary A dies mid-life; the session keeps committing meanwhile
+    primary_a.stop();
+    accept_a.join().unwrap();
+    primary_session.execute("INSERT INTO person VALUES (8, 'flo')").unwrap();
+    primary_session.execute("INSERT INTO person VALUES (9, 'gus')").unwrap();
+    std::thread::sleep(Duration::from_millis(30)); // let reconnects fail a few times
+
+    // primary B takes over on a fresh port, same database
+    let primary_b = Primary::new(&path).with_heartbeat_interval(Duration::from_millis(5));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    *addr.lock().unwrap() = listener.local_addr().unwrap();
+    let accept_b = primary_b.listen(listener).unwrap();
+
+    wait_for_lsn(primary_session.last_lsn().unwrap());
+    {
+        let mut r = replica.lock().unwrap();
+        assert_eq!(
+            encode_wsd(r.session().wsd()),
+            encode_wsd(primary_session.wsd()),
+            "the follower must converge to the post-failover state"
+        );
+        // heartbeats flow again, so the replica is fresh
+        assert!(!r.is_stale(Duration::from_secs(5)));
+    }
+
+    // a raised stop flag ends the loop with Ok, not an error
+    stop.store(true, Ordering::Relaxed);
+    follower.join().unwrap().unwrap();
+    primary_b.stop();
+    accept_b.join().unwrap();
+    rm_db(&path);
+}
+
+/// The backoff schedule: deterministic per seed, exponentially growing,
+/// capped, jittered within the upper half of each ceiling, and reset
+/// returns it to the base.
+#[test]
+fn backoff_is_capped_exponential_with_jitter() {
+    use maybms_sql::replication::Backoff;
+    use std::time::Duration;
+
+    let base = Duration::from_millis(10);
+    let cap = Duration::from_millis(160);
+    let mut b = Backoff::with_seed(base, cap, 42);
+    let mut prev_ceil = Duration::ZERO;
+    for attempt in 0..10u32 {
+        let ceil = std::cmp::min(base * 2u32.pow(attempt), cap);
+        let d = b.next_delay();
+        assert!(d >= ceil / 2 && d <= ceil, "attempt {attempt}: {d:?} not in [{:?}, {ceil:?}]", ceil / 2);
+        assert!(ceil >= prev_ceil, "ceilings must not shrink");
+        prev_ceil = ceil;
+    }
+    assert_eq!(b.attempt(), 10);
+    b.reset();
+    assert_eq!(b.attempt(), 0);
+    assert!(b.next_delay() <= base, "after reset the first delay is within the base ceiling");
+
+    // same seed, same sequence — failing schedules can be replayed
+    let mut x = Backoff::with_seed(base, cap, 99);
+    let mut y = Backoff::with_seed(base, cap, 99);
+    for _ in 0..8 {
+        assert_eq!(x.next_delay(), y.next_delay());
+    }
+}
+
+/// Staleness detection: while the primary heartbeats the replica stays
+/// fresh even with no writes; once the primary is gone, `is_stale`
+/// trips after the timeout.
+#[test]
+fn replica_staleness_tracks_heartbeats() {
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    let path = db_path("staleness");
+    let (primary_session, _) = run_script(&path);
+    let primary = Primary::new(&path).with_heartbeat_interval(Duration::from_millis(5));
+    let replica = Arc::new(Mutex::new(Replica::new()));
+    let stream = serve_pair(&primary);
+    let follower = {
+        let replica = replica.clone();
+        std::thread::spawn(move || {
+            let _ = maybms_sql::replication::follow(&replica, stream);
+        })
+    };
+
+    // no writes at all for a while: heartbeats alone must keep it fresh
+    std::thread::sleep(Duration::from_millis(100));
+    {
+        let r = replica.lock().unwrap();
+        assert!(
+            !r.is_stale(Duration::from_secs(2)),
+            "heartbeats must refresh last_contact (elapsed {:?})",
+            r.since_last_contact()
+        );
+        assert_eq!(r.primary_lsn(), primary_session.last_lsn().unwrap());
+    }
+
+    // the primary goes silent: staleness trips after the timeout
+    primary.stop();
+    follower.join().unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+    assert!(replica.lock().unwrap().is_stale(Duration::from_millis(60)));
+    rm_db(&path);
+}
+
 /// A one-directional in-memory stream: reads from a fixed (possibly
 /// truncated) byte buffer, swallows writes — the replica side of a
 /// recorded primary stream.
