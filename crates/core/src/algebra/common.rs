@@ -160,6 +160,23 @@ where
     add_field_column(wsd, comp_idx, Field::exists(tid), f)
 }
 
+/// Re-emits a tuple unchanged into `out`: identity cells (open fields
+/// aliased), existence inherited. Shared by selection's static keep path,
+/// dedup and the vectorized operators' slow paths.
+pub(crate) fn emit_passthrough(wsd: &mut Wsd, t: &TupleInfo, out: &str) -> Result<()> {
+    let new_tid = wsd.fresh_tid();
+    let all: Vec<usize> = (0..t.cells.len()).collect();
+    let cells = alias_cells(wsd, new_tid, t, &all)?;
+    let exists = match exists_loc(wsd, t)? {
+        None => Existence::Always,
+        Some(loc) => {
+            wsd.alias_field(Field::exists(new_tid), loc);
+            Existence::Open
+        }
+    };
+    wsd.push_template(out, crate::wsd::TupleTemplate { tid: new_tid, cells, exists })
+}
+
 /// Whether the tuple is dead in this row of the merged component: some of
 /// its columns there (attribute fields at `cols`, or the existence column)
 /// holds ⊥.

@@ -202,7 +202,7 @@ pub fn join_op_nested(
 /// Extracts `l = r` conjuncts referencing one column from each side,
 /// returning positions in the concatenated schema (left position, right
 /// position ≥ larity).
-fn equality_pairs(
+pub(crate) fn equality_pairs(
     pred: &Expr,
     out_schema: &maybms_relational::Schema,
     larity: usize,
@@ -225,7 +225,7 @@ fn equality_pairs(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn emit_pair(
+pub(crate) fn emit_pair(
     wsd: &mut Wsd,
     bound: &maybms_relational::BoundExpr,
     positions: &[usize],

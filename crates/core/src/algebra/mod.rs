@@ -17,10 +17,10 @@
 pub(crate) mod common;
 mod difference;
 mod dml;
-mod join;
-mod project;
+pub(crate) mod join;
+pub(crate) mod project;
 mod rename;
-mod select;
+pub(crate) mod select;
 mod union;
 
 pub use difference::difference_op;

@@ -7,15 +7,14 @@
 //! paper's "replace the values different from 'pregnancy' by ⊥", expressed
 //! on the hidden existence field so that later projections cannot lose it.
 
-use maybms_relational::{Expr, Result, Value};
+use maybms_relational::{BoundExpr, Expr, Result, Value};
 
 use crate::cell::Cell;
-use crate::field::Field;
 use crate::wsd::{Existence, TupleTemplate, Wsd};
 
 use super::common::{
-    add_exists_column, alias_cells, bind_pred, certain_values_at, dead_in_row, eval_partial,
-    exists_loc, open_fields_at, snapshot,
+    add_exists_column, alias_cells, bind_pred, certain_values_at, dead_in_row, emit_passthrough,
+    eval_partial, exists_loc, open_fields_at, snapshot, TupleInfo,
 };
 
 /// σ_pred(input) → out.
@@ -23,72 +22,80 @@ pub fn select_op(wsd: &mut Wsd, input: &str, pred: &Expr, out: &str) -> Result<(
     let (schema, tuples) = snapshot(wsd, input)?;
     let (bound, positions) = bind_pred(pred, &schema)?;
     wsd.add_relation(out, schema.clone())?;
+    let arity = schema.len();
 
     for t in &tuples {
         let open = open_fields_at(wsd, t, &positions)?;
-        let mut known = certain_values_at(t, &positions);
-        let new_tid = wsd.fresh_tid();
-        let identity: Vec<usize> = (0..schema.len()).collect();
-
         if open.is_empty() {
             // Static decision.
-            if !eval_partial(&bound, schema.len(), &known)? {
+            let known = certain_values_at(t, &positions);
+            if !eval_partial(&bound, arity, &known)? {
                 continue;
             }
-            let cells = alias_cells(wsd, new_tid, t, &identity)?;
-            let exists = match exists_loc(wsd, t)? {
-                None => Existence::Always,
-                Some(loc) => {
-                    wsd.alias_field(Field::exists(new_tid), loc);
-                    Existence::Open
-                }
-            };
-            wsd.push_template(out, TupleTemplate { tid: new_tid, cells, exists })?;
-            continue;
+            emit_passthrough(wsd, t, out)?;
+        } else {
+            select_tuple_dynamic(wsd, t, &bound, &positions, arity, out)?;
         }
-
-        // Dynamic: merge the components carrying the open predicate fields
-        // (and the tuple's existence field, if open).
-        let mut comp_set: Vec<usize> = open.iter().map(|&(_, (c, _))| c).collect();
-        if let Some((c, _)) = exists_loc(wsd, t)? {
-            comp_set.push(c);
-        }
-        let merged = wsd.merge_components(&comp_set)?;
-        // Re-resolve columns after the merge.
-        let open_now = open_fields_at(wsd, t, &positions)?;
-        let mut watch_cols: Vec<usize> = open_now.iter().map(|&(_, (_, col))| col).collect();
-        if let Some((c, col)) = exists_loc(wsd, t)? {
-            debug_assert_eq!(c, merged);
-            watch_cols.push(col);
-        }
-
-        let arity = schema.len();
-        add_exists_column(wsd, merged, new_tid, |row| {
-            if dead_in_row(row, &watch_cols) {
-                return Cell::Bottom;
-            }
-            let mut vals = known.clone();
-            for &(pos, (_, col)) in &open_now {
-                match row.cell(col) {
-                    Cell::Val(v) => {
-                        vals.insert(pos, v.clone());
-                    }
-                    Cell::Bottom => return Cell::Bottom,
-                }
-            }
-            match eval_partial(&bound, arity, &vals) {
-                Ok(true) => Cell::Val(Value::Bool(true)),
-                _ => Cell::Bottom,
-            }
-        })?;
-        known.clear(); // reused per tuple; cleared for clarity
-
-        let cells = alias_cells(wsd, new_tid, t, &identity)?;
-        wsd.push_template(
-            out,
-            TupleTemplate { tid: new_tid, cells, exists: Existence::Open },
-        )?;
     }
+    Ok(())
+}
+
+/// The per-tuple dynamic path of selection: the predicate references open
+/// fields, so the components carrying them (and the tuple's existence
+/// field, if open) are merged and a fresh existence column marks failing
+/// rows ⊥. Shared with the vectorized filter's slow path.
+pub(crate) fn select_tuple_dynamic(
+    wsd: &mut Wsd,
+    t: &TupleInfo,
+    bound: &BoundExpr,
+    positions: &[usize],
+    arity: usize,
+    out: &str,
+) -> Result<()> {
+    let open = open_fields_at(wsd, t, positions)?;
+    let known = certain_values_at(t, positions);
+    let new_tid = wsd.fresh_tid();
+    let identity: Vec<usize> = (0..arity).collect();
+
+    // Merge the components carrying the open predicate fields (and the
+    // tuple's existence field, if open).
+    let mut comp_set: Vec<usize> = open.iter().map(|&(_, (c, _))| c).collect();
+    if let Some((c, _)) = exists_loc(wsd, t)? {
+        comp_set.push(c);
+    }
+    let merged = wsd.merge_components(&comp_set)?;
+    // Re-resolve columns after the merge.
+    let open_now = open_fields_at(wsd, t, positions)?;
+    let mut watch_cols: Vec<usize> = open_now.iter().map(|&(_, (_, col))| col).collect();
+    if let Some((c, col)) = exists_loc(wsd, t)? {
+        debug_assert_eq!(c, merged);
+        watch_cols.push(col);
+    }
+
+    add_exists_column(wsd, merged, new_tid, |row| {
+        if dead_in_row(row, &watch_cols) {
+            return Cell::Bottom;
+        }
+        let mut vals = known.clone();
+        for &(pos, (_, col)) in &open_now {
+            match row.cell(col) {
+                Cell::Val(v) => {
+                    vals.insert(pos, v.clone());
+                }
+                Cell::Bottom => return Cell::Bottom,
+            }
+        }
+        match eval_partial(bound, arity, &vals) {
+            Ok(true) => Cell::Val(Value::Bool(true)),
+            _ => Cell::Bottom,
+        }
+    })?;
+
+    let cells = alias_cells(wsd, new_tid, t, &identity)?;
+    wsd.push_template(
+        out,
+        TupleTemplate { tid: new_tid, cells, exists: Existence::Open },
+    )?;
     Ok(())
 }
 

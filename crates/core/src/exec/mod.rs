@@ -31,7 +31,11 @@
 pub mod plan;
 pub mod pool;
 pub mod run;
+pub mod vector;
 
-pub use plan::{compile, explain_physical, schema_of, PhysOp, PhysicalPlan};
+pub use plan::{
+    compile, explain_physical, explain_physical_annotated, schema_of, PhysOp, PhysicalPlan,
+};
 pub use pool::{default_workers, global_pool, WorkerPool};
 pub use run::{dedup_op, Executor};
+pub use vector::{dedup_vec, encode, join_vec, project_vec, select_vec, Encoded, OPEN_CODE};

@@ -205,62 +205,75 @@ fn cross_equality(pred: &Expr, left: &Schema, right: &Schema) -> Option<(String,
 
 /// Renders a physical plan for `EXPLAIN`.
 pub fn explain_physical(plan: &PhysicalPlan) -> String {
+    explain_physical_annotated(plan, |_| String::new())
+}
+
+/// [`explain_physical`] with a per-node annotation appended to each
+/// line. The annotator is called in pre-order (node before children,
+/// left child before right) — the same order [`super::Executor`]'s
+/// traced run numbers its nodes, so estimated and actual cardinalities
+/// line up.
+pub fn explain_physical_annotated(
+    plan: &PhysicalPlan,
+    mut annot: impl FnMut(&PhysOp) -> String,
+) -> String {
     let mut out = String::new();
-    render(&plan.root, 0, &mut out);
+    render(&plan.root, 0, &mut out, &mut annot);
     out
 }
 
-fn render(op: &PhysOp, depth: usize, out: &mut String) {
+fn render(op: &PhysOp, depth: usize, out: &mut String, annot: &mut dyn FnMut(&PhysOp) -> String) {
     let pad = "  ".repeat(depth);
+    let note = annot(op);
     match op {
-        PhysOp::SeqScan { rel } => out.push_str(&format!("{pad}SeqScan {rel}\n")),
+        PhysOp::SeqScan { rel } => out.push_str(&format!("{pad}SeqScan {rel}{note}\n")),
         PhysOp::Filter { input, pred } => {
-            out.push_str(&format!("{pad}Filter {pred}\n"));
-            render(input, depth + 1, out);
+            out.push_str(&format!("{pad}Filter {pred}{note}\n"));
+            render(input, depth + 1, out, annot);
         }
         PhysOp::Project { input, cols } => {
-            out.push_str(&format!("{pad}Project [{}]\n", cols.join(", ")));
-            render(input, depth + 1, out);
+            out.push_str(&format!("{pad}Project [{}]{note}\n", cols.join(", ")));
+            render(input, depth + 1, out, annot);
         }
         PhysOp::HashJoin { left, right, pred, key } => {
             out.push_str(&format!(
-                "{pad}HashJoin [{} = {}] on {pred}\n",
+                "{pad}HashJoin [{} = {}] on {pred}{note}\n",
                 key.0, key.1
             ));
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
+            render(left, depth + 1, out, annot);
+            render(right, depth + 1, out, annot);
         }
         PhysOp::NestedLoopJoin { left, right, pred } => {
-            out.push_str(&format!("{pad}NestedLoopJoin on {pred}\n"));
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
+            out.push_str(&format!("{pad}NestedLoopJoin on {pred}{note}\n"));
+            render(left, depth + 1, out, annot);
+            render(right, depth + 1, out, annot);
         }
         PhysOp::CrossProduct { left, right } => {
-            out.push_str(&format!("{pad}CrossProduct\n"));
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
+            out.push_str(&format!("{pad}CrossProduct{note}\n"));
+            render(left, depth + 1, out, annot);
+            render(right, depth + 1, out, annot);
         }
         PhysOp::Union { left, right } => {
-            out.push_str(&format!("{pad}Union\n"));
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
+            out.push_str(&format!("{pad}Union{note}\n"));
+            render(left, depth + 1, out, annot);
+            render(right, depth + 1, out, annot);
         }
         PhysOp::Difference { left, right } => {
-            out.push_str(&format!("{pad}Difference\n"));
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
+            out.push_str(&format!("{pad}Difference{note}\n"));
+            render(left, depth + 1, out, annot);
+            render(right, depth + 1, out, annot);
         }
         PhysOp::Dedup { input } => {
-            out.push_str(&format!("{pad}Dedup\n"));
-            render(input, depth + 1, out);
+            out.push_str(&format!("{pad}Dedup{note}\n"));
+            render(input, depth + 1, out, annot);
         }
         PhysOp::Rename { input, from, to } => {
-            out.push_str(&format!("{pad}Rename {from} -> {to}\n"));
-            render(input, depth + 1, out);
+            out.push_str(&format!("{pad}Rename {from} -> {to}{note}\n"));
+            render(input, depth + 1, out, annot);
         }
         PhysOp::Qualify { input, prefix } => {
-            out.push_str(&format!("{pad}Qualify {prefix}\n"));
-            render(input, depth + 1, out);
+            out.push_str(&format!("{pad}Qualify {prefix}{note}\n"));
+            render(input, depth + 1, out, annot);
         }
     }
 }

@@ -10,14 +10,14 @@ use maybms_relational::{Result, Value};
 
 use crate::algebra::common::{alias_cells, exists_loc, snapshot};
 use crate::algebra::{
-    self, difference_op, join_op_in, join_op_nested, product_op, project_op, qualify_op,
-    rename_op, select_op, union_op,
+    self, difference_op, join_op_nested, product_op, qualify_op, rename_op, union_op,
 };
 use crate::field::Field;
 use crate::wsd::{Existence, TemplateCell, TupleTemplate, Wsd};
 
 use super::plan::{PhysOp, PhysicalPlan};
 use super::pool::WorkerPool;
+use super::vector::{dedup_vec, join_vec, project_vec, select_vec};
 
 /// Executes physical plans with a fixed worker pool.
 pub struct Executor<'p> {
@@ -45,13 +45,34 @@ impl<'p> Executor<'p> {
     pub fn run(&self, plan: &PhysicalPlan, base: &Wsd) -> Result<Wsd> {
         let mut wsd = base.clone();
         let mut counter = 0usize;
-        let out = self.exec(&plan.root, &mut wsd, &mut counter)?;
+        let out = self.exec(&plan.root, &mut wsd, &mut counter, &mut None)?;
         algebra::extract_in(wsd, &out, "result", self.pool)
     }
 
+    /// [`Executor::run`] recording, per plan node, the number of output
+    /// template tuples it produced. Counts are indexed in pre-order (node
+    /// before children, left before right) — the order
+    /// [`super::plan::explain_physical_annotated`] visits nodes, so
+    /// `EXPLAIN ANALYZE` can zip them onto the rendered tree.
+    pub fn run_traced(&self, plan: &PhysicalPlan, base: &Wsd) -> Result<(Wsd, Vec<usize>)> {
+        let mut wsd = base.clone();
+        let mut counter = 0usize;
+        let mut trace = Some(Vec::new());
+        let out = self.exec(&plan.root, &mut wsd, &mut counter, &mut trace)?;
+        let result = algebra::extract_in(wsd, &out, "result", self.pool)?;
+        Ok((result, trace.expect("trace enabled")))
+    }
+
     /// Evaluates one node into `wsd`, returning the name of the relation
-    /// holding its answer.
-    fn exec(&self, op: &PhysOp, wsd: &mut Wsd, counter: &mut usize) -> Result<String> {
+    /// holding its answer. When `trace` is enabled, records the node's
+    /// output template count at its pre-order index.
+    fn exec(
+        &self,
+        op: &PhysOp,
+        wsd: &mut Wsd,
+        counter: &mut usize,
+        trace: &mut Option<Vec<usize>>,
+    ) -> Result<String> {
         let fresh = |wsd: &Wsd, counter: &mut usize| -> String {
             loop {
                 let name = format!("__p{}", *counter);
@@ -61,73 +82,94 @@ impl<'p> Executor<'p> {
                 }
             }
         };
+        // claim this node's pre-order slot before descending
+        let slot = trace.as_mut().map(|t| {
+            t.push(0);
+            t.len() - 1
+        });
+        let out = self.exec_node(op, wsd, counter, trace, &fresh)?;
+        if let (Some(t), Some(i)) = (trace.as_mut(), slot) {
+            t[i] = wsd.relation(&out)?.tuples.len();
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn exec_node(
+        &self,
+        op: &PhysOp,
+        wsd: &mut Wsd,
+        counter: &mut usize,
+        trace: &mut Option<Vec<usize>>,
+        fresh: &dyn Fn(&Wsd, &mut usize) -> String,
+    ) -> Result<String> {
         Ok(match op {
             PhysOp::SeqScan { rel } => {
                 wsd.relation(rel)?;
                 rel.clone()
             }
             PhysOp::Filter { input, pred } => {
-                let i = self.exec(input, wsd, counter)?;
+                let i = self.exec(input, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
-                select_op(wsd, &i, pred, &out)?;
+                select_vec(wsd, &i, pred, &out, self.pool)?;
                 out
             }
             PhysOp::Project { input, cols } => {
-                let i = self.exec(input, wsd, counter)?;
+                let i = self.exec(input, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
                 let names: Vec<&str> = cols.iter().map(String::as_str).collect();
-                project_op(wsd, &i, &names, &out)?;
+                project_vec(wsd, &i, &names, &out, self.pool)?;
                 out
             }
             PhysOp::HashJoin { left, right, pred, .. } => {
-                let l = self.exec(left, wsd, counter)?;
-                let r = self.exec(right, wsd, counter)?;
+                let l = self.exec(left, wsd, counter, trace)?;
+                let r = self.exec(right, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
-                join_op_in(wsd, &l, &r, pred, &out, self.pool)?;
+                join_vec(wsd, &l, &r, pred, &out, self.pool)?;
                 out
             }
             PhysOp::NestedLoopJoin { left, right, pred } => {
-                let l = self.exec(left, wsd, counter)?;
-                let r = self.exec(right, wsd, counter)?;
+                let l = self.exec(left, wsd, counter, trace)?;
+                let r = self.exec(right, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
                 join_op_nested(wsd, &l, &r, pred, &out)?;
                 out
             }
             PhysOp::CrossProduct { left, right } => {
-                let l = self.exec(left, wsd, counter)?;
-                let r = self.exec(right, wsd, counter)?;
+                let l = self.exec(left, wsd, counter, trace)?;
+                let r = self.exec(right, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
                 product_op(wsd, &l, &r, &out)?;
                 out
             }
             PhysOp::Union { left, right } => {
-                let l = self.exec(left, wsd, counter)?;
-                let r = self.exec(right, wsd, counter)?;
+                let l = self.exec(left, wsd, counter, trace)?;
+                let r = self.exec(right, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
                 union_op(wsd, &l, &r, &out)?;
                 out
             }
             PhysOp::Difference { left, right } => {
-                let l = self.exec(left, wsd, counter)?;
-                let r = self.exec(right, wsd, counter)?;
+                let l = self.exec(left, wsd, counter, trace)?;
+                let r = self.exec(right, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
                 difference_op(wsd, &l, &r, &out)?;
                 out
             }
             PhysOp::Dedup { input } => {
-                let i = self.exec(input, wsd, counter)?;
+                let i = self.exec(input, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
-                dedup_op(wsd, &i, &out)?;
+                dedup_vec(wsd, &i, &out)?;
                 out
             }
             PhysOp::Rename { input, from, to } => {
-                let i = self.exec(input, wsd, counter)?;
+                let i = self.exec(input, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
                 rename_op(wsd, &i, from, to, &out)?;
                 out
             }
             PhysOp::Qualify { input, prefix } => {
-                let i = self.exec(input, wsd, counter)?;
+                let i = self.exec(input, wsd, counter, trace)?;
                 let out = fresh(wsd, counter);
                 qualify_op(wsd, &i, prefix, &out)?;
                 out

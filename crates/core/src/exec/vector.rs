@@ -1,0 +1,609 @@
+//! Batch-at-a-time vectorized operators over code columns.
+//!
+//! The tuple-at-a-time operators in [`crate::algebra`] re-derive
+//! everything per template tuple: predicate evaluation clones referenced
+//! `Value`s into a fresh map per tuple, the hash join buckets and probes
+//! on owned `Value` keys, and dedup hashes whole value rows. But the
+//! decomposition already stores relations *columnar and interned* — each
+//! component column is a `u32` code per row plus a small dictionary — so
+//! a batch of template tuples can be processed as **code columns**:
+//!
+//! * [`encode`] snapshots a relation into per-column dictionaries of
+//!   distinct certain values plus one `u32` code per row per column
+//!   ([`OPEN_CODE`] marks component-backed cells), and a per-row
+//!   `fully_static` flag (all cells certain, existence `Always`).
+//! * [`select_vec`] decides the predicate **once per distinct code key**
+//!   over the referenced columns (a memo keyed by packed codes) instead
+//!   of once per row, producing a selection vector; surviving
+//!   fully-static rows are materialized in parallel morsels through the
+//!   [`WorkerPool`] and appended serially in input order.
+//! * [`join_vec`] translates both sides' key columns into one shared
+//!   dense code space (one hash per *distinct* value, not per row),
+//!   buckets right rows into a flat `Vec<Vec<usize>>` indexed by code,
+//!   probes in parallel with integer compares only, and memoizes the
+//!   residual predicate per distinct code-key pair. Fully-static pairs
+//!   take a branch-light emit path whose cells are built in parallel
+//!   shards; pairs touching open fields fall back to the tuple-at-a-time
+//!   `emit_pair` reference.
+//! * [`project_vec`] and [`dedup_vec`] fast-path fully-static rows
+//!   (direct cell builds; `Box<[u32]>` code keys instead of value rows).
+//!
+//! **Determinism.** Every parallel phase is a read-only
+//! [`WorkerPool::map`] (order-preserving at any worker count) and every
+//! mutation of the decomposition happens in a serial phase that walks
+//! rows/pairs in the same order as the sequential reference — so the
+//! output decomposition is identical at worker counts 1, 2 and N. The
+//! tuple-at-a-time operators remain the property-test oracle
+//! (`tests/oracle_properties.rs`).
+
+use std::collections::{HashMap, HashSet};
+
+use maybms_relational::{Expr, Result, Value};
+
+use crate::algebra::common::{
+    bind_pred, emit_passthrough, eval_partial, possible_values_of, snapshot, TupleInfo,
+};
+use crate::algebra::join::{emit_pair, equality_pairs};
+use crate::algebra::join_op_in;
+use crate::algebra::project::project_tuple;
+use crate::algebra::select::select_tuple_dynamic;
+use crate::wsd::{Existence, TemplateCell, TupleTemplate, Wsd};
+
+use super::pool::WorkerPool;
+
+/// Sentinel code for open (component-backed) cells in an encoded batch.
+pub const OPEN_CODE: u32 = u32::MAX;
+
+/// A relation snapshot encoded as code columns: per column, a dictionary
+/// of distinct certain values and one `u32` code per row ([`OPEN_CODE`]
+/// for open cells). Dictionary codes agree with SQL equality on non-NULL
+/// values because `Value`'s `Eq`/`Hash` do.
+pub struct Encoded {
+    /// The snapshotted template tuples, for slow paths and aliasing.
+    pub(crate) tuples: Vec<TupleInfo>,
+    /// The relation schema.
+    pub schema: maybms_relational::Schema,
+    /// Column-major codes: `codes[col][row]`.
+    pub codes: Vec<Vec<u32>>,
+    /// Per-column dictionaries: `dicts[col][code]` is the value.
+    pub dicts: Vec<Vec<Value>>,
+    /// Rows whose cells are all certain and whose existence is `Always`.
+    pub fully_static: Vec<bool>,
+}
+
+impl Encoded {
+    /// Number of encoded rows.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The value of a certain cell by (col, row) codes.
+    fn value(&self, col: usize, row: usize) -> &Value {
+        &self.dicts[col][self.codes[col][row] as usize]
+    }
+}
+
+/// Snapshots and encodes a relation into code columns.
+pub fn encode(wsd: &Wsd, rel: &str) -> Result<Encoded> {
+    let (schema, tuples) = snapshot(wsd, rel)?;
+    let ncols = schema.len();
+    let nrows = tuples.len();
+    let mut codes: Vec<Vec<u32>> = (0..ncols).map(|_| Vec::with_capacity(nrows)).collect();
+    let mut dicts: Vec<Vec<Value>> = vec![Vec::new(); ncols];
+    let mut interner: Vec<HashMap<Value, u32>> = vec![HashMap::new(); ncols];
+    let mut fully_static = Vec::with_capacity(nrows);
+    for t in &tuples {
+        let mut is_static = t.exists == Existence::Always;
+        for (c, cell) in t.cells.iter().enumerate() {
+            match cell {
+                TemplateCell::Certain(v) => {
+                    let code = match interner[c].get(v) {
+                        Some(&code) => code,
+                        None => {
+                            let code = dicts[c].len() as u32;
+                            dicts[c].push(v.clone());
+                            interner[c].insert(v.clone(), code);
+                            code
+                        }
+                    };
+                    codes[c].push(code);
+                }
+                TemplateCell::Open => {
+                    is_static = false;
+                    codes[c].push(OPEN_CODE);
+                }
+            }
+        }
+        fully_static.push(is_static);
+    }
+    Ok(Encoded { tuples, schema, codes, dicts, fully_static })
+}
+
+/// Per-row emit decision of the vectorized filter.
+#[derive(Clone, Copy, PartialEq)]
+enum Keep {
+    /// Statically rejected.
+    Drop,
+    /// Statically accepted, fully static: batch-built cells.
+    Fast,
+    /// Statically accepted but the tuple has open cells or open
+    /// existence elsewhere: per-tuple alias emit.
+    Alias,
+    /// Predicate touches open fields: dynamic per-tuple path.
+    Dynamic,
+}
+
+/// Vectorized σ_pred(input) → out.
+///
+/// Rows whose referenced columns are all certain are decided via a memo
+/// keyed by their packed predicate-column codes — one evaluation per
+/// *distinct* key, not per row. Surviving fully-static rows have their
+/// output cells built in parallel morsels; all rows are then appended
+/// serially in input order (open-field rows through the tuple-at-a-time
+/// dynamic path), so the result matches [`crate::algebra::select_op`]'s
+/// world semantics and is deterministic at every worker count.
+pub fn select_vec(
+    wsd: &mut Wsd,
+    input: &str,
+    pred: &Expr,
+    out: &str,
+    pool: &WorkerPool,
+) -> Result<()> {
+    let enc = encode(wsd, input)?;
+    let (bound, positions) = bind_pred(pred, &enc.schema)?;
+    wsd.add_relation(out, enc.schema.clone())?;
+    let arity = enc.schema.len();
+    let n = enc.len();
+
+    // Phase 1 (serial, branch-light): selection vector via memoized
+    // predicate decisions on packed code keys.
+    let mut memo: HashMap<Box<[u32]>, bool> = HashMap::new();
+    let mut keep: Vec<Keep> = Vec::with_capacity(n);
+    let mut key: Vec<u32> = Vec::with_capacity(positions.len());
+    for row in 0..n {
+        key.clear();
+        let mut all_certain = true;
+        for &p in &positions {
+            let c = enc.codes[p][row];
+            if c == OPEN_CODE {
+                all_certain = false;
+                break;
+            }
+            key.push(c);
+        }
+        if !all_certain {
+            keep.push(Keep::Dynamic);
+            continue;
+        }
+        let pass = match memo.get(key.as_slice()) {
+            Some(&b) => b,
+            None => {
+                let mut vals = HashMap::with_capacity(positions.len());
+                for (i, &p) in positions.iter().enumerate() {
+                    vals.insert(p, enc.dicts[p][key[i] as usize].clone());
+                }
+                let b = eval_partial(&bound, arity, &vals)?;
+                memo.insert(key.clone().into_boxed_slice(), b);
+                b
+            }
+        };
+        keep.push(match (pass, enc.fully_static[row]) {
+            (false, _) => Keep::Drop,
+            (true, true) => Keep::Fast,
+            (true, false) => Keep::Alias,
+        });
+    }
+
+    // Phase 2 (parallel): build output cells for the fast rows in
+    // per-worker morsels, merged in input order by WorkerPool::map.
+    let fast: Vec<usize> = (0..n).filter(|&r| keep[r] == Keep::Fast).collect();
+    let built: Vec<Vec<TemplateCell>> = pool.map(&fast, |_, &r| {
+        (0..arity).map(|c| TemplateCell::Certain(enc.value(c, r).clone())).collect()
+    });
+
+    // Phase 3 (serial, in input order): append.
+    wsd.reserve_tuples(out, fast.len());
+    let mut built = built.into_iter();
+    for (row, k) in keep.iter().enumerate() {
+        match k {
+            Keep::Drop => {}
+            Keep::Fast => {
+                let tid = wsd.fresh_tid();
+                let cells = built.next().expect("one build per fast row");
+                wsd.push_template(out, TupleTemplate { tid, cells, exists: Existence::Always })?;
+            }
+            Keep::Alias => emit_passthrough(wsd, &enc.tuples[row], out)?,
+            Keep::Dynamic => {
+                select_tuple_dynamic(wsd, &enc.tuples[row], &bound, &positions, arity, out)?
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Vectorized π_cols(input) → out: fully-static rows get direct cell
+/// builds (in parallel morsels); rows with open fields go through the
+/// tuple-at-a-time path, which handles ⊥-capable dropped columns.
+pub fn project_vec(
+    wsd: &mut Wsd,
+    input: &str,
+    cols: &[&str],
+    out: &str,
+    pool: &WorkerPool,
+) -> Result<()> {
+    let enc = encode(wsd, input)?;
+    let out_schema = enc.schema.project(cols)?;
+    let keep_positions: Vec<usize> = cols
+        .iter()
+        .map(|c| enc.schema.index_of(c))
+        .collect::<Result<_>>()?;
+    wsd.add_relation(out, out_schema)?;
+
+    let fast: Vec<usize> = (0..enc.len()).filter(|&r| enc.fully_static[r]).collect();
+    let built: Vec<Vec<TemplateCell>> = pool.map(&fast, |_, &r| {
+        keep_positions.iter().map(|&p| TemplateCell::Certain(enc.value(p, r).clone())).collect()
+    });
+
+    wsd.reserve_tuples(out, enc.len());
+    let mut built = built.into_iter();
+    for (row, t) in enc.tuples.iter().enumerate() {
+        if enc.fully_static[row] {
+            let tid = wsd.fresh_tid();
+            let cells = built.next().expect("one build per static row");
+            wsd.push_template(out, TupleTemplate { tid, cells, exists: Existence::Always })?;
+        } else {
+            project_tuple(wsd, t, &keep_positions, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Vectorized duplicate elimination: fully-static rows are keyed by their
+/// packed code rows (`Box<[u32]>`) — integer hashing, no value clones.
+/// Open templates pass through untouched, exactly like
+/// [`crate::exec::dedup_op`].
+pub fn dedup_vec(wsd: &mut Wsd, input: &str, out: &str) -> Result<()> {
+    let enc = encode(wsd, input)?;
+    let ncols = enc.schema.len();
+    wsd.add_relation(out, enc.schema.clone())?;
+    let mut seen: HashSet<Box<[u32]>> = HashSet::with_capacity(enc.len());
+    for (row, t) in enc.tuples.iter().enumerate() {
+        if enc.fully_static[row] {
+            let key: Box<[u32]> = (0..ncols).map(|c| enc.codes[c][row]).collect();
+            if !seen.insert(key) {
+                continue; // duplicate certain tuple: one copy suffices
+            }
+        }
+        emit_passthrough(wsd, t, out)?;
+    }
+    Ok(())
+}
+
+/// Per-row key codes of one side for one equality conjunct: the possible
+/// key values translated into the conjunct's shared dense code space
+/// (sorted, deduplicated; empty = matches nothing).
+type KeyCodes = Vec<Vec<u32>>;
+
+/// Translates one side's key column into the shared code space for one
+/// equality conjunct. `define` controls whether unseen values allocate
+/// new codes (build side) or map to nothing (probe side — a value absent
+/// from the build side joins nothing). Hashes once per *distinct* value:
+/// certain cells go through a dictionary translation table.
+fn side_key_codes(
+    wsd: &Wsd,
+    rel: &str,
+    enc: &Encoded,
+    col: usize,
+    shared: &mut HashMap<Value, u32>,
+    define: bool,
+) -> Result<KeyCodes> {
+    let intern = |shared: &mut HashMap<Value, u32>, v: &Value| -> Option<u32> {
+        if v.is_null() {
+            return None; // NULL never joins
+        }
+        match shared.get(v) {
+            Some(&c) => Some(c),
+            None if define => {
+                let c = shared.len() as u32;
+                shared.insert(v.clone(), c);
+                Some(c)
+            }
+            None => None,
+        }
+    };
+    let trans: Vec<Option<u32>> =
+        enc.dicts[col].iter().map(|v| intern(shared, v)).collect();
+    let mut keys = Vec::with_capacity(enc.len());
+    for (row, t) in enc.tuples.iter().enumerate() {
+        let code = enc.codes[col][row];
+        if code != OPEN_CODE {
+            keys.push(trans[code as usize].map(|c| vec![c]).unwrap_or_default());
+        } else {
+            let mut cs: Vec<u32> = possible_values_of(wsd, rel, t, col)?
+                .iter()
+                .filter_map(|v| intern(shared, v))
+                .collect();
+            cs.sort_unstable();
+            cs.dedup();
+            keys.push(cs);
+        }
+    }
+    Ok(keys)
+}
+
+/// True iff two sorted code lists intersect.
+fn codes_intersect(a: &[u32], b: &[u32]) -> bool {
+    if a.len() == 1 && b.len() == 1 {
+        return a[0] == b[0];
+    }
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Vectorized hash equi-join: input_l ⋈_pred input_r → out.
+///
+/// Build: both sides' key columns are translated into one shared dense
+/// code space per equality conjunct (one hash per distinct value), and
+/// right rows are bucketed into a flat vector indexed by first-key code.
+/// Probe: per left row, candidates come from its key buckets and the
+/// residual equality conjuncts prune by sorted-code intersection —
+/// integer compares only, fanned out through the pool. Emit: the full
+/// predicate is decided once per distinct code-key pair (memoized);
+/// fully-static pairs get batch-built certain cells (parallel shards,
+/// serial ordered append), pairs touching open fields fall back to the
+/// tuple-at-a-time `emit_pair` reference. Output order equals the
+/// sequential hash join's at every worker count.
+///
+/// Predicates with no cross-side equality conjunct delegate to
+/// [`join_op_in`]'s nested-loop fallback.
+pub fn join_vec(
+    wsd: &mut Wsd,
+    left: &str,
+    right: &str,
+    pred: &Expr,
+    out: &str,
+    pool: &WorkerPool,
+) -> Result<()> {
+    let lenc = encode(wsd, left)?;
+    let renc = encode(wsd, right)?;
+    let larity = lenc.schema.len();
+    let rarity = renc.schema.len();
+    let out_schema = lenc.schema.concat(&renc.schema);
+    let eq_pairs = equality_pairs(pred, &out_schema, larity);
+    if eq_pairs.is_empty() {
+        return join_op_in(wsd, left, right, pred, out, pool);
+    }
+    let (bound, positions) = bind_pred(pred, &out_schema)?;
+    let arity = out_schema.len();
+    wsd.add_relation(out, out_schema)?;
+
+    // Build: shared code spaces and per-row key codes per conjunct.
+    let np = eq_pairs.len();
+    let mut l_keys: Vec<KeyCodes> = Vec::with_capacity(np);
+    let mut r_keys: Vec<KeyCodes> = Vec::with_capacity(np);
+    let mut nbuckets = 0usize;
+    for (k, &(lp, rp)) in eq_pairs.iter().enumerate() {
+        let mut shared: HashMap<Value, u32> = HashMap::new();
+        let rk = side_key_codes(wsd, right, &renc, rp - larity, &mut shared, true)?;
+        let lk = side_key_codes(wsd, left, &lenc, lp, &mut shared, false)?;
+        if k == 0 {
+            nbuckets = shared.len();
+        }
+        l_keys.push(lk);
+        r_keys.push(rk);
+    }
+
+    // Bucket right rows by every possible code of the first conjunct.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nbuckets];
+    for (ri, codes) in r_keys[0].iter().enumerate() {
+        for &c in codes {
+            buckets[c as usize].push(ri);
+        }
+    }
+
+    // Probe (parallel, read-only): candidate right rows per left row, in
+    // ascending order, pruned through the residual conjuncts.
+    let lrows: Vec<usize> = (0..lenc.len()).collect();
+    let cands: Vec<Vec<usize>> = pool.map(&lrows, |_, &li| {
+        let mut cand: Vec<usize> = Vec::new();
+        for &c in &l_keys[0][li] {
+            cand.extend_from_slice(&buckets[c as usize]);
+        }
+        if l_keys[0][li].len() > 1 {
+            cand.sort_unstable();
+            cand.dedup();
+        }
+        cand.retain(|&ri| (1..np).all(|k| codes_intersect(&l_keys[k][li], &r_keys[k][ri])));
+        cand
+    });
+
+    // Emit plan (serial): decide fully-static pairs via the memoized
+    // predicate on packed code keys; leave open pairs to the reference.
+    let lref: Vec<usize> = positions.iter().copied().filter(|&p| p < larity).collect();
+    let rref: Vec<usize> =
+        positions.iter().copied().filter(|&p| p >= larity).map(|p| p - larity).collect();
+    let mut memo: HashMap<Box<[u32]>, bool> = HashMap::new();
+    let mut plan: Vec<(usize, usize, bool)> = Vec::new();
+    let mut key: Vec<u32> = Vec::with_capacity(lref.len() + rref.len());
+    for (li, cand) in cands.iter().enumerate() {
+        for &ri in cand {
+            if !(lenc.fully_static[li] && renc.fully_static[ri]) {
+                plan.push((li, ri, false));
+                continue;
+            }
+            key.clear();
+            for &p in &lref {
+                key.push(lenc.codes[p][li]);
+            }
+            for &p in &rref {
+                key.push(renc.codes[p][ri]);
+            }
+            let pass = match memo.get(key.as_slice()) {
+                Some(&b) => b,
+                None => {
+                    let mut vals = HashMap::with_capacity(key.len());
+                    for &p in &lref {
+                        vals.insert(p, lenc.value(p, li).clone());
+                    }
+                    for &p in &rref {
+                        vals.insert(p + larity, renc.value(p, ri).clone());
+                    }
+                    let b = eval_partial(&bound, arity, &vals)?;
+                    memo.insert(key.clone().into_boxed_slice(), b);
+                    b
+                }
+            };
+            if pass {
+                plan.push((li, ri, true));
+            }
+        }
+    }
+
+    // Materialize fast pairs' cells in parallel shards.
+    let fast: Vec<(usize, usize)> =
+        plan.iter().filter(|&&(_, _, f)| f).map(|&(li, ri, _)| (li, ri)).collect();
+    let built: Vec<Vec<TemplateCell>> = pool.map(&fast, |_, &(li, ri)| {
+        let mut cells = Vec::with_capacity(arity);
+        for c in 0..larity {
+            cells.push(TemplateCell::Certain(lenc.value(c, li).clone()));
+        }
+        for c in 0..rarity {
+            cells.push(TemplateCell::Certain(renc.value(c, ri).clone()));
+        }
+        cells
+    });
+
+    // Serial ordered append: identical to the sequential reference.
+    wsd.reserve_tuples(out, plan.len());
+    let mut built = built.into_iter();
+    for &(li, ri, is_fast) in &plan {
+        if is_fast {
+            let tid = wsd.fresh_tid();
+            let cells = built.next().expect("one build per fast pair");
+            wsd.push_template(out, TupleTemplate { tid, cells, exists: Existence::Always })?;
+        } else {
+            emit_pair(wsd, &bound, &positions, larity, out, &lenc.tuples[li], &renc.tuples[ri], arity)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{join_op, project_op, select_op};
+    use crate::examples::medical_wsd;
+    use maybms_relational::{ColumnType, Schema};
+
+    fn equivalent(a: &Wsd, b: &Wsd) -> bool {
+        a.to_worldset(100_000)
+            .unwrap()
+            .equivalent(&b.to_worldset(100_000).unwrap(), 1e-9)
+    }
+
+    #[test]
+    fn select_vec_matches_select_op() {
+        let wsd = medical_wsd();
+        for pred in [
+            Expr::col("diagnosis").eq(Expr::lit("pregnancy")),
+            Expr::col("symptom").eq(Expr::lit("fatigue")),
+            Expr::lit(true),
+            Expr::lit(false),
+        ] {
+            for workers in [1, 2, 4] {
+                let pool = WorkerPool::new(workers);
+                let mut a = wsd.clone();
+                select_vec(&mut a, "R", &pred, "out", &pool).unwrap();
+                let mut b = wsd.clone();
+                select_op(&mut b, "R", &pred, "out").unwrap();
+                let a = crate::algebra::extract(a, "out", "result").unwrap();
+                let b = crate::algebra::extract(b, "out", "result").unwrap();
+                assert!(equivalent(&a, &b), "pred {pred:?} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_vec_matches_join_op() {
+        let mut wsd = medical_wsd();
+        wsd.add_relation(
+            "T",
+            Schema::new(vec![("tname", ColumnType::Str), ("cost", ColumnType::Int)]),
+        )
+        .unwrap();
+        wsd.push_certain("T", vec![Value::str("ultrasound"), Value::Int(120)]).unwrap();
+        wsd.push_certain("T", vec![Value::str("TSH"), Value::Int(40)]).unwrap();
+        let pred = Expr::col("test").eq(Expr::col("tname"));
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let mut a = wsd.clone();
+            join_vec(&mut a, "R", "T", &pred, "out", &pool).unwrap();
+            let mut b = wsd.clone();
+            join_op(&mut b, "R", "T", &pred, "out").unwrap();
+            let a = crate::algebra::extract(a, "out", "result").unwrap();
+            let b = crate::algebra::extract(b, "out", "result").unwrap();
+            assert!(equivalent(&a, &b), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn join_vec_is_deterministic_across_worker_counts() {
+        let mut wsd = Wsd::new();
+        wsd.add_relation("a", Schema::new(vec![("x", ColumnType::Int)])).unwrap();
+        wsd.add_relation("b", Schema::new(vec![("y", ColumnType::Int)])).unwrap();
+        for i in 0..50 {
+            wsd.push_certain("a", vec![Value::Int(i % 7)]).unwrap();
+            wsd.push_certain("b", vec![Value::Int(i % 5)]).unwrap();
+        }
+        let pred = Expr::col("x").eq(Expr::col("y"));
+        let mut reference: Option<String> = None;
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let mut w = wsd.clone();
+            join_vec(&mut w, "a", "b", &pred, "out", &pool).unwrap();
+            let rendered = format!("{:?}", w.relation("out").unwrap());
+            match &reference {
+                None => reference = Some(rendered),
+                Some(r) => assert_eq!(r, &rendered, "workers {workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_vec_drops_duplicate_certain_rows() {
+        let mut w = Wsd::new();
+        w.add_relation("r", Schema::new(vec![("a", ColumnType::Int)])).unwrap();
+        w.push_certain("r", vec![Value::Int(1)]).unwrap();
+        w.push_certain("r", vec![Value::Int(1)]).unwrap();
+        w.push_certain("r", vec![Value::Int(2)]).unwrap();
+        dedup_vec(&mut w, "r", "out").unwrap();
+        assert_eq!(w.relation("out").unwrap().tuples.len(), 2);
+    }
+
+    #[test]
+    fn project_vec_matches_project_op() {
+        let wsd = medical_wsd();
+        for cols in [vec!["test"], vec!["test", "diagnosis"]] {
+            let pool = WorkerPool::new(2);
+            let mut a = wsd.clone();
+            project_vec(&mut a, "R", &cols, "out", &pool).unwrap();
+            let mut b = wsd.clone();
+            project_op(&mut b, "R", &cols, "out").unwrap();
+            let a = crate::algebra::extract(a, "out", "result").unwrap();
+            let b = crate::algebra::extract(b, "out", "result").unwrap();
+            assert!(equivalent(&a, &b), "cols {cols:?}");
+        }
+    }
+}

@@ -103,6 +103,7 @@ pub mod factorize;
 pub mod field;
 pub mod normalize;
 pub mod prob;
+pub mod stats;
 pub mod wsd;
 
 pub use bigint::BigUint;

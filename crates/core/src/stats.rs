@@ -1,0 +1,596 @@
+//! Relation statistics and cardinality estimation for cost-based planning.
+//!
+//! [`WsdStats`] is the collector: it computes per-relation statistics
+//! ([`RelStats`] — row counts and per-column distinct counts, including
+//! every possible value of open fields) on demand and caches them.
+//! Invalidation is **incremental, like the dirty set**: the [`Wsd`] keeps
+//! a per-relation template epoch and a global component epoch
+//! ([`Wsd::relation_epoch`] / [`Wsd::component_epoch`]), and a cached
+//! entry is recomputed only when the epochs it was computed under have
+//! moved. Statistics of fully-certain relations survive mutations of
+//! other relations and of components entirely.
+//!
+//! On top of the raw statistics sit the estimators used by the SQL
+//! optimizer's join-order search and by `EXPLAIN`:
+//! [`estimate_query`] walks a logical [`Query`] tree and
+//! [`estimate_phys`] a physical operator tree, both producing row-count
+//! estimates from textbook selectivity rules (`1/distinct` for
+//! equalities, `1/3` for range predicates) and, for the physical tree, a
+//! cumulative cost in abstract "rows touched" units.
+
+use std::collections::{HashMap, HashSet};
+
+use maybms_relational::{CmpOp, Expr, Result, Value};
+
+use crate::algebra::Query;
+use crate::exec::PhysOp;
+use crate::field::Field;
+use crate::wsd::{Existence, TemplateCell, Wsd};
+
+/// Statistics of one column of a relation template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColStats {
+    /// Column name (schema order is preserved in [`RelStats::cols`]).
+    pub name: String,
+    /// Distinct possible values across all tuples and worlds: certain
+    /// values plus every possible value of open fields.
+    pub distinct: usize,
+    /// Whether any tuple has an open (world-dependent) cell here.
+    pub has_open: bool,
+}
+
+/// Statistics of one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelStats {
+    /// Template tuples — an upper bound on the per-world cardinality.
+    pub rows: usize,
+    /// Whether any tuple's existence or any cell is world-dependent
+    /// (if so, the stats depend on component contents).
+    pub has_open: bool,
+    /// Per-column statistics, aligned with the schema.
+    pub cols: Vec<ColStats>,
+}
+
+impl RelStats {
+    /// Distinct count of the named column (`None` if absent).
+    pub fn distinct_of(&self, col: &str) -> Option<usize> {
+        self.cols.iter().find(|c| c.name == col).map(|c| c.distinct)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedRel {
+    rel_epoch: u64,
+    comp_epoch: u64,
+    stats: RelStats,
+}
+
+/// The statistics collector: a per-relation cache of [`RelStats`] keyed
+/// by the [`Wsd`] mutation epochs. Cheap to clone when empty; intended to
+/// live next to a session and persist across queries.
+#[derive(Debug, Clone, Default)]
+pub struct WsdStats {
+    cache: HashMap<String, CachedRel>,
+    hits: u64,
+    misses: u64,
+}
+
+impl WsdStats {
+    /// An empty collector.
+    pub fn new() -> WsdStats {
+        WsdStats::default()
+    }
+
+    /// Statistics of `rel`, recomputed only if the relation's template
+    /// epoch moved — or, for relations with open fields, if any component
+    /// changed.
+    pub fn rel(&mut self, wsd: &Wsd, rel: &str) -> Result<&RelStats> {
+        let rel_epoch = wsd.relation_epoch(rel);
+        let comp_epoch = wsd.component_epoch();
+        let valid = match self.cache.get(rel) {
+            Some(c) => {
+                c.rel_epoch == rel_epoch
+                    && (!c.stats.has_open || c.comp_epoch == comp_epoch)
+            }
+            None => false,
+        };
+        if valid {
+            self.hits += 1;
+        } else {
+            let stats = compute_rel_stats(wsd, rel)?;
+            self.misses += 1;
+            self.cache
+                .insert(rel.to_string(), CachedRel { rel_epoch, comp_epoch, stats });
+        }
+        Ok(&self.cache.get(rel).expect("just inserted").stats)
+    }
+
+    /// Cardinalities (row counts) of the live components — the
+    /// decomposition-level view of how much uncertainty each component
+    /// carries.
+    pub fn component_cardinalities(&self, wsd: &Wsd) -> Vec<usize> {
+        wsd.live_components()
+            .into_iter()
+            .map(|i| wsd.component(i).expect("live").num_rows())
+            .collect()
+    }
+
+    /// `(cache hits, recomputations)` since construction — the
+    /// incremental-maintenance observability hook.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+fn compute_rel_stats(wsd: &Wsd, rel: &str) -> Result<RelStats> {
+    let tpl = wsd.relation(rel)?;
+    let ncols = tpl.schema.len();
+    let mut sets: Vec<HashSet<Value>> = vec![HashSet::new(); ncols];
+    let mut open: Vec<bool> = vec![false; ncols];
+    let mut has_open = false;
+    // Possible values of a component column are scanned once even when
+    // many open fields alias the same column.
+    let mut col_cache: HashMap<(usize, usize), Vec<Value>> = HashMap::new();
+    for t in &tpl.tuples {
+        if t.exists == Existence::Open {
+            has_open = true;
+        }
+        for (i, cell) in t.cells.iter().enumerate() {
+            match cell {
+                TemplateCell::Certain(v) => {
+                    sets[i].insert(v.clone());
+                }
+                TemplateCell::Open => {
+                    open[i] = true;
+                    has_open = true;
+                    if let Some(loc) = wsd.field_loc(Field::attr(t.tid, i as u32)) {
+                        let vals = col_cache.entry(loc).or_insert_with(|| {
+                            wsd.component(loc.0)
+                                .map(|c| c.possible_values_col(loc.1))
+                                .unwrap_or_default()
+                        });
+                        for v in vals.iter() {
+                            sets[i].insert(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let cols = (0..ncols)
+        .map(|i| ColStats {
+            name: tpl.schema.column(i).name.clone(),
+            distinct: sets[i].len(),
+            has_open: open[i],
+        })
+        .collect();
+    Ok(RelStats { rows: tpl.tuples.len(), has_open, cols })
+}
+
+// ---------------------------------------------------------------------
+// Cardinality estimation
+// ---------------------------------------------------------------------
+
+/// A cardinality estimate of a plan node: expected rows plus per-column
+/// distinct-count estimates (keyed by output column name).
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated distinct values per output column.
+    pub distinct: HashMap<String, f64>,
+}
+
+impl Estimate {
+    fn cap_distinct(mut self) -> Estimate {
+        for d in self.distinct.values_mut() {
+            *d = d.min(self.rows).max(if self.rows > 0.0 { 1.0 } else { 0.0 });
+        }
+        self
+    }
+}
+
+/// Selectivity of `pred` against an input estimate: `1/distinct` for
+/// equalities, `1/3` for ranges, textbook combinators for AND/OR/NOT.
+pub fn selectivity(pred: &Expr, input: &Estimate) -> f64 {
+    let s = match pred {
+        Expr::Lit(Value::Bool(true)) => 1.0,
+        Expr::Lit(Value::Bool(false)) => 0.0,
+        Expr::And(a, b) => selectivity(a, input) * selectivity(b, input),
+        Expr::Or(a, b) => {
+            let (sa, sb) = (selectivity(a, input), selectivity(b, input));
+            sa + sb - sa * sb
+        }
+        Expr::Not(e) => 1.0 - selectivity(e, input),
+        Expr::Cmp(op, a, b) => cmp_selectivity(*op, a, b, input),
+        Expr::InList(e, vals) => {
+            if let Expr::Col(n) = e.as_ref() {
+                let d = input.distinct.get(n).copied().unwrap_or(10.0).max(1.0);
+                (vals.len() as f64 / d).min(1.0)
+            } else {
+                0.5
+            }
+        }
+        Expr::IsNull(_) => 0.1,
+        _ => 0.5,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+fn cmp_selectivity(op: CmpOp, a: &Expr, b: &Expr, input: &Estimate) -> f64 {
+    let dist = |e: &Expr| match e {
+        Expr::Col(n) => input.distinct.get(n).copied(),
+        _ => None,
+    };
+    match op {
+        CmpOp::Eq => match (dist(a), dist(b)) {
+            // col = col: the classic 1/max(d_a, d_b)
+            (Some(da), Some(db)) => 1.0 / da.max(db).max(1.0),
+            // col = literal (or expression): 1/d
+            (Some(d), None) | (None, Some(d)) => 1.0 / d.max(1.0),
+            (None, None) => 0.1,
+        },
+        CmpOp::Ne => match (dist(a), dist(b)) {
+            (Some(da), Some(db)) => 1.0 - 1.0 / da.max(db).max(1.0),
+            (Some(d), None) | (None, Some(d)) => 1.0 - 1.0 / d.max(1.0),
+            (None, None) => 0.9,
+        },
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => 1.0 / 3.0,
+    }
+}
+
+fn base_estimate(wsd: &Wsd, stats: &mut WsdStats, rel: &str) -> Result<Estimate> {
+    let rs = stats.rel(wsd, rel)?;
+    let distinct = rs
+        .cols
+        .iter()
+        .map(|c| (c.name.clone(), c.distinct as f64))
+        .collect();
+    Ok(Estimate { rows: rs.rows as f64, distinct })
+}
+
+fn apply_filter(mut est: Estimate, pred: &Expr) -> Estimate {
+    let sel = selectivity(pred, &est);
+    est.rows *= sel;
+    // An equality against a literal pins the column to one value.
+    for c in pred.conjuncts() {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = c {
+            match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(n), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(n)) => {
+                    if let Some(d) = est.distinct.get_mut(n) {
+                        *d = 1.0;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    est.cap_distinct()
+}
+
+fn combine_join(l: Estimate, r: Estimate, pred: Option<&Expr>) -> Estimate {
+    let mut distinct = l.distinct;
+    for (k, v) in r.distinct {
+        distinct.entry(k).or_insert(v);
+    }
+    let mut est = Estimate { rows: l.rows * r.rows, distinct };
+    if let Some(p) = pred {
+        let sel = selectivity(p, &est);
+        est.rows *= sel;
+    }
+    est.cap_distinct()
+}
+
+/// Estimates the cardinality of a logical [`Query`] tree.
+pub fn estimate_query(q: &Query, wsd: &Wsd, stats: &mut WsdStats) -> Result<Estimate> {
+    Ok(match q {
+        Query::Table(n) => base_estimate(wsd, stats, n)?,
+        Query::Select(i, p) => apply_filter(estimate_query(i, wsd, stats)?, p),
+        Query::Project(i, cols) => {
+            let child = estimate_query(i, wsd, stats)?;
+            let distinct = cols
+                .iter()
+                .filter_map(|c| child.distinct.get(c).map(|&d| (c.clone(), d)))
+                .collect();
+            Estimate { rows: child.rows, distinct }
+        }
+        Query::Product(a, b) => combine_join(
+            estimate_query(a, wsd, stats)?,
+            estimate_query(b, wsd, stats)?,
+            None,
+        ),
+        Query::Join(a, b, p) => combine_join(
+            estimate_query(a, wsd, stats)?,
+            estimate_query(b, wsd, stats)?,
+            Some(p),
+        ),
+        Query::Union(a, b) => {
+            let (l, r) = (estimate_query(a, wsd, stats)?, estimate_query(b, wsd, stats)?);
+            let mut distinct = l.distinct;
+            for (k, v) in r.distinct {
+                let e = distinct.entry(k).or_insert(0.0);
+                *e += v;
+            }
+            Estimate { rows: l.rows + r.rows, distinct }.cap_distinct()
+        }
+        Query::Difference(a, b) => {
+            let l = estimate_query(a, wsd, stats)?;
+            let _ = estimate_query(b, wsd, stats)?;
+            l
+        }
+        Query::Distinct(i) => {
+            let child = estimate_query(i, wsd, stats)?;
+            // Output rows are bounded by the product of column distincts.
+            let bound: f64 = child
+                .distinct
+                .values()
+                .fold(1.0f64, |acc, &d| (acc * d.max(1.0)).min(1e18));
+            Estimate { rows: child.rows.min(bound), distinct: child.distinct }.cap_distinct()
+        }
+        Query::Rename(i, _, _) => estimate_query(i, wsd, stats)?,
+        Query::Qualify(i, p) => {
+            let child = estimate_query(i, wsd, stats)?;
+            let distinct = child
+                .distinct
+                .into_iter()
+                .map(|(k, v)| (format!("{p}.{k}"), v))
+                .collect();
+            Estimate { rows: child.rows, distinct }
+        }
+    })
+}
+
+/// A physical node's estimate: output rows plus cumulative cost in
+/// abstract "rows touched" units (inputs scanned, hash tables built,
+/// pairs emitted — nested loops pay the full cross product).
+#[derive(Debug, Clone, Copy)]
+pub struct PhysEstimate {
+    /// Estimated output rows of the node.
+    pub rows: f64,
+    /// Estimated cumulative cost of the subtree rooted here.
+    pub cost: f64,
+}
+
+fn phys(est: Estimate, cost: f64) -> (Estimate, f64) {
+    (est, cost)
+}
+
+fn estimate_phys_inner(
+    op: &PhysOp,
+    wsd: &Wsd,
+    stats: &mut WsdStats,
+) -> Result<(Estimate, f64)> {
+    Ok(match op {
+        PhysOp::SeqScan { rel } => {
+            let e = base_estimate(wsd, stats, rel)?;
+            let c = e.rows;
+            phys(e, c)
+        }
+        PhysOp::Filter { input, pred } => {
+            let (child, cost) = estimate_phys_inner(input, wsd, stats)?;
+            let scanned = child.rows;
+            phys(apply_filter(child, pred), cost + scanned)
+        }
+        PhysOp::Project { input, cols } => {
+            let (child, cost) = estimate_phys_inner(input, wsd, stats)?;
+            let scanned = child.rows;
+            let distinct = cols
+                .iter()
+                .filter_map(|c| child.distinct.get(c).map(|&d| (c.clone(), d)))
+                .collect();
+            phys(Estimate { rows: child.rows, distinct }, cost + scanned)
+        }
+        PhysOp::HashJoin { left, right, pred, .. } => {
+            let (l, cl) = estimate_phys_inner(left, wsd, stats)?;
+            let (r, cr) = estimate_phys_inner(right, wsd, stats)?;
+            let (lr, rr) = (l.rows, r.rows);
+            let out = combine_join(l, r, Some(pred));
+            let c = cl + cr + lr + rr + out.rows;
+            phys(out, c)
+        }
+        PhysOp::NestedLoopJoin { left, right, pred } => {
+            let (l, cl) = estimate_phys_inner(left, wsd, stats)?;
+            let (r, cr) = estimate_phys_inner(right, wsd, stats)?;
+            let pairs = l.rows * r.rows;
+            let out = combine_join(l, r, Some(pred));
+            phys(out, cl + cr + pairs)
+        }
+        PhysOp::CrossProduct { left, right } => {
+            let (l, cl) = estimate_phys_inner(left, wsd, stats)?;
+            let (r, cr) = estimate_phys_inner(right, wsd, stats)?;
+            let pairs = l.rows * r.rows;
+            let out = combine_join(l, r, None);
+            phys(out, cl + cr + pairs)
+        }
+        PhysOp::Union { left, right } => {
+            let (l, cl) = estimate_phys_inner(left, wsd, stats)?;
+            let (r, cr) = estimate_phys_inner(right, wsd, stats)?;
+            let rows = l.rows + r.rows;
+            let mut distinct = l.distinct;
+            for (k, v) in r.distinct {
+                let e = distinct.entry(k).or_insert(0.0);
+                *e += v;
+            }
+            phys(
+                Estimate { rows, distinct }.cap_distinct(),
+                cl + cr + rows,
+            )
+        }
+        PhysOp::Difference { left, right } => {
+            let (l, cl) = estimate_phys_inner(left, wsd, stats)?;
+            let (r, cr) = estimate_phys_inner(right, wsd, stats)?;
+            let scanned = l.rows + r.rows;
+            phys(l, cl + cr + scanned)
+        }
+        PhysOp::Dedup { input } => {
+            let (child, cost) = estimate_phys_inner(input, wsd, stats)?;
+            let scanned = child.rows;
+            let bound: f64 = child
+                .distinct
+                .values()
+                .fold(1.0f64, |acc, &d| (acc * d.max(1.0)).min(1e18));
+            phys(
+                Estimate { rows: child.rows.min(bound), distinct: child.distinct }
+                    .cap_distinct(),
+                cost + scanned,
+            )
+        }
+        PhysOp::Rename { input, .. } => estimate_phys_inner(input, wsd, stats)?,
+        PhysOp::Qualify { input, prefix } => {
+            let (child, cost) = estimate_phys_inner(input, wsd, stats)?;
+            let distinct = child
+                .distinct
+                .into_iter()
+                .map(|(k, v)| (format!("{prefix}.{k}"), v))
+                .collect();
+            phys(Estimate { rows: child.rows, distinct }, cost)
+        }
+    })
+}
+
+/// Estimates rows and cumulative cost of a physical operator subtree —
+/// the numbers `EXPLAIN` prints per node.
+pub fn estimate_phys(op: &PhysOp, wsd: &Wsd, stats: &mut WsdStats) -> Result<PhysEstimate> {
+    let (est, cost) = estimate_phys_inner(op, wsd, stats)?;
+    Ok(PhysEstimate { rows: est.rows, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_relational::{ColumnType, Schema};
+    use maybms_worldset::OrSetCell;
+
+    fn wsd_with(rows: &[(i64, &str)]) -> Wsd {
+        let mut w = Wsd::new();
+        w.add_relation(
+            "r",
+            Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Str)]),
+        )
+        .unwrap();
+        for &(a, b) in rows {
+            w.push_certain("r", vec![Value::Int(a), Value::str(b)]).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn exact_counts_on_certain_relations() {
+        let w = wsd_with(&[(1, "x"), (1, "y"), (2, "x"), (3, "x")]);
+        let mut s = WsdStats::new();
+        let rs = s.rel(&w, "r").unwrap();
+        assert_eq!(rs.rows, 4);
+        assert_eq!(rs.distinct_of("a"), Some(3));
+        assert_eq!(rs.distinct_of("b"), Some(2));
+        assert!(!rs.has_open);
+    }
+
+    #[test]
+    fn open_fields_count_all_possible_values() {
+        let mut w = wsd_with(&[(1, "x")]);
+        w.push_orset(
+            "r",
+            vec![
+                OrSetCell::uniform(vec![Value::Int(7), Value::Int(8)]).unwrap(),
+                OrSetCell::certain("x"),
+            ],
+        )
+        .unwrap();
+        let mut s = WsdStats::new();
+        let rs = s.rel(&w, "r").unwrap();
+        assert_eq!(rs.rows, 2);
+        // {1} certain ∪ {7, 8} possible
+        assert_eq!(rs.distinct_of("a"), Some(3));
+        assert_eq!(rs.distinct_of("b"), Some(1));
+        assert!(rs.has_open);
+    }
+
+    #[test]
+    fn cache_invalidates_on_insert_delete_and_merge() {
+        let mut w = wsd_with(&[(1, "x"), (2, "y")]);
+        let mut s = WsdStats::new();
+        assert_eq!(s.rel(&w, "r").unwrap().rows, 2);
+        assert_eq!(s.counters(), (0, 1));
+
+        // Cached while nothing changed.
+        assert_eq!(s.rel(&w, "r").unwrap().rows, 2);
+        assert_eq!(s.counters(), (1, 1));
+
+        // Insert invalidates.
+        w.push_certain("r", vec![Value::Int(9), Value::str("z")]).unwrap();
+        assert_eq!(s.rel(&w, "r").unwrap().rows, 3);
+        assert_eq!(s.counters(), (1, 2));
+        assert_eq!(s.rel(&w, "r").unwrap().distinct_of("a"), Some(3));
+        assert_eq!(s.counters(), (2, 2));
+
+        // Component merges invalidate stats of open relations only: add
+        // an open tuple, cache, then merge.
+        w.push_orset(
+            "r",
+            vec![
+                OrSetCell::uniform(vec![Value::Int(4), Value::Int(5)]).unwrap(),
+                OrSetCell::uniform(vec![Value::str("p"), Value::str("q")]).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.rel(&w, "r").unwrap().rows, 4);
+        let live = w.live_components();
+        w.merge_components(&live).unwrap();
+        let (_, misses_before) = s.counters();
+        let rs = s.rel(&w, "r").unwrap();
+        assert_eq!(rs.distinct_of("a"), Some(5)); // {1,2,9} ∪ {4,5}
+        let (_, misses_after) = s.counters();
+        assert_eq!(misses_after, misses_before + 1, "merge must recompute");
+    }
+
+    #[test]
+    fn certain_relation_stats_survive_unrelated_mutations() {
+        let mut w = wsd_with(&[(1, "x")]);
+        w.add_relation("s", Schema::new(vec![("c", ColumnType::Int)])).unwrap();
+        let mut st = WsdStats::new();
+        let _ = st.rel(&w, "r").unwrap();
+        let (h0, m0) = st.counters();
+        w.push_certain("s", vec![Value::Int(1)]).unwrap();
+        let _ = st.rel(&w, "r").unwrap();
+        let (h1, m1) = st.counters();
+        assert_eq!((h1, m1), (h0 + 1, m0), "r's stats must stay cached");
+    }
+
+    #[test]
+    fn estimates_within_bounds() {
+        let w = wsd_with(&[(1, "x"), (1, "y"), (2, "x"), (3, "x"), (3, "y"), (3, "z")]);
+        let mut s = WsdStats::new();
+
+        // σ(a = 1): 6 rows / 3 distinct = 2.
+        let q = Query::table("r").select(Expr::col("a").eq(Expr::lit(1i64)));
+        let est = estimate_query(&q, &w, &mut s).unwrap();
+        assert!((est.rows - 2.0).abs() < 1e-9, "rows = {}", est.rows);
+
+        // Self-join on a ≈ |r|²/max(d, d).
+        let q2 = Query::table("r")
+            .qualify("x")
+            .join(Query::table("r").qualify("y"), Expr::col("x.a").eq(Expr::col("y.a")));
+        let est2 = estimate_query(&q2, &w, &mut s).unwrap();
+        assert!((est2.rows - 12.0).abs() < 1e-9, "rows = {}", est2.rows);
+
+        // Range predicates use the 1/3 rule.
+        let q3 = Query::table("r").select(Expr::col("a").gt(Expr::lit(1i64)));
+        let est3 = estimate_query(&q3, &w, &mut s).unwrap();
+        assert!((est3.rows - 2.0).abs() < 1e-9, "rows = {}", est3.rows);
+    }
+
+    #[test]
+    fn component_cardinalities_reported() {
+        let mut w = wsd_with(&[]);
+        w.push_orset(
+            "r",
+            vec![
+                OrSetCell::uniform(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap(),
+                OrSetCell::certain("x"),
+            ],
+        )
+        .unwrap();
+        let s = WsdStats::new();
+        assert_eq!(s.component_cardinalities(&w), vec![3]);
+    }
+}

@@ -106,6 +106,18 @@ pub struct Wsd {
     /// Components touched since the last incremental normalize.
     pub(crate) dirty: BTreeSet<usize>,
     pub(crate) next_tid: u64,
+    /// Monotone mutation clock feeding the epoch counters below.
+    pub(crate) clock: u64,
+    /// Per-relation template epochs: the clock value of the last mutation
+    /// that touched the relation's template (push/remove/rename). The
+    /// statistics collector ([`crate::stats::WsdStats`]) uses these for
+    /// cache invalidation, mirroring how the dirty set scopes incremental
+    /// normalization.
+    pub(crate) rel_epochs: BTreeMap<String, u64>,
+    /// Clock value of the last component mutation (add/merge/alias/⊥
+    /// writes/compaction). Stats of relations with open fields depend on
+    /// component contents and are invalidated by this.
+    pub(crate) comp_epoch: u64,
 }
 
 impl Default for Wsd {
@@ -123,7 +135,39 @@ impl Wsd {
             rev: Vec::new(),
             dirty: BTreeSet::new(),
             next_tid: 0,
+            clock: 0,
+            rel_epochs: BTreeMap::new(),
+            comp_epoch: 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch bookkeeping (statistics invalidation)
+    // ------------------------------------------------------------------
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn touch_relation(&mut self, rel: &str) {
+        let t = self.tick();
+        self.rel_epochs.insert(rel.to_string(), t);
+    }
+
+    fn touch_components(&mut self) {
+        self.comp_epoch = self.tick();
+    }
+
+    /// Epoch of the last template mutation of `rel` (0 if never mutated).
+    /// Together with [`Wsd::component_epoch`] this keys the stats cache.
+    pub fn relation_epoch(&self, rel: &str) -> u64 {
+        self.rel_epochs.get(rel).copied().unwrap_or(0)
+    }
+
+    /// Epoch of the last component mutation (0 if none yet).
+    pub fn component_epoch(&self) -> u64 {
+        self.comp_epoch
     }
 
     /// Reassembles a decomposition from its raw parts — the snapshot
@@ -138,7 +182,17 @@ impl Wsd {
         dirty: BTreeSet<usize>,
         next_tid: u64,
     ) -> Wsd {
-        Wsd { relations, components, field_map, rev, dirty, next_tid }
+        Wsd {
+            relations,
+            components,
+            field_map,
+            rev,
+            dirty,
+            next_tid,
+            clock: 0,
+            rel_epochs: BTreeMap::new(),
+            comp_epoch: 0,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -151,6 +205,7 @@ impl Wsd {
         if self.relations.contains_key(&name) {
             return Err(Error::DuplicateRelation(name));
         }
+        self.touch_relation(&name);
         self.relations.insert(name, RelTemplate { schema, tuples: Vec::new() });
         Ok(())
     }
@@ -166,9 +221,12 @@ impl Wsd {
     }
 
     pub fn remove_relation(&mut self, name: &str) -> Result<RelTemplate> {
-        self.relations
+        let t = self
+            .relations
             .remove(name)
-            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))?;
+        self.touch_relation(name);
+        Ok(t)
     }
 
     /// Renames a relation.
@@ -179,6 +237,7 @@ impl Wsd {
             self.relations.insert(from.to_string(), t);
             return Err(Error::DuplicateRelation(to));
         }
+        self.touch_relation(&to);
         self.relations.insert(to, t);
         Ok(())
     }
@@ -232,6 +291,7 @@ impl Wsd {
             cells: values.into_iter().map(TemplateCell::Certain).collect(),
             exists: Existence::Always,
         });
+        self.touch_relation(rel);
         Ok(tid)
     }
 
@@ -287,6 +347,7 @@ impl Wsd {
             cells: tcells,
             exists: Existence::Always,
         });
+        self.touch_relation(rel);
         Ok(tid)
     }
 
@@ -306,6 +367,7 @@ impl Wsd {
             )));
         }
         tpl.tuples.push(t);
+        self.touch_relation(rel);
         Ok(())
     }
 
@@ -346,6 +408,7 @@ impl Wsd {
         }
         self.rev_insert(field, loc);
         self.dirty.insert(loc.0);
+        self.touch_components();
     }
 
     /// Removes a field's mapping (if any), marking its component dirty.
@@ -353,6 +416,7 @@ impl Wsd {
         if let Some(loc) = self.field_map.remove(&field) {
             self.rev_remove(field, loc);
             self.dirty.insert(loc.0);
+            self.touch_components();
         }
     }
 
@@ -365,11 +429,15 @@ impl Wsd {
             .filter(|(f, _)| !pred(f))
             .map(|(&f, &loc)| (f, loc))
             .collect();
+        if doomed.is_empty() {
+            return;
+        }
         for (f, loc) in doomed {
             self.field_map.remove(&f);
             self.rev_remove(f, loc);
             self.dirty.insert(loc.0);
         }
+        self.touch_components();
     }
 
     /// Test/tooling hook: forgets all field mappings.
@@ -409,6 +477,7 @@ impl Wsd {
 
     pub(crate) fn mark_dirty(&mut self, c: usize) {
         self.dirty.insert(c);
+        self.touch_components();
     }
 
     /// Marks every live component dirty (full renormalization).
@@ -418,6 +487,7 @@ impl Wsd {
                 self.dirty.insert(i);
             }
         }
+        self.touch_components();
     }
 
     /// Drains the dirty set, returning the live indices it contained.
@@ -453,6 +523,7 @@ impl Wsd {
             self.alias_field(f, (idx, col));
         }
         self.dirty.insert(idx);
+        self.touch_components();
         idx
     }
 
@@ -465,6 +536,7 @@ impl Wsd {
     pub fn component_mut(&mut self, idx: usize) -> Option<&mut Component> {
         if self.components.get(idx).map(Option::is_some).unwrap_or(false) {
             self.dirty.insert(idx);
+            self.touch_components();
         }
         self.components.get_mut(idx).and_then(|c| c.as_mut())
     }
@@ -486,6 +558,7 @@ impl Wsd {
             self.rev[idx].clear();
         }
         self.components[idx] = c;
+        self.touch_components();
     }
 
     /// After a component was projected onto `keep` (old column indices, in
@@ -509,6 +582,7 @@ impl Wsd {
             "remap_columns dropped a referenced column of component {idx}"
         );
         self.rev[idx] = new_row;
+        self.touch_components();
     }
 
     /// Indices of live (non-tombstoned) components.
@@ -585,6 +659,7 @@ impl Wsd {
             self.dirty.remove(&old_idx);
         }
         self.dirty.insert(new_idx);
+        self.touch_components();
         Ok(new_idx)
     }
 
@@ -883,6 +958,7 @@ impl Wsd {
             .into_iter()
             .filter_map(|i| remap.get(i).copied().flatten())
             .collect();
+        self.touch_components();
     }
 }
 

@@ -74,9 +74,17 @@ pub enum Statement {
     },
     /// `REPAIR KEY r(c1, c2)` | `REPAIR FD r: a, b -> c` | `REPAIR CHECK r: pred`
     Repair(RepairStmt),
-    /// `EXPLAIN <statement>` — print the logical, optimized and physical
-    /// plans instead of executing.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>` — print the logical, optimized and
+    /// physical plans (the physical one annotated with per-node cardinality
+    /// and cost estimates) instead of returning rows. With `ANALYZE` the
+    /// statement is also executed and each physical node additionally shows
+    /// the number of template tuples it actually produced.
+    Explain {
+        /// The statement whose plans are printed.
+        stmt: Box<Statement>,
+        /// Execute too and report actual per-node cardinalities.
+        analyze: bool,
+    },
     /// `SHOW TABLES` — list the relation names.
     ShowTables,
     /// `CHECKPOINT [FULL]` — compact the write-ahead log into a fresh
@@ -97,6 +105,21 @@ pub enum Statement {
     /// `ROLLBACK` — restore the decomposition as of `BEGIN` and discard
     /// the buffered records.
     Rollback,
+    /// `SAVEPOINT name` — mark the current state inside an open
+    /// transaction so `ROLLBACK TO name` can return to it without
+    /// closing the transaction.
+    Savepoint {
+        /// The savepoint's name (case-preserved, matched exactly).
+        name: String,
+    },
+    /// `ROLLBACK TO [SAVEPOINT] name` — restore the decomposition and
+    /// the transaction's buffered records as of `SAVEPOINT name`. The
+    /// transaction stays open; savepoints established after `name` are
+    /// discarded, `name` itself remains valid.
+    RollbackTo {
+        /// The savepoint to return to.
+        name: String,
+    },
 }
 
 /// One value of an INSERT row: certain or an or-set.

@@ -105,6 +105,7 @@ const KEYWORDS: &[&str] = &[
     "KEY", "FD", "CHECK", "SHOW", "TABLES", "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP", "BY",
     "ORDER", "LIMIT", "EXPECTED", "DROP", "HAVING", "ALTER", "RENAME", "TO", "CHECKPOINT",
     "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK", "DELETE", "UPDATE", "SET", "FULL",
+    "ANALYZE", "SAVEPOINT",
 ];
 
 /// Tokenizes `input`, returning the token list or a lexical error.

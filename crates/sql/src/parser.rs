@@ -136,7 +136,8 @@ impl Parser {
                 "REPAIR" => self.repair(),
                 "EXPLAIN" => {
                     self.next();
-                    Ok(Statement::Explain(Box::new(self.statement()?)))
+                    let analyze = self.eat_keyword("ANALYZE");
+                    Ok(Statement::Explain { stmt: Box::new(self.statement()?), analyze })
                 }
                 "SHOW" => {
                     self.next();
@@ -161,8 +162,16 @@ impl Parser {
                 }
                 "ROLLBACK" => {
                     self.next();
+                    if self.eat_keyword("TO") {
+                        let _ = self.eat_keyword("SAVEPOINT");
+                        return Ok(Statement::RollbackTo { name: self.ident()? });
+                    }
                     let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
                     Ok(Statement::Rollback)
+                }
+                "SAVEPOINT" => {
+                    self.next();
+                    Ok(Statement::Savepoint { name: self.ident()? })
                 }
                 other => Err(Error::InvalidExpr(format!("unexpected keyword {other}"))),
             },
@@ -760,9 +769,31 @@ mod tests {
     fn parses_explain_and_show() {
         assert!(matches!(
             parse("EXPLAIN SELECT a FROM r").unwrap(),
-            Statement::Explain(_)
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE SELECT a FROM r").unwrap(),
+            Statement::Explain { analyze: true, .. }
         ));
         assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::ShowTables));
+    }
+
+    #[test]
+    fn parses_savepoints() {
+        assert_eq!(
+            parse("SAVEPOINT sp1").unwrap(),
+            Statement::Savepoint { name: "sp1".into() }
+        );
+        assert_eq!(
+            parse("ROLLBACK TO sp1").unwrap(),
+            Statement::RollbackTo { name: "sp1".into() }
+        );
+        assert_eq!(
+            parse("ROLLBACK TO SAVEPOINT sp1").unwrap(),
+            Statement::RollbackTo { name: "sp1".into() }
+        );
+        assert!(parse("SAVEPOINT").is_err());
+        assert!(parse("ROLLBACK TO").is_err());
     }
 
     #[test]

@@ -37,7 +37,9 @@
 //! stop flag. On the other side, the primary heartbeats while idle
 //! (time-based, see [`Primary::with_heartbeat_interval`]) so a follower
 //! can bound how stale it might be ([`Replica::is_stale`]) and tails the
-//! log with exponential-backoff polling instead of a fixed busy loop.
+//! log event-driven: the session's commits signal the WAL's
+//! notify-on-commit handle, with exponential-backoff polling only as the
+//! fallback cadence for appends the signal cannot cover.
 //!
 //! # Read-only replicas
 //!
@@ -93,9 +95,14 @@ use crate::wire;
 /// from any thread next to the session that is executing statements; it
 /// only ever observes fully framed, fsynced records.
 ///
-/// An idle serve loop polls the log with **exponential backoff**: each
-/// empty poll doubles the sleep from [`Primary::with_poll_interval`]'s
-/// base up to [`Primary::with_max_poll_interval`]'s cap, and any shipped
+/// An idle serve loop blocks on the WAL's **commit notification**
+/// ([`maybms_storage::wal::commit_notify`]): a commit appended by the
+/// serving session wakes it immediately, so same-process shipping has no
+/// poll-interval latency floor. The wait is bounded by an **exponential
+/// backoff**: each empty poll doubles the bound from
+/// [`Primary::with_poll_interval`]'s base up to
+/// [`Primary::with_max_poll_interval`]'s cap (the re-poll cadence for
+/// appends from other processes, which cannot signal), and any shipped
 /// record (or log swap) resets it — a hot primary is tailed tightly, a
 /// quiet one costs almost nothing. Heartbeats are **time-based**: while
 /// idle, one is sent whenever [`Primary::with_heartbeat_interval`] has
@@ -182,6 +189,12 @@ impl Primary {
         };
         let mut follower_lsn = last_lsn;
         let wal_path = wal_path_for(&self.path);
+        // Same-process commits signal this handle from `Wal::append`, so
+        // an idle serve loop wakes immediately instead of waiting out its
+        // poll interval; the interval remains as the fallback cadence for
+        // appends from *other* processes, which cannot signal it.
+        let commit_notify = wal::commit_notify(&wal_path);
+        let mut commits_seen = wal::commit_seq(&commit_notify);
         let mut last_sent = Instant::now();
         'catchup: loop {
             if self.is_stopped() {
@@ -228,7 +241,11 @@ impl Primary {
                             )?;
                             last_sent = Instant::now();
                         }
-                        std::thread::sleep(idle_sleep);
+                        // block until a commit signals (instant for
+                        // same-process appends) or the backoff interval
+                        // elapses (covers foreign-process appends)
+                        commits_seen =
+                            wal::wait_for_commit(&commit_notify, commits_seen, idle_sleep);
                         // exponential backoff while the log stays quiet
                         idle_sleep = (idle_sleep * 2).min(self.max_poll_interval);
                     }

@@ -74,8 +74,11 @@ use std::sync::Arc;
 use maybms_core::algebra::{delete_op, update_op};
 use maybms_core::chase::{clean, CleaningReport, Constraint};
 use maybms_core::codec::{decode_wsd, encode_wsd};
-use maybms_core::exec::{compile, explain_physical, global_pool, Executor, WorkerPool};
+use maybms_core::exec::{
+    compile, explain_physical_annotated, global_pool, Executor, WorkerPool,
+};
 use maybms_core::prob;
+use maybms_core::stats::{estimate_phys, WsdStats};
 use maybms_core::wsd::Wsd;
 use maybms_relational::{
     Column, ColumnType, Error, Relation, Result, Schema, Tuple, Value,
@@ -84,7 +87,7 @@ use maybms_storage::{CheckpointKind, Database, Recovered, Vfs, DEFAULT_PAGE_SIZE
 use maybms_worldset::OrSetCell;
 
 use crate::ast::{InsertValue, RepairStmt, SelectStmt, Statement, WorldMode};
-use crate::optimizer::{explain, optimize};
+use crate::optimizer::{explain, optimize_with_stats};
 use crate::parser::{parse_counting_params, parse_script};
 use crate::plan::lower_select;
 use crate::wire;
@@ -337,9 +340,10 @@ fn bind_statement(stmt: &Statement, params: &[Value]) -> Result<Statement> {
                 pred: pred.with_params(params)?,
             })
         }
-        Statement::Explain(inner) => {
-            Statement::Explain(Box::new(bind_statement(inner, params)?))
-        }
+        Statement::Explain { stmt, analyze } => Statement::Explain {
+            stmt: Box::new(bind_statement(stmt, params)?),
+            analyze: *analyze,
+        },
         other => other.clone(),
     })
 }
@@ -358,6 +362,29 @@ struct TxnState {
     /// with no backing store has no log for the records to ever reach
     /// (`attach` is refused mid-transaction).
     buffered: Vec<Vec<u8>>,
+    /// Active savepoints, oldest first. `ROLLBACK TO` truncates the
+    /// decomposition, the cleaning log, the statement count and the
+    /// buffered records back to a mark; re-using a name shadows the
+    /// earlier mark (latest wins), as in PostgreSQL.
+    savepoints: Vec<SavepointMark>,
+}
+
+/// One `SAVEPOINT`: everything needed to rewind the open transaction to
+/// the moment it was established without closing the transaction.
+#[derive(Debug, Clone)]
+struct SavepointMark {
+    /// The savepoint's name (matched exactly, latest mark wins).
+    name: String,
+    /// The decomposition as of `SAVEPOINT`.
+    saved: Box<Wsd>,
+    /// `cleaning_log` length as of `SAVEPOINT`.
+    saved_cleaning: usize,
+    /// `TxnState::stmts` as of `SAVEPOINT`.
+    stmts: usize,
+    /// `TxnState::buffered` length as of `SAVEPOINT` — the buffered wire
+    /// records are truncated to this on `ROLLBACK TO`, so a later
+    /// `COMMIT` logs exactly the statements still in effect.
+    buffered: usize,
 }
 
 /// A MayBMS session: the incomplete database plus execution settings.
@@ -385,6 +412,10 @@ pub struct Session {
     /// succeeds, which clears it. Unlike storage poisoning this is
     /// recoverable in place — nothing on disk was damaged.
     degraded: Option<String>,
+    /// Cardinality statistics over the session's decomposition, reused
+    /// across queries; the epoch scheme inside invalidates per-relation
+    /// entries when the decomposition changes, so this never goes stale.
+    stats: WsdStats,
 }
 
 impl Default for Session {
@@ -413,6 +444,7 @@ impl Clone for Session {
             txn: self.txn.clone(),
             read_only: self.read_only,
             degraded: None,
+            stats: WsdStats::new(),
         }
     }
 }
@@ -431,6 +463,7 @@ impl Session {
             txn: None,
             read_only: false,
             degraded: None,
+            stats: WsdStats::new(),
         }
     }
 
@@ -787,6 +820,7 @@ impl Session {
             let refused = match stmt {
                 s if wire::is_mutation(s) => Some(statement_kind(s)),
                 Statement::Begin | Statement::Commit | Statement::Rollback
+                | Statement::Savepoint { .. } | Statement::RollbackTo { .. }
                 | Statement::Checkpoint { .. } => Some(statement_kind(stmt)),
                 _ => None,
             };
@@ -815,6 +849,8 @@ impl Session {
             Statement::Begin => return self.begin_txn(),
             Statement::Commit => return self.commit_txn(),
             Statement::Rollback => return self.rollback_txn(),
+            Statement::Savepoint { name } => return self.savepoint_txn(name),
+            Statement::RollbackTo { name } => return self.rollback_to_savepoint(name),
             Statement::Checkpoint { .. } if self.txn.is_some() => {
                 return Err(SessionError::txn(
                     "CHECKPOINT inside a transaction (commit or roll back first; \
@@ -877,6 +913,7 @@ impl Session {
             saved_cleaning: self.cleaning_log.len(),
             stmts: 0,
             buffered: Vec::new(),
+            savepoints: Vec::new(),
         });
         Ok(QueryResult::Text("BEGIN".into()))
     }
@@ -918,6 +955,47 @@ impl Session {
         self.wsd = *txn.saved;
         self.cleaning_log.truncate(txn.saved_cleaning);
         Ok(QueryResult::Text(format!("ROLLBACK ({n} statement(s) undone)")))
+    }
+
+    fn savepoint_txn(&mut self, name: &str) -> SessionResult<QueryResult> {
+        // snapshot before borrowing the transaction state mutably
+        let saved = Box::new(self.wsd.clone());
+        let saved_cleaning = self.cleaning_log.len();
+        let Some(txn) = &mut self.txn else {
+            return Err(SessionError::txn("SAVEPOINT without an open transaction"));
+        };
+        txn.savepoints.push(SavepointMark {
+            name: name.to_string(),
+            saved,
+            saved_cleaning,
+            stmts: txn.stmts,
+            buffered: txn.buffered.len(),
+        });
+        Ok(QueryResult::Text(format!("SAVEPOINT {name}")))
+    }
+
+    fn rollback_to_savepoint(&mut self, name: &str) -> SessionResult<QueryResult> {
+        let Some(txn) = &mut self.txn else {
+            return Err(SessionError::txn(
+                "ROLLBACK TO without an open transaction",
+            ));
+        };
+        let Some(i) = txn.savepoints.iter().rposition(|m| m.name == name) else {
+            return Err(SessionError::txn(format!("no savepoint named {name}")));
+        };
+        let mark = &txn.savepoints[i];
+        let undone = txn.stmts - mark.stmts;
+        let restored = mark.saved.as_ref().clone();
+        let saved_cleaning = mark.saved_cleaning;
+        txn.stmts = mark.stmts;
+        txn.buffered.truncate(mark.buffered);
+        // later savepoints die; `name` itself stays valid for re-use
+        txn.savepoints.truncate(i + 1);
+        self.wsd = restored;
+        self.cleaning_log.truncate(saved_cleaning);
+        Ok(QueryResult::Text(format!(
+            "ROLLBACK TO {name} ({undone} statement(s) undone)"
+        )))
     }
 
     /// Statement dispatch without WAL logging (recovery replays through
@@ -1032,18 +1110,45 @@ impl Session {
                 self.cleaning_log.push(report);
                 Ok(QueryResult::Text(msg))
             }
-            Statement::Explain(inner) => match inner.as_ref() {
+            Statement::Explain { stmt, analyze } => match stmt.as_ref() {
                 Statement::Select(sel) => {
                     let raw = lower_select(sel).map_err(SessionError::plan)?;
-                    let opt = optimize(&raw, &self.wsd).map_err(SessionError::plan)?;
+                    let opt = optimize_with_stats(&raw, &self.wsd, &mut self.stats)
+                        .map_err(SessionError::plan)?;
                     let chosen = if self.optimize_plans { &opt } else { &raw };
                     let phys = compile(chosen, &self.wsd).map_err(SessionError::plan)?;
+                    // ANALYZE: execute and record each node's actual output
+                    // template count, in the same pre-order the renderer
+                    // walks below.
+                    let actuals = if *analyze {
+                        let (_, counts) = Executor::new(&self.pool)
+                            .run_traced(&phys, &self.wsd)
+                            .map_err(SessionError::exec)?;
+                        Some(counts)
+                    } else {
+                        None
+                    };
+                    let wsd = &self.wsd;
+                    let stats = &mut self.stats;
+                    let mut idx = 0usize;
+                    let physical = explain_physical_annotated(&phys, |op| {
+                        let mut note = String::new();
+                        if let Ok(e) = estimate_phys(op, wsd, stats) {
+                            note = format!("  (est rows={:.0} cost={:.0}", e.rows, e.cost);
+                            if let Some(n) = actuals.as_ref().and_then(|c| c.get(idx)) {
+                                note.push_str(&format!(" actual rows={n}"));
+                            }
+                            note.push(')');
+                        }
+                        idx += 1;
+                        note
+                    });
                     Ok(QueryResult::Text(format!(
                         "-- logical plan\n{}-- optimized plan\n{}-- physical plan (workers={})\n{}",
                         explain(&raw),
                         explain(&opt),
                         self.pool.workers(),
-                        explain_physical(&phys)
+                        physical
                     )))
                 }
                 other => Ok(QueryResult::Text(format!("{other:?}"))),
@@ -1110,7 +1215,11 @@ impl Session {
                     }
                 }
             }
-            Statement::Begin | Statement::Commit | Statement::Rollback => {
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::Savepoint { .. }
+            | Statement::RollbackTo { .. } => {
                 // transaction control never reaches the WAL, so replay
                 // (which drives apply directly) cannot hit this arm
                 Err(SessionError::txn(
@@ -1227,7 +1336,8 @@ impl Session {
     fn run_select_inner(&mut self, sel: &SelectStmt) -> SessionResult<QueryResult> {
         let raw = lower_select(sel).map_err(SessionError::plan)?;
         let plan = if self.optimize_plans {
-            optimize(&raw, &self.wsd).map_err(SessionError::plan)?
+            optimize_with_stats(&raw, &self.wsd, &mut self.stats)
+                .map_err(SessionError::plan)?
         } else {
             raw
         };
@@ -1369,6 +1479,8 @@ fn statement_kind(stmt: &Statement) -> String {
         Statement::Begin => "BEGIN".into(),
         Statement::Commit => "COMMIT".into(),
         Statement::Rollback => "ROLLBACK".into(),
+        Statement::Savepoint { .. } => "SAVEPOINT".into(),
+        Statement::RollbackTo { .. } => "ROLLBACK TO".into(),
         other => format!("{other:?}"),
     }
 }
@@ -1545,6 +1657,109 @@ mod tests {
         err_contains(s.execute("BEGIN"), "nested");
         err_contains(s.execute("CHECKPOINT"), "inside a transaction");
         s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn savepoints_rewind_within_a_transaction() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        s.execute("SAVEPOINT a").unwrap();
+        s.execute("INSERT INTO t VALUES (2)").unwrap();
+        s.execute("SAVEPOINT b").unwrap();
+        s.execute("INSERT INTO t VALUES (3)").unwrap();
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 3);
+
+        let r = s.execute("ROLLBACK TO b").unwrap();
+        assert!(r.ack().contains("1 statement(s) undone"), "{}", r.ack());
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 2);
+
+        // `b` stays valid after rolling back to it
+        s.execute("INSERT INTO t VALUES (4)").unwrap();
+        s.execute("ROLLBACK TO SAVEPOINT b").unwrap();
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 2);
+
+        // rolling back to `a` discards `b`
+        s.execute("ROLLBACK TO a").unwrap();
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 1);
+        err_contains(s.execute("ROLLBACK TO b"), "no savepoint named b");
+
+        // the transaction is still open; COMMIT keeps the surviving rows
+        let r = s.execute("COMMIT").unwrap();
+        assert!(r.ack().contains("COMMIT"), "{}", r.ack());
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 1);
+
+        // misuse outside a transaction
+        err_contains(s.execute("SAVEPOINT z"), "without an open transaction");
+        err_contains(s.execute("ROLLBACK TO z"), "without an open transaction");
+    }
+
+    #[test]
+    fn savepoint_rollback_truncates_buffered_wal_records() {
+        let path = db_path("savepoint-truncate");
+        {
+            let mut s = Session::open(&path).unwrap();
+            s.execute("CREATE TABLE t (x INT)").unwrap();
+            s.execute("BEGIN").unwrap();
+            s.execute("INSERT INTO t VALUES (1)").unwrap();
+            s.execute("SAVEPOINT a").unwrap();
+            s.execute("INSERT INTO t VALUES (2)").unwrap();
+            s.execute("ROLLBACK TO a").unwrap();
+            s.execute("COMMIT").unwrap();
+        }
+        // recovery must replay only the statements that survived the
+        // savepoint rollback
+        let mut s = Session::open(&path).unwrap();
+        let rows = s.execute("SELECT POSSIBLE x FROM t").unwrap();
+        assert_eq!(rows.rows().len(), 1);
+        rm_db(&path);
+    }
+
+    #[test]
+    fn duplicate_savepoint_name_shadows_the_older_mark() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("SAVEPOINT a").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        s.execute("SAVEPOINT a").unwrap();
+        s.execute("INSERT INTO t VALUES (2)").unwrap();
+        // latest mark wins: only the second insert is undone
+        s.execute("ROLLBACK TO a").unwrap();
+        assert_eq!(s.execute("SELECT POSSIBLE x FROM t").unwrap().rows().len(), 1);
+        s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn explain_reports_estimates_and_analyze_actuals() {
+        let mut s = medical_session();
+        let txt = s
+            .execute("EXPLAIN SELECT test FROM R WHERE diagnosis = 'pregnancy'")
+            .unwrap()
+            .ack()
+            .to_string();
+        assert!(txt.contains("est rows="), "estimates missing:\n{txt}");
+        assert!(txt.contains("cost="), "costs missing:\n{txt}");
+        assert!(!txt.contains("actual rows="), "plain EXPLAIN must not execute:\n{txt}");
+
+        let txt = s
+            .execute("EXPLAIN ANALYZE SELECT test FROM R WHERE diagnosis = 'pregnancy'")
+            .unwrap()
+            .ack()
+            .to_string();
+        assert!(txt.contains("actual rows="), "ANALYZE actuals missing:\n{txt}");
+        // every physical node carries both estimate and actual
+        let phys: Vec<&str> = txt
+            .lines()
+            .skip_while(|l| !l.starts_with("-- physical plan"))
+            .skip(1)
+            .collect();
+        assert!(!phys.is_empty());
+        for line in phys {
+            assert!(line.contains("est rows="), "unannotated node: {line}\n{txt}");
+            assert!(line.contains("actual rows="), "no actual on node: {line}\n{txt}");
+        }
     }
 
     #[test]

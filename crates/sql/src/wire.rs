@@ -509,7 +509,7 @@ mod tests {
 
     #[test]
     fn transaction_control_is_not_loggable() {
-        for sql in ["BEGIN", "COMMIT", "ROLLBACK"] {
+        for sql in ["BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT sp", "ROLLBACK TO sp"] {
             let stmt = parse(sql).unwrap();
             assert!(!is_mutation(&stmt), "{sql}");
             assert!(encode_statement(&stmt).is_err(), "{sql}");

@@ -33,9 +33,11 @@
 //! match the snapshot's is stale (crash between the two steps of a
 //! checkpoint) and is discarded instead of replayed twice.
 
+use std::collections::HashMap;
 use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use maybms_relational::{Error, Result};
 
@@ -45,6 +47,67 @@ use crate::vfs::{std_vfs, OpenMode, Vfs, VfsFile};
 
 const MAGIC: &[u8; 8] = b"MAYBMSW\0";
 const VERSION: u32 = 2;
+
+/// Process-wide commit-notification handle for one WAL path: a commit
+/// counter guarded by a mutex, paired with a condvar that
+/// [`Wal::append`] signals after each durable record. Tailers block on
+/// it via [`wait_for_commit`] instead of sleeping a fixed interval, so
+/// same-process shipping reacts to a commit immediately; the counter
+/// only ever increases, never resets, so a stale `seen` value can only
+/// cause a spurious (cheap) wakeup, never a missed one.
+pub type CommitNotify = Arc<(Mutex<u64>, Condvar)>;
+
+/// Handles keyed by canonicalized WAL path, shared by every [`Wal`] and
+/// waiter in the process. Entries are tiny and never removed — a
+/// process touches a bounded set of database paths.
+fn notify_registry() -> &'static Mutex<HashMap<PathBuf, CommitNotify>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, CommitNotify>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Canonicalize so an appender and a tailer naming the same file through
+/// different spellings share a handle; a path that cannot be resolved
+/// (not created yet, or living in a test VFS) keys by its raw form —
+/// notification is an optimization, the poll fallback still covers it.
+fn notify_key(path: &Path) -> PathBuf {
+    std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf())
+}
+
+/// The commit-notification handle for the WAL at `path` (created on
+/// first use). Cheap to call; clones share the underlying counter.
+pub fn commit_notify(path: &Path) -> CommitNotify {
+    let mut reg = notify_registry().lock().expect("notify registry lock");
+    Arc::clone(reg.entry(notify_key(path)).or_default())
+}
+
+/// The handle's current commit counter — pass it to [`wait_for_commit`]
+/// as the position already observed.
+pub fn commit_seq(handle: &CommitNotify) -> u64 {
+    *handle.0.lock().expect("commit notify lock")
+}
+
+/// Blocks until the handle's commit counter moves past `seen` or
+/// `timeout` elapses, returning the counter's current value. Returns
+/// immediately when `seen` is already stale, so callers can never miss
+/// a commit that landed between polling the log and blocking here.
+pub fn wait_for_commit(handle: &CommitNotify, seen: u64, timeout: Duration) -> u64 {
+    let (counter, condvar) = &**handle;
+    let deadline = Instant::now() + timeout;
+    let mut n = counter.lock().expect("commit notify lock");
+    while *n == seen {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        let (guard, result) =
+            condvar.wait_timeout(n, remaining).expect("commit notify lock");
+        n = guard;
+        if result.timed_out() {
+            break;
+        }
+    }
+    *n
+}
 
 /// Length of the WAL file header.
 pub const WAL_HEADER_LEN: u64 = 32;
@@ -71,6 +134,10 @@ pub struct Wal {
     /// fsyncs issued by appends on this handle — lets tests assert the
     /// group-commit contract (one fsync per committed transaction).
     sync_count: u64,
+    /// Signalled after every durable append so same-process tailers
+    /// (the replication primary) wake without waiting out a poll
+    /// interval. See [`commit_notify`].
+    notify: CommitNotify,
 }
 
 fn encode_header(generation: u64, base_lsn: u64) -> [u8; WAL_HEADER_LEN as usize] {
@@ -168,6 +235,7 @@ impl Wal {
             end: WAL_HEADER_LEN,
             sync: true,
             sync_count: 0,
+            notify: commit_notify(path),
         })
     }
 
@@ -207,6 +275,7 @@ impl Wal {
                 end: end as u64,
                 sync: true,
                 sync_count: 0,
+                notify: commit_notify(path),
             },
             records,
         ))
@@ -276,6 +345,11 @@ impl Wal {
         }
         self.end += frame.len() as u64;
         self.count += 1;
+        // the record is durable (or as durable as this handle promises):
+        // wake same-process tailers blocked in `wait_for_commit`
+        let (counter, condvar) = &*self.notify;
+        *counter.lock().expect("commit notify lock") += 1;
+        condvar.notify_all();
         Ok(self.base_lsn + self.count)
     }
 
@@ -672,6 +746,37 @@ mod tests {
         assert_eq!(wal.base_lsn(), 1);
         assert!(records.is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_wakes_commit_waiters() {
+        let path = tmp("notify");
+        let mut wal = Wal::create(&path, 1, 0).unwrap();
+        let handle = commit_notify(&path);
+        let seen = commit_seq(&handle);
+        let waiter = {
+            let handle = Arc::clone(&handle);
+            std::thread::spawn(move || {
+                // generous timeout: the signal, not the deadline, must end
+                // this wait
+                wait_for_commit(&handle, seen, Duration::from_secs(30))
+            })
+        };
+        wal.append(b"wake up").unwrap();
+        let woken = waiter.join().unwrap();
+        assert!(woken > seen, "append must advance the commit counter");
+        // a stale `seen` returns immediately with the current counter
+        assert_eq!(wait_for_commit(&handle, seen, Duration::from_secs(30)), woken);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wait_for_commit_times_out_when_idle() {
+        let handle = commit_notify(Path::new("maybms-wal-test-no-such-file"));
+        let seen = commit_seq(&handle);
+        let start = std::time::Instant::now();
+        assert_eq!(wait_for_commit(&handle, seen, Duration::from_millis(15)), seen);
+        assert!(start.elapsed() >= Duration::from_millis(15));
     }
 
     #[test]

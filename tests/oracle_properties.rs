@@ -300,6 +300,48 @@ proptest! {
         }
     }
 
+    /// The cost-based optimizer (join reorder + predicate sinking, fed by
+    /// a [`maybms_core::stats::WsdStats`] collector) composed with the
+    /// vectorized physical executor is world-equivalent to the logical
+    /// interpreter running the *raw* query, at worker counts 1/2/4: plan
+    /// choice and batch execution may change the evaluation order but
+    /// never the answer world-set. Queries the interpreter rejects must
+    /// be rejected by the optimized path too.
+    #[test]
+    fn optimized_physical_matches_logical_interpreter(wsd in arb_wsd(), q in arb_query()) {
+        use maybms_sql::optimizer::optimize_with_stats;
+        let logical = q.eval(&wsd);
+        let mut stats = maybms_core::stats::WsdStats::new();
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let physical = optimize_with_stats(&q, &wsd, &mut stats)
+                .and_then(|opt| compile(&opt, &wsd))
+                .and_then(|plan| Executor::new(&pool).run(&plan, &wsd));
+            match (&logical, physical) {
+                (Ok(l), Ok(p)) => {
+                    p.validate().expect("valid optimized result");
+                    let lw = l.to_worldset(1 << 16).expect("enumerate logical");
+                    let pw = p.to_worldset(1 << 16).expect("enumerate optimized");
+                    prop_assert!(
+                        lw.equivalent(&pw, 1e-9),
+                        "optimized plan diverged from logical at {workers} workers"
+                    );
+                }
+                (Err(_), Err(_)) => {} // both reject: agreement
+                (Ok(_), Err(e)) => {
+                    return Err(TestCaseError(format!(
+                        "optimized path rejected a query the interpreter accepts: {e}"
+                    )))
+                }
+                (Err(e), Ok(_)) => {
+                    return Err(TestCaseError(format!(
+                        "optimized path accepted a query the interpreter rejects: {e}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Incremental (dirty-set) normalization is world-equivalent to the
     /// full-pass reference after arbitrary queries: `Query::eval` runs the
     /// incremental path internally; re-normalizing its result from scratch
