@@ -37,5 +37,5 @@ pub use plan::{
     compile, explain_physical, explain_physical_annotated, schema_of, PhysOp, PhysicalPlan,
 };
 pub use pool::{default_workers, global_pool, WorkerPool};
-pub use run::{dedup_op, Executor};
+pub use run::{dedup_op, Executor, NodeTrace};
 pub use vector::{dedup_vec, encode, join_vec, project_vec, select_vec, Encoded, OPEN_CODE};

@@ -29,6 +29,26 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use maybms_obs::{Counter, Gauge};
+
+/// Worker-pool counters, resolved once. `tasks` (helper tasks enqueued)
+/// is deterministic for a fixed worker count; `steals` depends on
+/// scheduling and will differ run to run.
+struct PoolMetrics {
+    tasks: Arc<Counter>,
+    steals: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        tasks: maybms_obs::counter("pool.tasks"),
+        steals: maybms_obs::counter("pool.steals"),
+        queue_depth: maybms_obs::gauge("pool.queue_depth"),
+    })
+}
+
 // ---------------------------------------------------------------------
 // Task plumbing
 // ---------------------------------------------------------------------
@@ -90,6 +110,7 @@ impl Queue {
         let mut s = self.state.lock().expect("queue poisoned");
         s.tasks.push_back(t);
         drop(s);
+        metrics().queue_depth.add(1);
         self.cv.notify_one();
     }
 
@@ -98,6 +119,7 @@ impl Queue {
         let mut s = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(t) = s.tasks.pop_front() {
+                metrics().queue_depth.add(-1);
                 return Some(t);
             }
             if s.shutdown {
@@ -108,7 +130,11 @@ impl Queue {
     }
 
     fn try_pop(&self) -> Option<Task> {
-        self.state.lock().expect("queue poisoned").tasks.pop_front()
+        let t = self.state.lock().expect("queue poisoned").tasks.pop_front();
+        if t.is_some() {
+            metrics().queue_depth.add(-1);
+        }
+        t
     }
 
     fn close(&self) {
@@ -325,6 +351,7 @@ impl WorkerPool {
         };
 
         let helpers = workers - 1;
+        metrics().tasks.add(helpers as u64);
         let latch = Arc::new(Latch::new(helpers));
         for _ in 0..helpers {
             queue.push(Task {
@@ -347,6 +374,7 @@ impl WorkerPool {
                 }
             }
             if let Some(t) = queue.try_pop() {
+                metrics().steals.inc();
                 unsafe { (t.run)(t.data) };
                 t.latch.done();
                 continue;

@@ -5,7 +5,10 @@
 //! probing, final normalization).
 
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
+use maybms_obs::Counter;
 use maybms_relational::{Result, Value};
 
 use crate::algebra::common::{alias_cells, exists_loc, snapshot};
@@ -18,6 +21,57 @@ use crate::wsd::{Existence, TemplateCell, TupleTemplate, Wsd};
 use super::plan::{PhysOp, PhysicalPlan};
 use super::pool::WorkerPool;
 use super::vector::{dedup_vec, join_vec, project_vec, select_vec};
+
+/// One plan node's execution sample from [`Executor::run_traced`]: how
+/// many output template tuples it produced and how long its evaluation
+/// took (wall clock, **inclusive** of its children — the natural reading
+/// of the pre-order walk).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTrace {
+    /// Output template tuples the node produced.
+    pub rows: usize,
+    /// Wall-clock evaluation time, children included.
+    pub elapsed: Duration,
+}
+
+/// Operator-kind labels, in the order [`op_kind_index`] assigns.
+const OP_KINDS: [&str; 11] = [
+    "seq_scan",
+    "filter",
+    "project",
+    "hash_join",
+    "nested_loop_join",
+    "cross_product",
+    "union",
+    "difference",
+    "dedup",
+    "rename",
+    "qualify",
+];
+
+fn op_kind_index(op: &PhysOp) -> usize {
+    match op {
+        PhysOp::SeqScan { .. } => 0,
+        PhysOp::Filter { .. } => 1,
+        PhysOp::Project { .. } => 2,
+        PhysOp::HashJoin { .. } => 3,
+        PhysOp::NestedLoopJoin { .. } => 4,
+        PhysOp::CrossProduct { .. } => 5,
+        PhysOp::Union { .. } => 6,
+        PhysOp::Difference { .. } => 7,
+        PhysOp::Dedup { .. } => 8,
+        PhysOp::Rename { .. } => 9,
+        PhysOp::Qualify { .. } => 10,
+    }
+}
+
+/// Per-operator-kind output-row counters (`exec.rows.<kind>`), resolved
+/// once. Driven by the deterministic serial tail of every operator, so
+/// their totals are identical at every worker count.
+fn row_counters() -> &'static [Arc<Counter>; 11] {
+    static C: OnceLock<[Arc<Counter>; 11]> = OnceLock::new();
+    C.get_or_init(|| OP_KINDS.map(|k| maybms_obs::counter(&format!("exec.rows.{k}"))))
+}
 
 /// Executes physical plans with a fixed worker pool.
 pub struct Executor<'p> {
@@ -50,11 +104,12 @@ impl<'p> Executor<'p> {
     }
 
     /// [`Executor::run`] recording, per plan node, the number of output
-    /// template tuples it produced. Counts are indexed in pre-order (node
-    /// before children, left before right) — the order
+    /// template tuples it produced and its wall-clock evaluation time.
+    /// Samples are indexed in pre-order (node before children, left
+    /// before right) — the order
     /// [`super::plan::explain_physical_annotated`] visits nodes, so
     /// `EXPLAIN ANALYZE` can zip them onto the rendered tree.
-    pub fn run_traced(&self, plan: &PhysicalPlan, base: &Wsd) -> Result<(Wsd, Vec<usize>)> {
+    pub fn run_traced(&self, plan: &PhysicalPlan, base: &Wsd) -> Result<(Wsd, Vec<NodeTrace>)> {
         let mut wsd = base.clone();
         let mut counter = 0usize;
         let mut trace = Some(Vec::new());
@@ -65,13 +120,14 @@ impl<'p> Executor<'p> {
 
     /// Evaluates one node into `wsd`, returning the name of the relation
     /// holding its answer. When `trace` is enabled, records the node's
-    /// output template count at its pre-order index.
+    /// sample at its pre-order index; either way the node's output rows
+    /// feed the `exec.rows.<kind>` counters (while recording is enabled).
     fn exec(
         &self,
         op: &PhysOp,
         wsd: &mut Wsd,
         counter: &mut usize,
-        trace: &mut Option<Vec<usize>>,
+        trace: &mut Option<Vec<NodeTrace>>,
     ) -> Result<String> {
         let fresh = |wsd: &Wsd, counter: &mut usize| -> String {
             loop {
@@ -83,13 +139,18 @@ impl<'p> Executor<'p> {
             }
         };
         // claim this node's pre-order slot before descending
+        let began = if trace.is_some() { Some(Instant::now()) } else { None };
         let slot = trace.as_mut().map(|t| {
-            t.push(0);
+            t.push(NodeTrace::default());
             t.len() - 1
         });
         let out = self.exec_node(op, wsd, counter, trace, &fresh)?;
-        if let (Some(t), Some(i)) = (trace.as_mut(), slot) {
-            t[i] = wsd.relation(&out)?.tuples.len();
+        if trace.is_some() || maybms_obs::enabled() {
+            let rows = wsd.relation(&out)?.tuples.len();
+            row_counters()[op_kind_index(op)].add(rows as u64);
+            if let (Some(t), Some(i), Some(b)) = (trace.as_mut(), slot, began) {
+                t[i] = NodeTrace { rows, elapsed: b.elapsed() };
+            }
         }
         Ok(out)
     }
@@ -100,7 +161,7 @@ impl<'p> Executor<'p> {
         op: &PhysOp,
         wsd: &mut Wsd,
         counter: &mut usize,
-        trace: &mut Option<Vec<usize>>,
+        trace: &mut Option<Vec<NodeTrace>>,
         fresh: &dyn Fn(&Wsd, &mut usize) -> String,
     ) -> Result<String> {
         Ok(match op {

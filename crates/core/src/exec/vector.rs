@@ -37,7 +37,9 @@
 //! (`tests/oracle_properties.rs`).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 
+use maybms_obs::Counter;
 use maybms_relational::{Expr, Result, Value};
 
 use crate::algebra::common::{
@@ -53,6 +55,30 @@ use super::pool::WorkerPool;
 
 /// Sentinel code for open (component-backed) cells in an encoded batch.
 pub const OPEN_CODE: u32 = u32::MAX;
+
+/// Vectorized-operator counters, resolved once. Memo decisions and
+/// fallback rows happen in the serial phases, so these totals are
+/// identical at every worker count.
+struct VecMetrics {
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
+    /// Rows/pairs that left the batch fast path for the tuple-at-a-time
+    /// reference (open cells, open existence, or residual open fields).
+    fallback_rows: Arc<Counter>,
+    /// Joins with no cross-side equality conjunct, delegated wholesale to
+    /// the nested-loop reference.
+    nested_fallbacks: Arc<Counter>,
+}
+
+fn metrics() -> &'static VecMetrics {
+    static M: OnceLock<VecMetrics> = OnceLock::new();
+    M.get_or_init(|| VecMetrics {
+        memo_hits: maybms_obs::counter("exec.vec.memo_hits"),
+        memo_misses: maybms_obs::counter("exec.vec.memo_misses"),
+        fallback_rows: maybms_obs::counter("exec.vec.fallback_rows"),
+        nested_fallbacks: maybms_obs::counter("exec.vec.nested_fallbacks"),
+    })
+}
 
 /// A relation snapshot encoded as code columns: per column, a dictionary
 /// of distinct certain values and one `u32` code per row ([`OPEN_CODE`]
@@ -159,6 +185,7 @@ pub fn select_vec(
     wsd.add_relation(out, enc.schema.clone())?;
     let arity = enc.schema.len();
     let n = enc.len();
+    let m = metrics();
 
     // Phase 1 (serial, branch-light): selection vector via memoized
     // predicate decisions on packed code keys.
@@ -177,12 +204,17 @@ pub fn select_vec(
             key.push(c);
         }
         if !all_certain {
+            m.fallback_rows.inc();
             keep.push(Keep::Dynamic);
             continue;
         }
         let pass = match memo.get(key.as_slice()) {
-            Some(&b) => b,
+            Some(&b) => {
+                m.memo_hits.inc();
+                b
+            }
             None => {
+                m.memo_misses.inc();
                 let mut vals = HashMap::with_capacity(positions.len());
                 for (i, &p) in positions.iter().enumerate() {
                     vals.insert(p, enc.dicts[p][key[i] as usize].clone());
@@ -192,6 +224,9 @@ pub fn select_vec(
                 b
             }
         };
+        if pass && !enc.fully_static[row] {
+            m.fallback_rows.inc();
+        }
         keep.push(match (pass, enc.fully_static[row]) {
             (false, _) => Keep::Drop,
             (true, true) => Keep::Fast,
@@ -383,8 +418,10 @@ pub fn join_vec(
     let out_schema = lenc.schema.concat(&renc.schema);
     let eq_pairs = equality_pairs(pred, &out_schema, larity);
     if eq_pairs.is_empty() {
+        metrics().nested_fallbacks.inc();
         return join_op_in(wsd, left, right, pred, out, pool);
     }
+    let m = metrics();
     let (bound, positions) = bind_pred(pred, &out_schema)?;
     let arity = out_schema.len();
     wsd.add_relation(out, out_schema)?;
@@ -440,6 +477,7 @@ pub fn join_vec(
     for (li, cand) in cands.iter().enumerate() {
         for &ri in cand {
             if !(lenc.fully_static[li] && renc.fully_static[ri]) {
+                m.fallback_rows.inc();
                 plan.push((li, ri, false));
                 continue;
             }
@@ -451,8 +489,12 @@ pub fn join_vec(
                 key.push(renc.codes[p][ri]);
             }
             let pass = match memo.get(key.as_slice()) {
-                Some(&b) => b,
+                Some(&b) => {
+                    m.memo_hits.inc();
+                    b
+                }
                 None => {
+                    m.memo_misses.inc();
                     let mut vals = HashMap::with_capacity(key.len());
                     for &p in &lref {
                         vals.insert(p, lenc.value(p, li).clone());

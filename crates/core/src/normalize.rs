@@ -29,6 +29,9 @@
 //! into independent parts (see [`crate::factorize`]).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+
+use maybms_obs::Counter;
 
 use crate::cell::Cell;
 use crate::exec::WorkerPool;
@@ -267,6 +270,20 @@ pub fn normalize(wsd: &mut Wsd) {
 /// parallel scan and applies them serially in component order, so the
 /// resulting decomposition is identical at every worker count.
 pub fn normalize_in(wsd: &mut Wsd, pool: &WorkerPool) {
+    /// Normalization counters, resolved once: fixpoint passes run and
+    /// dirty components scanned. Both are driven by the deterministic
+    /// drain loop, so totals are identical at every worker count.
+    struct NormMetrics {
+        passes: Arc<Counter>,
+        components: Arc<Counter>,
+    }
+    fn metrics() -> &'static NormMetrics {
+        static M: OnceLock<NormMetrics> = OnceLock::new();
+        M.get_or_init(|| NormMetrics {
+            passes: maybms_obs::counter("normalize.passes"),
+            components: maybms_obs::counter("normalize.components"),
+        })
+    }
     let mut did_work = false;
     loop {
         let dirty = wsd.take_dirty();
@@ -274,6 +291,8 @@ pub fn normalize_in(wsd: &mut Wsd, pool: &WorkerPool) {
             break;
         }
         did_work = true;
+        metrics().passes.inc();
+        metrics().components.add(dirty.len() as u64);
         propagate_bottom(wsd, &dirty, pool);
         drop_dead_tuples(wsd, &dirty, pool);
         inline_constants(wsd, &dirty, pool);

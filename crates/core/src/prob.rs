@@ -24,7 +24,11 @@
 //! draws rows through precomputed cumulative-probability tables.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
+use maybms_obs::registry::DURATION_US_BOUNDS;
+use maybms_obs::{Counter, Histogram};
 use maybms_relational::{Error, Result, Tuple, Value};
 
 use crate::cell::Cell;
@@ -32,6 +36,20 @@ use crate::exec::WorkerPool;
 use crate::factorize::Uf;
 use crate::field::{Field, Tid};
 use crate::wsd::{Existence, TemplateCell, Wsd};
+
+/// Confidence-computation counters, resolved once.
+struct ProbMetrics {
+    calls: Arc<Counter>,
+    duration_us: Arc<Histogram>,
+}
+
+fn metrics() -> &'static ProbMetrics {
+    static M: OnceLock<ProbMetrics> = OnceLock::new();
+    M.get_or_init(|| ProbMetrics {
+        calls: maybms_obs::counter("prob.confidence_calls"),
+        duration_us: maybms_obs::histogram("prob.confidence_us", DURATION_US_BOUNDS),
+    })
+}
 
 /// Options for confidence computation.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +153,15 @@ pub fn nonempty_confidence(wsd: &Wsd, rel: &str) -> Result<f64> {
 /// [`nonempty_confidence`] with the per-cluster walks fanned out over
 /// `pool`.
 pub fn nonempty_confidence_in(wsd: &Wsd, rel: &str, pool: &WorkerPool) -> Result<f64> {
+    let m = metrics();
+    m.calls.inc();
+    let began = Instant::now();
+    let out = nonempty_confidence_inner(wsd, rel, pool);
+    m.duration_us.observe_duration(began.elapsed());
+    out
+}
+
+fn nonempty_confidence_inner(wsd: &Wsd, rel: &str, pool: &WorkerPool) -> Result<f64> {
     let clusters = cluster_tuples(wsd, rel)?;
     if clusters.iter().any(|cl| cl.has_always_certain) {
         return Ok(1.0);
@@ -170,6 +197,20 @@ pub fn tuple_confidence_opts(
 /// per-value merge runs serially in cluster order, making the result
 /// bit-identical to the sequential path at every worker count.
 pub fn tuple_confidence_opts_in(
+    wsd: &Wsd,
+    rel: &str,
+    opts: ProbOptions,
+    pool: &WorkerPool,
+) -> Result<Vec<Confidence>> {
+    let m = metrics();
+    m.calls.inc();
+    let began = Instant::now();
+    let out = tuple_confidence_opts_inner(wsd, rel, opts, pool);
+    m.duration_us.observe_duration(began.elapsed());
+    out
+}
+
+fn tuple_confidence_opts_inner(
     wsd: &Wsd,
     rel: &str,
     opts: ProbOptions,

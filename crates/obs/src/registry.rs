@@ -1,0 +1,388 @@
+//! The metrics registry: named atomic counters, gauges and fixed-bucket
+//! histograms, plus the process-global instance every subsystem records
+//! into.
+//!
+//! Handles are `Arc`s handed out by [`Registry::counter`] (and friends);
+//! a call site registers once (a mutex + ordered-map lookup) and then
+//! bumps lock-free forever after. Sessions can also own private
+//! [`Registry`] instances for per-session statistics; the SQL layer
+//! merges both views under `SHOW METRICS`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Process-wide enable flag. `true` at startup; [`set_enabled`] flips it.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether metric recording is currently enabled. One relaxed load — the
+/// entire cost of a metric operation while observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    if cfg!(feature = "off") {
+        return false;
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables all metric recording at runtime. Reads
+/// ([`Counter::get`], [`Registry::snapshot`]) keep working either way;
+/// only the write side goes quiet. The `off` cargo feature is the
+/// compile-time version of `set_enabled(false)`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A no-op while recording is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge: a value that goes up and down (queue depths, lags).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`. A no-op while recording is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `d` (negative to decrease). A no-op while recording is
+    /// disabled.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive) of the default duration buckets, in
+/// microseconds: 1µs … ~16s in powers of four, plus +∞ implicitly.
+pub const DURATION_US_BOUNDS: &[u64] =
+    &[1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216];
+
+/// Upper bounds (inclusive) of the default size buckets (bytes, rows,
+/// records — anything count-shaped): 1 … ~1M in powers of four.
+pub const SIZE_BOUNDS: &[u64] =
+    &[1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+
+/// A fixed-bucket histogram: cumulative-style buckets with static upper
+/// bounds, plus a running sum and count. Observation is two relaxed adds
+/// and one bounded scan over ≤14 bounds — no allocation, no locking.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be sorted");
+        Histogram {
+            bounds,
+            // one bucket per bound plus the +∞ overflow bucket
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. A no-op while recording is disabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// The bucket upper bounds (the +∞ bucket is implicit).
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts, one per bound plus the final +∞ bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared handle to one registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time reading of one metric, as [`Registry::snapshot`]
+/// reports it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram reading: `(bounds, bucket_counts, sum, count)` — one
+    /// bucket count per bound plus the trailing +∞ bucket.
+    Histogram(&'static [u64], Vec<u64>, u64, u64),
+}
+
+/// A named collection of metrics. The process-global instance is
+/// [`global`]; sessions may own private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry { inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.inner.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.inner.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// The histogram named `name` with the given static bucket bounds,
+    /// registering it on first use (later callers get the original
+    /// bounds — bounds are fixed at first registration).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, bounds: &'static [u64]) -> Arc<Histogram> {
+        let mut m = self.inner.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// All metrics with their current values, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let m = self.inner.lock().expect("registry lock");
+        m.iter()
+            .map(|(name, metric)| {
+                let v = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(
+                        h.bounds(),
+                        h.bucket_counts(),
+                        h.sum(),
+                        h.count(),
+                    ),
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// Serializes tests that read or toggle the process-global enable flag
+/// (the toggle test must not race counting tests elsewhere in the crate).
+#[cfg(test)]
+pub(crate) fn test_flag_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-global registry every subsystem records into.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Shorthand for [`global`]`().counter(name)`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shorthand for [`global`]`().gauge(name)`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Shorthand for [`global`]`().histogram(name, bounds)`.
+pub fn histogram(name: &str, bounds: &'static [u64]) -> Arc<Histogram> {
+    global().histogram(name, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::registry::test_flag_lock as flag_lock;
+
+    #[test]
+    fn counter_counts() {
+        let _g = flag_lock();
+        let r = Registry::new();
+        let c = r.counter("t.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // same name, same handle
+        r.counter("t.counter").inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let _g = flag_lock();
+        let r = Registry::new();
+        let g = r.gauge("t.gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let _g = flag_lock();
+        let r = Registry::new();
+        let h = r.histogram("t.hist", &[10, 100]);
+        h.observe(5); // bucket 0 (≤10)
+        h.observe(10); // bucket 0 (inclusive bound)
+        h.observe(50); // bucket 1 (≤100)
+        h.observe(1000); // +∞ bucket
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let _g = flag_lock();
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.gauge("a.first").set(-1);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "a.first");
+        assert_eq!(snap[0].1, MetricValue::Gauge(-1));
+        assert_eq!(snap[1].1, MetricValue::Counter(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("t.same");
+        r.gauge("t.same");
+    }
+
+    #[test]
+    fn disabled_recording_is_silent() {
+        let _g = flag_lock();
+        let r = Registry::new();
+        let c = r.counter("t.toggle");
+        set_enabled(false);
+        c.inc();
+        set_enabled(true);
+        c.inc();
+        // the disabled inc must not have landed (under the `off` feature
+        // neither does the enabled one)
+        let expect = if cfg!(feature = "off") { 0 } else { 1 };
+        assert_eq!(c.get(), expect);
+    }
+}

@@ -1,0 +1,110 @@
+//! The slow-query log: a bounded ring buffer of queries whose total
+//! wall-clock time crossed the session's threshold. Recording is cheap
+//! (one mutex push on an already-slow path); the ring never grows past
+//! its capacity, so a long-lived session cannot leak memory through it.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One logged slow query.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The statement text as the client sent it.
+    pub sql: String,
+    /// Total wall-clock time the statement took.
+    pub total: Duration,
+    /// A one-line phase breakdown (see [`crate::QueryTrace::render`]).
+    pub phases: String,
+    /// When the statement finished.
+    pub at: Instant,
+}
+
+/// A bounded ring buffer of [`SlowQuery`] entries; the oldest entry is
+/// evicted when the ring is full. Interior-mutable so read paths
+/// (`SHOW SLOW QUERIES`) work through a shared reference.
+#[derive(Debug)]
+pub struct SlowLog {
+    cap: usize,
+    entries: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl SlowLog {
+    /// A ring holding at most `cap` entries (`cap` 0 disables recording).
+    pub fn new(cap: usize) -> SlowLog {
+        SlowLog { cap, entries: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Appends one entry, evicting the oldest when full.
+    pub fn record(&self, entry: SlowQuery) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut e = self.entries.lock().expect("slow log lock");
+        if e.len() == self.cap {
+            e.pop_front();
+        }
+        e.push_back(entry);
+    }
+
+    /// The logged entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.entries.lock().expect("slow log lock").iter().cloned().collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slow log lock").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.entries.lock().expect("slow log lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str, ms: u64) -> SlowQuery {
+        SlowQuery {
+            sql: sql.into(),
+            total: Duration::from_millis(ms),
+            phases: String::new(),
+            at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = SlowLog::new(2);
+        log.record(q("a", 1));
+        log.record(q("b", 2));
+        log.record(q("c", 3));
+        let e = log.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].sql, "b");
+        assert_eq!(e[1].sql, "c");
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let log = SlowLog::new(0);
+        log.record(q("a", 1));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let log = SlowLog::new(4);
+        log.record(q("a", 1));
+        log.clear();
+        assert_eq!(log.len(), 0);
+    }
+}

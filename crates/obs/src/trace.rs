@@ -1,0 +1,122 @@
+//! Per-query tracing: a [`QueryTrace`] collects named, timestamped phase
+//! spans (parse → optimize → compile → execute) as a query moves through
+//! the session pipeline. The executor's per-plan-node wall-clock samples
+//! ride along separately (see `maybms_core::exec::Executor::run_traced`);
+//! this type covers the pipeline phases around them.
+
+use std::time::{Duration, Instant};
+
+/// One traced phase: its name, when it started (relative to the trace
+/// start), and how long it took.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Phase name (`"parse"`, `"optimize"`, `"compile"`, `"execute"`).
+    pub name: String,
+    /// Offset of the phase start from the start of the trace.
+    pub start: Duration,
+    /// Wall-clock duration of the phase.
+    pub elapsed: Duration,
+}
+
+/// A per-query trace of timestamped phase spans.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    started: Instant,
+    spans: Vec<Span>,
+}
+
+impl QueryTrace {
+    /// Starts a fresh trace; the clock starts now.
+    pub fn start() -> QueryTrace {
+        QueryTrace { started: Instant::now(), spans: Vec::new() }
+    }
+
+    /// Runs `f` as a named phase, recording its span.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let begin = Instant::now();
+        let out = f();
+        self.push(name, begin);
+        out
+    }
+
+    /// Records a phase that began at `begin` and ended now.
+    pub fn push(&mut self, name: &str, begin: Instant) {
+        self.spans.push(Span {
+            name: name.to_string(),
+            start: begin.duration_since(self.started),
+            elapsed: begin.elapsed(),
+        });
+    }
+
+    /// The recorded spans, in the order they finished.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Wall-clock time since the trace started.
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// A one-line human rendering: `parse 12.3µs · optimize 45µs · …`.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| format!("{} {}", s.name, fmt_duration(s.elapsed)))
+            .collect();
+        parts.push(format!("total {}", fmt_duration(self.total())));
+        parts.join(" · ")
+    }
+}
+
+/// Renders a duration compactly: `873ns`, `12.3µs`, `4.56ms`, `1.20s`.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_in_order() {
+        let mut t = QueryTrace::start();
+        let a = t.time("parse", || 1 + 1);
+        assert_eq!(a, 2);
+        t.time("execute", || std::thread::sleep(Duration::from_millis(2)));
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "parse");
+        assert_eq!(spans[1].name, "execute");
+        assert!(spans[1].elapsed >= Duration::from_millis(2));
+        assert!(spans[1].start >= spans[0].start);
+        assert!(t.total() >= spans[1].elapsed);
+    }
+
+    #[test]
+    fn render_names_every_phase() {
+        let mut t = QueryTrace::start();
+        t.time("parse", || ());
+        let r = t.render();
+        assert!(r.contains("parse "), "{r}");
+        assert!(r.contains("total "), "{r}");
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(873)), "873ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(4)), "4.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

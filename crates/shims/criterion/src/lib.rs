@@ -194,6 +194,34 @@ impl Bencher {
         self.total = total;
         self.iters = iters;
     }
+
+    /// Criterion's escape hatch for payloads that must time themselves:
+    /// the closure runs `iters` iterations and returns the measured
+    /// duration (e.g. when the wall-clock of interest excludes setup, or
+    /// was collected by an interleaved A/B harness).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let once = f(1).max(Duration::from_nanos(50));
+
+        let budget = if fast_mode() {
+            Duration::from_millis(80)
+        } else {
+            Duration::from_millis(400)
+        };
+        let per_sample = (budget.as_nanos() / (self.sample_size as u128).max(1)).max(1);
+        let iters_per_sample = (per_sample / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            total += f(iters_per_sample);
+            iters += iters_per_sample;
+            if total > budget * 2 {
+                break;
+            }
+        }
+        self.total = total;
+        self.iters = iters;
+    }
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, mut f: F) -> Measurement {

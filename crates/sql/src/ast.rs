@@ -87,6 +87,22 @@ pub enum Statement {
     },
     /// `SHOW TABLES` — list the relation names.
     ShowTables,
+    /// `SHOW METRICS [LIKE 'pattern']` — one row per metric of the
+    /// process-global observability registry (`name, kind, value`),
+    /// optionally filtered by a SQL `LIKE` pattern (`%`/`_` wildcards)
+    /// on the metric name.
+    ShowMetrics {
+        /// The `LIKE` pattern, if given.
+        like: Option<String>,
+    },
+    /// `SHOW SLOW QUERIES` — the session's slow-query ring buffer, one
+    /// row per logged statement (oldest first).
+    ShowSlowQueries,
+    /// `SHOW REPLICATION STATUS` — one row describing this session's
+    /// replication role and, for a replica, its staleness relative to
+    /// the primary (applied LSN, primary LSN, lag, seconds since last
+    /// contact).
+    ShowReplicationStatus,
     /// `CHECKPOINT [FULL]` — compact the write-ahead log into a fresh
     /// snapshot (requires a session opened on a database file). The write
     /// is incremental (changed pages only) when possible; `FULL` forces a

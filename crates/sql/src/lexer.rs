@@ -105,7 +105,7 @@ const KEYWORDS: &[&str] = &[
     "KEY", "FD", "CHECK", "SHOW", "TABLES", "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP", "BY",
     "ORDER", "LIMIT", "EXPECTED", "DROP", "HAVING", "ALTER", "RENAME", "TO", "CHECKPOINT",
     "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK", "DELETE", "UPDATE", "SET", "FULL",
-    "ANALYZE", "SAVEPOINT",
+    "ANALYZE", "SAVEPOINT", "METRICS", "SLOW", "QUERIES", "REPLICATION", "STATUS", "LIKE",
 ];
 
 /// Tokenizes `input`, returning the token list or a lexical error.

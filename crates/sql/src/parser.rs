@@ -141,8 +141,35 @@ impl Parser {
                 }
                 "SHOW" => {
                     self.next();
-                    self.expect_keyword("TABLES")?;
-                    Ok(Statement::ShowTables)
+                    if self.eat_keyword("TABLES") {
+                        Ok(Statement::ShowTables)
+                    } else if self.eat_keyword("METRICS") {
+                        let like = if self.eat_keyword("LIKE") {
+                            match self.next() {
+                                Some(Token::Str(p)) => Some(p),
+                                t => {
+                                    return Err(Error::InvalidExpr(format!(
+                                        "expected a string pattern after LIKE, found {t:?}"
+                                    )))
+                                }
+                            }
+                        } else {
+                            None
+                        };
+                        Ok(Statement::ShowMetrics { like })
+                    } else if self.eat_keyword("SLOW") {
+                        self.expect_keyword("QUERIES")?;
+                        Ok(Statement::ShowSlowQueries)
+                    } else if self.eat_keyword("REPLICATION") {
+                        self.expect_keyword("STATUS")?;
+                        Ok(Statement::ShowReplicationStatus)
+                    } else {
+                        Err(Error::InvalidExpr(format!(
+                            "expected TABLES, METRICS, SLOW QUERIES or REPLICATION STATUS \
+                             after SHOW, found {:?}",
+                            self.peek()
+                        )))
+                    }
                 }
                 "CHECKPOINT" => {
                     self.next();
@@ -776,6 +803,28 @@ mod tests {
             Statement::Explain { analyze: true, .. }
         ));
         assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::ShowTables));
+    }
+
+    #[test]
+    fn parses_observability_show_statements() {
+        assert_eq!(
+            parse("SHOW METRICS").unwrap(),
+            Statement::ShowMetrics { like: None }
+        );
+        assert_eq!(
+            parse("SHOW METRICS LIKE 'wal.%'").unwrap(),
+            Statement::ShowMetrics { like: Some("wal.%".into()) }
+        );
+        assert_eq!(parse("SHOW SLOW QUERIES").unwrap(), Statement::ShowSlowQueries);
+        assert_eq!(
+            parse("show replication status").unwrap(),
+            Statement::ShowReplicationStatus
+        );
+        // malformed variants fail loudly
+        assert!(parse("SHOW METRICS LIKE 42").is_err());
+        assert!(parse("SHOW SLOW").is_err());
+        assert!(parse("SHOW REPLICATION").is_err());
+        assert!(parse("SHOW nonsense").is_err());
     }
 
     #[test]

@@ -70,12 +70,14 @@
 //! ```
 
 use std::io::{Read, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use maybms_obs::Counter;
 
 use maybms_core::codec::{decode_wsd, encode_wsd};
 use maybms_core::wsd::Wsd;
@@ -86,6 +88,99 @@ use maybms_storage::{read_snapshot_state_with_vfs, std_vfs, wal_path_for, Vfs};
 
 use crate::session::{QueryResult, Session, SessionError, SessionResult};
 use crate::wire;
+
+/// How long without any message from the primary before `SHOW REPLICATION
+/// STATUS` reports a replica as stale. The primary heartbeats every 25 ms
+/// by default while idle, so a full second of silence means a dead
+/// primary, a cut connection, or a stalled serve loop — reads may be
+/// arbitrarily behind.
+pub const STALE_AFTER: Duration = Duration::from_secs(1);
+
+/// Cached handles into the global metrics registry for the replication
+/// layer (one registry lookup per process, one relaxed atomic per event).
+struct ReplMetrics {
+    /// WAL records streamed to followers (`repl.shipped_records`).
+    shipped_records: Arc<Counter>,
+    /// Payload bytes of those records (`repl.shipped_bytes`).
+    shipped_bytes: Arc<Counter>,
+    /// Idle heartbeats sent to followers (`repl.heartbeats`).
+    heartbeats: Arc<Counter>,
+    /// Follower reconnect attempts after a failed or dropped connection
+    /// (`repl.reconnects`).
+    reconnects: Arc<Counter>,
+    /// Backoff schedules returned to base after a healthy message
+    /// (`repl.backoff_resets`).
+    backoff_resets: Arc<Counter>,
+    /// Shipped records a replica applied (`repl.applied_records`).
+    applied_records: Arc<Counter>,
+}
+
+fn metrics() -> &'static ReplMetrics {
+    static M: OnceLock<ReplMetrics> = OnceLock::new();
+    M.get_or_init(|| ReplMetrics {
+        shipped_records: maybms_obs::counter("repl.shipped_records"),
+        shipped_bytes: maybms_obs::counter("repl.shipped_bytes"),
+        heartbeats: maybms_obs::counter("repl.heartbeats"),
+        reconnects: maybms_obs::counter("repl.reconnects"),
+        backoff_resets: maybms_obs::counter("repl.backoff_resets"),
+        applied_records: maybms_obs::counter("repl.applied_records"),
+    })
+}
+
+/// A lock-free live view of a replica's position, shared between the
+/// applying thread and the replica's session so `SHOW REPLICATION STATUS`
+/// can report staleness *as data* without taking the replica mutex:
+/// last-applied LSN, the primary's last known durable LSN, and how long
+/// ago the primary was last heard from.
+#[derive(Debug)]
+pub struct ReplStatus {
+    applied_lsn: AtomicU64,
+    primary_lsn: AtomicU64,
+    /// Nanoseconds from `epoch` to the last received message (0 = never).
+    last_contact_ns: AtomicU64,
+    epoch: Instant,
+}
+
+impl ReplStatus {
+    fn new() -> ReplStatus {
+        ReplStatus {
+            applied_lsn: AtomicU64::new(0),
+            primary_lsn: AtomicU64::new(0),
+            last_contact_ns: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn touch(&self) {
+        self.last_contact_ns
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn set_applied(&self, lsn: u64) {
+        self.applied_lsn.store(lsn, Ordering::Relaxed);
+    }
+
+    fn set_primary(&self, lsn: u64) {
+        self.primary_lsn.store(lsn, Ordering::Relaxed);
+    }
+
+    /// LSN of the last record the replica has applied.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn.load(Ordering::Relaxed)
+    }
+
+    /// The primary's last known durable LSN (0 until the first message).
+    pub fn primary_lsn(&self) -> u64 {
+        self.primary_lsn.load(Ordering::Relaxed)
+    }
+
+    /// How long since the primary was last heard from (since the
+    /// replica's construction until the first message arrives).
+    pub fn since_last_contact(&self) -> Duration {
+        let at = Duration::from_nanos(self.last_contact_ns.load(Ordering::Relaxed));
+        self.epoch.elapsed().saturating_sub(at)
+    }
+}
 
 /// The serving side of replication: watches a database's files (snapshot
 /// pair + WAL) and streams committed records to connected followers.
@@ -239,6 +334,7 @@ impl Primary {
                                     last_lsn: cursor.lsn(),
                                 },
                             )?;
+                            metrics().heartbeats.inc();
                             last_sent = Instant::now();
                         }
                         // block until a commit signals (instant for
@@ -252,7 +348,10 @@ impl Primary {
                     Polled::Records(recs) => {
                         idle_sleep = self.poll_interval;
                         for (lsn, payload) in recs {
+                            let bytes = payload.len() as u64;
                             send_msg(&mut stream, &Msg::Record { lsn, payload })?;
+                            metrics().shipped_records.inc();
+                            metrics().shipped_bytes.add(bytes);
                             last_sent = Instant::now();
                             follower_lsn = lsn;
                         }
@@ -297,9 +396,15 @@ impl Primary {
         std::thread::spawn(move || this.serve(stream))
     }
 
-    /// Accepts follower connections on `listener` (one serve thread
-    /// each) until [`Primary::stop`]. The listener is switched to
-    /// non-blocking so the accept loop can observe the stop flag.
+    /// Accepts connections on `listener` (one serve thread each) until
+    /// [`Primary::stop`]. The listener is switched to non-blocking so the
+    /// accept loop can observe the stop flag.
+    ///
+    /// The port is shared with Prometheus scrapes: a connection whose
+    /// first bytes are `GET ` is answered with one HTTP response carrying
+    /// the global metrics registry in text exposition format; anything
+    /// else is a follower speaking the ship protocol (whose `Hello`
+    /// frame can never start with `GET `).
     pub fn listen(&self, listener: TcpListener) -> Result<JoinHandle<()>> {
         listener
             .set_nonblocking(true)
@@ -311,7 +416,14 @@ impl Primary {
                 match listener.accept() {
                     Ok((stream, _addr)) => {
                         let _ = stream.set_nodelay(true);
-                        workers.push(this.spawn_serve(stream));
+                        // the accepted stream may inherit the listener's
+                        // non-blocking mode on some platforms
+                        let _ = stream.set_nonblocking(false);
+                        if sniff_http(&stream) {
+                            workers.push(std::thread::spawn(move || serve_metrics_http(stream)));
+                        } else {
+                            workers.push(this.spawn_serve(stream));
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -324,6 +436,49 @@ impl Primary {
             }
         }))
     }
+}
+
+/// Peeks a fresh connection's first bytes without consuming them: `GET `
+/// means an HTTP Prometheus scrape, anything else the ship protocol.
+/// Waits briefly for the client's first bytes (both kinds of client send
+/// immediately after connecting).
+fn sniff_http(stream: &TcpStream) -> bool {
+    let mut buf = [0u8; 4];
+    for _ in 0..200 {
+        match stream.peek(&mut buf) {
+            Ok(n) if n >= 4 => return &buf == b"GET ",
+            Ok(0) => return false, // peer closed without sending anything
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(_) => return false,
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    false
+}
+
+/// Answers one Prometheus scrape: drains the request head (its contents
+/// don't matter — every path serves the same registry) and writes the
+/// global metrics in text exposition format, then closes.
+fn serve_metrics_http(mut stream: TcpStream) -> Result<()> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(Error::Storage(format!("metrics scrape read: {e}"))),
+        }
+    }
+    let body = maybms_obs::prometheus_text(maybms_obs::global());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(response.as_bytes())
+        .map_err(|e| Error::Storage(format!("metrics scrape write: {e}")))
 }
 
 /// A follower's live connection to a primary (the stream after the
@@ -362,6 +517,9 @@ pub struct Replica {
     /// When the primary was last heard from (any message — records and
     /// heartbeats alike prove liveness).
     last_contact: Instant,
+    /// Mirror of the position fields above, shared with the session so
+    /// `SHOW REPLICATION STATUS` reads live values without this struct.
+    status: Arc<ReplStatus>,
 }
 
 impl Default for Replica {
@@ -376,13 +534,22 @@ impl Replica {
     pub fn new() -> Replica {
         let mut session = Session::new();
         session.set_read_only(true);
+        let status = Arc::new(ReplStatus::new());
+        session.set_repl_status(Arc::clone(&status));
         Replica {
             session,
             generation: 0,
             applied_lsn: 0,
             primary_lsn: 0,
             last_contact: Instant::now(),
+            status,
         }
+    }
+
+    /// The live position view `SHOW REPLICATION STATUS` reads — shareable
+    /// with monitoring threads.
+    pub fn status(&self) -> &Arc<ReplStatus> {
+        &self.status
     }
 
     /// The read-only session — run SELECTs against it directly.
@@ -448,6 +615,7 @@ impl Replica {
     /// the replica's state advanced.
     pub fn apply_msg(&mut self, msg: Msg) -> SessionResult<bool> {
         self.last_contact = Instant::now();
+        self.status.touch();
         match msg {
             Msg::Snapshot { generation, last_lsn, payload } => {
                 let wsd = decode_wsd(&payload).map_err(SessionError::storage)?;
@@ -456,10 +624,13 @@ impl Replica {
                 self.generation = generation;
                 self.applied_lsn = last_lsn;
                 self.primary_lsn = self.primary_lsn.max(last_lsn);
+                self.status.set_applied(self.applied_lsn);
+                self.status.set_primary(self.primary_lsn);
                 Ok(true)
             }
             Msg::Record { lsn, payload } => {
                 self.primary_lsn = self.primary_lsn.max(lsn);
+                self.status.set_primary(self.primary_lsn);
                 if lsn <= self.applied_lsn {
                     return Ok(false); // duplicate across a reconnect
                 }
@@ -480,10 +651,13 @@ impl Replica {
                     })?;
                 }
                 self.applied_lsn = lsn;
+                self.status.set_applied(lsn);
+                metrics().applied_records.inc();
                 Ok(true)
             }
             Msg::Heartbeat { generation: _, last_lsn } => {
                 self.primary_lsn = self.primary_lsn.max(last_lsn);
+                self.status.set_primary(self.primary_lsn);
                 Ok(false)
             }
             Msg::Hello { .. } => Err(SessionError::storage(Error::Storage(
@@ -571,7 +745,12 @@ impl Backoff {
     }
 
     /// Returns to the base delay (call once a connection proves healthy).
+    /// A reset that actually cancels pending backoff (attempts were
+    /// handed out since the last reset) counts as `repl.backoff_resets`.
     pub fn reset(&mut self) {
+        if self.attempt > 0 {
+            metrics().backoff_resets.inc();
+        }
         self.attempt = 0;
     }
 
@@ -636,6 +815,7 @@ where
         let mut conn = match conn {
             Ok(c) => c,
             Err(_) => {
+                metrics().reconnects.inc();
                 sleep_interruptibly(backoff.next_delay(), stop);
                 continue;
             }
@@ -652,6 +832,7 @@ where
                 Err(_) => break, // torn or dropped stream: reconnect
             }
         }
+        metrics().reconnects.inc();
         sleep_interruptibly(backoff.next_delay(), stop);
     }
     Ok(())

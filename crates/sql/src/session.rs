@@ -70,6 +70,7 @@
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use maybms_core::algebra::{delete_op, update_op};
 use maybms_core::chase::{clean, CleaningReport, Constraint};
@@ -80,6 +81,8 @@ use maybms_core::exec::{
 use maybms_core::prob;
 use maybms_core::stats::{estimate_phys, WsdStats};
 use maybms_core::wsd::Wsd;
+use maybms_obs::trace::fmt_duration;
+use maybms_obs::{MetricValue, QueryTrace, SlowLog, SlowQuery};
 use maybms_relational::{
     Column, ColumnType, Error, Relation, Result, Schema, Tuple, Value,
 };
@@ -90,7 +93,20 @@ use crate::ast::{InsertValue, RepairStmt, SelectStmt, Statement, WorldMode};
 use crate::optimizer::{explain, optimize_with_stats};
 use crate::parser::{parse_counting_params, parse_script};
 use crate::plan::lower_select;
+use crate::replication::{ReplStatus, STALE_AFTER};
 use crate::wire;
+
+/// How many entries the session's slow-query ring holds.
+const SLOW_LOG_CAPACITY: usize = 32;
+
+/// The default slow-query threshold: `MAYBMS_SLOW_QUERY_MS` when set (an
+/// unparsable value disables the log), otherwise 100 ms.
+fn default_slow_threshold() -> Option<Duration> {
+    match std::env::var("MAYBMS_SLOW_QUERY_MS") {
+        Ok(v) => v.trim().parse::<u64>().ok().map(Duration::from_millis),
+        Err(_) => Some(Duration::from_millis(100)),
+    }
+}
 
 /// Structured errors of the session boundary: what failed, and at which
 /// stage of the statement lifecycle.
@@ -416,6 +432,17 @@ pub struct Session {
     /// across queries; the epoch scheme inside invalidates per-relation
     /// entries when the decomposition changes, so this never goes stale.
     stats: WsdStats,
+    /// The trace of the statement currently inside [`Session::execute`]:
+    /// `run_select_inner` pushes its optimize/compile/execute spans here.
+    trace: Option<QueryTrace>,
+    /// Ring of statements whose wall-clock time crossed the threshold —
+    /// `SHOW SLOW QUERIES` reads it back out.
+    slow_log: Arc<SlowLog>,
+    /// Statements at least this slow are logged; `None` disables the log.
+    slow_threshold: Option<Duration>,
+    /// Live replication position, installed by the replication layer on
+    /// follower sessions — `SHOW REPLICATION STATUS` reads it.
+    repl_status: Option<Arc<ReplStatus>>,
 }
 
 impl Default for Session {
@@ -445,6 +472,10 @@ impl Clone for Session {
             read_only: self.read_only,
             degraded: None,
             stats: WsdStats::new(),
+            trace: None,
+            slow_log: Arc::new(SlowLog::new(SLOW_LOG_CAPACITY)),
+            slow_threshold: self.slow_threshold,
+            repl_status: None,
         }
     }
 }
@@ -464,6 +495,10 @@ impl Session {
             read_only: false,
             degraded: None,
             stats: WsdStats::new(),
+            trace: None,
+            slow_log: Arc::new(SlowLog::new(SLOW_LOG_CAPACITY)),
+            slow_threshold: default_slow_threshold(),
+            repl_status: None,
         }
     }
 
@@ -679,9 +714,53 @@ impl Session {
     }
 
     /// Parses and executes one statement.
+    ///
+    /// The statement is traced through the pipeline phases (parse →
+    /// optimize → compile → execute); when its total wall-clock time
+    /// reaches the slow-query threshold (see
+    /// [`Session::set_slow_query_threshold`]) the trace lands in the
+    /// session's slow-query ring, which `SHOW SLOW QUERIES` reads.
     pub fn execute(&mut self, sql: &str) -> SessionResult<QueryResult> {
+        let mut trace = QueryTrace::start();
+        let begin = Instant::now();
         let stmt = self.prepare_unparameterized(sql)?;
-        self.run(&stmt.stmt)
+        trace.push("parse", begin);
+        self.trace = Some(trace);
+        let result = self.run(&stmt.stmt);
+        let trace = self.trace.take().expect("trace installed above");
+        if let Some(threshold) = self.slow_threshold {
+            let total = trace.total();
+            if total >= threshold {
+                self.slow_log.record(SlowQuery {
+                    sql: sql.to_string(),
+                    total,
+                    phases: trace.render(),
+                    at: Instant::now(),
+                });
+            }
+        }
+        result
+    }
+
+    /// Sets the slow-query threshold: statements whose total wall-clock
+    /// time through [`Session::execute`] reaches it are recorded in the
+    /// slow-query ring (`SHOW SLOW QUERIES`). `None` disables the log.
+    /// The initial value comes from `MAYBMS_SLOW_QUERY_MS` (default
+    /// 100 ms; `0` logs every statement).
+    pub fn set_slow_query_threshold(&mut self, threshold: Option<Duration>) {
+        self.slow_threshold = threshold;
+    }
+
+    /// The session's slow-query ring — shareable, so a monitoring thread
+    /// can read it while the session executes.
+    pub fn slow_log(&self) -> &Arc<SlowLog> {
+        &self.slow_log
+    }
+
+    /// Installs the live replication position `SHOW REPLICATION STATUS`
+    /// reports — the replication layer calls this on follower sessions.
+    pub(crate) fn set_repl_status(&mut self, status: Arc<ReplStatus>) {
+        self.repl_status = Some(status);
     }
 
     /// Executes a `;`-separated script, returning the last statement's
@@ -1116,15 +1195,19 @@ impl Session {
                     let opt = optimize_with_stats(&raw, &self.wsd, &mut self.stats)
                         .map_err(SessionError::plan)?;
                     let chosen = if self.optimize_plans { &opt } else { &raw };
+                    let compile_began = Instant::now();
                     let phys = compile(chosen, &self.wsd).map_err(SessionError::plan)?;
-                    // ANALYZE: execute and record each node's actual output
-                    // template count, in the same pre-order the renderer
-                    // walks below.
+                    let compile_elapsed = compile_began.elapsed();
+                    // ANALYZE: execute and sample each node's actual output
+                    // template count and wall-clock time (inclusive of its
+                    // children), in the same pre-order the renderer walks
+                    // below.
                     let actuals = if *analyze {
-                        let (_, counts) = Executor::new(&self.pool)
+                        let began = Instant::now();
+                        let (_, samples) = Executor::new(&self.pool)
                             .run_traced(&phys, &self.wsd)
                             .map_err(SessionError::exec)?;
-                        Some(counts)
+                        Some((samples, began.elapsed()))
                     } else {
                         None
                     };
@@ -1135,27 +1218,126 @@ impl Session {
                         let mut note = String::new();
                         if let Ok(e) = estimate_phys(op, wsd, stats) {
                             note = format!("  (est rows={:.0} cost={:.0}", e.rows, e.cost);
-                            if let Some(n) = actuals.as_ref().and_then(|c| c.get(idx)) {
-                                note.push_str(&format!(" actual rows={n}"));
+                            if let Some(n) = actuals.as_ref().and_then(|(s, _)| s.get(idx)) {
+                                note.push_str(&format!(
+                                    " actual rows={} time={}",
+                                    n.rows,
+                                    fmt_duration(n.elapsed)
+                                ));
                             }
                             note.push(')');
                         }
                         idx += 1;
                         note
                     });
-                    Ok(QueryResult::Text(format!(
+                    let mut out = format!(
                         "-- logical plan\n{}-- optimized plan\n{}-- physical plan (workers={})\n{}",
                         explain(&raw),
                         explain(&opt),
                         self.pool.workers(),
                         physical
-                    )))
+                    );
+                    if let Some((_, exec_elapsed)) = &actuals {
+                        out.push_str(&format!(
+                            "-- timing\ncompile {} · execute {}\n",
+                            fmt_duration(compile_elapsed),
+                            fmt_duration(*exec_elapsed)
+                        ));
+                    }
+                    Ok(QueryResult::Text(out))
                 }
                 other => Ok(QueryResult::Text(format!("{other:?}"))),
             },
             Statement::ShowTables => {
                 let names: Vec<&str> = self.wsd.relation_names().collect();
                 Ok(QueryResult::Text(names.join("\n")))
+            }
+            Statement::ShowMetrics { like } => {
+                let schema = Schema::new(vec![
+                    ("name", ColumnType::Str),
+                    ("kind", ColumnType::Str),
+                    ("value", ColumnType::Str),
+                ]);
+                let mut r = Relation::empty(schema);
+                for (name, v) in maybms_obs::global().snapshot() {
+                    if let Some(p) = like {
+                        if !like_match(p, &name) {
+                            continue;
+                        }
+                    }
+                    let (kind, value) = match v {
+                        MetricValue::Counter(n) => ("counter", n.to_string()),
+                        MetricValue::Gauge(n) => ("gauge", n.to_string()),
+                        MetricValue::Histogram(_, _, sum, count) => {
+                            ("histogram", format!("count={count} sum={sum}"))
+                        }
+                    };
+                    r.push_unchecked(Tuple::new(vec![
+                        Value::str(name),
+                        Value::str(kind),
+                        Value::str(value),
+                    ]));
+                }
+                Ok(QueryResult::Table(r))
+            }
+            Statement::ShowSlowQueries => {
+                let schema = Schema::new(vec![
+                    ("sql", ColumnType::Str),
+                    ("total_ms", ColumnType::Float),
+                    ("phases", ColumnType::Str),
+                ]);
+                let mut r = Relation::empty(schema);
+                for q in self.slow_log.entries() {
+                    r.push_unchecked(Tuple::new(vec![
+                        Value::str(q.sql),
+                        Value::Float(q.total.as_secs_f64() * 1e3),
+                        Value::str(q.phases),
+                    ]));
+                }
+                Ok(QueryResult::Table(r))
+            }
+            Statement::ShowReplicationStatus => {
+                let schema = Schema::new(vec![
+                    ("role", ColumnType::Str),
+                    ("applied_lsn", ColumnType::Int),
+                    ("primary_lsn", ColumnType::Int),
+                    ("lag_lsns", ColumnType::Int),
+                    ("seconds_since_contact", ColumnType::Float),
+                    ("stale", ColumnType::Bool),
+                ]);
+                let row = match &self.repl_status {
+                    Some(status) => {
+                        let applied = status.applied_lsn();
+                        let primary = status.primary_lsn();
+                        let since = status.since_last_contact();
+                        vec![
+                            Value::str("replica"),
+                            Value::Int(applied as i64),
+                            Value::Int(primary as i64),
+                            Value::Int(primary.saturating_sub(applied) as i64),
+                            Value::Float(since.as_secs_f64()),
+                            Value::Bool(since > STALE_AFTER),
+                        ]
+                    }
+                    None => {
+                        // Not a follower: a durable session is (or can be)
+                        // a primary, a detached one is standalone. Either
+                        // way it *is* its own source of truth — zero lag.
+                        let lsn = self.last_lsn().unwrap_or(0) as i64;
+                        let role = if self.storage.is_some() { "primary" } else { "standalone" };
+                        vec![
+                            Value::str(role),
+                            Value::Int(lsn),
+                            Value::Int(lsn),
+                            Value::Int(0),
+                            Value::Float(0.0),
+                            Value::Bool(false),
+                        ]
+                    }
+                };
+                let mut r = Relation::empty(schema);
+                r.push_unchecked(Tuple::new(row));
+                Ok(QueryResult::Table(r))
             }
             Statement::Checkpoint { full } => {
                 let Some(db) = self.storage.as_mut() else {
@@ -1334,6 +1516,7 @@ impl Session {
     }
 
     fn run_select_inner(&mut self, sel: &SelectStmt) -> SessionResult<QueryResult> {
+        let begin = Instant::now();
         let raw = lower_select(sel).map_err(SessionError::plan)?;
         let plan = if self.optimize_plans {
             optimize_with_stats(&raw, &self.wsd, &mut self.stats)
@@ -1341,11 +1524,22 @@ impl Session {
         } else {
             raw
         };
+        if let Some(t) = self.trace.as_mut() {
+            t.push("optimize", begin);
+        }
         // compile the logical tree to a physical plan and execute it on
         // the session's worker pool
+        let begin = Instant::now();
         let phys = compile(&plan, &self.wsd).map_err(SessionError::plan)?;
+        if let Some(t) = self.trace.as_mut() {
+            t.push("compile", begin);
+        }
+        let begin = Instant::now();
         let answer =
             Executor::new(&self.pool).run(&phys, &self.wsd).map_err(SessionError::exec)?;
+        if let Some(t) = self.trace.as_mut() {
+            t.push("execute", begin);
+        }
         let schema = answer.relation("result").map_err(SessionError::exec)?.schema.clone();
 
         if let Some(agg) = &sel.expected {
@@ -1463,6 +1657,37 @@ impl Drop for Transaction<'_> {
             let _ = self.session.run(&Statement::Rollback);
         }
     }
+}
+
+/// SQL `LIKE` matching with `%` (any run) and `_` (any one character)
+/// wildcards, case-sensitive, over `SHOW METRICS` names. Iterative
+/// two-pointer matching with backtracking to the last `%` — linear in
+/// practice, no recursion.
+fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos it matched)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // extend the last %'s match by one character and retry
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 /// A short human name for a statement, for error messages.
@@ -1754,12 +1979,95 @@ mod tests {
             .lines()
             .skip_while(|l| !l.starts_with("-- physical plan"))
             .skip(1)
+            .take_while(|l| !l.starts_with("-- timing"))
             .collect();
         assert!(!phys.is_empty());
         for line in phys {
             assert!(line.contains("est rows="), "unannotated node: {line}\n{txt}");
             assert!(line.contains("actual rows="), "no actual on node: {line}\n{txt}");
+            assert!(line.contains("time="), "no wall-clock time on node: {line}\n{txt}");
         }
+        assert!(txt.contains("-- timing"), "phase timing footer missing:\n{txt}");
+    }
+
+    #[test]
+    fn show_metrics_returns_live_rows() {
+        let mut s = medical_session();
+        // touch the executor so at least the exec.rows counters exist
+        s.execute("SELECT POSSIBLE diagnosis FROM R").unwrap();
+        let r = s.execute("SHOW METRICS").unwrap();
+        let t = r.table().expect("SHOW METRICS yields a table");
+        assert_eq!(t.schema().len(), 3);
+        assert!(
+            t.rows().iter().any(|row| row[0] == Value::str("exec.rows.seq_scan")),
+            "exec.rows.seq_scan missing from SHOW METRICS"
+        );
+        // LIKE narrows to one family
+        let r = s.execute("SHOW METRICS LIKE 'exec.rows.%'").unwrap();
+        let rows = r.rows();
+        assert!(!rows.is_empty());
+        for row in rows {
+            let name = match &row[0] {
+                Value::Str(n) => n.clone(),
+                other => panic!("metric name should be text, got {other:?}"),
+            };
+            assert!(name.starts_with("exec.rows."), "LIKE leaked {name}");
+        }
+        // a pattern matching nothing yields an empty table, not an error
+        assert_eq!(s.execute("SHOW METRICS LIKE 'no.such.%'").unwrap().rows().len(), 0);
+    }
+
+    #[test]
+    fn slow_query_log_records_above_threshold() {
+        let mut s = medical_session();
+        // impossible threshold: nothing is logged
+        s.set_slow_query_threshold(Some(Duration::from_secs(3600)));
+        s.execute("SELECT POSSIBLE diagnosis FROM R").unwrap();
+        assert_eq!(s.execute("SHOW SLOW QUERIES").unwrap().rows().len(), 0);
+        // zero threshold: everything is logged with its phase breakdown
+        s.set_slow_query_threshold(Some(Duration::ZERO));
+        s.execute("SELECT POSSIBLE diagnosis FROM R").unwrap();
+        let r = s.execute("SHOW SLOW QUERIES").unwrap();
+        let rows = r.rows();
+        assert!(!rows.is_empty());
+        assert_eq!(rows[0][0], Value::str("SELECT POSSIBLE diagnosis FROM R"));
+        let phases = match &rows[0][2] {
+            Value::Str(p) => p.clone(),
+            other => panic!("phases should be text, got {other:?}"),
+        };
+        for phase in ["parse", "optimize", "compile", "execute", "total"] {
+            assert!(phases.contains(phase), "{phase} missing from {phases}");
+        }
+        // None disables the log without clearing past entries
+        s.set_slow_query_threshold(None);
+        let before = s.slow_log().len();
+        s.execute("SELECT POSSIBLE diagnosis FROM R").unwrap();
+        assert_eq!(s.slow_log().len(), before);
+    }
+
+    #[test]
+    fn show_replication_status_on_a_standalone_session() {
+        let mut s = medical_session();
+        let r = s.execute("SHOW REPLICATION STATUS").unwrap();
+        let rows = r.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::str("standalone"));
+        assert_eq!(rows[0][3], Value::Int(0), "a standalone session has no lag");
+        assert_eq!(rows[0][5], Value::Bool(false), "a standalone session is never stale");
+    }
+
+    #[test]
+    fn like_match_covers_wildcards() {
+        assert!(like_match("wal.%", "wal.appends"));
+        assert!(like_match("%appends%", "wal.appends"));
+        assert!(like_match("wal.append_", "wal.appends"));
+        assert!(like_match("%", ""));
+        assert!(like_match("", ""));
+        assert!(!like_match("wal.%", "db.checkpoints.full"));
+        assert!(!like_match("wal.append_", "wal.append"));
+        assert!(!like_match("", "x"));
+        assert!(like_match("a%b%c", "a-long-b-tail-c"));
+        assert!(!like_match("a%b%c", "a-long-b-tail"));
     }
 
     #[test]

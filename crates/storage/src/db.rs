@@ -41,8 +41,11 @@
 //!   ignored (and removed) on the next open.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
+use maybms_obs::registry::DURATION_US_BOUNDS;
+use maybms_obs::{Counter, Histogram};
 use maybms_relational::{Error, Result};
 
 use crate::delta::{
@@ -60,6 +63,28 @@ pub fn wal_path_for(path: &Path) -> PathBuf {
     let mut s = path.as_os_str().to_os_string();
     s.push(".wal");
     PathBuf::from(s)
+}
+
+/// Process-wide database counters, resolved once.
+struct DbMetrics {
+    ckpt_full: Arc<Counter>,
+    ckpt_incremental: Arc<Counter>,
+    ckpt_unchanged: Arc<Counter>,
+    ckpt_pages: Arc<Counter>,
+    ckpt_duration_us: Arc<Histogram>,
+    poison_events: Arc<Counter>,
+}
+
+fn metrics() -> &'static DbMetrics {
+    static M: OnceLock<DbMetrics> = OnceLock::new();
+    M.get_or_init(|| DbMetrics {
+        ckpt_full: maybms_obs::counter("db.checkpoints.full"),
+        ckpt_incremental: maybms_obs::counter("db.checkpoints.incremental"),
+        ckpt_unchanged: maybms_obs::counter("db.checkpoints.unchanged"),
+        ckpt_pages: maybms_obs::counter("db.checkpoint_pages"),
+        ckpt_duration_us: maybms_obs::histogram("db.checkpoint_us", DURATION_US_BOUNDS),
+        poison_events: maybms_obs::counter("db.poison_events"),
+    })
 }
 
 /// What kind of snapshot a checkpoint wrote.
@@ -408,6 +433,7 @@ impl Database {
             Err(e) => {
                 self.poisoned =
                     Some(format!("a WAL append failed and durability is unknown: {e}"));
+                metrics().poison_events.inc();
                 Err(e)
             }
         }
@@ -431,11 +457,13 @@ impl Database {
 
     fn checkpoint_inner(&mut self, state: &[u8], force_full: bool) -> Result<CheckpointKind> {
         self.check_poisoned()?;
+        let began = Instant::now();
         let state_crc = crc32(state);
         // Zero mutations since the last checkpoint: nothing to write.
         // (A forced full checkpoint still runs — it is the fallback that
         // collapses an overlay into a fresh base on demand.)
         if !force_full && self.wal.is_empty() && self.state_crc == Some(state_crc) {
+            metrics().ckpt_unchanged.inc();
             return Ok(CheckpointKind::Unchanged);
         }
         let next = self.generation.checked_add(1).ok_or_else(|| {
@@ -527,6 +555,19 @@ impl Database {
             Ok(wal) => {
                 self.wal = wal;
                 self.generation = next;
+                let m = metrics();
+                match kind {
+                    CheckpointKind::Full { pages } => {
+                        m.ckpt_full.inc();
+                        m.ckpt_pages.add(pages as u64);
+                    }
+                    CheckpointKind::Incremental { changed_pages, .. } => {
+                        m.ckpt_incremental.inc();
+                        m.ckpt_pages.add(changed_pages as u64);
+                    }
+                    CheckpointKind::Unchanged => {}
+                }
+                m.ckpt_duration_us.observe_duration(began.elapsed());
                 Ok(kind)
             }
             Err(e) => {
@@ -534,6 +575,7 @@ impl Database {
                     "a checkpoint was interrupted after publishing snapshot \
                      generation {next} (the open WAL handle is stale): {e}"
                 ));
+                metrics().poison_events.inc();
                 Err(Error::Storage(format!(
                     "checkpoint interrupted after publishing snapshot generation {next}: {e}"
                 )))

@@ -17,11 +17,27 @@
 //! [`Pager::read_payload`].
 
 use std::io::SeekFrom;
+use std::sync::{Arc, OnceLock};
 
+use maybms_obs::Counter;
 use maybms_relational::{Error, Result};
 
 use crate::crc::{crc32, crc32_seeded};
 use crate::vfs::VfsFile;
+
+/// Process-wide pager counters, resolved once.
+struct PagerMetrics {
+    page_reads: Arc<Counter>,
+    crc_failures: Arc<Counter>,
+}
+
+fn metrics() -> &'static PagerMetrics {
+    static M: OnceLock<PagerMetrics> = OnceLock::new();
+    M.get_or_init(|| PagerMetrics {
+        page_reads: maybms_obs::counter("pager.page_reads"),
+        crc_failures: maybms_obs::counter("pager.crc_failures"),
+    })
+}
 
 /// Bytes of per-page framing: CRC-32 plus the payload length.
 pub const PAGE_HEADER_LEN: usize = 8;
@@ -116,6 +132,7 @@ impl Pager {
     /// Reads the page at file position `slot`, verifying it against the
     /// *logical* index `idx` (see [`Pager::write_page_as`]).
     pub fn read_page_as(&mut self, slot: u32, idx: u32) -> Result<Vec<u8>> {
+        metrics().page_reads.inc();
         self.file
             .seek(SeekFrom::Start(self.offset_of(slot)))
             .map_err(|e| io_err("seek to page", e))?;
@@ -134,6 +151,7 @@ impl Pager {
         let payload = &page[PAGE_HEADER_LEN..PAGE_HEADER_LEN + len];
         let crc = page_crc(idx, payload);
         if crc != stored_crc {
+            metrics().crc_failures.inc();
             return Err(Error::Storage(format!(
                 "checksum mismatch on page {idx}: stored {stored_crc:#010x}, computed {crc:#010x}"
             )));

@@ -39,6 +39,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use maybms_obs::Counter;
 use maybms_relational::{Error, Result};
 
 use crate::crc::crc32;
@@ -47,6 +48,24 @@ use crate::vfs::{std_vfs, OpenMode, Vfs, VfsFile};
 
 const MAGIC: &[u8; 8] = b"MAYBMSW\0";
 const VERSION: u32 = 2;
+
+/// Process-wide WAL counters, resolved once and shared by every handle.
+struct WalMetrics {
+    appends: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    bytes: Arc<Counter>,
+    notify_fallback_polls: Arc<Counter>,
+}
+
+fn metrics() -> &'static WalMetrics {
+    static M: OnceLock<WalMetrics> = OnceLock::new();
+    M.get_or_init(|| WalMetrics {
+        appends: maybms_obs::counter("wal.appends"),
+        fsyncs: maybms_obs::counter("wal.fsyncs"),
+        bytes: maybms_obs::counter("wal.bytes"),
+        notify_fallback_polls: maybms_obs::counter("wal.notify_fallback_polls"),
+    })
+}
 
 /// Process-wide commit-notification handle for one WAL path: a commit
 /// counter guarded by a mutex, paired with a condvar that
@@ -97,12 +116,18 @@ pub fn wait_for_commit(handle: &CommitNotify, seen: u64, timeout: Duration) -> u
     while *n == seen {
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
+            // deadline passed without a commit signal: the caller falls
+            // back to polling the log — count how often the notification
+            // path failed to carry the wakeup (e.g. a cross-process
+            // appender, which this registry cannot see)
+            metrics().notify_fallback_polls.inc();
             break;
         }
         let (guard, result) =
             condvar.wait_timeout(n, remaining).expect("commit notify lock");
         n = guard;
         if result.timed_out() {
+            metrics().notify_fallback_polls.inc();
             break;
         }
     }
@@ -342,7 +367,10 @@ impl Wal {
         if self.sync {
             self.file.sync_data().map_err(|e| io_err("sync WAL append", e))?;
             self.sync_count += 1;
+            metrics().fsyncs.inc();
         }
+        metrics().appends.inc();
+        metrics().bytes.add(frame.len() as u64);
         self.end += frame.len() as u64;
         self.count += 1;
         // the record is durable (or as durable as this handle promises):

@@ -74,7 +74,10 @@ fn main() {
         stats.template_tuples,
         session.wsd().world_count().summary()
     );
-    println!("'\\q' checkpoints and quits, '\\w' dumps the decomposition");
+    println!(
+        "'\\q' checkpoints and quits, '\\w' dumps the decomposition, \
+         '\\metrics' dumps the metrics registry (Prometheus text format)"
+    );
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -101,6 +104,12 @@ fn main() {
             "\\q" | "exit" | "quit" => break,
             "\\w" => {
                 print!("{}", maybms_core::display::render(session.wsd()));
+                continue;
+            }
+            "\\metrics" => {
+                // the same text a Prometheus scrape of a serving primary
+                // gets (SHOW METRICS returns it as rows instead)
+                print!("{}", maybms_obs::prometheus_text(maybms_obs::global()));
                 continue;
             }
             "" => continue,

@@ -17,6 +17,7 @@
 //! 5. stops the primary and reads from the replicas anyway — failover
 //!    reads keep working because each replica owns its state.
 
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -114,6 +115,39 @@ fn main() {
     // error, queries are fine.
     let err = late.query("INSERT INTO person VALUES (9, 'mal')").unwrap_err();
     println!("late replica refuses writes: {err}");
+
+    // Observability: the primary's listener doubles as a Prometheus
+    // endpoint — a plain HTTP GET on the same port returns the global
+    // metrics registry in text exposition format. One query first, so
+    // the executor's row counters have something to show.
+    session.execute("SELECT POSSIBLE name FROM person").expect("warm the executor");
+    let mut scrape = TcpStream::connect(addr).expect("connect scraper");
+    scrape
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: primary\r\nConnection: close\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    scrape.read_to_string(&mut response).expect("read scrape");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "scrape failed:\n{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("response body");
+    for family in ["maybms_repl_shipped_records", "maybms_wal_appends", "maybms_exec_rows"] {
+        assert!(body.contains(family), "{family} missing from scrape:\n{body}");
+    }
+    println!(
+        "prometheus scrape: {} bytes, {} metric line(s) — families verified",
+        body.len(),
+        body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count()
+    );
+
+    // …and each replica reports its staleness as data.
+    {
+        let mut r = followers[0].lock().expect("lock");
+        let status = r
+            .session()
+            .execute("SHOW REPLICATION STATUS")
+            .expect("replication status");
+        println!("replica 0 status:");
+        print!("{}", pretty::render(status.table().expect("table"), 10));
+    }
 
     // 5. Failover reads: stop the primary, query the replicas.
     primary.stop();
