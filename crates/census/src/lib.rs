@@ -9,6 +9,8 @@
 //! ([`noise`]), the cleaning constraints ([`constraints`]) and loaders into
 //! the WSD and baseline representations ([`load`]).
 
+#![forbid(unsafe_code)]
+
 pub mod constraints;
 pub mod generate;
 pub mod load;

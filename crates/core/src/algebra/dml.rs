@@ -130,7 +130,7 @@ pub fn delete_op(wsd: &mut Wsd, rel: &str, pred: Option<&Expr>) -> Result<DmlRep
                     }
                     // watch covers every open predicate column, so the
                     // dead_in_row check above already returned for ⊥ rows
-                    Cell::Bottom => unreachable!("⊥ predicate column in a live row"),
+                    Cell::Bottom => unreachable!("⊥ predicate column in a live row"), // maybms-lint: allow(no-panic-in-prod) -- normalization guarantees live rows never carry bottom in a predicate column
                 }
             }
             match eval_partial(bound, arity, &vals) {
@@ -284,7 +284,7 @@ pub fn update_op(
                                 // watch covers every open predicate column,
                                 // so dead_in_row already returned for ⊥ rows
                                 Cell::Bottom => {
-                                    unreachable!("⊥ predicate column in a live row")
+                                    unreachable!("⊥ predicate column in a live row") // maybms-lint: allow(no-panic-in-prod) -- normalization guarantees live rows never carry bottom in a predicate column
                                 }
                             }
                         }
@@ -303,7 +303,7 @@ pub fn update_op(
                     match (&old_certain, old_col) {
                         (Some(v), _) => Cell::Val(v.clone()),
                         (None, Some(col)) => row.cell(col).clone(),
-                        (None, None) => unreachable!("open target resolved above"),
+                        (None, None) => unreachable!("open target resolved above"), // maybms-lint: allow(no-panic-in-prod) -- the open target was resolved above; both arms None cannot happen by construction
                     }
                 }
             })?;
@@ -367,7 +367,7 @@ fn apply_template_edits(
 ) {
     let gone: HashSet<Tid> =
         removed.iter().copied().chain(replaced.iter().map(|&(old, _)| old)).collect();
-    let tpl = wsd.relations.get_mut(rel).expect("snapshotted above");
+    let tpl = wsd.relations.get_mut(rel).expect("snapshotted above"); // maybms-lint: allow(no-panic-in-prod) -- the relation was snapshotted from this same map earlier in the function
     if !removed.is_empty() {
         let rm: HashSet<Tid> = removed.into_iter().collect();
         tpl.tuples.retain(|t| !rm.contains(&t.tid));

@@ -269,7 +269,7 @@ pub(crate) fn emit_pair(
             (Some(a), Some(b)) => {
                 // conjunction of the two existence flags
                 let merged = wsd.merge_components(&[a.0, b.0])?;
-                let (ta, tb) = (exists_loc(wsd, t)?.expect("open"), exists_loc(wsd, s)?.expect("open"));
+                let (ta, tb) = (exists_loc(wsd, t)?.expect("open"), exists_loc(wsd, s)?.expect("open")); // maybms-lint: allow(no-panic-in-prod) -- both join fields were checked open before dispatching to this kernel
                 debug_assert_eq!(ta.0, merged);
                 let watch = vec![ta.1, tb.1];
                 add_exists_column(wsd, merged, new_tid, |row| {

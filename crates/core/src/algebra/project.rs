@@ -53,7 +53,7 @@ pub(crate) fn project_tuple(
     let dropped_open = open_fields_at(wsd, t, &dropped)?;
     let mut marker_comps: Vec<usize> = Vec::new();
     for &(_, (c, col)) in &dropped_open {
-        let comp = wsd.component(c).expect("mapped component");
+        let comp = wsd.component(c).expect("mapped component"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         if comp.column_has_bottom(col) {
             marker_comps.push(c);
         }

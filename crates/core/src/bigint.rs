@@ -162,7 +162,7 @@ impl BigUint {
         while !n.is_zero() {
             chunks.push(n.div_rem_u64(CHUNK));
         }
-        let mut s = chunks.last().expect("nonzero has chunks").to_string();
+        let mut s = chunks.last().expect("nonzero has chunks").to_string(); // maybms-lint: allow(no-panic-in-prod) -- the zero case returned early above, so chunks is nonempty
         for c in chunks.iter().rev().skip(1) {
             s.push_str(&format!("{c:019}"));
         }

@@ -174,7 +174,7 @@ fn relevant_comps(wsd: &Wsd, t: &TupleInfoS, positions: &[usize]) -> Result<Vec<
         if positions.contains(&pos) {
             continue;
         }
-        let comp = wsd.component(c).expect("mapped");
+        let comp = wsd.component(c).expect("mapped"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         if comp.column_has_bottom(col) {
             comps.push(c);
         }
@@ -299,7 +299,7 @@ fn alive_columns(wsd: &Wsd, t: &TupleInfoS) -> Result<Vec<usize>> {
     let all: Vec<usize> = (0..t.cells.len()).collect();
     let mut comp_idx: Option<usize> = None;
     for &(_, (c, col)) in &open_fields_support(wsd, t, &all)? {
-        let comp = wsd.component(c).expect("mapped");
+        let comp = wsd.component(c).expect("mapped"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         if comp.column_has_bottom(col) {
             debug_assert!(comp_idx.is_none() || comp_idx == Some(c));
             comp_idx = Some(c);

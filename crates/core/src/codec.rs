@@ -138,6 +138,7 @@ pub fn encode_wsd(wsd: &Wsd) -> Vec<u8> {
 
     // field map, sorted for deterministic bytes
     let mut entries: Vec<(Field, (usize, usize))> =
+        // maybms-lint: allow(determinism) -- hash order is erased by the sort_unstable_by_key on the next line before any byte is emitted
         wsd.field_map.iter().map(|(&f, &loc)| (f, loc)).collect();
     entries.sort_unstable_by_key(|&(f, _)| f);
     w.put_u32(entries.len() as u32);

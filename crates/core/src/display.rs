@@ -71,7 +71,7 @@ pub fn render(wsd: &Wsd) -> String {
     }
 
     for idx in wsd.live_components() {
-        let comp = wsd.component(idx).expect("live");
+        let comp = wsd.component(idx).expect("live"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         let headers: Vec<String> = comp
             .fields()
             .iter()

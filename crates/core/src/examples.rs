@@ -35,7 +35,7 @@ pub fn medical_schema() -> Schema {
 /// ```
 pub fn medical_wsd() -> Wsd {
     let mut w = Wsd::new();
-    w.add_relation("R", medical_schema()).expect("fresh wsd");
+    w.add_relation("R", medical_schema()).expect("fresh wsd"); // maybms-lint: allow(no-panic-in-prod) -- demo builder with a statically known schema; failure is a bug in the example itself
 
     let v = |s: &str| Cell::Val(Value::str(s));
 
@@ -61,7 +61,7 @@ pub fn medical_wsd() -> Wsd {
             exists: Existence::Always,
         },
     )
-    .expect("schema matches");
+    .expect("schema matches"); // maybms-lint: allow(no-panic-in-prod) -- demo builder with a statically known schema; failure is a bug in the example itself
 
     let r2 = w.fresh_tid();
     // components 3–5: {r2.Diagnosis}, {r2.Test}, {r2.Symptom}, each certain
@@ -79,7 +79,7 @@ pub fn medical_wsd() -> Wsd {
             exists: Existence::Always,
         },
     )
-    .expect("schema matches");
+    .expect("schema matches"); // maybms-lint: allow(no-panic-in-prod) -- demo builder with a statically known schema; failure is a bug in the example itself
 
     w
 }

@@ -22,6 +22,16 @@
 //! [`WorkerPool::sequential`] is a shared zero-thread pool used by all
 //! the `*_in` entry points' sequential defaults.
 
+// Safety story for the unsafe below (the crate is #![deny(unsafe_code)]
+// everywhere else): `map` erases a stack-allocated `Batch` to `*const ()`
+// and hands it to helper threads, but blocks on the latch until every
+// helper signalled completion, so the pointee strictly outlives every
+// task. Output slots are written at most once each because indices are
+// claimed through an atomic cursor. The TSan/ASan/Miri CI jobs and the
+// seeded interleaving harness (`fuzz` module + tests/interleaving.rs)
+// check this dynamically.
+#![allow(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -48,6 +58,71 @@ fn metrics() -> &'static PoolMetrics {
         queue_depth: maybms_obs::gauge("pool.queue_depth"),
     })
 }
+
+/// Test-only seeded schedule perturbation.
+///
+/// The pool's races (shutdown vs. steal, latch vs. panic, nested maps)
+/// depend on thread timing the unit tests cannot control. This hook
+/// injects a deterministic pseudo-random choice of *nothing* / *yield* /
+/// *short sleep* at every scheduling decision point, keyed by a global
+/// seed — so `tests/interleaving.rs` can sweep seeds and explore many
+/// distinct interleavings reproducibly (and the sanitizer CI jobs see
+/// more than one execution). A seed of 0 (the default) disables the
+/// hook; production code never sets it.
+pub mod fuzz {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// Enables perturbation under `seed` (nonzero) and resets the
+    /// decision counter so a given seed replays the same choices.
+    #[doc(hidden)]
+    pub fn set_seed(seed: u64) {
+        COUNTER.store(0, Ordering::SeqCst);
+        SEED.store(seed, Ordering::SeqCst);
+    }
+
+    /// Disables perturbation.
+    #[doc(hidden)]
+    pub fn clear() {
+        SEED.store(0, Ordering::SeqCst);
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One scheduling decision point; `site` distinguishes push / pop /
+    /// steal / drain so the same counter value perturbs them differently.
+    pub(super) fn perturb(site: u64) {
+        let seed = SEED.load(Ordering::Relaxed);
+        if seed == 0 {
+            return;
+        }
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let r = splitmix64(seed ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n);
+        match r % 8 {
+            0..=4 => {}
+            5 | 6 => std::thread::yield_now(),
+            // up to ~31µs: long enough to reorder threads, short enough
+            // to keep a full seed sweep fast
+            _ => std::thread::sleep(std::time::Duration::from_micros((r >> 32) & 0x1F)),
+        }
+    }
+}
+
+// Site ids for fuzz::perturb.
+const SITE_PUSH: u64 = 1;
+const SITE_POP: u64 = 2;
+const SITE_TRY_POP: u64 = 3;
+const SITE_DRAIN: u64 = 4;
+const SITE_STEAL: u64 = 5;
+const SITE_DONE: u64 = 6;
 
 // ---------------------------------------------------------------------
 // Task plumbing
@@ -79,7 +154,8 @@ impl Latch {
     }
 
     fn done(&self) {
-        let mut left = self.left.lock().expect("latch poisoned");
+        fuzz::perturb(SITE_DONE);
+        let mut left = self.left.lock().expect("latch poisoned"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         *left -= 1;
         if *left == 0 {
             self.cv.notify_all();
@@ -107,7 +183,8 @@ impl Queue {
     }
 
     fn push(&self, t: Task) {
-        let mut s = self.state.lock().expect("queue poisoned");
+        fuzz::perturb(SITE_PUSH);
+        let mut s = self.state.lock().expect("queue poisoned"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         s.tasks.push_back(t);
         drop(s);
         metrics().queue_depth.add(1);
@@ -116,7 +193,8 @@ impl Queue {
 
     /// Blocks until a task is available or the queue shuts down.
     fn pop_blocking(&self) -> Option<Task> {
-        let mut s = self.state.lock().expect("queue poisoned");
+        fuzz::perturb(SITE_POP);
+        let mut s = self.state.lock().expect("queue poisoned"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         loop {
             if let Some(t) = s.tasks.pop_front() {
                 metrics().queue_depth.add(-1);
@@ -125,12 +203,13 @@ impl Queue {
             if s.shutdown {
                 return None;
             }
-            s = self.cv.wait(s).expect("queue poisoned");
+            s = self.cv.wait(s).expect("queue poisoned"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         }
     }
 
     fn try_pop(&self) -> Option<Task> {
-        let t = self.state.lock().expect("queue poisoned").tasks.pop_front();
+        fuzz::perturb(SITE_TRY_POP);
+        let t = self.state.lock().expect("queue poisoned").tasks.pop_front(); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         if t.is_some() {
             metrics().queue_depth.add(-1);
         }
@@ -138,7 +217,7 @@ impl Queue {
     }
 
     fn close(&self) {
-        self.state.lock().expect("queue poisoned").shutdown = true;
+        self.state.lock().expect("queue poisoned").shutdown = true; // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         self.cv.notify_all();
     }
 }
@@ -174,6 +253,7 @@ impl<R, F: Fn(usize) -> R> Batch<'_, R, F> {
                 if self.panicked.load(Ordering::Relaxed) {
                     break;
                 }
+                fuzz::perturb(SITE_DRAIN);
                 let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
                 if start >= self.len {
                     break;
@@ -272,7 +352,7 @@ impl WorkerPool {
                             t.latch.done();
                         }
                     })
-                    .expect("spawn worker thread")
+                    .expect("spawn worker thread") // maybms-lint: allow(no-panic-in-prod) -- thread spawn fails only on resource exhaustion at pool construction; fail-stop at startup
             })
             .collect();
         WorkerPool { workers, queue: Some(queue), handles }
@@ -368,32 +448,33 @@ impl WorkerPool {
         // or concurrent map calls cannot starve each other.
         loop {
             {
-                let left = latch.left.lock().expect("latch poisoned");
+                let left = latch.left.lock().expect("latch poisoned"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
                 if *left == 0 {
                     break;
                 }
             }
             if let Some(t) = queue.try_pop() {
+                fuzz::perturb(SITE_STEAL);
                 metrics().steals.inc();
                 unsafe { (t.run)(t.data) };
                 t.latch.done();
                 continue;
             }
-            let left = latch.left.lock().expect("latch poisoned");
+            let left = latch.left.lock().expect("latch poisoned"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
             if *left == 0 {
                 break;
             }
             let _ = latch
                 .cv
                 .wait_timeout(left, Duration::from_millis(1))
-                .expect("latch poisoned");
+                .expect("latch poisoned"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         }
 
         if panicked.load(Ordering::SeqCst) {
-            panic!("a maybms worker task panicked");
+            panic!("a maybms worker task panicked"); // maybms-lint: allow(no-panic-in-prod) -- re-propagates a worker task panic to the caller; swallowing it would return corrupt results
         }
         out.into_iter()
-            .map(|slot| slot.expect("every index drained"))
+            .map(|slot| slot.expect("every index drained")) // maybms-lint: allow(no-panic-in-prod) -- the latch guarantees every output slot was filled before wait() returned
             .collect()
     }
 }

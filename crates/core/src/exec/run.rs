@@ -115,7 +115,7 @@ impl<'p> Executor<'p> {
         let mut trace = Some(Vec::new());
         let out = self.exec(&plan.root, &mut wsd, &mut counter, &mut trace)?;
         let result = algebra::extract_in(wsd, &out, "result", self.pool)?;
-        Ok((result, trace.expect("trace enabled")))
+        Ok((result, trace.expect("trace enabled"))) // maybms-lint: allow(no-panic-in-prod) -- the trace sink was installed at entry because tracing was requested
     }
 
     /// Evaluates one node into `wsd`, returning the name of the relation
@@ -139,6 +139,8 @@ impl<'p> Executor<'p> {
             }
         };
         // claim this node's pre-order slot before descending
+        #[allow(clippy::disallowed_methods)]
+        // maybms-lint: allow(determinism) -- wall clock feeds only EXPLAIN ANALYZE node timings, never the decomposition or answer bytes
         let began = if trace.is_some() { Some(Instant::now()) } else { None };
         let slot = trace.as_mut().map(|t| {
             t.push(NodeTrace::default());

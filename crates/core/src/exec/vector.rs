@@ -249,7 +249,7 @@ pub fn select_vec(
             Keep::Drop => {}
             Keep::Fast => {
                 let tid = wsd.fresh_tid();
-                let cells = built.next().expect("one build per fast row");
+                let cells = built.next().expect("one build per fast row"); // maybms-lint: allow(no-panic-in-prod) -- the build iterator was constructed with exactly one entry per matched row
                 wsd.push_template(out, TupleTemplate { tid, cells, exists: Existence::Always })?;
             }
             Keep::Alias => emit_passthrough(wsd, &enc.tuples[row], out)?,
@@ -289,7 +289,7 @@ pub fn project_vec(
     for (row, t) in enc.tuples.iter().enumerate() {
         if enc.fully_static[row] {
             let tid = wsd.fresh_tid();
-            let cells = built.next().expect("one build per static row");
+            let cells = built.next().expect("one build per static row"); // maybms-lint: allow(no-panic-in-prod) -- the build iterator was constructed with exactly one entry per matched row
             wsd.push_template(out, TupleTemplate { tid, cells, exists: Existence::Always })?;
         } else {
             project_tuple(wsd, t, &keep_positions, out)?;
@@ -533,7 +533,7 @@ pub fn join_vec(
     for &(li, ri, is_fast) in &plan {
         if is_fast {
             let tid = wsd.fresh_tid();
-            let cells = built.next().expect("one build per fast pair");
+            let cells = built.next().expect("one build per fast pair"); // maybms-lint: allow(no-panic-in-prod) -- the build iterator was constructed with exactly one entry per matched row
             wsd.push_template(out, TupleTemplate { tid, cells, exists: Existence::Always })?;
         } else {
             emit_pair(wsd, &bound, &positions, larity, out, &lenc.tuples[li], &renc.tuples[ri], arity)?;

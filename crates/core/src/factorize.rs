@@ -153,7 +153,7 @@ pub fn factorize_component(c: &Component, eps: f64) -> (Vec<Vec<usize>>, Vec<Com
 /// map onto the factor components through the reverse index.
 pub fn factorize_all(wsd: &mut Wsd) {
     for idx in wsd.live_components() {
-        let comp = wsd.component(idx).expect("live").clone();
+        let comp = wsd.component(idx).expect("live").clone(); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         if comp.num_fields() <= 1 {
             continue;
         }

@@ -89,6 +89,10 @@
 //! storage/replication → session) and the invariants each layer's tests
 //! enforce is in `docs/ARCHITECTURE.md` at the repository root.
 
+// unsafe is confined to exec::pool (type-erased batch pointers behind a
+// latch); everything else in the crate is checked
+#![deny(unsafe_code)]
+
 pub mod algebra;
 pub mod bigint;
 pub mod cell;

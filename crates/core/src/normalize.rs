@@ -53,7 +53,7 @@ fn propagate_bottom(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
         if writes.is_empty() {
             continue;
         }
-        let comp = wsd.component_mut_silent(ci).expect("live component");
+        let comp = wsd.component_mut_silent(ci).expect("live component"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         for &(row, col) in writes {
             comp.set_bottom(row, col);
         }
@@ -76,6 +76,7 @@ fn bottom_writes_of(wsd: &Wsd, ci: usize) -> Vec<(usize, usize)> {
     if tuple_cols.is_empty() {
         return Vec::new();
     }
+    // maybms-lint: allow(determinism) -- tuples_here order feeds only per-tuple dead/owner predicates; `writes` is emitted in (row, col) scan order below
     let tuples_here: Vec<(Tid, Vec<usize>)> = tuple_cols.into_iter().collect();
     let ncols = comp.num_fields();
     // per column: which tuples (as indices into tuples_here) own it
@@ -161,7 +162,7 @@ fn inline_constants(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
                             }
                             (FieldKind::Exists, _) => resolved.push((f, None)),
                             (FieldKind::Attr(_), Cell::Bottom) => {
-                                unreachable!("constant is non-⊥")
+                                unreachable!("constant is non-⊥") // maybms-lint: allow(no-panic-in-prod) -- constants are never bottom by parser construction
                             }
                         }
                     }
@@ -185,7 +186,7 @@ fn inline_constants(wsd: &mut Wsd, comps: &[usize], pool: &WorkerPool) {
     }
     for (f, val) in resolved {
         let Some((rel, i)) = where_is.get(&f.tid) else { continue };
-        let t = &mut wsd.relations.get_mut(rel).expect("indexed").tuples[*i];
+        let t = &mut wsd.relations.get_mut(rel).expect("indexed").tuples[*i]; // maybms-lint: allow(no-panic-in-prod) -- rel names were collected from this same relations map above
         match (f.kind, val) {
             (FieldKind::Attr(pos), Some(v)) => {
                 let cell = &mut t.cells[pos as usize];

@@ -155,6 +155,8 @@ pub fn nonempty_confidence(wsd: &Wsd, rel: &str) -> Result<f64> {
 pub fn nonempty_confidence_in(wsd: &Wsd, rel: &str, pool: &WorkerPool) -> Result<f64> {
     let m = metrics();
     m.calls.inc();
+    #[allow(clippy::disallowed_methods)]
+    // maybms-lint: allow(determinism) -- duration histogram observation only; the answer comes from the inner call
     let began = Instant::now();
     let out = nonempty_confidence_inner(wsd, rel, pool);
     m.duration_us.observe_duration(began.elapsed());
@@ -204,6 +206,8 @@ pub fn tuple_confidence_opts_in(
 ) -> Result<Vec<Confidence>> {
     let m = metrics();
     m.calls.inc();
+    #[allow(clippy::disallowed_methods)]
+    // maybms-lint: allow(determinism) -- duration histogram observation only; the answer comes from the inner call
     let began = Instant::now();
     let out = tuple_confidence_opts_inner(wsd, rel, opts, pool);
     m.duration_us.observe_duration(began.elapsed());
@@ -223,10 +227,12 @@ fn tuple_confidence_opts_inner(
     // takes this value and exists"
     let mut per_value: HashMap<Tuple, Vec<(f64, bool)>> = HashMap::new();
     for dist in dists {
+        // maybms-lint: allow(determinism) -- accumulates into a value-keyed map; visit order cannot affect the per-value products
         for (val, e) in dist.per_value {
             per_value.entry(val).or_default().push((e.p_any, e.exact));
         }
     }
+    // maybms-lint: allow(determinism) -- hash order is erased by the sort_by tuple comparison before returning
     let mut out: Vec<Confidence> = per_value
         .into_iter()
         .map(|(tuple, probs)| {
@@ -391,14 +397,14 @@ impl ResolvedTuple {
     /// or `None` if it does not exist there.
     fn value_under(&self, wsd: &Wsd, choice: &[usize]) -> Option<Tuple> {
         if let Some((c, col)) = self.exists {
-            let comp = wsd.component(c).expect("mapped");
+            let comp = wsd.component(c).expect("mapped"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
             if comp.cell(choice[c], col).is_bottom() {
                 return None;
             }
         }
         let mut vals = self.base.clone();
         for &(pos, c, col) in &self.open {
-            let comp = wsd.component(c).expect("mapped");
+            let comp = wsd.component(c).expect("mapped"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
             match comp.cell(choice[c], col) {
                 Cell::Val(v) => vals[pos] = v.clone(),
                 Cell::Bottom => return None,
@@ -509,7 +515,7 @@ fn enumerate_cluster(
     let widths: Vec<usize> = cl
         .comps
         .iter()
-        .map(|&c| wsd.component(c).expect("live").num_rows())
+        .map(|&c| wsd.component(c).expect("live").num_rows()) // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         .collect();
     // the dense choice vector is driven in place by the odometer — no
     // per-choice map
@@ -517,7 +523,7 @@ fn enumerate_cluster(
     loop {
         let mut p = 1.0;
         for &c in &cl.comps {
-            p *= wsd.component(c).expect("live").prob(choice[c]);
+            p *= wsd.component(c).expect("live").prob(choice[c]); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
         }
         // distinct values present under this choice
         present.clear();
@@ -585,7 +591,7 @@ fn sample_cluster(
         .comps
         .iter()
         .map(|&c| {
-            let comp = wsd.component(c).expect("live");
+            let comp = wsd.component(c).expect("live"); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
             let mut acc = 0.0;
             comp.probs()
                 .iter()

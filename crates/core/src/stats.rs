@@ -102,7 +102,7 @@ impl WsdStats {
             self.cache
                 .insert(rel.to_string(), CachedRel { rel_epoch, comp_epoch, stats });
         }
-        Ok(&self.cache.get(rel).expect("just inserted").stats)
+        Ok(&self.cache.get(rel).expect("just inserted").stats) // maybms-lint: allow(no-panic-in-prod) -- the entry was inserted on the previous line
     }
 
     /// Cardinalities (row counts) of the live components — the
@@ -111,7 +111,7 @@ impl WsdStats {
     pub fn component_cardinalities(&self, wsd: &Wsd) -> Vec<usize> {
         wsd.live_components()
             .into_iter()
-            .map(|i| wsd.component(i).expect("live").num_rows())
+            .map(|i| wsd.component(i).expect("live").num_rows()) // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
             .collect()
     }
 

@@ -341,7 +341,7 @@ impl Wsd {
                 tcells.push(TemplateCell::Open);
             }
         }
-        let tpl = self.relations.get_mut(rel).expect("checked above");
+        let tpl = self.relations.get_mut(rel).expect("checked above"); // maybms-lint: allow(no-panic-in-prod) -- presence was checked at the top of this function
         tpl.tuples.push(TupleTemplate {
             tid,
             cells: tcells,
@@ -639,7 +639,7 @@ impl Wsd {
             acc += c.num_fields();
         }
         let mut it = parts.into_iter();
-        let (_, first) = it.next().expect("nonempty");
+        let (_, first) = it.next().expect("nonempty"); // maybms-lint: allow(no-panic-in-prod) -- callers pass a nonempty group; an empty one is a broken decomposition invariant
         let merged = it.fold(first, |a, (_, b)| a.product(&b));
         let width = merged.num_fields();
 
@@ -781,13 +781,13 @@ impl Wsd {
         let mut ws = WorldSet::default();
         let widths: Vec<usize> = live
             .iter()
-            .map(|&i| self.component(i).expect("live").num_rows())
+            .map(|&i| self.component(i).expect("live").num_rows()) // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
             .collect();
         let mut choice = vec![0usize; self.components.len()];
         loop {
             let mut p = 1.0;
             for &c in &live {
-                p *= self.component(c).expect("live").prob(choice[c]);
+                p *= self.component(c).expect("live").prob(choice[c]); // maybms-lint: allow(no-panic-in-prod) -- component indices are maintained by the WSD itself; a dangling index means the decomposition is corrupt, so fail-stop
             }
             ws.push(self.instantiate(&choice)?, p);
 
@@ -952,7 +952,7 @@ impl Wsd {
         self.rev = new_rev;
         self.field_map.retain(|_, loc| remap[loc.0].is_some());
         for loc in self.field_map.values_mut() {
-            loc.0 = remap[loc.0].expect("retained");
+            loc.0 = remap[loc.0].expect("retained"); // maybms-lint: allow(no-panic-in-prod) -- retained components were assigned Some when the remap table was built above
         }
         self.dirty = std::mem::take(&mut self.dirty)
             .into_iter()

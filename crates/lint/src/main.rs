@@ -1,0 +1,44 @@
+//! The `maybms-lint` CLI: lints the workspace (or an explicit root) and
+//! exits nonzero on any finding.
+//!
+//! ```text
+//! cargo run -p maybms-lint            # lint the enclosing workspace
+//! cargo run -p maybms-lint -- <root>  # lint an explicit tree
+//! cargo run -p maybms-lint -- --rules # list the rules
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules") {
+        for r in maybms_lint::rules::RULE_NAMES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        // src/main.rs lives at <root>/crates/lint; CARGO_MANIFEST_DIR is
+        // compiled in, so the binary finds the workspace from anywhere.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let (diags, files) = match maybms_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("maybms-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("maybms-lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("maybms-lint: {} finding(s) in {files} files", diags.len());
+        ExitCode::FAILURE
+    }
+}

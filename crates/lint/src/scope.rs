@@ -1,0 +1,172 @@
+//! Scope analysis over the token stream: which tokens are test code,
+//! and where function bodies begin and end.
+//!
+//! Test scope is what makes the rules honest — `std::fs` in a unit test
+//! that deliberately corrupts a file on disk is fine; the same call on
+//! the WAL append path is a torn invariant. A token is *test code* when
+//! it sits inside the body of an item annotated `#[cfg(test)]` /
+//! `#[test]` (including `#[cfg(any(test, …))]`), inside an inline
+//! `mod tests { … }` / `mod test { … }`, or anywhere in a file whose
+//! path puts it under an integration-`tests/` directory (the caller
+//! decides that part from the path).
+
+use crate::tokenizer::Token;
+
+/// Returns, for each token, whether it lies in test scope.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // attributes: `#[…]` (outer) or `#![…]` (inner)
+        if tokens[i].is_punct('#') {
+            let (bracket, inner) = match tokens.get(i + 1) {
+                Some(t) if t.is_punct('[') => (i + 1, false),
+                Some(t) if t.is_punct('!') && tokens.get(i + 2).is_some_and(|t| t.is_punct('[')) => {
+                    (i + 2, true)
+                }
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let close = matching_bracket(tokens, bracket);
+            let is_test_attr =
+                tokens[bracket + 1..close].iter().any(|t| t.is_ident("test") || t.is_ident("tests"));
+            if is_test_attr {
+                if inner {
+                    // `#![cfg(test)]`: the whole enclosing scope (for a
+                    // file-leading attribute, the whole file) is test code
+                    for m in mask.iter_mut().skip(i) {
+                        *m = true;
+                    }
+                    return mask;
+                }
+                mark_item(tokens, &mut mask, i, close + 1);
+            }
+            i = close + 1;
+            continue;
+        }
+        // inline test modules without an attribute
+        if tokens[i].is_ident("mod")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("tests") || t.is_ident("test"))
+        {
+            mark_item(tokens, &mut mask, i, i + 2);
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Marks the item that starts at `from` (scanning from `scan`): either
+/// up to its terminating `;`, or through its `{ … }` body. Bracket and
+/// paren nesting is respected so `[u8; 3]` semicolons and const-generic
+/// braces don't cut the item short.
+fn mark_item(tokens: &[Token], mask: &mut [bool], from: usize, scan: usize) {
+    let mut depth = 0i64; // () and [] nesting between item head and body
+    let mut j = scan;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('#') && depth == 0 {
+            // a stacked attribute between the cfg and the item: skip it
+            if let Some(b) = tokens.get(j + 1) {
+                if b.is_punct('[') {
+                    j = matching_bracket(tokens, j + 1);
+                }
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            for m in &mut mask[from..=j] {
+                *m = true;
+            }
+            return;
+        } else if t.is_punct('{') && depth == 0 {
+            let close = matching_brace(tokens, j);
+            for m in &mut mask[from..=close] {
+                *m = true;
+            }
+            return;
+        }
+        j += 1;
+    }
+    // unterminated item: mark to end of file
+    for m in &mut mask[from..] {
+        *m = true;
+    }
+}
+
+/// Index of the `]` matching the `[` at `open` (clamped to the last
+/// token when unterminated).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open` (clamped to the last
+/// token when unterminated).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Token-index spans `(open_brace, close_brace)` of every `fn` body, in
+/// source order. Nested functions yield nested spans.
+pub fn fn_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        // walk the signature: the body is the first `{` outside () / []
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                break; // bodyless declaration (trait method)
+            } else if t.is_punct('{') && depth == 0 {
+                spans.push((j, matching_brace(tokens, j)));
+                break;
+            }
+            j += 1;
+        }
+    }
+    spans
+}
+
+/// The innermost `fn` body span containing token `i`, if any.
+pub fn enclosing_fn(spans: &[(usize, usize)], i: usize) -> Option<(usize, usize)> {
+    spans
+        .iter()
+        .copied()
+        .filter(|&(o, c)| o <= i && i <= c)
+        .min_by_key(|&(o, c)| c - o)
+}

@@ -1,0 +1,391 @@
+//! A hand-rolled Rust tokenizer: just enough lexical structure to walk
+//! source files rule by rule without ever being fooled by comments,
+//! string/char literals, raw strings, or raw identifiers.
+//!
+//! The tokenizer is *lossy on purpose* — it does not classify keywords,
+//! multi-char operators, or numeric suffixes. Rules match sequences of
+//! identifiers and single-character punctuation (`std` `::` `fs` is the
+//! token run `Ident("std") Punct(':') Punct(':') Ident("fs")`), which is
+//! all the pattern language the project invariants need. What it *does*
+//! get right, carefully, is everything that could make a naive
+//! grep-style scan lie:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes (`"\" // not a comment"`);
+//! * raw strings `r"…"`, `r#"…"#` (any number of `#`s) and their byte
+//!   (`br#"…"#`) and C (`cr"…"`) cousins;
+//! * char literals — including `'"'`, `'\''` and `'\\'` — versus
+//!   lifetimes (`'a`, `'_`, `'static`);
+//! * raw identifiers `r#type` versus raw strings `r#"…"#`.
+//!
+//! Comments are returned alongside tokens (not discarded) because the
+//! allow-directive escape hatch lives in them.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`std`, `fn`, `unwrap`); raw
+    /// identifiers (`r#type`) are normalized to their bare name.
+    Ident,
+    /// A lifetime or loop label, without the leading `'`.
+    Lifetime,
+    /// A string literal of any flavour (plain, raw, byte, C).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character (`:`, `.`, `!`, `{`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token text. For [`TokKind::Punct`] this is one character;
+    /// for literals it is the raw source slice.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] as char == c
+    }
+}
+
+/// A comment, kept for allow-directive scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including delimiters.
+    pub text: String,
+    /// 1-based line of the `//` or `/*`.
+    pub line: u32,
+    /// 1-based line where the comment ends (same as `line` for `//`).
+    pub end_line: u32,
+    /// True when no token precedes the comment on its starting line —
+    /// an own-line comment binds to the *next* line of code, a trailing
+    /// comment to its own line.
+    pub own_line: bool,
+    /// Index into the token stream of the first token *after* this
+    /// comment (== `tokens.len()` for a trailing end-of-file comment).
+    pub next_token: usize,
+}
+
+/// The output of [`tokenize`]: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs are consumed
+/// to end-of-file, which is the forgiving behaviour a linter wants (the
+/// compiler is the authority on well-formedness, not us).
+pub fn tokenize(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, line_has_token: false, out: Lexed::default() }
+        .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Whether a token has already been emitted on the current line
+    /// (drives [`Comment::own_line`]).
+    line_has_token: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.line_has_token = false;
+            }
+        }
+        c
+    }
+
+    fn push_token(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+        self.line_has_token = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, String::new()),
+                'r' | 'b' | 'c' => {
+                    self.literal_prefix();
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                '\'' => self.char_or_lifetime(line),
+                _ => {
+                    self.bump();
+                    self.push_token(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Dispatches the `r` / `b` / `c` prefix family: raw strings, byte
+    /// strings, byte chars, raw identifiers — or just an identifier
+    /// starting with one of those letters. Returns true when it
+    /// consumed something.
+    fn literal_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap_or(' ');
+        // two-char prefixes first: br"", cr"", and their #-raw forms
+        if (c0 == 'b' || c0 == 'c') && self.peek(1) == Some('r') {
+            let mut k = 2;
+            while self.peek(k) == Some('#') {
+                k += 1;
+            }
+            if self.peek(k) == Some('"') {
+                self.bump();
+                self.bump();
+                self.raw_string(line, String::from_iter([c0, 'r']));
+                return true;
+            }
+        }
+        if c0 == 'b' && self.peek(1) == Some('"') {
+            self.bump();
+            self.string(line, String::from("b"));
+            return true;
+        }
+        if c0 == 'b' && self.peek(1) == Some('\'') {
+            self.bump();
+            self.bump();
+            self.char_body(line, String::from("b'"));
+            return true;
+        }
+        if c0 == 'c' && self.peek(1) == Some('"') {
+            self.bump();
+            self.string(line, String::from("c"));
+            return true;
+        }
+        if c0 == 'r' {
+            let mut k = 1;
+            while self.peek(k) == Some('#') {
+                k += 1;
+            }
+            if self.peek(k) == Some('"') {
+                self.bump();
+                self.raw_string(line, String::from("r"));
+                return true;
+            }
+            // raw identifier r#name
+            if k == 2 && self.peek(1) == Some('#') {
+                if let Some(c2) = self.peek(2) {
+                    if c2.is_alphabetic() || c2 == '_' {
+                        self.bump();
+                        self.bump();
+                        self.ident(line); // emits the bare name
+                        return true;
+                    }
+                }
+            }
+        }
+        // plain identifier starting with r/b/c
+        self.ident(line);
+        true
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_token;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let next_token = self.out.tokens.len();
+        self.out.comments.push(Comment { text, line, end_line: line, own_line, next_token });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_token;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let end_line = self.line;
+        let next_token = self.out.tokens.len();
+        self.out.comments.push(Comment { text, line, end_line, own_line, next_token });
+    }
+
+    /// A (possibly prefixed) non-raw string literal; the opening `"` has
+    /// not been consumed yet.
+    fn string(&mut self, line: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // the quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokKind::Str, text, line);
+    }
+
+    /// A raw string; the cursor sits on the first `#` or the `"`.
+    fn raw_string(&mut self, line: u32, mut text: String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        let closer: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+        let closer: Vec<char> = closer.chars().collect();
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (0..hashes).all(|k| self.peek(1 + k) == Some('#')) {
+                for &cc in &closer {
+                    text.push(cc);
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push_token(TokKind::Str, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // fractional part — but never eat the first dot of `0..n`
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Num, text, line);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): after the quote,
+    /// an identifier char followed by a closing `'` is a char literal;
+    /// an identifier not followed by `'` is a lifetime. Everything else
+    /// (escapes, `'"'`, `'('`) is a char literal.
+    fn char_or_lifetime(&mut self, line: u32) {
+        let c1 = self.peek(1);
+        let is_lifetime = match c1 {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // scan the identifier; lifetime iff not closed by '
+                let mut k = 2;
+                while self.peek(k).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    k += 1;
+                }
+                self.peek(k) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // the quote
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokKind::Lifetime, text, line);
+        } else {
+            self.bump();
+            self.char_body(line, String::from("'"));
+        }
+    }
+
+    /// The body of a char literal after its opening quote.
+    fn char_body(&mut self, line: u32, mut text: String) {
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokKind::Char, text, line);
+    }
+}

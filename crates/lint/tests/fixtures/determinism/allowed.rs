@@ -1,0 +1,10 @@
+//! Justified-allow fixture: hash iteration whose order is erased by a
+//! sort before anything escapes.
+
+pub fn collect(map: HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut entries: Vec<(String, u64)> =
+        // maybms-lint: allow(determinism) -- order is erased by the sort on the next line
+        map.into_iter().collect();
+    entries.sort();
+    entries
+}

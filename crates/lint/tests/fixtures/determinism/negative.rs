@@ -1,0 +1,14 @@
+//! Negative fixture: ordered structures iterate freely, and a name the
+//! heuristic cannot tie to a hash type is not flagged.
+
+pub fn sorted(map: &BTreeMap<String, u64>) -> Vec<(String, u64)> {
+    map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+pub fn walk(rows: &[u64]) -> u64 {
+    let mut total = 0;
+    for r in rows {
+        total += *r;
+    }
+    total
+}

@@ -1,0 +1,18 @@
+//! Positive fixture: wall clock + hash-ordered iteration on a
+//! deterministic path.
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn leak_order(map: HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, _v) in map {
+        out.push(k);
+    }
+    out
+}
+
+pub fn leak_keys(index: HashMap<u64, u64>) -> usize {
+    index.keys().count()
+}

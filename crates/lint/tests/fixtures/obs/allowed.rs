@@ -1,0 +1,6 @@
+//! Justified-allow fixture: a lookup on a cold path, waived.
+
+pub fn cold_path(n: u64) {
+    // maybms-lint: allow(obs-handle-discipline) -- error path, reached at most once per process
+    maybms_obs::counter("exec.errors").add(n);
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: lookups live inside the OnceLock handle
+//! initializer, the PR 8 hot-path shape.
+
+fn metrics() -> &'static ExecMetrics {
+    static M: OnceLock<ExecMetrics> = OnceLock::new();
+    M.get_or_init(|| ExecMetrics {
+        rows: maybms_obs::counter("exec.rows"),
+        latency: registry().histogram("exec.latency"),
+    })
+}
+
+pub fn record(n: u64) {
+    metrics().rows.add(n);
+}

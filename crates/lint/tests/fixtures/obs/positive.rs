@@ -1,0 +1,10 @@
+//! Positive fixture: a metric name lookup on what could be a hot path
+//! (no OnceLock initializer in sight).
+
+pub fn record(n: u64) {
+    maybms_obs::counter("exec.rows").add(n);
+}
+
+pub fn observe(reg: &Registry) {
+    registry().histogram("exec.latency").observe(1.0);
+}

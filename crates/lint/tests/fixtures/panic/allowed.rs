@@ -1,0 +1,6 @@
+//! Justified-allow fixture: an expect whose failure case is argued
+//! impossible, waived on its own line (trailing form).
+
+pub fn get(slot: &Option<u32>) -> u32 {
+    slot.expect("filled by the caller") // maybms-lint: allow(no-panic-in-prod) -- every call site fills the slot first
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: fallible code returns options/results, and test
+//! code may unwrap freely.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[1]).unwrap(), 1);
+        super::first(&[]).expect("empty slices have no first");
+    }
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: bare unwrap / panic! in production code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("flag required");
+    }
+}

@@ -1,0 +1,7 @@
+//! Negative fixture: every Result on the durability path is handled.
+
+pub fn append(w: &mut Wal, rec: &[u8]) -> Result<()> {
+    w.append(rec)?;
+    w.sync().map_err(|e| io_err("sync WAL", e))?;
+    Ok(())
+}

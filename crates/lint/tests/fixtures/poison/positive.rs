@@ -1,0 +1,9 @@
+//! Positive fixture: a discarded Result on a durability path.
+
+pub fn append(w: &mut Wal, rec: &[u8]) {
+    let _ = w.append(rec);
+}
+
+pub fn sync(w: &mut Wal) {
+    w.sync().ok();
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: all I/O goes through the Vfs. Mentions of
+//! std::fs in comments and strings must not be findings — that is the
+//! point of tokenizing instead of grepping.
+
+pub fn load(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<u8>> {
+    // std::fs::read would be a violation here; Vfs::read is not
+    let why = "never call std::fs::read or OpenOptions::new in storage";
+    drop(why);
+    vfs.read(path)
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: direct std::fs reaches around the Vfs boundary.
+
+pub fn load(path: &std::path::Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}
+
+pub fn open_raw(path: &std::path::Path) {
+    let _o = OpenOptions::new().read(true).open(path);
+}

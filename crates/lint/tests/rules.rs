@@ -1,0 +1,224 @@
+//! Fixture-based rule tests: one positive, one negative, and one
+//! justified-allow fixture per rule, plus the directive semantics
+//! (unjustified / unknown / unused allows are errors themselves).
+//!
+//! Fixtures live under `tests/fixtures/` — a directory name the
+//! workspace walk skips, so planted violations never fail the real
+//! lint run. Each fixture is linted *as if* it sat at a path inside the
+//! rule's scope.
+
+use maybms_lint::{lint_source, Diagnostic};
+
+fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+// -------------------------------------------------------------- vfs --
+
+#[test]
+fn vfs_positive_flags_std_fs_and_openoptions() {
+    let diags = lint_source(
+        "crates/storage/src/fixture.rs",
+        include_str!("fixtures/vfs/positive.rs"),
+    );
+    assert_eq!(lines_of(&diags, "vfs-completeness"), [4, 8], "{diags:?}");
+}
+
+#[test]
+fn vfs_negative_ignores_comments_and_strings() {
+    let diags = lint_source(
+        "crates/storage/src/fixture.rs",
+        include_str!("fixtures/vfs/negative.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn vfs_allowed_suppresses_with_justification() {
+    let diags = lint_source(
+        "crates/storage/src/fixture.rs",
+        include_str!("fixtures/vfs/allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn vfs_rule_is_scoped_to_storage_and_sql() {
+    // the same violating source is clean outside the scoped crates
+    let src = include_str!("fixtures/vfs/positive.rs");
+    assert!(lines_of(&lint_source("crates/core/src/fixture.rs", src), "vfs-completeness").is_empty());
+    // and vfs.rs itself is the legal home of std::fs
+    assert!(lines_of(&lint_source("crates/storage/src/vfs.rs", src), "vfs-completeness").is_empty());
+    // but sql is scoped
+    assert_eq!(lines_of(&lint_source("crates/sql/src/fixture.rs", src), "vfs-completeness"), [4, 8]);
+}
+
+// ------------------------------------------------------ determinism --
+
+#[test]
+fn determinism_positive_flags_clock_and_hash_iteration() {
+    let diags = lint_source(
+        "crates/core/src/exec/fixture.rs",
+        include_str!("fixtures/determinism/positive.rs"),
+    );
+    // Instant::now (5), `for … in map` (10), index.keys() (17)
+    assert_eq!(lines_of(&diags, "determinism"), [5, 10, 17], "{diags:?}");
+}
+
+#[test]
+fn determinism_negative_allows_ordered_iteration() {
+    let diags = lint_source(
+        "crates/core/src/exec/fixture.rs",
+        include_str!("fixtures/determinism/negative.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn determinism_allowed_suppresses_sorted_collect() {
+    let diags = lint_source(
+        "crates/core/src/exec/fixture.rs",
+        include_str!("fixtures/determinism/allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ----------------------------------------------------------- poison --
+
+#[test]
+fn poison_positive_flags_discarded_results() {
+    let diags = lint_source(
+        "crates/storage/src/wal.rs",
+        include_str!("fixtures/poison/positive.rs"),
+    );
+    // `let _ =` (4) and `.ok();` (8)
+    assert_eq!(lines_of(&diags, "poison-discipline"), [4, 8], "{diags:?}");
+}
+
+#[test]
+fn poison_negative_handled_results_are_clean() {
+    let diags = lint_source(
+        "crates/storage/src/wal.rs",
+        include_str!("fixtures/poison/negative.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn poison_allowed_best_effort_cleanup() {
+    let diags = lint_source(
+        "crates/storage/src/wal.rs",
+        include_str!("fixtures/poison/allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------------ panic --
+
+#[test]
+fn panic_positive_flags_unwrap_and_panic() {
+    let diags = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panic/positive.rs"),
+    );
+    assert_eq!(lines_of(&diags, "no-panic-in-prod"), [4, 9], "{diags:?}");
+}
+
+#[test]
+fn panic_negative_test_code_may_unwrap() {
+    let diags = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panic/negative.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_allowed_trailing_directive_covers_its_line() {
+    let diags = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panic/allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// -------------------------------------------------------------- obs --
+
+#[test]
+fn obs_positive_flags_hot_path_lookups() {
+    let diags = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/obs/positive.rs"),
+    );
+    assert_eq!(lines_of(&diags, "obs-handle-discipline"), [5, 9], "{diags:?}");
+}
+
+#[test]
+fn obs_negative_oncelock_initializer_is_legal() {
+    let diags = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/obs/negative.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn obs_allowed_cold_path_waiver() {
+    let diags = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/obs/allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------- directives --
+
+#[test]
+fn unjustified_allow_is_an_error() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // maybms-lint: allow(no-panic-in-prod)\n}\n";
+    let diags = lint_source("crates/core/src/fixture.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "directive");
+    assert!(diags[0].msg.contains("no justification"), "{}", diags[0].msg);
+}
+
+#[test]
+fn unknown_rule_in_allow_is_an_error() {
+    let src = "// maybms-lint: allow(no-such-rule) -- because\npub fn f() {}\n";
+    let diags = lint_source("crates/core/src/fixture.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "directive" && d.msg.contains("unknown rule")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unused_allow_is_an_error() {
+    let src = "// maybms-lint: allow(no-panic-in-prod) -- nothing here panics\npub fn f() {}\n";
+    let diags = lint_source("crates/core/src/fixture.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "directive");
+    assert!(diags[0].msg.contains("unused"), "{}", diags[0].msg);
+}
+
+#[test]
+fn doc_comments_never_carry_directives() {
+    let src = "//! Example: `maybms-lint: allow(no-panic-in-prod) -- why`\npub fn f() {}\n";
+    let diags = lint_source("crates/core/src/fixture.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allow_list_covers_multiple_rules() {
+    let src = "pub fn f(w: &mut Wal) {\n    // maybms-lint: allow(poison-discipline, no-panic-in-prod) -- demo of a multi-rule waiver\n    let _ = w.append(b\"x\").unwrap();\n}\n";
+    let diags = lint_source("crates/storage/src/wal.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn own_line_directive_does_not_leak_past_next_line() {
+    // the directive covers line 3 only; the unwrap on line 4 still fires
+    let src = "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    // maybms-lint: allow(no-panic-in-prod) -- x is always set\n    let a = x.unwrap();\n    a + y.unwrap()\n}\n";
+    let diags = lint_source("crates/core/src/fixture.rs", src);
+    assert_eq!(lines_of(&diags, "no-panic-in-prod"), [4], "{diags:?}");
+}

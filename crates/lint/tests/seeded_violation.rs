@@ -1,0 +1,75 @@
+//! End-to-end acceptance test: planting a forbidden pattern in a fake
+//! workspace makes the `maybms-lint` *binary* exit nonzero and print
+//! the offending `file:line`; a clean tree exits zero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fake_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join(format!("maybms-lint-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("crates/storage/src")).unwrap();
+    root
+}
+
+fn write(root: &Path, rel: &str, src: &str) {
+    std::fs::write(root.join(rel), src).unwrap();
+}
+
+fn run_lint(root: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_maybms-lint"))
+        .arg(root)
+        .output()
+        .expect("spawn maybms-lint");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn seeded_violation_fails_with_file_and_line() {
+    let root = fake_workspace("seeded");
+    write(
+        &root,
+        "crates/storage/src/bad.rs",
+        "//! A file that reaches around the Vfs.\n\npub fn sneak(p: &std::path::Path) -> Vec<u8> {\n    std::fs::read(p).unwrap_or_default()\n}\n",
+    );
+    let (ok, text) = run_lint(&root);
+    assert!(!ok, "a seeded violation must make the binary exit nonzero:\n{text}");
+    assert!(
+        text.contains("error[vfs-completeness]: crates/storage/src/bad.rs:4:"),
+        "diagnostic must carry the exact file:line:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = fake_workspace("clean");
+    write(
+        &root,
+        "crates/storage/src/good.rs",
+        "pub fn load(vfs: &dyn Vfs, p: &Path) -> io::Result<Vec<u8>> {\n    vfs.read(p)\n}\n",
+    );
+    let (ok, text) = run_lint(&root);
+    assert!(ok, "a clean tree must exit zero:\n{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unjustified_allow_also_fails_the_binary() {
+    let root = fake_workspace("unjust");
+    write(
+        &root,
+        "crates/storage/src/waived.rs",
+        "pub fn sneak(p: &Path) -> Vec<u8> {\n    // maybms-lint: allow(vfs-completeness)\n    std::fs::read(p).unwrap_or_default()\n}\n",
+    );
+    let (ok, text) = run_lint(&root);
+    assert!(!ok, "an unjustified allow must fail the run:\n{text}");
+    assert!(text.contains("error[directive]"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}

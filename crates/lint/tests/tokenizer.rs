@@ -1,0 +1,127 @@
+//! Tokenizer unit tests: everything that could make a grep-style scan
+//! lie must come out of the lexer correctly classified.
+
+use maybms_lint::tokenizer::{tokenize, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    tokenize(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn comments_are_not_tokens() {
+    let src = "fn a() {} // std::fs::read\n/* unwrap() */ fn b() {}";
+    let ids = idents(src);
+    assert_eq!(ids, ["fn", "a", "fn", "b"]);
+    let lexed = tokenize(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(lexed.comments[0].text.contains("std::fs::read"));
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* outer /* inner */ still comment */ fn x() {}";
+    let ids = idents(src);
+    assert_eq!(ids, ["fn", "x"]);
+    let lexed = tokenize(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("inner"));
+}
+
+#[test]
+fn strings_with_escapes_hide_their_content() {
+    // the escaped quote must not end the string early and expose `// x`
+    let src = r#"let s = "a\" // not a comment"; fn y() {}"#;
+    let lexed = tokenize(src);
+    assert!(lexed.comments.is_empty(), "no comment inside the string");
+    let ids = idents(src);
+    assert_eq!(ids, ["let", "s", "fn", "y"]);
+}
+
+#[test]
+fn raw_strings_any_hash_depth() {
+    let src = r###"let s = r#"std::fs::read " // inner"#; let t = r"plain";"###;
+    let lexed = tokenize(src);
+    assert!(lexed.comments.is_empty());
+    let strs: Vec<_> =
+        lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+    assert_eq!(strs.len(), 2);
+    assert!(strs[0].text.contains("std::fs::read"));
+    // nothing from inside the raw string leaked out as identifiers
+    assert_eq!(idents(src), ["let", "s", "let", "t"]);
+}
+
+#[test]
+fn byte_and_c_string_prefixes() {
+    let src = r###"let a = b"bytes"; let b2 = br#"raw bytes"#; let c2 = cr"c raw"; let d = b'x';"###;
+    let lexed = tokenize(src);
+    let strs = lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+    let chars = lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+    assert_eq!(strs, 3);
+    assert_eq!(chars, 1);
+    assert_eq!(idents(src), ["let", "a", "let", "b2", "let", "c2", "let", "d"]);
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    // '"' is the nasty one: a naive scanner thinks a string just opened
+    let src = "let q = '\"'; let esc = '\\''; let back = '\\\\'; fn f<'a>(x: &'a str) {}";
+    let lexed = tokenize(src);
+    let chars: Vec<_> =
+        lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).collect();
+    assert_eq!(chars.len(), 3);
+    let lifetimes: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(lifetimes, ["a", "a"]);
+    assert!(lexed.comments.is_empty());
+}
+
+#[test]
+fn raw_identifiers_normalize() {
+    let src = "fn r#type(r#fn: u32) {}";
+    assert_eq!(idents(src), ["fn", "type", "fn", "u32"]);
+}
+
+#[test]
+fn numbers_and_ranges() {
+    let src = "let x = 1.5; for i in 0..10 {}";
+    let lexed = tokenize(src);
+    let nums: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.clone())
+        .collect();
+    // 0..10 must lex as 0, .., 10 — not 0. followed by .10
+    assert_eq!(nums, ["1.5", "0", "10"]);
+}
+
+#[test]
+fn own_line_vs_trailing_comments() {
+    let src = "// own line\nlet a = 1; // trailing\nlet b = 2;";
+    let lexed = tokenize(src);
+    assert_eq!(lexed.comments.len(), 2);
+    let own = &lexed.comments[0];
+    assert!(own.own_line);
+    // binds to the next token: `let` of line 2
+    assert_eq!(lexed.tokens[own.next_token].line, 2);
+    let trailing = &lexed.comments[1];
+    assert!(!trailing.own_line);
+    assert_eq!(trailing.line, 2);
+}
+
+#[test]
+fn token_lines_are_accurate() {
+    let src = "fn a() {}\n\nfn b() {\n    unwrap()\n}";
+    let lexed = tokenize(src);
+    let unwrap = lexed.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+    assert_eq!(unwrap.line, 4);
+}

@@ -32,6 +32,8 @@
 //! assert!(text.contains("maybms_demo_requests"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod prometheus;

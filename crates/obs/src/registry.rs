@@ -206,13 +206,13 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut m = self.inner.lock().expect("registry lock");
+        let mut m = self.inner.lock().expect("registry lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
         {
             Metric::Counter(c) => Arc::clone(c),
-            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)), // maybms-lint: allow(no-panic-in-prod) -- re-registering a metric name under a different kind is a programming error; fail-stop at startup
         }
     }
 
@@ -221,13 +221,13 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut m = self.inner.lock().expect("registry lock");
+        let mut m = self.inner.lock().expect("registry lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
         {
             Metric::Gauge(g) => Arc::clone(g),
-            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)), // maybms-lint: allow(no-panic-in-prod) -- re-registering a metric name under a different kind is a programming error; fail-stop at startup
         }
     }
 
@@ -238,19 +238,19 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &str, bounds: &'static [u64]) -> Arc<Histogram> {
-        let mut m = self.inner.lock().expect("registry lock");
+        let mut m = self.inner.lock().expect("registry lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
         {
             Metric::Histogram(h) => Arc::clone(h),
-            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)), // maybms-lint: allow(no-panic-in-prod) -- re-registering a metric name under a different kind is a programming error; fail-stop at startup
         }
     }
 
     /// All metrics with their current values, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
-        let m = self.inner.lock().expect("registry lock");
+        let m = self.inner.lock().expect("registry lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         m.iter()
             .map(|(name, metric)| {
                 let v = match metric {

@@ -40,7 +40,7 @@ impl SlowLog {
         if self.cap == 0 {
             return;
         }
-        let mut e = self.entries.lock().expect("slow log lock");
+        let mut e = self.entries.lock().expect("slow log lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         if e.len() == self.cap {
             e.pop_front();
         }
@@ -49,12 +49,12 @@ impl SlowLog {
 
     /// The logged entries, oldest first.
     pub fn entries(&self) -> Vec<SlowQuery> {
-        self.entries.lock().expect("slow log lock").iter().cloned().collect()
+        self.entries.lock().expect("slow log lock").iter().cloned().collect() // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
     }
 
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("slow log lock").len()
+        self.entries.lock().expect("slow log lock").len() // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
     }
 
     /// Whether the ring is empty.
@@ -64,7 +64,7 @@ impl SlowLog {
 
     /// Drops every entry.
     pub fn clear(&self) {
-        self.entries.lock().expect("slow log lock").clear();
+        self.entries.lock().expect("slow log lock").clear(); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
     }
 }
 

@@ -32,6 +32,8 @@
 //! assert_eq!(tests.rows()[0][0], Value::str("ultrasound"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod csv;
 pub mod error;

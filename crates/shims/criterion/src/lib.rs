@@ -12,6 +12,8 @@
 //! name, or the whole name when it has no such prefix. Set
 //! `MAYBMS_BENCH_FAST=1` to cap measurement time for smoke runs.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

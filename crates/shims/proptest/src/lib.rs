@@ -8,6 +8,8 @@
 //! seed; there is **no shrinking** — a failing case prints its index and
 //! seed so it can be replayed by rerunning the test.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 use std::rc::Rc;
 

@@ -7,6 +7,8 @@
 //! the census generators call. Deterministic given a seed, which is all
 //! the workloads require; it is NOT the same stream as the real `StdRng`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub trait SeedableRng: Sized {

@@ -417,7 +417,7 @@ fn reorder_cluster(q: &Query, wsd: &Wsd, stats: &mut WsdStats) -> Result<Query> 
             }
             l = (l - 1) & s;
         }
-        let (c, l) = best.expect("non-singleton subset has a split");
+        let (c, l) = best.expect("non-singleton subset has a split"); // maybms-lint: allow(no-panic-in-prod) -- every subset with two or more relations has at least one proper split, so a best split is always found
         let r = s & !l;
         let node: Vec<Expr> = masked
             .iter()
@@ -427,7 +427,7 @@ fn reorder_cluster(q: &Query, wsd: &Wsd, stats: &mut WsdStats) -> Result<Query> 
             })
             .map(|(_, c)| c.clone())
             .collect();
-        let (lp, rp) = (plan[l].clone().expect("built"), plan[r].clone().expect("built"));
+        let (lp, rp) = (plan[l].clone().expect("built"), plan[r].clone().expect("built")); // maybms-lint: allow(no-panic-in-prod) -- the DP fills every smaller subset before visiting this one
         plan[s] = Some(if node.is_empty() {
             Query::Product(Box::new(lp), Box::new(rp))
         } else {
@@ -437,7 +437,7 @@ fn reorder_cluster(q: &Query, wsd: &Wsd, stats: &mut WsdStats) -> Result<Query> 
         order[s] = order[l].iter().chain(order[r].iter()).copied().collect();
     }
 
-    let mut result = plan[full].take().expect("full subset built");
+    let mut result = plan[full].take().expect("full subset built"); // maybms-lint: allow(no-panic-in-prod) -- the DP fills the full-set slot before extraction
     if !free.is_empty() {
         result = Query::Select(Box::new(result), Expr::conjoin(free));
     }

@@ -493,7 +493,7 @@ impl Parser {
                     ));
                 }
                 Ok(InsertValue::Weighted(
-                    vals.into_iter().map(|(v, p)| (v, p.expect("checked"))).collect(),
+                    vals.into_iter().map(|(v, p)| (v, p.expect("checked"))).collect(), // maybms-lint: allow(no-panic-in-prod) -- the all-probabilities-present case was checked just above this branch
                 ))
             } else {
                 Ok(InsertValue::Uniform(vals.into_iter().map(|(v, _)| v).collect()))

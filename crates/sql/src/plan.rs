@@ -13,7 +13,7 @@ pub fn lower_select(stmt: &SelectStmt) -> Result<Query> {
         return Err(Error::InvalidExpr("empty FROM clause".into()));
     }
     let mut from_iter = stmt.from.iter();
-    let first = from_iter.next().expect("nonempty");
+    let first = from_iter.next().expect("nonempty"); // maybms-lint: allow(no-panic-in-prod) -- the parser rejects a SELECT without FROM on this path, so the list is nonempty
     let mut q = table_ref(first);
     for t in from_iter {
         q = q.product(table_ref(t));
@@ -32,7 +32,7 @@ pub fn lower_select(stmt: &SelectStmt) -> Result<Query> {
             .iter()
             .map(|i| match i {
                 SelectItem::Column(c) => c.clone(),
-                SelectItem::Star => unreachable!("filtered above"),
+                SelectItem::Star => unreachable!("filtered above"), // maybms-lint: allow(no-panic-in-prod) -- Star items were expanded before this loop
             })
             .collect();
         q = q.project(cols);

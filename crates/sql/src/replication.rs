@@ -147,7 +147,7 @@ impl ReplStatus {
             applied_lsn: AtomicU64::new(0),
             primary_lsn: AtomicU64::new(0),
             last_contact_ns: AtomicU64::new(0),
-            epoch: Instant::now(),
+            epoch: Instant::now(), // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
         }
     }
 
@@ -290,7 +290,7 @@ impl Primary {
         // appends from *other* processes, which cannot signal it.
         let commit_notify = wal::commit_notify(&wal_path);
         let mut commits_seen = wal::commit_seq(&commit_notify);
-        let mut last_sent = Instant::now();
+        let mut last_sent = Instant::now(); // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
         'catchup: loop {
             if self.is_stopped() {
                 return Ok(());
@@ -303,7 +303,7 @@ impl Primary {
                 // state transfer, then stream from the snapshot's LSN.
                 let (generation, snap_lsn, payload) = self.consistent_snapshot()?;
                 send_msg(&mut stream, &Msg::Snapshot { generation, last_lsn: snap_lsn, payload })?;
-                last_sent = Instant::now();
+                last_sent = Instant::now(); // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
                 follower_lsn = snap_lsn;
             }
             let mut cursor = match WalCursor::open_with_vfs(Arc::clone(&self.vfs), &wal_path, follower_lsn)
@@ -335,7 +335,7 @@ impl Primary {
                                 },
                             )?;
                             metrics().heartbeats.inc();
-                            last_sent = Instant::now();
+                            last_sent = Instant::now(); // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
                         }
                         // block until a commit signals (instant for
                         // same-process appends) or the backoff interval
@@ -352,7 +352,7 @@ impl Primary {
                             send_msg(&mut stream, &Msg::Record { lsn, payload })?;
                             metrics().shipped_records.inc();
                             metrics().shipped_bytes.add(bytes);
-                            last_sent = Instant::now();
+                            last_sent = Instant::now(); // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
                             follower_lsn = lsn;
                         }
                     }
@@ -541,7 +541,7 @@ impl Replica {
             generation: 0,
             applied_lsn: 0,
             primary_lsn: 0,
-            last_contact: Instant::now(),
+            last_contact: Instant::now(), // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
             status,
         }
     }
@@ -614,7 +614,7 @@ impl Replica {
     /// LSNs is a protocol violation and is refused. Returns `true` when
     /// the replica's state advanced.
     pub fn apply_msg(&mut self, msg: Msg) -> SessionResult<bool> {
-        self.last_contact = Instant::now();
+        self.last_contact = Instant::now(); // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
         self.status.touch();
         match msg {
             Msg::Snapshot { generation, last_lsn, payload } => {
@@ -689,12 +689,12 @@ impl Replica {
 /// restarts and cut connections, use [`follow_with_retry`].
 pub fn follow<S: Read + Write>(replica: &Mutex<Replica>, stream: S) -> SessionResult<()> {
     let mut conn = {
-        let r = replica.lock().expect("replica lock");
+        let r = replica.lock().expect("replica lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         r.connect(stream).map_err(SessionError::storage)?
     };
     loop {
         let msg = conn.recv().map_err(SessionError::storage)?;
-        replica.lock().expect("replica lock").apply_msg(msg)?;
+        replica.lock().expect("replica lock").apply_msg(msg)?; // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
     }
 }
 
@@ -808,7 +808,7 @@ where
         let conn = connect().and_then(|stream| {
             replica
                 .lock()
-                .expect("replica lock")
+                .expect("replica lock") // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
                 .connect(stream)
                 .map_err(|e| std::io::Error::other(e.to_string()))
         });
@@ -826,7 +826,7 @@ where
             }
             match conn.recv() {
                 Ok(msg) => {
-                    replica.lock().expect("replica lock").apply_msg(msg)?;
+                    replica.lock().expect("replica lock").apply_msg(msg)?; // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
                     backoff.reset();
                 }
                 Err(_) => break, // torn or dropped stream: reconnect

@@ -727,7 +727,7 @@ impl Session {
         trace.push("parse", begin);
         self.trace = Some(trace);
         let result = self.run(&stmt.stmt);
-        let trace = self.trace.take().expect("trace installed above");
+        let trace = self.trace.take().expect("trace installed above"); // maybms-lint: allow(no-panic-in-prod) -- the trace sink was installed unconditionally at the top of this block
         if let Some(threshold) = self.slow_threshold {
             let total = trace.total();
             if total >= threshold {
@@ -803,6 +803,7 @@ impl Session {
                         // Roll the whole script back; the original error is
                         // what the caller needs (a rollback failure would
                         // only mean the transaction is already gone).
+                        // maybms-lint: allow(poison-discipline) -- best-effort rollback while propagating the original error; rollback touches no durable state
                         let _ = self.run(&Statement::Rollback);
                     }
                     return Err(e);
@@ -1654,6 +1655,7 @@ impl Drop for Transaction<'_> {
         if self.open {
             // the transaction may already be closed if the user executed
             // COMMIT/ROLLBACK as SQL through the guard; ignore that error
+            // maybms-lint: allow(poison-discipline) -- Drop cannot propagate; a failed rollback here means the transaction already ended
             let _ = self.session.run(&Statement::Rollback);
         }
     }

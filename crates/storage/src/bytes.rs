@@ -146,17 +146,17 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"))) // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"))) // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     }
 
     /// Reads a little-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"))) // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     }
 
     /// Reads the exact bit pattern written by [`Writer::put_f64`].

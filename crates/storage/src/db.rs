@@ -269,6 +269,7 @@ impl Database {
             Some(p) => {
                 if p.stale_delta {
                     // checkpoint artifact (see module docs) — clean it up
+                    // maybms-lint: allow(poison-discipline) -- removes an overlay recovery already proved stale and ignores; failure leaves garbage, never wrong state
                     let _ = vfs.remove_file(&delta_path_for(path));
                 }
                 (
@@ -495,7 +496,7 @@ impl Database {
 
         let kind = match changed {
             Some(changed) => {
-                let base = self.base.as_ref().expect("incremental requires a base");
+                let base = self.base.as_ref().expect("incremental requires a base"); // maybms-lint: allow(no-panic-in-prod) -- callers request an incremental checkpoint only when a base snapshot exists
                 let total_pages = payload_chunks(state, base.page_size).len() as u32;
                 let meta = DeltaMeta {
                     generation: next,
@@ -528,6 +529,7 @@ impl Database {
                 )?;
                 // the overlay (if any) is now stale: its pages are inside
                 // the new base; remove it (recovery would ignore it too)
+                // maybms-lint: allow(poison-discipline) -- the new full base supersedes the overlay and open() ignores generation-mismatched deltas; failed cleanup is re-attempted at next open
                 let _ = self.vfs.remove_file(&delta_path_for(&self.snapshot_path));
                 let page_crcs = chunk_crcs(state, self.page_size);
                 let pages = page_crcs.len() as u32;
@@ -586,6 +588,8 @@ impl Database {
 
 #[cfg(test)]
 mod tests {
+    // tests corrupt bytes on disk and clean temp files directly
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {

@@ -107,26 +107,26 @@ fn decode_preamble(p: &[u8]) -> Result<DeltaMeta> {
             "not a MayBMS incremental snapshot (bad magic)".into(),
         ));
     }
-    let stored = u32::from_le_bytes(p[56..60].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(p[56..60].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if crc32(&p[0..56]) != stored {
         return Err(Error::Storage(
             "incremental snapshot preamble checksum mismatch".into(),
         ));
     }
-    let version = u32::from_le_bytes(p[8..12].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(p[8..12].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if version != VERSION {
         return Err(Error::Storage(format!(
             "unsupported incremental snapshot version {version} (this build reads {VERSION})"
         )));
     }
     Ok(DeltaMeta {
-        page_size: u32::from_le_bytes(p[12..16].try_into().expect("4 bytes")) as usize,
-        generation: u64::from_le_bytes(p[16..24].try_into().expect("8 bytes")),
-        base_generation: u64::from_le_bytes(p[24..32].try_into().expect("8 bytes")),
-        last_lsn: u64::from_le_bytes(p[32..40].try_into().expect("8 bytes")),
-        payload_len: u64::from_le_bytes(p[40..48].try_into().expect("8 bytes")),
-        payload_crc: u32::from_le_bytes(p[48..52].try_into().expect("4 bytes")),
-        pages: u32::from_le_bytes(p[52..56].try_into().expect("4 bytes")),
+        page_size: u32::from_le_bytes(p[12..16].try_into().expect("4 bytes")) as usize, // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        generation: u64::from_le_bytes(p[16..24].try_into().expect("8 bytes")), // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        base_generation: u64::from_le_bytes(p[24..32].try_into().expect("8 bytes")), // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        last_lsn: u64::from_le_bytes(p[32..40].try_into().expect("8 bytes")), // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        payload_len: u64::from_le_bytes(p[40..48].try_into().expect("8 bytes")), // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        payload_crc: u32::from_le_bytes(p[48..52].try_into().expect("4 bytes")), // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        pages: u32::from_le_bytes(p[52..56].try_into().expect("4 bytes")), // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     })
 }
 
@@ -178,8 +178,11 @@ pub fn write_delta_with_vfs(
     }
     vfs.rename(&tmp, path)
         .map_err(|e| io_err("publish incremental snapshot (rename)", e))?;
-    // best-effort: the rename itself is what recovery depends on
-    let _ = vfs.sync_parent_dir(path);
+    // a failed directory fsync means the rename may not survive power
+    // loss — and a later WAL rotation that *does* survive would strand
+    // commits. Propagate it: the checkpoint fails before the WAL moves,
+    // which is a crash window recovery already handles.
+    vfs.sync_parent_dir(path).map_err(|e| io_err("sync overlay directory", e))?;
     Ok(())
 }
 
@@ -201,7 +204,7 @@ pub fn read_delta_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<(DeltaMeta, Del
     let map_len = meta.pages as usize * 4;
     let mut map = vec![0u8; map_len + 4];
     file.read_exact(&mut map).map_err(|e| io_err("read page map", e))?;
-    let stored = u32::from_le_bytes(map[map_len..].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(map[map_len..].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if crc32(&map[..map_len]) != stored {
         return Err(Error::Storage(
             "incremental snapshot page map checksum mismatch".into(),
@@ -209,7 +212,7 @@ pub fn read_delta_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<(DeltaMeta, Del
     }
     let indices: Vec<u32> = map[..map_len]
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))) // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
         .collect();
     let base = (DELTA_PREAMBLE_LEN + map_len + 4) as u64;
     let mut pager = Pager::new(file, base, meta.page_size)?;
@@ -291,6 +294,8 @@ pub fn overlay(base_payload: &[u8], meta: &DeltaMeta, pages: &[(u32, Vec<u8>)]) 
 
 #[cfg(test)]
 mod tests {
+    // tests corrupt bytes on disk and clean temp files directly
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {

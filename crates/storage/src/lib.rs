@@ -49,6 +49,8 @@
 //! The layer-by-layer picture (and the invariants each layer's tests
 //! enforce) is in `docs/ARCHITECTURE.md` at the repository root.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bytes;

@@ -140,8 +140,8 @@ impl Pager {
         self.file
             .read_exact(&mut page)
             .map_err(|e| io_err(&format!("read page {idx}"), e))?;
-        let stored_crc = u32::from_le_bytes(page[0..4].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(page[4..8].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(page[0..4].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        let len = u32::from_le_bytes(page[4..8].try_into().expect("4 bytes")) as usize; // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
         if len > self.capacity() {
             return Err(Error::Storage(format!(
                 "page {idx} declares {len} payload bytes, capacity is {}",
@@ -210,26 +210,23 @@ impl Pager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::fs::OpenOptions;
-    use std::path::PathBuf;
+    use crate::vfs::{std_vfs, OpenMode};
+    use std::path::{Path, PathBuf};
 
     fn tmp(name: &str) -> PathBuf {
         let p = std::env::temp_dir()
             .join(format!("maybms-pager-{}-{name}", std::process::id()));
-        let _ = std::fs::remove_file(&p);
+        let _ = std_vfs().remove_file(&p);
         p
     }
 
-    fn open_rw(p: &PathBuf) -> Box<dyn VfsFile> {
-        Box::new(
-            OpenOptions::new()
-                .read(true)
-                .write(true)
-                .create(true)
-                .truncate(false)
-                .open(p)
-                .unwrap(),
-        )
+    fn open_rw(p: &Path) -> Box<dyn VfsFile> {
+        std_vfs().open(p, OpenMode::ReadWriteCreate).unwrap()
+    }
+
+    fn rewrite(p: &Path, bytes: &[u8]) {
+        let mut f = std_vfs().open(p, OpenMode::CreateTruncate).unwrap();
+        f.write_all(bytes).unwrap();
     }
 
     #[test]
@@ -240,7 +237,7 @@ mod tests {
         pager.write_page(1, b"world").unwrap();
         assert_eq!(pager.read_page(0).unwrap(), b"hello");
         assert_eq!(pager.read_page(1).unwrap(), b"world");
-        let _ = std::fs::remove_file(&path);
+        let _ = std_vfs().remove_file(&path);
     }
 
     #[test]
@@ -251,7 +248,7 @@ mod tests {
         let pages = pager.write_payload(&payload).unwrap();
         assert_eq!(pages, pager.pages_for(payload.len()));
         assert_eq!(pager.read_payload(payload.len() as u64).unwrap(), payload);
-        let _ = std::fs::remove_file(&path);
+        let _ = std_vfs().remove_file(&path);
     }
 
     #[test]
@@ -262,13 +259,13 @@ mod tests {
             pager.write_page(0, b"precious data").unwrap();
         }
         // flip one payload byte on disk
-        let mut raw = std::fs::read(&path).unwrap();
+        let mut raw = std_vfs().read(&path).unwrap();
         raw[PAGE_HEADER_LEN + 2] ^= 0xFF;
-        std::fs::write(&path, &raw).unwrap();
+        rewrite(&path, &raw);
         let mut pager = Pager::new(open_rw(&path), 0, 64).unwrap();
         let err = pager.read_page(0).unwrap_err();
         assert!(err.to_string().contains("checksum mismatch"), "{err}");
-        let _ = std::fs::remove_file(&path);
+        let _ = std_vfs().remove_file(&path);
     }
 
     #[test]
@@ -281,14 +278,14 @@ mod tests {
         }
         // swap the two pages wholesale: checksums are internally intact,
         // but each now sits at the wrong index
-        let mut raw = std::fs::read(&path).unwrap();
+        let mut raw = std_vfs().read(&path).unwrap();
         let (a, b) = raw.split_at_mut(32);
         a.swap_with_slice(&mut b[..32]);
-        std::fs::write(&path, &raw).unwrap();
+        rewrite(&path, &raw);
         let mut pager = Pager::new(open_rw(&path), 0, 32).unwrap();
         assert!(pager.read_page(0).is_err());
         assert!(pager.read_page(1).is_err());
-        let _ = std::fs::remove_file(&path);
+        let _ = std_vfs().remove_file(&path);
     }
 
     #[test]
@@ -297,6 +294,6 @@ mod tests {
         let mut pager = Pager::new(open_rw(&path), 0, 16).unwrap();
         assert!(pager.write_page(0, &[0u8; 9]).is_err());
         assert!(Pager::new(open_rw(&path), 0, 8).is_err());
-        let _ = std::fs::remove_file(&path);
+        let _ = std_vfs().remove_file(&path);
     }
 }

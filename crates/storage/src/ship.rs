@@ -169,13 +169,13 @@ pub fn recv_msg<R: Read>(stream: &mut R) -> Result<Msg> {
     stream
         .read_exact(&mut header)
         .map_err(|e| io_err("receive message frame", e))?;
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize; // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if len > MAX_FRAME_LEN {
         return Err(Error::Storage(format!(
             "shipped frame declares {len} bytes (max {MAX_FRAME_LEN}): corrupt stream"
         )));
     }
-    let stored = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     let mut payload = vec![0u8; len];
     stream
         .read_exact(&mut payload)

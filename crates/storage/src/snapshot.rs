@@ -77,21 +77,21 @@ fn decode_preamble(p: &[u8]) -> Result<(SnapshotMeta, u32)> {
     if &p[0..8] != MAGIC {
         return Err(Error::Storage("not a MayBMS snapshot (bad magic)".into()));
     }
-    let stored = u32::from_le_bytes(p[44..48].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(p[44..48].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if crc32(&p[0..44]) != stored {
         return Err(Error::Storage("snapshot preamble checksum mismatch".into()));
     }
-    let version = u32::from_le_bytes(p[8..12].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(p[8..12].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if version != VERSION {
         return Err(Error::Storage(format!(
             "unsupported snapshot format version {version} (this build reads {VERSION})"
         )));
     }
-    let page_size = u32::from_le_bytes(p[12..16].try_into().expect("4 bytes")) as usize;
-    let generation = u64::from_le_bytes(p[16..24].try_into().expect("8 bytes"));
-    let last_lsn = u64::from_le_bytes(p[24..32].try_into().expect("8 bytes"));
-    let payload_len = u64::from_le_bytes(p[32..40].try_into().expect("8 bytes"));
-    let payload_crc = u32::from_le_bytes(p[40..44].try_into().expect("4 bytes"));
+    let page_size = u32::from_le_bytes(p[12..16].try_into().expect("4 bytes")) as usize; // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+    let generation = u64::from_le_bytes(p[16..24].try_into().expect("8 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+    let last_lsn = u64::from_le_bytes(p[24..32].try_into().expect("8 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+    let payload_len = u64::from_le_bytes(p[32..40].try_into().expect("8 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+    let payload_crc = u32::from_le_bytes(p[40..44].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     Ok((SnapshotMeta { generation, last_lsn, page_size, payload_len }, payload_crc))
 }
 
@@ -141,8 +141,11 @@ pub fn write_snapshot_with_vfs(
         pager.sync()?;
     }
     vfs.rename(&tmp, path).map_err(|e| io_err("publish snapshot (rename)", e))?;
-    // best-effort: the rename itself is what recovery depends on
-    let _ = vfs.sync_parent_dir(path);
+    // a failed directory fsync means the rename may not survive power
+    // loss — and a later WAL rotation that *does* survive would strand
+    // commits. Propagate it: the checkpoint fails before the WAL moves,
+    // which is a crash window recovery already handles.
+    vfs.sync_parent_dir(path).map_err(|e| io_err("sync snapshot directory", e))?;
     Ok(())
 }
 
@@ -169,6 +172,8 @@ pub fn read_snapshot_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<(SnapshotMet
 
 #[cfg(test)]
 mod tests {
+    // tests corrupt bytes on disk and clean temp files directly
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use std::path::PathBuf;
 

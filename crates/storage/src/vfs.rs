@@ -46,6 +46,8 @@ pub enum OpenMode {
     Read,
     /// Read + write; the file must exist and is not truncated.
     ReadWrite,
+    /// Read + write; created if missing, never truncated.
+    ReadWriteCreate,
     /// Write-only; created if missing, truncated if present.
     CreateTruncate,
 }
@@ -87,6 +89,14 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     /// fsyncs the directory *containing* `path`, so a rename that
     /// published a file there survives power loss.
     fn sync_parent_dir(&self, path: &Path) -> io::Result<()>;
+    /// Resolves `path` to a canonical spelling, so two names for the
+    /// same file (relative vs absolute, through symlinks) key shared
+    /// state — the WAL commit-notification registry uses this. The
+    /// default returns the path unchanged, which is exact for virtual
+    /// filesystems whose paths are plain map keys.
+    fn canonicalize(&self, path: &Path) -> PathBuf {
+        path.to_path_buf()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -122,6 +132,8 @@ impl VfsFile for std::fs::File {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StdVfs;
 
+// the one place production code may touch std::fs: the boundary itself
+#[allow(clippy::disallowed_methods)]
 impl Vfs for StdVfs {
     fn open(&self, path: &Path, mode: OpenMode) -> io::Result<Box<dyn VfsFile>> {
         let mut opts = std::fs::OpenOptions::new();
@@ -131,6 +143,9 @@ impl Vfs for StdVfs {
             }
             OpenMode::ReadWrite => {
                 opts.read(true).write(true);
+            }
+            OpenMode::ReadWriteCreate => {
+                opts.read(true).write(true).create(true).truncate(false);
             }
             OpenMode::CreateTruncate => {
                 opts.write(true).create(true).truncate(true);
@@ -156,6 +171,12 @@ impl Vfs for StdVfs {
             _ => Path::new("."),
         };
         std::fs::File::open(dir)?.sync_all()
+    }
+    fn canonicalize(&self, path: &Path) -> PathBuf {
+        // a path that cannot be resolved (not created yet) keys by its
+        // raw form; commit notification is an optimization, the poll
+        // fallback still covers it
+        std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf())
     }
 }
 
@@ -313,12 +334,12 @@ impl FaultVfs {
     /// An empty filesystem with the given fault schedule.
     pub fn with_schedule(schedule: Vec<FaultSpec>) -> FaultVfs {
         let v = FaultVfs::new();
-        v.state.lock().expect("fault vfs lock").schedule = schedule;
+        v.state.lock().expect("fault vfs lock").schedule = schedule; // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         v
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
-        self.state.lock().expect("fault vfs lock")
+        self.state.lock().expect("fault vfs lock") // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
     }
 
     /// Adds one fault to the schedule.
@@ -334,10 +355,10 @@ impl FaultVfs {
     /// Simulates power loss: every file reverts to its durable image;
     /// files never successfully synced disappear.
     pub fn crash(&self) {
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         st.files.retain(|_, img| img.durable.is_some());
         for img in st.files.values_mut() {
-            img.volatile = img.durable.clone().expect("retained files are durable");
+            img.volatile = img.durable.clone().expect("retained files are durable"); // maybms-lint: allow(no-panic-in-prod) -- the crash simulation retains only files that have a durable image
         }
         st.log.push("crash".into());
     }
@@ -391,7 +412,7 @@ impl VfsFile for FaultFile {
             SeekFrom::Start(o) => o as i128,
             SeekFrom::Current(d) => self.pos as i128 + d as i128,
             SeekFrom::End(d) => {
-                let st = self.state.lock().expect("fault vfs lock");
+                let st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
                 let len = st.files.get(&self.path).map(|i| i.volatile.len()).unwrap_or(0);
                 len as i128 + d as i128
             }
@@ -407,7 +428,7 @@ impl VfsFile for FaultFile {
         if !self.readable {
             return Err(io::Error::new(io::ErrorKind::PermissionDenied, "not opened for read"));
         }
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault = st.take_fault(FaultOp::Read, &format!("read_exact {}", self.path.display()));
         if matches!(fault, Some(Fault::Error | Fault::Enospc | Fault::ShortWrite(_))) {
             return Err(injected("read error"));
@@ -433,7 +454,7 @@ impl VfsFile for FaultFile {
         if !self.readable {
             return Err(io::Error::new(io::ErrorKind::PermissionDenied, "not opened for read"));
         }
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault = st.take_fault(FaultOp::Read, &format!("read_to_end {}", self.path.display()));
         if matches!(fault, Some(Fault::Error | Fault::Enospc | Fault::ShortWrite(_))) {
             return Err(injected("read error"));
@@ -457,7 +478,7 @@ impl VfsFile for FaultFile {
         if !self.writable {
             return Err(io::Error::new(io::ErrorKind::PermissionDenied, "not opened for write"));
         }
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault = st.take_fault(
             FaultOp::Write,
             &format!("write_all {} bytes at {} in {}", buf.len(), self.pos, self.path.display()),
@@ -489,7 +510,7 @@ impl VfsFile for FaultFile {
         if !self.writable {
             return Err(io::Error::new(io::ErrorKind::PermissionDenied, "not opened for write"));
         }
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault = st
             .take_fault(FaultOp::Write, &format!("set_len {len} on {}", self.path.display()));
         match fault {
@@ -510,7 +531,7 @@ impl VfsFile for FaultFile {
     }
 
     fn sync_all(&mut self) -> io::Result<()> {
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault = st.take_fault(FaultOp::Sync, &format!("sync {}", self.path.display()));
         match fault {
             Some(Fault::Error | Fault::ShortWrite(_)) => return Err(injected("fsync failed")),
@@ -529,7 +550,7 @@ impl VfsFile for FaultFile {
 
 impl Vfs for FaultVfs {
     fn open(&self, path: &Path, mode: OpenMode) -> io::Result<Box<dyn VfsFile>> {
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         match mode {
             OpenMode::Read | OpenMode::ReadWrite => {
                 if !st.files.contains_key(path) {
@@ -538,6 +559,9 @@ impl Vfs for FaultVfs {
                         format!("no such file: {}", path.display()),
                     ));
                 }
+            }
+            OpenMode::ReadWriteCreate => {
+                st.files.entry(path.to_path_buf()).or_default();
             }
             OpenMode::CreateTruncate => {
                 // truncation is a data operation: volatile only, the
@@ -556,7 +580,7 @@ impl Vfs for FaultVfs {
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault = st.take_fault(FaultOp::Read, &format!("read {}", path.display()));
         if matches!(fault, Some(Fault::Error | Fault::Enospc | Fault::ShortWrite(_))) {
             return Err(injected("read error"));
@@ -572,7 +596,7 @@ impl Vfs for FaultVfs {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault = st
             .take_fault(FaultOp::Rename, &format!("rename {} -> {}", from.display(), to.display()));
         if fault.is_some() {
@@ -588,7 +612,7 @@ impl Vfs for FaultVfs {
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         st.files.remove(path).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("no such file: {}", path.display()))
         })?;
@@ -600,7 +624,7 @@ impl Vfs for FaultVfs {
     }
 
     fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
-        let mut st = self.state.lock().expect("fault vfs lock");
+        let mut st = self.state.lock().expect("fault vfs lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         let fault =
             st.take_fault(FaultOp::Sync, &format!("sync_parent_dir {}", path.display()));
         match fault {
@@ -614,6 +638,8 @@ impl Vfs for FaultVfs {
 
 #[cfg(test)]
 mod tests {
+    // tests clean their own std temp files directly
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn p(s: &str) -> PathBuf {

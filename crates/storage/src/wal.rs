@@ -84,25 +84,28 @@ fn notify_registry() -> &'static Mutex<HashMap<PathBuf, CommitNotify>> {
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Canonicalize so an appender and a tailer naming the same file through
-/// different spellings share a handle; a path that cannot be resolved
-/// (not created yet, or living in a test VFS) keys by its raw form —
-/// notification is an optimization, the poll fallback still covers it.
-fn notify_key(path: &Path) -> PathBuf {
-    std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf())
-}
-
 /// The commit-notification handle for the WAL at `path` (created on
 /// first use). Cheap to call; clones share the underlying counter.
+/// Canonicalizes through the production VFS so an appender and a tailer
+/// naming the same file through different spellings share a handle.
 pub fn commit_notify(path: &Path) -> CommitNotify {
+    commit_notify_in(&*std_vfs(), path)
+}
+
+/// As [`commit_notify`], canonicalizing through an explicit [`Vfs`] —
+/// the handle a [`Wal`] opened on that VFS registers under. For virtual
+/// filesystems the canonical key is the raw path, which [`commit_notify`]
+/// also falls back to, so in-process appenders and tailers always meet.
+pub fn commit_notify_in(vfs: &dyn Vfs, path: &Path) -> CommitNotify {
+    // maybms-lint: allow(no-panic-in-prod) -- registry mutex poisoning means a sibling thread already crashed mid-insert; fail-stop
     let mut reg = notify_registry().lock().expect("notify registry lock");
-    Arc::clone(reg.entry(notify_key(path)).or_default())
+    Arc::clone(reg.entry(vfs.canonicalize(path)).or_default())
 }
 
 /// The handle's current commit counter — pass it to [`wait_for_commit`]
 /// as the position already observed.
 pub fn commit_seq(handle: &CommitNotify) -> u64 {
-    *handle.0.lock().expect("commit notify lock")
+    *handle.0.lock().expect("commit notify lock") // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
 }
 
 /// Blocks until the handle's commit counter moves past `seen` or
@@ -112,7 +115,7 @@ pub fn commit_seq(handle: &CommitNotify) -> u64 {
 pub fn wait_for_commit(handle: &CommitNotify, seen: u64, timeout: Duration) -> u64 {
     let (counter, condvar) = &**handle;
     let deadline = Instant::now() + timeout;
-    let mut n = counter.lock().expect("commit notify lock");
+    let mut n = counter.lock().expect("commit notify lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
     while *n == seen {
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
@@ -124,7 +127,7 @@ pub fn wait_for_commit(handle: &CommitNotify, seen: u64, timeout: Duration) -> u
             break;
         }
         let (guard, result) =
-            condvar.wait_timeout(n, remaining).expect("commit notify lock");
+            condvar.wait_timeout(n, remaining).expect("commit notify lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         n = guard;
         if result.timed_out() {
             metrics().notify_fallback_polls.inc();
@@ -180,18 +183,18 @@ fn decode_header(h: &[u8]) -> Result<(u64, u64)> {
     if h.len() < WAL_HEADER_LEN as usize || &h[0..8] != MAGIC {
         return Err(Error::Storage("not a MayBMS WAL (bad magic)".into()));
     }
-    let stored = u32::from_le_bytes(h[28..32].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(h[28..32].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if crc32(&h[0..28]) != stored {
         return Err(Error::Storage("WAL header checksum mismatch".into()));
     }
-    let version = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     if version != VERSION {
         return Err(Error::Storage(format!(
             "unsupported WAL format version {version} (this build reads {VERSION})"
         )));
     }
-    let generation = u64::from_le_bytes(h[12..20].try_into().expect("8 bytes"));
-    let base_lsn = u64::from_le_bytes(h[20..28].try_into().expect("8 bytes"));
+    let generation = u64::from_le_bytes(h[12..20].try_into().expect("8 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+    let base_lsn = u64::from_le_bytes(h[20..28].try_into().expect("8 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
     Ok((generation, base_lsn))
 }
 
@@ -203,8 +206,8 @@ fn scan_records(raw: &[u8]) -> (Vec<Vec<u8>>, usize) {
     let mut pos = WAL_HEADER_LEN as usize;
     let mut end = pos;
     while raw.len().saturating_sub(pos) >= RECORD_HEADER_LEN {
-        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let stored = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize; // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+        let stored = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
         let body_at = pos + RECORD_HEADER_LEN;
         if raw.len() - body_at < len {
             break; // torn: the record body was cut short
@@ -250,6 +253,7 @@ impl Wal {
         }
         vfs.rename(&tmp, path).map_err(|e| io_err("publish WAL (rename)", e))?;
         let file = vfs.open(path, OpenMode::ReadWrite).map_err(|e| io_err("reopen WAL", e))?;
+        let notify = commit_notify_in(&*vfs, path);
         Ok(Wal {
             file,
             vfs,
@@ -260,7 +264,7 @@ impl Wal {
             end: WAL_HEADER_LEN,
             sync: true,
             sync_count: 0,
-            notify: commit_notify(path),
+            notify,
         })
     }
 
@@ -289,6 +293,7 @@ impl Wal {
         }
         file.seek(SeekFrom::Start(end as u64))
             .map_err(|e| io_err("seek WAL end", e))?;
+        let notify = commit_notify_in(&*vfs, path);
         Ok((
             Wal {
                 file,
@@ -300,7 +305,7 @@ impl Wal {
                 end: end as u64,
                 sync: true,
                 sync_count: 0,
-                notify: commit_notify(path),
+                notify,
             },
             records,
         ))
@@ -376,7 +381,7 @@ impl Wal {
         // the record is durable (or as durable as this handle promises):
         // wake same-process tailers blocked in `wait_for_commit`
         let (counter, condvar) = &*self.notify;
-        *counter.lock().expect("commit notify lock") += 1;
+        *counter.lock().expect("commit notify lock") += 1; // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         condvar.notify_all();
         Ok(self.base_lsn + self.count)
     }
@@ -547,8 +552,8 @@ impl WalCursor {
         let mut out = Vec::new();
         let mut pos = 0usize;
         while tail.len().saturating_sub(pos) >= RECORD_HEADER_LEN {
-            let len = u32::from_le_bytes(tail[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let stored = u32::from_le_bytes(tail[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let len = u32::from_le_bytes(tail[pos..pos + 4].try_into().expect("4 bytes")) as usize; // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
+            let stored = u32::from_le_bytes(tail[pos + 4..pos + 8].try_into().expect("4 bytes")); // maybms-lint: allow(no-panic-in-prod) -- the index range fixes the slice length, so try_into cannot fail
             let body_at = pos + RECORD_HEADER_LEN;
             if tail.len() - body_at < len {
                 break; // incomplete (a concurrent append in flight)
@@ -576,6 +581,8 @@ impl WalCursor {
 
 #[cfg(test)]
 mod tests {
+    // tests corrupt bytes on disk and clean temp files directly
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use std::fs::OpenOptions;
     use std::path::PathBuf;

@@ -19,6 +19,8 @@
 //! for possible/certain answers and tuple confidence computed by brute
 //! force.
 
+#![forbid(unsafe_code)]
+
 pub mod enumerate;
 pub mod eval;
 pub mod orset;

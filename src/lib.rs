@@ -37,6 +37,8 @@
 //! assert!((conf[0].1 - 0.4).abs() < 1e-9); // P(ultrasound) = 0.4
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use maybms_census as census;
 pub use maybms_core as core;
 pub use maybms_relational as relational;
