@@ -1,0 +1,152 @@
+//! E12: the concurrent server — commit and query throughput versus
+//! connection count, emitted to `BENCH_e12.json` (see the criterion
+//! shim).
+//!
+//! Two paths, swept over `conns` ∈ {1, 2, 4, 8}:
+//!
+//! * `commits/conns=N/fsyncs_per_commit=X` — N TCP clients auto-commit
+//!   INSERTs concurrently; each iteration is one round of
+//!   `N × PER_CONN` commits, so commits/s =
+//!   `N * PER_CONN / mean_ns * 1e9`. `X` (measured on a calibration
+//!   round before timing) is the group-commit headline: the WAL fsyncs
+//!   consumed per acknowledged commit, which must drop below 1 as soon
+//!   as writers contend (≥ 4).
+//! * `queries/conns=N` — N TCP clients run snapshot reads concurrently;
+//!   queries/s = `N * PER_CONN / mean_ns * 1e9`. Reads share `Arc`
+//!   snapshots and never queue behind the writer.
+
+use std::net::TcpListener;
+use std::thread;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maybms_server::{Client, Server, ServerConfig};
+use maybms_sql::{GroupCommitConfig, Session};
+use maybms_storage::{delta_path_for, wal_path_for};
+
+fn fast_mode() -> bool {
+    std::env::var("MAYBMS_BENCH_FAST").map(|v| v != "0").unwrap_or(false)
+}
+
+fn cleanup(p: &std::path::Path) {
+    let _ = std::fs::remove_file(p);
+    let _ = std::fs::remove_file(wal_path_for(p));
+    let _ = std::fs::remove_file(delta_path_for(p));
+}
+
+/// One round: `conns` clients each commit `per_conn` inserts, all
+/// concurrent. Returns when every ack has arrived.
+fn commit_round(addr: std::net::SocketAddr, conns: usize, per_conn: usize, round: usize) {
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut conn = Client::connect(addr).expect("connect");
+                for i in 0..per_conn {
+                    conn.query_ok(&format!(
+                        "INSERT INTO bench VALUES ({c}, {})",
+                        round * per_conn + i
+                    ))
+                    .expect("commit");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+}
+
+/// One round: `conns` clients each run `per_conn` snapshot reads.
+fn query_round(addr: std::net::SocketAddr, conns: usize, per_conn: usize) {
+    let workers: Vec<_> = (0..conns)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut conn = Client::connect(addr).expect("connect");
+                for _ in 0..per_conn {
+                    conn.query_ok("SELECT CERTAIN client, i FROM bench WHERE client = 0")
+                        .expect("read");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+}
+
+fn bench_server(c: &mut Criterion) {
+    let fast = fast_mode();
+    let per_conn = if fast { 20 } else { 100 };
+    let sample_size = if fast { 10 } else { 20 };
+
+    for conns in [1usize, 2, 4, 8] {
+        let db = std::env::temp_dir().join(format!(
+            "maybms-e12-{}-{conns}.maybms",
+            std::process::id()
+        ));
+        cleanup(&db);
+        let mut session = Session::open(&db).expect("open");
+        session.execute("CREATE TABLE bench (client INT, i INT)").expect("create");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let cfg = ServerConfig {
+            group: GroupCommitConfig {
+                // a short door-hold so concurrent commits actually share
+                // fsyncs instead of racing the writer's dequeue
+                group_window: Duration::from_micros(500),
+                ..GroupCommitConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let server = Server::serve_with(session, listener, cfg).expect("serve");
+        let addr = server.addr();
+
+        // calibration round: fsyncs consumed per acknowledged commit,
+        // read as a `wal.fsyncs` delta off the process-global registry
+        // (the session that owns `wal_sync_count` lives inside the
+        // server until shutdown)
+        let syncs = |name: &str| -> u64 {
+            maybms_obs::global()
+                .snapshot()
+                .into_iter()
+                .find_map(|(n, v)| match v {
+                    maybms_obs::MetricValue::Counter(x) if n == name => Some(x),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        let s0 = syncs("wal.fsyncs");
+        commit_round(addr, conns, per_conn, 1_000_000);
+        let fsyncs_per_commit = (syncs("wal.fsyncs") - s0) as f64 / (conns * per_conn) as f64;
+
+        let mut g = c.benchmark_group("e12_server");
+        g.sample_size(sample_size);
+        let mut round = 0usize;
+        g.bench_with_input(
+            BenchmarkId::new(
+                "commits",
+                format!("conns={conns}/fsyncs_per_commit={fsyncs_per_commit:.3}"),
+            ),
+            &addr,
+            |b, &addr| {
+                b.iter(|| {
+                    round += 1;
+                    commit_round(addr, conns, per_conn, round);
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("queries", format!("conns={conns}")),
+            &addr,
+            |b, &addr| {
+                b.iter(|| query_round(addr, conns, per_conn));
+            },
+        );
+        g.finish();
+
+        drop(server.shutdown().expect("shutdown"));
+        cleanup(&db);
+    }
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

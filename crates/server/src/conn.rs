@@ -1,0 +1,303 @@
+//! Per-connection session logic: snapshot-isolated reads, transactions
+//! that commit through the shared [`CommitHandle`].
+//!
+//! Every connection owns a **read view** — a [`Session`] whose
+//! decomposition is an `Arc` share of a published [`WsdSnapshot`] —
+//! refreshed from the group committer before each auto-commit
+//! statement. Reads never take a lock the writer holds and never see a
+//! commit group's effects partially applied: a snapshot is published
+//! only after its batch's shared fsync.
+//!
+//! `BEGIN` switches the connection to a **private writable session**
+//! forked from the current snapshot. Mutations execute there first (so
+//! the transaction reads its own writes) and are recorded; `COMMIT`
+//! submits the recorded statements to the group committer, which
+//! re-executes them serially against the durable state — the commit
+//! order, not the `BEGIN` order, is the serial order. A NACK (conflict
+//! with the durable state, storage failure, poison) reaches the client
+//! as an error and the transaction is gone.
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use maybms_obs::{counter, gauge, Counter, Gauge};
+use maybms_relational::pretty;
+use maybms_sql::{parse, CommitHandle, QueryResult, Session, SessionError, Statement};
+
+use crate::proto::{self, ErrKind, Request, Response};
+
+/// Rows shown before a tabular result is truncated with an ellipsis.
+const RENDER_ROW_LIMIT: usize = 1000;
+
+struct ConnMetrics {
+    connections: Arc<Gauge>,
+    requests: Arc<Counter>,
+}
+
+fn metrics() -> &'static ConnMetrics {
+    static METRICS: OnceLock<ConnMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ConnMetrics {
+        connections: gauge("server.connections"),
+        requests: counter("server.requests"),
+    })
+}
+
+/// Decrements `server.connections` even when the handler errors out.
+struct ConnGauge;
+
+impl ConnGauge {
+    fn new() -> ConnGauge {
+        metrics().connections.add(1);
+        ConnGauge
+    }
+}
+
+impl Drop for ConnGauge {
+    fn drop(&mut self) {
+        metrics().connections.add(-1);
+    }
+}
+
+/// An open explicit transaction on one connection.
+struct Txn {
+    /// Private writable fork of the snapshot current at `BEGIN`; the
+    /// transaction's preview — reads here see its own writes.
+    sess: Session,
+    /// The LSN of that snapshot, reported for in-transaction replies.
+    base_lsn: u64,
+    /// Mutations recorded in execution order; what `COMMIT` submits.
+    stmts: Vec<Statement>,
+    /// Savepoint marks: name and the recorded-statement count at the
+    /// time, so `ROLLBACK TO` can truncate the submission.
+    marks: Vec<(String, usize)>,
+}
+
+/// Serves one SQL connection until EOF, protocol error, or server stop.
+/// The caller has already consumed the 4-byte magic.
+pub(crate) fn handle_conn(
+    mut stream: TcpStream,
+    handle: CommitHandle,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    let _gauge = ConnGauge::new();
+    stream.set_nodelay(true)?;
+    // poll the stop flag between requests instead of blocking forever
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+
+    let first = handle.snapshot();
+    let mut view = Session::view_at(&first);
+    let mut view_lsn = first.lsn();
+    proto::send_response(&mut stream, &Response::Hello { lsn: view_lsn })?;
+
+    let mut txn: Option<Txn> = None;
+    loop {
+        let req = match proto::recv_request(&mut stream) {
+            Ok(req) => req,
+            Err(e) if timed_out(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        metrics().requests.inc();
+        let Request::Query { sql } = req;
+        let resp = dispatch(&sql, &handle, &mut view, &mut view_lsn, &mut txn);
+        proto::send_response(&mut stream, &resp)?;
+    }
+}
+
+fn timed_out(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Executes one statement in the connection's current mode and builds
+/// the wire response.
+fn dispatch(
+    sql: &str,
+    handle: &CommitHandle,
+    view: &mut Session,
+    view_lsn: &mut u64,
+    txn: &mut Option<Txn>,
+) -> Response {
+    let stmt = match parse(sql) {
+        Ok(stmt) => stmt,
+        Err(source) => {
+            return err_response(&SessionError::Parse { sql: sql.to_string(), source });
+        }
+    };
+    match stmt {
+        Statement::Begin => {
+            if txn.is_some() {
+                return txn_err("transaction already open (no nested BEGIN)");
+            }
+            let snap = handle.snapshot();
+            let mut sess = Session::writable_at(&snap);
+            if let Err(e) = sess.run(&Statement::Begin) {
+                return err_response(&e);
+            }
+            let base_lsn = snap.lsn();
+            *txn = Some(Txn { sess, base_lsn, stmts: Vec::new(), marks: Vec::new() });
+            Response::Ok { lsn: base_lsn, text: "BEGIN".into() }
+        }
+        Statement::Commit => {
+            let Some(t) = txn.take() else {
+                return txn_err("COMMIT without a transaction");
+            };
+            if t.stmts.is_empty() {
+                // nothing to make durable; the empty group is not submitted
+                return Response::Ok { lsn: *view_lsn, text: "COMMIT".into() };
+            }
+            match handle.commit(t.stmts) {
+                Ok(ack) => {
+                    install(view, view_lsn, &ack.snapshot);
+                    Response::Ok { lsn: ack.lsn, text: "COMMIT".into() }
+                }
+                Err(e) => err_response(&e),
+            }
+        }
+        Statement::Rollback => {
+            if txn.take().is_none() {
+                return txn_err("ROLLBACK without a transaction");
+            }
+            Response::Ok { lsn: *view_lsn, text: "ROLLBACK".into() }
+        }
+        Statement::Savepoint { ref name } => match txn.as_mut() {
+            None => txn_err("SAVEPOINT without a transaction"),
+            Some(t) => match t.sess.run(&stmt) {
+                Ok(r) => {
+                    t.marks.push((name.clone(), t.stmts.len()));
+                    Response::Ok { lsn: t.base_lsn, text: render(&r) }
+                }
+                Err(e) => err_response(&e),
+            },
+        },
+        Statement::RollbackTo { ref name } => match txn.as_mut() {
+            None => txn_err("ROLLBACK TO without a transaction"),
+            Some(t) => match t.sess.run(&stmt) {
+                Ok(r) => {
+                    // the private session validated the savepoint exists;
+                    // mirror its truncation on the recorded submission
+                    let at = t
+                        .marks
+                        .iter()
+                        .rposition(|(n, _)| n == name)
+                        .map(|i| {
+                            let keep = t.marks[i].1;
+                            t.marks.truncate(i + 1);
+                            keep
+                        })
+                        .unwrap_or(0);
+                    t.stmts.truncate(at);
+                    Response::Ok { lsn: t.base_lsn, text: render(&r) }
+                }
+                Err(e) => err_response(&e),
+            },
+        },
+        Statement::Checkpoint { .. } => Response::Err {
+            kind: ErrKind::Unsupported as u8,
+            message: "CHECKPOINT is not available over the server protocol \
+                      (it compacts the shared database; run it on the server process)"
+                .into(),
+        },
+        ref s if maybms_sql::wire::is_mutation(s) => match txn.as_mut() {
+            // inside a transaction: preview on the private session,
+            // record for COMMIT-time submission
+            Some(t) => match t.sess.run(&stmt) {
+                Ok(r) => {
+                    t.stmts.push(stmt.clone());
+                    Response::Ok { lsn: t.base_lsn, text: render(&r) }
+                }
+                Err(e) => err_response(&e),
+            },
+            // auto-commit: a one-statement commit group
+            None => match handle.commit(vec![stmt]) {
+                Ok(ack) => {
+                    install(view, view_lsn, &ack.snapshot);
+                    let text = ack.results.first().map(render).unwrap_or_default();
+                    Response::Ok { lsn: ack.lsn, text }
+                }
+                Err(e) => err_response(&e),
+            },
+        },
+        // reads: inside a transaction they see its writes; otherwise they
+        // run on the freshest published snapshot
+        _ => match txn.as_mut() {
+            Some(t) => match t.sess.run(&stmt) {
+                Ok(r) => Response::Ok { lsn: t.base_lsn, text: render(&r) },
+                Err(e) => err_response(&e),
+            },
+            None => {
+                install(view, view_lsn, &handle.snapshot());
+                match view.run(&stmt) {
+                    Ok(r) => Response::Ok { lsn: *view_lsn, text: render(&r) },
+                    Err(e) => err_response(&e),
+                }
+            }
+        },
+    }
+}
+
+fn install(view: &mut Session, view_lsn: &mut u64, snap: &maybms_sql::WsdSnapshot) {
+    // the view session never opens a transaction, so this cannot fail;
+    // fall back to a fresh view if it somehow does
+    if view.install_snapshot(snap).is_err() {
+        *view = Session::view_at(snap);
+    }
+    *view_lsn = snap.lsn();
+}
+
+fn txn_err(message: &str) -> Response {
+    Response::Err {
+        kind: ErrKind::Transaction as u8,
+        message: format!("transaction error: {message}"),
+    }
+}
+
+fn err_response(e: &SessionError) -> Response {
+    Response::Err { kind: err_kind(e) as u8, message: e.to_string() }
+}
+
+fn err_kind(e: &SessionError) -> ErrKind {
+    match e {
+        SessionError::Parse { .. } => ErrKind::Parse,
+        SessionError::Plan { .. } => ErrKind::Plan,
+        SessionError::Execute { .. } => ErrKind::Execute,
+        SessionError::Storage { .. } => ErrKind::Storage,
+        SessionError::Degraded { .. } => ErrKind::Degraded,
+        SessionError::Transaction { .. } => ErrKind::Transaction,
+        SessionError::ReadOnlyReplica { .. } => ErrKind::Unsupported,
+    }
+}
+
+/// Renders a result the way `examples/sql_shell.rs` prints it, so the
+/// wire text matches what users see locally.
+fn render(r: &QueryResult) -> String {
+    match r {
+        QueryResult::Table(t) => pretty::render(t, RENDER_ROW_LIMIT),
+        QueryResult::WorldSet(w) => {
+            let stats = w.stats();
+            let mut out = format!(
+                "answer world-set: {} tuple template(s), {} component(s), {} worlds\n",
+                stats.template_tuples,
+                stats.components,
+                w.world_count()
+            );
+            match w.tuple_confidence("result") {
+                Ok(conf) => {
+                    for (t, p) in conf {
+                        out.push_str(&format!("  {t}  p={p:.4}\n"));
+                    }
+                }
+                Err(e) => out.push_str(&format!("  (confidence unavailable: {e})\n")),
+            }
+            out
+        }
+        QueryResult::Text(t) => t.clone(),
+    }
+}

@@ -1,0 +1,389 @@
+//! The SQL session wire protocol: length-framed, CRC-checked
+//! request/response messages, plus the blocking [`Client`].
+//!
+//! # Framing
+//!
+//! The stream opens with the 4-byte magic [`PROTO_MAGIC`] (`"MBSQ"`),
+//! which is what the server's listener sniffs to tell a SQL session
+//! apart from an HTTP metrics scrape (`"GET "`) and the WAL-shipping
+//! replica protocol (whose first frame can start with neither). After
+//! the magic, both directions speak frames identical in shape to
+//! `maybms_storage::ship`:
+//!
+//! ```text
+//! | len: u32 LE | crc32(payload): u32 LE | payload: len bytes |
+//! ```
+//!
+//! `len` is bounded by [`MAX_FRAME_LEN`] *before* any allocation — the
+//! length field itself is outside the checksum, so an implausible value
+//! must never size a buffer. The payload begins with
+//! [`PROTO_VERSION`] and a tag byte; strings are `u32 LE` length +
+//! UTF-8 bytes.
+//!
+//! # Messages
+//!
+//! | dir | tag | message |
+//! |-----|-----|---------|
+//! | →   | 1   | [`Request::Query`] — one SQL statement |
+//! | ←   | 2   | [`Response::Hello`] — connection accepted, server LSN |
+//! | ←   | 3   | [`Response::Ok`] — rendered result + snapshot LSN |
+//! | ←   | 4   | [`Response::Err`] — error kind + message |
+//!
+//! Every `Ok` carries the LSN of the snapshot the statement observed
+//! (or, for a commit, the LSN its group was assigned) — isolation tests
+//! pin their assertions to these.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use maybms_storage::crc::crc32;
+
+/// First bytes on the wire, before any frame: how the multiplexed
+/// listener recognizes this protocol.
+pub const PROTO_MAGIC: [u8; 4] = *b"MBSQ";
+
+/// Protocol version, the first byte of every frame payload.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on a frame's claimed payload length. The length field is
+/// not covered by the checksum (it sizes the read of the bytes that
+/// are), so it is bounds-checked before any allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+const TAG_QUERY: u8 = 1;
+const TAG_HELLO: u8 = 2;
+const TAG_OK: u8 = 3;
+const TAG_ERR: u8 = 4;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute one SQL statement (statement text, no trailing `;`).
+    Query {
+        /// The SQL text.
+        sql: String,
+    },
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Sent once after the magic: the connection is live.
+    Hello {
+        /// The server's last committed LSN at accept time.
+        lsn: u64,
+    },
+    /// The statement succeeded.
+    Ok {
+        /// The LSN of the snapshot the statement observed — or, for a
+        /// committed mutation, the LSN its commit group was assigned.
+        lsn: u64,
+        /// The rendered result (tables in `maybms_relational::pretty`
+        /// form, acknowledgements as one line).
+        text: String,
+    },
+    /// The statement failed; the connection stays usable.
+    Err {
+        /// Coarse error class — see [`ErrKind`].
+        kind: u8,
+        /// Human-readable error, stable enough to assert on.
+        message: String,
+    },
+}
+
+/// Coarse error classes carried in [`Response::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrKind {
+    /// Lex/parse failure.
+    Parse = 1,
+    /// Planning failure (unknown relation/column, …).
+    Plan = 2,
+    /// Execution failure (type error, unsatisfiable repair, …).
+    Execute = 3,
+    /// The durable store failed — includes poisoned-database refusals
+    /// and NACKed group commits.
+    Storage = 4,
+    /// The session is degraded to read-only (failed checkpoint).
+    Degraded = 5,
+    /// Transaction-control misuse (nested `BEGIN`, stray `COMMIT`, …).
+    Transaction = 6,
+    /// The statement is not supported over the server protocol.
+    Unsupported = 7,
+}
+
+/// Writes one frame: length, checksum, payload.
+pub fn send_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame, validating length bound and checksum.
+pub fn recv_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME_LEN {
+        return Err(bad_data(format!(
+            "frame claims {len} bytes (max {MAX_FRAME_LEN}); stream corrupt or not MBSQ"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(bad_data("frame checksum mismatch".into()));
+    }
+    Ok(payload)
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(bad_data("message truncated".into()));
+        };
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(bad_data("string length implausible".into()));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad_data("string not UTF-8".into()))
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.at != self.buf.len() {
+            return Err(bad_data("trailing bytes after message".into()));
+        }
+        Ok(())
+    }
+}
+
+fn check_version(c: &mut Cursor<'_>) -> io::Result<u8> {
+    let version = c.u8()?;
+    if version != PROTO_VERSION {
+        return Err(bad_data(format!(
+            "protocol version {version} (this build speaks {PROTO_VERSION})"
+        )));
+    }
+    c.u8()
+}
+
+/// Sends one request as a frame.
+pub fn send_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    let mut payload = vec![PROTO_VERSION];
+    match req {
+        Request::Query { sql } => {
+            payload.push(TAG_QUERY);
+            put_str(&mut payload, sql);
+        }
+    }
+    send_frame(w, &payload)
+}
+
+/// Receives one request frame.
+pub fn recv_request<R: Read>(r: &mut R) -> io::Result<Request> {
+    let payload = recv_frame(r)?;
+    let mut c = Cursor { buf: &payload, at: 0 };
+    let tag = check_version(&mut c)?;
+    let req = match tag {
+        TAG_QUERY => Request::Query { sql: c.string()? },
+        other => return Err(bad_data(format!("unknown request tag {other}"))),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Sends one response as a frame.
+pub fn send_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    let mut payload = vec![PROTO_VERSION];
+    match resp {
+        Response::Hello { lsn } => {
+            payload.push(TAG_HELLO);
+            payload.extend_from_slice(&lsn.to_le_bytes());
+        }
+        Response::Ok { lsn, text } => {
+            payload.push(TAG_OK);
+            payload.extend_from_slice(&lsn.to_le_bytes());
+            put_str(&mut payload, text);
+        }
+        Response::Err { kind, message } => {
+            payload.push(TAG_ERR);
+            payload.push(*kind);
+            put_str(&mut payload, message);
+        }
+    }
+    send_frame(w, &payload)
+}
+
+/// Receives one response frame.
+pub fn recv_response<R: Read>(r: &mut R) -> io::Result<Response> {
+    let payload = recv_frame(r)?;
+    let mut c = Cursor { buf: &payload, at: 0 };
+    let tag = check_version(&mut c)?;
+    let resp = match tag {
+        TAG_HELLO => Response::Hello { lsn: c.u64()? },
+        TAG_OK => Response::Ok { lsn: c.u64()?, text: c.string()? },
+        TAG_ERR => Response::Err { kind: c.u8()?, message: c.string()? },
+        other => return Err(bad_data(format!("unknown response tag {other}"))),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+/// A successful statement's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The snapshot (or commit) LSN — see [`Response::Ok`].
+    pub lsn: u64,
+    /// The rendered result.
+    pub text: String,
+}
+
+/// A server-side statement failure, as the client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// The coarse class, one of [`ErrKind`]'s discriminants.
+    pub kind: u8,
+    /// The server's error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server error (kind {}): {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A blocking client connection: one statement in flight at a time.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    hello_lsn: u64,
+}
+
+impl Client {
+    /// Connects, sends the magic, and waits for the server's hello.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&PROTO_MAGIC)?;
+        stream.flush()?;
+        match recv_response(&mut stream)? {
+            Response::Hello { lsn } => Ok(Client { stream, hello_lsn: lsn }),
+            other => Err(bad_data(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    /// The server's last committed LSN when this connection was
+    /// accepted.
+    pub fn hello_lsn(&self) -> u64 {
+        self.hello_lsn
+    }
+
+    /// Executes one SQL statement. The outer error is transport-level
+    /// (connection gone); the inner one is the statement failing on the
+    /// server, after which the connection remains usable.
+    pub fn query(&mut self, sql: &str) -> io::Result<Result<Reply, ServerError>> {
+        send_request(&mut self.stream, &Request::Query { sql: sql.to_string() })?;
+        match recv_response(&mut self.stream)? {
+            Response::Ok { lsn, text } => Ok(Ok(Reply { lsn, text })),
+            Response::Err { kind, message } => Ok(Err(ServerError { kind, message })),
+            other => Err(bad_data(format!("expected Ok/Err, got {other:?}"))),
+        }
+    }
+
+    /// [`Client::query`] flattened: any failure becomes `io::Error`.
+    pub fn query_ok(&mut self, sql: &str) -> io::Result<Reply> {
+        self.query(sql)?
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        send_response(&mut buf, resp).expect("send");
+        recv_response(&mut &buf[..]).expect("recv")
+    }
+
+    #[test]
+    fn messages_roundtrip() {
+        let req = Request::Query { sql: "SELECT name FROM t".into() };
+        let mut buf = Vec::new();
+        send_request(&mut buf, &req).expect("send");
+        assert_eq!(recv_request(&mut &buf[..]).expect("recv"), req);
+
+        for resp in [
+            Response::Hello { lsn: 7 },
+            Response::Ok { lsn: 42, text: "inserted 1 tuple(s) into t".into() },
+            Response::Err { kind: ErrKind::Parse as u8, message: "bad".into() },
+        ] {
+            assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_rejected() {
+        let mut buf = Vec::new();
+        send_response(&mut buf, &Response::Hello { lsn: 9 }).expect("send");
+        // every truncation point fails cleanly
+        for cut in 0..buf.len() {
+            assert!(recv_response(&mut &buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // a payload bit-flip fails the checksum
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(recv_response(&mut &flipped[..]).is_err());
+        // an implausible length field is rejected before allocation
+        let mut huge = buf;
+        huge[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(recv_response(&mut &huge[..]).is_err());
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod group;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
@@ -41,6 +42,9 @@ pub mod session;
 pub mod wire;
 
 pub use ast::Statement;
+pub use group::{CommitAck, CommitHandle, GroupCommitConfig, GroupCommitter};
 pub use parser::{parse, parse_counting_params, parse_script};
 pub use replication::{Backoff, Primary, Replica};
-pub use session::{Prepared, QueryResult, Session, SessionError, SessionResult, Transaction};
+pub use session::{
+    Prepared, QueryResult, Session, SessionError, SessionResult, Transaction, WsdSnapshot,
+};

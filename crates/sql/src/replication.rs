@@ -260,9 +260,13 @@ impl Primary {
         self
     }
 
-    /// Tells every serve loop (and accept loop) to exit at its next poll.
+    /// Tells every serve loop (and accept loop) to exit at its next poll,
+    /// and wakes loops parked in [`wal::wait_for_commit`] so "next poll"
+    /// is now rather than the end of a long idle interval.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        let notify = wal::commit_notify_in(&*self.vfs, &wal_path_for(&self.path));
+        wal::wake_commit_waiters(&notify);
     }
 
     /// Whether [`Primary::stop`] was called.
@@ -290,6 +294,10 @@ impl Primary {
         // appends from *other* processes, which cannot signal it.
         let commit_notify = wal::commit_notify(&wal_path);
         let mut commits_seen = wal::commit_seq(&commit_notify);
+        // whether the last idle wait gave up without a commit signal —
+        // if records then show up anyway, the notification path missed
+        // them (a cross-process appender) and the poll was a fallback
+        let mut waited_out = false;
         let mut last_sent = Instant::now(); // maybms-lint: allow(determinism) -- control-plane wall clock (heartbeat/staleness); applied bytes come solely from WAL records
         'catchup: loop {
             if self.is_stopped() {
@@ -340,12 +348,21 @@ impl Primary {
                         // block until a commit signals (instant for
                         // same-process appends) or the backoff interval
                         // elapses (covers foreign-process appends)
+                        let seen_before = commits_seen;
                         commits_seen =
                             wal::wait_for_commit(&commit_notify, commits_seen, idle_sleep);
+                        waited_out = commits_seen == seen_before;
                         // exponential backoff while the log stays quiet
                         idle_sleep = (idle_sleep * 2).min(self.max_poll_interval);
                     }
                     Polled::Records(recs) => {
+                        if waited_out {
+                            // the wait timed out yet the log had moved:
+                            // these records arrived without an in-process
+                            // signal — a genuine fallback poll
+                            wal::note_fallback_poll();
+                            waited_out = false;
+                        }
                         idle_sleep = self.poll_interval;
                         for (lsn, payload) in recs {
                             let bytes = payload.len() as u64;
@@ -442,25 +459,35 @@ impl Primary {
 /// means an HTTP Prometheus scrape, anything else the ship protocol.
 /// Waits briefly for the client's first bytes (both kinds of client send
 /// immediately after connecting).
-fn sniff_http(stream: &TcpStream) -> bool {
+pub fn sniff_http(stream: &TcpStream) -> bool {
+    matches!(peek_first_bytes(stream), Some(four) if &four == b"GET ")
+}
+
+/// Peeks a fresh connection's first four bytes without consuming them
+/// (`None` when the peer closed or sent nothing within the grace
+/// period) — the protocol-sniffing primitive shared by
+/// [`Primary::listen`] and the `maybms-server` listener, which
+/// multiplexes HTTP metrics scrapes, the ship protocol and the SQL
+/// session protocol on one port.
+pub fn peek_first_bytes(stream: &TcpStream) -> Option<[u8; 4]> {
     let mut buf = [0u8; 4];
     for _ in 0..200 {
         match stream.peek(&mut buf) {
-            Ok(n) if n >= 4 => return &buf == b"GET ",
-            Ok(0) => return false, // peer closed without sending anything
+            Ok(n) if n >= 4 => return Some(buf),
+            Ok(0) => return None, // peer closed without sending anything
             Ok(_) => {}
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-            Err(_) => return false,
+            Err(_) => return None,
         }
         std::thread::sleep(Duration::from_millis(1));
     }
-    false
+    None
 }
 
 /// Answers one Prometheus scrape: drains the request head (its contents
 /// don't matter — every path serves the same registry) and writes the
 /// global metrics in text exposition format, then closes.
-fn serve_metrics_http(mut stream: TcpStream) -> Result<()> {
+pub fn serve_metrics_http(mut stream: TcpStream) -> Result<()> {
     let mut head = Vec::new();
     let mut buf = [0u8; 512];
     while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {

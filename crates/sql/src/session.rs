@@ -171,7 +171,7 @@ impl SessionError {
     pub(crate) fn storage(source: Error) -> SessionError {
         SessionError::Storage { source }
     }
-    fn txn(context: impl Into<String>) -> SessionError {
+    pub(crate) fn txn(context: impl Into<String>) -> SessionError {
         SessionError::Transaction { context: context.into() }
     }
 
@@ -367,8 +367,11 @@ fn bind_statement(stmt: &Statement, params: &[Value]) -> Result<Statement> {
 /// Buffered state of an open transaction.
 #[derive(Debug, Clone)]
 struct TxnState {
-    /// The decomposition as of `BEGIN` — what `ROLLBACK` restores.
-    saved: Box<Wsd>,
+    /// The decomposition as of `BEGIN` — what `ROLLBACK` restores. An
+    /// O(1) `Arc` share of the live decomposition (not a deep copy):
+    /// the first mutation inside the transaction copies-on-write, so
+    /// `BEGIN` itself costs nothing regardless of database size.
+    saved: Arc<Wsd>,
     /// `cleaning_log` length as of `BEGIN`.
     saved_cleaning: usize,
     /// Mutations applied so far (for the COMMIT/ROLLBACK acknowledgement).
@@ -391,8 +394,9 @@ struct TxnState {
 struct SavepointMark {
     /// The savepoint's name (matched exactly, latest mark wins).
     name: String,
-    /// The decomposition as of `SAVEPOINT`.
-    saved: Box<Wsd>,
+    /// The decomposition as of `SAVEPOINT` — an O(1) `Arc` share; the
+    /// first mutation after the mark copies-on-write.
+    saved: Arc<Wsd>,
     /// `cleaning_log` length as of `SAVEPOINT`.
     saved_cleaning: usize,
     /// `TxnState::stmts` as of `SAVEPOINT`.
@@ -403,10 +407,45 @@ struct SavepointMark {
     buffered: usize,
 }
 
+/// An immutable snapshot of a session's decomposition, stamped with the
+/// WAL position (LSN) it reflects.
+///
+/// Cloning and holding a snapshot is O(1) — it shares the state by
+/// `Arc`; the owning session copies-on-write at its next mutation, so
+/// the snapshot never changes underneath its holder. `lsn` is `0` for
+/// sessions with no backing store (no log to have a position in).
+///
+/// Snapshots are the unit of the server's snapshot isolation: the group
+/// committer publishes one after every committed batch, and read
+/// connections run against [`Session::view_at`] of the latest published
+/// one.
+#[derive(Debug, Clone)]
+pub struct WsdSnapshot {
+    wsd: Arc<Wsd>,
+    lsn: u64,
+}
+
+impl WsdSnapshot {
+    /// The WAL position this snapshot reflects: every commit group with
+    /// LSN ≤ this is included, nothing later is.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// The decomposition at [`WsdSnapshot::lsn`].
+    pub fn wsd(&self) -> &Wsd {
+        &self.wsd
+    }
+}
+
 /// A MayBMS session: the incomplete database plus execution settings.
 #[derive(Debug)]
 pub struct Session {
-    wsd: Wsd,
+    /// The live decomposition, behind an `Arc` so transactions,
+    /// savepoints and [`Session::snapshot`] share it in O(1); mutations
+    /// go through `Arc::make_mut` (copy-on-write when a snapshot is
+    /// outstanding, in-place when the session holds the only reference).
+    wsd: Arc<Wsd>,
     /// Disable to execute unoptimized plans (used by the E3 ablation).
     pub optimize_plans: bool,
     /// Reports from REPAIR statements, latest last.
@@ -463,7 +502,9 @@ impl Clone for Session {
     /// clone applies in memory only — nothing reaches the original's log).
     fn clone(&self) -> Session {
         Session {
-            wsd: self.wsd.clone(),
+            // an O(1) Arc share: the two sessions copy-on-write away
+            // from each other at their first respective mutations
+            wsd: Arc::clone(&self.wsd),
             optimize_plans: self.optimize_plans,
             cleaning_log: self.cleaning_log.clone(),
             pool: self.pool.clone(),
@@ -486,7 +527,7 @@ impl Session {
     /// durability later.
     pub fn new() -> Session {
         Session {
-            wsd: Wsd::new(),
+            wsd: Arc::new(Wsd::new()),
             optimize_plans: true,
             cleaning_log: Vec::new(),
             pool: global_pool(),
@@ -663,6 +704,12 @@ impl Session {
         self.storage.as_ref().map(Database::last_lsn)
     }
 
+    /// The database file path, if attached — a server uses it to serve
+    /// the WAL-shipping replica feed for the same database.
+    pub fn storage_path(&self) -> Option<&Path> {
+        self.storage.as_ref().map(Database::snapshot_path)
+    }
+
     /// Committed WAL bytes (header included), if attached — tests use
     /// this to observe checkpoint compaction.
     pub fn wal_len(&self) -> Option<u64> {
@@ -687,7 +734,7 @@ impl Session {
 
     /// A session over an existing decomposition.
     pub fn with_wsd(wsd: Wsd) -> Session {
-        Session { wsd, ..Session::new() }
+        Session { wsd: Arc::new(wsd), ..Session::new() }
     }
 
     /// Replaces the worker pool (e.g. `WorkerPool::new(1)` for forced
@@ -709,8 +756,116 @@ impl Session {
 
     /// Mutable access to the decomposition (bypasses SQL and the WAL —
     /// durable sessions should mutate through statements instead).
+    /// Copies-on-write when a snapshot, open transaction or savepoint
+    /// still shares the decomposition.
     pub fn wsd_mut(&mut self) -> &mut Wsd {
-        &mut self.wsd
+        Arc::make_mut(&mut self.wsd)
+    }
+
+    /// An immutable, LSN-stamped snapshot of the session's current state.
+    ///
+    /// O(1): the snapshot shares the live decomposition by `Arc`; the
+    /// session's next mutation copies-on-write away from it, so the
+    /// snapshot stays frozen at exactly the state (and WAL position) it
+    /// was taken at, however long it is held and however far writers
+    /// advance. This is the read side of the server's snapshot
+    /// isolation: every reader gets a consistent view for free and
+    /// never blocks the writer.
+    pub fn snapshot(&self) -> WsdSnapshot {
+        WsdSnapshot {
+            wsd: Arc::clone(&self.wsd),
+            lsn: self.last_lsn().unwrap_or(0),
+        }
+    }
+
+    /// A detached **read-only** session over [`Session::snapshot`] of
+    /// this session — the "view session" server connections run their
+    /// queries on. O(1) to create; mutations and transaction control
+    /// are refused at the boundary, queries execute normally.
+    pub fn read_view(&self) -> Session {
+        let mut view = Session::view_at(&self.snapshot());
+        view.pool = Arc::clone(&self.pool);
+        view
+    }
+
+    /// A detached read-only session frozen at `snapshot`. See
+    /// [`Session::read_view`]; this form lets a server hand one
+    /// published snapshot to many connections.
+    pub fn view_at(snapshot: &WsdSnapshot) -> Session {
+        Session {
+            wsd: Arc::clone(&snapshot.wsd),
+            read_only: true,
+            ..Session::new()
+        }
+    }
+
+    /// A detached **writable** in-memory session frozen at `snapshot` —
+    /// the private workspace a server connection executes an open
+    /// transaction in (read-your-writes preview; nothing reaches any
+    /// log until the statements are submitted for group commit).
+    pub fn writable_at(snapshot: &WsdSnapshot) -> Session {
+        Session { wsd: Arc::clone(&snapshot.wsd), ..Session::new() }
+    }
+
+    /// Replaces this session's state with `snapshot` (an O(1) pointer
+    /// swap) — how a long-lived view session refreshes to the latest
+    /// published commit. Refused while a transaction is open: the
+    /// transaction's rollback state refers to the old timeline.
+    pub fn install_snapshot(&mut self, snapshot: &WsdSnapshot) -> SessionResult<()> {
+        if self.txn.is_some() {
+            return Err(SessionError::txn(
+                "cannot install a snapshot while a transaction is open",
+            ));
+        }
+        self.wsd = Arc::clone(&snapshot.wsd);
+        Ok(())
+    }
+
+    /// Applies `stmts` in order, all-or-nothing, **without** logging
+    /// anything: on the first failure the decomposition rolls back to
+    /// the state before the group and the error is returned. The group
+    /// committer executes each submitted commit group through this and
+    /// appends the wire records itself (one batched fsync for many
+    /// groups); `run` is the single-session path that logs per
+    /// statement.
+    pub(crate) fn apply_group(&mut self, stmts: &[Statement]) -> SessionResult<Vec<QueryResult>> {
+        let saved = Arc::clone(&self.wsd);
+        let saved_cleaning = self.cleaning_log.len();
+        let mut results = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            match self.apply(stmt) {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    self.wsd = saved;
+                    self.cleaning_log.truncate(saved_cleaning);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Appends already-encoded commit-group records to the WAL under a
+    /// **single fsync** (see [`Database::append_many`]), returning the
+    /// LSN of the last group. The in-memory state is expected to
+    /// already hold the groups' effects ([`Session::apply_group`]); on
+    /// failure the caller must roll memory back to the pre-batch
+    /// snapshot, because the store is now poisoned and disk holds none
+    /// of the batch.
+    pub(crate) fn append_commit_groups(&mut self, groups: &[Vec<u8>]) -> SessionResult<u64> {
+        match &mut self.storage {
+            Some(db) => db.append_many(groups).map_err(SessionError::storage),
+            // no backing store: the commit is memory-only (exactly like
+            // COMMIT on a non-durable session) and has no LSN
+            None => Ok(0),
+        }
+    }
+
+    /// Restores the decomposition to `snapshot` after a failed batch
+    /// append — memory returns to exactly the committed state disk
+    /// holds.
+    pub(crate) fn restore_snapshot(&mut self, snapshot: &WsdSnapshot) {
+        self.wsd = Arc::clone(&snapshot.wsd);
     }
 
     /// Parses and executes one statement.
@@ -989,7 +1144,9 @@ impl Session {
             ));
         }
         self.txn = Some(TxnState {
-            saved: Box::new(self.wsd.clone()),
+            // O(1): the snapshot is an Arc share, not a deep copy — the
+            // first mutation inside the transaction copies-on-write
+            saved: Arc::clone(&self.wsd),
             saved_cleaning: self.cleaning_log.len(),
             stmts: 0,
             buffered: Vec::new(),
@@ -1014,7 +1171,7 @@ impl Session {
                     // (durability of the group is unknown), so further
                     // writes are refused until reopen, but every query
                     // against this session remains truthful.
-                    self.wsd = *txn.saved;
+                    self.wsd = txn.saved;
                     self.cleaning_log.truncate(txn.saved_cleaning);
                     return Err(SessionError::storage(Error::Storage(format!(
                         "COMMIT failed; the transaction rolled back in memory and the \
@@ -1032,14 +1189,15 @@ impl Session {
             return Err(SessionError::txn("ROLLBACK without an open transaction"));
         };
         let n = txn.stmts;
-        self.wsd = *txn.saved;
+        self.wsd = txn.saved;
         self.cleaning_log.truncate(txn.saved_cleaning);
         Ok(QueryResult::Text(format!("ROLLBACK ({n} statement(s) undone)")))
     }
 
     fn savepoint_txn(&mut self, name: &str) -> SessionResult<QueryResult> {
-        // snapshot before borrowing the transaction state mutably
-        let saved = Box::new(self.wsd.clone());
+        // snapshot before borrowing the transaction state mutably (an
+        // O(1) Arc share, like BEGIN's)
+        let saved = Arc::clone(&self.wsd);
         let saved_cleaning = self.cleaning_log.len();
         let Some(txn) = &mut self.txn else {
             return Err(SessionError::txn("SAVEPOINT without an open transaction"));
@@ -1065,7 +1223,7 @@ impl Session {
         };
         let mark = &txn.savepoints[i];
         let undone = txn.stmts - mark.stmts;
-        let restored = mark.saved.as_ref().clone();
+        let restored = Arc::clone(&mark.saved);
         let saved_cleaning = mark.saved_cleaning;
         txn.stmts = mark.stmts;
         txn.buffered.truncate(mark.buffered);
@@ -1092,19 +1250,22 @@ impl Session {
                         .map(|(n, t)| Column::new(n.clone(), *t))
                         .collect(),
                 );
-                self.wsd.add_relation(name.clone(), schema).map_err(SessionError::exec)?;
+                Arc::make_mut(&mut self.wsd)
+                    .add_relation(name.clone(), schema)
+                    .map_err(SessionError::exec)?;
                 Ok(QueryResult::Text(format!("created table {name}")))
             }
             Statement::DropTable { name } => {
-                self.wsd.remove_relation(name).map_err(SessionError::exec)?;
-                maybms_core::normalize::normalize(&mut self.wsd);
+                let wsd = Arc::make_mut(&mut self.wsd);
+                wsd.remove_relation(name).map_err(SessionError::exec)?;
+                maybms_core::normalize::normalize(wsd);
                 Ok(QueryResult::Text(format!("dropped table {name}")))
             }
             Statement::RenameTable { from, to } => {
                 // `rename_relation` restores the source relation when the
                 // target name is taken (PR 1 regression), so a failed
                 // rename must leave `from` queryable.
-                self.wsd
+                Arc::make_mut(&mut self.wsd)
                     .rename_relation(from, to.clone())
                     .map_err(SessionError::exec)?;
                 Ok(QueryResult::Text(format!("renamed table {from} to {to}")))
@@ -1116,10 +1277,10 @@ impl Session {
                 // DML on a scratch copy: a failing statement (bad predicate,
                 // arithmetic error) must not leak partial edits — memory has
                 // to be all-or-nothing, like the WAL.
-                let mut scratch = self.wsd.clone();
+                let mut scratch = (*self.wsd).clone();
                 let report =
                     delete_op(&mut scratch, table, pred.as_ref()).map_err(SessionError::exec)?;
-                self.wsd = scratch;
+                self.wsd = Arc::new(scratch);
                 Ok(QueryResult::Text(format!(
                     "deleted {} tuple(s) from {table} ({} in every world, {} conditionally)",
                     report.total(),
@@ -1147,10 +1308,10 @@ impl Session {
                     })
                     .collect::<Result<Vec<_>>>()
                     .map_err(SessionError::exec)?;
-                let mut scratch = self.wsd.clone();
+                let mut scratch = (*self.wsd).clone();
                 let report = update_op(&mut scratch, table, &assignments, pred.as_ref())
                     .map_err(SessionError::exec)?;
-                self.wsd = scratch;
+                self.wsd = Arc::new(scratch);
                 Ok(QueryResult::Text(format!(
                     "updated {} tuple(s) in {table} ({} in every world, {} conditionally)",
                     report.total(),
@@ -1179,10 +1340,10 @@ impl Session {
                 // not leak into session state — the WAL only records
                 // statements that fully succeeded, so memory has to be
                 // all-or-nothing too.
-                let mut cleaned = self.wsd.clone();
+                let mut cleaned = (*self.wsd).clone();
                 let report =
                     clean(&mut cleaned, &[constraint]).map_err(SessionError::exec)?;
-                self.wsd = cleaned;
+                self.wsd = Arc::new(cleaned);
                 let msg = format!(
                     "repaired: {} violating row group(s) removed, {:.4} probability mass discarded",
                     report.deleted_rows, report.removed_probability
@@ -1453,8 +1614,9 @@ impl Session {
             staged.push(cells);
         }
         let n = staged.len();
+        let wsd = Arc::make_mut(&mut self.wsd);
         for cells in staged {
-            self.wsd.push_orset(table, cells)?;
+            wsd.push_orset(table, cells)?;
         }
         Ok(QueryResult::Text(format!("inserted {n} tuple(s) into {table}")))
     }

@@ -440,6 +440,31 @@ impl Database {
         }
     }
 
+    /// Commits a **batch** of logical mutation records under a single
+    /// fsync ([`Wal::append_many`]), returning the LSN of the last one
+    /// — the server's group-commit path. On return every record is
+    /// durable; connections waiting on any record in the batch may be
+    /// acknowledged.
+    ///
+    /// Failure poisons the handle exactly like [`Database::append`],
+    /// and the ack discipline inverts: **no** record in the batch may
+    /// be acknowledged, because the shared fsync vouched for none of
+    /// them. (After a crash, recovery keeps whatever torn-tail-clean
+    /// prefix of the batch reached disk — all of it unacknowledged, so
+    /// no client was promised anything recovery drops.)
+    pub fn append_many(&mut self, records: &[Vec<u8>]) -> Result<u64> {
+        self.check_poisoned()?;
+        match self.wal.append_many(records) {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                self.poisoned =
+                    Some(format!("a WAL batch append failed and durability is unknown: {e}"));
+                metrics().poison_events.inc();
+                Err(e)
+            }
+        }
+    }
+
     /// Checkpoints `state` as generation *g+1* and swaps in a fresh WAL
     /// of that generation. Writes **incrementally** (changed pages only,
     /// to the overlay file — see [`crate::delta`]) when a base snapshot

@@ -119,22 +119,43 @@ pub fn wait_for_commit(handle: &CommitNotify, seen: u64, timeout: Duration) -> u
     while *n == seen {
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
-            // deadline passed without a commit signal: the caller falls
-            // back to polling the log — count how often the notification
-            // path failed to carry the wakeup (e.g. a cross-process
-            // appender, which this registry cannot see)
-            metrics().notify_fallback_polls.inc();
             break;
         }
         let (guard, result) =
             condvar.wait_timeout(n, remaining).expect("commit notify lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         n = guard;
         if result.timed_out() {
-            metrics().notify_fallback_polls.inc();
             break;
         }
     }
     *n
+}
+
+/// Wakes every [`wait_for_commit`] waiter on `handle` by advancing the
+/// notification counter without any commit behind it. Woken tailers
+/// poll the log, find nothing new, and re-check their own stop
+/// conditions — this is how a shutdown interrupts serve loops parked on
+/// long idle intervals instead of letting them sleep the interval out.
+/// Must not be called on a handle whose tailers are mid-shutdown only;
+/// a spurious wake is always safe (an empty poll is a no-op).
+pub fn wake_commit_waiters(handle: &CommitNotify) {
+    let (counter, condvar) = &**handle;
+    let mut n = counter.lock().expect("commit notify lock"); // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
+    *n += 1;
+    condvar.notify_all();
+}
+
+/// Records one **fallback poll**: a tailer's [`wait_for_commit`] timed
+/// out with no signal, yet the subsequent log poll *did* find new
+/// records — the notification path failed to carry the wakeup. That
+/// happens exactly when the appender lives in another process (this
+/// registry is per-process), so the counter (`wal.notify_fallback_polls`)
+/// measures how much of the tailing traffic rides the polling fallback
+/// instead of the in-process signal; an in-process primary/server pair
+/// must keep it at 0. Idle timeouts (heartbeat cadence with nothing to
+/// ship) are *not* fallback polls and are not counted.
+pub fn note_fallback_poll() {
+    metrics().notify_fallback_polls.inc();
 }
 
 /// Length of the WAL file header.
@@ -382,6 +403,53 @@ impl Wal {
         // wake same-process tailers blocked in `wait_for_commit`
         let (counter, condvar) = &*self.notify;
         *counter.lock().expect("commit notify lock") += 1; // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
+        condvar.notify_all();
+        Ok(self.base_lsn + self.count)
+    }
+
+    /// Appends `records` as consecutive WAL records under a **single**
+    /// fsync, returning the LSN of the last one — the group-commit
+    /// batch path: N concurrently submitted commit groups cost one
+    /// durable write instead of N.
+    ///
+    /// All frames are written with one `write_all`, then one
+    /// `sync_data`; on success every record is committed. On failure
+    /// nothing can be assumed durable (the caller poisons the store,
+    /// exactly as for [`Wal::append`]); after a crash, torn-tail
+    /// truncation keeps whatever *prefix* of the batch reached disk —
+    /// safe, because no record in the batch was acknowledged unless the
+    /// shared fsync returned. Same-process tailers are woken once for
+    /// the whole batch.
+    pub fn append_many(&mut self, records: &[Vec<u8>]) -> Result<u64> {
+        if records.is_empty() {
+            return Ok(self.base_lsn + self.count);
+        }
+        let total: usize = records.iter().map(|r| RECORD_HEADER_LEN + r.len()).sum();
+        let mut frame = Vec::with_capacity(total);
+        for payload in records {
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(payload).to_le_bytes());
+            frame.extend_from_slice(payload);
+        }
+        self.file
+            .seek(SeekFrom::Start(self.end))
+            .map_err(|e| io_err("seek WAL end", e))?;
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append WAL batch", e))?;
+        if self.sync {
+            self.file.sync_data().map_err(|e| io_err("sync WAL batch", e))?;
+            self.sync_count += 1;
+            metrics().fsyncs.inc();
+        }
+        metrics().appends.add(records.len() as u64);
+        metrics().bytes.add(frame.len() as u64);
+        self.end += frame.len() as u64;
+        self.count += records.len() as u64;
+        // one wakeup for the whole batch: tailers drain every new record
+        // from a single poll
+        let (counter, condvar) = &*self.notify;
+        *counter.lock().expect("commit notify lock") += records.len() as u64; // maybms-lint: allow(no-panic-in-prod) -- lock poisoning means another thread already panicked; fail-stop instead of running on shared state of unknown integrity
         condvar.notify_all();
         Ok(self.base_lsn + self.count)
     }
